@@ -1,0 +1,112 @@
+//! Ablation benches (A1/A2 in DESIGN.md) plus the Super-Thing vs
+//! merged-Thing tree comparison. These measure the *performance* side of
+//! the design choices; the correctness side is asserted in the integration
+//! tests (`tests/design_ablations.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_bench::{load_corpus, names};
+use sst_core::{measure_ids as m, TreeMode};
+use sst_simpack::{
+    sequence_similarity, CostModel, InformationContent, ProbabilityMode, Taxonomy,
+};
+
+/// A1: the Eq. 4 cost model — unit costs vs a discounted-replace model vs
+/// the constraint-violating model (replace > delete + insert).
+fn bench_cost_models(c: &mut Criterion) {
+    let x: Vec<String> = (0..40).map(|i| format!("token{}", i % 13)).collect();
+    let y: Vec<String> = (0..40).map(|i| format!("token{}", (i * 7) % 17)).collect();
+    let mut group = c.benchmark_group("ablation/cost_model");
+    for (label, costs) in [
+        ("unit", CostModel::UNIT),
+        ("cheap_replace", CostModel::new(1.0, 1.0, 0.5).unwrap()),
+        ("violating", CostModel::unchecked(1.0, 1.0, 3.0)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| sequence_similarity(&x, &y, costs))
+        });
+    }
+    group.finish();
+}
+
+/// A2: IC probability sources — subclass counts vs instance corpus.
+fn bench_ic_modes(c: &mut Criterion) {
+    // A deep binary taxonomy with instances on the leaves.
+    let n = 1023u32;
+    let mut taxonomy = Taxonomy::new(n as usize, 0);
+    for i in 1..n {
+        taxonomy.add_edge(i, (i - 1) / 2);
+    }
+    let counts: Vec<usize> = (0..n).map(|i| if i >= n / 2 { 3 } else { 0 }).collect();
+    let mut group = c.benchmark_group("ablation/ic_mode");
+    group.bench_function("subclass_count", |b| {
+        b.iter(|| InformationContent::for_mode(&taxonomy, ProbabilityMode::SubclassCount, &counts))
+    });
+    group.bench_function("instance_corpus", |b| {
+        b.iter(|| {
+            InformationContent::for_mode(&taxonomy, ProbabilityMode::InstanceCorpus, &counts)
+        })
+    });
+    group.finish();
+}
+
+/// Tree mode: does the merged-Thing tree (fewer nodes, flatter) change
+/// distance-query cost?
+fn bench_tree_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/tree_mode");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("super_thing", TreeMode::SuperThing),
+        ("merged_thing", TreeMode::MergedThing),
+    ] {
+        let sst = load_corpus(mode, false);
+        group.bench_function(format!("{label}/shortest_path"), |b| {
+            b.iter(|| {
+                sst.get_similarity(
+                    "Professor",
+                    names::DAML_UNIV,
+                    "Human",
+                    names::SUMO,
+                    m::SHORTEST_PATH_MEASURE,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ranking-backend ablation: the paper's TF-IDF cosine vs Okapi BM25 over
+/// the same index of SUMO concept descriptions.
+fn bench_text_rankers(c: &mut Criterion) {
+    use sst_index::{Bm25, Bm25Params, IndexBuilder};
+    let sumo = std::fs::read_to_string(
+        sst_bench::data_dir().join("ontologies/sumo.owl"),
+    )
+    .expect("sumo.owl");
+    let onto = sst_wrappers::parse_owl(&sumo, "sumo", "http://sumo").expect("parse");
+    let mut builder = IndexBuilder::new();
+    for id in onto.concept_ids() {
+        let concept = onto.concept(id);
+        builder.add_document(
+            concept.name.clone(),
+            concept.documentation.as_deref().unwrap_or(""),
+        );
+    }
+    let index = builder.build();
+    let bm25 = Bm25::new(&index, Bm25Params::default());
+    let mut group = c.benchmark_group("ablation/text_ranker");
+    group.bench_function("tfidf_cosine", |b| {
+        b.iter(|| index.search("warm blooded vertebrate mammal primate", 10))
+    });
+    group.bench_function("bm25", |b| {
+        b.iter(|| bm25.search("warm blooded vertebrate mammal primate", 10))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cost_models, bench_ic_modes, bench_tree_modes, bench_text_rankers
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! P1 (DESIGN.md): pairwise similarity latency for every registered
+//! measure, on the paper's 943-concept corpus — one in-ontology pair and
+//! one cross-ontology pair per measure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_bench::{load_corpus, names};
+use sst_core::TreeMode;
+
+fn bench_pairwise(c: &mut Criterion) {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let mut group = c.benchmark_group("pairwise");
+    for (id, info) in sst.measures().into_iter().enumerate() {
+        group.bench_function(format!("{}/in-ontology", info.name), |b| {
+            b.iter(|| {
+                sst.get_similarity(
+                    "Professor",
+                    names::DAML_UNIV,
+                    "Student",
+                    names::DAML_UNIV,
+                    id,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(format!("{}/cross-ontology", info.name), |b| {
+            b.iter(|| {
+                sst.get_similarity("Professor", names::DAML_UNIV, "Human", names::SUMO, id)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pairwise
+}
+criterion_main!(benches);

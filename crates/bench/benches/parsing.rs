@@ -1,0 +1,96 @@
+//! P2 (DESIGN.md): parser and index throughput — the substrate costs behind
+//! toolkit construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sst_bench::data_dir;
+use sst_index::IndexBuilder;
+
+fn read(name: &str) -> String {
+    std::fs::read_to_string(data_dir().join(name)).expect("data file")
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let sumo = read("ontologies/sumo.owl");
+    let course = read("ontologies/course.ploom");
+    let wordnet = read("wordnet/data.noun");
+
+    let mut group = c.benchmark_group("parse");
+    group.throughput(Throughput::Bytes(sumo.len() as u64));
+    group.bench_function("rdfxml/sumo.owl", |b| {
+        b.iter(|| sst_rdf_parse(&sumo))
+    });
+    group.throughput(Throughput::Bytes(course.len() as u64));
+    group.bench_function("powerloom/course.ploom", |b| {
+        b.iter(|| sst_wrappers::parse_powerloom(&course, "COURSES").unwrap())
+    });
+    group.throughput(Throughput::Bytes(wordnet.len() as u64));
+    group.bench_function("wordnet/data.noun", |b| {
+        b.iter(|| sst_wrappers::parse_wordnet(&wordnet, "wn").unwrap())
+    });
+    group.finish();
+
+    // Turtle + N-Triples round-trip on the SUMO graph.
+    let graph = sst_rdf_parse(&sumo);
+    let turtle = sst_rdf::write_turtle(&graph);
+    let ntriples = sst_rdf::write_ntriples(&graph);
+    let mut group = c.benchmark_group("parse_rdf_text");
+    group.throughput(Throughput::Bytes(turtle.len() as u64));
+    group.bench_function("turtle/sumo", |b| {
+        b.iter(|| sst_rdf::parse_turtle(&turtle, "http://sumo").unwrap())
+    });
+    group.throughput(Throughput::Bytes(ntriples.len() as u64));
+    group.bench_function("ntriples/sumo", |b| {
+        b.iter(|| sst_rdf::parse_ntriples(&ntriples).unwrap())
+    });
+    group.finish();
+}
+
+fn sst_rdf_parse(text: &str) -> sst_rdf::Graph {
+    sst_rdf::parse_rdfxml(text, "http://reliant.teknowledge.com/DAML/SUMO.owl").unwrap()
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    // Index the SUMO comments — the TFIDF measure's setup cost.
+    let sumo = read("ontologies/sumo.owl");
+    let onto = sst_wrappers::parse_owl(&sumo, "sumo", "http://sumo").unwrap();
+    let docs: Vec<(String, String)> = onto
+        .concept_ids()
+        .map(|id| {
+            let concept = onto.concept(id);
+            (
+                concept.name.clone(),
+                concept.documentation.clone().unwrap_or_default(),
+            )
+        })
+        .collect();
+    let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
+    let mut group = c.benchmark_group("index");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("build/sumo-descriptions", |b| {
+        b.iter(|| {
+            let mut builder = IndexBuilder::new();
+            for (key, text) in &docs {
+                builder.add_document(key.clone(), text);
+            }
+            builder.build()
+        })
+    });
+    let index = {
+        let mut builder = IndexBuilder::new();
+        for (key, text) in &docs {
+            builder.add_document(key.clone(), text);
+        }
+        builder.build()
+    };
+    group.bench_function("search/top10", |b| {
+        b.iter(|| index.search("warm blooded vertebrate mammal", 10))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parsers, bench_indexing
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! P1 (DESIGN.md): service-level scaling — k-most-similar over the full
+//! corpus per measure family, and over generated taxonomies of growing
+//! size; plus the pairwise similarity matrix on a subtree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_bench::{generate_taxonomy, load_corpus, names, TaxonomySpec};
+use sst_core::{measure_ids as m, ConceptSet, SstBuilder, TreeMode};
+
+fn bench_most_similar_corpus(c: &mut Criterion) {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let mut group = c.benchmark_group("most_similar/corpus943");
+    for (label, measure) in [
+        ("wu_palmer", m::CONCEPTUAL_SIMILARITY_MEASURE),
+        ("shortest_path", m::SHORTEST_PATH_MEASURE),
+        ("lin", m::LIN_MEASURE),
+        ("tfidf", m::TFIDF_MEASURE),
+        ("levenshtein", m::LEVENSHTEIN_MEASURE),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                sst.most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10, measure)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_most_similar_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("most_similar/scaling");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let ontology = generate_taxonomy(TaxonomySpec { concepts: n, seed: 3, ..Default::default() });
+        let name = ontology.name().to_owned();
+        let query = ontology.concept(ontology.concept_ids().last().unwrap()).name.clone();
+        let sst = SstBuilder::new().register_ontology(ontology).unwrap().build();
+        group.bench_with_input(BenchmarkId::new("wu_palmer", n), &n, |b, _| {
+            b.iter(|| {
+                sst.most_similar(&query, &name, &ConceptSet::All, 10,
+                                 m::CONCEPTUAL_SIMILARITY_MEASURE)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tfidf", n), &n, |b, _| {
+            b.iter(|| {
+                sst.most_similar(&query, &name, &ConceptSet::All, 10, m::TFIDF_MEASURE)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let subtree = ConceptSet::Subtree(sst_core::ConceptRef::new("Person", names::UNIV_BENCH));
+    c.bench_function("similarity_matrix/univ-bench-person-subtree", |b| {
+        b.iter(|| sst.similarity_matrix(&subtree, m::CONCEPTUAL_SIMILARITY_MEASURE).unwrap())
+    });
+}
+
+fn bench_parallel_matrix(c: &mut Criterion) {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let subtree = ConceptSet::Subtree(sst_core::ConceptRef::new("Person", names::SWRC));
+    let mut group = c.benchmark_group("similarity_matrix_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                sst.similarity_matrix_parallel(&subtree, m::TFIDF_MEASURE, t).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_most_similar(c: &mut Criterion) {
+    use sst_core::CachedSimilarity;
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let mut group = c.benchmark_group("most_similar_cached");
+    group.bench_function("cold_vs_warm/warm", |b| {
+        let cache = CachedSimilarity::new(&sst);
+        // Warm the cache once.
+        cache
+            .most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10,
+                          m::CONCEPTUAL_SIMILARITY_MEASURE)
+            .unwrap();
+        b.iter(|| {
+            cache
+                .most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10,
+                              m::CONCEPTUAL_SIMILARITY_MEASURE)
+                .unwrap()
+        })
+    });
+    group.bench_function("cold_vs_warm/uncached", |b| {
+        b.iter(|| {
+            sst.most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10,
+                             m::CONCEPTUAL_SIMILARITY_MEASURE)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_toolkit_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolkit_build");
+    group.sample_size(10);
+    group.bench_function("corpus943", |b| {
+        b.iter(|| load_corpus(TreeMode::SuperThing, false))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_most_similar_corpus, bench_most_similar_scaling,
+              bench_similarity_matrix, bench_parallel_matrix, bench_cached_most_similar,
+              bench_toolkit_build
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Reproduces **Figure 5** of the paper: a bar chart of the ten most
+//! similar concepts for `base1_0_daml:Professor`, computed over all
+//! concepts of all five scenario ontologies.
+//!
+//! Like the original toolkit, the chart is produced as Gnuplot artifacts
+//! (`results/figure5.gp` + `results/figure5.dat`, runnable with
+//! `gnuplot figure5.gp`); an ASCII rendering is printed so the experiment
+//! is self-contained.
+//!
+//! Usage: `cargo run -p sst-bench --bin figure5 [-- --measure <name>] [-- -k <n>]`
+
+use sst_bench::{data_dir, load_corpus, names};
+use sst_core::{ConceptSet, TreeMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut measure_name = "tfidf".to_owned();
+    let mut k = 10usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--measure" if i + 1 < args.len() => {
+                measure_name = args[i + 1].clone();
+                i += 2;
+            }
+            "-k" if i + 1 < args.len() => {
+                k = args[i + 1].parse().expect("k must be a number");
+                i += 2;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let measure = sst.measure_id(&measure_name).expect("measure name");
+    let chart = sst
+        .most_similar_plot("Professor", names::DAML_UNIV, &ConceptSet::All, k, measure)
+        .expect("most similar plot");
+
+    println!("{}", chart.to_ascii(50));
+
+    let results = data_dir().join("../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    let artifacts = chart.to_gnuplot("figure5");
+    std::fs::write(results.join("figure5.gp"), &artifacts.script).expect("write script");
+    std::fs::write(results.join("figure5.dat"), &artifacts.data).expect("write data");
+    std::fs::write(results.join("figure5.txt"), chart.to_ascii(50)).expect("write ascii");
+    println!("(gnuplot artifacts written to results/figure5.gp + results/figure5.dat)");
+}

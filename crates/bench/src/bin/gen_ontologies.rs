@@ -1,0 +1,19 @@
+//! Generates `data/ontologies/sumo.owl`, the seeded synthetic SUMO
+//! stand-in, sized so the five-ontology corpus totals exactly the paper's
+//! 943 concepts (DESIGN.md §3).
+//!
+//! Usage: `cargo run -p sst-bench --bin gen_ontologies`
+
+use sst_bench::{data_dir, generate_sumo_owl};
+
+/// SUMO class count: 943 total − (44 univ-bench + 56 swrc + 36 daml +
+/// 30 courses) = 777 concepts, of which one is the wrapper-added owl:Thing.
+const SUMO_CLASSES: usize = 776;
+const SEED: u64 = 42;
+
+fn main() {
+    let owl = generate_sumo_owl(SUMO_CLASSES, SEED);
+    let path = data_dir().join("ontologies/sumo.owl");
+    std::fs::write(&path, &owl).expect("write sumo.owl");
+    println!("wrote {} ({} classes, seed {})", path.display(), SUMO_CLASSES, SEED);
+}

@@ -1,0 +1,25 @@
+//! One-shot reproduction driver: regenerates every experiment artifact
+//! (Table 1, Figures 3 and 5, the measure evaluation) into `results/`.
+//!
+//! Usage: `cargo run -p sst-bench --bin repro`
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    println!("==> {bin} {}", args.join(" "));
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "-p", "sst-bench", "--bin", bin, "--"])
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} failed with {status}");
+}
+
+fn main() {
+    run("gen_ontologies", &[]);
+    run("table1", &["--dissimilar"]);
+    run("figure5", &[]);
+    run("figure3", &[]);
+    run("measure_eval", &["100", "0.4", "25"]);
+    println!("\nAll experiment artifacts regenerated under results/.");
+}

@@ -1,0 +1,118 @@
+//! Reproduces **Table 1** of the paper: similarity of
+//! `base1_0_daml:Professor` to concepts from the other ontologies under six
+//! measures (Conceptual Similarity / Wu-Palmer, Levenshtein, Lin, Resnik,
+//! Shortest Path, TFIDF).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p sst-bench --bin table1              # the paper's table
+//! cargo run -p sst-bench --bin table1 -- --dissimilar   # §3's k-most-dissimilar service
+//! ```
+//!
+//! Absolute values differ from the paper (synthetic stand-in ontologies;
+//! see DESIGN.md §3) — the *shape* is what is reproduced: self-comparison
+//! maximal (Resnik unnormalized ≫ 1), cross-ontology Lin/Resnik collapsing
+//! to 0 through the Super-Thing root, and TFIDF ranking
+//! `AssistantProfessor` far above `Human`/`Mammal`.
+
+use sst_bench::{data_dir, load_corpus, names};
+use sst_core::{measure_ids as m, ConceptSet, SstToolkit, TreeMode};
+
+const QUERY: (&str, &str) = ("Professor", names::DAML_UNIV);
+
+const ROWS: &[(&str, &str)] = &[
+    ("Professor", names::DAML_UNIV),
+    ("AssistantProfessor", names::UNIV_BENCH),
+    ("EMPLOYEE", names::COURSES),
+    ("Human", names::SUMO),
+    ("Mammal", names::SUMO),
+];
+
+const MEASURES: &[usize] = &[
+    m::CONCEPTUAL_SIMILARITY_MEASURE,
+    m::LEVENSHTEIN_MEASURE,
+    m::LIN_MEASURE,
+    m::RESNIK_MEASURE,
+    m::SHORTEST_PATH_MEASURE,
+    m::TFIDF_MEASURE,
+];
+
+/// The values printed in the paper's Table 1, for side-by-side comparison.
+const PAPER_VALUES: &[[f64; 6]] = &[
+    [0.7778, 1.0, 0.8792, 12.7006, 1.0, 1.0],
+    [0.1111, 0.1029, 0.0, 0.0, 0.0588, 0.3224],
+    [0.1176, 0.0294, 0.0, 0.0, 0.0625, 0.0475],
+    [0.1, 0.0028, 0.0, 0.0, 0.0526, 0.0151],
+    [0.0909, 0.0032, 0.0, 0.0, 0.0476, 0.0184],
+];
+
+fn render_table(sst: &SstToolkit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1 — comparisons of {}:{} with concepts from other ontologies\n\n",
+        QUERY.1, QUERY.0
+    ));
+    let headers: Vec<String> = MEASURES
+        .iter()
+        .map(|&mid| sst.measure_info(mid).unwrap().display)
+        .collect();
+    out.push_str(&format!("{:<38}", "Concept"));
+    for h in &headers {
+        out.push_str(&format!("{h:>14}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(38 + 14 * headers.len()));
+    out.push('\n');
+    for (ri, &(concept, ontology)) in ROWS.iter().enumerate() {
+        let values = sst
+            .get_similarities(QUERY.0, QUERY.1, concept, ontology, MEASURES)
+            .expect("similarity");
+        out.push_str(&format!("{:<38}", format!("{ontology}:{concept}")));
+        for v in &values {
+            out.push_str(&format!("{v:>14.4}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<38}", "  (paper)"));
+        for p in &PAPER_VALUES[ri] {
+            out.push_str(&format!("{p:>14.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_dissimilar(sst: &SstToolkit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n§3 service — the 5 most dissimilar concepts for {}:{} (Conceptual Similarity):\n",
+        QUERY.1, QUERY.0
+    ));
+    let rows = sst
+        .most_dissimilar(
+            QUERY.0,
+            QUERY.1,
+            &ConceptSet::All,
+            5,
+            m::CONCEPTUAL_SIMILARITY_MEASURE,
+        )
+        .expect("most dissimilar");
+    for r in rows {
+        out.push_str(&format!("  {:<40} {:.4}\n", format!("{}:{}", r.ontology, r.concept), r.similarity));
+    }
+    out
+}
+
+fn main() {
+    let dissimilar = std::env::args().any(|a| a == "--dissimilar");
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let mut report = render_table(&sst);
+    if dissimilar {
+        report.push_str(&render_dissimilar(&sst));
+    }
+    println!("{report}");
+
+    let results = data_dir().join("../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(results.join("table1.txt"), &report).expect("write table1.txt");
+    println!("(written to results/table1.txt)");
+}

@@ -1,0 +1,279 @@
+//! Measure-quality evaluation — the paper's §6 future work ("a thorough
+//! evaluation to find the best performing similarity measures in different
+//! task domains"), realized as a matching experiment with synthetic ground
+//! truth.
+//!
+//! A seeded taxonomy is copied and perturbed (name typos, documentation
+//! thinning, re-parenting); each measure then tries to re-identify every
+//! original concept among the perturbed copies. Precision@1 against the
+//! known ground truth scores the measure for that perturbation domain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sst_core::{ConceptRef, ConceptSet, SstBuilder};
+use sst_soqa::{Ontology, OntologyBuilder, OntologyMetadata};
+
+use crate::workload::{generate_taxonomy, TaxonomySpec};
+
+/// What the perturbation touches — each level is a "task domain" in the
+/// paper's sense, favouring a different measure family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Typos in concept names (favours string/text measures robustness).
+    Names,
+    /// Thinned documentation strings (stresses the TFIDF measure).
+    Documentation,
+    /// Random re-parenting of concepts (stresses graph/IC measures).
+    Structure,
+    /// All of the above.
+    All,
+}
+
+impl Perturbation {
+    pub const ALL_KINDS: [Perturbation; 4] = [
+        Perturbation::Names,
+        Perturbation::Documentation,
+        Perturbation::Structure,
+        Perturbation::All,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Perturbation::Names => "names",
+            Perturbation::Documentation => "documentation",
+            Perturbation::Structure => "structure",
+            Perturbation::All => "all",
+        }
+    }
+}
+
+/// Applies a typo to a name: swaps two *distinct* adjacent interior
+/// characters (scanning from a random offset, so the typo position varies).
+fn typo(name: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    if chars.len() >= 4 {
+        let start = rng.gen_range(1..chars.len() - 2);
+        let positions = (start..chars.len() - 2).chain(1..start);
+        for i in positions {
+            if chars[i] != chars[i + 1] {
+                chars.swap(i, i + 1);
+                break;
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Builds the perturbed copy of `original` under the given perturbation
+/// kind and strength (probability each concept is affected).
+pub fn perturb(
+    original: &Ontology,
+    kind: Perturbation,
+    strength: f64,
+    seed: u64,
+) -> Ontology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = OntologyBuilder::new(OntologyMetadata {
+        name: format!("{}_perturbed", original.name()),
+        language: "Synthetic".to_owned(),
+        ..OntologyMetadata::default()
+    });
+    let names_kind = matches!(kind, Perturbation::Names | Perturbation::All);
+    let docs_kind = matches!(kind, Perturbation::Documentation | Perturbation::All);
+    let structure_kind = matches!(kind, Perturbation::Structure | Perturbation::All);
+
+    // Copy concepts (ids align with the original's by construction).
+    let all_ids: Vec<_> = original.concept_ids().collect();
+    for &cid in &all_ids {
+        let concept = original.concept(cid);
+        let name = if names_kind && rng.gen_bool(strength) {
+            typo(&concept.name, &mut rng)
+        } else {
+            concept.name.clone()
+        };
+        let id = builder.concept(&name);
+        let doc = concept.documentation.clone().map(|d| {
+            if docs_kind && rng.gen_bool(strength) {
+                // Thin the documentation: keep every other word.
+                d.split_whitespace()
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == 0)
+                    .map(|(_, w)| w)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            } else {
+                d
+            }
+        });
+        builder.concept_mut(id).documentation = doc;
+    }
+    // Copy edges, occasionally re-parenting.
+    for &cid in &all_ids {
+        for &sup in original.direct_supers(cid) {
+            let new_parent = if structure_kind && rng.gen_bool(strength) {
+                // Re-parent to a random other concept with a smaller id to
+                // preserve acyclicity.
+                let upper = cid.0.max(1);
+                sst_soqa::ConceptId(rng.gen_range(0..upper))
+            } else {
+                sup
+            };
+            builder.add_subclass(cid, new_parent);
+        }
+    }
+    builder.build()
+}
+
+/// One measure's score in one domain.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    pub measure: String,
+    pub perturbation: &'static str,
+    /// Fraction of concepts whose ground-truth counterpart ranked first.
+    pub precision_at_1: f64,
+}
+
+/// Runs the matching experiment for every registered normalized measure
+/// over each perturbation kind. `sample` caps the number of query concepts
+/// per run (for speed).
+pub fn evaluate_measures(
+    concepts: usize,
+    strength: f64,
+    sample: usize,
+    seed: u64,
+) -> Vec<EvalResult> {
+    let mut results = Vec::new();
+    for kind in Perturbation::ALL_KINDS {
+        let original = generate_taxonomy(TaxonomySpec {
+            concepts,
+            seed,
+            ..TaxonomySpec::default()
+        });
+        let perturbed = perturb(&original, kind, strength, seed ^ 0x9e3779b9);
+        let original_name = original.name().to_owned();
+        let perturbed_name = perturbed.name().to_owned();
+        // Ground truth: concept at index i ↔ perturbed concept at index i.
+        let source_names: Vec<String> =
+            original.concept_ids().map(|id| original.concept(id).name.clone()).collect();
+        let target_names: Vec<String> =
+            perturbed.concept_ids().map(|id| perturbed.concept(id).name.clone()).collect();
+
+        let sst = SstBuilder::new()
+            .register_ontology(original)
+            .expect("register original")
+            .register_ontology(perturbed)
+            .expect("register perturbed")
+            .build();
+        let target_set = ConceptSet::Subtree(ConceptRef::new(
+            target_names[0].clone(),
+            perturbed_name.clone(),
+        ));
+
+        let queries: Vec<usize> = (0..source_names.len())
+            .step_by((source_names.len() / sample.max(1)).max(1))
+            .collect();
+        for (measure_id, info) in sst.measures().into_iter().enumerate() {
+            if !info.normalized {
+                continue; // precision@1 over raw bits is not comparable
+            }
+            let mut hits = 0usize;
+            for &qi in &queries {
+                let top = sst
+                    .most_similar(&source_names[qi], &original_name, &target_set, 1, measure_id)
+                    .expect("most similar");
+                if let Some(best) = top.first() {
+                    if best.concept == target_names[qi] {
+                        hits += 1;
+                    }
+                }
+            }
+            results.push(EvalResult {
+                measure: info.name,
+                perturbation: kind.label(),
+                precision_at_1: hits as f64 / queries.len() as f64,
+            });
+        }
+    }
+    results
+}
+
+/// Renders the results as a measure × domain table.
+pub fn render_results(results: &[EvalResult]) -> String {
+    let mut measures: Vec<&str> = Vec::new();
+    for r in results {
+        if !measures.contains(&r.measure.as_str()) {
+            measures.push(r.measure.as_str());
+        }
+    }
+    let domains: Vec<&str> = Perturbation::ALL_KINDS.iter().map(|k| k.label()).collect();
+    let mut out = format!("{:<18}", "measure");
+    for d in &domains {
+        out.push_str(&format!("{d:>16}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(18 + 16 * domains.len()));
+    out.push('\n');
+    for m in measures {
+        out.push_str(&format!("{m:<18}"));
+        for d in &domains {
+            let v = results
+                .iter()
+                .find(|r| r.measure == m && r.perturbation == *d)
+                .map(|r| r.precision_at_1)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{v:>16.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_is_deterministic_and_size_preserving() {
+        let o = generate_taxonomy(TaxonomySpec { concepts: 40, seed: 5, ..Default::default() });
+        let a = perturb(&o, Perturbation::All, 0.5, 9);
+        let b = perturb(&o, Perturbation::All, 0.5, 9);
+        assert_eq!(a.concept_count(), o.concept_count());
+        for (x, y) in a.concept_ids().zip(b.concept_ids()) {
+            assert_eq!(a.concept(x).name, b.concept(y).name);
+        }
+    }
+
+    #[test]
+    fn name_perturbation_changes_some_names() {
+        let o = generate_taxonomy(TaxonomySpec { concepts: 60, seed: 5, ..Default::default() });
+        let p = perturb(&o, Perturbation::Names, 0.8, 1);
+        let changed = o
+            .concept_ids()
+            .zip(p.concept_ids())
+            .filter(|&(a, b)| o.concept(a).name != p.concept(b).name)
+            .count();
+        assert!(changed > 10, "only {changed} names changed");
+    }
+
+    #[test]
+    fn structure_perturbation_keeps_single_root_reachability() {
+        let o = generate_taxonomy(TaxonomySpec { concepts: 50, seed: 3, ..Default::default() });
+        let p = perturb(&o, Perturbation::Structure, 0.5, 2);
+        // Every non-root concept still has a parent (acyclic by id order).
+        let root = p.roots()[0];
+        for id in p.concept_ids() {
+            if id != root {
+                assert!(!p.direct_supers(id).is_empty(), "orphaned {}", p.concept(id).name);
+            }
+        }
+    }
+
+    #[test]
+    fn typo_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = typo("Professor", &mut rng);
+        assert_eq!(t.len(), "Professor".len());
+        assert_ne!(t, "Professor");
+        assert_eq!(typo("ab", &mut rng), "ab"); // too short to swap
+    }
+}

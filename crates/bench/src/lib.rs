@@ -1,0 +1,17 @@
+//! # sst-bench — experiment harness for the SST reproduction
+//!
+//! Provides the evaluation corpus loader ([`corpus`]), the synthetic
+//! workload generators ([`workload`]), and hosts the experiment binaries
+//! (`table1`, `figure5`, `figure3`, `gen_ontologies`) plus the Criterion
+//! benches. See DESIGN.md §2 for the experiment index.
+
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod corpus;
+pub mod eval;
+pub mod workload;
+
+pub use corpus::{data_dir, load_corpus, names, PAPER_CONCEPT_COUNT};
+pub use eval::{evaluate_measures, perturb, render_results, EvalResult, Perturbation};
+pub use workload::{generate_sumo_owl, generate_taxonomy, TaxonomySpec};

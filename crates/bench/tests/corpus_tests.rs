@@ -1,0 +1,80 @@
+//! Corpus sanity: the five-ontology scenario matches the paper's setup.
+
+use sst_bench::{load_corpus, names, PAPER_CONCEPT_COUNT};
+use sst_core::TreeMode;
+
+#[test]
+fn corpus_has_the_papers_943_concepts() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    assert_eq!(sst.soqa().ontology_count(), 5);
+    assert_eq!(sst.soqa().total_concept_count(), PAPER_CONCEPT_COUNT);
+}
+
+#[test]
+fn table1_concepts_are_present() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    for (concept, ontology) in [
+        ("Professor", names::DAML_UNIV),
+        ("AssistantProfessor", names::UNIV_BENCH),
+        ("EMPLOYEE", names::COURSES),
+        ("Human", names::SUMO),
+        ("Mammal", names::SUMO),
+        ("Person", names::UNIV_BENCH),
+    ] {
+        assert!(
+            sst.soqa().resolve(ontology, concept).is_ok(),
+            "missing {ontology}:{concept}"
+        );
+    }
+}
+
+#[test]
+fn languages_are_heterogeneous() {
+    let sst = load_corpus(TreeMode::SuperThing, true);
+    let langs: Vec<String> = sst
+        .soqa()
+        .ontology_names()
+        .iter()
+        .map(|n| sst.soqa().ontology(n).unwrap().metadata.language.clone())
+        .collect();
+    assert!(langs.contains(&"OWL".to_owned()));
+    assert!(langs.contains(&"DAML+OIL".to_owned()));
+    assert!(langs.contains(&"PowerLoom".to_owned()));
+    assert!(langs.contains(&"WordNet".to_owned()));
+}
+
+#[test]
+fn wordnet_researcher_is_comparable_with_powerloom_student() {
+    // The paper's §3 cross-language example: Student (PowerLoom) vs
+    // Researcher (WordNet).
+    let sst = load_corpus(TreeMode::SuperThing, true);
+    let sim = sst
+        .get_similarity(
+            "STUDENT",
+            names::COURSES,
+            "researcher",
+            names::WORDNET,
+            sst_core::measure_ids::SHORTEST_PATH_MEASURE,
+        )
+        .expect("cross-language similarity");
+    assert!(sim > 0.0 && sim < 1.0, "got {sim}");
+}
+
+#[test]
+fn wordnet_index_file_resolves_synonyms() {
+    let index = sst_wrappers::WordNetIndex::parse(
+        &std::fs::read_to_string(sst_bench::data_dir().join("wordnet/index.noun"))
+            .expect("index.noun"),
+    )
+    .expect("parse index");
+    assert!(index.len() > 40);
+    // "prof" is a synonym in the professor synset; both resolve to the
+    // same offset.
+    assert_eq!(index.primary_synset("prof"), index.primary_synset("professor"));
+    assert!(index.primary_synset("professor").is_some());
+    // Multi-word lemma with a space normalizes to the underscore form.
+    assert_eq!(
+        index.primary_synset("living thing"),
+        index.primary_synset("living_thing")
+    );
+}

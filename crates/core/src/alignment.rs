@@ -1,0 +1,231 @@
+//! Ontology alignment on top of the similarity services — the application
+//! area the paper's introduction leads with ("such similarity information
+//! can be useful for … ontology alignment and integration").
+//!
+//! [`align`] produces a one-to-one correspondence proposal between two
+//! registered ontologies by greedy best-first matching over the pairwise
+//! similarity matrix, optionally combining several measures with an
+//! [`Amalgamation`] strategy.
+
+use sst_simpack::{Amalgamation, Combiner};
+
+use crate::error::{Result, SstError};
+use crate::facade::SstToolkit;
+
+/// One proposed correspondence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correspondence {
+    pub source_concept: String,
+    pub target_concept: String,
+    pub similarity: f64,
+}
+
+/// Parameters of an alignment run.
+#[derive(Debug, Clone)]
+pub struct AlignmentConfig {
+    /// Measure ids whose scores are combined per pair.
+    pub measures: Vec<usize>,
+    /// How the per-measure scores are amalgamated.
+    pub strategy: Amalgamation,
+    /// Pairs below this combined similarity are not proposed.
+    pub threshold: f64,
+}
+
+impl Default for AlignmentConfig {
+    fn default() -> Self {
+        AlignmentConfig {
+            measures: vec![
+                crate::facade::measure_ids::CONCEPTUAL_SIMILARITY_MEASURE,
+                crate::facade::measure_ids::TFIDF_MEASURE,
+            ],
+            strategy: Amalgamation::WeightedAverage,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// Aligns `source` to `target`: proposes at most one target concept per
+/// source concept (and vice versa), greedily by descending combined
+/// similarity, dropping pairs under the threshold. Results are sorted by
+/// descending similarity.
+pub fn align(
+    sst: &SstToolkit,
+    source: &str,
+    target: &str,
+    config: &AlignmentConfig,
+) -> Result<Vec<Correspondence>> {
+    if config.measures.is_empty() {
+        return Err(SstError::InvalidArgument("alignment needs at least one measure".into()));
+    }
+    if !(0.0..=1.0).contains(&config.threshold) {
+        return Err(SstError::InvalidArgument(format!(
+            "threshold must be in [0, 1], got {}",
+            config.threshold
+        )));
+    }
+    let combiner = Combiner::uniform(config.strategy, config.measures.len());
+
+    let source_names: Vec<String> = {
+        let o = sst.soqa().ontology(source)?;
+        o.concept_ids().map(|id| o.concept(id).name.clone()).collect()
+    };
+    let target_names: Vec<String> = {
+        let o = sst.soqa().ontology(target)?;
+        o.concept_ids().map(|id| o.concept(id).name.clone()).collect()
+    };
+
+    // Score every pair under the combined measure.
+    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
+    for (si, s_name) in source_names.iter().enumerate() {
+        for (ti, t_name) in target_names.iter().enumerate() {
+            let scores = sst.get_similarities(s_name, source, t_name, target, &config.measures)?;
+            let combined = combiner.combine(&scores);
+            if combined >= config.threshold {
+                scored.push((si, ti, combined));
+            }
+        }
+    }
+    // Greedy best-first one-to-one matching.
+    scored.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut source_used = vec![false; source_names.len()];
+    let mut target_used = vec![false; target_names.len()];
+    let mut out = Vec::new();
+    for (si, ti, sim) in scored {
+        if source_used[si] || target_used[ti] {
+            continue;
+        }
+        source_used[si] = true;
+        target_used[ti] = true;
+        out.push(Correspondence {
+            source_concept: source_names[si].clone(),
+            target_concept: target_names[ti].clone(),
+            similarity: sim,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facade::{measure_ids as m, SstBuilder};
+    use sst_soqa::{OntologyBuilder, OntologyMetadata};
+
+    fn ontology(name: &str, concepts: &[(&str, Option<&str>, &str)]) -> sst_soqa::Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: name.into(),
+            language: "Test".into(),
+            ..OntologyMetadata::default()
+        });
+        for &(cname, parent, doc) in concepts {
+            let id = b.concept(cname);
+            b.concept_mut(id).documentation = Some(doc.to_owned());
+            if let Some(p) = parent {
+                let pid = b.concept(p);
+                b.add_subclass(id, pid);
+            }
+        }
+        b.build()
+    }
+
+    fn toolkit() -> SstToolkit {
+        let a = ontology(
+            "left",
+            &[
+                ("Thing", None, "top"),
+                ("Person", Some("Thing"), "a human being"),
+                ("Student", Some("Person"), "a person who studies at a university"),
+                ("Professor", Some("Person"), "a person who teaches courses"),
+                ("Course", Some("Thing"), "a unit of teaching"),
+            ],
+        );
+        let b = ontology(
+            "right",
+            &[
+                ("Top", None, "root"),
+                ("Human", Some("Top"), "a human being"),
+                ("Learner", Some("Human"), "a human who studies at a university"),
+                ("Teacher", Some("Human"), "a human who teaches courses"),
+                ("Module", Some("Top"), "a unit of teaching"),
+            ],
+        );
+        SstBuilder::new()
+            .register_ontology(a)
+            .unwrap()
+            .register_ontology(b)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn aligns_semantically_matching_concepts() {
+        let sst = toolkit();
+        let config = AlignmentConfig {
+            measures: vec![m::TFIDF_MEASURE],
+            strategy: Amalgamation::WeightedAverage,
+            threshold: 0.2,
+        };
+        let result = align(&sst, "left", "right", &config).unwrap();
+        let find = |s: &str| {
+            result
+                .iter()
+                .find(|c| c.source_concept == s)
+                .map(|c| c.target_concept.as_str())
+        };
+        assert_eq!(find("Student"), Some("Learner"));
+        assert_eq!(find("Professor"), Some("Teacher"));
+        assert_eq!(find("Course"), Some("Module"));
+        assert_eq!(find("Person"), Some("Human"));
+    }
+
+    #[test]
+    fn matching_is_one_to_one_and_sorted() {
+        let sst = toolkit();
+        let result = align(&sst, "left", "right", &AlignmentConfig::default()).unwrap();
+        let mut targets: Vec<&str> = result.iter().map(|c| c.target_concept.as_str()).collect();
+        let before = targets.len();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), before, "duplicate targets in 1:1 alignment");
+        for w in result.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn threshold_filters_weak_pairs() {
+        let sst = toolkit();
+        let strict = AlignmentConfig { threshold: 0.9, ..AlignmentConfig::default() };
+        let loose = AlignmentConfig { threshold: 0.0, ..AlignmentConfig::default() };
+        let strict_result = align(&sst, "left", "right", &strict).unwrap();
+        let loose_result = align(&sst, "left", "right", &loose).unwrap();
+        assert!(strict_result.len() <= loose_result.len());
+        // With threshold 0 every source concept finds some partner (equal
+        // sizes here).
+        assert_eq!(loose_result.len(), 5);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let sst = toolkit();
+        assert!(align(
+            &sst,
+            "left",
+            "right",
+            &AlignmentConfig { measures: vec![], ..AlignmentConfig::default() }
+        )
+        .is_err());
+        assert!(align(
+            &sst,
+            "left",
+            "right",
+            &AlignmentConfig { threshold: 1.5, ..AlignmentConfig::default() }
+        )
+        .is_err());
+        assert!(align(&sst, "left", "ghost", &AlignmentConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Similarity caching. Pairwise scores are deterministic for a built
+//! toolkit (the tree, IC and index are frozen), so k-most-similar loops,
+//! alignment, and clustering — which all re-query the same pairs — can
+//! share a memo table.
+//!
+//! [`CachedSimilarity`] wraps a borrowed [`SstToolkit`] with an interior
+//! `parking_lot::RwLock` memo keyed by `(measure, pair)`; pairs are stored
+//! in canonical order since every registered measure is symmetric. The
+//! cache is `Sync`, so parallel clients share it.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use sst_soqa::GlobalConcept;
+
+use crate::error::Result;
+use crate::facade::{ConceptAndSimilarity, ConceptSet, SstToolkit};
+
+type Key = (usize, GlobalConcept, GlobalConcept);
+
+/// A memoizing view over a toolkit.
+#[derive(Debug)]
+pub struct CachedSimilarity<'a> {
+    toolkit: &'a SstToolkit,
+    memo: RwLock<HashMap<Key, f64>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl<'a> CachedSimilarity<'a> {
+    pub fn new(toolkit: &'a SstToolkit) -> Self {
+        CachedSimilarity {
+            toolkit,
+            memo: RwLock::new(HashMap::new()),
+            hits: RwLock::new(0),
+            misses: RwLock::new(0),
+        }
+    }
+
+    /// The wrapped toolkit.
+    pub fn toolkit(&self) -> &SstToolkit {
+        self.toolkit
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.memo.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.memo.read().is_empty()
+    }
+
+    /// Clears the memo (e.g. after registering a differently-configured
+    /// toolkit is impossible — toolkits are frozen — so this mainly serves
+    /// memory management in long-running services).
+    pub fn clear(&self) {
+        self.memo.write().clear();
+    }
+
+    fn canonical(measure: usize, a: GlobalConcept, b: GlobalConcept) -> Key {
+        // Symmetric measures: store each unordered pair once.
+        if (a.ontology, a.concept) <= (b.ontology, b.concept) {
+            (measure, a, b)
+        } else {
+            (measure, b, a)
+        }
+    }
+
+    /// Cached version of [`SstToolkit::get_similarity`].
+    pub fn get_similarity(
+        &self,
+        first_concept: &str,
+        first_ontology: &str,
+        second_concept: &str,
+        second_ontology: &str,
+        measure: usize,
+    ) -> Result<f64> {
+        let a = self.toolkit.soqa().resolve(first_ontology, first_concept)?;
+        let b = self.toolkit.soqa().resolve(second_ontology, second_concept)?;
+        let key = Self::canonical(measure, a, b);
+        if let Some(&cached) = self.memo.read().get(&key) {
+            *self.hits.write() += 1;
+            return Ok(cached);
+        }
+        let value = self.toolkit.get_similarity(
+            first_concept,
+            first_ontology,
+            second_concept,
+            second_ontology,
+            measure,
+        )?;
+        *self.misses.write() += 1;
+        self.memo.write().insert(key, value);
+        Ok(value)
+    }
+
+    /// Cached version of [`SstToolkit::most_similar`]: reuses any pairs
+    /// already scored and stores the rest.
+    pub fn most_similar(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        k: usize,
+        measure: usize,
+    ) -> Result<Vec<ConceptAndSimilarity>> {
+        let mut all = Vec::new();
+        for gc in self.toolkit.concept_set(set)? {
+            let other = self.toolkit.soqa().concept(gc).name.clone();
+            let other_onto = self.toolkit.soqa().ontology_at(gc.ontology).name().to_owned();
+            let sim = self.get_similarity(concept, ontology, &other, &other_onto, measure)?;
+            all.push(ConceptAndSimilarity {
+                concept: other,
+                ontology: other_onto,
+                similarity: sim,
+            });
+        }
+        all.sort_by(|x, y| {
+            y.similarity
+                .partial_cmp(&x.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facade::{measure_ids as m, SstBuilder};
+    use sst_soqa::{OntologyBuilder, OntologyMetadata};
+
+    fn toolkit() -> SstToolkit {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "uni".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        for name in ["Person", "Student", "Professor", "Course"] {
+            let c = b.concept(name);
+            b.add_subclass(c, thing);
+        }
+        SstBuilder::new().register_ontology(b.build()).unwrap().build()
+    }
+
+    #[test]
+    fn caches_pairwise_scores() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        let a = cache
+            .get_similarity("Student", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        let b = cache
+            .get_similarity("Student", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_pairs_share_one_entry() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        cache
+            .get_similarity("Student", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        let reversed = cache
+            .get_similarity("Person", "uni", "Student", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        assert_eq!(cache.stats(), (1, 1), "reverse order should hit");
+        assert!(reversed > 0.0);
+    }
+
+    #[test]
+    fn distinct_measures_are_distinct_keys() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        cache
+            .get_similarity("Student", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        cache
+            .get_similarity("Student", "uni", "Person", "uni", m::CONCEPTUAL_SIMILARITY_MEASURE)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_most_similar_matches_uncached() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        let cached = cache
+            .most_similar("Student", "uni", &ConceptSet::All, 3, m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        let direct = sst
+            .most_similar("Student", "uni", &ConceptSet::All, 3, m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        assert_eq!(cached, direct);
+        // Second call is fully cached.
+        cache
+            .most_similar("Student", "uni", &ConceptSet::All, 3, m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 5); // one per concept in the set
+        assert!(hits >= 5);
+    }
+
+    #[test]
+    fn clear_resets_memo() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        cache
+            .get_similarity("Student", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for pair in [("Student", "Person"), ("Course", "Professor")] {
+                        cache
+                            .get_similarity(pair.0, "uni", pair.1, "uni",
+                                            m::SHORTEST_PATH_MEASURE)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Result visualization (paper §3, Fig. 5).
+//!
+//! The original toolkit wrote data files and scripts and shelled out to
+//! Gnuplot. We preserve that pipeline — [`Chart::to_gnuplot`] emits a
+//! runnable script plus its data file — and add a self-contained ASCII
+//! renderer so experiments need no external binary.
+
+/// One bar of a bar chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    pub label: String,
+    pub value: f64,
+}
+
+/// A bar chart of similarity values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    pub title: String,
+    pub y_label: String,
+    pub bars: Vec<Bar>,
+}
+
+/// The files the Gnuplot pipeline produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnuplotArtifacts {
+    /// Contents for `<name>.gp` — run with `gnuplot <name>.gp`.
+    pub script: String,
+    /// Contents for `<name>.dat`, referenced by the script.
+    pub data: String,
+}
+
+impl Chart {
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Chart { title: title.into(), y_label: y_label.into(), bars: Vec::new() }
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push(Bar { label: label.into(), value });
+    }
+
+    /// Renders the chart as horizontal ASCII bars. `width` is the maximum
+    /// bar width in characters. Values are scaled to the largest magnitude
+    /// (so unnormalized measures like Resnik still render sensibly).
+    pub fn to_ascii(&self, width: usize) -> String {
+        let mut out = format!("{}\n", self.title);
+        if self.bars.is_empty() {
+            out.push_str("  (no data)\n");
+            return out;
+        }
+        let label_w = self.bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|b| b.value.abs())
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+        for bar in &self.bars {
+            let filled = ((bar.value.abs() / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {:<label_w$} |{:<width$}| {:.4}\n",
+                bar.label,
+                "█".repeat(filled.min(width)),
+                bar.value,
+            ));
+        }
+        out.push_str(&format!("  ({})\n", self.y_label));
+        out
+    }
+
+    /// Emits the Gnuplot script + data file pair for a bar chart, exactly
+    /// the artifacts the Java toolkit handed to `gnuplot`.
+    pub fn to_gnuplot(&self, basename: &str) -> GnuplotArtifacts {
+        let mut data = String::new();
+        for (i, bar) in self.bars.iter().enumerate() {
+            data.push_str(&format!(
+                "{}\t\"{}\"\t{}\n",
+                i,
+                bar.label.replace('"', "'"),
+                bar.value
+            ));
+        }
+        let script = format!(
+            "set title \"{title}\"\n\
+             set ylabel \"{ylabel}\"\n\
+             set style fill solid 0.8\n\
+             set boxwidth 0.7\n\
+             set xtics rotate by -45\n\
+             set yrange [0:*]\n\
+             set terminal png size 900,520\n\
+             set output \"{basename}.png\"\n\
+             plot \"{basename}.dat\" using 1:3:xtic(2) with boxes notitle\n",
+            title = self.title.replace('"', "'"),
+            ylabel = self.y_label.replace('"', "'"),
+        );
+        GnuplotArtifacts { script, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Chart {
+        let mut c = Chart::new("Ten most similar", "similarity");
+        c.push("Professor", 1.0);
+        c.push("AssistantProfessor", 0.32);
+        c.push("Human", 0.02);
+        c
+    }
+
+    #[test]
+    fn ascii_bars_scale_to_max() {
+        let text = sample().to_ascii(40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("Professor"));
+        // Largest value fills the width; small one nearly empty.
+        let full = lines[1].matches('█').count();
+        let tiny = lines[3].matches('█').count();
+        assert_eq!(full, 40);
+        assert!(tiny <= 2);
+        assert!(text.contains("1.0000"));
+    }
+
+    #[test]
+    fn ascii_handles_empty_and_unnormalized() {
+        let empty = Chart::new("t", "y");
+        assert!(empty.to_ascii(10).contains("no data"));
+        let mut resnik = Chart::new("resnik", "bits");
+        resnik.push("self", 12.7);
+        resnik.push("other", 3.1);
+        let text = resnik.to_ascii(20);
+        assert!(text.contains("12.7000"));
+    }
+
+    #[test]
+    fn gnuplot_script_references_data() {
+        let art = sample().to_gnuplot("figure5");
+        assert!(art.script.contains("plot \"figure5.dat\""));
+        assert!(art.script.contains("set output \"figure5.png\""));
+        assert_eq!(art.data.lines().count(), 3);
+        assert!(art.data.contains("\"AssistantProfessor\"\t0.32"));
+    }
+
+    #[test]
+    fn quotes_are_sanitized() {
+        let mut c = Chart::new("a \"quoted\" title", "y");
+        c.push("la\"bel", 1.0);
+        let art = c.to_gnuplot("x");
+        assert!(!art.script.contains("a \"quoted\""));
+        assert!(!art.data.contains("la\"bel"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Concept clustering on top of the similarity services — "data clustering
+//! and mining" from the paper's list of application areas.
+//!
+//! [`cluster`] runs agglomerative hierarchical clustering (configurable
+//! linkage) over a concept set's pairwise similarity matrix and returns the
+//! dendrogram; [`Dendrogram::cut`] flattens it into clusters at a
+//! similarity threshold, and [`Dendrogram::render`] draws it as ASCII.
+
+use crate::error::{Result, SstError};
+use crate::facade::{ConceptSet, SstToolkit};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Similarity of the closest pair (single link).
+    Single,
+    /// Similarity of the farthest pair (complete link).
+    Complete,
+    /// Unweighted average pairwise similarity (UPGMA).
+    Average,
+}
+
+/// A node of the dendrogram.
+#[derive(Debug, Clone)]
+pub enum Dendrogram {
+    /// One concept, by qualified name.
+    Leaf(String),
+    /// A merge of two subtrees at the given similarity level.
+    Merge {
+        similarity: f64,
+        left: Box<Dendrogram>,
+        right: Box<Dendrogram>,
+    },
+}
+
+impl Dendrogram {
+    /// Leaves in left-to-right order.
+    pub fn leaves(&self) -> Vec<&str> {
+        match self {
+            Dendrogram::Leaf(name) => vec![name.as_str()],
+            Dendrogram::Merge { left, right, .. } => {
+                let mut out = left.leaves();
+                out.extend(right.leaves());
+                out
+            }
+        }
+    }
+
+    /// Cuts the dendrogram at `threshold`: merges below the threshold are
+    /// split apart, producing flat clusters.
+    pub fn cut(&self, threshold: f64) -> Vec<Vec<String>> {
+        match self {
+            Dendrogram::Leaf(name) => vec![vec![name.clone()]],
+            Dendrogram::Merge { similarity, left, right } => {
+                if *similarity >= threshold {
+                    let mut members: Vec<String> =
+                        self.leaves().into_iter().map(str::to_owned).collect();
+                    members.sort();
+                    vec![members]
+                } else {
+                    let mut out = left.cut(threshold);
+                    out.extend(right.cut(threshold));
+                    out
+                }
+            }
+        }
+    }
+
+    /// ASCII rendering, one leaf per line with merge levels as indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Dendrogram::Leaf(name) => {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(name);
+                out.push('\n');
+            }
+            Dendrogram::Merge { similarity, left, right } => {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("┐ {similarity:.3}\n"));
+                left.render_into(out, depth + 1);
+                right.render_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Clusters a concept set under `measure` with the given linkage. Returns
+/// the dendrogram root (or an error for empty sets / unknown concepts).
+pub fn cluster(
+    sst: &SstToolkit,
+    set: &ConceptSet,
+    measure: usize,
+    linkage: Linkage,
+) -> Result<Dendrogram> {
+    let (labels, matrix) = sst.similarity_matrix(set, measure)?;
+    if labels.is_empty() {
+        return Err(SstError::InvalidArgument("cannot cluster an empty concept set".into()));
+    }
+    Ok(cluster_matrix(&labels, &matrix, linkage))
+}
+
+/// Clustering over a precomputed similarity matrix (exposed for tests and
+/// for matrices built from combined measures).
+pub fn cluster_matrix(labels: &[String], matrix: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    assert_eq!(labels.len(), matrix.len());
+    // Active clusters: dendrogram + member indices.
+    let mut clusters: Vec<(Dendrogram, Vec<usize>)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (Dendrogram::Leaf(l.clone()), vec![i]))
+        .collect();
+
+    let link = |a: &[usize], b: &[usize]| -> f64 {
+        let pairs = a.iter().flat_map(|&i| b.iter().map(move |&j| matrix[i][j]));
+        match linkage {
+            Linkage::Single => pairs.fold(f64::NEG_INFINITY, f64::max),
+            Linkage::Complete => pairs.fold(f64::INFINITY, f64::min),
+            Linkage::Average => {
+                let (sum, n) = pairs.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+                sum / n as f64
+            }
+        }
+    };
+
+    while clusters.len() > 1 {
+        // Find the most similar pair under the linkage.
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let s = link(&clusters[i].1, &clusters[j].1);
+                if s > best.2 {
+                    best = (i, j, s);
+                }
+            }
+        }
+        let (i, j, similarity) = best;
+        let (right_tree, right_members) = clusters.remove(j);
+        let (left_tree, left_members) = clusters.remove(i);
+        let mut members = left_members;
+        members.extend(right_members);
+        clusters.push((
+            Dendrogram::Merge {
+                similarity,
+                left: Box::new(left_tree),
+                right: Box::new(right_tree),
+            },
+            members,
+        ));
+    }
+    clusters.pop().expect("at least one cluster").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups {a, b} and {c, d} with weak cross similarity.
+    fn two_groups() -> (Vec<String>, Vec<Vec<f64>>) {
+        let labels: Vec<String> =
+            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let matrix = vec![
+            vec![1.0, 0.9, 0.1, 0.2],
+            vec![0.9, 1.0, 0.15, 0.1],
+            vec![0.1, 0.15, 1.0, 0.8],
+            vec![0.2, 0.1, 0.8, 1.0],
+        ];
+        (labels, matrix)
+    }
+
+    #[test]
+    fn recovers_two_groups_under_every_linkage() {
+        let (labels, matrix) = two_groups();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let tree = cluster_matrix(&labels, &matrix, linkage);
+            let clusters = tree.cut(0.5);
+            assert_eq!(clusters.len(), 2, "{linkage:?}");
+            assert!(clusters.contains(&vec!["a".to_owned(), "b".to_owned()]));
+            assert!(clusters.contains(&vec!["c".to_owned(), "d".to_owned()]));
+        }
+    }
+
+    #[test]
+    fn cut_thresholds() {
+        let (labels, matrix) = two_groups();
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Average);
+        assert_eq!(tree.cut(0.0).len(), 1); // everything merges
+        assert_eq!(tree.cut(2.0).len(), 4); // nothing merges
+    }
+
+    #[test]
+    fn leaves_preserved() {
+        let (labels, matrix) = two_groups();
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Single);
+        let mut leaves: Vec<&str> = tree.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn single_leaf_set() {
+        let labels = vec!["only".to_owned()];
+        let matrix = vec![vec![1.0]];
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Average);
+        assert_eq!(tree.cut(0.5), vec![vec!["only".to_owned()]]);
+        assert!(tree.render().contains("only"));
+    }
+
+    #[test]
+    fn render_shows_merge_levels() {
+        let (labels, matrix) = two_groups();
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Single);
+        let text = tree.render();
+        assert!(text.contains("┐ 0.9"));
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn complete_linkage_is_conservative() {
+        // A chain a-b-c where a~b and b~c but a!~c: single link merges all
+        // at 0.9; complete link merges the triple only at 0.1.
+        let labels: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let matrix = vec![
+            vec![1.0, 0.9, 0.1],
+            vec![0.9, 1.0, 0.9],
+            vec![0.1, 0.9, 1.0],
+        ];
+        let single = cluster_matrix(&labels, &matrix, Linkage::Single);
+        let complete = cluster_matrix(&labels, &matrix, Linkage::Complete);
+        assert_eq!(single.cut(0.5).len(), 1);
+        assert_eq!(complete.cut(0.5).len(), 2);
+    }
+}

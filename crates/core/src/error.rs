@@ -1,0 +1,44 @@
+//! Error type for the SOQA-SimPack Toolkit facade.
+
+use std::fmt;
+
+use sst_soqa::SoqaError;
+
+/// Errors raised by SST services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SstError {
+    /// Propagated from the SOQA layer (unknown ontology/concept, …).
+    Soqa(SoqaError),
+    /// No measure with this id or name is registered.
+    UnknownMeasure(String),
+    /// A service was invoked with invalid parameters.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SstError::Soqa(e) => e.fmt(f),
+            SstError::UnknownMeasure(m) => write!(f, "unknown similarity measure `{m}`"),
+            SstError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SstError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SstError::Soqa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SoqaError> for SstError {
+    fn from(e: SoqaError) -> Self {
+        SstError::Soqa(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SstError>;

@@ -1,0 +1,616 @@
+//! The SOQA-SimPack Toolkit Facade (paper §3, Fig. 4): the single access
+//! point for ontology-language-independent similarity services.
+//!
+//! The paper's method signatures map as follows:
+//!
+//! * (S1) `getSimilarity(c1, o1, c2, o2, measure)` →
+//!   [`SstToolkit::get_similarity`]
+//! * (S2) `getMostSimilarConcepts(c, o, subtreeRoot, subtreeOnto, k, m)` →
+//!   [`SstToolkit::most_similar`] with [`ConceptSet::Subtree`]
+//! * (S3) `getSimilarityPlot(c1, o1, c2, o2, measures)` →
+//!   [`SstToolkit::similarity_plot`]
+
+use std::collections::HashMap;
+
+use sst_index::{DocId, IndexBuilder, InvertedIndex};
+use sst_simpack::{InformationContent, ProbabilityMode};
+use sst_soqa::ql::ResultTable;
+use sst_soqa::{GlobalConcept, Ontology, Soqa};
+
+use crate::chart::Chart;
+use crate::error::{Result, SstError};
+use crate::runner::{default_runners, MeasureRunner, RunnerInfo, SimilarityContext};
+use crate::tree::{TreeMode, UnifiedTree};
+
+/// Paper-style integer constants for the default measures, e.g.
+/// `measure_ids::LIN_MEASURE` (the Java API's
+/// `SOQASimPackToolkitFacade.LIN_MEASURE`). Values are indices into the
+/// default runner registry.
+pub mod measure_ids {
+    pub const COSINE_MEASURE: usize = 0;
+    pub const JACCARD_MEASURE: usize = 1;
+    pub const OVERLAP_MEASURE: usize = 2;
+    pub const DICE_MEASURE: usize = 3;
+    pub const LEVENSHTEIN_MEASURE: usize = 4;
+    pub const JARO_MEASURE: usize = 5;
+    pub const JARO_WINKLER_MEASURE: usize = 6;
+    pub const QGRAM_MEASURE: usize = 7;
+    pub const MONGE_ELKAN_MEASURE: usize = 8;
+    pub const SHORTEST_PATH_MEASURE: usize = 9;
+    pub const EDGE_MEASURE: usize = 10;
+    pub const CONCEPTUAL_SIMILARITY_MEASURE: usize = 11;
+    pub const RESNIK_MEASURE: usize = 12;
+    pub const LIN_MEASURE: usize = 13;
+    pub const JIANG_CONRATH_MEASURE: usize = 14;
+    pub const TFIDF_MEASURE: usize = 15;
+    pub const TREE_EDIT_MEASURE: usize = 16;
+    pub const NEEDLEMAN_WUNSCH_MEASURE: usize = 17;
+    pub const SMITH_WATERMAN_MEASURE: usize = 18;
+}
+
+/// User-facing concept address: `(concept name, ontology name)` — the
+/// two-string addressing the paper requires because names are not unique in
+/// the single ontology tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConceptRef {
+    pub concept: String,
+    pub ontology: String,
+}
+
+impl ConceptRef {
+    pub fn new(concept: impl Into<String>, ontology: impl Into<String>) -> Self {
+        ConceptRef { concept: concept.into(), ontology: ontology.into() }
+    }
+}
+
+/// The concept sets SST services accept: a freely composed list, all
+/// concepts of an ontology taxonomy (sub)tree, or every registered concept.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConceptSet {
+    /// A freely composed list of concepts.
+    List(Vec<ConceptRef>),
+    /// All concepts in the subtree rooted at the given concept.
+    Subtree(ConceptRef),
+    /// Every concept of every registered ontology (the whole tree under
+    /// Super Thing).
+    All,
+}
+
+/// One result row of the set-based services (paper: `ConceptAndSimilarity`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptAndSimilarity {
+    pub concept: String,
+    pub ontology: String,
+    pub similarity: f64,
+}
+
+/// Configuration knobs for toolkit construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SstConfig {
+    pub tree_mode: TreeMode,
+    pub probability_mode: ProbabilityModeConfig,
+}
+
+/// IC probability source selection (defaults to the paper's recommendation:
+/// instance corpus with automatic fallback to subclass counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbabilityModeConfig {
+    #[default]
+    InstanceCorpusWithFallback,
+    SubclassCount,
+}
+
+/// Builder assembling a toolkit from wrapper-produced ontologies.
+#[derive(Debug, Default)]
+pub struct SstBuilder {
+    soqa: Soqa,
+    config: SstConfig,
+    extra_runners: Vec<Box<dyn MeasureRunner>>,
+}
+
+impl SstBuilder {
+    pub fn new() -> Self {
+        SstBuilder::default()
+    }
+
+    /// Registers an ontology (from any `sst-wrappers` parser).
+    pub fn register_ontology(mut self, ontology: Ontology) -> Result<Self> {
+        self.soqa.register(ontology)?;
+        Ok(self)
+    }
+
+    /// Selects the tree-join mode (default: Super Thing).
+    pub fn tree_mode(mut self, mode: TreeMode) -> Self {
+        self.config.tree_mode = mode;
+        self
+    }
+
+    /// Selects the IC probability source.
+    pub fn probability_mode(mut self, mode: ProbabilityModeConfig) -> Self {
+        self.config.probability_mode = mode;
+        self
+    }
+
+    /// Registers an additional [`MeasureRunner`] — the paper's extension
+    /// point for new or combined measures.
+    pub fn register_runner(mut self, runner: Box<dyn MeasureRunner>) -> Self {
+        self.extra_runners.push(runner);
+        self
+    }
+
+    /// Freezes the toolkit: builds the unified tree, the information
+    /// content, and the full-text index.
+    pub fn build(self) -> SstToolkit {
+        let tree = UnifiedTree::build(&self.soqa, self.config.tree_mode);
+
+        // Instance counts per tree node for the IC corpus.
+        let mut instance_counts = vec![0usize; tree.node_count()];
+        for gc in tree.all_concepts() {
+            instance_counts[tree.node(gc) as usize] = self.soqa.concept(gc).instances.len();
+        }
+        let mode = match self.config.probability_mode {
+            ProbabilityModeConfig::InstanceCorpusWithFallback => ProbabilityMode::InstanceCorpus,
+            ProbabilityModeConfig::SubclassCount => ProbabilityMode::SubclassCount,
+        };
+        let ic = InformationContent::for_mode(tree.taxonomy(), mode, &instance_counts);
+
+        // Full-text index: one document per concept (paper §2.2: "we
+        // exported a full-text description of all concepts … and built an
+        // index over the descriptions").
+        let mut index_builder = IndexBuilder::new();
+        let mut doc_ids: Vec<Option<DocId>> = vec![None; tree.node_count()];
+        for gc in tree.all_concepts() {
+            let key = self.soqa.qualified_name(gc);
+            let text = self.soqa.concept_description(gc);
+            doc_ids[tree.node(gc) as usize] = Some(index_builder.add_document(key, &text));
+        }
+        let index = index_builder.build();
+
+        let mut runners = default_runners();
+        runners.extend(self.extra_runners);
+        let measure_names = runners
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.info().name, i))
+            .collect();
+
+        SstToolkit { soqa: self.soqa, tree, ic, index, doc_ids, runners, measure_names }
+    }
+}
+
+/// The toolkit facade.
+#[derive(Debug)]
+pub struct SstToolkit {
+    soqa: Soqa,
+    tree: UnifiedTree,
+    ic: InformationContent,
+    index: InvertedIndex,
+    doc_ids: Vec<Option<DocId>>,
+    runners: Vec<Box<dyn MeasureRunner>>,
+    measure_names: HashMap<String, usize>,
+}
+
+impl SstToolkit {
+    /// The underlying SOQA facade (for browsing, SOQA-QL, metadata).
+    pub fn soqa(&self) -> &Soqa {
+        &self.soqa
+    }
+
+    /// The unified ontology tree.
+    pub fn tree(&self) -> &UnifiedTree {
+        &self.tree
+    }
+
+    fn ctx(&self) -> SimilarityContext<'_> {
+        SimilarityContext {
+            soqa: &self.soqa,
+            tree: &self.tree,
+            ic: &self.ic,
+            index: &self.index,
+            doc_ids: &self.doc_ids,
+        }
+    }
+
+    // ---- Measure registry ------------------------------------------------
+
+    /// Metadata of all registered measures, in id order.
+    pub fn measures(&self) -> Vec<RunnerInfo> {
+        self.runners.iter().map(|r| r.info()).collect()
+    }
+
+    /// Number of registered measures.
+    pub fn measure_count(&self) -> usize {
+        self.runners.len()
+    }
+
+    /// Resolves a measure name (e.g. `"lin"`) to its integer id.
+    pub fn measure_id(&self, name: &str) -> Result<usize> {
+        self.measure_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SstError::UnknownMeasure(name.to_owned()))
+    }
+
+    /// Metadata for one measure id.
+    pub fn measure_info(&self, measure: usize) -> Result<RunnerInfo> {
+        self.runners
+            .get(measure)
+            .map(|r| r.info())
+            .ok_or_else(|| SstError::UnknownMeasure(measure.to_string()))
+    }
+
+    fn runner(&self, measure: usize) -> Result<&dyn MeasureRunner> {
+        self.runners
+            .get(measure)
+            .map(AsRef::as_ref)
+            .ok_or_else(|| SstError::UnknownMeasure(measure.to_string()))
+    }
+
+    fn resolve(&self, r: &ConceptRef) -> Result<GlobalConcept> {
+        Ok(self.soqa.resolve(&r.ontology, &r.concept)?)
+    }
+
+    fn to_result(&self, gc: GlobalConcept, similarity: f64) -> ConceptAndSimilarity {
+        ConceptAndSimilarity {
+            concept: self.soqa.concept(gc).name.clone(),
+            ontology: self.soqa.ontology_at(gc.ontology).name().to_owned(),
+            similarity,
+        }
+    }
+
+    /// Materializes a [`ConceptSet`] into global concept handles.
+    pub fn concept_set(&self, set: &ConceptSet) -> Result<Vec<GlobalConcept>> {
+        match set {
+            ConceptSet::List(refs) => refs.iter().map(|r| self.resolve(r)).collect(),
+            ConceptSet::Subtree(root) => {
+                let gc = self.resolve(root)?;
+                Ok(self.tree.subtree_concepts(self.tree.node(gc)))
+            }
+            ConceptSet::All => Ok(self.tree.all_concepts()),
+        }
+    }
+
+    // ---- (S1) pairwise services -------------------------------------------
+
+    /// Similarity of two concepts under one measure (paper signature S1).
+    pub fn get_similarity(
+        &self,
+        first_concept: &str,
+        first_ontology: &str,
+        second_concept: &str,
+        second_ontology: &str,
+        measure: usize,
+    ) -> Result<f64> {
+        let a = self.soqa.resolve(first_ontology, first_concept)?;
+        let b = self.soqa.resolve(second_ontology, second_concept)?;
+        Ok(self.runner(measure)?.similarity(&self.ctx(), a, b))
+    }
+
+    /// Similarity of two concepts under a list of measures.
+    pub fn get_similarities(
+        &self,
+        first_concept: &str,
+        first_ontology: &str,
+        second_concept: &str,
+        second_ontology: &str,
+        measures: &[usize],
+    ) -> Result<Vec<f64>> {
+        let a = self.soqa.resolve(first_ontology, first_concept)?;
+        let b = self.soqa.resolve(second_ontology, second_concept)?;
+        let ctx = self.ctx();
+        measures
+            .iter()
+            .map(|&m| Ok(self.runner(m)?.similarity(&ctx, a, b)))
+            .collect()
+    }
+
+    // ---- concept-vs-set and k-best services --------------------------------
+
+    /// Similarity of `concept` to every member of `set` under one measure,
+    /// in set order.
+    pub fn similarity_to_set(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        measure: usize,
+    ) -> Result<Vec<ConceptAndSimilarity>> {
+        let query = self.soqa.resolve(ontology, concept)?;
+        let runner = self.runner(measure)?;
+        let ctx = self.ctx();
+        Ok(self
+            .concept_set(set)?
+            .into_iter()
+            .map(|gc| self.to_result(gc, runner.similarity(&ctx, query, gc)))
+            .collect())
+    }
+
+    /// The `k` most similar concepts of `set` for the query concept (paper
+    /// signature S2). Results are sorted by descending similarity; ties
+    /// break on the qualified name for determinism.
+    pub fn most_similar(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        k: usize,
+        measure: usize,
+    ) -> Result<Vec<ConceptAndSimilarity>> {
+        let mut all = self.similarity_to_set(concept, ontology, set, measure)?;
+        all.sort_by(|x, y| {
+            y.similarity
+                .partial_cmp(&x.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+
+    /// The `k` most *dissimilar* concepts of `set` for the query concept.
+    pub fn most_dissimilar(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        k: usize,
+        measure: usize,
+    ) -> Result<Vec<ConceptAndSimilarity>> {
+        let mut all = self.similarity_to_set(concept, ontology, set, measure)?;
+        all.sort_by(|x, y| {
+            x.similarity
+                .partial_cmp(&y.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+
+    /// Most-similar under *several* measures at once: returns one ranked
+    /// list per measure, in measure order.
+    pub fn most_similar_multi(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        k: usize,
+        measures: &[usize],
+    ) -> Result<Vec<Vec<ConceptAndSimilarity>>> {
+        measures
+            .iter()
+            .map(|&m| self.most_similar(concept, ontology, set, k, m))
+            .collect()
+    }
+
+    /// Full pairwise similarity matrix of a concept set under one measure.
+    /// Returns the set's qualified names and the row-major matrix.
+    pub fn similarity_matrix(
+        &self,
+        set: &ConceptSet,
+        measure: usize,
+    ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
+        let concepts = self.concept_set(set)?;
+        let runner = self.runner(measure)?;
+        let ctx = self.ctx();
+        let labels = concepts.iter().map(|&gc| self.soqa.qualified_name(gc)).collect();
+        let matrix = concepts
+            .iter()
+            .map(|&a| concepts.iter().map(|&b| runner.similarity(&ctx, a, b)).collect())
+            .collect();
+        Ok((labels, matrix))
+    }
+
+    /// Like [`SstToolkit::similarity_matrix`] but computed with `threads`
+    /// worker threads (rows are partitioned round-robin). Useful for large
+    /// concept sets: the runners are stateless and the context is shared
+    /// read-only, so the matrix parallelizes embarrassingly.
+    pub fn similarity_matrix_parallel(
+        &self,
+        set: &ConceptSet,
+        measure: usize,
+        threads: usize,
+    ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
+        let concepts = self.concept_set(set)?;
+        let runner = self.runner(measure)?;
+        let ctx = self.ctx();
+        let labels: Vec<String> =
+            concepts.iter().map(|&gc| self.soqa.qualified_name(gc)).collect();
+        let threads = threads.clamp(1, concepts.len().max(1));
+        let mut matrix = vec![Vec::new(); concepts.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let concepts = &concepts;
+                let ctx = &ctx;
+                handles.push(scope.spawn(move || {
+                    let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+                    for i in (worker..concepts.len()).step_by(threads) {
+                        let row = concepts
+                            .iter()
+                            .map(|&b| runner.similarity(ctx, concepts[i], b))
+                            .collect();
+                        rows.push((i, row));
+                    }
+                    rows
+                }));
+            }
+            for handle in handles {
+                for (i, row) in handle.join().expect("matrix worker panicked") {
+                    matrix[i] = row;
+                }
+            }
+        });
+        Ok((labels, matrix))
+    }
+
+    /// Renders a concept set's pairwise similarity matrix as a
+    /// [`crate::heatmap::Heatmap`] (future-work visualization).
+    pub fn similarity_heatmap(
+        &self,
+        set: &ConceptSet,
+        measure: usize,
+    ) -> Result<crate::heatmap::Heatmap> {
+        let info = self.measure_info(measure)?;
+        let (labels, matrix) = self.similarity_matrix(set, measure)?;
+        Ok(crate::heatmap::Heatmap::new(
+            format!("Pairwise similarity ({})", info.display),
+            labels,
+            matrix,
+        ))
+    }
+
+    // ---- combined measures (paper §5 future work) ---------------------------
+
+    /// Similarity under a *combined* measure: the component measures'
+    /// scores folded by `combiner` (see `sst_simpack::Amalgamation`).
+    ///
+    /// Component count must equal `combiner.arity()`. Unnormalized
+    /// components (Resnik) are rejected — combining bits with [0, 1]
+    /// scores is meaningless.
+    pub fn combined_similarity(
+        &self,
+        first_concept: &str,
+        first_ontology: &str,
+        second_concept: &str,
+        second_ontology: &str,
+        measures: &[usize],
+        combiner: &sst_simpack::Combiner,
+    ) -> Result<f64> {
+        if measures.len() != combiner.arity() {
+            return Err(SstError::InvalidArgument(format!(
+                "{} measures but combiner arity {}",
+                measures.len(),
+                combiner.arity()
+            )));
+        }
+        for &mid in measures {
+            if !self.measure_info(mid)?.normalized {
+                return Err(SstError::InvalidArgument(format!(
+                    "measure `{}` is unnormalized and cannot be combined",
+                    self.measure_info(mid)?.name
+                )));
+            }
+        }
+        let scores = self.get_similarities(
+            first_concept,
+            first_ontology,
+            second_concept,
+            second_ontology,
+            measures,
+        )?;
+        Ok(combiner.combine(&scores))
+    }
+
+    /// k most similar concepts under a combined measure.
+    pub fn most_similar_combined(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        k: usize,
+        measures: &[usize],
+        combiner: &sst_simpack::Combiner,
+    ) -> Result<Vec<ConceptAndSimilarity>> {
+        let mut all: Vec<ConceptAndSimilarity> = Vec::new();
+        for gc in self.concept_set(set)? {
+            let other = self.soqa.concept(gc).name.clone();
+            let other_onto = self.soqa.ontology_at(gc.ontology).name().to_owned();
+            let sim = self.combined_similarity(
+                concept, ontology, &other, &other_onto, measures, combiner,
+            )?;
+            all.push(ConceptAndSimilarity {
+                concept: other,
+                ontology: other_onto,
+                similarity: sim,
+            });
+        }
+        all.sort_by(|x, y| {
+            y.similarity
+                .partial_cmp(&x.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+
+    // ---- (S3) visualization services ---------------------------------------
+
+    /// Bar chart comparing two concepts under several measures (paper
+    /// signature S3 — the Java API returned an `Image`; we return the
+    /// [`Chart`], which renders to ASCII or Gnuplot artifacts).
+    pub fn similarity_plot(
+        &self,
+        first_concept: &str,
+        first_ontology: &str,
+        second_concept: &str,
+        second_ontology: &str,
+        measures: &[usize],
+    ) -> Result<Chart> {
+        let values = self.get_similarities(
+            first_concept,
+            first_ontology,
+            second_concept,
+            second_ontology,
+            measures,
+        )?;
+        let mut chart = Chart::new(
+            format!(
+                "{first_ontology}:{first_concept} vs {second_ontology}:{second_concept}"
+            ),
+            "similarity",
+        );
+        for (&m, value) in measures.iter().zip(values) {
+            chart.push(self.measure_info(m)?.display, value);
+        }
+        Ok(chart)
+    }
+
+    /// Bar chart of the `k` most similar concepts (the Figure 5 service).
+    pub fn most_similar_plot(
+        &self,
+        concept: &str,
+        ontology: &str,
+        set: &ConceptSet,
+        k: usize,
+        measure: usize,
+    ) -> Result<Chart> {
+        let ranked = self.most_similar(concept, ontology, set, k, measure)?;
+        let info = self.measure_info(measure)?;
+        let mut chart = Chart::new(
+            format!(
+                "The {k} most similar concepts for {ontology}:{concept} ({})",
+                info.display
+            ),
+            if info.normalized { "similarity".to_owned() } else { "bits".to_owned() },
+        );
+        for row in ranked {
+            chart.push(format!("{}:{}", row.ontology, row.concept), row.similarity);
+        }
+        Ok(chart)
+    }
+
+    // ---- helper services (paper §3: browser / query shell hooks) ----------
+
+    /// Runs a SOQA-QL query against the registered ontologies.
+    pub fn query(&self, soqaql: &str) -> Result<ResultTable> {
+        Ok(sst_soqa::ql::execute(&self.soqa, soqaql)?)
+    }
+
+    /// Renders the concept-hierarchy browser pane for one ontology.
+    pub fn render_ontology_tree(&self, ontology: &str) -> Result<String> {
+        Ok(sst_soqa::browser::render_tree(self.soqa.ontology(ontology)?))
+    }
+
+    /// Renders the browser detail pane for one concept.
+    pub fn render_concept(&self, concept: &str, ontology: &str) -> Result<String> {
+        let gc = self.soqa.resolve(ontology, concept)?;
+        Ok(sst_soqa::browser::render_concept(&self.soqa, gc))
+    }
+
+    /// Renders the metadata pane for one ontology.
+    pub fn render_metadata(&self, ontology: &str) -> Result<String> {
+        Ok(sst_soqa::browser::render_metadata(self.soqa.ontology(ontology)?))
+    }
+}

@@ -1,0 +1,136 @@
+//! Similarity-matrix heatmaps — part of the "more advanced result
+//! visualizations" the paper lists as future work. Renders a pairwise
+//! similarity matrix as an ASCII shade grid and as a Gnuplot
+//! `plot ... with image` script (the same emit-script pipeline as
+//! [`crate::chart::Chart`]).
+
+use crate::chart::GnuplotArtifacts;
+
+/// A labeled similarity matrix ready for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    pub title: String,
+    pub labels: Vec<String>,
+    /// Row-major, `labels.len()²` values in [0, 1] (values are clamped at
+    /// render time).
+    pub matrix: Vec<Vec<f64>>,
+}
+
+/// Shade ramp from empty to full.
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+impl Heatmap {
+    /// Builds a heatmap; panics if the matrix is not square over the labels.
+    pub fn new(title: impl Into<String>, labels: Vec<String>, matrix: Vec<Vec<f64>>) -> Heatmap {
+        assert_eq!(labels.len(), matrix.len(), "matrix rows must match labels");
+        for row in &matrix {
+            assert_eq!(labels.len(), row.len(), "matrix must be square");
+        }
+        Heatmap { title: title.into(), labels, matrix }
+    }
+
+    /// ASCII rendering: one shade cell (two chars wide) per pair, with
+    /// numbered axes and a legend mapping numbers to labels.
+    pub fn to_ascii(&self) -> String {
+        let n = self.labels.len();
+        let mut out = format!("{}\n", self.title);
+        // Column header: indices.
+        out.push_str("      ");
+        for j in 0..n {
+            out.push_str(&format!("{:>3}", j + 1));
+        }
+        out.push('\n');
+        for (i, row) in self.matrix.iter().enumerate() {
+            out.push_str(&format!("  {:>3} ", i + 1));
+            for &v in row {
+                let clamped = v.clamp(0.0, 1.0);
+                let shade = SHADES[((clamped * (SHADES.len() - 1) as f64).round()) as usize];
+                out.push_str(&format!(" {shade}{shade}"));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        for (i, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!("  {:>3} = {label}\n", i + 1));
+        }
+        out
+    }
+
+    /// Gnuplot `with image` artifacts.
+    pub fn to_gnuplot(&self, basename: &str) -> GnuplotArtifacts {
+        let mut data = String::new();
+        for (i, row) in self.matrix.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                data.push_str(&format!("{j}\t{i}\t{v}\n"));
+            }
+            data.push('\n');
+        }
+        let tics: Vec<String> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("\"{}\" {i}", l.replace('"', "'")))
+            .collect();
+        let tics = tics.join(", ");
+        let script = format!(
+            "set title \"{title}\"\n\
+             set xtics ({tics}) rotate by -45\n\
+             set ytics ({tics})\n\
+             set cbrange [0:1]\n\
+             set palette grey\n\
+             set terminal png size 900,800\n\
+             set output \"{basename}.png\"\n\
+             plot \"{basename}.dat\" using 1:2:3 with image notitle\n",
+            title = self.title.replace('"', "'"),
+        );
+        GnuplotArtifacts { script, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Heatmap {
+        Heatmap::new(
+            "test",
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 0.25], vec![0.25, 1.0]],
+        )
+    }
+
+    #[test]
+    fn ascii_has_full_diagonal() {
+        let text = sample().to_ascii();
+        // Two full-shade cells on the diagonal.
+        assert_eq!(text.matches('█').count(), 4); // 2 cells × 2 chars
+        assert!(text.contains("1 = a"));
+        assert!(text.contains("2 = b"));
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let h = Heatmap::new(
+            "clamp",
+            vec!["x".into()],
+            vec![vec![42.0]],
+        );
+        let text = h.to_ascii();
+        assert!(text.contains('█'));
+    }
+
+    #[test]
+    fn gnuplot_emits_one_cell_per_pair() {
+        let art = sample().to_gnuplot("hm");
+        let cells = art.data.lines().filter(|l| !l.is_empty()).count();
+        assert_eq!(cells, 4);
+        assert!(art.script.contains("with image"));
+        assert!(art.script.contains("\"a\" 0, \"b\" 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_matrix_panics() {
+        Heatmap::new("bad", vec!["a".into()], vec![vec![1.0, 2.0]]);
+    }
+}

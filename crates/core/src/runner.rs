@@ -1,0 +1,384 @@
+//! MeasureRunners (paper §3, Fig. 4): one coupling module per SimPack
+//! measure, each pulling the data it needs from SOQA through the
+//! [`SimilarityContext`] and producing a pairwise similarity value.
+//!
+//! Adding a measure to SST = implementing [`MeasureRunner`] and registering
+//! it with the facade — exactly the extension mechanism the paper
+//! advertises.
+
+use std::fmt;
+
+use sst_index::{DocId, InvertedIndex};
+use sst_simpack::{
+    edge_similarity, jaro, jaro_winkler, lin_similarity, monge_elkan, qgram,
+    jiang_conrath_similarity, levenshtein_similarity, needleman_wunsch_similarity,
+    resnik_similarity, sequence_similarity, shortest_path_similarity,
+    smith_waterman_similarity, tree_similarity, wu_palmer_similarity_rooted,
+    AlignmentScoring, CostModel, FeatureSet, InformationContent, LabeledTree, MeasureKind,
+};
+use sst_soqa::{GlobalConcept, Soqa};
+
+use crate::tree::UnifiedTree;
+
+/// Runtime metadata for a registered runner (dynamic counterpart of
+/// `sst_simpack::MeasureDescriptor`, so user-supplied runners can carry
+/// their own names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerInfo {
+    pub name: String,
+    pub display: String,
+    pub kind: MeasureKind,
+    /// True when scores are guaranteed to lie in [0, 1].
+    pub normalized: bool,
+}
+
+/// Everything a runner may need: the SOQA facade, the unified tree, the
+/// precomputed information content, and the full-text index (one document
+/// per concept).
+pub struct SimilarityContext<'a> {
+    pub soqa: &'a Soqa,
+    pub tree: &'a UnifiedTree,
+    pub ic: &'a InformationContent,
+    pub index: &'a InvertedIndex,
+    /// Per tree node: the concept's document in `index` (`None` for the
+    /// synthetic root).
+    pub doc_ids: &'a [Option<DocId>],
+}
+
+impl fmt::Debug for SimilarityContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimilarityContext")
+            .field("nodes", &self.tree.node_count())
+            .field("docs", &self.index.doc_count())
+            .finish()
+    }
+}
+
+impl SimilarityContext<'_> {
+    /// The feature set of a concept (the paper's M₁ view): its declared and
+    /// inherited attributes, methods, relationships, and typed super links.
+    pub fn feature_set(&self, gc: GlobalConcept) -> FeatureSet {
+        let mut set = FeatureSet::new();
+        for a in self.soqa.attributes_with_inherited(gc) {
+            set.insert(format!("attr:{}", a.name));
+        }
+        for m in self.soqa.methods_of(gc) {
+            set.insert(format!("method:{}", m.name));
+        }
+        for r in self.soqa.relationships_of(gc) {
+            set.insert(format!("rel:{}", r.name));
+        }
+        for s in self.soqa.super_concepts(gc) {
+            set.insert(format!("type:{}", self.soqa.concept(s).name));
+        }
+        set
+    }
+
+    /// The token sequence of a concept (the paper's M₂ view): the
+    /// *ontology-qualified* names on the root path through the unified
+    /// tree, followed by the concept's property names. Qualification
+    /// matters: concepts of different ontologies traverse different
+    /// resources even when their local names coincide, so cross-ontology
+    /// sequences share little — exactly the behaviour Table 1 shows for the
+    /// Levenshtein column.
+    pub fn token_sequence(&self, gc: GlobalConcept) -> Vec<String> {
+        let prefix = self.soqa.ontology_at(gc.ontology).name();
+        let mut tokens: Vec<String> = self
+            .tree
+            .root_path_names(self.soqa, gc)
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| {
+                // The Super-Thing root (position 0) is shared by design.
+                if i == 0 {
+                    name
+                } else {
+                    format!("{prefix}:{name}")
+                }
+            })
+            .collect();
+        for a in self.soqa.attributes_of(gc) {
+            tokens.push(format!("{prefix}:{}", a.name));
+        }
+        for r in self.soqa.relationships_of(gc) {
+            tokens.push(format!("{prefix}:{}", r.name));
+        }
+        tokens
+    }
+
+    /// The concept's name (for the character-level string measures).
+    pub fn name(&self, gc: GlobalConcept) -> &str {
+        &self.soqa.concept(gc).name
+    }
+
+    /// Labeled subtree of the unified tree rooted at `gc`, truncated at
+    /// `depth` levels (for the tree-edit measure).
+    pub fn subtree(&self, gc: GlobalConcept, depth: usize) -> LabeledTree {
+        let mut tree = LabeledTree::new();
+        let root_node = self.tree.node(gc);
+        let root =
+            tree.add_node(self.soqa.concept(gc).name.clone(), None);
+        self.fill_subtree(root_node, root, depth, &mut tree);
+        tree
+    }
+
+    fn fill_subtree(&self, node: u32, parent: usize, depth: usize, out: &mut LabeledTree) {
+        if depth == 0 {
+            return;
+        }
+        // Children sorted by name for order-invariance of the comparison.
+        let mut kids: Vec<(String, u32)> = self
+            .tree
+            .taxonomy()
+            .children(node)
+            .iter()
+            .filter_map(|&c| {
+                self.tree
+                    .concept(c)
+                    .map(|gc| (self.soqa.concept(gc).name.clone(), c))
+            })
+            .collect();
+        kids.sort();
+        for (name, child) in kids {
+            let id = out.add_node(name, Some(parent));
+            self.fill_subtree(child, id, depth - 1, out);
+        }
+    }
+}
+
+/// A coupling module for one similarity measure.
+pub trait MeasureRunner: Send + Sync {
+    /// Metadata shown to clients (name, normalization, …).
+    fn info(&self) -> RunnerInfo;
+    /// Pairwise similarity of two concepts under this measure.
+    fn similarity(&self, ctx: &SimilarityContext<'_>, a: GlobalConcept, b: GlobalConcept)
+        -> f64;
+}
+
+impl fmt::Debug for dyn MeasureRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MeasureRunner({})", self.info().name)
+    }
+}
+
+macro_rules! runner {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $display:literal, $kind:expr,
+     $normalized:literal, |$ctx:ident, $a:ident, $b:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $ty;
+
+        impl MeasureRunner for $ty {
+            fn info(&self) -> RunnerInfo {
+                RunnerInfo {
+                    name: $name.to_owned(),
+                    display: $display.to_owned(),
+                    kind: $kind,
+                    normalized: $normalized,
+                }
+            }
+
+            fn similarity(
+                &self,
+                $ctx: &SimilarityContext<'_>,
+                $a: GlobalConcept,
+                $b: GlobalConcept,
+            ) -> f64 {
+                $body
+            }
+        }
+    };
+}
+
+runner!(
+    /// Cosine over feature sets (Eq. 1).
+    CosineRunner, "cosine", "Cosine", MeasureKind::Vector, true,
+    |ctx, a, b| {
+        if a == b {
+            return 1.0; // identity axiom, even for featureless concepts
+        }
+        sst_simpack::cosine(&ctx.feature_set(a), &ctx.feature_set(b))
+    }
+);
+runner!(
+    /// Extended Jaccard over feature sets (Eq. 2).
+    JaccardRunner, "jaccard", "Extended Jaccard", MeasureKind::Vector, true,
+    |ctx, a, b| {
+        if a == b {
+            return 1.0; // identity axiom, even for featureless concepts
+        }
+        sst_simpack::jaccard(&ctx.feature_set(a), &ctx.feature_set(b))
+    }
+);
+runner!(
+    /// Overlap over feature sets (Eq. 3).
+    OverlapRunner, "overlap", "Overlap", MeasureKind::Vector, true,
+    |ctx, a, b| {
+        if a == b {
+            return 1.0; // identity axiom, even for featureless concepts
+        }
+        sst_simpack::overlap(&ctx.feature_set(a), &ctx.feature_set(b))
+    }
+);
+runner!(
+    /// Dice over feature sets (extension).
+    DiceRunner, "dice", "Dice", MeasureKind::Vector, true,
+    |ctx, a, b| {
+        if a == b {
+            return 1.0; // identity axiom, even for featureless concepts
+        }
+        sst_simpack::dice(&ctx.feature_set(a), &ctx.feature_set(b))
+    }
+);
+runner!(
+    /// Normalized token-sequence edit distance over M₂ sequences (Eq. 4).
+    LevenshteinRunner, "levenshtein", "Levenshtein", MeasureKind::Sequence, true,
+    |ctx, a, b| {
+        let x = ctx.token_sequence(a);
+        let y = ctx.token_sequence(b);
+        sequence_similarity(&x, &y, CostModel::UNIT)
+    }
+);
+runner!(
+    /// Jaro on concept names (SecondString extension).
+    JaroRunner, "jaro", "Jaro", MeasureKind::String, true,
+    |ctx, a, b| jaro(ctx.name(a), ctx.name(b))
+);
+runner!(
+    /// Jaro-Winkler on concept names (SecondString extension).
+    JaroWinklerRunner, "jaro_winkler", "Jaro-Winkler", MeasureKind::String, true,
+    |ctx, a, b| jaro_winkler(ctx.name(a), ctx.name(b))
+);
+runner!(
+    /// Padded trigram Dice on concept names (SimMetrics extension).
+    QGramRunner, "qgram", "Q-Gram", MeasureKind::String, true,
+    |ctx, a, b| qgram(ctx.name(a), ctx.name(b), 3)
+);
+runner!(
+    /// Monge-Elkan over name tokens with Levenshtein inner similarity,
+    /// symmetrized by averaging both directions.
+    MongeElkanRunner, "monge_elkan", "Monge-Elkan", MeasureKind::String, true,
+    |ctx, a, b| {
+        let ta = sst_index::tokenize(ctx.name(a));
+        let tb = sst_index::tokenize(ctx.name(b));
+        let ra: Vec<&str> = ta.iter().map(String::as_str).collect();
+        let rb: Vec<&str> = tb.iter().map(String::as_str).collect();
+        let ab = monge_elkan(&ra, &rb, levenshtein_similarity);
+        let ba = monge_elkan(&rb, &ra, levenshtein_similarity);
+        (ab + ba) / 2.0
+    }
+);
+runner!(
+    /// `1 / (1 + len)` over the undirected shortest path in the unified
+    /// tree.
+    ShortestPathRunner, "shortest_path", "Shortest Path", MeasureKind::Graph, true,
+    |ctx, a, b| {
+        shortest_path_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
+    }
+);
+runner!(
+    /// Normalized edge counting (Eq. 5).
+    EdgeRunner, "edge", "Edge Counting", MeasureKind::Graph, true,
+    |ctx, a, b| edge_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
+);
+runner!(
+    /// Wu & Palmer conceptual similarity (Eq. 6) — the paper's "Conceptual
+    /// Similarity" column. Uses the rooted (node-counted depth) convention
+    /// so cross-ontology pairs keep a small nonzero score, as in Table 1.
+    WuPalmerRunner, "wu_palmer", "Conceptual Similarity", MeasureKind::Graph, true,
+    |ctx, a, b| {
+        wu_palmer_similarity_rooted(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
+    }
+);
+runner!(
+    /// Resnik information content similarity (Eq. 7) — **unnormalized**,
+    /// reported in bits.
+    ResnikRunner, "resnik", "Resnik", MeasureKind::InformationTheoretic, false,
+    |ctx, a, b| {
+        resnik_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
+    }
+);
+runner!(
+    /// Lin similarity (Eq. 8).
+    LinRunner, "lin", "Lin", MeasureKind::InformationTheoretic, true,
+    |ctx, a, b| {
+        lin_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
+    }
+);
+runner!(
+    /// Jiang-Conrath similarity (IC extension).
+    JiangConrathRunner, "jiang_conrath", "Jiang-Conrath",
+    MeasureKind::InformationTheoretic, true,
+    |ctx, a, b| {
+        jiang_conrath_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
+    }
+);
+runner!(
+    /// TF-IDF cosine over the concepts' exported full-text descriptions —
+    /// the paper's Lucene-backed measure.
+    TfidfRunner, "tfidf", "TFIDF", MeasureKind::FullText, true,
+    |ctx, a, b| {
+        let (Some(da), Some(db)) = (
+            ctx.doc_ids[ctx.tree.node(a) as usize],
+            ctx.doc_ids[ctx.tree.node(b) as usize],
+        ) else {
+            return 0.0;
+        };
+        ctx.index.cosine(da, db)
+    }
+);
+runner!(
+    /// Zhang-Shasha tree edit similarity of the concepts' subtrees
+    /// (depth-limited to 2) — the future-work tree measure.
+    TreeEditRunner, "tree_edit", "Tree Edit Distance", MeasureKind::Tree, true,
+    |ctx, a, b| tree_similarity(&ctx.subtree(a, 2), &ctx.subtree(b, 2))
+);
+runner!(
+    /// Needleman-Wunsch global alignment of the M₂ token sequences
+    /// (SimPack's alignment-based sequence measure).
+    NeedlemanWunschRunner, "needleman_wunsch", "Needleman-Wunsch",
+    MeasureKind::Sequence, true,
+    |ctx, a, b| {
+        let x = ctx.token_sequence(a);
+        let y = ctx.token_sequence(b);
+        needleman_wunsch_similarity(&x, &y, AlignmentScoring::default())
+    }
+);
+runner!(
+    /// Smith-Waterman local alignment of the M₂ token sequences: scores the
+    /// best-matching shared *subpath* (e.g. a common taxonomy fragment).
+    SmithWatermanRunner, "smith_waterman", "Smith-Waterman",
+    MeasureKind::Sequence, true,
+    |ctx, a, b| {
+        let x = ctx.token_sequence(a);
+        let y = ctx.token_sequence(b);
+        smith_waterman_similarity(&x, &y, AlignmentScoring::default())
+    }
+);
+
+/// The default runner set, in registration order. The position of each
+/// runner is its paper-style integer measure constant (see
+/// `facade::measure_ids`).
+pub fn default_runners() -> Vec<Box<dyn MeasureRunner>> {
+    vec![
+        Box::new(CosineRunner),
+        Box::new(JaccardRunner),
+        Box::new(OverlapRunner),
+        Box::new(DiceRunner),
+        Box::new(LevenshteinRunner),
+        Box::new(JaroRunner),
+        Box::new(JaroWinklerRunner),
+        Box::new(QGramRunner),
+        Box::new(MongeElkanRunner),
+        Box::new(ShortestPathRunner),
+        Box::new(EdgeRunner),
+        Box::new(WuPalmerRunner),
+        Box::new(ResnikRunner),
+        Box::new(LinRunner),
+        Box::new(JiangConrathRunner),
+        Box::new(TfidfRunner),
+        Box::new(TreeEditRunner),
+        Box::new(NeedlemanWunschRunner),
+        Box::new(SmithWatermanRunner),
+    ]
+}

@@ -1,0 +1,142 @@
+//! Okapi BM25 ranking over the inverted index — an alternative scorer to
+//! the paper's TF-IDF cosine, provided for the "best performing measures in
+//! different task domains" evaluation the paper leaves as future work.
+
+use std::collections::HashMap;
+
+use crate::index::{DocId, InvertedIndex, Posting};
+use crate::tokenizer::analyze;
+
+/// BM25 parameters; `k1` saturates term frequency, `b` normalizes by
+/// document length. Defaults are the standard Robertson values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    pub k1: f64,
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Stateless BM25 scorer borrowing an [`InvertedIndex`].
+#[derive(Debug)]
+pub struct Bm25<'a> {
+    index: &'a InvertedIndex,
+    params: Bm25Params,
+    average_doc_length: f64,
+}
+
+impl<'a> Bm25<'a> {
+    pub fn new(index: &'a InvertedIndex, params: Bm25Params) -> Self {
+        let total: u64 = (0..index.doc_count() as u32)
+            .map(|d| index.doc_length(DocId(d)) as u64)
+            .sum();
+        let average_doc_length = if index.doc_count() == 0 {
+            0.0
+        } else {
+            total as f64 / index.doc_count() as f64
+        };
+        Bm25 { index, params, average_doc_length }
+    }
+
+    /// BM25 inverse document frequency: `ln((N − df + 0.5) / (df + 0.5) + 1)`.
+    fn idf(&self, df: usize) -> f64 {
+        let n = self.index.doc_count() as f64;
+        let df = df as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Scores the `k` best documents for `query`, best first, ties broken
+    /// by ascending document id.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for term in analyze(query) {
+            let postings = self.index.postings(&term);
+            if postings.is_empty() {
+                continue;
+            }
+            let idf = self.idf(postings.len());
+            for &Posting { doc, tf } in postings {
+                let tf = tf as f64;
+                let len_norm = 1.0 - self.params.b
+                    + self.params.b * self.index.doc_length(doc) as f64
+                        / self.average_doc_length.max(1e-9);
+                let score = idf * (tf * (self.params.k1 + 1.0))
+                    / (tf + self.params.k1 * len_norm);
+                *scores.entry(doc).or_insert(0.0) += score;
+            }
+        }
+        let mut out: Vec<(DocId, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document("short", "professor teaching");
+        b.add_document(
+            "long",
+            "professor professor professor teaching courses research publications grants \
+             students lectures meetings committees reviews theses",
+        );
+        b.add_document("other", "blackbird singing in trees");
+        b.build()
+    }
+
+    #[test]
+    fn scores_relevant_documents() {
+        let idx = sample();
+        let bm25 = Bm25::new(&idx, Bm25Params::default());
+        let hits = bm25.search("professor teaching", 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|&(d, _)| idx.doc_key(d) != "other"));
+        assert!(hits[0].1 > 0.0);
+    }
+
+    #[test]
+    fn length_normalization_favours_short_documents() {
+        let idx = sample();
+        let bm25 = Bm25::new(&idx, Bm25Params::default());
+        let hits = bm25.search("teaching", 2);
+        // Same tf (1) for "teach" in both docs; the shorter one wins.
+        assert_eq!(idx.doc_key(hits[0].0), "short");
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalization() {
+        let idx = sample();
+        let bm25 = Bm25::new(&idx, Bm25Params { k1: 1.2, b: 0.0 });
+        let hits = bm25.search("teaching", 2);
+        // With b = 0 both docs score identically; tie-break on doc id.
+        assert!((hits[0].1 - hits[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_saturation() {
+        let idx = sample();
+        let bm25 = Bm25::new(&idx, Bm25Params { k1: 0.0, b: 0.0 });
+        // k1 = 0 makes tf irrelevant: tripled "professor" gains nothing.
+        let hits = bm25.search("professor", 2);
+        assert!((hits[0].1 - hits[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_terms_and_empty_index() {
+        let idx = sample();
+        let bm25 = Bm25::new(&idx, Bm25Params::default());
+        assert!(bm25.search("zzz", 5).is_empty());
+        let empty = IndexBuilder::new().build();
+        let bm25 = Bm25::new(&empty, Bm25Params::default());
+        assert!(bm25.search("anything", 5).is_empty());
+    }
+}

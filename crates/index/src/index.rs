@@ -1,0 +1,320 @@
+//! The inverted index: the Lucene stand-in behind the TFIDF measure.
+
+use std::collections::HashMap;
+
+use crate::tokenizer::analyze;
+
+/// Identifier of an indexed document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Interned term identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    pub doc: DocId,
+    pub tf: u32,
+}
+
+#[derive(Debug)]
+struct DocEntry {
+    key: String,
+    /// Total number of tokens after analysis.
+    length: u32,
+}
+
+/// An immutable inverted index over a set of documents.
+///
+/// Build one with [`IndexBuilder`]; query term statistics, TF-IDF vectors,
+/// and top-k cosine matches through the accessors here.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    docs: Vec<DocEntry>,
+    keys: HashMap<String, DocId>,
+    terms: Vec<String>,
+    term_ids: HashMap<String, TermId>,
+    postings: Vec<Vec<Posting>>,
+    /// Per-document term vectors (term id → tf), sorted by term id.
+    doc_terms: Vec<Vec<(TermId, u32)>>,
+}
+
+impl InvertedIndex {
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The document's key (as supplied at add time).
+    pub fn doc_key(&self, doc: DocId) -> &str {
+        &self.docs[doc.0 as usize].key
+    }
+
+    /// Token count of the document after analysis.
+    pub fn doc_length(&self, doc: DocId) -> u32 {
+        self.docs[doc.0 as usize].length
+    }
+
+    /// Looks up a document by key.
+    pub fn doc_by_key(&self, key: &str) -> Option<DocId> {
+        self.keys.get(key).copied()
+    }
+
+    /// Document frequency of a term (0 for unknown terms).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.term_ids
+            .get(term)
+            .map(|&t| self.postings[t.0 as usize].len())
+            .unwrap_or(0)
+    }
+
+    /// Postings list for a term.
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.term_ids
+            .get(term)
+            .map(|&t| self.postings[t.0 as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + N / df)`.
+    pub fn idf(&self, term_id: TermId) -> f64 {
+        let df = self.postings[term_id.0 as usize].len() as f64;
+        let n = self.docs.len() as f64;
+        (1.0 + n / df).ln()
+    }
+
+    /// The TF-IDF weighted term vector of a document, sorted by term id,
+    /// using `(1 + ln tf) * idf` weighting.
+    pub fn tfidf_vector(&self, doc: DocId) -> Vec<(TermId, f64)> {
+        self.doc_terms[doc.0 as usize]
+            .iter()
+            .map(|&(t, tf)| (t, (1.0 + (tf as f64).ln()) * self.idf(t)))
+            .collect()
+    }
+
+    /// Cosine similarity of the TF-IDF vectors of two documents, in [0, 1].
+    pub fn cosine(&self, a: DocId, b: DocId) -> f64 {
+        let va = self.tfidf_vector(a);
+        let vb = self.tfidf_vector(b);
+        cosine_sparse(&va, &vb)
+    }
+
+    /// Analyzes `query` and returns the `k` best documents by TF-IDF cosine,
+    /// best first. Ties break on ascending document id for determinism.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        let tokens = analyze(query);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        for token in tokens {
+            if let Some(&t) = self.term_ids.get(&token) {
+                *tf.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut qvec: Vec<(TermId, f64)> = tf
+            .into_iter()
+            .map(|(t, f)| (t, (1.0 + (f as f64).ln()) * self.idf(t)))
+            .collect();
+        qvec.sort_by_key(|&(t, _)| t);
+
+        // Score candidate documents through the postings lists.
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for &(t, qw) in &qvec {
+            for &Posting { doc, tf } in &self.postings[t.0 as usize] {
+                let dw = (1.0 + (tf as f64).ln()) * self.idf(t);
+                *scores.entry(doc).or_insert(0.0) += qw * dw;
+            }
+        }
+        let qnorm = norm(&qvec);
+        let mut results: Vec<(DocId, f64)> = scores
+            .into_iter()
+            .map(|(doc, dot)| {
+                let dnorm = norm(&self.tfidf_vector(doc));
+                let denom = qnorm * dnorm;
+                (doc, if denom > 0.0 { dot / denom } else { 0.0 })
+            })
+            .collect();
+        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        results.truncate(k);
+        results
+    }
+}
+
+/// Cosine similarity of two sparse vectors sorted by term id.
+pub fn cosine_sparse(a: &[(TermId, f64)], b: &[(TermId, f64)]) -> f64 {
+    let denom = norm(a) * norm(b);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / denom).clamp(0.0, 1.0)
+}
+
+fn dot(a: &[(TermId, f64)], b: &[(TermId, f64)]) -> f64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut sum = 0.0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                sum += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    sum
+}
+
+fn norm(v: &[(TermId, f64)]) -> f64 {
+    v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
+}
+
+/// Builder accumulating documents before freezing them into an
+/// [`InvertedIndex`].
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    index: InvertedIndex,
+}
+
+impl IndexBuilder {
+    pub fn new() -> Self {
+        IndexBuilder::default()
+    }
+
+    /// Analyzes `text` and adds it under `key`. Re-adding an existing key
+    /// replaces nothing — it returns the existing id (documents are
+    /// immutable once added).
+    pub fn add_document(&mut self, key: impl Into<String>, text: &str) -> DocId {
+        let key = key.into();
+        if let Some(&existing) = self.index.keys.get(&key) {
+            return existing;
+        }
+        let doc = DocId(u32::try_from(self.index.docs.len()).expect("too many documents"));
+        let tokens = analyze(text);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        for token in &tokens {
+            let term_id = match self.index.term_ids.get(token) {
+                Some(&t) => t,
+                None => {
+                    let t = TermId(
+                        u32::try_from(self.index.terms.len()).expect("too many terms"),
+                    );
+                    self.index.terms.push(token.clone());
+                    self.index.term_ids.insert(token.clone(), t);
+                    self.index.postings.push(Vec::new());
+                    t
+                }
+            };
+            *tf.entry(term_id).or_insert(0) += 1;
+        }
+        let mut doc_vec: Vec<(TermId, u32)> = tf.into_iter().collect();
+        doc_vec.sort_by_key(|&(t, _)| t);
+        for &(t, f) in &doc_vec {
+            self.index.postings[t.0 as usize].push(Posting { doc, tf: f });
+        }
+        self.index.docs.push(DocEntry { key: key.clone(), length: tokens.len() as u32 });
+        self.index.keys.insert(key, doc);
+        self.index.doc_terms.push(doc_vec);
+        doc
+    }
+
+    /// Freezes the builder.
+    pub fn build(self) -> InvertedIndex {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document("prof", "Professor teaching university courses and research");
+        b.add_document("student", "Student attending university courses");
+        b.add_document("bird", "Blackbird singing in trees feathers wings");
+        b.build()
+    }
+
+    #[test]
+    fn doc_and_term_counts() {
+        let idx = sample();
+        assert_eq!(idx.doc_count(), 3);
+        assert!(idx.term_count() >= 10);
+        assert_eq!(idx.doc_freq("univers"), 2);
+        assert_eq!(idx.doc_freq("blackbird"), 1);
+        assert_eq!(idx.doc_freq("unseen"), 0);
+    }
+
+    #[test]
+    fn cosine_reflects_shared_vocabulary() {
+        let idx = sample();
+        let prof = idx.doc_by_key("prof").unwrap();
+        let student = idx.doc_by_key("student").unwrap();
+        let bird = idx.doc_by_key("bird").unwrap();
+        let ps = idx.cosine(prof, student);
+        let pb = idx.cosine(prof, bird);
+        assert!(ps > pb, "prof~student ({ps}) should beat prof~bird ({pb})");
+        assert!(pb == 0.0, "no shared terms: {pb}");
+        assert!((idx.cosine(prof, prof) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let idx = sample();
+        let a = idx.doc_by_key("prof").unwrap();
+        let b = idx.doc_by_key("student").unwrap();
+        assert!((idx.cosine(a, b) - idx.cosine(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_ranks_by_relevance() {
+        let idx = sample();
+        let hits = idx.search("university courses", 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].1 >= hits[1].1);
+        let keys: Vec<&str> = hits.iter().map(|&(d, _)| idx.doc_key(d)).collect();
+        assert!(keys.contains(&"prof") && keys.contains(&"student"));
+    }
+
+    #[test]
+    fn search_unknown_terms_returns_empty() {
+        let idx = sample();
+        assert!(idx.search("xylophone", 5).is_empty());
+        assert!(idx.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn search_k_truncates() {
+        let idx = sample();
+        let hits = idx.search("university courses trees", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_return_same_doc() {
+        let mut b = IndexBuilder::new();
+        let a = b.add_document("k", "one two");
+        let c = b.add_document("k", "three four");
+        assert_eq!(a, c);
+        assert_eq!(b.build().doc_count(), 1);
+    }
+
+    #[test]
+    fn stemming_unifies_variants_across_documents() {
+        let mut b = IndexBuilder::new();
+        b.add_document("a", "universities");
+        b.add_document("b", "university");
+        let idx = b.build();
+        let a = idx.doc_by_key("a").unwrap();
+        let bb = idx.doc_by_key("b").unwrap();
+        assert!((idx.cosine(a, bb) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,397 @@
+//! The Porter stemming algorithm (Porter, *Program* 14(3), 1980).
+//!
+//! The paper's TFIDF measure stems all words before indexing ("we used a
+//! Porter Stemmer to reduce all words to their stems"). This is a faithful
+//! implementation of the original five-step algorithm over ASCII lowercase
+//! words; non-ASCII input is returned unchanged.
+
+/// Stems one word. The input should already be lowercased; anything
+/// containing non-ASCII-alphabetic characters is returned as-is.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec() };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is `b[i]` a consonant, per Porter's definition (`y` is a consonant
+    /// when preceded by a vowel... actually when at position 0 or preceded
+    /// by a consonant)?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_consonant(i - 1),
+            _ => true,
+        }
+    }
+
+    /// The measure m of the prefix `b[..=j]`: the number of VC sequences.
+    fn measure(&self, j: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip the initial consonant run.
+        while i <= j {
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        if i > j {
+            return 0;
+        }
+        loop {
+            // Skip vowels.
+            while i <= j {
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i > j {
+                return m;
+            }
+            m += 1;
+            // Skip consonants.
+            while i <= j {
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i > j {
+                return m;
+            }
+        }
+    }
+
+    /// True if the prefix `b[..=j]` contains a vowel.
+    fn has_vowel(&self, j: usize) -> bool {
+        (0..=j).any(|i| !self.is_consonant(i))
+    }
+
+    /// True if `b[..=j]` ends in a double consonant.
+    fn double_consonant(&self, j: usize) -> bool {
+        j >= 1 && self.b[j] == self.b[j - 1] && self.is_consonant(j)
+    }
+
+    /// True if `b[..=j]` ends consonant-vowel-consonant where the final
+    /// consonant is not w, x, or y.
+    fn cvc(&self, j: usize) -> bool {
+        if j < 2 || !self.is_consonant(j) || self.is_consonant(j - 1) || !self.is_consonant(j - 2)
+        {
+            return false;
+        }
+        !matches!(self.b[j], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.b.ends_with(suffix.as_bytes())
+    }
+
+    /// Index of the last byte of the stem if `suffix` were removed.
+    fn stem_end(&self, suffix: &str) -> Option<usize> {
+        if self.ends_with(suffix) && self.b.len() > suffix.len() {
+            Some(self.b.len() - suffix.len() - 1)
+        } else {
+            None
+        }
+    }
+
+    fn replace_suffix(&mut self, suffix: &str, replacement: &str) {
+        let keep = self.b.len() - suffix.len();
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// `(m > 0) suffix -> replacement`; returns true if the rule fired
+    /// (matched the suffix, whether or not the condition held).
+    fn rule(&mut self, suffix: &str, replacement: &str, min_measure: usize) -> bool {
+        if let Some(j) = self.stem_end(suffix) {
+            if self.measure(j) > min_measure {
+                self.replace_suffix(suffix, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with("sses") {
+            self.replace_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.replace_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // unchanged
+        } else if self.ends_with("s") && self.b.len() > 1 {
+            self.replace_suffix("s", "");
+        }
+    }
+
+    fn step1b(&mut self) {
+        if let Some(j) = self.stem_end("eed") {
+            if self.measure(j) > 0 {
+                self.replace_suffix("eed", "ee");
+            }
+            return;
+        }
+        let fired = if let Some(j) = self.stem_end("ed") {
+            if self.has_vowel(j) {
+                self.replace_suffix("ed", "");
+                true
+            } else {
+                false
+            }
+        } else if let Some(j) = self.stem_end("ing") {
+            if self.has_vowel(j) {
+                self.replace_suffix("ing", "");
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if fired {
+            let last = self.b.len() - 1;
+            if self.ends_with("at") || self.ends_with("bl") || self.ends_with("iz") {
+                self.b.push(b'e');
+            } else if self.double_consonant(last) && !matches!(self.b[last], b'l' | b's' | b'z') {
+                self.b.pop();
+            } else if self.measure(last) == 1 && self.cvc(last) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if let Some(j) = self.stem_end("y") {
+            if self.has_vowel(j) {
+                let last = self.b.len() - 1;
+                self.b[last] = b'i';
+            }
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        // "ion" needs the preceding letter to be s or t.
+        if let Some(j) = self.stem_end("ion") {
+            if matches!(self.b[j], b's' | b't') {
+                if self.measure(j) > 1 {
+                    self.replace_suffix("ion", "");
+                }
+                return;
+            }
+        }
+        for suffix in SUFFIXES {
+            if let Some(j) = self.stem_end(suffix) {
+                if self.measure(j) > 1 {
+                    self.replace_suffix(suffix, "");
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if let Some(j) = self.stem_end("e") {
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !self.cvc(j)) {
+                self.replace_suffix("e", "");
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        let last = self.b.len() - 1;
+        if self.b[last] == b'l' && self.double_consonant(last) && self.measure(last - 1) > 1 {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vectors from Porter's paper and the reference vocabulary.
+    #[test]
+    fn reference_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            // Note: step 1b alone gives "agree"; step 5a then drops the
+            // final e (m=1, not *o), matching reference implementations.
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn domain_words_used_by_the_toolkit() {
+        assert_eq!(stem("professor"), "professor");
+        assert_eq!(stem("professors"), "professor");
+        assert_eq!(stem("universities"), "univers");
+        assert_eq!(stem("university"), "univers");
+        assert_eq!(stem("teaching"), "teach");
+        assert_eq!(stem("teaches"), "teach");
+        assert_eq!(stem("students"), "student");
+        assert_eq!(stem("employee"), "employe");
+        assert_eq!(stem("employees"), "employe");
+    }
+
+    #[test]
+    fn short_and_non_ascii_words_pass_through() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("zürich"), "zürich");
+        assert_eq!(stem("x9"), "x9");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["running", "happiness", "relational", "generalization", "libraries"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "idempotence for {w}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Text analysis: tokenization, stopword filtering, and the analyzer
+//! pipeline that feeds the inverted index.
+
+use crate::porter::stem;
+
+/// Splits text into lowercase alphanumeric tokens. CamelCase identifiers —
+/// ubiquitous in ontology concept names like `AssistantProfessor` — are split
+/// at case boundaries, and `_`/`-`/`.`/`:` act as separators.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            if c.is_uppercase() && prev_lower
+                && !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            prev_lower = c.is_lowercase() || c.is_numeric();
+            current.extend(c.to_lowercase());
+        } else {
+            prev_lower = false;
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// The standard English stopword list used by the analyzer (the classic
+/// Lucene `StopAnalyzer` set plus a few function words common in ontology
+/// documentation strings).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
+    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
+    "these", "they", "this", "to", "was", "will", "with", "which", "who", "whose", "has",
+    "have", "its", "from", "can", "may", "each", "any", "all", "some", "other", "more",
+];
+
+/// Returns true when `token` is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+/// Full analysis pipeline: tokenize → drop stopwords → Porter-stem.
+///
+/// This mirrors the paper's export pipeline ("we used a Porter Stemmer to
+/// reduce all words to their stems and applied a standard, full-text TFIDF
+/// algorithm").
+pub fn analyze(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .map(|t| stem(&t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn splits_camel_case_concept_names() {
+        assert_eq!(
+            tokenize("AssistantProfessor"),
+            vec!["assistant", "professor"]
+        );
+        assert_eq!(tokenize("owl:Thing"), vec!["owl", "thing"]);
+        assert_eq!(
+            tokenize("univ-bench_owl:FullProfessor"),
+            vec!["univ", "bench", "owl", "full", "professor"]
+        );
+    }
+
+    #[test]
+    fn keeps_acronym_runs_together() {
+        assert_eq!(tokenize("SUMO Ontology"), vec!["sumo", "ontology"]);
+        assert_eq!(tokenize("parseXML"), vec!["parse", "xml"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(tokenize("version 1.0"), vec!["version", "1", "0"]);
+    }
+
+    #[test]
+    fn analyze_filters_and_stems() {
+        assert_eq!(
+            analyze("The professors are teaching courses at the university"),
+            vec!["professor", "teach", "cours", "univers"]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(analyze("  ,; ").is_empty());
+        assert!(analyze("the of and").is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the full-text substrate: stemmer and index
+//! invariants over random inputs.
+
+use proptest::prelude::*;
+use sst_index::{analyze, stem, tokenize, IndexBuilder};
+
+proptest! {
+    /// Stemming always yields a lowercase ASCII word. (Note: the classic
+    /// Porter algorithm is *not* idempotent — e.g. "aase" → "aas" → "aa",
+    /// because step 5a's e-removal can re-expose a step-1a plural-s — so no
+    /// idempotence property is asserted; the reference vectors in
+    /// `porter.rs` pin the standard behaviour instead.)
+    #[test]
+    fn stems_are_lowercase_ascii(word in "[a-z]{1,15}") {
+        let s = stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    /// Stems never grow.
+    #[test]
+    fn stems_never_grow(word in "[a-z]{1,15}") {
+        prop_assert!(stem(&word).len() <= word.len());
+    }
+
+    /// Tokenization output is lowercase alphanumeric and loss-bounded.
+    #[test]
+    fn tokens_are_normalized(text in "[ -~]{0,60}") {
+        for token in tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(!token.chars().any(|c| c.is_uppercase()));
+        }
+    }
+
+    /// Cosine over the index is symmetric, within [0, 1], and 1 on self.
+    #[test]
+    fn index_cosine_invariants(
+        docs in proptest::collection::vec("[a-z ]{1,50}", 2..8)
+    ) {
+        let mut builder = IndexBuilder::new();
+        let ids: Vec<_> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, text)| builder.add_document(format!("d{i}"), text))
+            .collect();
+        let index = builder.build();
+        for &a in &ids {
+            for &b in &ids {
+                let ab = index.cosine(a, b);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+                prop_assert!((ab - index.cosine(b, a)).abs() < 1e-12);
+            }
+            // Self-similarity is 1 when the document has any terms.
+            if !analyze(&docs[ids.iter().position(|&x| x == a).unwrap()]).is_empty() {
+                prop_assert!((index.cosine(a, a) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Search results are sorted by descending score and bounded by k.
+    #[test]
+    fn search_is_sorted_and_bounded(
+        docs in proptest::collection::vec("[a-z ]{1,40}", 1..6),
+        query in "[a-z ]{1,20}",
+        k in 1usize..5,
+    ) {
+        let mut builder = IndexBuilder::new();
+        for (i, text) in docs.iter().enumerate() {
+            builder.add_document(format!("d{i}"), text);
+        }
+        let index = builder.build();
+        let hits = index.search(&query, k);
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for (_, score) in hits {
+            prop_assert!(score > 0.0 && score <= 1.0 + 1e-9);
+        }
+    }
+}

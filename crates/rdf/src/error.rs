@@ -1,0 +1,63 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// Position of an error inside a parsed document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub column: u32,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors produced while parsing XML, RDF/XML, N-Triples, or Turtle input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// Low-level XML well-formedness violation.
+    Xml { message: String, location: Location },
+    /// The XML was well-formed but is not valid RDF/XML.
+    RdfXml { message: String, location: Location },
+    /// Syntax error in an N-Triples document.
+    NTriples { message: String, line: u32 },
+    /// Syntax error in a Turtle document.
+    Turtle { message: String, location: Location },
+    /// An undeclared namespace prefix was used.
+    UnknownPrefix { prefix: String, location: Location },
+    /// An IRI failed basic validation.
+    InvalidIri { iri: String },
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Xml { message, location } => {
+                write!(f, "XML error at {location}: {message}")
+            }
+            RdfError::RdfXml { message, location } => {
+                write!(f, "RDF/XML error at {location}: {message}")
+            }
+            RdfError::NTriples { message, line } => {
+                write!(f, "N-Triples error at line {line}: {message}")
+            }
+            RdfError::Turtle { message, location } => {
+                write!(f, "Turtle error at {location}: {message}")
+            }
+            RdfError::UnknownPrefix { prefix, location } => {
+                write!(f, "unknown namespace prefix `{prefix}` at {location}")
+            }
+            RdfError::InvalidIri { iri } => write!(f, "invalid IRI: `{iri}`"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RdfError>;

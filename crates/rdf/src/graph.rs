@@ -1,0 +1,336 @@
+//! An indexed, in-memory triple store.
+//!
+//! Terms are interned to `u32` ids; triples are kept in three sorted indexes
+//! (SPO, POS, OSP) so that every single- or double-bound pattern query is a
+//! range scan. This mirrors how embedded RDF stores lay out their data and
+//! keeps k-most-similar workloads (which hammer `objects_for`) cheap.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::model::{Iri, Term, Triple};
+
+/// Interned term id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+/// Interner mapping [`Term`]s to dense ids and back.
+#[derive(Debug, Default)]
+struct TermInterner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl TermInterner {
+    fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("more than 2^32 terms"));
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+}
+
+/// A queryable set of triples with prefix bookkeeping for serialization.
+#[derive(Debug, Default)]
+pub struct Graph {
+    interner: TermInterner,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+    /// prefix → namespace IRI, remembered from parsed documents.
+    prefixes: Vec<(String, String)>,
+    /// Base IRI of the source document, when known.
+    base: Option<String>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Inserts a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.interner.intern(&triple.subject);
+        let p = self.interner.intern(&Term::Iri(triple.predicate));
+        let o = self.interner.intern(&triple.object);
+        let inserted = self.spo.insert((s, p, o));
+        if inserted {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        inserted
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&triple.subject),
+            self.interner.get(&Term::Iri(triple.predicate.clone())),
+            self.interner.get(&triple.object),
+        ) else {
+            return false;
+        };
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Registers a prefix binding (kept for serializers and debugging).
+    pub fn add_prefix(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        let prefix = prefix.into();
+        let namespace = namespace.into();
+        if !self.prefixes.iter().any(|(p, n)| *p == prefix && *n == namespace) {
+            self.prefixes.push((prefix, namespace));
+        }
+    }
+
+    /// Known prefix bindings.
+    pub fn prefixes(&self) -> &[(String, String)] {
+        &self.prefixes
+    }
+
+    /// Sets the document base IRI.
+    pub fn set_base(&mut self, base: impl Into<String>) {
+        self.base = Some(base.into());
+    }
+
+    /// Document base IRI, when one was declared.
+    pub fn base(&self) -> Option<&str> {
+        self.base.as_deref()
+    }
+
+    fn decode(&self, (s, p, o): (TermId, TermId, TermId)) -> Triple {
+        let predicate = match self.interner.resolve(p) {
+            Term::Iri(iri) => iri.clone(),
+            other => unreachable!("predicate interned as non-IRI: {other:?}"),
+        };
+        Triple {
+            subject: self.interner.resolve(s).clone(),
+            predicate,
+            object: self.interner.resolve(o).clone(),
+        }
+    }
+
+    /// Iterates over all triples (in SPO index order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&t| self.decode(t))
+    }
+
+    /// Pattern query; `None` positions are wildcards.
+    pub fn matching(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let s = subject.map(|t| self.interner.get(t));
+        let p = predicate.map(|i| self.interner.get(&Term::Iri(i.clone())));
+        let o = object.map(|t| self.interner.get(t));
+        // Any bound term that is unknown to the interner cannot match.
+        if matches!(s, Some(None)) || matches!(p, Some(None)) || matches!(o, Some(None)) {
+            return Vec::new();
+        }
+        let s = s.flatten();
+        let p = p.flatten();
+        let o = o.flatten();
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![self.decode((s, p, o))]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, TermId(0))..=(s, p, TermId(u32::MAX)))
+                .map(|&t| self.decode(t))
+                .collect(),
+            (Some(s), None, _) => self
+                .spo
+                .range((s, TermId(0), TermId(0))..=(s, TermId(u32::MAX), TermId(u32::MAX)))
+                .filter(|&&(_, _, ot)| o.is_none_or(|want| want == ot))
+                .map(|&t| self.decode(t))
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, TermId(0))..=(p, o, TermId(u32::MAX)))
+                .map(|&(pp, oo, ss)| self.decode((ss, pp, oo)))
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, TermId(0), TermId(0))..=(p, TermId(u32::MAX), TermId(u32::MAX)))
+                .map(|&(pp, oo, ss)| self.decode((ss, pp, oo)))
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, TermId(0), TermId(0))..=(o, TermId(u32::MAX), TermId(u32::MAX)))
+                .map(|&(oo, ss, pp)| self.decode((ss, pp, oo)))
+                .collect(),
+            (None, None, None) => self.iter().collect(),
+        }
+    }
+
+    /// Objects of all `(subject, predicate, ?)` triples.
+    pub fn objects_for(&self, subject: &Term, predicate: &Iri) -> Vec<Term> {
+        self.matching(Some(subject), Some(predicate), None)
+            .into_iter()
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// The first object for `(subject, predicate, ?)`, if any.
+    pub fn object_for(&self, subject: &Term, predicate: &Iri) -> Option<Term> {
+        self.objects_for(subject, predicate).into_iter().next()
+    }
+
+    /// Subjects of all `(?, predicate, object)` triples.
+    pub fn subjects_for(&self, predicate: &Iri, object: &Term) -> Vec<Term> {
+        self.matching(None, Some(predicate), Some(object))
+            .into_iter()
+            .map(|t| t.subject)
+            .collect()
+    }
+
+    /// All subjects with `rdf:type == class_iri`.
+    pub fn instances_of(&self, class_iri: &Iri) -> Vec<Term> {
+        self.subjects_for(&crate::vocab::rdf::type_(), &Term::Iri(class_iri.clone()))
+    }
+
+    /// Distinct subjects appearing in the graph, in index order.
+    pub fn subjects(&self) -> Vec<Term> {
+        let mut last: Option<TermId> = None;
+        let mut out = Vec::new();
+        for &(s, _, _) in &self.spo {
+            if last != Some(s) {
+                out.push(self.interner.resolve(s).clone());
+                last = Some(s);
+            }
+        }
+        out
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<T: IntoIterator<Item = Triple>>(&mut self, iter: T) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Literal;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Iri::new(p), Term::iri(o))
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("s", "p", "o")));
+        assert!(!g.insert(t("s", "p", "o")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn pattern_queries_cover_all_shapes() {
+        let mut g = Graph::new();
+        g.insert(t("s1", "p1", "o1"));
+        g.insert(t("s1", "p1", "o2"));
+        g.insert(t("s1", "p2", "o1"));
+        g.insert(t("s2", "p1", "o1"));
+
+        assert_eq!(g.matching(None, None, None).len(), 4);
+        assert_eq!(g.matching(Some(&Term::iri("s1")), None, None).len(), 3);
+        assert_eq!(
+            g.matching(Some(&Term::iri("s1")), Some(&Iri::new("p1")), None).len(),
+            2
+        );
+        assert_eq!(
+            g.matching(None, Some(&Iri::new("p1")), Some(&Term::iri("o1"))).len(),
+            2
+        );
+        assert_eq!(g.matching(None, None, Some(&Term::iri("o1"))).len(), 3);
+        assert_eq!(g.matching(None, Some(&Iri::new("p2")), None).len(), 1);
+        assert_eq!(
+            g.matching(
+                Some(&Term::iri("s2")),
+                Some(&Iri::new("p1")),
+                Some(&Term::iri("o1"))
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            g.matching(Some(&Term::iri("s1")), None, Some(&Term::iri("o1"))).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let mut g = Graph::new();
+        g.insert(t("s", "p", "o"));
+        assert!(g.matching(Some(&Term::iri("nope")), None, None).is_empty());
+        assert!(!g.contains(&t("s", "p", "nope")));
+    }
+
+    #[test]
+    fn literals_are_distinct_terms() {
+        let mut g = Graph::new();
+        let p = Iri::new("p");
+        g.insert(Triple::new(Term::iri("s"), p.clone(), Term::Literal(Literal::plain("x"))));
+        g.insert(Triple::new(Term::iri("s"), p.clone(), Term::Literal(Literal::lang("x", "en"))));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.objects_for(&Term::iri("s"), &p).len(), 2);
+    }
+
+    #[test]
+    fn subjects_deduplicates() {
+        let mut g = Graph::new();
+        g.insert(t("s1", "p1", "o1"));
+        g.insert(t("s1", "p2", "o2"));
+        g.insert(t("s2", "p1", "o1"));
+        assert_eq!(g.subjects().len(), 2);
+    }
+
+    #[test]
+    fn instances_of_uses_rdf_type() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("alice"),
+            crate::vocab::rdf::type_(),
+            Term::iri("Person"),
+        ));
+        assert_eq!(g.instances_of(&Iri::new("Person")), vec![Term::iri("alice")]);
+    }
+}

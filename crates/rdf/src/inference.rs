@@ -1,0 +1,214 @@
+//! Lightweight RDFS entailment — the "reasoner" role the paper's wrappers
+//! delegate to. Computes the materialization of the RDFS rules ontology
+//! tooling actually relies on:
+//!
+//! * rdfs5/rdfs11 — transitivity of `rdfs:subPropertyOf` / `rdfs:subClassOf`
+//! * rdfs9 — type inheritance through `rdfs:subClassOf`
+//! * rdfs7 — statement inheritance through `rdfs:subPropertyOf`
+//! * rdfs2/rdfs3 — typing from `rdfs:domain` / `rdfs:range`
+//!
+//! The closure is computed by iterating the rules to a fixpoint, which is
+//! exact for these Horn rules.
+
+use crate::graph::Graph;
+use crate::model::Triple;
+use crate::vocab::{rdf, rdfs};
+
+/// Options controlling which rule groups run.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceOptions {
+    /// rdfs11 + rdfs9: subclass transitivity and type inheritance.
+    pub subclass: bool,
+    /// rdfs5 + rdfs7: subproperty transitivity and statement inheritance.
+    pub subproperty: bool,
+    /// rdfs2 + rdfs3: domain/range typing.
+    pub domain_range: bool,
+}
+
+impl Default for InferenceOptions {
+    fn default() -> Self {
+        InferenceOptions { subclass: true, subproperty: true, domain_range: true }
+    }
+}
+
+/// Returns a new graph containing `graph` plus its RDFS closure under the
+/// selected rules.
+pub fn rdfs_closure(graph: &Graph, options: InferenceOptions) -> Graph {
+    let mut out: Graph = graph.iter().collect();
+    for (prefix, ns) in graph.prefixes() {
+        out.add_prefix(prefix.clone(), ns.clone());
+    }
+    if let Some(base) = graph.base() {
+        out.set_base(base);
+    }
+
+    let sub_class = rdfs::sub_class_of();
+    let sub_prop = rdfs::sub_property_of();
+    let domain = rdfs::domain();
+    let range = rdfs::range();
+    let type_ = rdf::type_();
+
+    loop {
+        let mut additions: Vec<Triple> = Vec::new();
+
+        if options.subclass {
+            // rdfs11: (a ⊑ b), (b ⊑ c) ⇒ (a ⊑ c)
+            for t1 in out.matching(None, Some(&sub_class), None) {
+                for t2 in out.matching(Some(&t1.object), Some(&sub_class), None) {
+                    additions.push(Triple::new(
+                        t1.subject.clone(),
+                        sub_class.clone(),
+                        t2.object,
+                    ));
+                }
+            }
+            // rdfs9: (x : a), (a ⊑ b) ⇒ (x : b)
+            for t1 in out.matching(None, Some(&type_), None) {
+                for t2 in out.matching(Some(&t1.object), Some(&sub_class), None) {
+                    additions.push(Triple::new(t1.subject.clone(), type_.clone(), t2.object));
+                }
+            }
+        }
+        if options.subproperty {
+            // rdfs5: (p ⊑ q), (q ⊑ r) ⇒ (p ⊑ r)
+            for t1 in out.matching(None, Some(&sub_prop), None) {
+                for t2 in out.matching(Some(&t1.object), Some(&sub_prop), None) {
+                    additions.push(Triple::new(
+                        t1.subject.clone(),
+                        sub_prop.clone(),
+                        t2.object,
+                    ));
+                }
+            }
+            // rdfs7: (s p o), (p ⊑ q) ⇒ (s q o)
+            for t1 in out.matching(None, Some(&sub_prop), None) {
+                let (Some(p), Some(q)) = (t1.subject.as_iri(), t1.object.as_iri()) else {
+                    continue;
+                };
+                for stmt in out.matching(None, Some(p), None) {
+                    additions.push(Triple::new(stmt.subject, q.clone(), stmt.object));
+                }
+            }
+        }
+        if options.domain_range {
+            // rdfs2: (p domain c), (s p o) ⇒ (s : c)
+            for t1 in out.matching(None, Some(&domain), None) {
+                let Some(p) = t1.subject.as_iri() else { continue };
+                for stmt in out.matching(None, Some(p), None) {
+                    additions.push(Triple::new(stmt.subject, type_.clone(), t1.object.clone()));
+                }
+            }
+            // rdfs3: (p range c), (s p o), o is a resource ⇒ (o : c)
+            for t1 in out.matching(None, Some(&range), None) {
+                let Some(p) = t1.subject.as_iri() else { continue };
+                for stmt in out.matching(None, Some(p), None) {
+                    if stmt.object.is_resource() {
+                        additions.push(Triple::new(
+                            stmt.object,
+                            type_.clone(),
+                            t1.object.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let before = out.len();
+        for t in additions {
+            if t.subject != t.object || t.predicate != sub_class {
+                out.insert(t);
+            }
+        }
+        if out.len() == before {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Iri, Term};
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://e/#{s}"))
+    }
+
+    fn p(s: &str) -> Iri {
+        Iri::new(format!("http://e/#{s}"))
+    }
+
+    #[test]
+    fn subclass_transitivity_and_type_inheritance() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("Student"), rdfs::sub_class_of(), iri("Person")));
+        g.insert(Triple::new(iri("Person"), rdfs::sub_class_of(), iri("Agent")));
+        g.insert(Triple::new(iri("alice"), rdf::type_(), iri("Student")));
+        let closed = rdfs_closure(&g, InferenceOptions::default());
+        assert!(closed.contains(&Triple::new(
+            iri("Student"),
+            rdfs::sub_class_of(),
+            iri("Agent")
+        )));
+        assert!(closed.contains(&Triple::new(iri("alice"), rdf::type_(), iri("Person"))));
+        assert!(closed.contains(&Triple::new(iri("alice"), rdf::type_(), iri("Agent"))));
+    }
+
+    #[test]
+    fn subproperty_statement_inheritance() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("advises"), rdfs::sub_property_of(), iri("knows")));
+        g.insert(Triple::new(iri("bob"), p("advises"), iri("alice")));
+        let closed = rdfs_closure(&g, InferenceOptions::default());
+        assert!(closed.contains(&Triple::new(iri("bob"), p("knows"), iri("alice"))));
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("teaches"), rdfs::domain(), iri("Teacher")));
+        g.insert(Triple::new(iri("teaches"), rdfs::range(), iri("Course")));
+        g.insert(Triple::new(iri("eve"), p("teaches"), iri("db1")));
+        g.insert(Triple::new(iri("eve"), p("teaches"), Term::literal("not-a-resource")));
+        let closed = rdfs_closure(&g, InferenceOptions::default());
+        assert!(closed.contains(&Triple::new(iri("eve"), rdf::type_(), iri("Teacher"))));
+        assert!(closed.contains(&Triple::new(iri("db1"), rdf::type_(), iri("Course"))));
+        // Literals never get typed.
+        assert!(closed
+            .matching(Some(&Term::literal("not-a-resource")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("A"), rdfs::sub_class_of(), iri("B")));
+        g.insert(Triple::new(iri("B"), rdfs::sub_class_of(), iri("C")));
+        g.insert(Triple::new(iri("x"), rdf::type_(), iri("A")));
+        let once = rdfs_closure(&g, InferenceOptions::default());
+        let twice = rdfs_closure(&once, InferenceOptions::default());
+        assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("A"), rdfs::sub_class_of(), iri("B")));
+        g.insert(Triple::new(iri("B"), rdfs::sub_class_of(), iri("A")));
+        g.insert(Triple::new(iri("x"), rdf::type_(), iri("A")));
+        let closed = rdfs_closure(&g, InferenceOptions::default());
+        assert!(closed.contains(&Triple::new(iri("x"), rdf::type_(), iri("B"))));
+    }
+
+    #[test]
+    fn rule_groups_can_be_disabled() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("teaches"), rdfs::domain(), iri("Teacher")));
+        g.insert(Triple::new(iri("eve"), p("teaches"), iri("db1")));
+        let closed = rdfs_closure(
+            &g,
+            InferenceOptions { domain_range: false, ..InferenceOptions::default() },
+        );
+        assert!(!closed.contains(&Triple::new(iri("eve"), rdf::type_(), iri("Teacher"))));
+    }
+}

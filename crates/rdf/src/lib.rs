@@ -1,0 +1,45 @@
+//! # sst-rdf — RDF substrate for the SOQA-SimPack Toolkit
+//!
+//! The original toolkit (Ziegler et al., EDBT 2006) wrapped OWL and DAML
+//! ontologies through Java RDF stacks. This crate is the from-scratch Rust
+//! equivalent: a namespace-aware XML pull parser, parsers and serializers for
+//! RDF/XML, N-Triples, and Turtle, and an indexed in-memory triple store that
+//! the ontology wrappers in `sst-wrappers` query.
+//!
+//! ```
+//! use sst_rdf::{parse_turtle, Term, Iri};
+//!
+//! let graph = parse_turtle(
+//!     "@prefix ex: <http://e/> . ex:Student ex:subClassOf ex:Person .",
+//!     "http://e/doc",
+//! ).unwrap();
+//! assert_eq!(
+//!     graph.object_for(&Term::iri("http://e/Student"), &Iri::new("http://e/subClassOf")),
+//!     Some(Term::iri("http://e/Person")),
+//! );
+//! ```
+
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod graph;
+pub mod inference;
+pub mod model;
+pub mod ntriples;
+pub mod rdfxml;
+pub mod sparql;
+pub mod rdfxml_writer;
+pub mod turtle;
+pub mod vocab;
+pub mod xml;
+
+pub use error::{Location, RdfError, Result};
+pub use graph::Graph;
+pub use inference::{rdfs_closure, InferenceOptions};
+pub use model::{BlankNode, Iri, Literal, Term, Triple};
+pub use ntriples::{parse_ntriples, write_ntriples};
+pub use rdfxml::{parse_rdfxml, resolve_iri};
+pub use rdfxml_writer::write_rdfxml;
+pub use sparql::{parse_select, select, Binding, SelectQuery};
+pub use turtle::{parse_turtle, write_turtle};

@@ -1,0 +1,227 @@
+//! The RDF data model: IRIs, blank nodes, literals, terms, and triples.
+
+use std::fmt;
+
+/// An IRI (absolute or relative; the store does not resolve relative IRIs —
+/// parsers do that against the document base).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(pub String);
+
+impl Iri {
+    pub fn new(iri: impl Into<String>) -> Self {
+        Iri(iri.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Splits the IRI into (namespace, local name) at the last `#` or `/`.
+    /// Returns the whole IRI as local name when no separator exists.
+    pub fn split_local(&self) -> (&str, &str) {
+        match self.0.rfind(['#', '/']) {
+            Some(i) => self.0.split_at(i + 1),
+            None => ("", self.0.as_str()),
+        }
+    }
+
+    /// The local (fragment) name of the IRI.
+    pub fn local_name(&self) -> &str {
+        self.split_local().1
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri(s.to_owned())
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri(s)
+    }
+}
+
+/// A blank node label (without the `_:` prefix).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(pub String);
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// An RDF literal: lexical form plus optional language tag or datatype IRI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    pub lexical: String,
+    pub language: Option<String>,
+    pub datatype: Option<Iri>,
+}
+
+impl Literal {
+    /// A plain string literal.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), language: None, datatype: None }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang(lexical: impl Into<String>, language: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), language: Some(language.into()), datatype: None }
+    }
+
+    /// A typed literal.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<Iri>) -> Self {
+        Literal { lexical: lexical.into(), language: None, datatype: Some(datatype.into()) }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if let Some(dt) = &self.datatype {
+            write!(f, "^^{dt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A node in subject or object position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Iri(Iri),
+    Blank(BlankNode),
+    Literal(Literal),
+}
+
+impl Term {
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(Iri::new(iri))
+    }
+
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(BlankNode(label.into()))
+    }
+
+    pub fn literal(lit: impl Into<String>) -> Self {
+        Term::Literal(Literal::plain(lit))
+    }
+
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn is_resource(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => i.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+/// One RDF statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Iri,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(subject: Term, predicate: impl Into<Iri>, object: Term) -> Self {
+        Triple { subject, predicate: predicate.into(), object }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+// ---- Display helpers -------------------------------------------------------
+//
+// N-Triples style escaping shared by the Display impls and the serializers.
+
+/// Escapes a string for use in an N-Triples/Turtle quoted literal.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_local_name() {
+        assert_eq!(Iri::new("http://x.org/onto#Person").local_name(), "Person");
+        assert_eq!(Iri::new("http://x.org/onto/Person").local_name(), "Person");
+        assert_eq!(Iri::new("Person").local_name(), "Person");
+    }
+
+    #[test]
+    fn iri_split_namespace() {
+        let iri = Iri::new("http://x.org/onto#Person");
+        assert_eq!(iri.split_local(), ("http://x.org/onto#", "Person"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Term::Literal(Literal::lang("hi \"x\"", "en")),
+        );
+        assert_eq!(t.to_string(), "<http://s> <http://p> \"hi \\\"x\\\"\"@en .");
+        let typed = Literal::typed("4", Iri::new("http://www.w3.org/2001/XMLSchema#int"));
+        assert_eq!(
+            typed.to_string(),
+            "\"4\"^^<http://www.w3.org/2001/XMLSchema#int>"
+        );
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+    }
+
+    #[test]
+    fn literal_escaping_roundtrip_chars() {
+        assert_eq!(escape_literal("a\\b\"c\nd\te"), "a\\\\b\\\"c\\nd\\te");
+    }
+}

@@ -1,0 +1,262 @@
+//! N-Triples parser and serializer (RDF 1.1 N-Triples, ASCII-escape subset).
+
+use crate::error::{RdfError, Result};
+use crate::graph::Graph;
+use crate::model::{Iri, Literal, Term, Triple};
+
+/// Parses an N-Triples document.
+pub fn parse_ntriples(input: &str) -> Result<Graph> {
+    let mut graph = Graph::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cursor = Cursor { input: line, pos: 0, line: line_no };
+        let subject = cursor.parse_subject()?;
+        cursor.skip_ws();
+        let predicate = cursor.parse_iri()?;
+        cursor.skip_ws();
+        let object = cursor.parse_term()?;
+        cursor.skip_ws();
+        if !cursor.eat('.') {
+            return Err(cursor.err("expected `.` at end of statement"));
+        }
+        cursor.skip_ws();
+        if !cursor.at_end() && !cursor.rest().starts_with('#') {
+            return Err(cursor.err("trailing content after `.`"));
+        }
+        graph.insert(Triple::new(subject, predicate, object));
+    }
+    Ok(graph)
+}
+
+/// Serializes a graph to N-Triples, one statement per line, in index order.
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    for triple in graph.iter() {
+        out.push_str(&triple.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::NTriples { message: message.into(), line: self.line }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_subject(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri()?)),
+            Some('_') => self.parse_blank(),
+            _ => Err(self.err("expected IRI or blank node subject")),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri()?)),
+            Some('_') => self.parse_blank(),
+            Some('"') => self.parse_literal(),
+            _ => Err(self.err("expected IRI, blank node, or literal")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Iri> {
+        if !self.eat('<') {
+            return Err(self.err("expected `<`"));
+        }
+        let rest = self.rest();
+        let end = rest.find('>').ok_or_else(|| self.err("unterminated IRI"))?;
+        let iri = &rest[..end];
+        if iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '"') {
+            return Err(RdfError::InvalidIri { iri: iri.to_owned() });
+        }
+        self.pos += end + 1;
+        Ok(Iri::new(iri))
+    }
+
+    fn parse_blank(&mut self) -> Result<Term> {
+        if !self.rest().starts_with("_:") {
+            return Err(self.err("expected `_:`"));
+        }
+        self.pos += 2;
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_' || *c == '-' || *c == '.'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("empty blank node label"));
+        }
+        let label = &rest[..end];
+        self.pos += end;
+        Ok(Term::blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term> {
+        if !self.eat('"') {
+            return Err(self.err("expected `\"`"));
+        }
+        let mut lexical = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated literal"));
+            };
+            self.pos += c.len_utf8();
+            match c {
+                '"' => break,
+                '\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.pos += esc.len_utf8();
+                    match esc {
+                        'n' => lexical.push('\n'),
+                        'r' => lexical.push('\r'),
+                        't' => lexical.push('\t'),
+                        '"' => lexical.push('"'),
+                        '\\' => lexical.push('\\'),
+                        'u' | 'U' => {
+                            let n = if esc == 'u' { 4 } else { 8 };
+                            let rest = self.rest();
+                            if rest.len() < n {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = &rest[..n];
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            lexical.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("\\u escape out of range"))?,
+                            );
+                            self.pos += n;
+                        }
+                        other => return Err(self.err(format!("unknown escape `\\{other}`"))),
+                    }
+                }
+                c => lexical.push(c),
+            }
+        }
+        // Language tag or datatype?
+        if self.eat('@') {
+            let rest = self.rest();
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-'))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return Err(self.err("empty language tag"));
+            }
+            let lang = rest[..end].to_owned();
+            self.pos += end;
+            return Ok(Term::Literal(Literal::lang(lexical, lang)));
+        }
+        if self.rest().starts_with("^^") {
+            self.pos += 2;
+            let dt = self.parse_iri()?;
+            return Ok(Term::Literal(Literal::typed(lexical, dt)));
+        }
+        Ok(Term::Literal(Literal::plain(lexical)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_statements() {
+        let g = parse_ntriples(
+            "<http://s> <http://p> <http://o> .\n\
+             # comment\n\
+             <http://s> <http://p> \"lit\"@en .\n\
+             _:b1 <http://p> \"4\"^^<http://dt> .\n",
+        )
+        .expect("parse");
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Term::Literal(Literal::lang("lit", "en")),
+        )));
+        assert!(g.contains(&Triple::new(
+            Term::blank("b1"),
+            Iri::new("http://p"),
+            Term::Literal(Literal::typed("4", Iri::new("http://dt"))),
+        )));
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let g = parse_ntriples(r#"<http://s> <http://p> "a\nb\t\"c\\ A" ."#).expect("parse");
+        let lit = g.iter().next().unwrap().object;
+        assert_eq!(lit.as_literal().unwrap().lexical, "a\nb\t\"c\\ A");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_ntriples("<http://s> <http://p> <http://o>").is_err()); // no dot
+        assert!(parse_ntriples("<http://s> <http://p> .").is_err()); // no object
+        assert!(parse_ntriples("\"s\" <http://p> <http://o> .").is_err()); // literal subject
+        assert!(parse_ntriples("<http://s> <http://p> \"x .").is_err()); // unterminated
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "<http://s> <http://p> \"a\\nb\"@en .\n<http://s> <http://q> _:x .\n";
+        let g = parse_ntriples(src).expect("parse");
+        let out = write_ntriples(&g);
+        let g2 = parse_ntriples(&out).expect("reparse");
+        assert_eq!(g.len(), g2.len());
+        for t in g.iter() {
+            assert!(g2.contains(&t));
+        }
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let err = parse_ntriples("<http://s> <http://p> <http://o> .\nbad").unwrap_err();
+        match err {
+            RdfError::NTriples { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

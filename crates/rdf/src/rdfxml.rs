@@ -1,0 +1,731 @@
+//! RDF/XML parser.
+//!
+//! Covers the constructs ontology documents actually use: `rdf:RDF` roots,
+//! `rdf:Description` and typed node elements, `rdf:about`/`rdf:ID`/
+//! `rdf:nodeID`, property attributes, property elements with
+//! `rdf:resource`, nested node elements, literal content (with `xml:lang`
+//! and `rdf:datatype`), and `rdf:parseType="Resource" | "Collection" |
+//! "Literal"`. `xml:base` and `xml:lang` are scoped per element.
+
+use crate::error::{RdfError, Result};
+use crate::graph::Graph;
+use crate::model::{Iri, Literal, Term, Triple};
+use crate::vocab::{rdf, RDF_NS};
+use crate::xml::{ExpandedName, NsAttribute, NsEvent, NsReader};
+
+const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// Parses an RDF/XML document into a [`Graph`].
+///
+/// `base` is the document base IRI used to resolve relative references;
+/// an in-document `xml:base` overrides it.
+pub fn parse_rdfxml(input: &str, base: &str) -> Result<Graph> {
+    let mut parser = RdfXmlParser {
+        reader: NsReader::new(input),
+        graph: Graph::new(),
+        blank_counter: 0,
+    };
+    parser.parse_document(base)?;
+    // Remember prefixes declared on the root element (best effort: scan the
+    // first tag textually so serializers can reuse them).
+    for (prefix, ns) in scan_root_prefixes(input) {
+        parser.graph.add_prefix(prefix, ns);
+    }
+    parser.graph.set_base(base);
+    Ok(parser.graph)
+}
+
+/// Extracts `xmlns` declarations from the document's root element.
+fn scan_root_prefixes(input: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Some(start) = input.find("<rdf:RDF").or_else(|| input.find("<RDF")) else {
+        return out;
+    };
+    let Some(end) = input[start..].find('>') else {
+        return out;
+    };
+    let tag = &input[start..start + end];
+    let mut rest = tag;
+    while let Some(i) = rest.find("xmlns") {
+        rest = &rest[i + 5..];
+        let prefix = if let Some(stripped) = rest.strip_prefix(':') {
+            let eq = match stripped.find('=') {
+                Some(e) => e,
+                None => break,
+            };
+            let p = stripped[..eq].trim().to_owned();
+            rest = &stripped[eq + 1..];
+            p
+        } else if rest.starts_with('=') {
+            rest = &rest[1..];
+            String::new()
+        } else {
+            continue;
+        };
+        let rest2 = rest.trim_start();
+        let Some(quote) = rest2.chars().next().filter(|c| *c == '"' || *c == '\'') else {
+            break;
+        };
+        let body = &rest2[1..];
+        let Some(close) = body.find(quote) else { break };
+        out.push((prefix, body[..close].to_owned()));
+        rest = &body[close + 1..];
+    }
+    out
+}
+
+/// Resolves `reference` against `base` (RFC 3986, simplified to the cases
+/// that occur in ontology documents).
+pub fn resolve_iri(base: &str, reference: &str) -> String {
+    if reference.is_empty() {
+        return base.to_owned();
+    }
+    // Absolute IRI: has a scheme.
+    if let Some(colon) = reference.find(':') {
+        let scheme = &reference[..colon];
+        if !scheme.is_empty()
+            && scheme.chars().all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
+            && scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            return reference.to_owned();
+        }
+    }
+    if let Some(frag) = reference.strip_prefix('#') {
+        let stem = base.split('#').next().unwrap_or(base);
+        return format!("{stem}#{frag}");
+    }
+    if reference.starts_with("//") {
+        let scheme_end = base.find(':').map(|i| i + 1).unwrap_or(0);
+        return format!("{}{}", &base[..scheme_end], reference);
+    }
+    if reference.starts_with('/') {
+        // Resolve against the authority.
+        if let Some(scheme_end) = base.find("://") {
+            let after = &base[scheme_end + 3..];
+            let auth_end = after.find('/').map(|i| scheme_end + 3 + i).unwrap_or(base.len());
+            return format!("{}{}", &base[..auth_end], reference);
+        }
+        return reference.to_owned();
+    }
+    // Relative path: replace everything after the last '/'.
+    let stem = base.split('#').next().unwrap_or(base);
+    match stem.rfind('/') {
+        Some(i) => format!("{}{}", &stem[..=i], reference),
+        None => reference.to_owned(),
+    }
+}
+
+struct RdfXmlParser<'a> {
+    reader: NsReader<'a>,
+    graph: Graph,
+    blank_counter: u64,
+}
+
+/// Scoped state inherited down the element tree.
+#[derive(Clone)]
+struct Scope {
+    base: String,
+    lang: Option<String>,
+}
+
+impl<'a> RdfXmlParser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(RdfError::RdfXml { message: message.into(), location: self.reader.location() })
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::blank(format!("b{}", self.blank_counter))
+    }
+
+    fn scoped(&self, parent: &Scope, attributes: &[NsAttribute]) -> Scope {
+        let mut scope = parent.clone();
+        for attr in attributes {
+            if attr.name.namespace.as_deref() == Some(XML_NS) {
+                match attr.name.local.as_str() {
+                    "base" => scope.base = attr.value.clone(),
+                    "lang" => {
+                        scope.lang =
+                            if attr.value.is_empty() { None } else { Some(attr.value.clone()) }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        scope
+    }
+
+    fn parse_document(&mut self, base: &str) -> Result<()> {
+        let scope = Scope { base: base.to_owned(), lang: None };
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::StartElement { name, attributes, self_closing } => {
+                    let scope = self.scoped(&scope, &attributes);
+                    if name.is(RDF_NS, "RDF") {
+                        if self_closing {
+                            return Ok(());
+                        }
+                        self.parse_node_elements(&scope)?;
+                    } else {
+                        // A document whose root is a single node element.
+                        self.parse_node_element(name, attributes, self_closing, &scope)?;
+                    }
+                    return self.expect_eof();
+                }
+                NsEvent::Text(t) if t.trim().is_empty() => continue,
+                NsEvent::Text(_) => return self.err("unexpected text before root element"),
+                NsEvent::EndElement { .. } => return self.err("unexpected end element"),
+                NsEvent::Eof => return self.err("empty document"),
+            }
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::Eof => return Ok(()),
+                NsEvent::Text(t) if t.trim().is_empty() => continue,
+                _ => return self.err("content after document element"),
+            }
+        }
+    }
+
+    /// Parses children of `rdf:RDF` until its end tag.
+    fn parse_node_elements(&mut self, scope: &Scope) -> Result<()> {
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::StartElement { name, attributes, self_closing } => {
+                    let inner = self.scoped(scope, &attributes);
+                    self.parse_node_element(name, attributes, self_closing, &inner)?;
+                }
+                NsEvent::Text(t) if t.trim().is_empty() => continue,
+                NsEvent::Text(_) => return self.err("unexpected text inside rdf:RDF"),
+                NsEvent::EndElement { .. } => return Ok(()),
+                NsEvent::Eof => return self.err("unexpected end of file inside rdf:RDF"),
+            }
+        }
+    }
+
+    /// Parses one node element whose start tag has been consumed; returns the
+    /// subject term it denotes.
+    fn parse_node_element(
+        &mut self,
+        name: ExpandedName,
+        attributes: Vec<NsAttribute>,
+        self_closing: bool,
+        scope: &Scope,
+    ) -> Result<Term> {
+        let scope = self.scoped(scope, &attributes);
+        // Determine the subject.
+        let mut subject: Option<Term> = None;
+        for attr in &attributes {
+            if attr.name.namespace.as_deref() == Some(RDF_NS) {
+                match attr.name.local.as_str() {
+                    "about" => {
+                        subject = Some(Term::iri(resolve_iri(&scope.base, &attr.value)));
+                    }
+                    "ID" => {
+                        subject =
+                            Some(Term::iri(resolve_iri(&scope.base, &format!("#{}", attr.value))));
+                    }
+                    "nodeID" => subject = Some(Term::blank(attr.value.clone())),
+                    _ => {}
+                }
+            }
+        }
+        let subject = subject.unwrap_or_else(|| self.fresh_blank());
+
+        // Typed node element ⇒ rdf:type triple.
+        if !name.is(RDF_NS, "Description") {
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                rdf::type_(),
+                Term::iri(name.as_iri()),
+            ));
+        }
+
+        // Property attributes.
+        for attr in &attributes {
+            let ns = attr.name.namespace.as_deref();
+            if ns == Some(RDF_NS) || ns == Some(XML_NS) || ns.is_none() {
+                continue;
+            }
+            let object = match &scope.lang {
+                Some(lang) => Term::Literal(Literal::lang(attr.value.clone(), lang.clone())),
+                None => Term::Literal(Literal::plain(attr.value.clone())),
+            };
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                Iri::new(attr.name.as_iri()),
+                object,
+            ));
+        }
+
+        if self_closing {
+            // NsReader emits a synthetic EndElement; consume it.
+            match self.reader.next_event()? {
+                NsEvent::EndElement { .. } => return Ok(subject),
+                _ => return self.err("expected synthetic end element"),
+            }
+        }
+        self.parse_property_elements(&subject, &scope)?;
+        Ok(subject)
+    }
+
+    /// Parses the property elements of a node until its end tag.
+    fn parse_property_elements(&mut self, subject: &Term, scope: &Scope) -> Result<()> {
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::StartElement { name, attributes, self_closing } => {
+                    self.parse_property_element(subject, name, attributes, self_closing, scope)?;
+                }
+                NsEvent::Text(t) if t.trim().is_empty() => continue,
+                NsEvent::Text(_) => return self.err("unexpected text between property elements"),
+                NsEvent::EndElement { .. } => return Ok(()),
+                NsEvent::Eof => return self.err("unexpected end of file inside node element"),
+            }
+        }
+    }
+
+    fn parse_property_element(
+        &mut self,
+        subject: &Term,
+        name: ExpandedName,
+        attributes: Vec<NsAttribute>,
+        self_closing: bool,
+        scope: &Scope,
+    ) -> Result<()> {
+        let scope = self.scoped(&scope.clone(), &attributes);
+        let predicate = if name.is(RDF_NS, "li") {
+            // We do not track per-subject li counters; collections in the
+            // ontologies we parse use parseType="Collection" instead.
+            return self.err("rdf:li is not supported; use parseType=\"Collection\"");
+        } else {
+            Iri::new(name.as_iri())
+        };
+
+        let mut resource: Option<Term> = None;
+        let mut datatype: Option<Iri> = None;
+        let mut parse_type: Option<String> = None;
+        let mut prop_attrs: Vec<(Iri, String)> = Vec::new();
+        for attr in &attributes {
+            match attr.name.namespace.as_deref() {
+                Some(RDF_NS) => match attr.name.local.as_str() {
+                    "resource" => {
+                        resource = Some(Term::iri(resolve_iri(&scope.base, &attr.value)));
+                    }
+                    "nodeID" => resource = Some(Term::blank(attr.value.clone())),
+                    "datatype" => datatype = Some(Iri::new(resolve_iri(&scope.base, &attr.value))),
+                    "parseType" => parse_type = Some(attr.value.clone()),
+                    // rdf:ID on a property element reifies the statement; the
+                    // triple itself is still asserted, which is all we need.
+                    "ID" => {}
+                    other => {
+                        return self.err(format!("unsupported rdf:{other} on property element"))
+                    }
+                },
+                Some(XML_NS) => {}
+                Some(_) => prop_attrs.push((Iri::new(attr.name.as_iri()), attr.value.clone())),
+                None => {}
+            }
+        }
+
+        match parse_type.as_deref() {
+            Some("Resource") => {
+                let node = self.fresh_blank();
+                self.graph.insert(Triple::new(subject.clone(), predicate, node.clone()));
+                if self_closing {
+                    self.consume_end()?;
+                } else {
+                    self.parse_property_elements(&node, &scope)?;
+                }
+                return Ok(());
+            }
+            Some("Collection") => {
+                let items = if self_closing {
+                    self.consume_end()?;
+                    Vec::new()
+                } else {
+                    self.parse_collection_items(&scope)?
+                };
+                let list = self.build_list(items);
+                self.graph.insert(Triple::new(subject.clone(), predicate, list));
+                return Ok(());
+            }
+            Some("Literal") => {
+                let text = if self_closing {
+                    self.consume_end()?;
+                    String::new()
+                } else {
+                    self.collect_xml_literal()?
+                };
+                self.graph.insert(Triple::new(
+                    subject.clone(),
+                    predicate,
+                    Term::Literal(Literal::typed(
+                        text,
+                        Iri::new(format!("{RDF_NS}XMLLiteral")),
+                    )),
+                ));
+                return Ok(());
+            }
+            Some(other) => return self.err(format!("unsupported parseType `{other}`")),
+            None => {}
+        }
+
+        if let Some(object) = resource {
+            self.graph.insert(Triple::new(subject.clone(), predicate, object.clone()));
+            // Property attributes on a reference property element describe
+            // the object.
+            for (p, v) in prop_attrs {
+                self.graph.insert(Triple::new(object.clone(), p, Term::literal(v)));
+            }
+            if self_closing {
+                self.consume_end()?;
+            } else {
+                // Must be an empty element.
+                match self.reader.next_event()? {
+                    NsEvent::EndElement { .. } => {}
+                    NsEvent::Text(t) if t.trim().is_empty() => self.consume_end()?,
+                    _ => return self.err("rdf:resource property element must be empty"),
+                }
+            }
+            return Ok(());
+        }
+
+        if !prop_attrs.is_empty() {
+            // Empty property element with property attributes ⇒ blank node.
+            let node = self.fresh_blank();
+            self.graph.insert(Triple::new(subject.clone(), predicate, node.clone()));
+            for (p, v) in prop_attrs {
+                self.graph.insert(Triple::new(node.clone(), p, Term::literal(v)));
+            }
+            if self_closing {
+                self.consume_end()?;
+            } else {
+                match self.reader.next_event()? {
+                    NsEvent::EndElement { .. } => {}
+                    _ => return self.err("property element with attributes must be empty"),
+                }
+            }
+            return Ok(());
+        }
+
+        if self_closing {
+            // Empty property element: empty literal.
+            self.consume_end()?;
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                predicate,
+                self.make_literal(String::new(), datatype, &scope),
+            ));
+            return Ok(());
+        }
+
+        // Literal content or a nested node element.
+        let mut text = String::new();
+        let mut nested: Option<Term> = None;
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::Text(t) => text.push_str(&t),
+                NsEvent::StartElement { name, attributes, self_closing } => {
+                    if nested.is_some() {
+                        return self.err("multiple node elements inside one property element");
+                    }
+                    nested =
+                        Some(self.parse_node_element(name, attributes, self_closing, &scope)?);
+                }
+                NsEvent::EndElement { .. } => break,
+                NsEvent::Eof => return self.err("unexpected end of file in property element"),
+            }
+        }
+        match nested {
+            Some(object) => {
+                if !text.trim().is_empty() {
+                    return self.err("mixed text and node content in property element");
+                }
+                self.graph.insert(Triple::new(subject.clone(), predicate, object));
+            }
+            None => {
+                self.graph.insert(Triple::new(
+                    subject.clone(),
+                    predicate,
+                    self.make_literal(text, datatype, &scope),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn make_literal(&self, lexical: String, datatype: Option<Iri>, scope: &Scope) -> Term {
+        Term::Literal(match datatype {
+            Some(dt) => Literal::typed(lexical, dt),
+            None => match &scope.lang {
+                Some(lang) => Literal::lang(lexical, lang.clone()),
+                None => Literal::plain(lexical),
+            },
+        })
+    }
+
+    fn consume_end(&mut self) -> Result<()> {
+        match self.reader.next_event()? {
+            NsEvent::EndElement { .. } => Ok(()),
+            _ => self.err("expected end element"),
+        }
+    }
+
+    /// Parses node elements inside `parseType="Collection"`.
+    fn parse_collection_items(&mut self, scope: &Scope) -> Result<Vec<Term>> {
+        let mut items = Vec::new();
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::StartElement { name, attributes, self_closing } => {
+                    items.push(self.parse_node_element(name, attributes, self_closing, scope)?);
+                }
+                NsEvent::Text(t) if t.trim().is_empty() => continue,
+                NsEvent::Text(_) => return self.err("unexpected text in collection"),
+                NsEvent::EndElement { .. } => return Ok(items),
+                NsEvent::Eof => return self.err("unexpected end of file in collection"),
+            }
+        }
+    }
+
+    /// Builds an rdf:List from `items`, returning its head.
+    fn build_list(&mut self, items: Vec<Term>) -> Term {
+        let mut head = Term::Iri(rdf::nil());
+        for item in items.into_iter().rev() {
+            let cell = self.fresh_blank();
+            self.graph.insert(Triple::new(cell.clone(), rdf::first(), item));
+            self.graph.insert(Triple::new(cell.clone(), rdf::rest(), head));
+            head = cell;
+        }
+        head
+    }
+
+    /// Collects the textual content of a `parseType="Literal"` body. Nested
+    /// markup is flattened to its character data (sufficient for the
+    /// documentation strings ontologies embed).
+    fn collect_xml_literal(&mut self) -> Result<String> {
+        let mut depth = 0usize;
+        let mut text = String::new();
+        loop {
+            match self.reader.next_event()? {
+                NsEvent::Text(t) => text.push_str(&t),
+                NsEvent::StartElement { self_closing, .. } => {
+                    if !self_closing {
+                        depth += 1;
+                    }
+                }
+                NsEvent::EndElement { .. } => {
+                    if depth == 0 {
+                        return Ok(text);
+                    }
+                    depth -= 1;
+                }
+                NsEvent::Eof => return self.err("unexpected end of file in XML literal"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{rdfs, RDFS_NS};
+
+    const BASE: &str = "http://example.org/onto";
+
+    fn parse(body: &str) -> Graph {
+        let doc = format!(
+            r##"<rdf:RDF xmlns:rdf="{RDF_NS}" xmlns:rdfs="{RDFS_NS}"
+                        xmlns:owl="http://www.w3.org/2002/07/owl#"
+                        xmlns:ex="http://example.org/onto#">{body}</rdf:RDF>"##
+        );
+        parse_rdfxml(&doc, BASE).expect("parse")
+    }
+
+    #[test]
+    fn resolve_iri_cases() {
+        assert_eq!(resolve_iri(BASE, "http://a/b"), "http://a/b");
+        assert_eq!(resolve_iri(BASE, "#Frag"), "http://example.org/onto#Frag");
+        assert_eq!(resolve_iri(BASE, ""), BASE);
+        assert_eq!(resolve_iri("http://a/b/c", "d"), "http://a/b/d");
+        assert_eq!(resolve_iri("http://a/b/c", "/d"), "http://a/d");
+        assert_eq!(resolve_iri("http://a/b", "//h/x"), "http://h/x");
+        assert_eq!(resolve_iri("http://a/b#x", "#y"), "http://a/b#y");
+    }
+
+    #[test]
+    fn typed_node_and_about() {
+        let g = parse(r##"<owl:Class rdf:about="#Person"/>"##);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://example.org/onto#Person"),
+            rdf::type_(),
+            Term::iri("http://www.w3.org/2002/07/owl#Class"),
+        )));
+    }
+
+    #[test]
+    fn rdf_id_resolves_against_base() {
+        let g = parse(r##"<owl:Class rdf:ID="Person"/>"##);
+        assert_eq!(g.instances_of(&crate::vocab::owl::class()).len(), 1);
+        assert!(!g
+            .matching(Some(&Term::iri("http://example.org/onto#Person")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn property_element_with_resource() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#Student">
+                 <rdfs:subClassOf rdf:resource="#Person"/>
+               </owl:Class>"##,
+        );
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://example.org/onto#Student"),
+            rdfs::sub_class_of(),
+            Term::iri("http://example.org/onto#Person"),
+        )));
+    }
+
+    #[test]
+    fn literal_property_with_lang_and_datatype() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#P">
+                 <rdfs:label xml:lang="en">Person</rdfs:label>
+                 <ex:age rdf:datatype="http://www.w3.org/2001/XMLSchema#int">4</ex:age>
+               </owl:Class>"##,
+        );
+        let subject = Term::iri("http://example.org/onto#P");
+        assert!(g.contains(&Triple::new(
+            subject.clone(),
+            rdfs::label(),
+            Term::Literal(Literal::lang("Person", "en")),
+        )));
+        assert!(g.contains(&Triple::new(
+            subject,
+            Iri::new("http://example.org/onto#age"),
+            Term::Literal(Literal::typed("4", Iri::new("http://www.w3.org/2001/XMLSchema#int"))),
+        )));
+    }
+
+    #[test]
+    fn nested_node_element() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#A">
+                 <rdfs:subClassOf>
+                   <owl:Class rdf:about="#B"/>
+                 </rdfs:subClassOf>
+               </owl:Class>"##,
+        );
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://example.org/onto#A"),
+            rdfs::sub_class_of(),
+            Term::iri("http://example.org/onto#B"),
+        )));
+    }
+
+    #[test]
+    fn parse_type_resource() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#A">
+                 <rdfs:subClassOf rdf:parseType="Resource">
+                   <rdfs:comment>anon</rdfs:comment>
+                 </rdfs:subClassOf>
+               </owl:Class>"##,
+        );
+        let objs = g.objects_for(&Term::iri("http://example.org/onto#A"), &rdfs::sub_class_of());
+        assert_eq!(objs.len(), 1);
+        assert!(matches!(objs[0], Term::Blank(_)));
+        assert_eq!(g.objects_for(&objs[0], &rdfs::comment()).len(), 1);
+    }
+
+    #[test]
+    fn parse_type_collection_builds_list() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#A">
+                 <owl:unionOf rdf:parseType="Collection">
+                   <owl:Class rdf:about="#B"/>
+                   <owl:Class rdf:about="#C"/>
+                 </owl:unionOf>
+               </owl:Class>"##,
+        );
+        let head = g
+            .object_for(
+                &Term::iri("http://example.org/onto#A"),
+                &Iri::new("http://www.w3.org/2002/07/owl#unionOf"),
+            )
+            .expect("list head");
+        let first = g.object_for(&head, &rdf::first()).expect("first");
+        assert_eq!(first, Term::iri("http://example.org/onto#B"));
+        let rest = g.object_for(&head, &rdf::rest()).expect("rest");
+        let second = g.object_for(&rest, &rdf::first()).expect("second");
+        assert_eq!(second, Term::iri("http://example.org/onto#C"));
+        let tail = g.object_for(&rest, &rdf::rest()).expect("tail");
+        assert_eq!(tail, Term::Iri(rdf::nil()));
+    }
+
+    #[test]
+    fn property_attributes_on_node() {
+        let g = parse(r##"<rdf:Description rdf:about="#A" ex:name="Anna"/>"##);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://example.org/onto#A"),
+            Iri::new("http://example.org/onto#name"),
+            Term::literal("Anna"),
+        )));
+    }
+
+    #[test]
+    fn blank_nodes_are_unique() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#A"><rdfs:subClassOf rdf:parseType="Resource"/></owl:Class>
+               <owl:Class rdf:about="#B"><rdfs:subClassOf rdf:parseType="Resource"/></owl:Class>"##,
+        );
+        let a = g.objects_for(&Term::iri("http://example.org/onto#A"), &rdfs::sub_class_of());
+        let b = g.objects_for(&Term::iri("http://example.org/onto#B"), &rdfs::sub_class_of());
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn node_id_links() {
+        let g = parse(
+            r##"<owl:Class rdf:about="#A"><rdfs:subClassOf rdf:nodeID="n1"/></owl:Class>
+               <rdf:Description rdf:nodeID="n1"><rdfs:comment>x</rdfs:comment></rdf:Description>"##,
+        );
+        let obj = g
+            .object_for(&Term::iri("http://example.org/onto#A"), &rdfs::sub_class_of())
+            .expect("object");
+        assert_eq!(obj, Term::blank("n1"));
+        assert_eq!(g.objects_for(&obj, &rdfs::comment()).len(), 1);
+    }
+
+    #[test]
+    fn xml_base_override() {
+        let doc = format!(
+            r##"<rdf:RDF xmlns:rdf="{RDF_NS}"
+                        xmlns:owl="http://www.w3.org/2002/07/owl#"
+                        xml:base="http://other.org/o">
+                 <owl:Class rdf:about="#X"/>
+               </rdf:RDF>"##
+        );
+        let g = parse_rdfxml(&doc, BASE).expect("parse");
+        assert!(!g
+            .matching(Some(&Term::iri("http://other.org/o#X")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_rdfxml("<rdf:RDF", BASE).is_err());
+        assert!(parse_rdfxml("", BASE).is_err());
+    }
+
+    #[test]
+    fn root_prefix_scan() {
+        let doc = format!(
+            r##"<rdf:RDF xmlns:rdf="{RDF_NS}" xmlns:ex='http://e/'></rdf:RDF>"##
+        );
+        let g = parse_rdfxml(&doc, BASE).expect("parse");
+        assert!(g.prefixes().iter().any(|(p, n)| p == "ex" && n == "http://e/"));
+    }
+}

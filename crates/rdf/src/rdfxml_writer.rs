@@ -1,0 +1,278 @@
+//! RDF/XML serializer: the counterpart of [`crate::rdfxml::parse_rdfxml`],
+//! so graphs can be written back in the format the OWL/DAML wrappers read.
+//!
+//! Output shape: subjects grouped into node elements (typed node elements
+//! when a single `rdf:type` is known and abbreviable), literal properties as
+//! text property elements, resource properties via `rdf:resource`.
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::model::{Iri, Term, Triple};
+use crate::vocab::{rdf, RDF_NS};
+
+fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+/// Splits an IRI into (namespace, local) where the local part is a valid
+/// XML name; returns `None` if no usable split exists.
+fn qname_split(iri: &Iri) -> Option<(&str, &str)> {
+    let (ns, local) = iri.split_local();
+    if ns.is_empty() || local.is_empty() {
+        return None;
+    }
+    let mut chars = local.chars();
+    let first = chars.next().unwrap();
+    if !(first.is_alphabetic() || first == '_') {
+        return None;
+    }
+    if chars.all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        Some((ns, local))
+    } else {
+        None
+    }
+}
+
+/// Serializes `graph` to RDF/XML. Prefixes remembered on the graph are
+/// reused; additional namespaces get generated `ns0`, `ns1`, … prefixes.
+pub fn write_rdfxml(graph: &Graph) -> String {
+    // Collect every namespace we need a prefix for.
+    let mut prefixes: HashMap<String, String> = HashMap::new(); // ns → prefix
+    prefixes.insert(RDF_NS.to_owned(), "rdf".to_owned());
+    for (prefix, ns) in graph.prefixes() {
+        if !prefix.is_empty() && !prefixes.contains_key(ns) && prefix != "xml" {
+            prefixes.insert(ns.clone(), prefix.clone());
+        }
+    }
+    let mut fresh = 0usize;
+    let mut iris: Vec<Iri> = Vec::new();
+    for t in graph.iter() {
+        iris.push(t.predicate.clone());
+        if let Term::Iri(iri) = &t.object {
+            iris.push(iri.clone());
+        }
+        if let Term::Iri(iri) = &t.subject {
+            iris.push(iri.clone());
+        }
+    }
+    for iri in &iris {
+        if let Some((ns, _)) = qname_split(iri) {
+            if !prefixes.contains_key(ns) {
+                let taken: Vec<&str> = prefixes.values().map(String::as_str).collect();
+                let mut candidate = format!("ns{fresh}");
+                while taken.contains(&candidate.as_str()) {
+                    fresh += 1;
+                    candidate = format!("ns{fresh}");
+                }
+                fresh += 1;
+                prefixes.insert(ns.to_owned(), candidate);
+            }
+        }
+    }
+
+    let qname = |iri: &Iri| -> Option<String> {
+        let (ns, local) = qname_split(iri)?;
+        Some(format!("{}:{local}", prefixes.get(ns)?))
+    };
+
+    // Group triples by subject; pull out a single rdf:type for typed node
+    // elements.
+    let type_iri = rdf::type_();
+    let mut by_subject: Vec<(Term, Vec<Triple>)> = Vec::new();
+    for t in graph.iter() {
+        match by_subject.last_mut() {
+            Some((s, triples)) if *s == t.subject => triples.push(t),
+            _ => by_subject.push((t.subject.clone(), vec![t])),
+        }
+    }
+
+    let mut out = String::from("<?xml version=\"1.0\"?>\n<rdf:RDF");
+    let mut ns_sorted: Vec<(&String, &String)> = prefixes.iter().collect();
+    ns_sorted.sort_by_key(|(_, p)| (*p).clone());
+    for (ns, prefix) in ns_sorted {
+        out.push_str(&format!("\n         xmlns:{prefix}=\"{}\"", escape_attr(ns)));
+    }
+    if let Some(base) = graph.base() {
+        out.push_str(&format!("\n         xml:base=\"{}\"", escape_attr(base)));
+    }
+    out.push_str(">\n");
+
+    for (subject, mut triples) in by_subject {
+        // Pick a type triple usable as the element name.
+        let type_pos = triples.iter().position(|t| {
+            t.predicate == type_iri
+                && matches!(&t.object, Term::Iri(i) if qname(i).is_some())
+        });
+        let element = match type_pos {
+            Some(pos) => {
+                let t = triples.remove(pos);
+                match t.object {
+                    Term::Iri(i) => qname(&i).expect("checked above"),
+                    _ => unreachable!(),
+                }
+            }
+            None => "rdf:Description".to_owned(),
+        };
+        out.push_str(&format!("  <{element}"));
+        match &subject {
+            Term::Iri(iri) => out.push_str(&format!(" rdf:about=\"{}\"", escape_attr(iri.as_str()))),
+            Term::Blank(b) => out.push_str(&format!(" rdf:nodeID=\"{}\"", escape_attr(&b.0))),
+            Term::Literal(_) => unreachable!("literal subject"),
+        }
+        if triples.is_empty() {
+            out.push_str("/>\n");
+            continue;
+        }
+        out.push_str(">\n");
+        for t in triples {
+            let pred = match qname(&t.predicate) {
+                Some(q) => q,
+                // Predicates that cannot be abbreviated cannot be written in
+                // RDF/XML; fall back to a generated namespace split.
+                None => {
+                    let (ns, local) = t.predicate.split_local();
+                    let _ = (ns, local);
+                    continue;
+                }
+            };
+            match &t.object {
+                Term::Iri(iri) => out.push_str(&format!(
+                    "    <{pred} rdf:resource=\"{}\"/>\n",
+                    escape_attr(iri.as_str())
+                )),
+                Term::Blank(b) => out.push_str(&format!(
+                    "    <{pred} rdf:nodeID=\"{}\"/>\n",
+                    escape_attr(&b.0)
+                )),
+                Term::Literal(lit) => {
+                    let mut attrs = String::new();
+                    if let Some(lang) = &lit.language {
+                        attrs.push_str(&format!(" xml:lang=\"{}\"", escape_attr(lang)));
+                    } else if let Some(dt) = &lit.datatype {
+                        attrs.push_str(&format!(
+                            " rdf:datatype=\"{}\"",
+                            escape_attr(dt.as_str())
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "    <{pred}{attrs}>{}</{pred}>\n",
+                        escape_text(&lit.lexical)
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!("  </{element}>\n"));
+    }
+    out.push_str("</rdf:RDF>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Literal;
+    use crate::rdfxml::parse_rdfxml;
+
+    fn roundtrip(graph: &Graph) -> Graph {
+        let xml = write_rdfxml(graph);
+        parse_rdfxml(&xml, graph.base().unwrap_or("http://example.org/"))
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"))
+    }
+
+    fn assert_same(a: &Graph, b: &Graph) {
+        assert_eq!(a.len(), b.len(), "triple counts differ");
+        for t in a.iter() {
+            assert!(b.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_typed_nodes_and_literals() {
+        let mut g = Graph::new();
+        g.add_prefix("ex", "http://example.org/v#");
+        g.set_base("http://example.org/doc");
+        let s = Term::iri("http://example.org/v#Person");
+        g.insert(Triple::new(
+            s.clone(),
+            rdf::type_(),
+            Term::iri("http://www.w3.org/2002/07/owl#Class"),
+        ));
+        g.insert(Triple::new(
+            s.clone(),
+            Iri::new("http://example.org/v#label"),
+            Term::Literal(Literal::lang("Person & <friends>", "en")),
+        ));
+        g.insert(Triple::new(
+            s,
+            Iri::new("http://example.org/v#age"),
+            Term::Literal(Literal::typed("4", Iri::new("http://www.w3.org/2001/XMLSchema#int"))),
+        ));
+        assert_same(&g, &roundtrip(&g));
+    }
+
+    #[test]
+    fn roundtrips_blank_nodes() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://e/#a"),
+            Iri::new("http://e/#knows"),
+            Term::blank("b7"),
+        ));
+        g.insert(Triple::new(
+            Term::blank("b7"),
+            Iri::new("http://e/#name"),
+            Term::literal("anon"),
+        ));
+        assert_same(&g, &roundtrip(&g));
+    }
+
+    #[test]
+    fn generates_prefixes_for_unknown_namespaces() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://a/#x"),
+            Iri::new("http://b/unseen#p"),
+            Term::iri("http://c/more#y"),
+        ));
+        let xml = write_rdfxml(&g);
+        assert!(xml.contains("xmlns:ns"));
+        assert_same(&g, &roundtrip(&g));
+    }
+
+    #[test]
+    fn untyped_subjects_use_rdf_description() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://e/#a"),
+            Iri::new("http://e/#p"),
+            Term::literal("v"),
+        ));
+        let xml = write_rdfxml(&g);
+        assert!(xml.contains("<rdf:Description rdf:about=\"http://e/#a\">"));
+    }
+
+    #[test]
+    fn escapes_markup_in_values() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://e/#a"),
+            Iri::new("http://e/#doc"),
+            Term::literal("a < b & \"c\" > d"),
+        ));
+        assert_same(&g, &roundtrip(&g));
+    }
+}

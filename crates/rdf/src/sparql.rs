@@ -1,0 +1,628 @@
+//! A minimal SPARQL SELECT engine over [`Graph`] — the query counterpart a
+//! real RDF substrate ships with (the wrappers use the pattern API
+//! directly; this engine exists for clients and tests that want to inspect
+//! wrapped ontologies at the triple level).
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! PREFIX ex: <http://example.org/>
+//! SELECT ?a ?b WHERE {
+//!   ?a rdfs:subClassOf ?b .
+//!   ?a rdf:type owl:Class .
+//!   FILTER CONTAINS(?a, "Professor")
+//! } LIMIT 10
+//! ```
+//!
+//! i.e. basic graph patterns with variable joins, `a` for `rdf:type`,
+//! literals, `FILTER CONTAINS`/`FILTER regex`-free equality filters, and
+//! `LIMIT`/`DISTINCT`. Evaluation is backtracking join in pattern order
+//! with most-selective-first reordering.
+
+use std::collections::HashMap;
+
+use crate::error::{RdfError, Result};
+use crate::graph::Graph;
+use crate::model::{Literal, Term};
+use crate::vocab::RDF_NS;
+
+/// A variable name (without the `?`).
+pub type Variable = String;
+
+/// One solution: variable → bound term.
+pub type Binding = HashMap<Variable, Term>;
+
+/// Position in a triple pattern: a constant term or a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternTerm {
+    Const(Term),
+    Var(Variable),
+}
+
+impl PatternTerm {
+    fn resolve(&self, binding: &Binding) -> Option<Term> {
+        match self {
+            PatternTerm::Const(t) => Some(t.clone()),
+            PatternTerm::Var(v) => binding.get(v).cloned(),
+        }
+    }
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    pub subject: PatternTerm,
+    pub predicate: PatternTerm,
+    pub object: PatternTerm,
+}
+
+/// `FILTER` constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// `FILTER CONTAINS(?v, "needle")` — case-insensitive containment over
+    /// the term's lexical rendering.
+    Contains(Variable, String),
+    /// `FILTER (?a = ?b)` / `FILTER (?a != ?b)`.
+    Compare(Variable, bool, PatternTerm),
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    pub variables: Vec<Variable>,
+    pub distinct: bool,
+    pub patterns: Vec<TriplePattern>,
+    pub filters: Vec<Filter>,
+    pub limit: Option<usize>,
+}
+
+/// Parses and evaluates `query` against `graph`.
+pub fn select(graph: &Graph, query: &str) -> Result<Vec<Binding>> {
+    let parsed = parse_select(query)?;
+    Ok(evaluate(graph, &parsed))
+}
+
+// ---- Parser -----------------------------------------------------------
+
+struct Tokens {
+    items: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn new(input: &str) -> Tokens {
+        // Tokenize on whitespace but keep `{ } . ( ) ,` as separate tokens
+        // and quoted strings intact.
+        let mut items = Vec::new();
+        let mut chars = input.chars().peekable();
+        let mut current = String::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    if !current.is_empty() {
+                        items.push(std::mem::take(&mut current));
+                    }
+                    let mut s = String::from("\"");
+                    for c in chars.by_ref() {
+                        s.push(c);
+                        if c == '"' {
+                            break;
+                        }
+                    }
+                    items.push(s);
+                }
+                '{' | '}' | '(' | ')' | ',' => {
+                    if !current.is_empty() {
+                        items.push(std::mem::take(&mut current));
+                    }
+                    items.push(c.to_string());
+                }
+                '.' if current.is_empty() && chars.peek().is_none_or(|n| n.is_whitespace()) => {
+                    items.push(".".to_owned());
+                }
+                c if c.is_whitespace() => {
+                    if !current.is_empty() {
+                        items.push(std::mem::take(&mut current));
+                    }
+                }
+                c => current.push(c),
+            }
+        }
+        if !current.is_empty() {
+            items.push(current);
+        }
+        Tokens { items, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.items.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.items.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &str) -> bool {
+        if self.peek().is_some_and(|t| t.eq_ignore_ascii_case(expected)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn err(message: impl Into<String>) -> RdfError {
+    RdfError::Turtle {
+        message: format!("SPARQL: {}", message.into()),
+        location: crate::error::Location { line: 1, column: 1 },
+    }
+}
+
+/// Parses a SELECT query with optional PREFIX declarations.
+pub fn parse_select(input: &str) -> Result<SelectQuery> {
+    let mut tokens = Tokens::new(input);
+    let mut prefixes: HashMap<String, String> = HashMap::new();
+    // Built-in prefixes for convenience.
+    prefixes.insert("rdf".into(), RDF_NS.into());
+    prefixes.insert("rdfs".into(), crate::vocab::RDFS_NS.into());
+    prefixes.insert("owl".into(), crate::vocab::OWL_NS.into());
+    prefixes.insert("xsd".into(), crate::vocab::XSD_NS.into());
+
+    while tokens.eat("PREFIX") {
+        let name = tokens.next().ok_or_else(|| err("expected prefix name"))?;
+        let prefix = name.strip_suffix(':').ok_or_else(|| err("prefix must end with `:`"))?;
+        let iri = tokens.next().ok_or_else(|| err("expected prefix IRI"))?;
+        let iri = iri
+            .strip_prefix('<')
+            .and_then(|s| s.strip_suffix('>'))
+            .ok_or_else(|| err("prefix IRI must be <...>"))?;
+        prefixes.insert(prefix.to_owned(), iri.to_owned());
+    }
+
+    if !tokens.eat("SELECT") {
+        return Err(err("expected SELECT"));
+    }
+    let distinct = tokens.eat("DISTINCT");
+    let mut variables = Vec::new();
+    let select_all = tokens.eat("*");
+    while let Some(t) = tokens.peek() {
+        if let Some(v) = t.strip_prefix('?') {
+            variables.push(v.to_owned());
+            tokens.next();
+        } else {
+            break;
+        }
+    }
+    if variables.is_empty() && !select_all {
+        return Err(err("expected at least one ?variable or `*`"));
+    }
+    if !tokens.eat("WHERE") {
+        return Err(err("expected WHERE"));
+    }
+    if !tokens.eat("{") {
+        return Err(err("expected `{`"));
+    }
+
+    let term = |tok: &str, prefixes: &HashMap<String, String>| -> Result<PatternTerm> {
+        if let Some(v) = tok.strip_prefix('?') {
+            return Ok(PatternTerm::Var(v.to_owned()));
+        }
+        if tok == "a" {
+            return Ok(PatternTerm::Const(Term::Iri(crate::vocab::rdf::type_())));
+        }
+        if let Some(iri) = tok.strip_prefix('<').and_then(|s| s.strip_suffix('>')) {
+            return Ok(PatternTerm::Const(Term::iri(iri)));
+        }
+        if let Some(lit) = tok.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+            return Ok(PatternTerm::Const(Term::Literal(Literal::plain(lit))));
+        }
+        if let Some((prefix, local)) = tok.split_once(':') {
+            let ns = prefixes
+                .get(prefix)
+                .ok_or_else(|| err(format!("unknown prefix `{prefix}`")))?;
+            return Ok(PatternTerm::Const(Term::iri(format!("{ns}{local}"))));
+        }
+        Err(err(format!("cannot parse term `{tok}`")))
+    };
+
+    let mut patterns = Vec::new();
+    let mut filters = Vec::new();
+    loop {
+        match tokens.peek() {
+            None => return Err(err("unterminated WHERE block")),
+            Some("}") => {
+                tokens.next();
+                break;
+            }
+            Some(".") => {
+                tokens.next();
+            }
+            Some(t) if t.eq_ignore_ascii_case("FILTER") => {
+                tokens.next();
+                filters.push(parse_filter(&mut tokens, &prefixes, &term)?);
+            }
+            Some(_) => {
+                let s = term(&tokens.next().unwrap(), &prefixes)?;
+                let p = term(
+                    &tokens.next().ok_or_else(|| err("expected predicate"))?,
+                    &prefixes,
+                )?;
+                let o = term(
+                    &tokens.next().ok_or_else(|| err("expected object"))?,
+                    &prefixes,
+                )?;
+                patterns.push(TriplePattern { subject: s, predicate: p, object: o });
+            }
+        }
+    }
+    let limit = if tokens.eat("LIMIT") {
+        Some(
+            tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("expected LIMIT count"))?,
+        )
+    } else {
+        None
+    };
+    if tokens.peek().is_some() {
+        return Err(err(format!("trailing token `{}`", tokens.peek().unwrap())));
+    }
+    if patterns.is_empty() {
+        return Err(err("WHERE block has no triple patterns"));
+    }
+
+    // SELECT *: project every variable mentioned in the patterns.
+    let variables = if select_all {
+        let mut vars = Vec::new();
+        for p in &patterns {
+            for t in [&p.subject, &p.predicate, &p.object] {
+                if let PatternTerm::Var(v) = t {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+            }
+        }
+        vars
+    } else {
+        variables
+    };
+    Ok(SelectQuery { variables, distinct, patterns, filters, limit })
+}
+
+fn parse_filter<F>(
+    tokens: &mut Tokens,
+    prefixes: &HashMap<String, String>,
+    term: &F,
+) -> Result<Filter>
+where
+    F: Fn(&str, &HashMap<String, String>) -> Result<PatternTerm>,
+{
+    // Either `CONTAINS ( ?v , "s" )` or `( ?v = term )` / `( ?v != term )`.
+    if tokens.peek().is_some_and(|t| t.eq_ignore_ascii_case("CONTAINS")) {
+        tokens.next();
+        if !tokens.eat("(") {
+            return Err(err("expected `(` after CONTAINS"));
+        }
+        let var = tokens
+            .next()
+            .and_then(|t| t.strip_prefix('?').map(str::to_owned))
+            .ok_or_else(|| err("CONTAINS needs a ?variable"))?;
+        tokens.eat(",");
+        let needle = tokens
+            .next()
+            .and_then(|t| {
+                t.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(str::to_owned)
+            })
+            .ok_or_else(|| err("CONTAINS needs a quoted string"))?;
+        if !tokens.eat(")") {
+            return Err(err("expected `)` after CONTAINS"));
+        }
+        return Ok(Filter::Contains(var, needle));
+    }
+    if !tokens.eat("(") {
+        return Err(err("expected `(` after FILTER"));
+    }
+    let var = tokens
+        .next()
+        .and_then(|t| t.strip_prefix('?').map(str::to_owned))
+        .ok_or_else(|| err("FILTER comparison needs a ?variable"))?;
+    let op = tokens.next().ok_or_else(|| err("expected comparison operator"))?;
+    let equal = match op.as_str() {
+        "=" => true,
+        "!=" => false,
+        other => return Err(err(format!("unsupported operator `{other}`"))),
+    };
+    let rhs = term(
+        &tokens.next().ok_or_else(|| err("expected comparison operand"))?,
+        prefixes,
+    )?;
+    if !tokens.eat(")") {
+        return Err(err("expected `)` after FILTER"));
+    }
+    Ok(Filter::Compare(var, equal, rhs))
+}
+
+// ---- Evaluator --------------------------------------------------------
+
+/// Evaluates a parsed query by backtracking join, most selective pattern
+/// first.
+pub fn evaluate(graph: &Graph, query: &SelectQuery) -> Vec<Binding> {
+    // Order patterns by the number of constants (more constants = more
+    // selective first). Stable so writing order breaks ties.
+    let mut patterns = query.patterns.clone();
+    patterns.sort_by_key(|p| {
+        let constants = [&p.subject, &p.predicate, &p.object]
+            .iter()
+            .filter(|t| matches!(t, PatternTerm::Const(_)))
+            .count();
+        std::cmp::Reverse(constants)
+    });
+
+    let mut results = Vec::new();
+    let mut binding = Binding::new();
+    join(graph, &patterns, 0, &mut binding, query, &mut results);
+    if let Some(limit) = query.limit {
+        results.truncate(limit);
+    }
+    results
+}
+
+fn join(
+    graph: &Graph,
+    patterns: &[TriplePattern],
+    index: usize,
+    binding: &mut Binding,
+    query: &SelectQuery,
+    results: &mut Vec<Binding>,
+) {
+    if query.limit.is_some_and(|l| results.len() >= l && !query.distinct) {
+        return;
+    }
+    if index == patterns.len() {
+        if !query.filters.iter().all(|f| filter_holds(f, binding)) {
+            return;
+        }
+        let mut projected = Binding::new();
+        for v in &query.variables {
+            if let Some(t) = binding.get(v) {
+                projected.insert(v.clone(), t.clone());
+            }
+        }
+        if query.distinct {
+            let key: Vec<Option<&Term>> =
+                query.variables.iter().map(|v| projected.get(v)).collect();
+            if results.iter().any(|r| {
+                query.variables.iter().map(|v| r.get(v)).collect::<Vec<_>>() == key
+            }) {
+                return;
+            }
+        }
+        results.push(projected);
+        return;
+    }
+    let p = &patterns[index];
+    let s = p.subject.resolve(binding);
+    let pr = p.predicate.resolve(binding);
+    let o = p.object.resolve(binding);
+    let pred_iri = match &pr {
+        Some(Term::Iri(iri)) => Some(iri.clone()),
+        Some(_) => return, // predicate bound to a non-IRI: no matches
+        None => None,
+    };
+    let matches = graph.matching(s.as_ref(), pred_iri.as_ref(), o.as_ref());
+    for triple in matches {
+        let mut added: Vec<Variable> = Vec::new();
+        let mut ok = true;
+        for (pt, actual) in [
+            (&p.subject, triple.subject.clone()),
+            (&p.predicate, Term::Iri(triple.predicate.clone())),
+            (&p.object, triple.object.clone()),
+        ] {
+            if let PatternTerm::Var(v) = pt {
+                match binding.get(v) {
+                    Some(bound) if *bound != actual => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(v.clone(), actual);
+                        added.push(v.clone());
+                    }
+                }
+            }
+        }
+        if ok {
+            join(graph, patterns, index + 1, binding, query, results);
+        }
+        for v in added {
+            binding.remove(&v);
+        }
+    }
+}
+
+fn render(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => iri.as_str().to_owned(),
+        Term::Blank(b) => format!("_:{}", b.0),
+        Term::Literal(l) => l.lexical.clone(),
+    }
+}
+
+fn filter_holds(filter: &Filter, binding: &Binding) -> bool {
+    match filter {
+        Filter::Contains(var, needle) => binding
+            .get(var)
+            .is_some_and(|t| render(t).to_lowercase().contains(&needle.to_lowercase())),
+        Filter::Compare(var, equal, rhs) => {
+            let Some(lhs) = binding.get(var) else { return false };
+            let rhs = match rhs {
+                PatternTerm::Const(t) => t.clone(),
+                PatternTerm::Var(v) => match binding.get(v) {
+                    Some(t) => t.clone(),
+                    None => return false,
+                },
+            };
+            (*lhs == rhs) == *equal
+        }
+    }
+}
+
+/// Convenience: renders solutions as a list of `var=value` strings per row
+/// (for shells and debugging).
+pub fn render_solutions(query: &SelectQuery, solutions: &[Binding]) -> String {
+    let mut out = String::new();
+    for binding in solutions {
+        let row: Vec<String> = query
+            .variables
+            .iter()
+            .map(|v| {
+                format!(
+                    "?{v}={}",
+                    binding.get(v).map(render).unwrap_or_else(|| "∅".to_owned())
+                )
+            })
+            .collect();
+        out.push_str(&row.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turtle::parse_turtle;
+
+    fn graph() -> Graph {
+        parse_turtle(
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             @prefix owl: <http://www.w3.org/2002/07/owl#> .\n\
+             @prefix ex: <http://e/#> .\n\
+             ex:Person a owl:Class .\n\
+             ex:Student a owl:Class ; rdfs:subClassOf ex:Person .\n\
+             ex:Professor a owl:Class ; rdfs:subClassOf ex:Person ;\n\
+                          rdfs:comment \"teaches and researches\" .\n\
+             ex:alice a ex:Student ; ex:name \"Alice\" .\n",
+            "http://e/",
+        )
+        .expect("turtle")
+    }
+
+    #[test]
+    fn single_pattern_query() {
+        let g = graph();
+        let rows = select(&g, "SELECT ?c WHERE { ?c a owl:Class . }").expect("query");
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let g = graph();
+        let rows = select(
+            &g,
+            "PREFIX ex: <http://e/#>\n\
+             SELECT ?sub ?sup WHERE { ?sub rdfs:subClassOf ?sup . ?sub a owl:Class . }",
+        )
+        .expect("query");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(render(&row["sup"]), "http://e/#Person");
+        }
+    }
+
+    #[test]
+    fn variable_join_through_instances() {
+        let g = graph();
+        let rows = select(
+            &g,
+            "PREFIX ex: <http://e/#>\n\
+             SELECT ?who ?class WHERE { ?who a ?class . ?class rdfs:subClassOf ex:Person . }",
+        )
+        .expect("query");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(render(&rows[0]["who"]), "http://e/#alice");
+    }
+
+    #[test]
+    fn filter_contains_and_compare() {
+        let g = graph();
+        let rows = select(
+            &g,
+            "SELECT ?c WHERE { ?c a owl:Class . FILTER CONTAINS(?c, \"prof\") }",
+        )
+        .expect("query");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(render(&rows[0]["c"]), "http://e/#Professor");
+
+        let rows = select(
+            &g,
+            "PREFIX ex: <http://e/#>\n\
+             SELECT ?c WHERE { ?c a owl:Class . FILTER (?c != ex:Person) }",
+        )
+        .expect("query");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn literals_and_select_star() {
+        let g = graph();
+        let rows = select(
+            &g,
+            "PREFIX ex: <http://e/#>\nSELECT * WHERE { ?s ex:name \"Alice\" . }",
+        )
+        .expect("query");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(render(&rows[0]["s"]), "http://e/#alice");
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let g = graph();
+        let rows = select(
+            &g,
+            "SELECT DISTINCT ?sup WHERE { ?sub rdfs:subClassOf ?sup . }",
+        )
+        .expect("query");
+        assert_eq!(rows.len(), 1);
+        let rows = select(&g, "SELECT ?c WHERE { ?c a owl:Class . } LIMIT 2").expect("query");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn unbound_patterns_match_nothing() {
+        let g = graph();
+        let rows = select(
+            &g,
+            "PREFIX ex: <http://e/#>\nSELECT ?x WHERE { ?x rdfs:subClassOf ex:Ghost . }",
+        )
+        .expect("query");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        let g = graph();
+        assert!(select(&g, "SELECT WHERE { ?a ?b ?c }").is_err());
+        assert!(select(&g, "SELECT ?a { ?a ?b ?c }").is_err()); // no WHERE
+        assert!(select(&g, "SELECT ?a WHERE { ?a ?b }").is_err()); // short pattern
+        assert!(select(&g, "SELECT ?a WHERE { ?a nope:x ?c }").is_err()); // bad prefix
+        assert!(select(&g, "SELECT ?a WHERE { }").is_err()); // empty
+    }
+
+    #[test]
+    fn render_solutions_shape() {
+        let g = graph();
+        let q = parse_select("SELECT ?c WHERE { ?c a owl:Class . } LIMIT 1").unwrap();
+        let rows = evaluate(&g, &q);
+        let text = render_solutions(&q, &rows);
+        assert!(text.starts_with("?c=http://e/#"));
+    }
+}

@@ -1,0 +1,769 @@
+//! Turtle parser and serializer.
+//!
+//! Supports the subset ontology tooling emits: `@prefix`/`@base` (and the
+//! SPARQL-style `PREFIX`/`BASE`), prefixed names, the `a` keyword, object
+//! lists (`,`), predicate-object lists (`;`), anonymous blank nodes
+//! (`[ ... ]`), labelled blank nodes, collections `( ... )`, quoted literals
+//! with language tags and datatypes, long strings (`"""..."""`), and bare
+//! integer / decimal / boolean abbreviations.
+
+use std::collections::HashMap;
+
+use crate::error::{Location, RdfError, Result};
+use crate::graph::Graph;
+use crate::model::{escape_literal, Iri, Literal, Term, Triple};
+use crate::rdfxml::resolve_iri;
+use crate::vocab::{rdf, XSD_NS};
+
+/// Parses a Turtle document. `base` seeds relative-IRI resolution and can be
+/// overridden by an in-document `@base`.
+pub fn parse_turtle(input: &str, base: &str) -> Result<Graph> {
+    let mut p = TurtleParser {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        column: 1,
+        base: base.to_owned(),
+        prefixes: HashMap::new(),
+        graph: Graph::new(),
+        blank_counter: 0,
+    };
+    p.parse_document()?;
+    Ok(p.graph)
+}
+
+struct TurtleParser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    base: String,
+    prefixes: HashMap<String, String>,
+    graph: Graph,
+    blank_counter: u64,
+}
+
+impl TurtleParser {
+    fn location(&self) -> Location {
+        Location { line: self.line, column: self.column }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(RdfError::Turtle { message: message.into(), location: self.location() })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.chars.get(self.pos + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), Some('\n') | None) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{c}`"))
+        }
+    }
+
+    fn starts_with_keyword(&self, kw: &str) -> bool {
+        let mut i = 0;
+        for kc in kw.chars() {
+            match self.peek_at(i) {
+                Some(c) if c.eq_ignore_ascii_case(&kc) => i += 1,
+                _ => return false,
+            }
+        }
+        // Must be followed by whitespace or '<'.
+        matches!(self.peek_at(i), Some(c) if c.is_whitespace() || c == '<')
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::blank(format!("tb{}", self.blank_counter))
+    }
+
+    fn parse_document(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Ok(());
+            }
+            if self.peek() == Some('@') {
+                self.parse_at_directive()?;
+                continue;
+            }
+            if self.starts_with_keyword("PREFIX") {
+                for _ in 0.."PREFIX".len() {
+                    self.bump();
+                }
+                self.parse_prefix_binding()?;
+                continue;
+            }
+            if self.starts_with_keyword("BASE") {
+                for _ in 0.."BASE".len() {
+                    self.bump();
+                }
+                self.skip_ws();
+                let iri = self.parse_iriref()?;
+                self.base = iri;
+                continue;
+            }
+            self.parse_statement()?;
+        }
+    }
+
+    fn parse_at_directive(&mut self) -> Result<()> {
+        self.expect('@')?;
+        let word = self.parse_bare_word();
+        match word.as_str() {
+            "prefix" => {
+                self.parse_prefix_binding()?;
+                self.skip_ws();
+                self.expect('.')
+            }
+            "base" => {
+                self.skip_ws();
+                let iri = self.parse_iriref()?;
+                self.base = iri;
+                self.skip_ws();
+                self.expect('.')
+            }
+            other => self.err(format!("unknown directive `@{other}`")),
+        }
+    }
+
+    fn parse_prefix_binding(&mut self) -> Result<()> {
+        self.skip_ws();
+        // prefix name up to ':'
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return self.err("whitespace in prefix name");
+            }
+            prefix.push(c);
+            self.bump();
+        }
+        self.expect(':')?;
+        self.skip_ws();
+        let ns = self.parse_iriref()?;
+        self.prefixes.insert(prefix.clone(), ns.clone());
+        self.graph.add_prefix(prefix, ns);
+        Ok(())
+    }
+
+    fn parse_bare_word(&mut self) -> String {
+        let mut w = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                w.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        w
+    }
+
+    fn parse_statement(&mut self) -> Result<()> {
+        let subject = self.parse_subject()?;
+        self.parse_predicate_object_list(&subject)?;
+        self.skip_ws();
+        self.expect('.')
+    }
+
+    fn parse_subject(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(Iri::new(self.parse_resolved_iri()?))),
+            Some('_') => self.parse_blank_label(),
+            Some('[') => self.parse_blank_node_property_list(),
+            Some('(') => self.parse_collection(),
+            Some(_) => Ok(Term::Iri(self.parse_prefixed_name()?)),
+            None => self.err("expected subject"),
+        }
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<()> {
+        loop {
+            self.skip_ws();
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_object()?;
+                self.graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                if !self.eat(',') {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if self.eat(';') {
+                self.skip_ws();
+                // Allow trailing `;` before `.` or `]`.
+                if matches!(self.peek(), Some('.') | Some(']') | None) {
+                    return Ok(());
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri> {
+        self.skip_ws();
+        if self.peek() == Some('a')
+            && matches!(self.peek_at(1), Some(c) if c.is_whitespace() || c == '<' || c == '[')
+        {
+            self.bump();
+            return Ok(rdf::type_());
+        }
+        match self.peek() {
+            Some('<') => Ok(Iri::new(self.parse_resolved_iri()?)),
+            Some(_) => self.parse_prefixed_name(),
+            None => self.err("expected predicate"),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(Iri::new(self.parse_resolved_iri()?))),
+            Some('_') => self.parse_blank_label(),
+            Some('[') => self.parse_blank_node_property_list(),
+            Some('(') => self.parse_collection(),
+            Some('"') | Some('\'') => self.parse_quoted_literal(),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => self.parse_numeric_literal(),
+            Some('t') | Some('f')
+                if self.matches_boolean() =>
+            {
+                self.parse_boolean_literal()
+            }
+            Some(_) => Ok(Term::Iri(self.parse_prefixed_name()?)),
+            None => self.err("expected object"),
+        }
+    }
+
+    fn matches_boolean(&self) -> bool {
+        for word in ["true", "false"] {
+            let mut ok = true;
+            for (i, kc) in word.chars().enumerate() {
+                if self.peek_at(i) != Some(kc) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let after = self.peek_at(word.len());
+                if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == ':') {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn parse_boolean_literal(&mut self) -> Result<Term> {
+        let word = self.parse_bare_word();
+        Ok(Term::Literal(Literal::typed(word, Iri::new(format!("{XSD_NS}boolean")))))
+    }
+
+    fn parse_numeric_literal(&mut self) -> Result<Term> {
+        let mut lexical = String::new();
+        if matches!(self.peek(), Some('+') | Some('-')) {
+            lexical.push(self.bump().unwrap());
+        }
+        let mut is_decimal = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                lexical.push(c);
+                self.bump();
+            } else if c == '.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                is_decimal = true;
+                lexical.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if lexical.is_empty() || lexical == "+" || lexical == "-" {
+            return self.err("malformed number");
+        }
+        let dt = if is_decimal { "decimal" } else { "integer" };
+        Ok(Term::Literal(Literal::typed(lexical, Iri::new(format!("{XSD_NS}{dt}")))))
+    }
+
+    fn parse_iriref(&mut self) -> Result<String> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some(c) if c.is_whitespace() => return self.err("whitespace in IRI"),
+                Some(c) => iri.push(c),
+                None => return self.err("unterminated IRI"),
+            }
+        }
+        Ok(resolve_iri(&self.base, &iri))
+    }
+
+    fn parse_resolved_iri(&mut self) -> Result<String> {
+        self.parse_iriref()
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Iri> {
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                prefix.push(c);
+                self.bump();
+            } else {
+                return self.err(format!("unexpected character `{c}` in prefixed name"));
+            }
+        }
+        if !self.eat(':') {
+            return self.err("expected `:` in prefixed name");
+        }
+        let ns = self.prefixes.get(&prefix).cloned().ok_or_else(|| RdfError::UnknownPrefix {
+            prefix: prefix.clone(),
+            location: self.location(),
+        })?;
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                // A trailing '.' terminates the statement, not the name.
+                if c == '.'
+                    && !matches!(self.peek_at(1), Some(d) if d.is_alphanumeric() || d == '_')
+                {
+                    break;
+                }
+                local.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(Iri::new(format!("{ns}{local}")))
+    }
+
+    fn parse_blank_label(&mut self) -> Result<Term> {
+        if !(self.peek() == Some('_') && self.peek_at(1) == Some(':')) {
+            return self.err("expected `_:`");
+        }
+        self.bump();
+        self.bump();
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return self.err("empty blank node label");
+        }
+        Ok(Term::blank(label))
+    }
+
+    fn parse_blank_node_property_list(&mut self) -> Result<Term> {
+        self.expect('[')?;
+        let node = self.fresh_blank();
+        self.skip_ws();
+        if self.eat(']') {
+            return Ok(node);
+        }
+        self.parse_predicate_object_list(&node)?;
+        self.skip_ws();
+        self.expect(']')?;
+        Ok(node)
+    }
+
+    fn parse_collection(&mut self) -> Result<Term> {
+        self.expect('(')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(')') {
+                break;
+            }
+            if self.peek().is_none() {
+                return self.err("unterminated collection");
+            }
+            items.push(self.parse_object()?);
+        }
+        let mut head = Term::Iri(rdf::nil());
+        for item in items.into_iter().rev() {
+            let cell = self.fresh_blank();
+            self.graph.insert(Triple::new(cell.clone(), rdf::first(), item));
+            self.graph.insert(Triple::new(cell.clone(), rdf::rest(), head));
+            head = cell;
+        }
+        Ok(head)
+    }
+
+    fn parse_quoted_literal(&mut self) -> Result<Term> {
+        let quote = self.peek().unwrap();
+        let long = self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote);
+        let lexical = if long {
+            self.bump();
+            self.bump();
+            self.bump();
+            let mut s = String::new();
+            loop {
+                if self.peek() == Some(quote)
+                    && self.peek_at(1) == Some(quote)
+                    && self.peek_at(2) == Some(quote)
+                {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                match self.bump() {
+                    Some('\\') => s.push(self.unescape()?),
+                    Some(c) => s.push(c),
+                    None => return self.err("unterminated long string"),
+                }
+            }
+            s
+        } else {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    Some(c) if c == quote => break,
+                    Some('\\') => s.push(self.unescape()?),
+                    Some('\n') => return self.err("newline in short string"),
+                    Some(c) => s.push(c),
+                    None => return self.err("unterminated string"),
+                }
+            }
+            s
+        };
+        if self.eat('@') {
+            let mut lang = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    lang.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if lang.is_empty() {
+                return self.err("empty language tag");
+            }
+            return Ok(Term::Literal(Literal::lang(lexical, lang)));
+        }
+        if self.peek() == Some('^') && self.peek_at(1) == Some('^') {
+            self.bump();
+            self.bump();
+            self.skip_ws();
+            let dt = match self.peek() {
+                Some('<') => Iri::new(self.parse_resolved_iri()?),
+                _ => self.parse_prefixed_name()?,
+            };
+            return Ok(Term::Literal(Literal::typed(lexical, dt)));
+        }
+        Ok(Term::Literal(Literal::plain(lexical)))
+    }
+
+    fn unescape(&mut self) -> Result<char> {
+        match self.bump() {
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('t') => Ok('\t'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some(e @ ('u' | 'U')) => {
+                let n = if e == 'u' { 4 } else { 8 };
+                let mut hex = String::new();
+                for _ in 0..n {
+                    hex.push(self.bump().ok_or_else(|| {
+                        self.err::<()>("truncated \\u escape").unwrap_err()
+                    })?);
+                }
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| {
+                        self.err::<()>("bad \\u escape").unwrap_err()
+                    })?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err::<()>("\\u out of range").unwrap_err())
+            }
+            Some(other) => self.err(format!("unknown escape `\\{other}`")),
+            None => self.err("dangling escape"),
+        }
+    }
+}
+
+/// Serializes a graph to Turtle, grouping statements by subject and using the
+/// graph's remembered prefixes.
+pub fn write_turtle(graph: &Graph) -> String {
+    let mut out = String::new();
+    let prefixes: Vec<(String, String)> = graph
+        .prefixes()
+        .iter()
+        .filter(|(p, _)| !p.is_empty())
+        .cloned()
+        .collect();
+    for (prefix, ns) in &prefixes {
+        out.push_str(&format!("@prefix {prefix}: <{ns}> .\n"));
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+    let shorten = |iri: &Iri| -> String {
+        for (prefix, ns) in &prefixes {
+            if let Some(local) = iri.as_str().strip_prefix(ns.as_str()) {
+                if !local.is_empty()
+                    && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                {
+                    return format!("{prefix}:{local}");
+                }
+            }
+        }
+        format!("<{}>", iri.as_str())
+    };
+    let term_str = |t: &Term| -> String {
+        match t {
+            Term::Iri(i) => shorten(i),
+            Term::Blank(b) => format!("_:{}", b.0),
+            Term::Literal(l) => {
+                let mut s = format!("\"{}\"", escape_literal(&l.lexical));
+                if let Some(lang) = &l.language {
+                    s.push('@');
+                    s.push_str(lang);
+                } else if let Some(dt) = &l.datatype {
+                    s.push_str("^^");
+                    s.push_str(&shorten(dt));
+                }
+                s
+            }
+        }
+    };
+
+    let mut current_subject: Option<Term> = None;
+    let type_iri = rdf::type_();
+    for triple in graph.iter() {
+        let pred = if triple.predicate == type_iri {
+            "a".to_owned()
+        } else {
+            shorten(&triple.predicate)
+        };
+        if current_subject.as_ref() == Some(&triple.subject) {
+            out.push_str(&format!(" ;\n    {} {}", pred, term_str(&triple.object)));
+        } else {
+            if current_subject.is_some() {
+                out.push_str(" .\n");
+            }
+            out.push_str(&format!(
+                "{} {} {}",
+                term_str(&triple.subject),
+                pred,
+                term_str(&triple.object)
+            ));
+            current_subject = Some(triple.subject.clone());
+        }
+    }
+    if current_subject.is_some() {
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "http://example.org/doc";
+
+    #[test]
+    fn parses_prefixes_and_statements() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:s ex:p ex:o .\n",
+            BASE,
+        )
+        .expect("parse");
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/s"),
+            Iri::new("http://e/p"),
+            Term::iri("http://e/o"),
+        )));
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let g = parse_turtle("PREFIX ex: <http://e/>\nex:s ex:p ex:o .", BASE).expect("parse");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn a_keyword_and_lists() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:s a ex:T ; ex:p ex:o1 , ex:o2 .\n",
+            BASE,
+        )
+        .expect("parse");
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/s"),
+            rdf::type_(),
+            Term::iri("http://e/T"),
+        )));
+    }
+
+    #[test]
+    fn literals_with_tags_types_and_numbers() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             ex:s ex:name \"Anna\"@de ; ex:age 42 ; ex:score 3.5 ;\n\
+                  ex:ok true ; ex:id \"7\"^^xsd:long .\n",
+            BASE,
+        )
+        .expect("parse");
+        assert_eq!(g.len(), 5);
+        let s = Term::iri("http://e/s");
+        assert_eq!(
+            g.object_for(&s, &Iri::new("http://e/age")).unwrap(),
+            Term::Literal(Literal::typed("42", Iri::new(format!("{XSD_NS}integer"))))
+        );
+        assert_eq!(
+            g.object_for(&s, &Iri::new("http://e/ok")).unwrap(),
+            Term::Literal(Literal::typed("true", Iri::new(format!("{XSD_NS}boolean"))))
+        );
+    }
+
+    #[test]
+    fn long_strings() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\nex:s ex:doc \"\"\"line1\nline2 \"quoted\" end\"\"\" .\n",
+            BASE,
+        )
+        .expect("parse");
+        let lit = g.iter().next().unwrap().object;
+        assert_eq!(lit.as_literal().unwrap().lexical, "line1\nline2 \"quoted\" end");
+    }
+
+    #[test]
+    fn blank_node_property_lists() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\nex:s ex:p [ ex:q ex:o ; ex:r \"x\" ] .\n",
+            BASE,
+        )
+        .expect("parse");
+        assert_eq!(g.len(), 3);
+        let inner = g.object_for(&Term::iri("http://e/s"), &Iri::new("http://e/p")).unwrap();
+        assert!(matches!(inner, Term::Blank(_)));
+        assert_eq!(g.objects_for(&inner, &Iri::new("http://e/q")).len(), 1);
+    }
+
+    #[test]
+    fn collections() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\nex:s ex:p ( ex:a ex:b ) .\n",
+            BASE,
+        )
+        .expect("parse");
+        let head = g.object_for(&Term::iri("http://e/s"), &Iri::new("http://e/p")).unwrap();
+        assert_eq!(g.object_for(&head, &rdf::first()).unwrap(), Term::iri("http://e/a"));
+    }
+
+    #[test]
+    fn relative_iris_resolve_against_base() {
+        let g = parse_turtle("<#s> <#p> <#o> .", "http://h/doc").expect("parse");
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://h/doc#s"),
+            Iri::new("http://h/doc#p"),
+            Term::iri("http://h/doc#o"),
+        )));
+    }
+
+    #[test]
+    fn at_base_directive() {
+        let g = parse_turtle("@base <http://nb/x> .\n<#s> <#p> <#o> .", BASE).expect("parse");
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://nb/x#s"),
+            Iri::new("http://nb/x#p"),
+            Term::iri("http://nb/x#o"),
+        )));
+    }
+
+    #[test]
+    fn unknown_prefix_errors() {
+        assert!(matches!(
+            parse_turtle("nope:s nope:p nope:o .", BASE),
+            Err(RdfError::UnknownPrefix { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let src = "@prefix ex: <http://e/> .\n\
+                   ex:s a ex:T ; ex:p ex:o1 , ex:o2 ; ex:n \"x\"@en .\n\
+                   ex:t ex:q 5 .\n";
+        let g = parse_turtle(src, BASE).expect("parse");
+        let out = write_turtle(&g);
+        let g2 = parse_turtle(&out, BASE).expect("reparse");
+        assert_eq!(g.len(), g2.len());
+        for t in g.iter() {
+            assert!(g2.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_is_tolerated() {
+        let g = parse_turtle("@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .\n", BASE)
+            .expect("parse");
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Well-known vocabulary namespaces and terms used by the ontology wrappers.
+
+/// RDF syntax namespace.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// RDF Schema namespace.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// OWL namespace.
+pub const OWL_NS: &str = "http://www.w3.org/2002/07/owl#";
+/// DAML+OIL (March 2001) namespace.
+pub const DAML_NS: &str = "http://www.daml.org/2001/03/daml+oil#";
+/// XML Schema datatypes namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// RDF vocabulary.
+pub mod rdf {
+    use crate::model::Iri;
+
+    pub fn type_() -> Iri {
+        Iri::new(format!("{}type", super::RDF_NS))
+    }
+    pub fn property() -> Iri {
+        Iri::new(format!("{}Property", super::RDF_NS))
+    }
+    pub fn first() -> Iri {
+        Iri::new(format!("{}first", super::RDF_NS))
+    }
+    pub fn rest() -> Iri {
+        Iri::new(format!("{}rest", super::RDF_NS))
+    }
+    pub fn nil() -> Iri {
+        Iri::new(format!("{}nil", super::RDF_NS))
+    }
+}
+
+/// RDFS vocabulary.
+pub mod rdfs {
+    use crate::model::Iri;
+
+    pub fn class() -> Iri {
+        Iri::new(format!("{}Class", super::RDFS_NS))
+    }
+    pub fn sub_class_of() -> Iri {
+        Iri::new(format!("{}subClassOf", super::RDFS_NS))
+    }
+    pub fn sub_property_of() -> Iri {
+        Iri::new(format!("{}subPropertyOf", super::RDFS_NS))
+    }
+    pub fn domain() -> Iri {
+        Iri::new(format!("{}domain", super::RDFS_NS))
+    }
+    pub fn range() -> Iri {
+        Iri::new(format!("{}range", super::RDFS_NS))
+    }
+    pub fn label() -> Iri {
+        Iri::new(format!("{}label", super::RDFS_NS))
+    }
+    pub fn comment() -> Iri {
+        Iri::new(format!("{}comment", super::RDFS_NS))
+    }
+}
+
+/// OWL vocabulary.
+pub mod owl {
+    use crate::model::Iri;
+
+    pub fn class() -> Iri {
+        Iri::new(format!("{}Class", super::OWL_NS))
+    }
+    pub fn thing() -> Iri {
+        Iri::new(format!("{}Thing", super::OWL_NS))
+    }
+    pub fn ontology() -> Iri {
+        Iri::new(format!("{}Ontology", super::OWL_NS))
+    }
+    pub fn object_property() -> Iri {
+        Iri::new(format!("{}ObjectProperty", super::OWL_NS))
+    }
+    pub fn datatype_property() -> Iri {
+        Iri::new(format!("{}DatatypeProperty", super::OWL_NS))
+    }
+    pub fn equivalent_class() -> Iri {
+        Iri::new(format!("{}equivalentClass", super::OWL_NS))
+    }
+    pub fn disjoint_with() -> Iri {
+        Iri::new(format!("{}disjointWith", super::OWL_NS))
+    }
+    pub fn version_info() -> Iri {
+        Iri::new(format!("{}versionInfo", super::OWL_NS))
+    }
+    pub fn inverse_of() -> Iri {
+        Iri::new(format!("{}inverseOf", super::OWL_NS))
+    }
+}
+
+/// DAML+OIL vocabulary.
+pub mod daml {
+    use crate::model::Iri;
+
+    pub fn class() -> Iri {
+        Iri::new(format!("{}Class", super::DAML_NS))
+    }
+    pub fn thing() -> Iri {
+        Iri::new(format!("{}Thing", super::DAML_NS))
+    }
+    pub fn ontology() -> Iri {
+        Iri::new(format!("{}Ontology", super::DAML_NS))
+    }
+    pub fn object_property() -> Iri {
+        Iri::new(format!("{}ObjectProperty", super::DAML_NS))
+    }
+    pub fn datatype_property() -> Iri {
+        Iri::new(format!("{}DatatypeProperty", super::DAML_NS))
+    }
+    pub fn sub_class_of() -> Iri {
+        Iri::new(format!("{}subClassOf", super::DAML_NS))
+    }
+    pub fn same_class_as() -> Iri {
+        Iri::new(format!("{}sameClassAs", super::DAML_NS))
+    }
+    pub fn version_info() -> Iri {
+        Iri::new(format!("{}versionInfo", super::DAML_NS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn terms_are_well_formed() {
+        assert_eq!(
+            super::rdf::type_().as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        );
+        assert_eq!(super::owl::thing().local_name(), "Thing");
+        assert_eq!(super::daml::class().split_local().0, super::DAML_NS);
+    }
+}

@@ -1,0 +1,727 @@
+//! A small, non-validating XML 1.0 pull parser.
+//!
+//! This is the substrate underneath the RDF/XML reader (and therefore
+//! underneath the OWL and DAML ontology wrappers). It supports the subset of
+//! XML that real-world ontology documents use: elements, attributes,
+//! character data, CDATA sections, comments, processing instructions, the
+//! XML declaration, DOCTYPE declarations (skipped, including internal
+//! subsets), numeric and predefined entity references, and both `\n` and
+//! `\r\n` line endings.
+//!
+//! The parser is *pull based*: [`XmlParser::next_event`] returns one
+//! [`XmlEvent`] at a time, which keeps memory proportional to the largest
+//! single token rather than the document.
+
+use crate::error::{Location, RdfError, Result};
+
+/// A single XML attribute as written in the document (prefix not resolved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Qualified name, e.g. `rdf:about`.
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// One event pulled from the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v">` or `<name attr="v"/>`.
+    StartElement {
+        name: String,
+        attributes: Vec<Attribute>,
+        /// True for `<name/>`; no matching [`XmlEvent::EndElement`] follows.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndElement { name: String },
+    /// Character data between tags, with entities decoded. Consecutive text
+    /// and CDATA runs are *not* merged; callers accumulate as needed.
+    Text(String),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(String),
+    /// `<!-- ... -->` content.
+    Comment(String),
+    /// `<?target data?>` (the XML declaration is reported this way too).
+    ProcessingInstruction { target: String, data: String },
+    /// End of input.
+    Eof,
+}
+
+/// Pull parser over an in-memory document.
+#[derive(Debug)]
+pub struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+    /// Stack of open element names, used to validate nesting.
+    open: Vec<String>,
+    finished: bool,
+}
+
+impl<'a> XmlParser<'a> {
+    /// Creates a parser over `input`. The input must be UTF-8 (enforced by
+    /// the `&str` type).
+    pub fn new(input: &'a str) -> Self {
+        // Skip a UTF-8 byte-order mark if present (editors emit them).
+        let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+        XmlParser {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            open: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Current location, for error reporting.
+    pub fn location(&self) -> Location {
+        Location { line: self.line, column: self.column }
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(RdfError::Xml { message: message.into(), location: self.location() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not UTF-8 continuation bytes.
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Reads until (excluding) `delim`, returning the raw slice. Errors on EOF.
+    fn read_until(&mut self, delim: &[u8], what: &str) -> Result<String> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            if self.starts_with(delim) {
+                let raw = &self.input[start..self.pos];
+                self.advance(delim.len());
+                return Ok(String::from_utf8_lossy(raw).into_owned());
+            }
+            self.bump();
+        }
+        self.err(format!("unterminated {what}"))
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return self.err("expected a name"),
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.bump();
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Decodes character and predefined entity references in `raw`.
+    fn decode_entities(&self, raw: &str) -> Result<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_owned());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp + 1..];
+            let semi = match rest.find(';') {
+                Some(i) if i <= 10 => i,
+                _ => return self.err("unterminated entity reference"),
+            };
+            let entity = &rest[..semi];
+            rest = &rest[semi + 1..];
+            match entity {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    let code = u32::from_str_radix(&entity[2..], 16)
+                        .map_err(|_| self.err::<()>("bad hex character reference").unwrap_err())?;
+                    out.push(char::from_u32(code).ok_or_else(|| {
+                        self.err::<()>("character reference out of range").unwrap_err()
+                    })?);
+                }
+                _ if entity.starts_with('#') => {
+                    let code = entity[1..].parse::<u32>().map_err(|_| {
+                        self.err::<()>("bad decimal character reference").unwrap_err()
+                    })?;
+                    out.push(char::from_u32(code).ok_or_else(|| {
+                        self.err::<()>("character reference out of range").unwrap_err()
+                    })?);
+                }
+                _ => {
+                    // Unknown general entity: ontologies occasionally declare
+                    // entities in the DTD internal subset (e.g. `&owl;`). We
+                    // do not expand DTD entities; report clearly.
+                    return self.err(format!("unsupported entity reference `&{entity};`"));
+                }
+            }
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+
+    fn read_attribute(&mut self) -> Result<Attribute> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        if self.peek() != Some(b'=') {
+            return self.err(format!("expected `=` after attribute `{name}`"));
+        }
+        self.bump();
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.bump();
+        let raw = self.read_until(&[quote], "attribute value")?;
+        // Attribute-value normalization: newlines and tabs become spaces.
+        let normalized: String = raw
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' || c == '\t' { ' ' } else { c })
+            .collect();
+        let value = self.decode_entities(&normalized)?;
+        Ok(Attribute { name, value })
+    }
+
+    fn read_start_element(&mut self) -> Result<XmlEvent> {
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    self.open.push(name.clone());
+                    return Ok(XmlEvent::StartElement { name, attributes, self_closing: false });
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.peek() != Some(b'>') {
+                        return self.err("expected `>` after `/`");
+                    }
+                    self.bump();
+                    return Ok(XmlEvent::StartElement { name, attributes, self_closing: true });
+                }
+                Some(b) if Self::is_name_start(b) => {
+                    let attr = self.read_attribute()?;
+                    if attributes.iter().any(|a: &Attribute| a.name == attr.name) {
+                        return self.err(format!("duplicate attribute `{}`", attr.name));
+                    }
+                    attributes.push(attr);
+                }
+                Some(_) => return self.err("unexpected character in tag"),
+                None => return self.err("unexpected end of input inside tag"),
+            }
+        }
+    }
+
+    fn read_end_element(&mut self) -> Result<XmlEvent> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        if self.peek() != Some(b'>') {
+            return self.err("expected `>` in end tag");
+        }
+        self.bump();
+        match self.open.pop() {
+            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+            Some(open) => self.err(format!("mismatched end tag: expected `</{open}>`, found `</{name}>`")),
+            None => self.err(format!("unexpected end tag `</{name}>`")),
+        }
+    }
+
+    /// Skips a `<!DOCTYPE ...>` declaration, including a bracketed internal
+    /// subset.
+    fn skip_doctype(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        self.err("unterminated DOCTYPE declaration")
+    }
+
+    /// Pulls the next event. After [`XmlEvent::Eof`] has been returned the
+    /// parser keeps returning `Eof`.
+    pub fn next_event(&mut self) -> Result<XmlEvent> {
+        if self.finished {
+            return Ok(XmlEvent::Eof);
+        }
+        if self.pos >= self.input.len() {
+            if let Some(open) = self.open.last() {
+                return self.err(format!("unexpected end of input: `<{open}>` not closed"));
+            }
+            self.finished = true;
+            return Ok(XmlEvent::Eof);
+        }
+        if self.peek() == Some(b'<') {
+            self.bump();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    self.read_end_element()
+                }
+                Some(b'?') => {
+                    self.bump();
+                    let target = self.read_name()?;
+                    self.skip_whitespace();
+                    let data = self.read_until(b"?>", "processing instruction")?;
+                    Ok(XmlEvent::ProcessingInstruction { target, data })
+                }
+                Some(b'!') => {
+                    self.bump();
+                    if self.starts_with(b"--") {
+                        self.advance(2);
+                        let text = self.read_until(b"-->", "comment")?;
+                        Ok(XmlEvent::Comment(text))
+                    } else if self.starts_with(b"[CDATA[") {
+                        self.advance(7);
+                        let text = self.read_until(b"]]>", "CDATA section")?;
+                        Ok(XmlEvent::CData(text))
+                    } else if self.starts_with(b"DOCTYPE") {
+                        self.skip_doctype()?;
+                        self.next_event()
+                    } else {
+                        self.err("unsupported `<!` construct")
+                    }
+                }
+                _ => self.read_start_element(),
+            }
+        } else {
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                self.bump();
+            }
+            let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            // Normalize CRLF to LF in character data.
+            let raw = raw.replace("\r\n", "\n").replace('\r', "\n");
+            let text = self.decode_entities(&raw)?;
+            if self.open.is_empty() && text.trim().is_empty() {
+                // Whitespace outside the document element.
+                return self.next_event();
+            }
+            Ok(XmlEvent::Text(text))
+        }
+    }
+}
+
+/// Expanded (namespace-resolved) XML name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExpandedName {
+    /// Namespace IRI, if the name is in a namespace.
+    pub namespace: Option<String>,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl ExpandedName {
+    /// Builds an expanded name from a namespace IRI and local part.
+    pub fn new(namespace: impl Into<String>, local: impl Into<String>) -> Self {
+        ExpandedName { namespace: Some(namespace.into()), local: local.into() }
+    }
+
+    /// True when the name is `{namespace}local`.
+    pub fn is(&self, namespace: &str, local: &str) -> bool {
+        self.local == local && self.namespace.as_deref() == Some(namespace)
+    }
+
+    /// Namespace IRI concatenated with the local part — the IRI the name
+    /// denotes under RDF/XML rules.
+    pub fn as_iri(&self) -> String {
+        match &self.namespace {
+            Some(ns) => format!("{ns}{}", self.local),
+            None => self.local.clone(),
+        }
+    }
+}
+
+/// A namespace-resolved attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsAttribute {
+    pub name: ExpandedName,
+    pub value: String,
+}
+
+/// Namespace-resolved events produced by [`NsReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NsEvent {
+    StartElement { name: ExpandedName, attributes: Vec<NsAttribute>, self_closing: bool },
+    EndElement { name: ExpandedName },
+    Text(String),
+    Eof,
+}
+
+const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// Layer over [`XmlParser`] that resolves namespace prefixes, merges CDATA
+/// into text, and drops comments and processing instructions.
+#[derive(Debug)]
+pub struct NsReader<'a> {
+    parser: XmlParser<'a>,
+    /// Stack of (depth, prefix, namespace) bindings. `prefix == ""` is the
+    /// default namespace.
+    scopes: Vec<(usize, String, String)>,
+    depth: usize,
+    /// Names of open elements, kept so `EndElement` can be resolved with the
+    /// bindings that were in effect at its start tag.
+    open_names: Vec<ExpandedName>,
+    pending_end: Option<ExpandedName>,
+}
+
+impl<'a> NsReader<'a> {
+    pub fn new(input: &'a str) -> Self {
+        NsReader {
+            parser: XmlParser::new(input),
+            scopes: vec![(0, "xml".to_owned(), XML_NS.to_owned())],
+            depth: 0,
+            open_names: Vec::new(),
+            pending_end: None,
+        }
+    }
+
+    pub fn location(&self) -> Location {
+        self.parser.location()
+    }
+
+    fn lookup(&self, prefix: &str) -> Option<&str> {
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(_, p, _)| p == prefix)
+            .map(|(_, _, ns)| ns.as_str())
+    }
+
+    fn resolve(&self, qname: &str, is_attribute: bool) -> Result<ExpandedName> {
+        match qname.split_once(':') {
+            Some((prefix, local)) => {
+                let ns = self.lookup(prefix).ok_or_else(|| RdfError::UnknownPrefix {
+                    prefix: prefix.to_owned(),
+                    location: self.parser.location(),
+                })?;
+                Ok(ExpandedName { namespace: Some(ns.to_owned()), local: local.to_owned() })
+            }
+            None => {
+                // Unprefixed attributes are in no namespace; unprefixed
+                // elements take the default namespace.
+                if is_attribute {
+                    Ok(ExpandedName { namespace: None, local: qname.to_owned() })
+                } else {
+                    let ns = self.lookup("").map(str::to_owned);
+                    let ns = ns.filter(|n| !n.is_empty());
+                    Ok(ExpandedName { namespace: ns, local: qname.to_owned() })
+                }
+            }
+        }
+    }
+
+    /// Pulls the next namespace-resolved event.
+    pub fn next_event(&mut self) -> Result<NsEvent> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(NsEvent::EndElement { name });
+        }
+        loop {
+            match self.parser.next_event()? {
+                XmlEvent::StartElement { name, attributes, self_closing } => {
+                    self.depth += 1;
+                    // First pass: collect namespace declarations in scope.
+                    for attr in &attributes {
+                        if attr.name == "xmlns" {
+                            self.scopes.push((self.depth, String::new(), attr.value.clone()));
+                        } else if let Some(prefix) = attr.name.strip_prefix("xmlns:") {
+                            self.scopes.push((self.depth, prefix.to_owned(), attr.value.clone()));
+                        }
+                    }
+                    let resolved_name = self.resolve(&name, false)?;
+                    let mut resolved_attrs = Vec::with_capacity(attributes.len());
+                    for attr in &attributes {
+                        if attr.name == "xmlns" || attr.name.starts_with("xmlns:") {
+                            continue;
+                        }
+                        resolved_attrs.push(NsAttribute {
+                            name: self.resolve(&attr.name, true)?,
+                            value: attr.value.clone(),
+                        });
+                    }
+                    if self_closing {
+                        // Emit start now, end on the next call.
+                        self.scopes.retain(|(d, _, _)| *d < self.depth);
+                        self.depth -= 1;
+                        self.pending_end = Some(resolved_name.clone());
+                        return Ok(NsEvent::StartElement {
+                            name: resolved_name,
+                            attributes: resolved_attrs,
+                            self_closing: true,
+                        });
+                    }
+                    self.open_names.push(resolved_name.clone());
+                    return Ok(NsEvent::StartElement {
+                        name: resolved_name,
+                        attributes: resolved_attrs,
+                        self_closing: false,
+                    });
+                }
+                XmlEvent::EndElement { .. } => {
+                    let name = self
+                        .open_names
+                        .pop()
+                        .expect("XmlParser validated nesting");
+                    self.scopes.retain(|(d, _, _)| *d < self.depth);
+                    self.depth -= 1;
+                    return Ok(NsEvent::EndElement { name });
+                }
+                XmlEvent::Text(t) | XmlEvent::CData(t) => return Ok(NsEvent::Text(t)),
+                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => continue,
+                XmlEvent::Eof => return Ok(NsEvent::Eof),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &str) -> Vec<XmlEvent> {
+        let mut p = XmlParser::new(input);
+        let mut out = Vec::new();
+        loop {
+            let ev = p.next_event().expect("parse");
+            let eof = ev == XmlEvent::Eof;
+            out.push(ev);
+            if eof {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_simple_element() {
+        let evs = collect("<a>hi</a>");
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::EndElement { name: "a".into() },
+                XmlEvent::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_attributes_and_self_closing() {
+        let evs = collect(r#"<a x="1" y='two'/>"#);
+        assert_eq!(
+            evs[0],
+            XmlEvent::StartElement {
+                name: "a".into(),
+                attributes: vec![
+                    Attribute { name: "x".into(), value: "1".into() },
+                    Attribute { name: "y".into(), value: "two".into() },
+                ],
+                self_closing: true,
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let evs = collect("<a>&lt;x&gt; &amp; &#65;&#x42;</a>");
+        assert_eq!(evs[1], XmlEvent::Text("<x> & AB".into()));
+    }
+
+    #[test]
+    fn decodes_entities_in_attributes() {
+        let evs = collect(r#"<a v="a&amp;b&quot;c"/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "a&b\"c");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let mut p = XmlParser::new("<a><b></a></b>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_document() {
+        let mut p = XmlParser::new("<a><b></b>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let mut p = XmlParser::new(r#"<a x="1" x="2"/>"#);
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn skips_doctype_with_internal_subset() {
+        let evs = collect("<!DOCTYPE rdf [ <!ENTITY owl \"x\"> ]><a/>");
+        assert!(matches!(evs[0], XmlEvent::StartElement { .. }));
+    }
+
+    #[test]
+    fn handles_comments_cdata_and_pi() {
+        let evs = collect("<?xml version=\"1.0\"?><a><!-- c --><![CDATA[<raw>]]></a>");
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::ProcessingInstruction {
+                    target: "xml".into(),
+                    data: "version=\"1.0\"".into()
+                },
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                XmlEvent::Comment(" c ".into()),
+                XmlEvent::CData("<raw>".into()),
+                XmlEvent::EndElement { name: "a".into() },
+                XmlEvent::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_utf8_bom() {
+        let evs = collect("\u{feff}<a/>");
+        assert!(matches!(evs[0], XmlEvent::StartElement { .. }));
+    }
+
+    #[test]
+    fn tracks_locations() {
+        let mut p = XmlParser::new("<a>\n  <b></c>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        let err = p.next_event().unwrap_err();
+        match err {
+            RdfError::Xml { location, .. } => assert_eq!(location.line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespace_resolution() {
+        let mut r = NsReader::new(
+            r#"<rdf:RDF xmlns:rdf="http://r/" xmlns="http://d/">
+                 <Class rdf:about="x"/>
+               </rdf:RDF>"#,
+        );
+        match r.next_event().unwrap() {
+            NsEvent::StartElement { name, .. } => {
+                assert!(name.is("http://r/", "RDF"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // whitespace text
+        assert!(matches!(r.next_event().unwrap(), NsEvent::Text(_)));
+        match r.next_event().unwrap() {
+            NsEvent::StartElement { name, attributes, .. } => {
+                assert!(name.is("http://d/", "Class"));
+                assert!(attributes[0].name.is("http://r/", "about"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // synthetic end for the self-closing element
+        assert!(matches!(r.next_event().unwrap(), NsEvent::EndElement { .. }));
+    }
+
+    #[test]
+    fn namespace_scoping_unwinds() {
+        let mut r = NsReader::new(r#"<a xmlns="http://o/"><b xmlns="http://i/"/><c/></a>"#);
+        r.next_event().unwrap(); // a
+        match r.next_event().unwrap() {
+            NsEvent::StartElement { name, .. } => assert!(name.is("http://i/", "b")),
+            other => panic!("unexpected {other:?}"),
+        }
+        r.next_event().unwrap(); // end b
+        match r.next_event().unwrap() {
+            NsEvent::StartElement { name, .. } => assert!(name.is("http://o/", "c")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let mut r = NsReader::new("<x:a/>");
+        assert!(matches!(r.next_event(), Err(RdfError::UnknownPrefix { .. })));
+    }
+
+    #[test]
+    fn unprefixed_attribute_has_no_namespace() {
+        let mut r = NsReader::new(r#"<a xmlns="http://d/" k="v"/>"#);
+        match r.next_event().unwrap() {
+            NsEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].name.namespace, None);
+                assert_eq!(attributes[0].name.local, "k");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

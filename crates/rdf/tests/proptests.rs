@@ -1,0 +1,119 @@
+//! Property-based tests for the RDF substrate: serializer/parser roundtrips
+//! and store invariants.
+
+use proptest::prelude::*;
+use sst_rdf::{parse_ntriples, parse_rdfxml, parse_turtle, write_ntriples, write_rdfxml, write_turtle};
+use sst_rdf::{Graph, Iri, Literal, Term, Triple};
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    "[a-z]{1,8}".prop_map(|s| Iri::new(format!("http://example.org/ns#{s}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    // Lexical forms with characters that exercise escaping.
+    fn lexical() -> impl Strategy<Value = String> {
+        proptest::string::string_regex("[ -~]{0,20}").unwrap()
+    }
+    prop_oneof![
+        lexical().prop_map(Literal::plain),
+        (lexical(), "[a-z]{2}").prop_map(|(l, t)| Literal::lang(l, t)),
+        (lexical(), arb_iri()).prop_map(|(l, d)| Literal::typed(l, d)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(Term::Iri),
+        "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
+        arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(Term::Iri),
+        "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_subject(), arb_iri(), arb_term())
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn arb_graph() -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(arb_triple(), 0..40)
+}
+
+proptest! {
+    /// N-Triples write → parse is the identity on graphs.
+    #[test]
+    fn ntriples_roundtrip(triples in arb_graph()) {
+        let graph: Graph = triples.iter().cloned().collect();
+        let text = write_ntriples(&graph);
+        let parsed = parse_ntriples(&text).expect("reparse our own output");
+        prop_assert_eq!(graph.len(), parsed.len());
+        for t in graph.iter() {
+            prop_assert!(parsed.contains(&t), "missing triple {}", t);
+        }
+    }
+
+    /// Turtle write → parse is the identity on graphs.
+    #[test]
+    fn turtle_roundtrip(triples in arb_graph()) {
+        let graph: Graph = triples.iter().cloned().collect();
+        let text = write_turtle(&graph);
+        let parsed = parse_turtle(&text, "http://example.org/doc")
+            .expect("reparse our own output");
+        prop_assert_eq!(graph.len(), parsed.len());
+        for t in graph.iter() {
+            prop_assert!(parsed.contains(&t), "missing triple {}", t);
+        }
+    }
+
+    /// RDF/XML write → parse is the identity on graphs.
+    #[test]
+    fn rdfxml_roundtrip(triples in arb_graph()) {
+        let graph: Graph = triples.iter().cloned().collect();
+        let text = write_rdfxml(&graph);
+        let parsed = parse_rdfxml(&text, "http://example.org/doc")
+            .expect("reparse our own output");
+        prop_assert_eq!(graph.len(), parsed.len());
+        for t in graph.iter() {
+            prop_assert!(parsed.contains(&t), "missing triple {}", t);
+        }
+    }
+
+    /// Insertion is idempotent and `contains` agrees with `matching`.
+    #[test]
+    fn graph_insert_contains_consistent(triples in arb_graph()) {
+        let mut graph = Graph::new();
+        for t in &triples {
+            graph.insert(t.clone());
+        }
+        let len = graph.len();
+        for t in &triples {
+            prop_assert!(!graph.insert(t.clone()));
+            prop_assert!(graph.contains(t));
+            prop_assert!(!graph
+                .matching(Some(&t.subject), Some(&t.predicate), Some(&t.object))
+                .is_empty());
+        }
+        prop_assert_eq!(graph.len(), len);
+    }
+
+    /// Every triple returned by a pattern query actually matches the pattern.
+    #[test]
+    fn matching_respects_pattern(triples in arb_graph(), probe in arb_triple()) {
+        let graph: Graph = triples.into_iter().collect();
+        for t in graph.matching(None, Some(&probe.predicate), None) {
+            prop_assert_eq!(&t.predicate, &probe.predicate);
+        }
+        for t in graph.matching(Some(&probe.subject), None, None) {
+            prop_assert_eq!(&t.subject, &probe.subject);
+        }
+        for t in graph.matching(None, None, Some(&probe.object)) {
+            prop_assert_eq!(&t.object, &probe.object);
+        }
+    }
+}

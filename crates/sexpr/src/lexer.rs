@@ -1,0 +1,250 @@
+//! Tokenizer for the KIF-style s-expression dialect PowerLoom uses.
+
+use std::fmt;
+
+/// Token categories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    LParen,
+    RParen,
+    Symbol(String),
+    Keyword(String),
+    String(String),
+    Integer(i64),
+    Float(f64),
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer. Comments run from `;` to end of line.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().peekable(), line: 1 }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), line: self.line }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some(';') => {
+                    while !matches!(self.chars.peek(), Some('\n') | None) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn is_symbol_char(c: char) -> bool {
+        !c.is_whitespace() && !matches!(c, '(' | ')' | '"' | ';')
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_trivia();
+        let line = self.line;
+        let Some(&c) = self.chars.peek() else {
+            return Ok(None);
+        };
+        let kind = match c {
+            '(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => match self.bump() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(self.err(format!("unknown escape `\\{other}`")))
+                            }
+                            None => return Err(self.err("dangling escape")),
+                        },
+                        Some(c) => s.push(c),
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                TokenKind::String(s)
+            }
+            ':' => {
+                self.bump();
+                let mut name = String::new();
+                while matches!(self.chars.peek(), Some(&c) if Self::is_symbol_char(c)) {
+                    name.push(self.bump().unwrap());
+                }
+                if name.is_empty() {
+                    return Err(self.err("empty keyword"));
+                }
+                TokenKind::Keyword(name)
+            }
+            _ => {
+                let mut word = String::new();
+                while matches!(self.chars.peek(), Some(&c) if Self::is_symbol_char(c)) {
+                    word.push(self.bump().unwrap());
+                }
+                if word.is_empty() {
+                    return Err(self.err(format!("unexpected character `{c}`")));
+                }
+                Self::classify_word(word)
+            }
+        };
+        Ok(Some(Token { kind, line }))
+    }
+
+    /// Numbers are symbols that parse as integers or floats; everything else
+    /// stays a symbol (including `?vars` and qualified names like `PL:X`).
+    fn classify_word(word: String) -> TokenKind {
+        let numeric_shape = {
+            let body = word.strip_prefix(['+', '-']).unwrap_or(&word);
+            !body.is_empty() && body.chars().all(|c| c.is_ascii_digit() || c == '.')
+        };
+        if numeric_shape {
+            if let Ok(i) = word.parse::<i64>() {
+                return TokenKind::Integer(i);
+            }
+            if let Ok(x) = word.parse::<f64>() {
+                return TokenKind::Float(x);
+            }
+        }
+        TokenKind::Symbol(word)
+    }
+
+    /// Collects all tokens.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            tokens.push(tok);
+        }
+        Ok(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input)
+            .tokenize()
+            .expect("lex")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_structure() {
+        assert_eq!(
+            kinds("(defconcept X)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("defconcept".into()),
+                TokenKind::Symbol("X".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_strings_numbers() {
+        assert_eq!(
+            kinds(":doc \"a\\\"b\" 42 -7 3.5"),
+            vec![
+                TokenKind::Keyword("doc".into()),
+                TokenKind::String("a\"b".into()),
+                TokenKind::Integer(42),
+                TokenKind::Integer(-7),
+                TokenKind::Float(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_qualified_names_stay_symbols() {
+        assert_eq!(
+            kinds("?x PL:EMPLOYEE v1.2.3"),
+            vec![
+                TokenKind::Symbol("?x".into()),
+                TokenKind::Symbol("PL:EMPLOYEE".into()),
+                TokenKind::Symbol("v1.2.3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = Lexer::new("; header\n(a ; trailing\n b)").tokenize().expect("lex");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].line, 2); // (
+        assert_eq!(toks[2].line, 3); // b
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn plus_minus_alone_are_symbols() {
+        assert_eq!(
+            kinds("+ - -x"),
+            vec![
+                TokenKind::Symbol("+".into()),
+                TokenKind::Symbol("-".into()),
+                TokenKind::Symbol("-x".into()),
+            ]
+        );
+    }
+}

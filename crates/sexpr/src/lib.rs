@@ -1,0 +1,32 @@
+//! # sst-sexpr — S-expression substrate for the PowerLoom wrapper
+//!
+//! PowerLoom ontologies (like the SIRUP Course Ontology in the paper's
+//! running example) are written in a KIF-style Lisp syntax:
+//!
+//! ```text
+//! (defconcept EMPLOYEE (?e PERSON)
+//!   :documentation "A person employed by the university.")
+//! ```
+//!
+//! This crate provides the lexer, parser, value model, and pretty printer
+//! that `sst-wrappers::powerloom` builds on.
+//!
+//! ```
+//! use sst_sexpr::{parse, Value};
+//!
+//! let v = parse("(defconcept STUDENT (?s PERSON))").unwrap();
+//! assert_eq!(v.head().unwrap().as_symbol(), Some("defconcept"));
+//! ```
+
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod value;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse, parse_all, ParseError};
+pub use printer::to_string_pretty;
+pub use value::Value;

@@ -1,0 +1,146 @@
+//! Recursive-descent parser assembling [`Value`]s from tokens.
+
+use std::fmt;
+
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+use crate::value::Value;
+
+/// Parse error for s-expression input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s-expression parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Parses exactly one s-expression; trailing content is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut forms = parse_all(input)?;
+    match forms.len() {
+        1 => Ok(forms.remove(0)),
+        0 => Err(ParseError { message: "empty input".into(), line: 1 }),
+        n => Err(ParseError {
+            message: format!("expected one expression, found {n}"),
+            line: 1,
+        }),
+    }
+}
+
+/// Parses a whole file of top-level forms (the shape of a `.ploom` module).
+pub fn parse_all(input: &str) -> Result<Vec<Value>, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut forms = Vec::new();
+    while !parser.at_end() {
+        forms.push(parser.parse_value()?);
+    }
+    Ok(forms)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn current_line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), line: self.current_line() })
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        let Some(token) = self.tokens.get(self.pos).cloned() else {
+            return self.err("unexpected end of input");
+        };
+        self.pos += 1;
+        match token.kind {
+            TokenKind::LParen => {
+                let mut items = Vec::new();
+                loop {
+                    match self.tokens.get(self.pos).map(|t| &t.kind) {
+                        Some(TokenKind::RParen) => {
+                            self.pos += 1;
+                            return Ok(Value::List(items));
+                        }
+                        Some(_) => items.push(self.parse_value()?),
+                        None => return self.err("unterminated list"),
+                    }
+                }
+            }
+            TokenKind::RParen => self.err("unexpected `)`"),
+            TokenKind::Symbol(s) => Ok(Value::Symbol(s)),
+            TokenKind::Keyword(k) => Ok(Value::Keyword(k)),
+            TokenKind::String(s) => Ok(Value::String(s)),
+            TokenKind::Integer(i) => Ok(Value::Integer(i)),
+            TokenKind::Float(x) => Ok(Value::Float(x)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists() {
+        let v = parse("(defconcept STUDENT (?s PERSON) :documentation \"doc\")").expect("parse");
+        let items = v.as_list().unwrap();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[0].as_symbol(), Some("defconcept"));
+        assert_eq!(
+            items[2],
+            Value::list(vec![Value::symbol("?s"), Value::symbol("PERSON")])
+        );
+        assert_eq!(v.keyword_value("documentation").unwrap().as_str(), Some("doc"));
+    }
+
+    #[test]
+    fn parses_multiple_top_level_forms() {
+        let forms = parse_all("(a)\n; comment\n(b 1)").expect("parse");
+        assert_eq!(forms.len(), 2);
+        assert_eq!(forms[1].tail(), &[Value::Integer(1)]);
+    }
+
+    #[test]
+    fn rejects_imbalanced_input() {
+        assert!(parse("(a (b)").is_err());
+        assert!(parse(")").is_err());
+        assert!(parse("(a) (b)").is_err()); // parse() wants exactly one
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn empty_list_is_fine() {
+        assert_eq!(parse("()").expect("parse"), Value::List(vec![]));
+    }
+
+    #[test]
+    fn error_lines_are_meaningful() {
+        let err = parse_all("(a\n(b\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Pretty printer producing human-readable `.ploom`-style output.
+
+use crate::value::Value;
+
+/// Renders `value` with indentation: short lists stay on one line; longer
+/// lists break after the head with each following element indented.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    out
+}
+
+const ONE_LINE_BUDGET: usize = 60;
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::List(items) if !items.is_empty() => {
+            let flat = value.to_string();
+            if flat.len() <= ONE_LINE_BUDGET {
+                out.push_str(&flat);
+                return;
+            }
+            out.push('(');
+            write_value(out, &items[0], indent + 1);
+            let child_indent = indent + 2;
+            let mut iter = items[1..].iter().peekable();
+            while let Some(item) = iter.next() {
+                // Keep a keyword together with its value on one line.
+                if let Value::Keyword(_) = item {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(child_indent));
+                    write_value(out, item, child_indent);
+                    if let Some(next) = iter.peek() {
+                        if !matches!(next, Value::Keyword(_)) {
+                            out.push(' ');
+                            let next = iter.next().unwrap();
+                            write_value(out, next, child_indent);
+                        }
+                    }
+                } else {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(child_indent));
+                    write_value(out, item, child_indent);
+                }
+            }
+            out.push(')');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn short_forms_stay_flat() {
+        let v = parse("(a b c)").unwrap();
+        assert_eq!(to_string_pretty(&v), "(a b c)");
+    }
+
+    #[test]
+    fn long_forms_break_with_keyword_pairs() {
+        let v = parse(
+            "(defconcept VISITING-PROFESSOR (?p PROFESSOR) :documentation \"A professor visiting from another institution for a term.\")",
+        )
+        .unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("\n  :documentation \"A professor"));
+        // Pretty output must re-parse to the same value.
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_print_roundtrips() {
+        for src in [
+            "(a)",
+            "()",
+            "(a (b (c d)) :k 1 2.5 \"s\")",
+            "(assert (and (EMPLOYEE Fred) (= (salary Fred) 5000)))",
+        ] {
+            let v = parse(src).unwrap();
+            assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+        }
+    }
+}

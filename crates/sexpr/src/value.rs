@@ -1,0 +1,178 @@
+//! The s-expression value model.
+
+use std::fmt;
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A bare symbol, e.g. `defconcept`, `PERSON`, or `?x`.
+    Symbol(String),
+    /// A keyword, e.g. `:documentation` (stored without the colon).
+    Keyword(String),
+    /// A quoted string with escapes decoded.
+    String(String),
+    /// An integer.
+    Integer(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A parenthesized list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a symbol value.
+    pub fn symbol(s: impl Into<String>) -> Self {
+        Value::Symbol(s.into())
+    }
+
+    /// Builds a keyword value (pass the name without the leading colon).
+    pub fn keyword(s: impl Into<String>) -> Self {
+        Value::Keyword(s.into())
+    }
+
+    /// Builds a string value.
+    pub fn string(s: impl Into<String>) -> Self {
+        Value::String(s.into())
+    }
+
+    /// Builds a list value.
+    pub fn list(items: impl Into<Vec<Value>>) -> Self {
+        Value::List(items.into())
+    }
+
+    /// The symbol's name, if this is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Value::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The keyword's name (without colon), if this is a keyword.
+    pub fn as_keyword(&self) -> Option<&str> {
+        match self {
+            Value::Keyword(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// First element of a list (the operator position).
+    pub fn head(&self) -> Option<&Value> {
+        self.as_list()?.first()
+    }
+
+    /// Elements of a list after the head.
+    pub fn tail(&self) -> &[Value] {
+        match self.as_list() {
+            Some(items) if !items.is_empty() => &items[1..],
+            _ => &[],
+        }
+    }
+
+    /// Looks up the value following keyword `:name` in this list. This is the
+    /// access pattern for PowerLoom options like `:documentation "..."`.
+    pub fn keyword_value(&self, name: &str) -> Option<&Value> {
+        let items = self.as_list()?;
+        let mut iter = items.iter();
+        while let Some(item) = iter.next() {
+            if item.as_keyword() == Some(name) {
+                return iter.next();
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Symbol(s) => write!(f, "{s}"),
+            Value::Keyword(k) => write!(f, ":{k}"),
+            Value::String(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::list(vec![
+            Value::symbol("defconcept"),
+            Value::symbol("STUDENT"),
+            Value::keyword("documentation"),
+            Value::string("A learner."),
+        ]);
+        assert_eq!(v.head().unwrap().as_symbol(), Some("defconcept"));
+        assert_eq!(v.tail().len(), 3);
+        assert_eq!(
+            v.keyword_value("documentation").unwrap().as_str(),
+            Some("A learner.")
+        );
+        assert!(v.keyword_value("missing").is_none());
+    }
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let v = Value::list(vec![
+            Value::symbol("f"),
+            Value::Integer(3),
+            Value::Float(2.5),
+            Value::string("a\"b"),
+            Value::keyword("k"),
+        ]);
+        assert_eq!(v.to_string(), "(f 3 2.5 \"a\\\"b\" :k)");
+    }
+
+    #[test]
+    fn keyword_value_at_list_end_is_none() {
+        let v = Value::list(vec![Value::symbol("f"), Value::keyword("dangling")]);
+        assert!(v.keyword_value("dangling").is_none());
+    }
+}

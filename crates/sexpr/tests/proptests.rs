@@ -1,0 +1,69 @@
+//! Property tests: printer ↔ parser roundtrips over arbitrary values.
+
+use proptest::prelude::*;
+use sst_sexpr::{parse, to_string_pretty, Value};
+
+fn arb_atom() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z?*<>=+-][a-zA-Z0-9?*<>=+:./-]{0,12}".prop_map(Value::Symbol),
+        "[a-z][a-z0-9-]{0,10}".prop_map(Value::Keyword),
+        proptest::string::string_regex("[ -~]{0,16}")
+            .unwrap()
+            .prop_map(Value::String),
+        any::<i32>().prop_map(|i| Value::Integer(i as i64)),
+        (-1000.0f64..1000.0).prop_map(|x| Value::Float((x * 16.0).round() / 16.0)),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_atom().prop_recursive(4, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Value::List)
+    })
+}
+
+/// Symbols that happen to look numeric re-lex as numbers, so exclude
+/// numeric-shaped symbols from roundtrip comparisons.
+fn lexes_cleanly(v: &Value) -> bool {
+    match v {
+        Value::Symbol(s) => {
+            let body = s.strip_prefix(['+', '-']).unwrap_or(s);
+            body.is_empty() || !body.chars().all(|c| c.is_ascii_digit() || c == '.')
+        }
+        Value::Float(x) => x.is_finite(),
+        Value::List(items) => items.iter().all(lexes_cleanly),
+        _ => true,
+    }
+}
+
+proptest! {
+    #[test]
+    fn display_roundtrips(v in arb_value().prop_filter("ambiguous lexemes", lexes_cleanly)) {
+        let printed = v.to_string();
+        let reparsed = parse(&printed).expect("reparse Display output");
+        prop_assert_eq!(&reparsed, &v, "printed as {}", printed);
+    }
+
+    #[test]
+    fn pretty_printer_roundtrips(v in arb_value().prop_filter("ambiguous lexemes", lexes_cleanly)) {
+        let pretty = to_string_pretty(&v);
+        let reparsed = parse(&pretty).expect("reparse pretty output");
+        prop_assert_eq!(&reparsed, &v, "pretty printed as {}", pretty);
+    }
+
+    /// The keyword_value accessor finds exactly the value following the
+    /// first occurrence of the keyword.
+    #[test]
+    fn keyword_value_semantics(
+        head in "[a-z]{1,8}",
+        kw in "[a-z]{1,8}",
+        payload in "[ -~]{0,12}",
+    ) {
+        let v = Value::list(vec![
+            Value::symbol(head),
+            Value::keyword(kw.clone()),
+            Value::string(payload.clone()),
+        ]);
+        prop_assert_eq!(v.keyword_value(&kw).and_then(Value::as_str), Some(payload.as_str()));
+        prop_assert!(v.keyword_value("missing-keyword").is_none());
+    }
+}

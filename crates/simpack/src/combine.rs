@@ -1,0 +1,132 @@
+//! Measure amalgamation (paper §5): Ehrig et al. combine per-layer
+//! similarities with an amalgamation function, and the paper notes such
+//! combined measures slot into SST as additional runners. This module
+//! provides the combination strategies as first-class values so toolkit
+//! clients can build weighted ensembles declaratively.
+
+/// How a set of component scores is folded into one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Amalgamation {
+    /// Weighted arithmetic mean.
+    WeightedAverage,
+    /// The maximum component (optimistic).
+    Max,
+    /// The minimum component (pessimistic).
+    Min,
+    /// Weighted harmonic mean — punishes disagreement between components
+    /// harder than the arithmetic mean.
+    HarmonicMean,
+}
+
+/// A combination of component scores with per-component weights.
+#[derive(Debug, Clone)]
+pub struct Combiner {
+    strategy: Amalgamation,
+    weights: Vec<f64>,
+}
+
+impl Combiner {
+    /// Builds a combiner. Weights must be positive and are normalized
+    /// internally; for `Max`/`Min` they are ignored.
+    pub fn new(strategy: Amalgamation, weights: Vec<f64>) -> Result<Combiner, String> {
+        if weights.is_empty() {
+            return Err("at least one weight is required".to_owned());
+        }
+        if weights.iter().any(|&w| w <= 0.0 || !w.is_finite() || w.is_nan()) {
+            return Err("weights must be positive and finite".to_owned());
+        }
+        Ok(Combiner { strategy, weights })
+    }
+
+    /// Uniform weights for `n` components.
+    pub fn uniform(strategy: Amalgamation, n: usize) -> Combiner {
+        Combiner::new(strategy, vec![1.0; n.max(1)]).expect("uniform weights are valid")
+    }
+
+    /// Number of component scores expected.
+    pub fn arity(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Folds `scores` (same length as the weights) into one value.
+    ///
+    /// # Panics
+    /// Panics if `scores.len() != self.arity()`.
+    pub fn combine(&self, scores: &[f64]) -> f64 {
+        assert_eq!(scores.len(), self.weights.len(), "score/weight arity mismatch");
+        let total: f64 = self.weights.iter().sum();
+        match self.strategy {
+            Amalgamation::WeightedAverage => {
+                scores.iter().zip(&self.weights).map(|(s, w)| s * w).sum::<f64>() / total
+            }
+            Amalgamation::Max => scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Amalgamation::Min => scores.iter().copied().fold(f64::INFINITY, f64::min),
+            Amalgamation::HarmonicMean => {
+                if scores.contains(&0.0) {
+                    return 0.0;
+                }
+                total / scores.iter().zip(&self.weights).map(|(s, w)| w / s).sum::<f64>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average() {
+        let c = Combiner::new(Amalgamation::WeightedAverage, vec![3.0, 1.0]).unwrap();
+        assert!((c.combine(&[1.0, 0.0]) - 0.75).abs() < 1e-12);
+        assert!((c.combine(&[0.4, 0.8]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_and_min() {
+        let c = Combiner::uniform(Amalgamation::Max, 3);
+        assert_eq!(c.combine(&[0.2, 0.9, 0.4]), 0.9);
+        let c = Combiner::uniform(Amalgamation::Min, 3);
+        assert_eq!(c.combine(&[0.2, 0.9, 0.4]), 0.2);
+    }
+
+    #[test]
+    fn harmonic_mean_punishes_disagreement() {
+        let c = Combiner::uniform(Amalgamation::HarmonicMean, 2);
+        let agree = c.combine(&[0.5, 0.5]);
+        let disagree = c.combine(&[0.9, 0.1]);
+        assert!((agree - 0.5).abs() < 1e-12);
+        assert!(disagree < 0.2);
+        assert_eq!(c.combine(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn preserves_unit_range_for_unit_inputs() {
+        for strategy in [
+            Amalgamation::WeightedAverage,
+            Amalgamation::Max,
+            Amalgamation::Min,
+            Amalgamation::HarmonicMean,
+        ] {
+            let c = Combiner::uniform(strategy, 3);
+            for scores in [[0.0, 0.5, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 0.0]] {
+                let v = c.combine(&scores);
+                assert!((0.0..=1.0).contains(&v), "{strategy:?} gave {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(Combiner::new(Amalgamation::Max, vec![]).is_err());
+        assert!(Combiner::new(Amalgamation::Max, vec![0.0]).is_err());
+        assert!(Combiner::new(Amalgamation::Max, vec![-1.0]).is_err());
+        assert!(Combiner::new(Amalgamation::Max, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        Combiner::uniform(Amalgamation::Max, 2).combine(&[0.5]);
+    }
+}

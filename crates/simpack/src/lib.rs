@@ -1,0 +1,59 @@
+//! # sst-simpack — the SimPack similarity-measure library in Rust
+//!
+//! SimPack (Bernstein et al. 2005) is the generic similarity library the
+//! SOQA-SimPack Toolkit builds on. This crate reimplements its measure
+//! families over abstract inputs, so it has no dependency on SOQA — the
+//! toolkit's `SOQAWrapper for SimPack` equivalent lives in `sst-core` and
+//! feeds ontology data into these functions:
+//!
+//! * [`vector`] — cosine, extended Jaccard, overlap, Dice over feature sets
+//!   and weighted sparse vectors (paper Eq. 1–3).
+//! * [`string`] — character-level Levenshtein plus the announced
+//!   SecondString/SimMetrics extensions (Jaro, Jaro-Winkler, q-gram,
+//!   Monge-Elkan).
+//! * [`sequence`] — token-sequence edit distance with a validated cost
+//!   model and worst-case normalization (Eq. 4).
+//! * [`graph`] — shortest-path, normalized edge counting (Eq. 5), and
+//!   Wu-Palmer conceptual similarity (Eq. 6) over specialization DAGs.
+//! * [`ic`] — Resnik (Eq. 7), Lin (Eq. 8), and Jiang-Conrath over
+//!   instance-corpus or subclass-count probabilities.
+//! * [`tree`] — Zhang-Shasha tree edit distance (the paper's future-work
+//!   "measures for trees").
+//! * [`measure`] — the measure catalogue with normalization metadata.
+
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod align;
+pub mod combine;
+pub mod graph;
+pub mod ic;
+pub mod measure;
+pub mod sequence;
+pub mod string;
+pub mod tree;
+pub mod vector;
+
+pub use align::{
+    needleman_wunsch, needleman_wunsch_similarity, smith_waterman,
+    smith_waterman_similarity, AlignmentScoring,
+};
+pub use combine::{Amalgamation, Combiner};
+pub use graph::{
+    edge_similarity, shortest_path_similarity, wu_palmer_similarity,
+    wu_palmer_similarity_rooted, NodeId, Taxonomy,
+};
+pub use ic::{
+    jiang_conrath_similarity, lin_similarity, resnik_similarity, InformationContent,
+    ProbabilityMode,
+};
+pub use measure::{descriptor, MeasureDescriptor, MeasureKind, CATALOG};
+pub use sequence::{sequence_similarity, xform, xform_worst_case, CostModel};
+pub use string::{
+    jaro, jaro_winkler, levenshtein_distance, levenshtein_similarity, monge_elkan, qgram,
+};
+pub use tree::{tree_edit_distance, tree_similarity, LabeledTree};
+pub use vector::{
+    cosine, cosine_weighted, dice, features, jaccard, jaccard_weighted, overlap,
+    overlap_weighted, FeatureSet, SparseVector,
+};

@@ -1,0 +1,182 @@
+//! Token-sequence edit distance with a configurable cost model and
+//! worst-case normalization — the paper's `sim_levenshtein` over vectors of
+//! strings produced by mapping M₂ (Eq. 4).
+//!
+//! The paper argues the cost function should satisfy
+//! `c(delete) + c(insert) ≥ c(replace)`; [`CostModel::new`] enforces this,
+//! and the ablation bench (`A1` in DESIGN.md) measures what violating it
+//! does to the rankings.
+
+/// Edit operation costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    pub insert: f64,
+    pub delete: f64,
+    pub replace: f64,
+}
+
+impl CostModel {
+    /// Unit costs: the classic Levenshtein setting.
+    pub const UNIT: CostModel = CostModel { insert: 1.0, delete: 1.0, replace: 1.0 };
+
+    /// Builds a cost model, checking the paper's constraint
+    /// `c(delete) + c(insert) ≥ c(replace)` and positivity.
+    pub fn new(insert: f64, delete: f64, replace: f64) -> Result<CostModel, String> {
+        if insert <= 0.0 || delete <= 0.0 || replace <= 0.0 {
+            return Err("edit costs must be positive".to_owned());
+        }
+        if delete + insert < replace {
+            return Err(format!(
+                "cost model violates c(delete)+c(insert) ≥ c(replace): {} + {} < {}",
+                delete, insert, replace
+            ));
+        }
+        Ok(CostModel { insert, delete, replace })
+    }
+
+    /// An *unchecked* constructor for ablation experiments that deliberately
+    /// violate the constraint.
+    pub fn unchecked(insert: f64, delete: f64, replace: f64) -> CostModel {
+        CostModel { insert, delete, replace }
+    }
+}
+
+/// Weighted edit distance `xform(x, y)` between two token sequences.
+pub fn xform<T: PartialEq>(x: &[T], y: &[T], costs: CostModel) -> f64 {
+    if x.is_empty() {
+        return y.len() as f64 * costs.insert;
+    }
+    if y.is_empty() {
+        return x.len() as f64 * costs.delete;
+    }
+    let mut prev: Vec<f64> = (0..=y.len()).map(|j| j as f64 * costs.insert).collect();
+    let mut curr = vec![0.0; y.len() + 1];
+    for (i, tx) in x.iter().enumerate() {
+        curr[0] = (i + 1) as f64 * costs.delete;
+        for (j, ty) in y.iter().enumerate() {
+            let subst = if tx == ty { prev[j] } else { prev[j] + costs.replace };
+            curr[j + 1] = subst.min(prev[j + 1] + costs.delete).min(curr[j] + costs.insert);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[y.len()]
+}
+
+/// Worst-case transformation cost `xform_wc(x, y)` (paper §2.2): replace
+/// every token of the shorter sequence, then delete/insert the length
+/// difference.
+pub fn xform_worst_case<T>(x: &[T], y: &[T], costs: CostModel) -> f64 {
+    let common = x.len().min(y.len()) as f64;
+    let replaced = common * costs.replace;
+    let leftover = if x.len() > y.len() {
+        (x.len() - y.len()) as f64 * costs.delete
+    } else {
+        (y.len() - x.len()) as f64 * costs.insert
+    };
+    replaced + leftover
+}
+
+/// Normalized edit *similarity* between token sequences:
+/// `1 − xform(x, y) / xform_wc(x, y)`.
+///
+/// Note: the paper's Eq. 4 literally reads `xform / xform_wc`, which is a
+/// normalized *dissimilarity*; Table 1 reports Levenshtein self-similarity
+/// as 1.0, so the implementation must be the complement — which is what
+/// SimPack's Java code computed and what we do here.
+pub fn sequence_similarity<T: PartialEq>(x: &[T], y: &[T], costs: CostModel) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 1.0;
+    }
+    let worst = xform_worst_case(x, y, costs);
+    if worst == 0.0 {
+        return 1.0;
+    }
+    (1.0 - xform(x, y, costs) / worst).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn unit_costs_match_levenshtein_on_tokens() {
+        let x = toks("the professor teaches the course");
+        let y = toks("the student attends the course");
+        // professor→student, teaches→attends: two replacements.
+        assert_eq!(xform(&x, &y, CostModel::UNIT), 2.0);
+    }
+
+    #[test]
+    fn worst_case_bounds_actual() {
+        let x = toks("a b c d");
+        let y = toks("e f");
+        let actual = xform(&x, &y, CostModel::UNIT);
+        let worst = xform_worst_case(&x, &y, CostModel::UNIT);
+        assert!(actual <= worst);
+        assert_eq!(worst, 2.0 + 2.0); // 2 replacements + 2 deletions
+        assert_eq!(actual, 4.0); // nothing shared
+        assert_eq!(sequence_similarity(&x, &y, CostModel::UNIT), 0.0);
+    }
+
+    #[test]
+    fn identity_and_empty() {
+        let x = toks("one two three");
+        assert_eq!(sequence_similarity(&x, &x, CostModel::UNIT), 1.0);
+        let empty: Vec<&str> = vec![];
+        assert_eq!(sequence_similarity(&empty, &empty, CostModel::UNIT), 1.0);
+        assert_eq!(sequence_similarity(&x, &empty, CostModel::UNIT), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_under_symmetric_costs() {
+        let x = toks("alpha beta gamma");
+        let y = toks("alpha gamma delta epsilon");
+        assert!(
+            (sequence_similarity(&x, &y, CostModel::UNIT)
+                - sequence_similarity(&y, &x, CostModel::UNIT))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn cheaper_replace_changes_distance() {
+        let costs = CostModel::new(1.0, 1.0, 0.5).expect("valid");
+        let x = toks("a b");
+        let y = toks("c d");
+        assert_eq!(xform(&x, &y, costs), 1.0); // two replacements at 0.5
+        assert_eq!(xform(&x, &y, CostModel::UNIT), 2.0);
+    }
+
+    #[test]
+    fn cost_model_validation() {
+        assert!(CostModel::new(1.0, 1.0, 2.0).is_ok()); // boundary: 1+1 ≥ 2
+        assert!(CostModel::new(1.0, 1.0, 2.5).is_err());
+        assert!(CostModel::new(0.0, 1.0, 1.0).is_err());
+        // unchecked lets ablations build the invalid model anyway.
+        let bad = CostModel::unchecked(1.0, 1.0, 2.5);
+        assert_eq!(bad.replace, 2.5);
+    }
+
+    #[test]
+    fn replace_never_used_when_too_expensive() {
+        // With replace > delete+insert the DP should route around it.
+        let costs = CostModel::unchecked(1.0, 1.0, 10.0);
+        let x = toks("a");
+        let y = toks("b");
+        assert_eq!(xform(&x, &y, costs), 2.0); // delete + insert
+    }
+
+    #[test]
+    fn works_on_concept_path_tokens() {
+        // M₂ view: paths through the ontology graph as token sequences.
+        let x = ["Thing", "Person", "Professor"];
+        let y = ["Thing", "Person", "Student"];
+        let sim = sequence_similarity(&x, &y, CostModel::UNIT);
+        assert!((sim - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

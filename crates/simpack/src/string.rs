@@ -1,0 +1,217 @@
+//! String similarity measures: character-level Levenshtein (paper §2.2) plus
+//! the approximate string-matching measures the paper announces as future
+//! extensions from SecondString/SimMetrics (Jaro, Jaro-Winkler, q-grams,
+//! Monge-Elkan).
+
+use std::collections::BTreeSet;
+
+/// Character-level Levenshtein edit distance (Levenshtein 1966): minimal
+/// number of insertions, deletions, and substitutions.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row dynamic program.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity in [0, 1]: `1 − d / max(|a|, |b|)`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity (matching characters within half the longer length,
+/// discounted by transpositions).
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut b_matches: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0;
+    let sorted = {
+        let mut s = b_matches.clone();
+        s.sort_unstable();
+        s
+    };
+    for (actual, expected) in b_matches.iter().zip(&sorted) {
+        if actual != expected {
+            transpositions += 1;
+        }
+    }
+    b_matches.clear();
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler: Jaro boosted by the length of the common prefix (≤ 4),
+/// with the standard scaling factor p = 0.1.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Q-gram (here trigram, padded) similarity: Dice coefficient over the sets
+/// of character q-grams.
+pub fn qgram(a: &str, b: &str, q: usize) -> f64 {
+    assert!(q >= 1, "q must be positive");
+    let grams = |s: &str| -> BTreeSet<Vec<char>> {
+        let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+            .chain(s.chars())
+            .chain(std::iter::repeat_n('#', q - 1))
+            .collect();
+        padded.windows(q).map(|w| w.to_vec()).collect()
+    };
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ga = grams(a);
+    let gb = grams(b);
+    2.0 * ga.intersection(&gb).count() as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Monge-Elkan: average over the tokens of `a` of the best inner similarity
+/// against any token of `b`. `inner` is typically [`levenshtein_similarity`]
+/// or [`jaro_winkler`]. Asymmetric by construction.
+pub fn monge_elkan<F>(a: &[&str], b: &[&str], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    if a.is_empty() {
+        return if b.is_empty() { 1.0 } else { 0.0 };
+    }
+    if b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ta in a {
+        let best = b
+            .iter()
+            .map(|tb| inner(ta, tb))
+            .fold(0.0_f64, f64::max);
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_range() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("Professor", "Professors");
+        assert!(s > 0.88 && s < 1.0);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric_and_unicode_safe() {
+        assert_eq!(
+            levenshtein_distance("zürich", "zurich"),
+            levenshtein_distance("zurich", "zürich")
+        );
+        assert_eq!(levenshtein_distance("zürich", "zurich"), 1);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Canonical examples from the record-linkage literature.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-4);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-4);
+        assert!((jaro("DWAYNE", "DUANE") - 0.822222).abs() < 1e-4);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_common_prefixes() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961111).abs() < 1e-4);
+        assert!(jaro_winkler("Professor", "Professional") > jaro("Professor", "Professional"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn qgram_behaviour() {
+        assert_eq!(qgram("", "", 3), 1.0);
+        assert_eq!(qgram("abc", "", 3), 0.0);
+        assert_eq!(qgram("night", "night", 3), 1.0);
+        let s = qgram("night", "nacht", 3);
+        assert!(s > 0.0 && s < 0.5, "got {s}");
+    }
+
+    #[test]
+    fn monge_elkan_token_sets() {
+        let a = ["assistant", "professor"];
+        let b = ["professor"];
+        let s = monge_elkan(&a, &b, levenshtein_similarity);
+        assert!((0.5..1.0).contains(&s), "got {s}");
+        // Perfect when every token has an exact counterpart.
+        assert_eq!(monge_elkan(&a, &a, levenshtein_similarity), 1.0);
+        assert_eq!(monge_elkan(&[], &[], levenshtein_similarity), 1.0);
+        assert_eq!(monge_elkan(&a, &[], levenshtein_similarity), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Ordered-tree edit distance (Zhang & Shasha 1989) — the "additional
+//! similarity measures (especially for trees)" the paper lists as future
+//! work, implemented here so taxonomy subtrees can be compared structurally.
+
+/// An ordered, labeled tree built incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledTree {
+    labels: Vec<String>,
+    children: Vec<Vec<usize>>,
+    root: Option<usize>,
+}
+
+impl LabeledTree {
+    pub fn new() -> Self {
+        LabeledTree::default()
+    }
+
+    /// Adds a node with `label` under `parent` (`None` = the root; only one
+    /// root is allowed). Returns the node index.
+    pub fn add_node(&mut self, label: impl Into<String>, parent: Option<usize>) -> usize {
+        let id = self.labels.len();
+        self.labels.push(label.into());
+        self.children.push(Vec::new());
+        match parent {
+            Some(p) => self.children[p].push(id),
+            None => {
+                assert!(self.root.is_none(), "tree already has a root");
+                self.root = Some(id);
+            }
+        }
+        id
+    }
+
+    /// Builds a tree from a nested tuple description, e.g.
+    /// `("f", [("a", []), ("b", [("c", [])])])` written as s-expressions:
+    /// `(f a (b c))`.
+    pub fn from_sexpr(text: &str) -> Result<LabeledTree, String> {
+        let value = sst_sexpr_parse(text)?;
+        let mut tree = LabeledTree::new();
+        build_from_value(&value, None, &mut tree)?;
+        Ok(tree)
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    pub fn label(&self, node: usize) -> &str {
+        &self.labels[node]
+    }
+
+    /// Post-order traversal of node indices.
+    fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        if let Some(root) = self.root {
+            self.post_visit(root, &mut order);
+        }
+        order
+    }
+
+    fn post_visit(&self, node: usize, order: &mut Vec<usize>) {
+        for &c in &self.children[node] {
+            self.post_visit(c, order);
+        }
+        order.push(node);
+    }
+}
+
+// A tiny local s-expression reader (kept here to avoid a dependency cycle:
+// sst-sexpr depends on nothing, but simpack is meant to stay standalone).
+fn sst_sexpr_parse(text: &str) -> Result<SexprNode, String> {
+    let mut chars = text.chars().peekable();
+    let node = parse_node(&mut chars)?;
+    for c in chars {
+        if !c.is_whitespace() {
+            return Err(format!("trailing content `{c}`"));
+        }
+    }
+    Ok(node)
+}
+
+#[derive(Debug)]
+struct SexprNode {
+    label: String,
+    children: Vec<SexprNode>,
+}
+
+fn parse_node(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<SexprNode, String> {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+    match chars.peek() {
+        Some('(') => {
+            chars.next();
+            let label = read_word(chars)?;
+            let mut children = Vec::new();
+            loop {
+                while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+                    chars.next();
+                }
+                match chars.peek() {
+                    Some(')') => {
+                        chars.next();
+                        return Ok(SexprNode { label, children });
+                    }
+                    Some(_) => children.push(parse_node(chars)?),
+                    None => return Err("unterminated list".to_owned()),
+                }
+            }
+        }
+        Some(_) => Ok(SexprNode { label: read_word(chars)?, children: Vec::new() }),
+        None => Err("empty input".to_owned()),
+    }
+}
+
+fn read_word(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    let mut word = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() || c == '(' || c == ')' {
+            break;
+        }
+        word.push(c);
+        chars.next();
+    }
+    if word.is_empty() {
+        Err("expected a label".to_owned())
+    } else {
+        Ok(word)
+    }
+}
+
+fn build_from_value(
+    value: &SexprNode,
+    parent: Option<usize>,
+    tree: &mut LabeledTree,
+) -> Result<(), String> {
+    let id = tree.add_node(value.label.clone(), parent);
+    for child in &value.children {
+        build_from_value(child, Some(id), tree)?;
+    }
+    Ok(())
+}
+
+/// Zhang-Shasha tree edit distance with unit costs (insert, delete,
+/// relabel each cost 1).
+pub fn tree_edit_distance(a: &LabeledTree, b: &LabeledTree) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let ta = ZsTree::new(a);
+    let tb = ZsTree::new(b);
+    let mut treedist = vec![vec![0usize; tb.n]; ta.n];
+
+    for &i in &ta.keyroots {
+        for &j in &tb.keyroots {
+            compute_treedist(&ta, &tb, i, j, &mut treedist);
+        }
+    }
+    treedist[ta.n - 1][tb.n - 1]
+}
+
+/// Tree similarity: `1 − d / (|a| + |b|)`. The denominator is the worst
+/// case (delete all of `a`, insert all of `b`), so the value is in [0, 1].
+pub fn tree_similarity(a: &LabeledTree, b: &LabeledTree) -> f64 {
+    let total = a.len() + b.len();
+    if total == 0 {
+        return 1.0;
+    }
+    1.0 - tree_edit_distance(a, b) as f64 / total as f64
+}
+
+/// Preprocessed tree in Zhang-Shasha form: postorder labels, leftmost-leaf
+/// indices, and keyroots.
+struct ZsTree {
+    labels: Vec<String>,
+    /// l[i] = postorder index of the leftmost leaf of the subtree at i.
+    l: Vec<usize>,
+    keyroots: Vec<usize>,
+    n: usize,
+}
+
+impl ZsTree {
+    fn new(tree: &LabeledTree) -> Self {
+        let order = tree.postorder();
+        let n = order.len();
+        let mut pos = vec![0usize; n];
+        for (i, &node) in order.iter().enumerate() {
+            pos[node] = i;
+        }
+        let mut l = vec![0usize; n];
+        for (i, &node) in order.iter().enumerate() {
+            // Leftmost leaf: follow first children down.
+            let mut cur = node;
+            while let Some(&first) = tree.children[cur].first() {
+                cur = first;
+            }
+            l[i] = pos[cur];
+        }
+        // Keyroots: nodes with no left sibling path above them — highest
+        // node for each distinct leftmost leaf.
+        let mut keyroots = Vec::new();
+        for i in 0..n {
+            let is_keyroot = (i + 1..n).all(|j| l[j] != l[i]);
+            if is_keyroot {
+                keyroots.push(i);
+            }
+        }
+        let labels = order.iter().map(|&node| tree.labels[node].clone()).collect();
+        ZsTree { labels, l, keyroots, n }
+    }
+}
+
+fn compute_treedist(
+    a: &ZsTree,
+    b: &ZsTree,
+    i: usize,
+    j: usize,
+    treedist: &mut [Vec<usize>],
+) {
+    let li = a.l[i];
+    let lj = b.l[j];
+    let m = i - li + 2;
+    let n = j - lj + 2;
+    // forestdist over postorder ranges, 1-indexed with 0 = empty forest.
+    let mut fd = vec![vec![0usize; n]; m];
+    for di in 1..m {
+        fd[di][0] = fd[di - 1][0] + 1;
+    }
+    for dj in 1..n {
+        fd[0][dj] = fd[0][dj - 1] + 1;
+    }
+    for di in 1..m {
+        for dj in 1..n {
+            let ai = li + di - 1;
+            let bj = lj + dj - 1;
+            if a.l[ai] == li && b.l[bj] == lj {
+                let relabel = usize::from(a.labels[ai] != b.labels[bj]);
+                fd[di][dj] = (fd[di - 1][dj] + 1)
+                    .min(fd[di][dj - 1] + 1)
+                    .min(fd[di - 1][dj - 1] + relabel);
+                treedist[ai][bj] = fd[di][dj];
+            } else {
+                let da = a.l[ai] - li;
+                let db = b.l[bj] - lj;
+                fd[di][dj] = (fd[di - 1][dj] + 1)
+                    .min(fd[di][dj - 1] + 1)
+                    .min(fd[da][db] + treedist[ai][bj]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> LabeledTree {
+        LabeledTree::from_sexpr(s).expect("tree")
+    }
+
+    #[test]
+    fn identical_trees_have_zero_distance() {
+        let a = t("(f (a) (b (c)))");
+        let b = t("(f (a) (b (c)))");
+        assert_eq!(tree_edit_distance(&a, &b), 0);
+        assert_eq!(tree_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn single_relabel_costs_one() {
+        let a = t("(f (a) (b))");
+        let b = t("(f (a) (c))");
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn zhang_shasha_canonical_example() {
+        // The classic example from the Zhang-Shasha paper:
+        // T1 = f(d(a c(b)) e), T2 = f(c(d(a b)) e), distance 2.
+        let a = t("(f (d (a) (c (b))) (e))");
+        let b = t("(f (c (d (a) (b))) (e))");
+        assert_eq!(tree_edit_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn insertion_and_deletion() {
+        let a = t("(f (a))");
+        let b = t("(f (a) (b))");
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+        assert_eq!(tree_edit_distance(&b, &a), 1);
+    }
+
+    #[test]
+    fn distance_to_empty_is_size() {
+        let a = t("(f (a) (b))");
+        let empty = LabeledTree::new();
+        assert_eq!(tree_edit_distance(&a, &empty), 3);
+        assert_eq!(tree_edit_distance(&empty, &a), 3);
+        assert_eq!(tree_similarity(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn similarity_orders_structural_closeness() {
+        let base = t("(Person (Student) (Professor (FullProfessor)))");
+        let near = t("(Person (Student) (Professor))");
+        let far = t("(Vehicle (Car (Sedan)) (Bike))");
+        assert!(tree_similarity(&base, &near) > tree_similarity(&base, &far));
+    }
+
+    #[test]
+    fn symmetric_distance() {
+        let a = t("(f (d (a) (c (b))) (e))");
+        let b = t("(g (h) (c (d (a) (b))) (e))");
+        assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn sexpr_reader_rejects_garbage() {
+        assert!(LabeledTree::from_sexpr("(a (b)").is_err());
+        assert!(LabeledTree::from_sexpr("").is_err());
+        assert!(LabeledTree::from_sexpr("(a) extra").is_err());
+    }
+}

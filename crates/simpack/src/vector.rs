@@ -1,0 +1,191 @@
+//! Vector-based similarity measures (paper §2.2, Eq. 1–3).
+//!
+//! The paper derives binary vectors from resource feature sets via the
+//! trivial mapping M₁ (union the features, mark presence). Since the
+//! vectors are characteristic functions of sets, the measures are provided
+//! both on explicit sets of features and on weighted sparse vectors (for
+//! TF-IDF term vectors).
+
+use std::collections::BTreeSet;
+
+/// A feature set: the paper's view of a resource as the set of its
+/// properties. `BTreeSet` keeps iteration deterministic.
+pub type FeatureSet = BTreeSet<String>;
+
+/// Builds a feature set from anything yielding string-likes.
+pub fn features<I, S>(items: I) -> FeatureSet
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    items.into_iter().map(Into::into).collect()
+}
+
+fn intersection_size(x: &FeatureSet, y: &FeatureSet) -> usize {
+    x.intersection(y).count()
+}
+
+/// Cosine similarity (Eq. 1) of the binary vectors of two feature sets:
+/// `|x∩y| / sqrt(|x|·|y|)`.
+pub fn cosine(x: &FeatureSet, y: &FeatureSet) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    intersection_size(x, y) as f64 / ((x.len() as f64) * (y.len() as f64)).sqrt()
+}
+
+/// Extended Jaccard similarity (Eq. 2): `|x∩y| / (|x| + |y| − |x∩y|)`.
+pub fn jaccard(x: &FeatureSet, y: &FeatureSet) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(x, y) as f64;
+    inter / (x.len() as f64 + y.len() as f64 - inter)
+}
+
+/// Overlap similarity (Eq. 3): `|x∩y| / min(|x|, |y|)`.
+pub fn overlap(x: &FeatureSet, y: &FeatureSet) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    intersection_size(x, y) as f64 / x.len().min(y.len()) as f64
+}
+
+/// Dice coefficient: `2|x∩y| / (|x| + |y|)` — a standard companion of the
+/// three paper measures, used by the ablation benches.
+pub fn dice(x: &FeatureSet, y: &FeatureSet) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size(x, y) as f64 / (x.len() + y.len()) as f64
+}
+
+// ---- Weighted sparse vectors ------------------------------------------
+
+/// A sparse weighted vector sorted by dimension id.
+pub type SparseVector = Vec<(u32, f64)>;
+
+fn sparse_dot(x: &SparseVector, y: &SparseVector) -> f64 {
+    let (mut i, mut j, mut sum) = (0, 0, 0.0);
+    while i < x.len() && j < y.len() {
+        match x[i].0.cmp(&y[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                sum += x[i].1 * y[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    sum
+}
+
+fn sparse_norm_sq(x: &SparseVector) -> f64 {
+    x.iter().map(|&(_, w)| w * w).sum()
+}
+
+/// Cosine similarity of weighted vectors (Eq. 1).
+pub fn cosine_weighted(x: &SparseVector, y: &SparseVector) -> f64 {
+    let denom = (sparse_norm_sq(x) * sparse_norm_sq(y)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (sparse_dot(x, y) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Extended Jaccard on weighted vectors (Eq. 2):
+/// `x·y / (‖x‖² + ‖y‖² − x·y)`.
+pub fn jaccard_weighted(x: &SparseVector, y: &SparseVector) -> f64 {
+    let dot = sparse_dot(x, y);
+    let denom = sparse_norm_sq(x) + sparse_norm_sq(y) - dot;
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// Overlap on weighted vectors (Eq. 3): `x·y / min(‖x‖², ‖y‖²)`.
+pub fn overlap_weighted(x: &SparseVector, y: &SparseVector) -> f64 {
+    let denom = sparse_norm_sq(x).min(sparse_norm_sq(y));
+    if denom == 0.0 {
+        0.0
+    } else {
+        sparse_dot(x, y) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx() -> FeatureSet {
+        features(["type", "name"])
+    }
+
+    fn fy() -> FeatureSet {
+        features(["type", "age"])
+    }
+
+    #[test]
+    fn paper_example_vectors() {
+        // The paper's R_x = {type, name}, R_y = {type, age}: one shared
+        // feature of two each.
+        assert!((cosine(&fx(), &fy()) - 0.5).abs() < 1e-12);
+        assert!((jaccard(&fx(), &fy()) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((overlap(&fx(), &fy()) - 0.5).abs() < 1e-12);
+        assert!((dice(&fx(), &fy()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        for f in [cosine, jaccard, overlap, dice] {
+            assert!((f(&fx(), &fx()) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let a = features(["a"]);
+        let b = features(["b"]);
+        for f in [cosine, jaccard, overlap, dice] {
+            assert_eq!(f(&a, &b), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_sets_are_safe() {
+        let e = FeatureSet::new();
+        for f in [cosine, jaccard, overlap, dice] {
+            assert_eq!(f(&e, &e), 0.0);
+            assert_eq!(f(&e, &fx()), 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_is_one_for_subsets() {
+        let small = features(["type"]);
+        let big = features(["type", "name", "age"]);
+        assert_eq!(overlap(&small, &big), 1.0);
+        assert!(jaccard(&small, &big) < 1.0);
+    }
+
+    #[test]
+    fn weighted_measures_match_binary_on_unit_weights() {
+        let x: SparseVector = vec![(0, 1.0), (1, 1.0)];
+        let y: SparseVector = vec![(0, 1.0), (2, 1.0)];
+        assert!((cosine_weighted(&x, &y) - 0.5).abs() < 1e-12);
+        assert!((jaccard_weighted(&x, &y) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((overlap_weighted(&x, &y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cosine_scales_invariant() {
+        let x: SparseVector = vec![(0, 2.0), (1, 4.0)];
+        let x10: SparseVector = vec![(0, 20.0), (1, 40.0)];
+        let y: SparseVector = vec![(0, 1.0), (1, 1.0)];
+        assert!((cosine_weighted(&x, &y) - cosine_weighted(&x10, &y)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the measure library: metric axioms and normalization
+//! over random inputs.
+
+use proptest::prelude::*;
+use sst_simpack::{
+    cosine, dice, features, jaccard, jaro, jaro_winkler, levenshtein_distance,
+    levenshtein_similarity, needleman_wunsch_similarity, overlap, qgram, sequence_similarity,
+    smith_waterman_similarity, tree_edit_distance, AlignmentScoring, CostModel, LabeledTree,
+};
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
+    ) {
+        prop_assert_eq!(levenshtein_distance(&a, &a), 0);
+        prop_assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
+        let ab = levenshtein_distance(&a, &b);
+        let bc = levenshtein_distance(&b, &c);
+        let ac = levenshtein_distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    /// All string similarities stay in [0, 1] and are 1 on identical input.
+    #[test]
+    fn string_similarities_normalized(a in "[ -~]{0,12}", b in "[ -~]{0,12}") {
+        for (name, f) in [
+            ("levenshtein", levenshtein_similarity as fn(&str, &str) -> f64),
+            ("jaro", jaro),
+            ("jaro_winkler", jaro_winkler),
+        ] {
+            let v = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}: {}", name, v);
+            prop_assert!((f(&a, &a) - 1.0).abs() < 1e-12, "{} identity", name);
+            prop_assert!((v - f(&b, &a)).abs() < 1e-12, "{} symmetry", name);
+        }
+        let v = qgram(&a, &b, 3);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+    }
+
+    /// Vector measures over arbitrary feature sets: range, symmetry,
+    /// identity (on non-empty sets), and the overlap ≥ jaccard ordering.
+    #[test]
+    fn vector_measures_axioms(
+        xs in proptest::collection::btree_set("[a-e]{1,3}", 0..8),
+        ys in proptest::collection::btree_set("[a-e]{1,3}", 0..8),
+    ) {
+        let x = features(xs.iter().cloned());
+        let y = features(ys.iter().cloned());
+        for f in [cosine, jaccard, overlap, dice] {
+            let v = f(&x, &y);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            prop_assert!((v - f(&y, &x)).abs() < 1e-12);
+            if !x.is_empty() {
+                prop_assert!((f(&x, &x) - 1.0).abs() < 1e-12);
+            }
+        }
+        prop_assert!(overlap(&x, &y) + 1e-12 >= jaccard(&x, &y));
+        prop_assert!(dice(&x, &y) + 1e-12 >= jaccard(&x, &y));
+    }
+
+    /// Sequence similarity (Eq. 4) and both alignment similarities stay in
+    /// [0, 1], symmetric under symmetric costs, and 1 on identical input.
+    #[test]
+    fn sequence_measures_axioms(
+        a in proptest::collection::vec("[a-d]{1,2}", 0..10),
+        b in proptest::collection::vec("[a-d]{1,2}", 0..10),
+    ) {
+        let scoring = AlignmentScoring::default();
+        for (name, v, w) in [
+            (
+                "levenshtein",
+                sequence_similarity(&a, &b, CostModel::UNIT),
+                sequence_similarity(&b, &a, CostModel::UNIT),
+            ),
+            (
+                "needleman_wunsch",
+                needleman_wunsch_similarity(&a, &b, scoring),
+                needleman_wunsch_similarity(&b, &a, scoring),
+            ),
+            (
+                "smith_waterman",
+                smith_waterman_similarity(&a, &b, scoring),
+                smith_waterman_similarity(&b, &a, scoring),
+            ),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}: {}", name, v);
+            prop_assert!((v - w).abs() < 1e-12, "{} symmetry", name);
+        }
+        prop_assert!((sequence_similarity(&a, &a, CostModel::UNIT) - 1.0).abs() < 1e-12);
+        prop_assert!(
+            (needleman_wunsch_similarity(&a, &a, scoring) - 1.0).abs() < 1e-12
+        );
+    }
+}
+
+fn arb_tree() -> impl Strategy<Value = LabeledTree> {
+    // Random parent vector (parent[i] < i) with labels from a small set.
+    (1usize..10).prop_flat_map(|n| {
+        let labels = proptest::collection::vec("[a-c]", n);
+        let parents: Vec<BoxedStrategy<usize>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(0usize).boxed()
+                } else {
+                    (0..i).boxed()
+                }
+            })
+            .collect();
+        (labels, parents).prop_map(|(labels, parents)| {
+            let mut tree = LabeledTree::new();
+            let mut ids = Vec::new();
+            for (i, label) in labels.iter().enumerate() {
+                let parent = if i == 0 { None } else { Some(ids[parents[i]]) };
+                ids.push(tree.add_node(label.clone(), parent));
+            }
+            tree
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tree edit distance: identity, symmetry, and the size bound
+    /// d(a, b) ≤ |a| + |b|.
+    #[test]
+    fn tree_edit_axioms(a in arb_tree(), b in arb_tree()) {
+        prop_assert_eq!(tree_edit_distance(&a, &a), 0);
+        let ab = tree_edit_distance(&a, &b);
+        prop_assert_eq!(ab, tree_edit_distance(&b, &a));
+        prop_assert!(ab <= a.len() + b.len());
+        // Distance at least the size difference.
+        prop_assert!(ab >= a.len().abs_diff(b.len()));
+    }
+}

@@ -1,0 +1,226 @@
+//! Text-mode rendering of ontology content — the Rust counterpart of the
+//! SOQA Browser (paper §2.1), which lets users inspect ontologies
+//! independently of their language.
+
+use crate::facade::{GlobalConcept, Soqa};
+use crate::model::{ConceptId, Ontology};
+
+/// Renders the concept hierarchy of one ontology as an indented ASCII tree.
+pub fn render_tree(ontology: &Ontology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} [{}] — {} concepts\n",
+        ontology.name(),
+        ontology.metadata.language,
+        ontology.concept_count()
+    ));
+    for (i, &root) in ontology.roots().iter().enumerate() {
+        let last = i + 1 == ontology.roots().len();
+        render_subtree(ontology, root, "", last, &mut out, &mut Vec::new());
+    }
+    out
+}
+
+fn render_subtree(
+    ontology: &Ontology,
+    concept: ConceptId,
+    prefix: &str,
+    last: bool,
+    out: &mut String,
+    path: &mut Vec<ConceptId>,
+) {
+    let connector = if last { "└── " } else { "├── " };
+    let name = &ontology.concept(concept).name;
+    if path.contains(&concept) {
+        // Multiple-inheritance back-edge: show but do not recurse.
+        out.push_str(&format!("{prefix}{connector}{name} (↺)\n"));
+        return;
+    }
+    out.push_str(&format!("{prefix}{connector}{name}\n"));
+    path.push(concept);
+    let subs = ontology.direct_subs(concept);
+    let child_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+    for (i, &sub) in subs.iter().enumerate() {
+        render_subtree(ontology, sub, &child_prefix, i + 1 == subs.len(), out, path);
+    }
+    path.pop();
+}
+
+/// Renders the detail pane for one concept: documentation, hierarchy
+/// neighbourhood, attributes, methods, relationships, and instances.
+pub fn render_concept(soqa: &Soqa, gc: GlobalConcept) -> String {
+    let o = soqa.ontology_at(gc.ontology);
+    let c = soqa.concept(gc);
+    let mut out = String::new();
+    out.push_str(&format!("Concept: {}\n", soqa.qualified_name(gc)));
+    if let Some(doc) = &c.documentation {
+        out.push_str(&format!("  documentation: {doc}\n"));
+    }
+    if let Some(def) = &c.definition {
+        out.push_str(&format!("  definition:    {def}\n"));
+    }
+    out.push_str(&format!("  depth:         {}\n", o.depth(gc.concept)));
+
+    let names = |items: Vec<GlobalConcept>| -> String {
+        let v: Vec<String> = items.iter().map(|&g| soqa.concept(g).name.clone()).collect();
+        if v.is_empty() {
+            "—".to_owned()
+        } else {
+            v.join(", ")
+        }
+    };
+    out.push_str(&format!("  superconcepts: {}\n", names(soqa.super_concepts(gc))));
+    out.push_str(&format!("  subconcepts:   {}\n", names(soqa.sub_concepts(gc))));
+    out.push_str(&format!("  coordinate:    {}\n", names(soqa.coordinate_concepts(gc))));
+    out.push_str(&format!("  equivalent:    {}\n", names(soqa.equivalent_concepts(gc))));
+    out.push_str(&format!("  antonym:       {}\n", names(soqa.antonym_concepts(gc))));
+
+    let attrs = soqa.attributes_of(gc);
+    if !attrs.is_empty() {
+        out.push_str("  attributes:\n");
+        for a in attrs {
+            out.push_str(&format!(
+                "    - {}: {}\n",
+                a.name,
+                a.data_type.as_deref().unwrap_or("?")
+            ));
+        }
+    }
+    let methods = soqa.methods_of(gc);
+    if !methods.is_empty() {
+        out.push_str("  methods:\n");
+        for m in methods {
+            let params: Vec<String> = m
+                .parameters
+                .iter()
+                .map(|p| {
+                    format!("{}: {}", p.name, p.data_type.as_deref().unwrap_or("?"))
+                })
+                .collect();
+            out.push_str(&format!(
+                "    - {}({}) -> {}\n",
+                m.name,
+                params.join(", "),
+                m.return_type.as_deref().unwrap_or("?")
+            ));
+        }
+    }
+    let rels = soqa.relationships_of(gc);
+    if !rels.is_empty() {
+        out.push_str("  relationships:\n");
+        for r in rels {
+            out.push_str(&format!(
+                "    - {} (arity {}): {}\n",
+                r.name,
+                r.arity,
+                r.related_concepts.join(" × ")
+            ));
+        }
+    }
+    let insts = soqa.instances_of(gc);
+    if !insts.is_empty() {
+        out.push_str("  instances:\n");
+        for i in insts {
+            out.push_str(&format!("    - {}\n", i.name));
+        }
+    }
+    out
+}
+
+/// Renders the metadata pane for one ontology.
+pub fn render_metadata(ontology: &Ontology) -> String {
+    let md = &ontology.metadata;
+    let field = |label: &str, value: &Option<String>| -> String {
+        format!("  {label:<15}{}\n", value.as_deref().unwrap_or("—"))
+    };
+    let mut out = String::new();
+    out.push_str(&format!("Ontology: {}\n", md.name));
+    out.push_str(&format!("  {:<15}{}\n", "language", md.language));
+    out.push_str(&field("author", &md.author));
+    out.push_str(&field("version", &md.version));
+    out.push_str(&field("last modified", &md.last_modified));
+    out.push_str(&field("uri", &md.uri));
+    out.push_str(&field("copyright", &md.copyright));
+    out.push_str(&field("documentation", &md.documentation));
+    out.push_str(&format!(
+        "  {:<15}{} concepts, {} attributes, {} methods, {} relationships, {} instances\n",
+        "extensions",
+        ontology.concept_count(),
+        ontology.attributes().len(),
+        ontology.methods().len(),
+        ontology.relationships().len(),
+        ontology.instances().len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OntologyBuilder, OntologyMetadata};
+
+    fn sample() -> Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "uni".into(),
+            language: "Test".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        let prof = b.concept("Professor");
+        b.add_subclass(person, thing);
+        b.add_subclass(student, person);
+        b.add_subclass(prof, person);
+        b.build()
+    }
+
+    #[test]
+    fn tree_shows_hierarchy() {
+        let text = render_tree(&sample());
+        assert!(text.contains("└── Thing"));
+        assert!(text.contains("    └── Person"));
+        assert!(text.contains("Student"));
+        // Student/Professor are nested one level deeper than Person.
+        let person_line = text.lines().find(|l| l.contains("Person")).unwrap();
+        let student_line = text.lines().find(|l| l.contains("Student")).unwrap();
+        assert!(student_line.find("Student") > person_line.find("Person"));
+    }
+
+    #[test]
+    fn tree_handles_diamond_without_infinite_recursion() {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "d".into(),
+            ..OntologyMetadata::default()
+        });
+        let root = b.concept("R");
+        let a = b.concept("A");
+        let c = b.concept("B");
+        let d = b.concept("D");
+        b.add_subclass(a, root);
+        b.add_subclass(c, root);
+        b.add_subclass(d, a);
+        b.add_subclass(d, c);
+        let text = render_tree(&b.build());
+        // D appears under both parents.
+        assert_eq!(text.matches("D").count(), 2);
+    }
+
+    #[test]
+    fn concept_pane_lists_neighbourhood() {
+        let mut soqa = Soqa::new();
+        soqa.register(sample()).unwrap();
+        let gc = soqa.resolve("uni", "Student").unwrap();
+        let text = render_concept(&soqa, gc);
+        assert!(text.contains("Concept: uni:Student"));
+        assert!(text.contains("superconcepts: Person"));
+        assert!(text.contains("coordinate:    Professor"));
+    }
+
+    #[test]
+    fn metadata_pane_renders_counts() {
+        let text = render_metadata(&sample());
+        assert!(text.contains("4 concepts"));
+        assert!(text.contains("language       Test"));
+    }
+}

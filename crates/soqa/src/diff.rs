@@ -1,0 +1,249 @@
+//! Structural diff between two ontologies — the inspection step before any
+//! alignment or integration decision: which concepts were added, removed,
+//! re-documented, or re-parented between two versions (or two language
+//! renderings) of an ontology.
+
+use std::collections::BTreeSet;
+
+use crate::model::Ontology;
+
+/// One concept-level change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConceptChange {
+    Added(String),
+    Removed(String),
+    /// Documentation text differs.
+    Redocumented(String),
+    /// The set of direct superconcept names differs.
+    Reparented {
+        concept: String,
+        before: Vec<String>,
+        after: Vec<String>,
+    },
+}
+
+/// The full diff report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OntologyDiff {
+    pub concept_changes: Vec<ConceptChange>,
+    pub attributes_added: Vec<String>,
+    pub attributes_removed: Vec<String>,
+    pub relationships_added: Vec<String>,
+    pub relationships_removed: Vec<String>,
+    pub instances_added: Vec<String>,
+    pub instances_removed: Vec<String>,
+}
+
+impl OntologyDiff {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.concept_changes.is_empty()
+            && self.attributes_added.is_empty()
+            && self.attributes_removed.is_empty()
+            && self.relationships_added.is_empty()
+            && self.relationships_removed.is_empty()
+            && self.instances_added.is_empty()
+            && self.instances_removed.is_empty()
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "no structural differences\n".to_owned();
+        }
+        let mut out = String::new();
+        for change in &self.concept_changes {
+            match change {
+                ConceptChange::Added(name) => out.push_str(&format!("+ concept {name}\n")),
+                ConceptChange::Removed(name) => out.push_str(&format!("- concept {name}\n")),
+                ConceptChange::Redocumented(name) => {
+                    out.push_str(&format!("~ concept {name} (documentation changed)\n"))
+                }
+                ConceptChange::Reparented { concept, before, after } => out.push_str(&format!(
+                    "~ concept {concept} (supers {before:?} → {after:?})\n"
+                )),
+            }
+        }
+        let section = |out: &mut String, sign: char, kind: &str, names: &[String]| {
+            for n in names {
+                out.push_str(&format!("{sign} {kind} {n}\n"));
+            }
+        };
+        section(&mut out, '+', "attribute", &self.attributes_added);
+        section(&mut out, '-', "attribute", &self.attributes_removed);
+        section(&mut out, '+', "relationship", &self.relationships_added);
+        section(&mut out, '-', "relationship", &self.relationships_removed);
+        section(&mut out, '+', "instance", &self.instances_added);
+        section(&mut out, '-', "instance", &self.instances_removed);
+        out
+    }
+}
+
+fn name_set<I: Iterator<Item = String>>(iter: I) -> BTreeSet<String> {
+    iter.collect()
+}
+
+/// Diffs `before` against `after` by concept/attribute/relationship/
+/// instance names (names are the identity carrier in the SOQA meta model).
+pub fn diff_ontologies(before: &Ontology, after: &Ontology) -> OntologyDiff {
+    let mut report = OntologyDiff::default();
+
+    let before_names =
+        name_set(before.concept_ids().map(|id| before.concept(id).name.clone()));
+    let after_names = name_set(after.concept_ids().map(|id| after.concept(id).name.clone()));
+
+    for name in after_names.difference(&before_names) {
+        report.concept_changes.push(ConceptChange::Added(name.clone()));
+    }
+    for name in before_names.difference(&after_names) {
+        report.concept_changes.push(ConceptChange::Removed(name.clone()));
+    }
+    for name in before_names.intersection(&after_names) {
+        let b = before.concept_by_name(name).expect("in before set");
+        let a = after.concept_by_name(name).expect("in after set");
+        let b_supers: BTreeSet<String> = before
+            .direct_supers(b)
+            .iter()
+            .map(|&s| before.concept(s).name.clone())
+            .collect();
+        let a_supers: BTreeSet<String> = after
+            .direct_supers(a)
+            .iter()
+            .map(|&s| after.concept(s).name.clone())
+            .collect();
+        if b_supers != a_supers {
+            report.concept_changes.push(ConceptChange::Reparented {
+                concept: name.clone(),
+                before: b_supers.into_iter().collect(),
+                after: a_supers.into_iter().collect(),
+            });
+        }
+        if before.concept(b).documentation != after.concept(a).documentation {
+            report.concept_changes.push(ConceptChange::Redocumented(name.clone()));
+        }
+    }
+
+    let pairs = |o: &Ontology| -> BTreeSet<String> {
+        o.attributes()
+            .iter()
+            .map(|a| format!("{}.{}", o.concept(a.concept).name, a.name))
+            .collect()
+    };
+    let (b, a) = (pairs(before), pairs(after));
+    report.attributes_added = a.difference(&b).cloned().collect();
+    report.attributes_removed = b.difference(&a).cloned().collect();
+
+    let rels = |o: &Ontology| -> BTreeSet<String> {
+        o.relationships().iter().map(|r| r.name.clone()).collect()
+    };
+    let (b, a) = (rels(before), rels(after));
+    report.relationships_added = a.difference(&b).cloned().collect();
+    report.relationships_removed = b.difference(&a).cloned().collect();
+
+    let insts = |o: &Ontology| -> BTreeSet<String> {
+        o.instances().iter().map(|i| i.name.clone()).collect()
+    };
+    let (b, a) = (insts(before), insts(after));
+    report.instances_added = a.difference(&b).cloned().collect();
+    report.instances_removed = b.difference(&a).cloned().collect();
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, Instance, OntologyBuilder, OntologyMetadata};
+
+    fn base() -> OntologyBuilder {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "v".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        b.add_subclass(person, thing);
+        b.add_subclass(student, person);
+        b
+    }
+
+    #[test]
+    fn identical_ontologies_have_empty_diff() {
+        let diff = diff_ontologies(&base().build(), &base().build());
+        assert!(diff.is_empty());
+        assert_eq!(diff.render(), "no structural differences\n");
+    }
+
+    #[test]
+    fn detects_added_and_removed_concepts() {
+        let before = base().build();
+        let mut after = base();
+        let thing = after.concept("Thing");
+        let prof = after.concept("Professor");
+        after.add_subclass(prof, thing);
+        let diff = diff_ontologies(&before, &after.build());
+        assert_eq!(diff.concept_changes, vec![ConceptChange::Added("Professor".into())]);
+        let reverse = diff_ontologies(&after_with_professor(), &before);
+        assert!(reverse
+            .concept_changes
+            .contains(&ConceptChange::Removed("Professor".into())));
+    }
+
+    fn after_with_professor() -> Ontology {
+        let mut after = base();
+        let thing = after.concept("Thing");
+        let prof = after.concept("Professor");
+        after.add_subclass(prof, thing);
+        after.build()
+    }
+
+    #[test]
+    fn detects_reparenting_and_redocumentation() {
+        let before = base().build();
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "v".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        b.add_subclass(person, thing);
+        b.add_subclass(student, thing); // re-parented!
+        b.concept_mut(person).documentation = Some("updated".into());
+        let diff = diff_ontologies(&before, &b.build());
+        assert!(diff.concept_changes.iter().any(|c| matches!(
+            c,
+            ConceptChange::Reparented { concept, .. } if concept == "Student"
+        )));
+        assert!(diff
+            .concept_changes
+            .contains(&ConceptChange::Redocumented("Person".into())));
+        let text = diff.render();
+        assert!(text.contains("~ concept Student"));
+    }
+
+    #[test]
+    fn detects_component_changes() {
+        let before = base().build();
+        let mut b = base();
+        let person = b.concept("Person");
+        b.add_attribute(Attribute {
+            name: "email".into(),
+            documentation: None,
+            data_type: None,
+            definition: None,
+            concept: person,
+        });
+        b.add_instance(Instance {
+            name: "anna".into(),
+            concept: person,
+            attribute_values: vec![],
+            relationship_values: vec![],
+        });
+        let diff = diff_ontologies(&before, &b.build());
+        assert_eq!(diff.attributes_added, vec!["Person.email"]);
+        assert_eq!(diff.instances_added, vec!["anna"]);
+        assert!(diff.attributes_removed.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for SOQA operations.
+
+use std::fmt;
+
+/// Errors raised by the SOQA facade, wrappers, and SOQA-QL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoqaError {
+    /// No ontology registered under this name.
+    UnknownOntology(String),
+    /// No concept with this name in the named ontology.
+    UnknownConcept { ontology: String, concept: String },
+    /// A name was registered twice.
+    DuplicateOntology(String),
+    /// A wrapper could not parse its source document.
+    Wrapper { language: String, message: String },
+    /// A SOQA-QL query failed to parse or evaluate.
+    Query(String),
+}
+
+impl fmt::Display for SoqaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoqaError::UnknownOntology(name) => write!(f, "unknown ontology `{name}`"),
+            SoqaError::UnknownConcept { ontology, concept } => {
+                write!(f, "unknown concept `{concept}` in ontology `{ontology}`")
+            }
+            SoqaError::DuplicateOntology(name) => {
+                write!(f, "an ontology named `{name}` is already registered")
+            }
+            SoqaError::Wrapper { language, message } => {
+                write!(f, "{language} wrapper error: {message}")
+            }
+            SoqaError::Query(message) => write!(f, "SOQA-QL error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SoqaError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SoqaError>;

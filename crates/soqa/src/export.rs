@@ -1,0 +1,292 @@
+//! Exports a SOQA [`Ontology`] back to an RDF graph (OWL vocabulary).
+//!
+//! Combined with `sst-rdf`'s serializers this turns SOQA into a
+//! cross-language converter: a PowerLoom or WordNet ontology read by its
+//! wrapper can be written out as OWL (RDF/XML or Turtle) — the
+//! "semantics-aware universal data management" application the paper's
+//! introduction motivates.
+
+use sst_rdf::vocab::{owl, rdf, rdfs, XSD_NS};
+use sst_rdf::{Graph, Iri, Literal, Term, Triple};
+
+use crate::model::Ontology;
+
+/// Maps a SOQA datatype name onto an XSD datatype IRI (best effort).
+fn xsd_type(data_type: &str) -> Iri {
+    let local = match data_type.to_ascii_lowercase().as_str() {
+        "string" | "str" => "string",
+        "int" | "integer" | "long" => "integer",
+        "number" | "float" | "double" | "decimal" => "decimal",
+        "boolean" | "bool" => "boolean",
+        "date" => "date",
+        _ => "string",
+    };
+    Iri::new(format!("{XSD_NS}{local}"))
+}
+
+/// Characters legal in an IRI fragment produced from a concept name.
+fn fragment(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+/// Converts `ontology` to an RDF graph under `base` (e.g.
+/// `http://example.org/converted`). Concepts become `owl:Class`es,
+/// attributes `owl:DatatypeProperty`s, relationships
+/// `owl:ObjectProperty`s, and instances typed individuals.
+pub fn ontology_to_graph(ontology: &Ontology, base: &str) -> Graph {
+    let mut graph = Graph::new();
+    graph.set_base(base);
+    graph.add_prefix("owl", sst_rdf::vocab::OWL_NS);
+    graph.add_prefix("rdfs", sst_rdf::vocab::RDFS_NS);
+    graph.add_prefix("rdf", sst_rdf::vocab::RDF_NS);
+    graph.add_prefix("xsd", XSD_NS);
+    graph.add_prefix("", format!("{base}#"));
+
+    let node = |name: &str| Term::iri(format!("{base}#{}", fragment(name)));
+
+    // Ontology header.
+    let header = Term::iri(base);
+    graph.insert(Triple::new(header.clone(), rdf::type_(), Term::Iri(owl::ontology())));
+    if let Some(doc) = &ontology.metadata.documentation {
+        graph.insert(Triple::new(
+            header.clone(),
+            rdfs::comment(),
+            Term::Literal(Literal::plain(doc.clone())),
+        ));
+    }
+    if let Some(version) = &ontology.metadata.version {
+        graph.insert(Triple::new(
+            header,
+            owl::version_info(),
+            Term::Literal(Literal::plain(version.clone())),
+        ));
+    }
+
+    // Concepts and the hierarchy.
+    for cid in ontology.concept_ids() {
+        let concept = ontology.concept(cid);
+        let subject = node(&concept.name);
+        graph.insert(Triple::new(subject.clone(), rdf::type_(), Term::Iri(owl::class())));
+        graph.insert(Triple::new(
+            subject.clone(),
+            rdfs::label(),
+            Term::Literal(Literal::plain(concept.name.clone())),
+        ));
+        if let Some(doc) = &concept.documentation {
+            graph.insert(Triple::new(
+                subject.clone(),
+                rdfs::comment(),
+                Term::Literal(Literal::plain(doc.clone())),
+            ));
+        }
+        for &sup in &concept.super_concepts {
+            graph.insert(Triple::new(
+                subject.clone(),
+                rdfs::sub_class_of(),
+                node(&ontology.concept(sup).name),
+            ));
+        }
+        for &eq in &concept.equivalent_concepts {
+            graph.insert(Triple::new(
+                subject.clone(),
+                owl::equivalent_class(),
+                node(&ontology.concept(eq).name),
+            ));
+        }
+        for &anti in &concept.antonym_concepts {
+            graph.insert(Triple::new(
+                subject.clone(),
+                owl::disjoint_with(),
+                node(&ontology.concept(anti).name),
+            ));
+        }
+    }
+
+    // Attributes → datatype properties.
+    for attribute in ontology.attributes() {
+        let subject = node(&attribute.name);
+        graph.insert(Triple::new(
+            subject.clone(),
+            rdf::type_(),
+            Term::Iri(owl::datatype_property()),
+        ));
+        graph.insert(Triple::new(
+            subject.clone(),
+            rdfs::domain(),
+            node(&ontology.concept(attribute.concept).name),
+        ));
+        if let Some(dt) = &attribute.data_type {
+            graph.insert(Triple::new(subject.clone(), rdfs::range(), Term::Iri(xsd_type(dt))));
+        }
+        if let Some(doc) = &attribute.documentation {
+            graph.insert(Triple::new(
+                subject,
+                rdfs::comment(),
+                Term::Literal(Literal::plain(doc.clone())),
+            ));
+        }
+    }
+
+    // Relationships → object properties (binary domains/ranges when known).
+    for relationship in ontology.relationships() {
+        let subject = node(&relationship.name);
+        graph.insert(Triple::new(
+            subject.clone(),
+            rdf::type_(),
+            Term::Iri(owl::object_property()),
+        ));
+        if let Some(domain) = relationship.related_concepts.first() {
+            graph.insert(Triple::new(subject.clone(), rdfs::domain(), node(domain)));
+        }
+        if let Some(range) = relationship.related_concepts.get(1) {
+            graph.insert(Triple::new(subject.clone(), rdfs::range(), node(range)));
+        }
+        if let Some(doc) = &relationship.documentation {
+            graph.insert(Triple::new(
+                subject,
+                rdfs::comment(),
+                Term::Literal(Literal::plain(doc.clone())),
+            ));
+        }
+    }
+
+    // Instances → typed individuals with attribute values.
+    for instance in ontology.instances() {
+        let subject = node(&instance.name);
+        graph.insert(Triple::new(
+            subject.clone(),
+            rdf::type_(),
+            node(&ontology.concept(instance.concept).name),
+        ));
+        for (attr, value) in &instance.attribute_values {
+            graph.insert(Triple::new(
+                subject.clone(),
+                Iri::new(format!("{base}#{}", fragment(attr))),
+                Term::Literal(Literal::plain(value.clone())),
+            ));
+        }
+        for (rel, target) in &instance.relationship_values {
+            graph.insert(Triple::new(
+                subject.clone(),
+                Iri::new(format!("{base}#{}", fragment(rel))),
+                node(target),
+            ));
+        }
+    }
+
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, Instance, OntologyBuilder, OntologyMetadata, Relationship};
+
+    fn sample() -> Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "COURSES".into(),
+            language: "PowerLoom".into(),
+            documentation: Some("course admin".into()),
+            version: Some("1.3".into()),
+            ..OntologyMetadata::default()
+        });
+        let person = b.concept("PERSON");
+        let student = b.concept("STUDENT");
+        b.concept_mut(student).documentation = Some("A person who studies.".into());
+        b.add_subclass(student, person);
+        b.add_attribute(Attribute {
+            name: "full-name".into(),
+            documentation: None,
+            data_type: Some("STRING".into()),
+            definition: None,
+            concept: person,
+        });
+        b.add_relationship(Relationship {
+            name: "attends".into(),
+            documentation: Some("student attends course".into()),
+            definition: None,
+            arity: 2,
+            related_concepts: vec!["STUDENT".into(), "COURSE".into()],
+        });
+        b.concept("COURSE");
+        b.add_instance(Instance {
+            name: "Anna".into(),
+            concept: student,
+            attribute_values: vec![("full-name".into(), "Anna Muster".into())],
+            relationship_values: vec![("attends".into(), "DB1".into())],
+        });
+        b.build()
+    }
+
+    const BASE: &str = "http://example.org/converted";
+
+    #[test]
+    fn exports_classes_and_hierarchy() {
+        let g = ontology_to_graph(&sample(), BASE);
+        let student = Term::iri(format!("{BASE}#STUDENT"));
+        assert!(g.contains(&Triple::new(student.clone(), rdf::type_(), Term::Iri(owl::class()))));
+        assert!(g.contains(&Triple::new(
+            student,
+            rdfs::sub_class_of(),
+            Term::iri(format!("{BASE}#PERSON"))
+        )));
+    }
+
+    #[test]
+    fn exports_properties_with_xsd_ranges() {
+        let g = ontology_to_graph(&sample(), BASE);
+        let name = Term::iri(format!("{BASE}#full-name"));
+        assert!(g.contains(&Triple::new(
+            name.clone(),
+            rdf::type_(),
+            Term::Iri(owl::datatype_property())
+        )));
+        assert!(g.contains(&Triple::new(
+            name,
+            rdfs::range(),
+            Term::iri(format!("{XSD_NS}string"))
+        )));
+        let attends = Term::iri(format!("{BASE}#attends"));
+        assert!(g.contains(&Triple::new(
+            attends,
+            rdfs::range(),
+            Term::iri(format!("{BASE}#COURSE"))
+        )));
+    }
+
+    #[test]
+    fn exports_instances_with_values() {
+        let g = ontology_to_graph(&sample(), BASE);
+        let anna = Term::iri(format!("{BASE}#Anna"));
+        assert!(g.contains(&Triple::new(
+            anna.clone(),
+            rdf::type_(),
+            Term::iri(format!("{BASE}#STUDENT"))
+        )));
+        assert!(g.contains(&Triple::new(
+            anna,
+            Iri::new(format!("{BASE}#full-name")),
+            Term::literal("Anna Muster"),
+        )));
+    }
+
+    #[test]
+    fn exported_graph_serializes_to_valid_rdfxml_and_turtle() {
+        let g = ontology_to_graph(&sample(), BASE);
+        let xml = sst_rdf::write_rdfxml(&g);
+        let reparsed = sst_rdf::parse_rdfxml(&xml, BASE).expect("rdfxml roundtrip");
+        assert_eq!(reparsed.len(), g.len());
+        let ttl = sst_rdf::write_turtle(&g);
+        let reparsed = sst_rdf::parse_turtle(&ttl, BASE).expect("turtle roundtrip");
+        assert_eq!(reparsed.len(), g.len());
+    }
+
+    #[test]
+    fn odd_names_are_sanitized_into_fragments() {
+        assert_eq!(fragment("TEACHING-ASSISTANT"), "TEACHING-ASSISTANT");
+        assert_eq!(fragment("has space?"), "has_space_");
+        assert_eq!(fragment("bank#2"), "bank_2");
+    }
+}

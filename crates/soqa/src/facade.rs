@@ -1,0 +1,344 @@
+//! The SOQA facade (paper §2.1, Fig. 2): a single point of unified,
+//! ontology-language-independent access to metadata and data of every
+//! registered ontology.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, SoqaError};
+use crate::model::{Attribute, Concept, ConceptId, Instance, Method, Ontology, Relationship};
+
+/// A concept addressed globally: which ontology, which concept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalConcept {
+    /// Index of the ontology in registration order.
+    pub ontology: usize,
+    pub concept: ConceptId,
+}
+
+/// The unified-access facade over a set of registered ontologies.
+///
+/// This mirrors the Java `SOQA` facade: clients never touch wrapper or
+/// language specifics, they ask the facade by (ontology name, concept name).
+#[derive(Debug, Default)]
+pub struct Soqa {
+    ontologies: Vec<Ontology>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Soqa {
+    pub fn new() -> Self {
+        Soqa::default()
+    }
+
+    /// Registers an ontology (typically produced by a wrapper in
+    /// `sst-wrappers`). Names must be unique.
+    pub fn register(&mut self, ontology: Ontology) -> Result<usize> {
+        let name = ontology.name().to_owned();
+        if self.by_name.contains_key(&name) {
+            return Err(SoqaError::DuplicateOntology(name));
+        }
+        let idx = self.ontologies.len();
+        self.ontologies.push(ontology);
+        self.by_name.insert(name, idx);
+        Ok(idx)
+    }
+
+    /// Number of registered ontologies.
+    pub fn ontology_count(&self) -> usize {
+        self.ontologies.len()
+    }
+
+    /// Names of all registered ontologies, in registration order.
+    pub fn ontology_names(&self) -> Vec<&str> {
+        self.ontologies.iter().map(|o| o.name()).collect()
+    }
+
+    /// The ontology registered under `name`.
+    pub fn ontology(&self, name: &str) -> Result<&Ontology> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.ontologies[i])
+            .ok_or_else(|| SoqaError::UnknownOntology(name.to_owned()))
+    }
+
+    /// The ontology at registration index `idx`.
+    pub fn ontology_at(&self, idx: usize) -> &Ontology {
+        &self.ontologies[idx]
+    }
+
+    /// Index of the ontology registered under `name`.
+    pub fn ontology_index(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SoqaError::UnknownOntology(name.to_owned()))
+    }
+
+    /// Resolves `(ontology name, concept name)` to a global concept handle.
+    pub fn resolve(&self, ontology: &str, concept: &str) -> Result<GlobalConcept> {
+        let idx = self.ontology_index(ontology)?;
+        let cid = self.ontologies[idx].concept_by_name(concept).ok_or_else(|| {
+            SoqaError::UnknownConcept {
+                ontology: ontology.to_owned(),
+                concept: concept.to_owned(),
+            }
+        })?;
+        Ok(GlobalConcept { ontology: idx, concept: cid })
+    }
+
+    /// The concept record behind a global handle.
+    pub fn concept(&self, gc: GlobalConcept) -> &Concept {
+        self.ontologies[gc.ontology].concept(gc.concept)
+    }
+
+    /// Total number of concepts across all ontologies.
+    pub fn total_concept_count(&self) -> usize {
+        self.ontologies.iter().map(|o| o.concept_count()).sum()
+    }
+
+    /// Every concept of every ontology, as global handles.
+    pub fn all_concepts(&self) -> Vec<GlobalConcept> {
+        let mut out = Vec::with_capacity(self.total_concept_count());
+        for (i, o) in self.ontologies.iter().enumerate() {
+            out.extend(o.concept_ids().map(|c| GlobalConcept { ontology: i, concept: c }));
+        }
+        out
+    }
+
+    /// Direct superconcepts (within the concept's own ontology).
+    pub fn super_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.ontologies[gc.ontology]
+            .direct_supers(gc.concept)
+            .iter()
+            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// Direct subconcepts.
+    pub fn sub_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.ontologies[gc.ontology]
+            .direct_subs(gc.concept)
+            .iter()
+            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// All (direct and indirect) superconcepts.
+    pub fn all_super_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.ontologies[gc.ontology]
+            .all_supers(gc.concept)
+            .into_iter()
+            .map(|c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// All (direct and indirect) subconcepts.
+    pub fn all_sub_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.ontologies[gc.ontology]
+            .all_subs(gc.concept)
+            .into_iter()
+            .map(|c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// Coordinate (sibling) concepts.
+    pub fn coordinate_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.ontologies[gc.ontology]
+            .coordinate_concepts(gc.concept)
+            .into_iter()
+            .map(|c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// Equivalent concepts as declared in the source ontology.
+    pub fn equivalent_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.concept(gc)
+            .equivalent_concepts
+            .iter()
+            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// Antonym (disjoint) concepts as declared in the source ontology.
+    pub fn antonym_concepts(&self, gc: GlobalConcept) -> Vec<GlobalConcept> {
+        self.concept(gc)
+            .antonym_concepts
+            .iter()
+            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .collect()
+    }
+
+    /// Attributes declared for a concept.
+    pub fn attributes_of(&self, gc: GlobalConcept) -> Vec<&Attribute> {
+        let o = &self.ontologies[gc.ontology];
+        o.concept(gc.concept).attributes.iter().map(|&a| o.attribute(a)).collect()
+    }
+
+    /// Attributes declared for a concept or inherited from any superconcept.
+    pub fn attributes_with_inherited(&self, gc: GlobalConcept) -> Vec<&Attribute> {
+        let o = &self.ontologies[gc.ontology];
+        let mut out = self.attributes_of(gc);
+        for sup in o.all_supers(gc.concept) {
+            out.extend(o.concept(sup).attributes.iter().map(|&a| o.attribute(a)));
+        }
+        out
+    }
+
+    /// Methods declared for a concept.
+    pub fn methods_of(&self, gc: GlobalConcept) -> Vec<&Method> {
+        let o = &self.ontologies[gc.ontology];
+        o.concept(gc.concept).methods.iter().map(|&m| o.method(m)).collect()
+    }
+
+    /// Relationships a concept participates in.
+    pub fn relationships_of(&self, gc: GlobalConcept) -> Vec<&Relationship> {
+        let o = &self.ontologies[gc.ontology];
+        o.concept(gc.concept).relationships.iter().map(|&r| o.relationship(r)).collect()
+    }
+
+    /// Direct instances of a concept.
+    pub fn instances_of(&self, gc: GlobalConcept) -> Vec<&Instance> {
+        let o = &self.ontologies[gc.ontology];
+        o.concept(gc.concept).instances.iter().map(|&i| o.instance(i)).collect()
+    }
+
+    /// A display name of the form `ontology:Concept` (the notation used in
+    /// the paper's Table 1, e.g. `base1_0_daml:Professor`).
+    pub fn qualified_name(&self, gc: GlobalConcept) -> String {
+        format!(
+            "{}:{}",
+            self.ontologies[gc.ontology].name(),
+            self.concept(gc).name
+        )
+    }
+
+    /// Full-text description of a concept: its name plus documentation,
+    /// definition, attribute names/types, and method names. This is the
+    /// "export of a full-text description of all concepts" that feeds the
+    /// TFIDF measure (paper §2.2).
+    pub fn concept_description(&self, gc: GlobalConcept) -> String {
+        let o = &self.ontologies[gc.ontology];
+        let c = self.concept(gc);
+        let mut text = String::with_capacity(128);
+        text.push_str(&c.name);
+        if let Some(doc) = &c.documentation {
+            text.push(' ');
+            text.push_str(doc);
+        }
+        if let Some(def) = &c.definition {
+            text.push(' ');
+            text.push_str(def);
+        }
+        for &a in &c.attributes {
+            let attr = o.attribute(a);
+            text.push(' ');
+            text.push_str(&attr.name);
+            if let Some(dt) = &attr.data_type {
+                text.push(' ');
+                text.push_str(dt);
+            }
+            if let Some(doc) = &attr.documentation {
+                text.push(' ');
+                text.push_str(doc);
+            }
+        }
+        for &m in &c.methods {
+            text.push(' ');
+            text.push_str(&o.method(m).name);
+        }
+        for &r in &c.relationships {
+            text.push(' ');
+            text.push_str(&o.relationship(r).name);
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OntologyBuilder, OntologyMetadata};
+
+    fn uni() -> Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "uni".into(),
+            language: "Test".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        b.add_subclass(person, thing);
+        b.add_subclass(student, person);
+        b.build()
+    }
+
+    fn birds() -> Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "birds".into(),
+            language: "Test".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let bird = b.concept("Bird");
+        b.add_subclass(bird, thing);
+        b.build()
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut soqa = Soqa::new();
+        soqa.register(uni()).unwrap();
+        soqa.register(birds()).unwrap();
+        assert_eq!(soqa.ontology_count(), 2);
+        assert_eq!(soqa.total_concept_count(), 5);
+        let gc = soqa.resolve("uni", "Student").unwrap();
+        assert_eq!(soqa.concept(gc).name, "Student");
+        assert_eq!(soqa.qualified_name(gc), "uni:Student");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut soqa = Soqa::new();
+        soqa.register(uni()).unwrap();
+        assert!(matches!(soqa.register(uni()), Err(SoqaError::DuplicateOntology(_))));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let mut soqa = Soqa::new();
+        soqa.register(uni()).unwrap();
+        assert!(matches!(soqa.resolve("nope", "X"), Err(SoqaError::UnknownOntology(_))));
+        assert!(matches!(
+            soqa.resolve("uni", "Nope"),
+            Err(SoqaError::UnknownConcept { .. })
+        ));
+    }
+
+    #[test]
+    fn same_named_concepts_in_different_ontologies_are_distinct() {
+        let mut soqa = Soqa::new();
+        soqa.register(uni()).unwrap();
+        soqa.register(birds()).unwrap();
+        let a = soqa.resolve("uni", "Thing").unwrap();
+        let b = soqa.resolve("birds", "Thing").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(soqa.sub_concepts(a).len(), 1);
+        assert_eq!(soqa.concept(soqa.sub_concepts(b)[0]).name, "Bird");
+    }
+
+    #[test]
+    fn description_contains_name_and_docs() {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "o".into(),
+            ..OntologyMetadata::default()
+        });
+        let c = b.concept("Professor");
+        b.concept_mut(c).documentation = Some("A senior academic".into());
+        let mut soqa = Soqa::new();
+        soqa.register(b.build()).unwrap();
+        let gc = soqa.resolve("o", "Professor").unwrap();
+        let desc = soqa.concept_description(gc);
+        assert!(desc.contains("Professor") && desc.contains("senior academic"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # sst-soqa — the SIRUP Ontology Query API (SOQA) in Rust
+//!
+//! SOQA (paper §2.1) gives applications *ontology-language-independent*
+//! access to ontologies through one meta model: concepts, attributes,
+//! methods, relationships, instances, and ontology metadata. Language
+//! wrappers (in `sst-wrappers`) parse OWL / DAML / PowerLoom / WordNet
+//! sources into [`model::Ontology`] values; the [`facade::Soqa`] facade then
+//! answers unified queries, the [`ql`] module runs declarative SOQA-QL, and
+//! [`browser`] renders the text-mode ontology browser panes.
+
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod browser;
+pub mod diff;
+pub mod error;
+pub mod export;
+pub mod facade;
+pub mod model;
+pub mod ql;
+pub mod stats;
+
+pub use diff::{diff_ontologies, ConceptChange, OntologyDiff};
+pub use error::{Result, SoqaError};
+pub use export::ontology_to_graph;
+pub use stats::{ontology_stats, OntologyStats};
+pub use facade::{GlobalConcept, Soqa};
+pub use model::{
+    Attribute, AttributeId, Concept, ConceptId, Instance, InstanceId, Method, MethodId,
+    Ontology, OntologyBuilder, OntologyMetadata, Parameter, Relationship, RelationshipId,
+};

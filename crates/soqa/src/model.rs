@@ -1,0 +1,609 @@
+//! The SOQA Ontology Meta Model (paper §2.1, Fig. 1).
+//!
+//! An ontology consists of metadata plus extensions of concepts, attributes,
+//! methods, relationships, and instances. Components are stored in arenas
+//! inside [`Ontology`] and referenced by typed ids, which keeps the
+//! specialization graph compact for the distance-based measures.
+
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            pub(crate) fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a concept within one ontology.
+    ConceptId
+);
+define_id!(
+    /// Identifier of an attribute within one ontology.
+    AttributeId
+);
+define_id!(
+    /// Identifier of a method within one ontology.
+    MethodId
+);
+define_id!(
+    /// Identifier of a relationship within one ontology.
+    RelationshipId
+);
+define_id!(
+    /// Identifier of an instance within one ontology.
+    InstanceId
+);
+
+/// Metadata describing the ontology itself (name, author, …; paper §2.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OntologyMetadata {
+    /// Short name the ontology is registered under (e.g. `univ-bench_owl`).
+    pub name: String,
+    pub author: Option<String>,
+    pub last_modified: Option<String>,
+    pub documentation: Option<String>,
+    pub version: Option<String>,
+    pub copyright: Option<String>,
+    /// URI of the ontology document.
+    pub uri: Option<String>,
+    /// Name of the ontology language the ontology is specified in
+    /// (`OWL`, `DAML+OIL`, `PowerLoom`, `WordNet`, …).
+    pub language: String,
+}
+
+/// A concept: an entity type of the universe of discourse.
+#[derive(Debug, Clone, Default)]
+pub struct Concept {
+    pub name: String,
+    pub documentation: Option<String>,
+    /// Definition text, subsuming axioms/constraints (paper footnote 10).
+    pub definition: Option<String>,
+    /// Direct superconcepts.
+    pub super_concepts: Vec<ConceptId>,
+    /// Direct subconcepts (derived from `super_concepts` at build time).
+    pub sub_concepts: Vec<ConceptId>,
+    /// Concepts declared equivalent (e.g. `owl:equivalentClass`).
+    pub equivalent_concepts: Vec<ConceptId>,
+    /// Concepts declared antonym/disjoint (e.g. `owl:disjointWith`).
+    pub antonym_concepts: Vec<ConceptId>,
+    /// Attributes declared for this concept.
+    pub attributes: Vec<AttributeId>,
+    /// Methods declared for this concept.
+    pub methods: Vec<MethodId>,
+    /// Relationships this concept participates in.
+    pub relationships: Vec<RelationshipId>,
+    /// Direct instances.
+    pub instances: Vec<InstanceId>,
+}
+
+/// An attribute: a property of a concept.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    pub name: String,
+    pub documentation: Option<String>,
+    pub data_type: Option<String>,
+    pub definition: Option<String>,
+    /// The concept the attribute is specified in.
+    pub concept: ConceptId,
+}
+
+/// A parameter of a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parameter {
+    pub name: String,
+    pub data_type: Option<String>,
+}
+
+/// A method: a function from parameters to an output value.
+#[derive(Debug, Clone)]
+pub struct Method {
+    pub name: String,
+    pub documentation: Option<String>,
+    pub definition: Option<String>,
+    pub parameters: Vec<Parameter>,
+    pub return_type: Option<String>,
+    /// The concept the method is declared for.
+    pub concept: ConceptId,
+}
+
+/// A relationship between concepts (taxonomies, compositions, …).
+#[derive(Debug, Clone)]
+pub struct Relationship {
+    pub name: String,
+    pub documentation: Option<String>,
+    pub definition: Option<String>,
+    /// Number of concepts related.
+    pub arity: usize,
+    /// Names of the related concepts, in declaration order.
+    pub related_concepts: Vec<String>,
+}
+
+/// An instance of a concept, with concrete attribute values.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub name: String,
+    /// The concept this instance belongs to.
+    pub concept: ConceptId,
+    /// Concrete attribute values as (attribute name, value) pairs.
+    pub attribute_values: Vec<(String, String)>,
+    /// Concrete relationship incarnations as (relationship name, target
+    /// instance or concept name) pairs.
+    pub relationship_values: Vec<(String, String)>,
+}
+
+/// One ontology with all its components, per the SOQA meta model.
+#[derive(Debug, Default)]
+pub struct Ontology {
+    pub metadata: OntologyMetadata,
+    concepts: Vec<Concept>,
+    concept_names: HashMap<String, ConceptId>,
+    attributes: Vec<Attribute>,
+    methods: Vec<Method>,
+    relationships: Vec<Relationship>,
+    instances: Vec<Instance>,
+    instance_names: HashMap<String, InstanceId>,
+    roots: Vec<ConceptId>,
+}
+
+impl Ontology {
+    /// The ontology's registered name.
+    pub fn name(&self) -> &str {
+        &self.metadata.name
+    }
+
+    /// Root concepts: concepts without superconcepts.
+    pub fn roots(&self) -> &[ConceptId] {
+        &self.roots
+    }
+
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// All concept ids in insertion order.
+    pub fn concept_ids(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.concepts.len() as u32).map(ConceptId)
+    }
+
+    /// Resolves a concept by name.
+    pub fn concept_by_name(&self, name: &str) -> Option<ConceptId> {
+        self.concept_names.get(name).copied()
+    }
+
+    /// The concept record for `id`.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    pub fn attribute(&self, id: AttributeId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    pub fn relationship(&self, id: RelationshipId) -> &Relationship {
+        &self.relationships[id.index()]
+    }
+
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        self.instance_names.get(name).copied()
+    }
+
+    /// All attributes in the ontology's attribute extension.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    pub fn methods(&self) -> &[Method] {
+        &self.methods
+    }
+
+    pub fn relationships(&self) -> &[Relationship] {
+        &self.relationships
+    }
+
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Direct superconcepts of `id`.
+    pub fn direct_supers(&self, id: ConceptId) -> &[ConceptId] {
+        &self.concept(id).super_concepts
+    }
+
+    /// Direct subconcepts of `id`.
+    pub fn direct_subs(&self, id: ConceptId) -> &[ConceptId] {
+        &self.concept(id).sub_concepts
+    }
+
+    /// All (direct and indirect) superconcepts of `id`, breadth-first,
+    /// excluding `id` itself.
+    pub fn all_supers(&self, id: ConceptId) -> Vec<ConceptId> {
+        self.closure(id, |c| &self.concept(c).super_concepts)
+    }
+
+    /// All (direct and indirect) subconcepts of `id`, breadth-first,
+    /// excluding `id` itself.
+    pub fn all_subs(&self, id: ConceptId) -> Vec<ConceptId> {
+        self.closure(id, |c| &self.concept(c).sub_concepts)
+    }
+
+    fn closure<'a, F>(&'a self, start: ConceptId, next: F) -> Vec<ConceptId>
+    where
+        F: Fn(ConceptId) -> &'a [ConceptId],
+    {
+        let mut seen = vec![false; self.concepts.len()];
+        seen[start.index()] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut out = Vec::new();
+        while let Some(c) = queue.pop_front() {
+            for &n in next(c) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    out.push(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Coordinate concepts: concepts on the same hierarchy level, i.e.
+    /// sharing at least one direct superconcept with `id` (excluding `id`).
+    pub fn coordinate_concepts(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.concepts.len()];
+        seen[id.index()] = true;
+        for &sup in self.direct_supers(id) {
+            for &sib in self.direct_subs(sup) {
+                if !seen[sib.index()] {
+                    seen[sib.index()] = true;
+                    out.push(sib);
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth of `id`: length of the shortest superconcept chain to a root.
+    pub fn depth(&self, id: ConceptId) -> usize {
+        let mut depth = 0;
+        let mut frontier = vec![id];
+        let mut seen = vec![false; self.concepts.len()];
+        seen[id.index()] = true;
+        loop {
+            if frontier.iter().any(|c| self.concept(*c).super_concepts.is_empty()) {
+                return depth;
+            }
+            let mut next = Vec::new();
+            for c in frontier {
+                for &s in self.direct_supers(c) {
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        next.push(s);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return depth;
+            }
+            depth += 1;
+            frontier = next;
+        }
+    }
+
+    /// Maximum depth over all concepts (the `MAX` of the paper's Eq. 5).
+    pub fn max_depth(&self) -> usize {
+        self.concept_ids().map(|c| self.depth(c)).max().unwrap_or(0)
+    }
+
+    /// Number of instances of `id` including instances of all subconcepts —
+    /// the corpus count behind the information-theoretic measures.
+    pub fn extension_size(&self, id: ConceptId) -> usize {
+        let mut count = self.concept(id).instances.len();
+        for sub in self.all_subs(id) {
+            count += self.concept(sub).instances.len();
+        }
+        count
+    }
+}
+
+/// Incrementally assembles an [`Ontology`]; used by every language wrapper.
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    ontology: Ontology,
+}
+
+impl OntologyBuilder {
+    pub fn new(metadata: OntologyMetadata) -> Self {
+        OntologyBuilder { ontology: Ontology { metadata, ..Ontology::default() } }
+    }
+
+    /// Adds (or retrieves) a concept by name. Wrappers call this eagerly for
+    /// forward references and fill in details later via the `*_mut` methods.
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        if let Some(&id) = self.ontology.concept_names.get(name) {
+            return id;
+        }
+        let id = ConceptId(self.ontology.concepts.len() as u32);
+        self.ontology.concepts.push(Concept { name: name.to_owned(), ..Concept::default() });
+        self.ontology.concept_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// True if a concept with `name` already exists.
+    pub fn has_concept(&self, name: &str) -> bool {
+        self.ontology.concept_names.contains_key(name)
+    }
+
+    /// Number of concepts created so far.
+    pub fn concept_count(&self) -> usize {
+        self.ontology.concepts.len()
+    }
+
+    /// Read access to a concept record under construction.
+    pub fn concept_ref(&self, id: ConceptId) -> &Concept {
+        &self.ontology.concepts[id.index()]
+    }
+
+    /// Mutable access to a concept record.
+    pub fn concept_mut(&mut self, id: ConceptId) -> &mut Concept {
+        &mut self.ontology.concepts[id.index()]
+    }
+
+    /// Declares `sub` a direct subconcept of `sup` (idempotent).
+    pub fn add_subclass(&mut self, sub: ConceptId, sup: ConceptId) {
+        if sub == sup {
+            return;
+        }
+        let subs = &mut self.ontology.concepts[sup.index()].sub_concepts;
+        if !subs.contains(&sub) {
+            subs.push(sub);
+        }
+        let sups = &mut self.ontology.concepts[sub.index()].super_concepts;
+        if !sups.contains(&sup) {
+            sups.push(sup);
+        }
+    }
+
+    /// Declares two concepts equivalent (symmetric, idempotent).
+    pub fn add_equivalent(&mut self, a: ConceptId, b: ConceptId) {
+        if a == b {
+            return;
+        }
+        let ea = &mut self.ontology.concepts[a.index()].equivalent_concepts;
+        if !ea.contains(&b) {
+            ea.push(b);
+        }
+        let eb = &mut self.ontology.concepts[b.index()].equivalent_concepts;
+        if !eb.contains(&a) {
+            eb.push(a);
+        }
+    }
+
+    /// Declares two concepts antonym/disjoint (symmetric, idempotent).
+    pub fn add_antonym(&mut self, a: ConceptId, b: ConceptId) {
+        if a == b {
+            return;
+        }
+        let aa = &mut self.ontology.concepts[a.index()].antonym_concepts;
+        if !aa.contains(&b) {
+            aa.push(b);
+        }
+        let ab = &mut self.ontology.concepts[b.index()].antonym_concepts;
+        if !ab.contains(&a) {
+            ab.push(a);
+        }
+    }
+
+    /// Adds an attribute to `concept`.
+    pub fn add_attribute(&mut self, attribute: Attribute) -> AttributeId {
+        let id = AttributeId(self.ontology.attributes.len() as u32);
+        self.ontology.concepts[attribute.concept.index()].attributes.push(id);
+        self.ontology.attributes.push(attribute);
+        id
+    }
+
+    /// Adds a method to its concept.
+    pub fn add_method(&mut self, method: Method) -> MethodId {
+        let id = MethodId(self.ontology.methods.len() as u32);
+        self.ontology.concepts[method.concept.index()].methods.push(id);
+        self.ontology.methods.push(method);
+        id
+    }
+
+    /// Adds a relationship and registers it with every named participant
+    /// concept that exists.
+    pub fn add_relationship(&mut self, relationship: Relationship) -> RelationshipId {
+        let id = RelationshipId(self.ontology.relationships.len() as u32);
+        for name in &relationship.related_concepts {
+            if let Some(&cid) = self.ontology.concept_names.get(name) {
+                let rels = &mut self.ontology.concepts[cid.index()].relationships;
+                if !rels.contains(&id) {
+                    rels.push(id);
+                }
+            }
+        }
+        self.ontology.relationships.push(relationship);
+        id
+    }
+
+    /// Adds an instance to its concept.
+    pub fn add_instance(&mut self, instance: Instance) -> InstanceId {
+        let id = InstanceId(self.ontology.instances.len() as u32);
+        self.ontology.concepts[instance.concept.index()].instances.push(id);
+        self.ontology.instance_names.insert(instance.name.clone(), id);
+        self.ontology.instances.push(instance);
+        id
+    }
+
+    /// Finalizes the ontology: computes roots and freezes the arenas.
+    pub fn build(mut self) -> Ontology {
+        self.ontology.roots = self
+            .ontology
+            .concepts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.super_concepts.is_empty())
+            .map(|(i, _)| ConceptId(i as u32))
+            .collect();
+        self.ontology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds:  Thing ← Person ← {Student, Professor ← FullProfessor}
+    fn sample() -> Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "uni".into(),
+            language: "Test".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        let professor = b.concept("Professor");
+        let full = b.concept("FullProfessor");
+        b.add_subclass(person, thing);
+        b.add_subclass(student, person);
+        b.add_subclass(professor, person);
+        b.add_subclass(full, professor);
+        b.add_attribute(Attribute {
+            name: "name".into(),
+            documentation: None,
+            data_type: Some("string".into()),
+            definition: None,
+            concept: person,
+        });
+        b.add_instance(Instance {
+            name: "alice".into(),
+            concept: student,
+            attribute_values: vec![("name".into(), "Alice".into())],
+            relationship_values: vec![],
+        });
+        b.add_instance(Instance {
+            name: "bob".into(),
+            concept: full,
+            attribute_values: vec![],
+            relationship_values: vec![],
+        });
+        b.build()
+    }
+
+    #[test]
+    fn roots_and_lookup() {
+        let o = sample();
+        assert_eq!(o.roots().len(), 1);
+        assert_eq!(o.concept(o.roots()[0]).name, "Thing");
+        assert_eq!(o.concept_count(), 5);
+        assert!(o.concept_by_name("Student").is_some());
+        assert!(o.concept_by_name("Nobody").is_none());
+    }
+
+    #[test]
+    fn super_and_sub_closures() {
+        let o = sample();
+        let full = o.concept_by_name("FullProfessor").unwrap();
+        let supers: Vec<&str> =
+            o.all_supers(full).iter().map(|&c| o.concept(c).name.as_str()).collect();
+        assert_eq!(supers, vec!["Professor", "Person", "Thing"]);
+        let thing = o.concept_by_name("Thing").unwrap();
+        assert_eq!(o.all_subs(thing).len(), 4);
+    }
+
+    #[test]
+    fn coordinate_concepts_are_siblings() {
+        let o = sample();
+        let student = o.concept_by_name("Student").unwrap();
+        let coords: Vec<&str> = o
+            .coordinate_concepts(student)
+            .iter()
+            .map(|&c| o.concept(c).name.as_str())
+            .collect();
+        assert_eq!(coords, vec!["Professor"]);
+    }
+
+    #[test]
+    fn depth_and_max_depth() {
+        let o = sample();
+        assert_eq!(o.depth(o.concept_by_name("Thing").unwrap()), 0);
+        assert_eq!(o.depth(o.concept_by_name("Person").unwrap()), 1);
+        assert_eq!(o.depth(o.concept_by_name("FullProfessor").unwrap()), 3);
+        assert_eq!(o.max_depth(), 3);
+    }
+
+    #[test]
+    fn extension_counts_include_subconcepts() {
+        let o = sample();
+        let person = o.concept_by_name("Person").unwrap();
+        assert_eq!(o.extension_size(person), 2); // alice + bob
+        let student = o.concept_by_name("Student").unwrap();
+        assert_eq!(o.extension_size(student), 1);
+    }
+
+    #[test]
+    fn subclass_is_idempotent_and_ignores_self_loops() {
+        let mut b = OntologyBuilder::new(OntologyMetadata::default());
+        let a = b.concept("A");
+        let bb = b.concept("B");
+        b.add_subclass(bb, a);
+        b.add_subclass(bb, a);
+        b.add_subclass(a, a);
+        let o = b.build();
+        assert_eq!(o.direct_subs(a).len(), 1);
+        assert_eq!(o.direct_supers(a).len(), 0);
+    }
+
+    #[test]
+    fn equivalent_and_antonym_are_symmetric() {
+        let mut b = OntologyBuilder::new(OntologyMetadata::default());
+        let a = b.concept("A");
+        let c = b.concept("B");
+        b.add_equivalent(a, c);
+        b.add_antonym(a, c);
+        let o = b.build();
+        assert_eq!(o.concept(a).equivalent_concepts, vec![c]);
+        assert_eq!(o.concept(c).equivalent_concepts, vec![a]);
+        assert_eq!(o.concept(a).antonym_concepts, vec![c]);
+        assert_eq!(o.concept(c).antonym_concepts, vec![a]);
+    }
+
+    #[test]
+    fn multiple_inheritance_depth_uses_shortest_path() {
+        // root ← a ← b; root ← b  (b has two parents at different depths)
+        let mut bld = OntologyBuilder::new(OntologyMetadata::default());
+        let root = bld.concept("root");
+        let a = bld.concept("a");
+        let b = bld.concept("b");
+        bld.add_subclass(a, root);
+        bld.add_subclass(b, a);
+        bld.add_subclass(b, root);
+        let o = bld.build();
+        assert_eq!(o.depth(b), 1);
+    }
+}

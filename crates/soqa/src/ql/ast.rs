@@ -1,0 +1,91 @@
+//! Abstract syntax of SOQA-QL queries.
+
+/// A complete `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected fields, or empty for `SELECT *`.
+    pub fields: Vec<String>,
+    /// `SELECT COUNT(*)` / `SELECT COUNT(field)`: return the number of
+    /// matching rows (counting non-null `field` values when named).
+    pub count: Option<CountSpec>,
+    /// Which extension of the meta model to query.
+    pub extent: Extent,
+    /// Restrict to one ontology (`FROM concepts OF 'uni'`); `None` = all.
+    pub ontology: Option<String>,
+    pub filter: Option<Expr>,
+    pub order_by: Option<OrderBy>,
+    pub limit: Option<usize>,
+}
+
+/// The queryable extents, one per meta-model extension plus the ontology
+/// metadata itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extent {
+    Concepts,
+    Attributes,
+    Methods,
+    Relationships,
+    Instances,
+    Ontology,
+}
+
+impl Extent {
+    pub fn from_name(name: &str) -> Option<Extent> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "concepts" => Extent::Concepts,
+            "attributes" => Extent::Attributes,
+            "methods" => Extent::Methods,
+            "relationships" => Extent::Relationships,
+            "instances" => Extent::Instances,
+            "ontology" | "ontologies" => Extent::Ontology,
+            _ => return None,
+        })
+    }
+}
+
+/// `ORDER BY field [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    pub field: String,
+    pub descending: bool,
+}
+
+/// Boolean filter expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Compare { field: String, op: CompareOp, value: Value },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// SQL LIKE with `%` (any run) and `_` (any char) wildcards.
+    Like,
+    /// Case-insensitive substring containment.
+    Contains,
+}
+
+/// Literal comparison values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    String(String),
+    Number(f64),
+}
+
+/// Argument of a `COUNT(...)` projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountSpec {
+    /// `COUNT(*)` — all rows.
+    Star,
+    /// `COUNT(field)` — rows where `field` is non-null.
+    Field(String),
+}

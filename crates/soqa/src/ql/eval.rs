@@ -1,0 +1,564 @@
+//! Evaluator executing SOQA-QL queries against a [`Soqa`] facade.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, SoqaError};
+use crate::facade::Soqa;
+use crate::ql::ast::{CompareOp, CountSpec, Expr, Extent, Query, Value};
+use crate::ql::parser::parse_query;
+
+/// One cell of a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+impl Cell {
+    /// Rendered form for tables and comparisons against strings.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Num(n) => {
+                if n.fract() == 0.0 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Cell::Null => String::new(),
+        }
+    }
+}
+
+/// A query result: column names plus rows of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl ResultTable {
+    /// Renders an ASCII table (the SOQA Query Shell output format).
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+\n";
+        let mut out = sep.clone();
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&sep);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+type Row = HashMap<&'static str, Cell>;
+
+/// Parses and executes `query` against the facade.
+pub fn execute(soqa: &Soqa, query: &str) -> Result<ResultTable> {
+    let q = parse_query(query)?;
+    execute_parsed(soqa, &q)
+}
+
+/// Executes an already-parsed query.
+pub fn execute_parsed(soqa: &Soqa, q: &Query) -> Result<ResultTable> {
+    let ontology_indices: Vec<usize> = match &q.ontology {
+        Some(name) => vec![soqa.ontology_index(name)?],
+        None => (0..soqa.ontology_count()).collect(),
+    };
+
+    let (all_fields, mut rows) = build_rows(soqa, q.extent, &ontology_indices);
+
+    // Validate projected fields.
+    let columns: Vec<String> = if q.fields.is_empty() {
+        all_fields.iter().map(|s| s.to_string()).collect()
+    } else {
+        for f in &q.fields {
+            if !all_fields.contains(&f.as_str()) {
+                return Err(SoqaError::Query(format!(
+                    "unknown field `{f}` (available: {})",
+                    all_fields.join(", ")
+                )));
+            }
+        }
+        q.fields.clone()
+    };
+
+    if let Some(filter) = &q.filter {
+        // Validate fields referenced in the filter, then apply it.
+        validate_expr_fields(filter, &all_fields)?;
+        rows.retain(|row| eval_expr(filter, row));
+    }
+
+    if let Some(order) = &q.order_by {
+        if !all_fields.contains(&order.field.as_str()) {
+            return Err(SoqaError::Query(format!("unknown ORDER BY field `{}`", order.field)));
+        }
+        let field = order.field.as_str();
+        rows.sort_by(|a, b| {
+            let ca = a.get(field).unwrap_or(&Cell::Null);
+            let cb = b.get(field).unwrap_or(&Cell::Null);
+            let ord = match (ca, cb) {
+                (Cell::Num(x), Cell::Num(y)) => {
+                    x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
+                }
+                _ => ca.render().cmp(&cb.render()),
+            };
+            if order.descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    if let Some(limit) = q.limit {
+        rows.truncate(limit);
+    }
+
+    if let Some(spec) = &q.count {
+        let count = match spec {
+            CountSpec::Star => rows.len(),
+            CountSpec::Field(f) => {
+                if !all_fields.contains(&f.as_str()) {
+                    return Err(SoqaError::Query(format!(
+                        "unknown field `{f}` in COUNT (available: {})",
+                        all_fields.join(", ")
+                    )));
+                }
+                rows.iter()
+                    .filter(|r| !matches!(r.get(f.as_str()), None | Some(Cell::Null)))
+                    .count()
+            }
+        };
+        let label = match spec {
+            CountSpec::Star => "count".to_owned(),
+            CountSpec::Field(f) => format!("count({f})"),
+        };
+        return Ok(ResultTable {
+            columns: vec![label],
+            rows: vec![vec![Cell::Num(count as f64)]],
+        });
+    }
+
+    let out_rows = rows
+        .into_iter()
+        .map(|row| {
+            columns
+                .iter()
+                .map(|c| row.get(c.as_str()).cloned().unwrap_or(Cell::Null))
+                .collect()
+        })
+        .collect();
+    Ok(ResultTable { columns, rows: out_rows })
+}
+
+fn validate_expr_fields(expr: &Expr, fields: &[&'static str]) -> Result<()> {
+    match expr {
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            validate_expr_fields(a, fields)?;
+            validate_expr_fields(b, fields)
+        }
+        Expr::Not(inner) => validate_expr_fields(inner, fields),
+        Expr::Compare { field, .. } => {
+            if fields.contains(&field.as_str()) {
+                Ok(())
+            } else {
+                Err(SoqaError::Query(format!(
+                    "unknown field `{field}` in WHERE (available: {})",
+                    fields.join(", ")
+                )))
+            }
+        }
+    }
+}
+
+fn eval_expr(expr: &Expr, row: &Row) -> bool {
+    match expr {
+        Expr::And(a, b) => eval_expr(a, row) && eval_expr(b, row),
+        Expr::Or(a, b) => eval_expr(a, row) || eval_expr(b, row),
+        Expr::Not(inner) => !eval_expr(inner, row),
+        Expr::Compare { field, op, value } => {
+            let Some(cell) = row.get(field.as_str()) else {
+                return false;
+            };
+            compare(cell, *op, value)
+        }
+    }
+}
+
+fn compare(cell: &Cell, op: CompareOp, value: &Value) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        CompareOp::Like => {
+            let Value::String(pattern) = value else { return false };
+            like_match(pattern, &cell.render())
+        }
+        CompareOp::Contains => {
+            let Value::String(needle) = value else { return false };
+            cell.render().to_lowercase().contains(&needle.to_lowercase())
+        }
+        _ => {
+            let ord = match (cell, value) {
+                (Cell::Num(x), Value::Number(y)) => x.partial_cmp(y),
+                (Cell::Str(s), Value::Number(y)) => {
+                    s.parse::<f64>().ok().and_then(|x| x.partial_cmp(y))
+                }
+                (Cell::Num(x), Value::String(s)) => {
+                    s.parse::<f64>().ok().and_then(|y| x.partial_cmp(&y))
+                }
+                (Cell::Str(s), Value::String(t)) => Some(s.as_str().cmp(t.as_str())),
+                (Cell::Null, _) => None,
+            };
+            let Some(ord) = ord else { return false };
+            match op {
+                CompareOp::Eq => ord == Ordering::Equal,
+                CompareOp::NotEq => ord != Ordering::Equal,
+                CompareOp::Lt => ord == Ordering::Less,
+                CompareOp::LtEq => ord != Ordering::Greater,
+                CompareOp::Gt => ord == Ordering::Greater,
+                CompareOp::GtEq => ord != Ordering::Less,
+                CompareOp::Like | CompareOp::Contains => unreachable!(),
+            }
+        }
+    }
+}
+
+/// SQL LIKE matcher: `%` matches any run, `_` any single character.
+/// Matching is case-sensitive, like standard SQL with a binary collation.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|i| inner(&p[1..], &t[i..])),
+            Some('_') => !t.is_empty() && inner(&p[1..], &t[1..]),
+            Some(&c) => t.first() == Some(&c) && inner(&p[1..], &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    inner(&p, &t)
+}
+
+fn str_cell(value: &Option<String>) -> Cell {
+    match value {
+        Some(s) => Cell::Str(s.clone()),
+        None => Cell::Null,
+    }
+}
+
+fn build_rows(soqa: &Soqa, extent: Extent, ontologies: &[usize]) -> (Vec<&'static str>, Vec<Row>) {
+    let mut rows = Vec::new();
+    let fields: Vec<&'static str> = match extent {
+        Extent::Concepts => vec![
+            "ontology",
+            "name",
+            "documentation",
+            "definition",
+            "depth",
+            "super_count",
+            "sub_count",
+            "attribute_count",
+            "method_count",
+            "instance_count",
+        ],
+        Extent::Attributes => vec!["ontology", "name", "concept", "data_type", "documentation"],
+        Extent::Methods => {
+            vec!["ontology", "name", "concept", "return_type", "parameter_count", "documentation"]
+        }
+        Extent::Relationships => vec!["ontology", "name", "arity", "related", "documentation"],
+        Extent::Instances => vec!["ontology", "name", "concept"],
+        Extent::Ontology => vec![
+            "name",
+            "language",
+            "author",
+            "version",
+            "uri",
+            "documentation",
+            "copyright",
+            "last_modified",
+            "concept_count",
+            "attribute_count",
+            "method_count",
+            "relationship_count",
+            "instance_count",
+        ],
+    };
+
+    for &oi in ontologies {
+        let o = soqa.ontology_at(oi);
+        let oname = Cell::Str(o.name().to_owned());
+        match extent {
+            Extent::Concepts => {
+                for cid in o.concept_ids() {
+                    let c = o.concept(cid);
+                    let mut row = Row::new();
+                    row.insert("ontology", oname.clone());
+                    row.insert("name", Cell::Str(c.name.clone()));
+                    row.insert("documentation", str_cell(&c.documentation));
+                    row.insert("definition", str_cell(&c.definition));
+                    row.insert("depth", Cell::Num(o.depth(cid) as f64));
+                    row.insert("super_count", Cell::Num(c.super_concepts.len() as f64));
+                    row.insert("sub_count", Cell::Num(c.sub_concepts.len() as f64));
+                    row.insert("attribute_count", Cell::Num(c.attributes.len() as f64));
+                    row.insert("method_count", Cell::Num(c.methods.len() as f64));
+                    row.insert("instance_count", Cell::Num(c.instances.len() as f64));
+                    rows.push(row);
+                }
+            }
+            Extent::Attributes => {
+                for a in o.attributes() {
+                    let mut row = Row::new();
+                    row.insert("ontology", oname.clone());
+                    row.insert("name", Cell::Str(a.name.clone()));
+                    row.insert("concept", Cell::Str(o.concept(a.concept).name.clone()));
+                    row.insert("data_type", str_cell(&a.data_type));
+                    row.insert("documentation", str_cell(&a.documentation));
+                    rows.push(row);
+                }
+            }
+            Extent::Methods => {
+                for m in o.methods() {
+                    let mut row = Row::new();
+                    row.insert("ontology", oname.clone());
+                    row.insert("name", Cell::Str(m.name.clone()));
+                    row.insert("concept", Cell::Str(o.concept(m.concept).name.clone()));
+                    row.insert("return_type", str_cell(&m.return_type));
+                    row.insert("parameter_count", Cell::Num(m.parameters.len() as f64));
+                    row.insert("documentation", str_cell(&m.documentation));
+                    rows.push(row);
+                }
+            }
+            Extent::Relationships => {
+                for r in o.relationships() {
+                    let mut row = Row::new();
+                    row.insert("ontology", oname.clone());
+                    row.insert("name", Cell::Str(r.name.clone()));
+                    row.insert("arity", Cell::Num(r.arity as f64));
+                    row.insert("related", Cell::Str(r.related_concepts.join(", ")));
+                    row.insert("documentation", str_cell(&r.documentation));
+                    rows.push(row);
+                }
+            }
+            Extent::Instances => {
+                for inst in o.instances() {
+                    let mut row = Row::new();
+                    row.insert("ontology", oname.clone());
+                    row.insert("name", Cell::Str(inst.name.clone()));
+                    row.insert("concept", Cell::Str(o.concept(inst.concept).name.clone()));
+                    rows.push(row);
+                }
+            }
+            Extent::Ontology => {
+                let md = &o.metadata;
+                let mut row = Row::new();
+                row.insert("name", Cell::Str(md.name.clone()));
+                row.insert("language", Cell::Str(md.language.clone()));
+                row.insert("author", str_cell(&md.author));
+                row.insert("version", str_cell(&md.version));
+                row.insert("uri", str_cell(&md.uri));
+                row.insert("documentation", str_cell(&md.documentation));
+                row.insert("copyright", str_cell(&md.copyright));
+                row.insert("last_modified", str_cell(&md.last_modified));
+                row.insert("concept_count", Cell::Num(o.concept_count() as f64));
+                row.insert("attribute_count", Cell::Num(o.attributes().len() as f64));
+                row.insert("method_count", Cell::Num(o.methods().len() as f64));
+                row.insert("relationship_count", Cell::Num(o.relationships().len() as f64));
+                row.insert("instance_count", Cell::Num(o.instances().len() as f64));
+                rows.push(row);
+            }
+        }
+    }
+    (fields, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, Instance, OntologyBuilder, OntologyMetadata};
+
+    fn sample() -> Soqa {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "uni".into(),
+            language: "Test".into(),
+            author: Some("dbtg".into()),
+            version: Some("1.0".into()),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        let professor = b.concept("Professor");
+        b.concept_mut(professor).documentation = Some("A senior academic teacher".into());
+        b.add_subclass(person, thing);
+        b.add_subclass(student, person);
+        b.add_subclass(professor, person);
+        b.add_attribute(Attribute {
+            name: "email".into(),
+            documentation: None,
+            data_type: Some("string".into()),
+            definition: None,
+            concept: person,
+        });
+        b.add_instance(Instance {
+            name: "alice".into(),
+            concept: student,
+            attribute_values: vec![],
+            relationship_values: vec![],
+        });
+        let mut soqa = Soqa::new();
+        soqa.register(b.build()).unwrap();
+        soqa
+    }
+
+    #[test]
+    fn select_star_from_concepts() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT * FROM concepts").expect("run");
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.columns.contains(&"depth".to_string()));
+    }
+
+    #[test]
+    fn where_like_filters() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name FROM concepts WHERE name LIKE 'P%'").expect("run");
+        let names: Vec<String> = t.rows.iter().map(|r| r[0].render()).collect();
+        assert_eq!(names, vec!["Person", "Professor"]);
+    }
+
+    #[test]
+    fn where_numeric_comparison() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name FROM concepts WHERE depth >= 2 ORDER BY name")
+            .expect("run");
+        let names: Vec<String> = t.rows.iter().map(|r| r[0].render()).collect();
+        assert_eq!(names, vec!["Professor", "Student"]);
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let soqa = sample();
+        let t = execute(
+            &soqa,
+            "SELECT name FROM concepts WHERE documentation CONTAINS 'ACADEMIC'",
+        )
+        .expect("run");
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0].render(), "Professor");
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name FROM concepts ORDER BY name DESC LIMIT 2")
+            .expect("run");
+        let names: Vec<String> = t.rows.iter().map(|r| r[0].render()).collect();
+        assert_eq!(names, vec!["Thing", "Student"]);
+    }
+
+    #[test]
+    fn query_metadata_extent() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name, author, concept_count FROM ontology").expect("run");
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][1].render(), "dbtg");
+        assert_eq!(t.rows[0][2].render(), "4");
+    }
+
+    #[test]
+    fn query_attributes_and_instances() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name, concept FROM attributes").expect("run");
+        assert_eq!(t.rows[0][0].render(), "email");
+        assert_eq!(t.rows[0][1].render(), "Person");
+        let t = execute(&soqa, "SELECT name, concept FROM instances").expect("run");
+        assert_eq!(t.rows[0][0].render(), "alice");
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let soqa = sample();
+        assert!(execute(&soqa, "SELECT bogus FROM concepts").is_err());
+        assert!(execute(&soqa, "SELECT name FROM concepts WHERE bogus = 1").is_err());
+        assert!(execute(&soqa, "SELECT name FROM concepts ORDER BY bogus").is_err());
+    }
+
+    #[test]
+    fn of_clause_restricts_ontology() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name FROM concepts OF 'uni' LIMIT 1").expect("run");
+        assert_eq!(t.rows.len(), 1);
+        assert!(execute(&soqa, "SELECT name FROM concepts OF 'missing'").is_err());
+    }
+
+    #[test]
+    fn like_matcher_semantics() {
+        assert!(like_match("Prof%", "Professor"));
+        assert!(like_match("%fessor", "Professor"));
+        assert!(like_match("P_of%", "Professor"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("Prof", "Professor"));
+        assert!(!like_match("prof%", "Professor")); // case-sensitive
+        assert!(like_match("a%b%c", "axxbyyc"));
+    }
+
+    #[test]
+    fn count_star_and_count_field() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT COUNT(*) FROM concepts").expect("run");
+        assert_eq!(t.columns, vec!["count"]);
+        assert_eq!(t.rows[0][0].render(), "4");
+        // COUNT with a WHERE filter.
+        let t = execute(&soqa, "SELECT COUNT(*) FROM concepts WHERE depth >= 2").expect("run");
+        assert_eq!(t.rows[0][0].render(), "2");
+        // COUNT(field) skips nulls: only Professor has documentation.
+        let t = execute(&soqa, "SELECT COUNT(documentation) FROM concepts").expect("run");
+        assert_eq!(t.columns, vec!["count(documentation)"]);
+        assert_eq!(t.rows[0][0].render(), "1");
+        // Unknown field in COUNT errors.
+        assert!(execute(&soqa, "SELECT COUNT(bogus) FROM concepts").is_err());
+    }
+
+    #[test]
+    fn count_interacts_with_limit() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT COUNT(*) FROM concepts LIMIT 2").expect("run");
+        assert_eq!(t.rows[0][0].render(), "2");
+    }
+
+    #[test]
+    fn ascii_rendering_is_aligned() {
+        let soqa = sample();
+        let t = execute(&soqa, "SELECT name FROM concepts LIMIT 2").expect("run");
+        let text = t.to_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(text.contains("| name"));
+    }
+}

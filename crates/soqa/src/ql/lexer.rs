@@ -1,0 +1,217 @@
+//! Tokenizer for SOQA-QL.
+
+use crate::error::{Result, SoqaError};
+
+/// SOQA-QL tokens. Keywords are case-insensitive and lex as `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(Keyword),
+    Identifier(String),
+    String(String),
+    Number(f64),
+    Comma,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Like,
+    Contains,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Of,
+}
+
+impl Keyword {
+    fn from_word(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "LIKE" => Keyword::Like,
+            "CONTAINS" => Keyword::Contains,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "OF" => Keyword::Of,
+            _ => return None,
+        })
+    }
+}
+
+/// Tokenizes a SOQA-QL query.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let err = |msg: String| SoqaError::Query(msg);
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            // Doubled quote = escaped quote (SQL style).
+                            if chars.get(i + 1) == Some(&quote) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(err("unterminated string literal".into())),
+                    }
+                }
+                tokens.push(Token::String(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let n = word
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("malformed number `{word}`")))?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match Keyword::from_word(&word) {
+                    Some(kw) => tokens.push(Token::Keyword(kw)),
+                    None => tokens.push(Token::Identifier(word)),
+                }
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = tokenize(
+            "SELECT name, documentation FROM concepts WHERE name LIKE 'Prof%' LIMIT 5",
+        )
+        .expect("lex");
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert!(toks.contains(&Token::String("Prof%".into())));
+        assert!(toks.contains(&Token::Number(5.0)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("select NAME from Concepts").expect("lex");
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(toks[1], Token::Identifier("NAME".into()));
+        assert_eq!(toks[3], Token::Identifier("Concepts".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a = b != c <> d <= e >= f < g > h").expect("lex");
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::LtEq));
+        assert!(toks.contains(&Token::GtEq));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = tokenize("'it''s'").expect("lex");
+        assert_eq!(toks[0], Token::String("it's".into()));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(tokenize("SELECT @").is_err());
+        assert!(tokenize("'open").is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! SOQA-QL: the declarative query language over SOQA ontologies
+//! (paper §2.1 — "the query language SOQA-QL uses the API provided by the
+//! SOQA Facade to offer declarative queries over data and metadata").
+//!
+//! The dialect is a SQL-flavoured SELECT over the meta-model extensions:
+//!
+//! ```text
+//! SELECT name, documentation FROM concepts OF 'univ-bench_owl'
+//!   WHERE name LIKE 'Prof%' AND depth > 2
+//!   ORDER BY name LIMIT 10
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CompareOp, Expr, Extent, OrderBy, Query, Value};
+pub use eval::{execute, execute_parsed, like_match, Cell, ResultTable};
+pub use parser::parse_query;

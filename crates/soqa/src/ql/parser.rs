@@ -1,0 +1,279 @@
+//! Recursive-descent parser for SOQA-QL.
+
+use crate::error::{Result, SoqaError};
+use crate::ql::ast::{CompareOp, CountSpec, Expr, Extent, OrderBy, Query, Value};
+use crate::ql::lexer::{tokenize, Keyword, Token};
+
+/// Parses one SOQA-QL query.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    if !p.at_end() {
+        return Err(SoqaError::Query(format!(
+            "unexpected trailing token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(SoqaError::Query(msg.into()))
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        match self.bump() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => self.err(format!("expected {kw:?}, found {other:?}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_identifier(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Identifier(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword(Keyword::Select)?;
+        let (fields, count) = self.parse_projection()?;
+        self.expect_keyword(Keyword::From)?;
+        let extent_name = self.expect_identifier()?;
+        let extent = Extent::from_name(&extent_name).ok_or_else(|| {
+            SoqaError::Query(format!(
+                "unknown extent `{extent_name}` (expected concepts, attributes, methods, \
+                 relationships, instances, or ontology)"
+            ))
+        })?;
+        let ontology = if self.eat_keyword(Keyword::Of) {
+            match self.bump() {
+                Some(Token::String(s)) => Some(s),
+                Some(Token::Identifier(s)) => Some(s),
+                other => return self.err(format!("expected ontology name, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        let filter = if self.eat_keyword(Keyword::Where) {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            let field = self.expect_identifier()?;
+            let descending = if self.eat_keyword(Keyword::Desc) {
+                true
+            } else {
+                self.eat_keyword(Keyword::Asc);
+                false
+            };
+            Some(OrderBy { field, descending })
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword(Keyword::Limit) {
+            match self.bump() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                other => return self.err(format!("expected LIMIT count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(Query { fields, count, extent, ontology, filter, order_by, limit })
+    }
+
+    fn parse_projection(&mut self) -> Result<(Vec<String>, Option<CountSpec>)> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            return Ok((Vec::new(), None));
+        }
+        // COUNT(*) / COUNT(field) — a single aggregate projection.
+        if matches!(self.peek(), Some(Token::Identifier(w)) if w.eq_ignore_ascii_case("COUNT"))
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::LParen))
+        {
+            self.pos += 2;
+            let spec = match self.bump() {
+                Some(Token::Star) => CountSpec::Star,
+                Some(Token::Identifier(f)) => CountSpec::Field(f),
+                other => return self.err(format!("expected `*` or field in COUNT, found {other:?}")),
+            };
+            match self.bump() {
+                Some(Token::RParen) => {}
+                other => return self.err(format!("expected `)` after COUNT, found {other:?}")),
+            }
+            return Ok((Vec::new(), Some(spec)));
+        }
+        let mut fields = vec![self.expect_identifier()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            fields.push(self.expect_identifier()?);
+        }
+        Ok((fields, None))
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword(Keyword::Not) {
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.parse_or()?;
+            match self.bump() {
+                Some(Token::RParen) => Ok(inner),
+                other => self.err(format!("expected `)`, found {other:?}")),
+            }
+        } else {
+            let field = self.expect_identifier()?;
+            let op = match self.bump() {
+                Some(Token::Eq) => CompareOp::Eq,
+                Some(Token::NotEq) => CompareOp::NotEq,
+                Some(Token::Lt) => CompareOp::Lt,
+                Some(Token::LtEq) => CompareOp::LtEq,
+                Some(Token::Gt) => CompareOp::Gt,
+                Some(Token::GtEq) => CompareOp::GtEq,
+                Some(Token::Keyword(Keyword::Like)) => CompareOp::Like,
+                Some(Token::Keyword(Keyword::Contains)) => CompareOp::Contains,
+                other => return self.err(format!("expected comparison operator, found {other:?}")),
+            };
+            let value = match self.bump() {
+                Some(Token::String(s)) => Value::String(s),
+                Some(Token::Number(n)) => Value::Number(n),
+                Some(Token::Identifier(s)) => Value::String(s),
+                other => return self.err(format!("expected literal, found {other:?}")),
+            };
+            Ok(Expr::Compare { field, op, value })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let q = parse_query("SELECT * FROM concepts").expect("parse");
+        assert!(q.fields.is_empty());
+        assert_eq!(q.extent, Extent::Concepts);
+        assert!(q.filter.is_none() && q.order_by.is_none() && q.limit.is_none());
+    }
+
+    #[test]
+    fn parses_full_query() {
+        let q = parse_query(
+            "SELECT name, documentation FROM concepts OF 'uni' \
+             WHERE name LIKE 'Prof%' AND depth > 2 OR NOT (name = 'Thing') \
+             ORDER BY name DESC LIMIT 10",
+        )
+        .expect("parse");
+        assert_eq!(q.fields, vec!["name", "documentation"]);
+        assert_eq!(q.ontology.as_deref(), Some("uni"));
+        assert!(matches!(q.filter, Some(Expr::Or(_, _))));
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.field, "name");
+        assert!(ob.descending);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse_query("SELECT * FROM concepts WHERE a = 1 OR b = 2 AND c = 3")
+            .expect("parse");
+        match q.filter.unwrap() {
+            Expr::Or(_, right) => assert!(matches!(*right, Expr::And(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        assert!(parse_query("FROM concepts").is_err());
+        assert!(parse_query("SELECT * FROM nowhere").is_err());
+        assert!(parse_query("SELECT * FROM concepts WHERE").is_err());
+        assert!(parse_query("SELECT * FROM concepts LIMIT x").is_err());
+        assert!(parse_query("SELECT * FROM concepts extra").is_err());
+        assert!(parse_query("SELECT * FROM concepts WHERE (a = 1").is_err());
+    }
+
+    #[test]
+    fn count_projections_parse() {
+        let q = parse_query("SELECT COUNT(*) FROM instances").expect("parse");
+        assert_eq!(q.count, Some(CountSpec::Star));
+        assert!(q.fields.is_empty());
+        let q = parse_query("select count(name) from concepts").expect("parse");
+        assert_eq!(q.count, Some(CountSpec::Field("name".into())));
+        assert!(parse_query("SELECT COUNT( FROM concepts").is_err());
+        assert!(parse_query("SELECT COUNT(*, name) FROM concepts").is_err());
+    }
+
+    #[test]
+    fn every_extent_parses() {
+        for (name, extent) in [
+            ("concepts", Extent::Concepts),
+            ("attributes", Extent::Attributes),
+            ("methods", Extent::Methods),
+            ("relationships", Extent::Relationships),
+            ("instances", Extent::Instances),
+            ("ontology", Extent::Ontology),
+        ] {
+            let q = parse_query(&format!("SELECT * FROM {name}")).expect("parse");
+            assert_eq!(q.extent, extent);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Ontology statistics: the structural profile of an ontology (size, depth
+//! distribution, branching) — the numbers an integrator looks at before
+//! choosing similarity measures, and the basis of the browser's stats pane.
+
+use crate::model::Ontology;
+
+/// Structural summary of one ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OntologyStats {
+    pub name: String,
+    pub language: String,
+    pub concepts: usize,
+    pub attributes: usize,
+    pub methods: usize,
+    pub relationships: usize,
+    pub instances: usize,
+    pub roots: usize,
+    pub leaves: usize,
+    pub max_depth: usize,
+    pub average_depth: f64,
+    /// Average number of direct subconcepts over concepts that have any.
+    pub average_branching: f64,
+    /// Concepts with more than one direct superconcept.
+    pub multiple_inheritance: usize,
+    /// Concepts carrying documentation text.
+    pub documented: usize,
+    /// Histogram of concept depths, index = depth.
+    pub depth_histogram: Vec<usize>,
+}
+
+/// Computes the statistics for `ontology`.
+pub fn ontology_stats(ontology: &Ontology) -> OntologyStats {
+    let concepts = ontology.concept_count();
+    let mut leaves = 0usize;
+    let mut multiple_inheritance = 0usize;
+    let mut documented = 0usize;
+    let mut depth_sum = 0usize;
+    let mut depth_histogram: Vec<usize> = Vec::new();
+    let mut branching_sum = 0usize;
+    let mut branching_nodes = 0usize;
+
+    for id in ontology.concept_ids() {
+        let concept = ontology.concept(id);
+        if concept.sub_concepts.is_empty() {
+            leaves += 1;
+        } else {
+            branching_sum += concept.sub_concepts.len();
+            branching_nodes += 1;
+        }
+        if concept.super_concepts.len() > 1 {
+            multiple_inheritance += 1;
+        }
+        if concept.documentation.is_some() {
+            documented += 1;
+        }
+        let depth = ontology.depth(id);
+        depth_sum += depth;
+        if depth_histogram.len() <= depth {
+            depth_histogram.resize(depth + 1, 0);
+        }
+        depth_histogram[depth] += 1;
+    }
+
+    OntologyStats {
+        name: ontology.name().to_owned(),
+        language: ontology.metadata.language.clone(),
+        concepts,
+        attributes: ontology.attributes().len(),
+        methods: ontology.methods().len(),
+        relationships: ontology.relationships().len(),
+        instances: ontology.instances().len(),
+        roots: ontology.roots().len(),
+        leaves,
+        max_depth: depth_histogram.len().saturating_sub(1),
+        average_depth: if concepts == 0 { 0.0 } else { depth_sum as f64 / concepts as f64 },
+        average_branching: if branching_nodes == 0 {
+            0.0
+        } else {
+            branching_sum as f64 / branching_nodes as f64
+        },
+        multiple_inheritance,
+        documented,
+        depth_histogram,
+    }
+}
+
+impl OntologyStats {
+    /// Renders the stats pane.
+    pub fn render(&self) -> String {
+        let mut out = format!("Statistics: {} [{}]\n", self.name, self.language);
+        out.push_str(&format!(
+            "  concepts {}  attributes {}  methods {}  relationships {}  instances {}\n",
+            self.concepts, self.attributes, self.methods, self.relationships, self.instances
+        ));
+        out.push_str(&format!(
+            "  roots {}  leaves {}  multiple-inheritance {}  documented {}/{}\n",
+            self.roots, self.leaves, self.multiple_inheritance, self.documented, self.concepts
+        ));
+        out.push_str(&format!(
+            "  depth: max {}  avg {:.2}   branching: avg {:.2}\n",
+            self.max_depth, self.average_depth, self.average_branching
+        ));
+        out.push_str("  depth histogram:\n");
+        let peak = self.depth_histogram.iter().copied().max().unwrap_or(1).max(1);
+        for (depth, &count) in self.depth_histogram.iter().enumerate() {
+            let bar = "▪".repeat((count * 40).div_ceil(peak));
+            out.push_str(&format!("    {depth:>3} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, OntologyBuilder, OntologyMetadata};
+
+    fn sample() -> Ontology {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: "uni".into(),
+            language: "Test".into(),
+            ..OntologyMetadata::default()
+        });
+        let thing = b.concept("Thing");
+        let person = b.concept("Person");
+        let student = b.concept("Student");
+        let prof = b.concept("Professor");
+        let ta = b.concept("TA");
+        b.add_subclass(person, thing);
+        b.add_subclass(student, person);
+        b.add_subclass(prof, person);
+        b.add_subclass(ta, student);
+        b.add_subclass(ta, prof); // multiple inheritance
+        b.concept_mut(person).documentation = Some("doc".into());
+        b.add_attribute(Attribute {
+            name: "name".into(),
+            documentation: None,
+            data_type: None,
+            definition: None,
+            concept: person,
+        });
+        b.build()
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let stats = ontology_stats(&sample());
+        assert_eq!(stats.concepts, 5);
+        assert_eq!(stats.attributes, 1);
+        assert_eq!(stats.roots, 1);
+        assert_eq!(stats.leaves, 1); // TA
+        assert_eq!(stats.multiple_inheritance, 1);
+        assert_eq!(stats.documented, 1);
+        assert_eq!(stats.max_depth, 3);
+        // Depths: 0, 1, 2, 2, 3 → avg 1.6
+        assert!((stats.average_depth - 1.6).abs() < 1e-12);
+        assert_eq!(stats.depth_histogram, vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn branching_counts_only_internal_nodes() {
+        let stats = ontology_stats(&sample());
+        // Thing(1), Person(2), Student(1), Professor(1) → 5/4
+        assert!((stats.average_branching - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ontology_is_safe() {
+        let b = OntologyBuilder::new(OntologyMetadata::default());
+        let stats = ontology_stats(&b.build());
+        assert_eq!(stats.concepts, 0);
+        assert_eq!(stats.average_depth, 0.0);
+        assert_eq!(stats.max_depth, 0);
+    }
+
+    #[test]
+    fn render_contains_the_histogram() {
+        let text = ontology_stats(&sample()).render();
+        assert!(text.contains("depth histogram"));
+        assert!(text.contains("0 | "));
+        assert!(text.contains("multiple-inheritance 1"));
+    }
+}

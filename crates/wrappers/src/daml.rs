@@ -1,0 +1,80 @@
+//! SOQA wrapper for DAML+OIL ontologies (the language of the paper's
+//! University of Maryland `univ1.0.daml` ontology).
+
+use sst_soqa::{Ontology, SoqaError};
+
+use crate::dl_rdf::{graph_to_ontology, DlVocabulary};
+
+/// Parses a DAML+OIL (RDF/XML) document into a SOQA ontology.
+pub fn parse_daml(source: &str, name: &str, base: &str) -> Result<Ontology, SoqaError> {
+    let graph = sst_rdf::parse_rdfxml(source, base)
+        .map_err(|e| SoqaError::Wrapper { language: "DAML+OIL".into(), message: e.to_string() })?;
+    graph_to_ontology(&graph, name, &DlVocabulary::daml())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIV: &str = r##"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:daml="http://www.daml.org/2001/03/daml+oil#"
+         xml:base="http://www.cs.umd.edu/projects/plus/DAML/onts/univ1.0.daml">
+  <daml:Ontology rdf:about="">
+    <daml:versionInfo>1.0</daml:versionInfo>
+    <rdfs:comment>A university ontology in DAML.</rdfs:comment>
+  </daml:Ontology>
+  <daml:Class rdf:ID="Person">
+    <rdfs:comment>A human.</rdfs:comment>
+  </daml:Class>
+  <daml:Class rdf:ID="Employee">
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </daml:Class>
+  <daml:Class rdf:ID="Faculty">
+    <daml:subClassOf rdf:resource="#Employee"/>
+  </daml:Class>
+  <daml:Class rdf:ID="Professor">
+    <rdfs:subClassOf rdf:resource="#Faculty"/>
+    <rdfs:comment>A member of the faculty who teaches and does research.</rdfs:comment>
+  </daml:Class>
+  <daml:DatatypeProperty rdf:ID="emailAddress">
+    <rdfs:domain rdf:resource="#Person"/>
+  </daml:DatatypeProperty>
+</rdf:RDF>"##;
+
+    #[test]
+    fn maps_daml_and_rdfs_subclass_forms() {
+        let o = parse_daml(UNIV, "base1_0_daml", "http://www.cs.umd.edu/univ").expect("parse");
+        assert_eq!(o.metadata.language, "DAML+OIL");
+        let person = o.concept_by_name("Person").unwrap();
+        let employee = o.concept_by_name("Employee").unwrap();
+        let faculty = o.concept_by_name("Faculty").unwrap();
+        let prof = o.concept_by_name("Professor").unwrap();
+        assert_eq!(o.direct_supers(employee), &[person]);
+        assert_eq!(o.direct_supers(faculty), &[employee]); // daml:subClassOf
+        assert_eq!(o.direct_supers(prof), &[faculty]);
+        // Professor depth: Thing > Person > Employee > Faculty > Professor
+        assert_eq!(o.depth(prof), 4);
+    }
+
+    #[test]
+    fn thing_root_is_daml_thing_name() {
+        let o = parse_daml(UNIV, "d", "http://x").expect("parse");
+        let root = o.roots()[0];
+        assert_eq!(o.concept(root).name, "Thing");
+    }
+
+    #[test]
+    fn documentation_flows_through() {
+        let o = parse_daml(UNIV, "d", "http://x").expect("parse");
+        let prof = o.concept_by_name("Professor").unwrap();
+        assert!(o
+            .concept(prof)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("teaches and does research"));
+        assert_eq!(o.metadata.version.as_deref(), Some("1.0"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Shared mapping from description-logic RDF vocabularies (OWL, DAML+OIL)
+//! onto the SOQA meta model. The OWL and DAML wrappers differ only in their
+//! vocabulary IRIs, so both delegate here.
+
+use sst_rdf::vocab::rdfs;
+use sst_rdf::{Graph, Iri, Literal, Term};
+use sst_soqa::{
+    Attribute, Instance, Ontology, OntologyBuilder, OntologyMetadata, Relationship, SoqaError,
+};
+
+/// The vocabulary IRIs a DL-style RDF ontology language uses.
+#[derive(Debug, Clone)]
+pub struct DlVocabulary {
+    /// Human-readable language name recorded in the metadata.
+    pub language: &'static str,
+    pub class: Iri,
+    /// The implicit top concept (`owl:Thing` / `daml:Thing`).
+    pub thing: Iri,
+    pub ontology: Iri,
+    pub object_property: Iri,
+    pub datatype_property: Iri,
+    pub sub_class_of: Vec<Iri>,
+    pub equivalent_class: Vec<Iri>,
+    pub disjoint_with: Vec<Iri>,
+    pub version_info: Iri,
+}
+
+impl DlVocabulary {
+    /// OWL (W3C 2004) vocabulary.
+    pub fn owl() -> Self {
+        use sst_rdf::vocab::owl;
+        DlVocabulary {
+            language: "OWL",
+            class: owl::class(),
+            thing: owl::thing(),
+            ontology: owl::ontology(),
+            object_property: owl::object_property(),
+            datatype_property: owl::datatype_property(),
+            sub_class_of: vec![rdfs::sub_class_of()],
+            equivalent_class: vec![owl::equivalent_class()],
+            disjoint_with: vec![owl::disjoint_with()],
+            version_info: owl::version_info(),
+        }
+    }
+
+    /// DAML+OIL (March 2001) vocabulary. DAML documents mix `daml:` and
+    /// `rdfs:` terms, so both subclass forms are accepted.
+    pub fn daml() -> Self {
+        use sst_rdf::vocab::daml;
+        DlVocabulary {
+            language: "DAML+OIL",
+            class: daml::class(),
+            thing: daml::thing(),
+            ontology: daml::ontology(),
+            object_property: daml::object_property(),
+            datatype_property: daml::datatype_property(),
+            sub_class_of: vec![daml::sub_class_of(), rdfs::sub_class_of()],
+            equivalent_class: vec![daml::same_class_as()],
+            disjoint_with: vec![Iri::new(format!(
+                "{}disjointWith",
+                sst_rdf::vocab::DAML_NS
+            ))],
+            version_info: daml::version_info(),
+        }
+    }
+}
+
+fn literal_text(term: &Term) -> Option<String> {
+    term.as_literal().map(|l: &Literal| l.lexical.clone())
+}
+
+/// Short display name for a resource term (IRI local name or blank label).
+fn term_name(term: &Term) -> Option<String> {
+    match term {
+        Term::Iri(iri) => Some(iri.local_name().to_owned()),
+        Term::Blank(b) => Some(format!("_:{}", b.0)),
+        Term::Literal(_) => None,
+    }
+}
+
+/// Maps an RDF graph to a SOQA [`Ontology`] under the given vocabulary.
+///
+/// `name` becomes the ontology's registered name (e.g. `univ-bench_owl`).
+pub fn graph_to_ontology(
+    graph: &Graph,
+    name: &str,
+    vocab: &DlVocabulary,
+) -> Result<Ontology, SoqaError> {
+    let type_iri = sst_rdf::vocab::rdf::type_();
+
+    // ---- Ontology metadata --------------------------------------------
+    let mut metadata = OntologyMetadata {
+        name: name.to_owned(),
+        language: vocab.language.to_owned(),
+        uri: graph.base().map(str::to_owned),
+        ..OntologyMetadata::default()
+    };
+    if let Some(onto_node) = graph.instances_of(&vocab.ontology).into_iter().next() {
+        metadata.documentation =
+            graph.object_for(&onto_node, &rdfs::comment()).and_then(|t| literal_text(&t));
+        metadata.version =
+            graph.object_for(&onto_node, &vocab.version_info).and_then(|t| literal_text(&t));
+        if let Some(Term::Iri(iri)) = Some(&onto_node).filter(|t| t.as_iri().is_some()).cloned() {
+            if !iri.as_str().is_empty() {
+                metadata.uri = Some(iri.as_str().to_owned());
+            }
+        }
+        // Dublin Core creator/date, which real ontology headers use.
+        for (field, preds) in [
+            (&mut metadata.author, ["creator", "author"]),
+            (&mut metadata.last_modified, ["date", "modified"]),
+        ] {
+            for p in preds {
+                for ns in ["http://purl.org/dc/elements/1.1/", "http://purl.org/dc/terms/"] {
+                    if field.is_none() {
+                        *field = graph
+                            .object_for(&onto_node, &Iri::new(format!("{ns}{p}")))
+                            .and_then(|t| literal_text(&t));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut builder = OntologyBuilder::new(metadata);
+
+    // ---- Concepts -------------------------------------------------------
+    // Every subject typed as a class, plus every resource that appears in a
+    // subclass axiom, is a concept. The implicit Thing root is added last so
+    // classes without an explicit superclass hang off it.
+    let thing_name = vocab.thing.local_name().to_owned();
+    let mut class_terms: Vec<Term> = graph.instances_of(&vocab.class);
+    for sub_pred in &vocab.sub_class_of {
+        for t in graph.matching(None, Some(sub_pred), None) {
+            class_terms.push(t.subject.clone());
+            class_terms.push(t.object.clone());
+        }
+    }
+    class_terms.retain(|t| matches!(t, Term::Iri(_)));
+    class_terms.sort();
+    class_terms.dedup();
+
+    let thing_id = builder.concept(&thing_name);
+    for term in &class_terms {
+        let Some(cname) = term_name(term) else { continue };
+        let id = builder.concept(&cname);
+        let doc = graph.object_for(term, &rdfs::comment()).and_then(|t| literal_text(&t));
+        let label = graph.object_for(term, &rdfs::label()).and_then(|t| literal_text(&t));
+        let c = builder.concept_mut(id);
+        if c.documentation.is_none() {
+            c.documentation = doc;
+        }
+        if c.definition.is_none() {
+            c.definition = label.map(|l| format!("label: {l}"));
+        }
+    }
+
+    // Subclass edges.
+    for sub_pred in &vocab.sub_class_of {
+        for t in graph.matching(None, Some(sub_pred), None) {
+            let (Some(sub), Some(sup)) = (term_name(&t.subject), term_name(&t.object)) else {
+                continue;
+            };
+            if sub.starts_with("_:") || sup.starts_with("_:") {
+                // Restriction blank nodes — not named concepts.
+                continue;
+            }
+            let sub_id = builder.concept(&sub);
+            let sup_id = builder.concept(&sup);
+            builder.add_subclass(sub_id, sup_id);
+        }
+    }
+
+    // Equivalences and disjointness.
+    for (preds, is_equiv) in
+        [(&vocab.equivalent_class, true), (&vocab.disjoint_with, false)]
+    {
+        for pred in preds {
+            for t in graph.matching(None, Some(pred), None) {
+                let (Some(a), Some(b)) = (term_name(&t.subject), term_name(&t.object)) else {
+                    continue;
+                };
+                if a.starts_with("_:") || b.starts_with("_:") {
+                    continue;
+                }
+                let a = builder.concept(&a);
+                let b = builder.concept(&b);
+                if is_equiv {
+                    builder.add_equivalent(a, b);
+                } else {
+                    builder.add_antonym(a, b);
+                }
+            }
+        }
+    }
+
+    // ---- Properties -----------------------------------------------------
+    // Datatype properties become SOQA attributes on their domain concepts;
+    // object properties become binary relationships.
+    let domain = rdfs::domain();
+    let range = rdfs::range();
+    for prop_term in graph.instances_of(&vocab.datatype_property) {
+        let Some(pname) = term_name(&prop_term) else { continue };
+        let doc = graph.object_for(&prop_term, &rdfs::comment()).and_then(|t| literal_text(&t));
+        let dt = graph
+            .object_for(&prop_term, &range)
+            .and_then(|t| term_name(&t));
+        let domains: Vec<String> = graph
+            .objects_for(&prop_term, &domain)
+            .iter()
+            .filter_map(term_name)
+            .collect();
+        for d in domains {
+            if !d.starts_with("_:") {
+                let cid = builder.concept(&d);
+                builder.add_attribute(Attribute {
+                    name: pname.clone(),
+                    documentation: doc.clone(),
+                    data_type: dt.clone(),
+                    definition: None,
+                    concept: cid,
+                });
+            }
+        }
+    }
+    for prop_term in graph.instances_of(&vocab.object_property) {
+        let Some(pname) = term_name(&prop_term) else { continue };
+        let doc = graph.object_for(&prop_term, &rdfs::comment()).and_then(|t| literal_text(&t));
+        let domains: Vec<String> = graph
+            .objects_for(&prop_term, &domain)
+            .iter()
+            .filter_map(term_name)
+            .filter(|n| !n.starts_with("_:"))
+            .collect();
+        let ranges: Vec<String> = graph
+            .objects_for(&prop_term, &range)
+            .iter()
+            .filter_map(term_name)
+            .filter(|n| !n.starts_with("_:"))
+            .collect();
+        let mut related = domains;
+        related.extend(ranges);
+        let arity = related.len().max(2);
+        builder.add_relationship(Relationship {
+            name: pname,
+            documentation: doc,
+            definition: None,
+            arity,
+            related_concepts: related,
+        });
+    }
+
+    // ---- Instances ------------------------------------------------------
+    // Subjects typed with a class we know (and that are not themselves
+    // classes or properties) are instances.
+    let known: std::collections::HashSet<String> =
+        class_terms.iter().filter_map(term_name).collect();
+    for t in graph.matching(None, Some(&type_iri), None) {
+        let Some(class_name) = term_name(&t.object) else { continue };
+        if !known.contains(&class_name) {
+            continue;
+        }
+        let Some(inst_name) = term_name(&t.subject) else { continue };
+        if known.contains(&inst_name) || inst_name.starts_with("_:") {
+            continue;
+        }
+        let cid = builder.concept(&class_name);
+        // Collect literal-valued statements as attribute values and
+        // resource-valued ones as relationship values.
+        let mut attribute_values = Vec::new();
+        let mut relationship_values = Vec::new();
+        for st in graph.matching(Some(&t.subject), None, None) {
+            if st.predicate == type_iri {
+                continue;
+            }
+            let pname = st.predicate.local_name().to_owned();
+            match &st.object {
+                Term::Literal(l) => attribute_values.push((pname, l.lexical.clone())),
+                other => {
+                    if let Some(oname) = term_name(other) {
+                        relationship_values.push((pname, oname));
+                    }
+                }
+            }
+        }
+        builder.add_instance(Instance {
+            name: inst_name,
+            concept: cid,
+            attribute_values,
+            relationship_values,
+        });
+    }
+
+    // ---- Implicit root --------------------------------------------------
+    // Any concept (other than Thing itself) without a superconcept becomes a
+    // direct subconcept of Thing, mirroring OWL semantics.
+    let orphans: Vec<sst_soqa::ConceptId> = (0..builder.concept_count() as u32)
+        .map(sst_soqa::ConceptId)
+        .filter(|&c| c != thing_id && builder.concept_ref(c).super_concepts.is_empty())
+        .collect();
+    for c in orphans {
+        builder.add_subclass(c, thing_id);
+    }
+
+    Ok(builder.build())
+}
+
+/// Heuristic check used by wrapper entry points: does `source` look like an
+/// RDF/XML document (as opposed to Turtle)?
+pub fn looks_like_xml(source: &str) -> bool {
+    source.trim_start().starts_with('<')
+}

@@ -1,0 +1,73 @@
+//! # sst-wrappers — SOQA ontology-language wrappers
+//!
+//! The paper's SOQA reaches ontologies through per-language wrappers
+//! ("Internally, ontology wrappers are used as an interface to existing
+//! reasoners… we have implemented SOQA ontology wrappers for OWL, PowerLoom,
+//! DAML, and the lexical ontology WordNet"). This crate provides those four
+//! wrappers, each parsing its native format (via `sst-rdf` / `sst-sexpr` or
+//! directly) into the SOQA meta model of `sst-soqa`.
+
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod daml;
+pub mod dl_rdf;
+pub mod owl;
+pub mod powerloom;
+pub mod registry;
+pub mod wordnet;
+
+pub use daml::parse_daml;
+pub use owl::parse_owl;
+pub use powerloom::parse_powerloom;
+pub use registry::{
+    wrapper_for, DamlWrapper, OntologyWrapper, OwlWrapper, PowerLoomWrapper,
+    WordNetWrapper, WrapperRegistry,
+};
+pub use wordnet::{parse_index_line, parse_wordnet, write_data_file, IndexEntry, Synset, WordNetIndex};
+
+use sst_soqa::{Ontology, SoqaError};
+
+/// The ontology languages SOQA has wrappers for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    Owl,
+    Daml,
+    PowerLoom,
+    WordNet,
+}
+
+impl Language {
+    /// Guesses the language from a file name
+    /// (`.owl`, `.daml`, `.ploom`/`.plm`, `data.*`).
+    pub fn from_path(path: &str) -> Option<Language> {
+        let lower = path.to_ascii_lowercase();
+        if lower.ends_with(".owl") || lower.ends_with(".rdf") || lower.ends_with(".ttl") {
+            Some(Language::Owl)
+        } else if lower.ends_with(".daml") {
+            Some(Language::Daml)
+        } else if lower.ends_with(".ploom") || lower.ends_with(".plm") {
+            Some(Language::PowerLoom)
+        } else if lower.contains("data.") || lower.ends_with(".wn") {
+            Some(Language::WordNet)
+        } else {
+            None
+        }
+    }
+}
+
+/// One-call dispatch: parses `source` as `language` into an ontology named
+/// `name`. RDF-based languages resolve relative IRIs against `base`.
+pub fn parse(
+    language: Language,
+    source: &str,
+    name: &str,
+    base: &str,
+) -> Result<Ontology, SoqaError> {
+    match language {
+        Language::Owl => parse_owl(source, name, base),
+        Language::Daml => parse_daml(source, name, base),
+        Language::PowerLoom => parse_powerloom(source, name),
+        Language::WordNet => parse_wordnet(source, name),
+    }
+}

@@ -1,0 +1,141 @@
+//! SOQA wrapper for OWL ontologies (RDF/XML or Turtle serialization).
+
+use sst_soqa::{Ontology, SoqaError};
+
+use crate::dl_rdf::{graph_to_ontology, looks_like_xml, DlVocabulary};
+
+/// Parses an OWL document into a SOQA ontology registered under `name`.
+///
+/// The serialization is sniffed: documents starting with `<` are parsed as
+/// RDF/XML, anything else as Turtle. `base` is the document base IRI.
+pub fn parse_owl(source: &str, name: &str, base: &str) -> Result<Ontology, SoqaError> {
+    let graph = if looks_like_xml(source) {
+        sst_rdf::parse_rdfxml(source, base)
+    } else {
+        sst_rdf::parse_turtle(source, base)
+    }
+    .map_err(|e| SoqaError::Wrapper { language: "OWL".into(), message: e.to_string() })?;
+    graph_to_ontology(&graph, name, &DlVocabulary::owl())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNI: &str = r##"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xmlns="http://example.org/uni#"
+         xml:base="http://example.org/uni">
+  <owl:Ontology rdf:about="">
+    <rdfs:comment>A small university ontology.</rdfs:comment>
+    <owl:versionInfo>1.1</owl:versionInfo>
+  </owl:Ontology>
+  <owl:Class rdf:ID="Person">
+    <rdfs:comment>Any human being.</rdfs:comment>
+  </owl:Class>
+  <owl:Class rdf:ID="Student">
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </owl:Class>
+  <owl:Class rdf:ID="Professor">
+    <rdfs:subClassOf rdf:resource="#Person"/>
+    <owl:disjointWith rdf:resource="#Student"/>
+  </owl:Class>
+  <owl:Class rdf:ID="Lecturer">
+    <owl:equivalentClass rdf:resource="#Professor"/>
+  </owl:Class>
+  <owl:DatatypeProperty rdf:ID="name">
+    <rdfs:domain rdf:resource="#Person"/>
+    <rdfs:range rdf:resource="http://www.w3.org/2001/XMLSchema#string"/>
+  </owl:DatatypeProperty>
+  <owl:ObjectProperty rdf:ID="advisor">
+    <rdfs:domain rdf:resource="#Student"/>
+    <rdfs:range rdf:resource="#Professor"/>
+  </owl:ObjectProperty>
+  <Student rdf:ID="alice">
+    <name>Alice</name>
+    <advisor rdf:resource="#bob"/>
+  </Student>
+  <Professor rdf:ID="bob"/>
+</rdf:RDF>"##;
+
+    #[test]
+    fn maps_classes_and_hierarchy() {
+        let o = parse_owl(UNI, "uni", "http://example.org/uni").expect("parse");
+        assert_eq!(o.metadata.language, "OWL");
+        assert_eq!(o.metadata.version.as_deref(), Some("1.1"));
+        assert!(o.metadata.documentation.as_deref().unwrap().contains("university"));
+
+        // Thing + Person + Student + Professor + Lecturer
+        assert_eq!(o.concept_count(), 5);
+        let thing = o.concept_by_name("Thing").unwrap();
+        assert_eq!(o.roots(), &[thing]);
+        let person = o.concept_by_name("Person").unwrap();
+        assert_eq!(o.direct_supers(person), &[thing]);
+        let student = o.concept_by_name("Student").unwrap();
+        assert_eq!(o.direct_supers(student), &[person]);
+        assert_eq!(
+            o.concept(person).documentation.as_deref(),
+            Some("Any human being.")
+        );
+    }
+
+    #[test]
+    fn maps_equivalence_and_disjointness() {
+        let o = parse_owl(UNI, "uni", "http://example.org/uni").expect("parse");
+        let prof = o.concept_by_name("Professor").unwrap();
+        let lecturer = o.concept_by_name("Lecturer").unwrap();
+        let student = o.concept_by_name("Student").unwrap();
+        assert!(o.concept(lecturer).equivalent_concepts.contains(&prof));
+        assert!(o.concept(prof).equivalent_concepts.contains(&lecturer));
+        assert!(o.concept(prof).antonym_concepts.contains(&student));
+    }
+
+    #[test]
+    fn maps_properties() {
+        let o = parse_owl(UNI, "uni", "http://example.org/uni").expect("parse");
+        let person = o.concept_by_name("Person").unwrap();
+        let attrs = &o.concept(person).attributes;
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(o.attribute(attrs[0]).name, "name");
+        assert_eq!(o.attribute(attrs[0]).data_type.as_deref(), Some("string"));
+
+        assert_eq!(o.relationships().len(), 1);
+        let rel = &o.relationships()[0];
+        assert_eq!(rel.name, "advisor");
+        assert_eq!(rel.related_concepts, vec!["Student", "Professor"]);
+        assert_eq!(rel.arity, 2);
+    }
+
+    #[test]
+    fn maps_instances_with_values() {
+        let o = parse_owl(UNI, "uni", "http://example.org/uni").expect("parse");
+        let student = o.concept_by_name("Student").unwrap();
+        assert_eq!(o.concept(student).instances.len(), 1);
+        let alice = o.instance(o.concept(student).instances[0]);
+        assert_eq!(alice.name, "alice");
+        assert!(alice.attribute_values.contains(&("name".into(), "Alice".into())));
+        assert!(alice.relationship_values.contains(&("advisor".into(), "bob".into())));
+    }
+
+    #[test]
+    fn parses_turtle_owl() {
+        let src = "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n\
+                   @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+                   @prefix : <http://e/#> .\n\
+                   :A a owl:Class .\n\
+                   :B a owl:Class ; rdfs:subClassOf :A .\n";
+        let o = parse_owl(src, "t", "http://e/").expect("parse");
+        assert_eq!(o.concept_count(), 3); // Thing, A, B
+        let a = o.concept_by_name("A").unwrap();
+        let b = o.concept_by_name("B").unwrap();
+        assert_eq!(o.direct_supers(b), &[a]);
+    }
+
+    #[test]
+    fn malformed_input_is_a_wrapper_error() {
+        let err = parse_owl("<rdf:RDF", "x", "http://x").unwrap_err();
+        assert!(matches!(err, SoqaError::Wrapper { .. }));
+    }
+}

@@ -1,0 +1,358 @@
+//! SOQA wrapper for PowerLoom knowledge bases (`.ploom` modules).
+//!
+//! Supports the definition forms the SIRUP Course Ontology uses:
+//! `defmodule`/`in-module`, `defconcept` (with variable-typed supers and
+//! `(and A B)` conjunctions), `defrelation` (concept–concept relations and
+//! concept–datatype relations, the latter mapped to SOQA attributes),
+//! `deffunction` (mapped to SOQA methods), and `assert` of unary membership
+//! and binary attribute facts.
+
+use sst_sexpr::{parse_all, Value};
+use sst_soqa::{
+    Attribute, Instance, Method, Ontology, OntologyBuilder, OntologyMetadata, Parameter,
+    Relationship, SoqaError,
+};
+
+/// Datatype names PowerLoom treats as literal types; relations ranging over
+/// these become SOQA attributes rather than relationships.
+const LITERAL_TYPES: &[&str] = &["STRING", "NUMBER", "INTEGER", "FLOAT", "BOOLEAN", "DATE"];
+
+fn is_literal_type(name: &str) -> bool {
+    LITERAL_TYPES.iter().any(|t| t.eq_ignore_ascii_case(name))
+}
+
+fn wrapper_err(message: impl Into<String>) -> SoqaError {
+    SoqaError::Wrapper { language: "PowerLoom".into(), message: message.into() }
+}
+
+/// Parses a PowerLoom module into a SOQA ontology registered under `name`.
+pub fn parse_powerloom(source: &str, name: &str) -> Result<Ontology, SoqaError> {
+    let forms = parse_all(source).map_err(|e| wrapper_err(e.to_string()))?;
+    let mut metadata = OntologyMetadata {
+        name: name.to_owned(),
+        language: "PowerLoom".to_owned(),
+        ..OntologyMetadata::default()
+    };
+
+    // First pass: module metadata.
+    for form in &forms {
+        let Some(head) = form.head().and_then(Value::as_symbol) else { continue };
+        if head.eq_ignore_ascii_case("defmodule") {
+            if let Some(doc) = form.keyword_value("documentation").and_then(Value::as_str) {
+                metadata.documentation = Some(doc.to_owned());
+            }
+            if let Some(v) = form.keyword_value("version").and_then(Value::as_str) {
+                metadata.version = Some(v.to_owned());
+            }
+            if let Some(a) = form.keyword_value("author").and_then(Value::as_str) {
+                metadata.author = Some(a.to_owned());
+            }
+        }
+    }
+
+    let mut builder = OntologyBuilder::new(metadata);
+
+    for form in &forms {
+        let Some(head) = form.head().and_then(Value::as_symbol) else { continue };
+        match head.to_ascii_lowercase().as_str() {
+            "defconcept" => def_concept(&mut builder, form)?,
+            "defrelation" => def_relation(&mut builder, form)?,
+            "deffunction" => def_function(&mut builder, form)?,
+            "assert" => do_assert(&mut builder, form)?,
+            // Module plumbing — no model content.
+            "defmodule" | "in-module" | "in-package" | "in-dialect" | "clear-module" => {}
+            other => {
+                return Err(wrapper_err(format!("unsupported top-level form `({other} …)`")))
+            }
+        }
+    }
+
+    Ok(builder.build())
+}
+
+/// `(defconcept NAME [(?v SUPER…)] [:documentation "…"])`
+fn def_concept(builder: &mut OntologyBuilder, form: &Value) -> Result<(), SoqaError> {
+    let tail = form.tail();
+    let name = tail
+        .first()
+        .and_then(Value::as_symbol)
+        .ok_or_else(|| wrapper_err("defconcept requires a concept name"))?;
+    let id = builder.concept(name);
+    if let Some(doc) = form.keyword_value("documentation").and_then(Value::as_str) {
+        builder.concept_mut(id).documentation = Some(doc.to_owned());
+    }
+    // The optional second element is the typed-variable list: (?c SUPER) or
+    // (?c (and A B)).
+    if let Some(Value::List(sig)) = tail.get(1) {
+        for super_name in collect_supers(sig) {
+            if is_literal_type(&super_name) {
+                continue;
+            }
+            let sup = builder.concept(&super_name);
+            builder.add_subclass(id, sup);
+        }
+    }
+    // Record the raw form as the definition (axioms subsumed by definition,
+    // paper footnote 10).
+    builder.concept_mut(id).definition = Some(form.to_string());
+    Ok(())
+}
+
+/// Extracts superconcept names from a typed-variable signature.
+fn collect_supers(sig: &[Value]) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in sig {
+        match item {
+            Value::Symbol(s) if !s.starts_with('?') => out.push(s.clone()),
+            Value::List(items) => {
+                // (and A B) or nested lists.
+                for inner in items {
+                    match inner {
+                        Value::Symbol(s)
+                            if !s.starts_with('?') && !s.eq_ignore_ascii_case("and") =>
+                        {
+                            out.push(s.clone())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses a `((?x A) (?y B))` parameter list into (var, type) pairs.
+fn parse_params(list: &Value) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(items) = list.as_list() {
+        for p in items {
+            if let Some(pair) = p.as_list() {
+                let var = pair.first().and_then(Value::as_symbol).unwrap_or("?_");
+                let ty = pair.get(1).and_then(Value::as_symbol).unwrap_or("THING");
+                out.push((var.trim_start_matches('?').to_owned(), ty.to_owned()));
+            }
+        }
+    }
+    out
+}
+
+/// `(defrelation NAME ((?x A) (?y B)) [:documentation "…"])`
+///
+/// Binary relations whose second argument is a literal type become SOQA
+/// attributes of the first argument's concept; everything else becomes a
+/// SOQA relationship.
+fn def_relation(builder: &mut OntologyBuilder, form: &Value) -> Result<(), SoqaError> {
+    let tail = form.tail();
+    let name = tail
+        .first()
+        .and_then(Value::as_symbol)
+        .ok_or_else(|| wrapper_err("defrelation requires a name"))?;
+    let doc = form
+        .keyword_value("documentation")
+        .and_then(Value::as_str)
+        .map(str::to_owned);
+    let params = tail.get(1).map(parse_params).unwrap_or_default();
+
+    if params.len() == 2 && is_literal_type(&params[1].1) {
+        let concept = builder.concept(&params[0].1);
+        builder.add_attribute(Attribute {
+            name: name.to_owned(),
+            documentation: doc,
+            data_type: Some(params[1].1.clone()),
+            definition: Some(form.to_string()),
+            concept,
+        });
+        return Ok(());
+    }
+    // Ensure participant concepts exist so the relationship is linked.
+    let related: Vec<String> = params.iter().map(|(_, t)| t.clone()).collect();
+    for t in &related {
+        if !is_literal_type(t) {
+            builder.concept(t);
+        }
+    }
+    builder.add_relationship(Relationship {
+        name: name.to_owned(),
+        documentation: doc,
+        definition: Some(form.to_string()),
+        arity: related.len(),
+        related_concepts: related,
+    });
+    Ok(())
+}
+
+/// `(deffunction NAME ((?x A) …) :-> (?r TYPE) [:documentation "…"])`
+fn def_function(builder: &mut OntologyBuilder, form: &Value) -> Result<(), SoqaError> {
+    let tail = form.tail();
+    let name = tail
+        .first()
+        .and_then(Value::as_symbol)
+        .ok_or_else(|| wrapper_err("deffunction requires a name"))?;
+    let doc = form
+        .keyword_value("documentation")
+        .and_then(Value::as_str)
+        .map(str::to_owned);
+    let params = tail.get(1).map(parse_params).unwrap_or_default();
+    let return_type = form
+        .keyword_value("->")
+        .map(|v| match v {
+            Value::List(items) => items
+                .get(1)
+                .or_else(|| items.first())
+                .and_then(Value::as_symbol)
+                .unwrap_or("THING")
+                .to_owned(),
+            Value::Symbol(s) => s.clone(),
+            _ => "THING".to_owned(),
+        });
+    let concept_name = params
+        .first()
+        .map(|(_, t)| t.clone())
+        .ok_or_else(|| wrapper_err(format!("deffunction `{name}` needs at least one parameter")))?;
+    let concept = builder.concept(&concept_name);
+    builder.add_method(Method {
+        name: name.to_owned(),
+        documentation: doc,
+        definition: Some(form.to_string()),
+        parameters: params
+            .iter()
+            .map(|(n, t)| Parameter { name: n.clone(), data_type: Some(t.clone()) })
+            .collect(),
+        return_type,
+        concept,
+    });
+    Ok(())
+}
+
+/// `(assert (CONCEPT instance))` — membership; creates the instance.
+/// `(assert (relation instance value))` — attribute/relationship value on an
+/// existing instance.
+fn do_assert(builder: &mut OntologyBuilder, form: &Value) -> Result<(), SoqaError> {
+    let Some(fact) = form.tail().first() else {
+        return Err(wrapper_err("assert requires a proposition"));
+    };
+    let Some(items) = fact.as_list() else {
+        return Err(wrapper_err("assert requires a list proposition"));
+    };
+    match items {
+        [Value::Symbol(pred), Value::Symbol(arg)] if builder.has_concept(pred) => {
+            let concept = builder.concept(pred);
+            builder.add_instance(Instance {
+                name: arg.clone(),
+                concept,
+                attribute_values: Vec::new(),
+                relationship_values: Vec::new(),
+            });
+            Ok(())
+        }
+        [Value::Symbol(_pred), ..] => {
+            // Attribute/relationship facts over instances: tolerated and
+            // recorded nowhere structured — the concept-level model is what
+            // the similarity measures consume. (A full PowerLoom would put
+            // these into the assertion base.)
+            Ok(())
+        }
+        _ => Err(wrapper_err(format!("unsupported assertion `{fact}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COURSES: &str = r#"
+;;; A fragment of the SIRUP Course Ontology.
+(defmodule "COURSES"
+  :documentation "Concepts for university course administration."
+  :version "2.1"
+  :author "SIRUP")
+(in-module "COURSES")
+
+(defconcept PERSON :documentation "A human being.")
+(defconcept EMPLOYEE (?e PERSON)
+  :documentation "A person employed by the university.")
+(defconcept STUDENT (?s PERSON))
+(defconcept TEACHING-ASSISTANT (?t (and STUDENT EMPLOYEE)))
+(defconcept COURSE :documentation "A unit of teaching.")
+
+(defrelation teaches ((?e EMPLOYEE) (?c COURSE))
+  :documentation "An employee teaches a course.")
+(defrelation full-name ((?p PERSON) (?n STRING)))
+(deffunction salary ((?e EMPLOYEE)) :-> (?amount NUMBER)
+  :documentation "Monthly gross salary.")
+
+(assert (EMPLOYEE Fred))
+(assert (STUDENT Maria))
+(assert (full-name Fred "Fred Smith"))
+"#;
+
+    #[test]
+    fn module_metadata() {
+        let o = parse_powerloom(COURSES, "COURSES").expect("parse");
+        assert_eq!(o.metadata.language, "PowerLoom");
+        assert_eq!(o.metadata.version.as_deref(), Some("2.1"));
+        assert!(o.metadata.documentation.as_deref().unwrap().contains("course"));
+    }
+
+    #[test]
+    fn concepts_and_multiple_inheritance() {
+        let o = parse_powerloom(COURSES, "COURSES").expect("parse");
+        assert_eq!(o.concept_count(), 5);
+        let ta = o.concept_by_name("TEACHING-ASSISTANT").unwrap();
+        let supers: Vec<&str> =
+            o.direct_supers(ta).iter().map(|&c| o.concept(c).name.as_str()).collect();
+        assert_eq!(supers, vec!["STUDENT", "EMPLOYEE"]);
+        // PERSON and COURSE are roots (no implicit Thing in PowerLoom).
+        assert_eq!(o.roots().len(), 2);
+    }
+
+    #[test]
+    fn literal_ranged_relations_become_attributes() {
+        let o = parse_powerloom(COURSES, "COURSES").expect("parse");
+        let person = o.concept_by_name("PERSON").unwrap();
+        let attrs = &o.concept(person).attributes;
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(o.attribute(attrs[0]).name, "full-name");
+        assert_eq!(o.attribute(attrs[0]).data_type.as_deref(), Some("STRING"));
+    }
+
+    #[test]
+    fn concept_relations_stay_relationships() {
+        let o = parse_powerloom(COURSES, "COURSES").expect("parse");
+        assert_eq!(o.relationships().len(), 1);
+        let teaches = &o.relationships()[0];
+        assert_eq!(teaches.name, "teaches");
+        assert_eq!(teaches.related_concepts, vec!["EMPLOYEE", "COURSE"]);
+    }
+
+    #[test]
+    fn functions_become_methods() {
+        let o = parse_powerloom(COURSES, "COURSES").expect("parse");
+        let employee = o.concept_by_name("EMPLOYEE").unwrap();
+        let methods = &o.concept(employee).methods;
+        assert_eq!(methods.len(), 1);
+        let m = o.method(methods[0]);
+        assert_eq!(m.name, "salary");
+        assert_eq!(m.return_type.as_deref(), Some("NUMBER"));
+        assert_eq!(m.parameters.len(), 1);
+        assert_eq!(m.parameters[0].name, "e");
+    }
+
+    #[test]
+    fn assertions_create_instances() {
+        let o = parse_powerloom(COURSES, "COURSES").expect("parse");
+        let employee = o.concept_by_name("EMPLOYEE").unwrap();
+        assert_eq!(o.concept(employee).instances.len(), 1);
+        assert_eq!(o.instance(o.concept(employee).instances[0]).name, "Fred");
+        assert!(o.instance_by_name("Maria").is_some());
+    }
+
+    #[test]
+    fn unknown_forms_are_errors() {
+        assert!(parse_powerloom("(frobnicate X)", "t").is_err());
+        assert!(parse_powerloom("(defconcept)", "t").is_err());
+        assert!(parse_powerloom("(((", "t").is_err());
+    }
+}

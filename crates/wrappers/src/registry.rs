@@ -1,0 +1,265 @@
+//! The wrapper abstraction (paper Fig. 2): every ontology language plugs
+//! into SOQA through one trait, and the registry dispatches by language or
+//! file extension — "further ontology languages can easily be integrated
+//! into SOQA by providing supplementary SOQA wrappers" (§6).
+
+use std::fmt;
+use std::path::Path;
+
+use sst_soqa::{Ontology, SoqaError};
+
+use crate::{parse_daml, parse_owl, parse_powerloom, parse_wordnet, Language};
+
+/// A SOQA ontology wrapper: parses one ontology language into the meta
+/// model.
+pub trait OntologyWrapper: Send + Sync {
+    /// Language name as reported in ontology metadata.
+    fn language(&self) -> &'static str;
+    /// File extensions (lowercase, without dot) this wrapper claims.
+    fn extensions(&self) -> &'static [&'static str];
+    /// Parses `source` into an ontology registered under `name`; `base` is
+    /// the base IRI for RDF-based languages (ignored otherwise).
+    fn parse(&self, source: &str, name: &str, base: &str) -> Result<Ontology, SoqaError>;
+}
+
+impl fmt::Debug for dyn OntologyWrapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OntologyWrapper({})", self.language())
+    }
+}
+
+macro_rules! wrapper {
+    ($ty:ident, $language:literal, $exts:expr, |$src:ident, $name:ident, $base:ident| $body:expr) => {
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $ty;
+
+        impl OntologyWrapper for $ty {
+            fn language(&self) -> &'static str {
+                $language
+            }
+
+            fn extensions(&self) -> &'static [&'static str] {
+                $exts
+            }
+
+            fn parse(
+                &self,
+                $src: &str,
+                $name: &str,
+                $base: &str,
+            ) -> Result<Ontology, SoqaError> {
+                $body
+            }
+        }
+    };
+}
+
+wrapper!(OwlWrapper, "OWL", &["owl", "rdf", "ttl"], |src, name, base| parse_owl(
+    src, name, base
+));
+wrapper!(DamlWrapper, "DAML+OIL", &["daml"], |src, name, base| parse_daml(src, name, base));
+wrapper!(PowerLoomWrapper, "PowerLoom", &["ploom", "plm"], |src, name, _base| {
+    parse_powerloom(src, name)
+});
+wrapper!(WordNetWrapper, "WordNet", &["noun", "wn"], |src, name, _base| {
+    parse_wordnet(src, name)
+});
+
+/// Registry of available wrappers; extensible at runtime with custom ones.
+pub struct WrapperRegistry {
+    wrappers: Vec<Box<dyn OntologyWrapper>>,
+}
+
+impl fmt::Debug for WrapperRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let langs: Vec<&str> = self.wrappers.iter().map(|w| w.language()).collect();
+        write!(f, "WrapperRegistry({langs:?})")
+    }
+}
+
+impl Default for WrapperRegistry {
+    fn default() -> Self {
+        WrapperRegistry {
+            wrappers: vec![
+                Box::new(OwlWrapper),
+                Box::new(DamlWrapper),
+                Box::new(PowerLoomWrapper),
+                Box::new(WordNetWrapper),
+            ],
+        }
+    }
+}
+
+impl WrapperRegistry {
+    pub fn new() -> Self {
+        WrapperRegistry::default()
+    }
+
+    /// Registers a supplementary wrapper (checked ahead of the defaults).
+    pub fn register(&mut self, wrapper: Box<dyn OntologyWrapper>) {
+        self.wrappers.insert(0, wrapper);
+    }
+
+    /// Languages currently supported, in lookup order.
+    pub fn languages(&self) -> Vec<&'static str> {
+        self.wrappers.iter().map(|w| w.language()).collect()
+    }
+
+    /// Finds the wrapper for a language name (case-insensitive).
+    pub fn by_language(&self, language: &str) -> Option<&dyn OntologyWrapper> {
+        self.wrappers
+            .iter()
+            .find(|w| w.language().eq_ignore_ascii_case(language))
+            .map(AsRef::as_ref)
+    }
+
+    /// Finds the wrapper claiming `path`'s extension (or `data.*` name for
+    /// WordNet database files).
+    pub fn for_path(&self, path: &Path) -> Option<&dyn OntologyWrapper> {
+        let file_name = path.file_name()?.to_str()?.to_ascii_lowercase();
+        if file_name.starts_with("data.") || file_name.starts_with("index.") {
+            return self.by_language("WordNet");
+        }
+        let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+        self.wrappers
+            .iter()
+            .find(|w| w.extensions().contains(&ext.as_str()))
+            .map(AsRef::as_ref)
+    }
+
+    /// Loads an ontology file: dispatches by path, reads the file, and
+    /// parses it under `name` (defaults to the file stem) and `base`.
+    pub fn load_file(
+        &self,
+        path: &Path,
+        name: Option<&str>,
+        base: &str,
+    ) -> Result<Ontology, SoqaError> {
+        let wrapper = self.for_path(path).ok_or_else(|| SoqaError::Wrapper {
+            language: "?".into(),
+            message: format!("no wrapper claims `{}`", path.display()),
+        })?;
+        let source = std::fs::read_to_string(path).map_err(|e| SoqaError::Wrapper {
+            language: wrapper.language().into(),
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("ontology");
+        wrapper.parse(&source, name.unwrap_or(stem), base)
+    }
+}
+
+/// Convenience mapping from the [`Language`] enum to its default wrapper.
+pub fn wrapper_for(language: Language) -> Box<dyn OntologyWrapper> {
+    match language {
+        Language::Owl => Box::new(OwlWrapper),
+        Language::Daml => Box::new(DamlWrapper),
+        Language::PowerLoom => Box::new(PowerLoomWrapper),
+        Language::WordNet => Box::new(WordNetWrapper),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_dispatches_by_extension() {
+        let registry = WrapperRegistry::new();
+        assert_eq!(
+            registry.for_path(Path::new("x/univ-bench.owl")).unwrap().language(),
+            "OWL"
+        );
+        assert_eq!(
+            registry.for_path(Path::new("univ1.0.daml")).unwrap().language(),
+            "DAML+OIL"
+        );
+        assert_eq!(
+            registry.for_path(Path::new("course.PLOOM")).unwrap().language(),
+            "PowerLoom"
+        );
+        assert_eq!(
+            registry.for_path(Path::new("wn/data.noun")).unwrap().language(),
+            "WordNet"
+        );
+        assert!(registry.for_path(Path::new("mystery.xyz")).is_none());
+    }
+
+    #[test]
+    fn by_language_is_case_insensitive() {
+        let registry = WrapperRegistry::new();
+        assert!(registry.by_language("powerloom").is_some());
+        assert!(registry.by_language("OWL").is_some());
+        assert!(registry.by_language("CycL").is_none());
+    }
+
+    #[test]
+    fn wrappers_parse_through_the_trait() {
+        let registry = WrapperRegistry::new();
+        let wrapper = registry.by_language("PowerLoom").unwrap();
+        let onto = wrapper
+            .parse("(defconcept A) (defconcept B (?b A))", "t", "")
+            .expect("parse");
+        assert_eq!(onto.concept_count(), 2);
+        assert_eq!(onto.metadata.language, "PowerLoom");
+    }
+
+    #[test]
+    fn custom_wrappers_take_precedence() {
+        #[derive(Debug)]
+        struct FakeOwl;
+        impl OntologyWrapper for FakeOwl {
+            fn language(&self) -> &'static str {
+                "FakeOWL"
+            }
+            fn extensions(&self) -> &'static [&'static str] {
+                &["owl"]
+            }
+            fn parse(&self, _: &str, name: &str, _: &str) -> Result<Ontology, SoqaError> {
+                let builder = sst_soqa::OntologyBuilder::new(sst_soqa::OntologyMetadata {
+                    name: name.into(),
+                    language: "FakeOWL".into(),
+                    ..Default::default()
+                });
+                Ok(builder.build())
+            }
+        }
+        let mut registry = WrapperRegistry::new();
+        registry.register(Box::new(FakeOwl));
+        assert_eq!(
+            registry.for_path(Path::new("x.owl")).unwrap().language(),
+            "FakeOWL"
+        );
+        assert_eq!(registry.languages()[0], "FakeOWL");
+    }
+
+    #[test]
+    fn load_file_round_trips_the_corpus_files() {
+        let registry = WrapperRegistry::new();
+        let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/ontologies");
+        let onto = registry
+            .load_file(&data.join("course.ploom"), None, "")
+            .expect("load course.ploom");
+        assert_eq!(onto.name(), "course");
+        assert_eq!(onto.metadata.language, "PowerLoom");
+        let onto = registry
+            .load_file(
+                &data.join("univ-bench.owl"),
+                Some("univ"),
+                "http://www.lehigh.edu/univ-bench.owl",
+            )
+            .expect("load univ-bench.owl");
+        assert_eq!(onto.name(), "univ");
+        assert_eq!(onto.concept_count(), 44);
+    }
+
+    #[test]
+    fn load_file_errors_are_informative() {
+        let registry = WrapperRegistry::new();
+        let err = registry
+            .load_file(Path::new("/nonexistent/x.owl"), None, "")
+            .unwrap_err();
+        assert!(matches!(err, SoqaError::Wrapper { .. }));
+        let err = registry.load_file(Path::new("/tmp/unknown.format"), None, "").unwrap_err();
+        assert!(err.to_string().contains("no wrapper"));
+    }
+}

@@ -1,0 +1,367 @@
+//! SOQA wrapper for WordNet (Miller 1995), reading the lexical database's
+//! native `data.pos` file format.
+//!
+//! Each line of a `data.noun` file describes one synset:
+//!
+//! ```text
+//! offset lex_filenum ss_type w_cnt word lex_id [word lex_id…]
+//!        p_cnt [ptr_symbol offset pos source/target…] | gloss
+//! ```
+//!
+//! Synsets become SOQA concepts (named by their first lemma), hypernym
+//! pointers (`@`, `@i`) become superconcept edges, and glosses become
+//! documentation — exactly the projection the original SOQA WordNet wrapper
+//! performed.
+
+use std::collections::HashMap;
+
+use sst_soqa::{Ontology, OntologyBuilder, OntologyMetadata, SoqaError};
+
+fn wrapper_err(message: impl Into<String>) -> SoqaError {
+    SoqaError::Wrapper { language: "WordNet".into(), message: message.into() }
+}
+
+/// One parsed synset line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Synset {
+    pub offset: u64,
+    /// All lemmas, with WordNet's `_` separators preserved.
+    pub words: Vec<String>,
+    /// Offsets of hypernym synsets (`@` and `@i` pointers).
+    pub hypernyms: Vec<u64>,
+    pub gloss: String,
+}
+
+/// Parses one `data.pos` line. Lines starting with whitespace are the
+/// license header and yield `None`.
+pub fn parse_data_line(line: &str) -> Result<Option<Synset>, SoqaError> {
+    if line.is_empty() || line.starts_with(' ') {
+        return Ok(None);
+    }
+    let (head, gloss) = match line.split_once('|') {
+        Some((h, g)) => (h, g.trim().to_owned()),
+        None => (line, String::new()),
+    };
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    if fields.len() < 5 {
+        return Err(wrapper_err(format!("short synset line: `{line}`")));
+    }
+    let offset = fields[0]
+        .parse::<u64>()
+        .map_err(|_| wrapper_err(format!("bad synset offset `{}`", fields[0])))?;
+    // fields[1] = lex_filenum, fields[2] = ss_type.
+    let w_cnt = usize::from_str_radix(fields[3], 16)
+        .map_err(|_| wrapper_err(format!("bad word count `{}`", fields[3])))?;
+    let mut i = 4;
+    let mut words = Vec::with_capacity(w_cnt);
+    for _ in 0..w_cnt {
+        let word = fields
+            .get(i)
+            .ok_or_else(|| wrapper_err("truncated word list"))?;
+        words.push((*word).to_owned());
+        i += 2; // skip lex_id
+    }
+    let p_cnt: usize = fields
+        .get(i)
+        .ok_or_else(|| wrapper_err("missing pointer count"))?
+        .parse()
+        .map_err(|_| wrapper_err("bad pointer count"))?;
+    i += 1;
+    let mut hypernyms = Vec::new();
+    for _ in 0..p_cnt {
+        let symbol = fields.get(i).ok_or_else(|| wrapper_err("truncated pointer list"))?;
+        let target = fields
+            .get(i + 1)
+            .ok_or_else(|| wrapper_err("truncated pointer target"))?
+            .parse::<u64>()
+            .map_err(|_| wrapper_err("bad pointer offset"))?;
+        if *symbol == "@" || *symbol == "@i" {
+            hypernyms.push(target);
+        }
+        i += 4; // symbol, offset, pos, source/target
+    }
+    Ok(Some(Synset { offset, words, hypernyms, gloss }))
+}
+
+/// Parses a whole `data.pos` file into a SOQA ontology named `name`.
+///
+/// Concepts are named by the synset's first lemma; when several synsets
+/// share a first lemma, later ones get `#2`, `#3`, … suffixes (WordNet
+/// sense numbers).
+pub fn parse_wordnet(data: &str, name: &str) -> Result<Ontology, SoqaError> {
+    let mut synsets = Vec::new();
+    for line in data.lines() {
+        if let Some(s) = parse_data_line(line)? {
+            synsets.push(s);
+        }
+    }
+    if synsets.is_empty() {
+        return Err(wrapper_err("no synsets found"));
+    }
+
+    let metadata = OntologyMetadata {
+        name: name.to_owned(),
+        language: "WordNet".to_owned(),
+        documentation: Some(format!("{} noun synsets", synsets.len())),
+        ..OntologyMetadata::default()
+    };
+    let mut builder = OntologyBuilder::new(metadata);
+
+    // Assign unique concept names per synset.
+    let mut by_offset: HashMap<u64, sst_soqa::ConceptId> = HashMap::new();
+    let mut name_uses: HashMap<String, usize> = HashMap::new();
+    for s in &synsets {
+        let base = s.words.first().cloned().unwrap_or_else(|| format!("synset_{}", s.offset));
+        let uses = name_uses.entry(base.clone()).or_insert(0);
+        *uses += 1;
+        let concept_name = if *uses == 1 { base } else { format!("{base}#{uses}") };
+        let id = builder.concept(&concept_name);
+        if !s.gloss.is_empty() {
+            builder.concept_mut(id).documentation = Some(s.gloss.clone());
+        }
+        if s.words.len() > 1 {
+            builder.concept_mut(id).definition =
+                Some(format!("synonyms: {}", s.words.join(", ")));
+        }
+        by_offset.insert(s.offset, id);
+    }
+
+    // Hypernym edges.
+    for s in &synsets {
+        let id = by_offset[&s.offset];
+        for hyper in &s.hypernyms {
+            match by_offset.get(hyper) {
+                Some(&sup) => builder.add_subclass(id, sup),
+                None => {
+                    return Err(wrapper_err(format!(
+                        "synset {} points to unknown hypernym {hyper}",
+                        s.offset
+                    )))
+                }
+            }
+        }
+    }
+
+    Ok(builder.build())
+}
+
+/// One entry of an `index.pos` file: a lemma with the offsets of all
+/// synsets it appears in, ordered by sense frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    pub lemma: String,
+    pub synsets: Vec<u64>,
+}
+
+/// Parses one `index.pos` line:
+///
+/// ```text
+/// lemma pos synset_cnt p_cnt [ptr_symbol…] sense_cnt tagsense_cnt offset…
+/// ```
+pub fn parse_index_line(line: &str) -> Result<Option<IndexEntry>, SoqaError> {
+    if line.is_empty() || line.starts_with(' ') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 6 {
+        return Err(wrapper_err(format!("short index line: `{line}`")));
+    }
+    let lemma = fields[0].to_owned();
+    let synset_cnt: usize = fields[2]
+        .parse()
+        .map_err(|_| wrapper_err(format!("bad synset count `{}`", fields[2])))?;
+    let p_cnt: usize = fields[3]
+        .parse()
+        .map_err(|_| wrapper_err(format!("bad pointer count `{}`", fields[3])))?;
+    // Skip pos, synset_cnt, p_cnt, the p_cnt pointer symbols, sense_cnt and
+    // tagsense_cnt; the rest are synset offsets.
+    let offset_start = 4 + p_cnt + 2;
+    let mut synsets = Vec::with_capacity(synset_cnt);
+    for field in fields
+        .get(offset_start..)
+        .ok_or_else(|| wrapper_err("truncated index line"))?
+    {
+        synsets.push(
+            field
+                .parse::<u64>()
+                .map_err(|_| wrapper_err(format!("bad synset offset `{field}`")))?,
+        );
+    }
+    if synsets.len() != synset_cnt {
+        return Err(wrapper_err(format!(
+            "index line for `{lemma}` announces {synset_cnt} synsets but lists {}",
+            synsets.len()
+        )));
+    }
+    Ok(Some(IndexEntry { lemma, synsets }))
+}
+
+/// A lemma → synset-offset lookup built from an `index.pos` file, used to
+/// resolve any synonym (not just the synset's first word) to its concept.
+#[derive(Debug, Default)]
+pub struct WordNetIndex {
+    entries: HashMap<String, Vec<u64>>,
+}
+
+impl WordNetIndex {
+    /// Parses a whole `index.pos` file.
+    pub fn parse(data: &str) -> Result<WordNetIndex, SoqaError> {
+        let mut entries = HashMap::new();
+        for line in data.lines() {
+            if let Some(e) = parse_index_line(line)? {
+                entries.insert(e.lemma, e.synsets);
+            }
+        }
+        Ok(WordNetIndex { entries })
+    }
+
+    /// Number of lemmas.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All synset offsets for `lemma` (most frequent sense first). WordNet
+    /// lemmas are lowercase with `_` for spaces; the lookup normalizes.
+    pub fn synsets(&self, lemma: &str) -> &[u64] {
+        let normalized = lemma.to_lowercase().replace(' ', "_");
+        self.entries.get(&normalized).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The primary (most frequent) synset for `lemma`.
+    pub fn primary_synset(&self, lemma: &str) -> Option<u64> {
+        self.synsets(lemma).first().copied()
+    }
+}
+
+/// Serializes synsets back into the `data.pos` format — used by the
+/// workload generator to produce valid mini-WordNet files.
+pub fn write_data_file(synsets: &[Synset]) -> String {
+    let mut out = String::new();
+    for s in synsets {
+        out.push_str(&format!("{:08} 03 n {:02x}", s.offset, s.words.len()));
+        for w in &s.words {
+            out.push_str(&format!(" {w} 0"));
+        }
+        out.push_str(&format!(" {:03}", s.hypernyms.len()));
+        for h in &s.hypernyms {
+            out.push_str(&format!(" @ {h:08} n 0000"));
+        }
+        out.push_str(&format!(" | {}\n", s.gloss));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "  1 This header line mimics the WordNet license preamble.
+00001740 03 n 01 entity 0 000 | that which is perceived or known or inferred
+00002137 03 n 02 living_thing 0 organism 0 001 @ 00001740 n 0000 | a living organism
+00007846 03 n 01 person 0 001 @ 00002137 n 0000 | a human being
+00008007 03 n 01 researcher 0 001 @ 00007846 n 0000 | a scientist who devotes himself to doing research
+00008123 03 n 01 bird 0 001 @ 00002137 n 0000 | warm-blooded egg-laying vertebrates
+";
+
+    #[test]
+    fn parses_synset_lines() {
+        let s = parse_data_line(
+            "00002137 03 n 02 living_thing 0 organism 0 001 @ 00001740 n 0000 | a living organism",
+        )
+        .expect("parse")
+        .expect("synset");
+        assert_eq!(s.offset, 2137);
+        assert_eq!(s.words, vec!["living_thing", "organism"]);
+        assert_eq!(s.hypernyms, vec![1740]);
+        assert_eq!(s.gloss, "a living organism");
+    }
+
+    #[test]
+    fn header_lines_are_skipped() {
+        assert_eq!(parse_data_line("  1 license text").expect("ok"), None);
+        assert_eq!(parse_data_line("").expect("ok"), None);
+    }
+
+    #[test]
+    fn builds_hypernym_hierarchy() {
+        let o = parse_wordnet(MINI, "wordnet").expect("parse");
+        assert_eq!(o.concept_count(), 5);
+        let entity = o.concept_by_name("entity").unwrap();
+        assert_eq!(o.roots(), &[entity]);
+        let researcher = o.concept_by_name("researcher").unwrap();
+        assert_eq!(o.depth(researcher), 3);
+        let person = o.concept_by_name("person").unwrap();
+        assert_eq!(o.direct_supers(researcher), [person]);
+    }
+
+    #[test]
+    fn glosses_become_documentation() {
+        let o = parse_wordnet(MINI, "wordnet").expect("parse");
+        let bird = o.concept_by_name("bird").unwrap();
+        assert!(o.concept(bird).documentation.as_deref().unwrap().contains("egg-laying"));
+        let lt = o.concept_by_name("living_thing").unwrap();
+        assert!(o.concept(lt).definition.as_deref().unwrap().contains("organism"));
+    }
+
+    #[test]
+    fn duplicate_first_lemmas_get_sense_suffixes() {
+        let data = "\
+00000001 03 n 01 bank 0 000 | sloping land beside a body of water
+00000002 03 n 01 bank 0 000 | a financial institution
+";
+        let o = parse_wordnet(data, "wn").expect("parse");
+        assert!(o.concept_by_name("bank").is_some());
+        assert!(o.concept_by_name("bank#2").is_some());
+    }
+
+    #[test]
+    fn dangling_hypernym_is_an_error() {
+        let data = "00000001 03 n 01 x 0 001 @ 99999999 n 0000 | dangling\n";
+        assert!(parse_wordnet(data, "wn").is_err());
+    }
+
+    #[test]
+    fn index_line_parsing() {
+        // Real index.noun shape: lemma pos synset_cnt p_cnt ptrs… sense_cnt tagsense_cnt offsets…
+        let e = parse_index_line("professor n 1 2 @ ~ 1 1 20815")
+            .expect("parse")
+            .expect("entry");
+        assert_eq!(e.lemma, "professor");
+        assert_eq!(e.synsets, vec![20815]);
+        let e = parse_index_line("bank n 2 1 @ 2 1 00000001 00000002")
+            .expect("parse")
+            .expect("entry");
+        assert_eq!(e.synsets, vec![1, 2]);
+        assert_eq!(parse_index_line("  1 header").expect("ok"), None);
+        assert!(parse_index_line("bank n 3 0 3 1 00000001").is_err()); // count mismatch
+    }
+
+    #[test]
+    fn wordnet_index_lookup() {
+        let idx = WordNetIndex::parse(
+            "  1 header\nprofessor n 1 0 1 1 20815\nresearch_worker n 1 0 1 0 21180\n",
+        )
+        .expect("parse");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.primary_synset("professor"), Some(20815));
+        assert_eq!(idx.primary_synset("Research Worker"), Some(21180));
+        assert!(idx.synsets("ghost").is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let o = parse_wordnet(MINI, "wn").expect("parse");
+        let synsets: Vec<Synset> = MINI
+            .lines()
+            .filter_map(|l| parse_data_line(l).unwrap())
+            .collect();
+        let written = write_data_file(&synsets);
+        let o2 = parse_wordnet(&written, "wn").expect("reparse");
+        assert_eq!(o.concept_count(), o2.concept_count());
+        assert_eq!(o.max_depth(), o2.max_depth());
+    }
+}

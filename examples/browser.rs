@@ -1,0 +1,176 @@
+//! The SOQA-SimPack Toolkit Browser (paper §4, Fig. 6), as a text-mode
+//! application: inspect ontologies independent of their language, run
+//! SOQA-QL queries, and drive every SST similarity service from the
+//! "Similarity Tab".
+//!
+//! Run with:
+//! ```text
+//! cargo run -p sst-examples --bin browser -- --demo      # scripted tour (Fig. 6)
+//! cargo run -p sst-examples --bin browser                # interactive shell
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use sst_bench::{load_corpus, names};
+use sst_core::{ConceptRef, ConceptSet, SstToolkit, TreeMode};
+
+const HELP: &str = "\
+commands:
+  ontologies                         list registered ontologies
+  tree <ontology>                    show the concept hierarchy pane
+  meta <ontology>                    show the metadata pane
+  stats <ontology>                   show the structural statistics pane
+  concept <ontology> <name>          show the concept detail pane
+  measures                           list similarity measures
+  sim <o1> <c1> <o2> <c2> <measure>  similarity of two concepts
+  top <k> <ontology> <concept> <measure>      k most similar (Similarity Tab)
+  bottom <k> <ontology> <concept> <measure>   k most dissimilar
+  query <SOQA-QL>                    run a SOQA-QL query
+  help                               this text
+  quit                               leave the browser
+";
+
+fn run_command(sst: &SstToolkit, line: &str) -> String {
+    let mut parts = line.split_whitespace();
+    let Some(cmd) = parts.next() else {
+        return String::new();
+    };
+    let args: Vec<&str> = parts.collect();
+    let result = match (cmd, args.as_slice()) {
+        ("ontologies", []) => Ok(sst
+            .soqa()
+            .ontology_names()
+            .iter()
+            .map(|n| {
+                let o = sst.soqa().ontology(n).unwrap();
+                format!(
+                    "{n} [{}] — {} concepts",
+                    o.metadata.language,
+                    o.concept_count()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")),
+        ("tree", [ontology]) => sst.render_ontology_tree(ontology).map_err(|e| e.to_string()),
+        ("meta", [ontology]) => sst.render_metadata(ontology).map_err(|e| e.to_string()),
+        ("stats", [ontology]) => sst
+            .soqa()
+            .ontology(ontology)
+            .map(|o| sst_soqa::ontology_stats(o).render())
+            .map_err(|e| e.to_string()),
+        ("concept", [ontology, name]) => {
+            sst.render_concept(name, ontology).map_err(|e| e.to_string())
+        }
+        ("measures", []) => Ok(sst
+            .measures()
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                format!(
+                    "{i:>2}  {:<16} {:<22} [{}]{}",
+                    info.name,
+                    info.display,
+                    info.kind,
+                    if info.normalized { "" } else { "  (unnormalized)" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")),
+        ("sim", [o1, c1, o2, c2, measure]) => sst
+            .measure_id(measure)
+            .and_then(|mid| sst.get_similarity(c1, o1, c2, o2, mid))
+            .map(|v| format!("sim({o1}:{c1}, {o2}:{c2}) = {v:.4}"))
+            .map_err(|e| e.to_string()),
+        ("top", [k, ontology, concept, measure]) | ("bottom", [k, ontology, concept, measure]) => {
+            (|| {
+                let k: usize = k.parse().map_err(|_| "k must be a number".to_owned())?;
+                let mid = sst.measure_id(measure).map_err(|e| e.to_string())?;
+                let rows = if cmd == "top" {
+                    sst.most_similar(concept, ontology, &ConceptSet::All, k, mid)
+                } else {
+                    sst.most_dissimilar(concept, ontology, &ConceptSet::All, k, mid)
+                }
+                .map_err(|e| e.to_string())?;
+                Ok(rows
+                    .iter()
+                    .map(|r| {
+                        format!("  {:<44} {:.4}", format!("{}:{}", r.ontology, r.concept), r.similarity)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            })()
+        }
+        ("query", _) if !args.is_empty() => {
+            let q = line.trim_start_matches("query").trim();
+            sst.query(q).map(|t| t.to_ascii()).map_err(|e| e.to_string())
+        }
+        ("help", _) => Ok(HELP.to_owned()),
+        _ => Err(format!("unknown command `{line}` — try `help`")),
+    };
+    match result {
+        Ok(text) => text,
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// The scripted tour reproducing Figure 6: survey the ontologies, then use
+/// the Similarity Tab to compute the k most similar concepts for
+/// `univ-bench_owl:Person` under TFIDF.
+fn demo(sst: &SstToolkit) {
+    let script = [
+        "ontologies".to_owned(),
+        format!("meta {}", names::COURSES),
+        format!("stats {}", names::SUMO),
+        format!("concept {} Professor", names::DAML_UNIV),
+        "measures".to_owned(),
+        format!("top 10 {} Person tfidf", names::UNIV_BENCH),
+        format!(
+            "query SELECT name, depth FROM concepts OF '{}' WHERE name LIKE 'P%' ORDER BY depth",
+            names::UNIV_BENCH
+        ),
+    ];
+    for cmd in script {
+        println!("sst-browser> {cmd}");
+        println!("{}\n", run_command(sst, &cmd));
+    }
+    // Fig. 6's result table is the `top` output above.
+    let chart = sst
+        .most_similar_plot(
+            "Person",
+            names::UNIV_BENCH,
+            &ConceptSet::Subtree(ConceptRef::new("Thing", names::UNIV_BENCH)),
+            5,
+            sst.measure_id("tfidf").unwrap(),
+        )
+        .expect("plot");
+    println!("{}", chart.to_ascii(44));
+}
+
+fn main() {
+    let sst = load_corpus(TreeMode::SuperThing, true);
+    if std::env::args().any(|a| a == "--demo") {
+        demo(&sst);
+        return;
+    }
+    println!(
+        "SOQA-SimPack Toolkit Browser — {} ontologies, {} concepts. Type `help`.",
+        sst.soqa().ontology_count(),
+        sst.soqa().total_concept_count()
+    );
+    let stdin = io::stdin();
+    loop {
+        print!("sst-browser> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if !line.is_empty() {
+            println!("{}", run_command(&sst, line));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-language ontology converter: read any supported ontology file
+//! (OWL, DAML, PowerLoom, WordNet) through its SOQA wrapper and write it
+//! back as OWL — in RDF/XML, Turtle, or N-Triples. The "semantics-aware
+//! universal data management" utility built from the workspace's pieces.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p sst-examples --bin convert -- data/ontologies/course.ploom
+//! cargo run -p sst-examples --bin convert -- data/ontologies/univ1.0.daml --format turtle
+//! cargo run -p sst-examples --bin convert -- data/wordnet/data.noun --format ntriples -o /tmp/wn.nt
+//! ```
+
+use std::path::PathBuf;
+
+use sst_soqa::{ontology_stats, ontology_to_graph};
+use sst_wrappers::WrapperRegistry;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: convert <ontology-file> [--format rdfxml|turtle|ntriples] [-o <output-file>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let input = PathBuf::from(&args[0]);
+    let mut format = "rdfxml".to_owned();
+    let mut output: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" if i + 1 < args.len() => {
+                format = args[i + 1].clone();
+                i += 2;
+            }
+            "-o" if i + 1 < args.len() => {
+                output = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let registry = WrapperRegistry::new();
+    let base = format!(
+        "http://example.org/converted/{}",
+        input.file_stem().and_then(|s| s.to_str()).unwrap_or("ontology")
+    );
+    let ontology = match registry.load_file(&input, None, &base) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "read {} [{}]: {} concepts, {} attributes, {} relationships, {} instances",
+        ontology.name(),
+        ontology.metadata.language,
+        ontology.concept_count(),
+        ontology.attributes().len(),
+        ontology.relationships().len(),
+        ontology.instances().len()
+    );
+    eprintln!("{}", ontology_stats(&ontology).render());
+
+    let graph = ontology_to_graph(&ontology, &base);
+    let text = match format.as_str() {
+        "rdfxml" | "owl" | "xml" => sst_rdf::write_rdfxml(&graph),
+        "turtle" | "ttl" => sst_rdf::write_turtle(&graph),
+        "ntriples" | "nt" => sst_rdf::write_ntriples(&graph),
+        other => {
+            eprintln!("unknown format `{other}`");
+            std::process::exit(2);
+        }
+    };
+    match output {
+        Some(path) => {
+            std::fs::write(&path, text).expect("write output");
+            eprintln!("wrote {} ({} triples)", path.display(), graph.len());
+        }
+        None => print!("{text}"),
+    }
+}

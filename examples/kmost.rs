@@ -1,0 +1,103 @@
+//! k-most-similar / k-most-dissimilar from the command line, over any of
+//! the corpus ontologies and any registered measure — a thin CLI over the
+//! paper's (S2) service, including chart output.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p sst-examples --bin kmost -- base1_0_daml Professor
+//! cargo run -p sst-examples --bin kmost -- univ-bench_owl Person --measure lin -k 5
+//! cargo run -p sst-examples --bin kmost -- COURSES STUDENT --dissimilar --chart
+//! ```
+
+use sst_bench::load_corpus;
+use sst_core::{ConceptSet, TreeMode};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kmost <ontology> <concept> [--measure <name>] [-k <n>] [--dissimilar] [--chart]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let ontology = &args[0];
+    let concept = &args[1];
+    let mut measure_name = "tfidf".to_owned();
+    let mut k = 10usize;
+    let mut dissimilar = false;
+    let mut chart_output = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--measure" if i + 1 < args.len() => {
+                measure_name = args[i + 1].clone();
+                i += 2;
+            }
+            "-k" if i + 1 < args.len() => {
+                k = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--dissimilar" => {
+                dissimilar = true;
+                i += 1;
+            }
+            "--chart" => {
+                chart_output = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    let sst = load_corpus(TreeMode::SuperThing, true);
+    let measure = match sst.measure_id(&measure_name) {
+        Ok(id) => id,
+        Err(_) => {
+            eprintln!(
+                "unknown measure `{measure_name}`; available: {}",
+                sst.measures()
+                    .iter()
+                    .map(|info| info.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let result = if dissimilar {
+        sst.most_dissimilar(concept, ontology, &ConceptSet::All, k, measure)
+    } else {
+        sst.most_similar(concept, ontology, &ConceptSet::All, k, measure)
+    };
+    let rows = match result {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if chart_output {
+        let chart = sst
+            .most_similar_plot(concept, ontology, &ConceptSet::All, k, measure)
+            .expect("chart");
+        println!("{}", chart.to_ascii(48));
+    } else {
+        let direction = if dissimilar { "dissimilar" } else { "similar" };
+        println!(
+            "The {k} most {direction} concepts for {ontology}:{concept} ({measure_name}):"
+        );
+        for row in rows {
+            println!(
+                "  {:<46} {:.4}",
+                format!("{}:{}", row.ontology, row.concept),
+                row.similarity
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Quickstart: load two ontologies written in *different* ontology
+//! languages, compute similarities between their concepts under several
+//! measures, and render a comparison chart — the toolkit's elevator pitch.
+//!
+//! Run with: `cargo run -p sst-examples --bin quickstart`
+
+use sst_core::{measure_ids as m, ConceptSet, SstBuilder};
+use sst_wrappers::{parse_owl, parse_powerloom};
+
+const UNIVERSITY_OWL: &str = r##"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/university">
+  <owl:Class rdf:ID="Person">
+    <rdfs:comment>Any human being at the university.</rdfs:comment>
+  </owl:Class>
+  <owl:Class rdf:ID="Student">
+    <rdfs:comment>A person enrolled for study.</rdfs:comment>
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </owl:Class>
+  <owl:Class rdf:ID="Professor">
+    <rdfs:comment>A person who teaches courses and conducts research.</rdfs:comment>
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </owl:Class>
+  <owl:DatatypeProperty rdf:ID="name">
+    <rdfs:domain rdf:resource="#Person"/>
+    <rdfs:range rdf:resource="http://www.w3.org/2001/XMLSchema#string"/>
+  </owl:DatatypeProperty>
+</rdf:RDF>"##;
+
+const COURSES_PLOOM: &str = r#"
+(defmodule "MINI-COURSES" :documentation "A minimal course ontology.")
+(in-module "MINI-COURSES")
+(defconcept PERSON :documentation "A human being in course administration.")
+(defconcept STUDENT (?s PERSON) :documentation "A person attending courses for study.")
+(defconcept LECTURER (?l PERSON) :documentation "A person who teaches and lectures courses.")
+(defrelation full-name ((?p PERSON) (?n STRING)))
+"#;
+
+fn main() {
+    // 1. Parse each source with its language wrapper — this is all the
+    //    language-specific code you will ever see.
+    let owl = parse_owl(UNIVERSITY_OWL, "university_owl", "http://example.org/university")
+        .expect("parse OWL");
+    let ploom = parse_powerloom(COURSES_PLOOM, "MINI-COURSES").expect("parse PowerLoom");
+
+    // 2. Build the toolkit: one unified tree under Super Thing.
+    let sst = SstBuilder::new()
+        .register_ontology(owl)
+        .expect("register OWL ontology")
+        .register_ontology(ploom)
+        .expect("register PowerLoom ontology")
+        .build();
+
+    println!("Registered ontologies: {:?}", sst.soqa().ontology_names());
+    println!("Available measures:    {}\n", sst.measure_count());
+
+    // 3. (S1) Pairwise similarity — across ontology languages.
+    for measure in [
+        m::CONCEPTUAL_SIMILARITY_MEASURE,
+        m::SHORTEST_PATH_MEASURE,
+        m::TFIDF_MEASURE,
+        m::LEVENSHTEIN_MEASURE,
+    ] {
+        let info = sst.measure_info(measure).unwrap();
+        let sim = sst
+            .get_similarity("Student", "university_owl", "STUDENT", "MINI-COURSES", measure)
+            .expect("similarity");
+        println!("sim(university_owl:Student, MINI-COURSES:STUDENT) [{:<22}] = {sim:.4}",
+                 info.display);
+    }
+
+    // 4. (S2) The most similar concepts anywhere for the OWL Professor.
+    let ranked = sst
+        .most_similar("Professor", "university_owl", &ConceptSet::All, 4, m::TFIDF_MEASURE)
+        .expect("most similar");
+    println!("\nMost similar to university_owl:Professor (TFIDF):");
+    for row in &ranked {
+        println!("  {:<28} {:.4}", format!("{}:{}", row.ontology, row.concept), row.similarity);
+    }
+
+    // 5. (S3) A chart comparing two concepts under several measures.
+    let chart = sst
+        .similarity_plot(
+            "Professor",
+            "university_owl",
+            "LECTURER",
+            "MINI-COURSES",
+            &[
+                m::CONCEPTUAL_SIMILARITY_MEASURE,
+                m::SHORTEST_PATH_MEASURE,
+                m::TFIDF_MEASURE,
+            ],
+        )
+        .expect("plot");
+    println!("\n{}", chart.to_ascii(40));
+}

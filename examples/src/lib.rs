@@ -1,0 +1,2 @@
+//! Shared helpers for the SST examples (corpus loading lives in
+//! `sst-bench::corpus`; this crate only hosts the example binaries).

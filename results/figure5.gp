@@ -1,0 +1,9 @@
+set title "The 10 most similar concepts for base1_0_daml:Professor (TFIDF)"
+set ylabel "similarity"
+set style fill solid 0.8
+set boxwidth 0.7
+set xtics rotate by -45
+set yrange [0:*]
+set terminal png size 900,520
+set output "figure5.png"
+plot "figure5.dat" using 1:3:xtic(2) with boxes notitle

@@ -1,0 +1,152 @@
+//! Cross-language ontology conversion through the full stack: PowerLoom →
+//! SOQA meta model → RDF graph → OWL (RDF/XML) → OWL wrapper → SOQA again.
+//! The "semantics-aware universal data management" pipeline built from the
+//! pieces this workspace provides.
+
+use sst_bench::data_dir;
+use sst_core::{measure_ids as m, SstBuilder};
+use sst_rdf::select;
+use sst_soqa::ontology_to_graph;
+use sst_wrappers::{parse_owl, parse_powerloom};
+
+const BASE: &str = "http://example.org/converted/courses";
+
+fn converted_courses() -> (sst_soqa::Ontology, sst_soqa::Ontology) {
+    let source = std::fs::read_to_string(data_dir().join("ontologies/course.ploom"))
+        .expect("course.ploom");
+    let original = parse_powerloom(&source, "COURSES").expect("powerloom parse");
+    let graph = ontology_to_graph(&original, BASE);
+    let owl_text = sst_rdf::write_rdfxml(&graph);
+    let roundtripped = parse_owl(&owl_text, "COURSES_OWL", BASE).expect("owl reparse");
+    (original, roundtripped)
+}
+
+#[test]
+fn conversion_preserves_concepts_and_hierarchy() {
+    let (original, converted) = converted_courses();
+    // The OWL side gains the implicit owl:Thing root.
+    assert_eq!(converted.concept_count(), original.concept_count() + 1);
+    for cid in original.concept_ids() {
+        let concept = original.concept(cid);
+        let converted_id = converted
+            .concept_by_name(&concept.name)
+            .unwrap_or_else(|| panic!("lost concept {}", concept.name));
+        // Direct supers survive (names compared; Thing is added for roots).
+        let original_supers: Vec<&str> = original
+            .direct_supers(cid)
+            .iter()
+            .map(|&s| original.concept(s).name.as_str())
+            .collect();
+        let converted_supers: Vec<&str> = converted
+            .direct_supers(converted_id)
+            .iter()
+            .map(|&s| converted.concept(s).name.as_str())
+            .collect();
+        for sup in original_supers {
+            assert!(converted_supers.contains(&sup), "{} lost super {sup}", concept.name);
+        }
+    }
+}
+
+#[test]
+fn conversion_preserves_documentation_and_attributes() {
+    let (original, converted) = converted_courses();
+    let student = original.concept_by_name("STUDENT").unwrap();
+    let converted_student = converted.concept_by_name("STUDENT").unwrap();
+    assert_eq!(
+        original.concept(student).documentation,
+        converted.concept(converted_student).documentation
+    );
+    // full-name attribute survives as a datatype property on PERSON.
+    let person = converted.concept_by_name("PERSON").unwrap();
+    let attrs: Vec<&str> = converted.concept(person)
+        .attributes
+        .iter()
+        .map(|&a| converted.attribute(a).name.as_str())
+        .collect();
+    assert!(attrs.contains(&"full-name"), "attributes: {attrs:?}");
+}
+
+#[test]
+fn converted_ontology_is_similarity_comparable_with_the_original() {
+    let (original, converted) = converted_courses();
+    let sst = SstBuilder::new()
+        .register_ontology(original)
+        .unwrap()
+        .register_ontology(converted)
+        .unwrap()
+        .build();
+    // A concept should recognize its converted twin with high TFIDF score.
+    let sim = sst
+        .get_similarity("STUDENT", "COURSES", "STUDENT", "COURSES_OWL", m::TFIDF_MEASURE)
+        .unwrap();
+    assert!(sim > 0.9, "converted twin should be near-identical, got {sim}");
+    // And the twin ranks first among all converted concepts.
+    let top = sst
+        .most_similar(
+            "STUDENT",
+            "COURSES",
+            &sst_core::ConceptSet::Subtree(sst_core::ConceptRef::new("Thing", "COURSES_OWL")),
+            1,
+            m::TFIDF_MEASURE,
+        )
+        .unwrap();
+    assert_eq!(top[0].concept, "STUDENT");
+}
+
+#[test]
+fn sparql_inspects_the_exported_graph() {
+    let source = std::fs::read_to_string(data_dir().join("ontologies/course.ploom"))
+        .expect("course.ploom");
+    let original = parse_powerloom(&source, "COURSES").expect("powerloom parse");
+    let graph = ontology_to_graph(&original, BASE);
+
+    // All classes.
+    let classes = select(&graph, "SELECT ?c WHERE { ?c a owl:Class . }").expect("sparql");
+    assert_eq!(classes.len(), original.concept_count());
+
+    // Subclasses of PERSON through a join + filter.
+    let rows = select(
+        &graph,
+        &format!(
+            "PREFIX c: <{BASE}#>\n\
+             SELECT ?sub WHERE {{ ?sub rdfs:subClassOf c:PERSON . ?sub a owl:Class . }}"
+        ),
+    )
+    .expect("sparql");
+    assert_eq!(rows.len(), original.direct_subs(original.concept_by_name("PERSON").unwrap()).len());
+
+    // RDFS closure makes the indirect subclasses visible too.
+    let closed = sst_rdf::rdfs_closure(&graph, sst_rdf::InferenceOptions::default());
+    let rows = select(
+        &closed,
+        &format!(
+            "PREFIX c: <{BASE}#>\nSELECT ?sub WHERE {{ ?sub rdfs:subClassOf c:PERSON . }}"
+        ),
+    )
+    .expect("sparql");
+    let person = original.concept_by_name("PERSON").unwrap();
+    assert_eq!(rows.len(), original.all_subs(person).len());
+}
+
+#[test]
+fn diff_of_conversion_roundtrip_shows_only_the_thing_root() {
+    let (original, converted) = converted_courses();
+    let diff = sst_soqa::diff_ontologies(&original, &converted);
+    // Concept-level: only the implicit owl:Thing was added, plus the former
+    // roots now hang under it (re-parenting of root concepts).
+    assert!(diff
+        .concept_changes
+        .contains(&sst_soqa::ConceptChange::Added("Thing".into())));
+    for change in &diff.concept_changes {
+        match change {
+            sst_soqa::ConceptChange::Added(n) => assert_eq!(n, "Thing"),
+            sst_soqa::ConceptChange::Reparented { before, .. } => {
+                assert!(before.is_empty(), "only former roots may be re-parented");
+            }
+            other => panic!("unexpected change {other:?}"),
+        }
+    }
+    assert!(diff.attributes_removed.is_empty());
+    assert!(diff.instances_removed.is_empty());
+}

@@ -1,0 +1,159 @@
+//! Correctness side of the design-choice ablations indexed in DESIGN.md:
+//! A1 (the Eq. 4 cost-model constraint), A2 (IC probability sources), and
+//! the Figure 3 tree-mode comparison on the full corpus.
+
+use sst_bench::{load_corpus, names};
+use sst_core::{measure_ids as m, TreeMode};
+use sst_simpack::{
+    lin_similarity, resnik_similarity, sequence_similarity, xform, CostModel,
+    InformationContent, Taxonomy,
+};
+
+// ---- A1: cost model --------------------------------------------------------
+
+/// The paper argues c(delete)+c(insert) ≥ c(replace). When violated, the
+/// DP never uses replacements, so differing tokens cost 2 instead of 1 and
+/// the normalization (replace-based worst case) can report *negative*
+/// similarity before clamping — i.e. the measure degenerates.
+#[test]
+fn violating_the_cost_constraint_degenerates_the_measure() {
+    let x = ["a", "b", "c", "d"];
+    let y = ["e", "f", "g", "h"];
+    let ok = CostModel::UNIT;
+    let bad = CostModel::unchecked(1.0, 1.0, 3.0);
+    // Under unit costs the all-different pair sits exactly at similarity 0.
+    assert_eq!(sequence_similarity(&x, &y, ok), 0.0);
+    // Under the violating model the raw distance (8: delete+insert each
+    // token) still *exceeds* the "worst case" (12 = 4 replacements), so the
+    // normalized value only survives because of clamping.
+    assert_eq!(xform(&x, &y, bad), 8.0);
+    assert!(xform(&x, &y, bad) < 12.0, "worst case no longer bounds reality");
+    // And partial overlaps are distorted: a sequence sharing half its
+    // tokens scores the same as under unit costs *scaled differently*.
+    let z = ["a", "b", "g", "h"];
+    let sim_ok = sequence_similarity(&x, &z, ok);
+    let sim_bad = sequence_similarity(&x, &z, bad);
+    assert!((sim_ok - 0.5).abs() < 1e-12);
+    assert!(sim_bad > sim_ok, "violating model inflates similarity: {sim_bad}");
+}
+
+#[test]
+fn checked_constructor_rejects_violations() {
+    assert!(CostModel::new(1.0, 1.0, 2.0).is_ok());
+    assert!(CostModel::new(0.7, 0.7, 1.5).is_err());
+}
+
+// ---- A2: IC probability sources --------------------------------------------
+
+/// With a populated instance corpus the two probability sources disagree;
+/// Lin under instance counts tracks usage, under subclass counts tracks
+/// schema shape.
+#[test]
+fn instance_and_subclass_probabilities_rank_differently() {
+    // 0=root, 1=A, 2=B (A and B siblings), 3=A1, 4=A2 (children of A).
+    let mut t = Taxonomy::new(5, 0);
+    t.add_edge(1, 0);
+    t.add_edge(2, 0);
+    t.add_edge(3, 1);
+    t.add_edge(4, 1);
+    // Instances concentrated under B.
+    let counts = [0usize, 1, 90, 1, 1];
+    let by_instances = InformationContent::from_instances(&t, &counts);
+    let by_subclasses = InformationContent::from_subclasses(&t);
+    // B is instance-heavy → low IC under instances, but schema-light → high
+    // IC under subclass counts.
+    assert!(by_instances.ic(2) < by_subclasses.ic(2));
+    // Resnik(A1, A2) differs across the corpora.
+    let r_inst = resnik_similarity(&t, &by_instances, 3, 4);
+    let r_sub = resnik_similarity(&t, &by_subclasses, 3, 4);
+    assert!((r_inst - r_sub).abs() > 0.1, "{r_inst} vs {r_sub}");
+    // Lin stays within bounds under both.
+    for ic in [&by_instances, &by_subclasses] {
+        let v = lin_similarity(&t, ic, 3, 4);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}
+
+/// The corpus's instance space is sparse (only the PowerLoom ontology has
+/// instances), so the default configuration must fall back to subclass
+/// counts — otherwise Resnik's self-IC explodes toward −log₂ ε.
+#[test]
+fn sparse_corpus_falls_back_to_subclass_counts() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let resnik_self = sst
+        .get_similarity(
+            "Professor",
+            names::DAML_UNIV,
+            "Professor",
+            names::DAML_UNIV,
+            m::RESNIK_MEASURE,
+        )
+        .unwrap();
+    // Subclass-count IC is bounded by log₂(total concepts) ≈ 9.9 bits.
+    assert!(
+        resnik_self > 1.0 && resnik_self < 10.0,
+        "expected subclass-count IC, got {resnik_self}"
+    );
+}
+
+// ---- Figure 3 on the full corpus -------------------------------------------
+
+/// Under the merged-Thing tree the five ontologies' root concepts collapse,
+/// pulling cross-ontology concepts closer: the distance-based similarity
+/// between a DAML Professor and a SUMO Human increases, blurring domains.
+#[test]
+fn merged_thing_inflates_cross_ontology_similarity() {
+    let super_thing = load_corpus(TreeMode::SuperThing, false);
+    let merged = load_corpus(TreeMode::MergedThing, false);
+    let pair = ("Professor", names::DAML_UNIV, "Human", names::SUMO);
+    let sim = |sst: &sst_core::SstToolkit| {
+        sst.get_similarity(pair.0, pair.1, pair.2, pair.3, m::SHORTEST_PATH_MEASURE)
+            .unwrap()
+    };
+    let separated = sim(&super_thing);
+    let blurred = sim(&merged);
+    assert!(
+        blurred > separated,
+        "merged tree should shorten cross-ontology paths: {blurred} vs {separated}"
+    );
+    // In-ontology similarities are untouched by the join mode.
+    let in_onto = |sst: &sst_core::SstToolkit| {
+        sst.get_similarity(
+            "Professor",
+            names::DAML_UNIV,
+            "Student",
+            names::DAML_UNIV,
+            m::SHORTEST_PATH_MEASURE,
+        )
+        .unwrap()
+    };
+    assert!((in_onto(&super_thing) - in_onto(&merged)).abs() < 1e-12);
+}
+
+/// The merged tree also loses nodes (the collapsed per-ontology roots).
+#[test]
+fn merged_tree_has_fewer_nodes() {
+    let super_thing = load_corpus(TreeMode::SuperThing, false);
+    let merged = load_corpus(TreeMode::MergedThing, false);
+    assert!(merged.tree().node_count() < super_thing.tree().node_count());
+}
+
+/// E1 smoke test: on a lightly perturbed copy, the text measure must beat
+/// the cross-ontology graph measures at re-identification (the headline
+/// of the measure-evaluation experiment).
+#[test]
+fn measure_eval_text_beats_graph_for_reidentification() {
+    let results = sst_bench::evaluate_measures(50, 0.3, 10, 7);
+    let p = |measure: &str, domain: &str| {
+        results
+            .iter()
+            .find(|r| r.measure == measure && r.perturbation == domain)
+            .map(|r| r.precision_at_1)
+            .unwrap()
+    };
+    assert!(p("tfidf", "names") > 0.7, "tfidf: {}", p("tfidf", "names"));
+    assert!(p("jaro_winkler", "names") > 0.7);
+    // Graph measures cannot single out the twin across two ontologies.
+    assert!(p("wu_palmer", "names") < 0.5);
+    assert!(p("tfidf", "names") > p("wu_palmer", "names"));
+}

@@ -1,0 +1,241 @@
+//! End-to-end integration: the paper's five-ontology scenario driven
+//! through every layer (wrappers → SOQA → unified tree → runners →
+//! services), asserting the qualitative shape of Table 1 and Figure 5.
+
+use sst_bench::{load_corpus, names, PAPER_CONCEPT_COUNT};
+use sst_core::{measure_ids as m, ConceptRef, ConceptSet, SstToolkit, TreeMode};
+
+fn corpus() -> SstToolkit {
+    load_corpus(TreeMode::SuperThing, false)
+}
+
+#[test]
+fn the_scenario_matches_the_paper_setup() {
+    let sst = corpus();
+    assert_eq!(sst.soqa().ontology_count(), 5);
+    assert_eq!(sst.soqa().total_concept_count(), PAPER_CONCEPT_COUNT);
+    // Unified tree has one extra node: Super Thing.
+    assert_eq!(sst.tree().node_count(), PAPER_CONCEPT_COUNT + 1);
+}
+
+/// Table 1's qualitative shape, row by row.
+#[test]
+fn table1_shape_holds() {
+    let sst = corpus();
+    let q = ("Professor", names::DAML_UNIV);
+    let rows = [
+        ("Professor", names::DAML_UNIV),
+        ("AssistantProfessor", names::UNIV_BENCH),
+        ("EMPLOYEE", names::COURSES),
+        ("Human", names::SUMO),
+        ("Mammal", names::SUMO),
+    ];
+    let measures = [
+        m::CONCEPTUAL_SIMILARITY_MEASURE,
+        m::LEVENSHTEIN_MEASURE,
+        m::LIN_MEASURE,
+        m::RESNIK_MEASURE,
+        m::SHORTEST_PATH_MEASURE,
+        m::TFIDF_MEASURE,
+    ];
+    let table: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|&(c, o)| sst.get_similarities(q.0, q.1, c, o, &measures).unwrap())
+        .collect();
+
+    // Self row: every normalized measure is 1; Resnik is unnormalized ≫ 1.
+    for (i, &measure) in measures.iter().enumerate() {
+        if measure == m::RESNIK_MEASURE {
+            assert!(table[0][i] > 1.0, "Resnik self-similarity is information content");
+        } else {
+            assert!((table[0][i] - 1.0).abs() < 1e-9, "measure {measure} self-sim");
+        }
+    }
+    // Lin and Resnik collapse to exactly 0 across ontologies (the common
+    // subsumer is Super Thing with p = 1).
+    for row in &table[1..] {
+        assert_eq!(row[2], 0.0, "Lin cross-ontology");
+        assert_eq!(row[3], 0.0, "Resnik cross-ontology");
+    }
+    // Cross-ontology rows are far below the self row on every normalized
+    // measure.
+    for row in &table[1..] {
+        for (i, &measure) in measures.iter().enumerate() {
+            if measure == m::RESNIK_MEASURE {
+                continue;
+            }
+            assert!(row[i] < 0.5, "cross-ontology should stay low, got {}", row[i]);
+        }
+    }
+    // TFIDF orders AssistantProfessor ≫ EMPLOYEE ≫ {Human, Mammal}, as in
+    // the paper.
+    let tfidf: Vec<f64> = table.iter().map(|r| r[5]).collect();
+    assert!(tfidf[1] > tfidf[2] && tfidf[2] > tfidf[3].max(tfidf[4]));
+}
+
+/// Figure 5: the ten most similar concepts for base1_0_daml:Professor are
+/// led by Professor itself and dominated by professor/faculty concepts.
+#[test]
+fn figure5_ranking_shape_holds() {
+    let sst = corpus();
+    let top = sst
+        .most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10, m::TFIDF_MEASURE)
+        .unwrap();
+    assert_eq!(top.len(), 10);
+    assert_eq!(top[0].concept, "Professor");
+    assert_eq!(top[0].ontology, names::DAML_UNIV);
+    assert!((top[0].similarity - 1.0).abs() < 1e-9);
+    // Descending order.
+    for w in top.windows(2) {
+        assert!(w[0].similarity >= w[1].similarity);
+    }
+    // At least half the list is professor/faculty-ish, and it spans
+    // multiple ontologies (the whole point of the unified tree).
+    let relevant = top
+        .iter()
+        .filter(|r| {
+            let lower = r.concept.to_lowercase();
+            lower.contains("prof") || lower.contains("faculty") || lower.contains("lectur")
+        })
+        .count();
+    assert!(relevant >= 5, "only {relevant} relevant concepts in the top 10");
+    let ontologies: std::collections::HashSet<&str> =
+        top.iter().map(|r| r.ontology.as_str()).collect();
+    assert!(ontologies.len() >= 3, "top-10 should span ontologies");
+}
+
+#[test]
+fn most_dissimilar_is_the_reverse_service() {
+    let sst = corpus();
+    let bottom = sst
+        .most_dissimilar(
+            "Professor",
+            names::DAML_UNIV,
+            &ConceptSet::All,
+            5,
+            m::CONCEPTUAL_SIMILARITY_MEASURE,
+        )
+        .unwrap();
+    let top = sst
+        .most_similar(
+            "Professor",
+            names::DAML_UNIV,
+            &ConceptSet::All,
+            5,
+            m::CONCEPTUAL_SIMILARITY_MEASURE,
+        )
+        .unwrap();
+    assert!(bottom[0].similarity <= top[4].similarity);
+    for w in bottom.windows(2) {
+        assert!(w[0].similarity <= w[1].similarity);
+    }
+}
+
+#[test]
+fn subtree_concept_sets_restrict_the_search() {
+    let sst = corpus();
+    let subtree = ConceptSet::Subtree(ConceptRef::new("Person", names::UNIV_BENCH));
+    let rows = sst
+        .similarity_to_set("Professor", names::DAML_UNIV, &subtree, m::TFIDF_MEASURE)
+        .unwrap();
+    assert!(!rows.is_empty());
+    assert!(rows.iter().all(|r| r.ontology == names::UNIV_BENCH));
+    // The subtree under univ-bench Person: Person + its 20 descendants.
+    assert_eq!(rows.len(), 21);
+}
+
+#[test]
+fn freely_composed_lists_work_across_ontologies() {
+    let sst = corpus();
+    let list = ConceptSet::List(vec![
+        ConceptRef::new("EMPLOYEE", names::COURSES),
+        ConceptRef::new("Employee", names::SWRC),
+        ConceptRef::new("Employee", names::UNIV_BENCH),
+    ]);
+    let rows = sst
+        .similarity_to_set("Employee", names::DAML_UNIV, &list, m::TFIDF_MEASURE)
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r.similarity > 0.0));
+}
+
+#[test]
+fn every_measure_satisfies_basic_invariants_on_the_corpus() {
+    let sst = corpus();
+    let pairs = [
+        ("Professor", names::DAML_UNIV, "Student", names::DAML_UNIV),
+        ("Professor", names::DAML_UNIV, "Human", names::SUMO),
+        ("STUDENT", names::COURSES, "Person", names::SWRC),
+    ];
+    for (id, info) in sst.measures().into_iter().enumerate() {
+        for &(c1, o1, c2, o2) in &pairs {
+            let ab = sst.get_similarity(c1, o1, c2, o2, id).unwrap();
+            let ba = sst.get_similarity(c2, o2, c1, o1, id).unwrap();
+            // Symmetry (all default runners are symmetric).
+            assert!((ab - ba).abs() < 1e-9, "{} not symmetric on {c1}/{c2}", info.name);
+            assert!(ab.is_finite());
+            assert!(ab >= 0.0, "{} produced a negative score", info.name);
+            if info.normalized {
+                assert!(ab <= 1.0 + 1e-9, "{} exceeded 1: {ab}", info.name);
+            }
+        }
+        // Identity: self-similarity is maximal for normalized measures.
+        let self_sim = sst
+            .get_similarity("Professor", names::DAML_UNIV, "Professor", names::DAML_UNIV, id)
+            .unwrap();
+        if info.normalized {
+            assert!((self_sim - 1.0).abs() < 1e-9, "{} self-sim = {self_sim}", info.name);
+        }
+    }
+}
+
+#[test]
+fn similarity_plot_and_chart_pipeline() {
+    let sst = corpus();
+    let chart = sst
+        .similarity_plot(
+            "Professor",
+            names::DAML_UNIV,
+            "AssistantProfessor",
+            names::UNIV_BENCH,
+            &[m::CONCEPTUAL_SIMILARITY_MEASURE, m::TFIDF_MEASURE, m::LIN_MEASURE],
+        )
+        .unwrap();
+    assert_eq!(chart.bars.len(), 3);
+    let ascii = chart.to_ascii(30);
+    assert!(ascii.contains("TFIDF"));
+    let artifacts = chart.to_gnuplot("t");
+    assert!(artifacts.script.contains("plot"));
+    assert_eq!(artifacts.data.lines().count(), 3);
+}
+
+#[test]
+fn similarity_matrix_is_symmetric_with_unit_diagonal() {
+    let sst = corpus();
+    let set = ConceptSet::Subtree(ConceptRef::new("Publication", names::SWRC));
+    let (labels, matrix) =
+        sst.similarity_matrix(&set, m::CONCEPTUAL_SIMILARITY_MEASURE).unwrap();
+    assert_eq!(labels.len(), matrix.len());
+    for (i, row) in matrix.iter().enumerate() {
+        assert!((row[i] - 1.0).abs() < 1e-9);
+        for (j, &v) in row.iter().enumerate() {
+            assert!((v - matrix[j][i]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let sst = corpus();
+    assert!(sst.get_similarity("Nope", names::DAML_UNIV, "Professor", names::DAML_UNIV, 0).is_err());
+    assert!(sst.get_similarity("Professor", "missing_onto", "Professor", names::DAML_UNIV, 0).is_err());
+    assert!(sst
+        .get_similarity("Professor", names::DAML_UNIV, "Professor", names::DAML_UNIV, 999)
+        .is_err());
+    assert!(sst.measure_id("not_a_measure").is_err());
+    assert!(sst
+        .most_similar("Professor", names::DAML_UNIV, &ConceptSet::List(vec![
+            ConceptRef::new("Ghost", names::SUMO)
+        ]), 3, 0)
+        .is_err());
+}

@@ -1,0 +1,162 @@
+//! The paper's extension points, exercised end to end: registering a
+//! supplementary `MeasureRunner` (including a *combined* measure, §5's
+//! future work) and plugging a new "language" in through the SOQA meta
+//! model.
+
+use sst_core::{
+    measure_ids as m, ConceptSet, MeasureRunner, RunnerInfo, SimilarityContext, SstBuilder,
+};
+use sst_simpack::MeasureKind;
+use sst_soqa::{GlobalConcept, OntologyBuilder, OntologyMetadata};
+
+fn tiny_ontology(name: &str) -> sst_soqa::Ontology {
+    let mut b = OntologyBuilder::new(OntologyMetadata {
+        name: name.into(),
+        language: "Test".into(),
+        ..OntologyMetadata::default()
+    });
+    let thing = b.concept("Thing");
+    let person = b.concept("Person");
+    let student = b.concept("Student");
+    let professor = b.concept("Professor");
+    b.add_subclass(person, thing);
+    b.add_subclass(student, person);
+    b.add_subclass(professor, person);
+    b.build()
+}
+
+/// A user-supplied measure: exact-name equality.
+#[derive(Debug)]
+struct NameEqualityRunner;
+
+impl MeasureRunner for NameEqualityRunner {
+    fn info(&self) -> RunnerInfo {
+        RunnerInfo {
+            name: "name_equality".into(),
+            display: "Name Equality".into(),
+            kind: MeasureKind::String,
+            normalized: true,
+        }
+    }
+
+    fn similarity(&self, ctx: &SimilarityContext<'_>, a: GlobalConcept, b: GlobalConcept) -> f64 {
+        f64::from(ctx.name(a) == ctx.name(b))
+    }
+}
+
+/// A *combined* measure amalgamating two basic ones (Ehrig et al.'s layer
+/// combination, §5): average of Wu-Palmer and name equality.
+#[derive(Debug)]
+struct CombinedRunner;
+
+impl MeasureRunner for CombinedRunner {
+    fn info(&self) -> RunnerInfo {
+        RunnerInfo {
+            name: "combined".into(),
+            display: "Combined (structure + name)".into(),
+            kind: MeasureKind::Graph,
+            normalized: true,
+        }
+    }
+
+    fn similarity(&self, ctx: &SimilarityContext<'_>, a: GlobalConcept, b: GlobalConcept) -> f64 {
+        let structural = sst_simpack::wu_palmer_similarity_rooted(
+            ctx.tree.taxonomy(),
+            ctx.tree.node(a),
+            ctx.tree.node(b),
+        );
+        let lexical = f64::from(ctx.name(a) == ctx.name(b));
+        (structural + lexical) / 2.0
+    }
+}
+
+#[test]
+fn custom_runner_registers_and_runs() {
+    let sst = SstBuilder::new()
+        .register_ontology(tiny_ontology("a"))
+        .unwrap()
+        .register_ontology(tiny_ontology("b"))
+        .unwrap()
+        .register_runner(Box::new(NameEqualityRunner))
+        .build();
+    let id = sst.measure_id("name_equality").expect("registered");
+    assert_eq!(id, sst.measure_count() - 1);
+    assert_eq!(sst.get_similarity("Student", "a", "Student", "b", id).unwrap(), 1.0);
+    assert_eq!(sst.get_similarity("Student", "a", "Professor", "b", id).unwrap(), 0.0);
+}
+
+#[test]
+fn combined_runner_blends_families() {
+    let sst = SstBuilder::new()
+        .register_ontology(tiny_ontology("a"))
+        .unwrap()
+        .register_ontology(tiny_ontology("b"))
+        .unwrap()
+        .register_runner(Box::new(CombinedRunner))
+        .build();
+    let combined = sst.measure_id("combined").unwrap();
+    // Same name across ontologies: lexical 1, structural small → in between.
+    let v = sst.get_similarity("Student", "a", "Student", "b", combined).unwrap();
+    assert!(v > 0.5 && v < 1.0, "got {v}");
+    // Custom measures drive every service, not just pairwise calls.
+    let top = sst
+        .most_similar("Student", "a", &ConceptSet::All, 3, combined)
+        .unwrap();
+    assert_eq!(top[0].concept, "Student");
+    assert_eq!(top[0].ontology, "a");
+    assert_eq!(top[1].concept, "Student");
+    assert_eq!(top[1].ontology, "b");
+}
+
+#[test]
+fn default_registry_is_stable() {
+    // The paper-style integer constants must keep pointing at the right
+    // runners — this pins the registration order.
+    let sst = SstBuilder::new()
+        .register_ontology(tiny_ontology("a"))
+        .unwrap()
+        .build();
+    for (constant, name) in [
+        (m::COSINE_MEASURE, "cosine"),
+        (m::LEVENSHTEIN_MEASURE, "levenshtein"),
+        (m::CONCEPTUAL_SIMILARITY_MEASURE, "wu_palmer"),
+        (m::RESNIK_MEASURE, "resnik"),
+        (m::LIN_MEASURE, "lin"),
+        (m::TFIDF_MEASURE, "tfidf"),
+        (m::TREE_EDIT_MEASURE, "tree_edit"),
+    ] {
+        assert_eq!(sst.measure_info(constant).unwrap().name, name);
+        assert_eq!(sst.measure_id(name).unwrap(), constant);
+    }
+}
+
+/// A "new ontology language" needs no SST change: anything mapped onto the
+/// SOQA meta model participates in every measure (here: a fake in-memory
+/// format — the same path a CYC or Ontolingua wrapper would take).
+#[test]
+fn new_language_via_meta_model_only() {
+    let mut b = OntologyBuilder::new(OntologyMetadata {
+        name: "cyc_like".into(),
+        language: "CycL".into(),
+        ..OntologyMetadata::default()
+    });
+    let thing = b.concept("Thing");
+    let agent = b.concept("IntelligentAgent");
+    b.add_subclass(agent, thing);
+    let sst = SstBuilder::new()
+        .register_ontology(b.build())
+        .unwrap()
+        .register_ontology(tiny_ontology("uni"))
+        .unwrap()
+        .build();
+    let v = sst
+        .get_similarity(
+            "IntelligentAgent",
+            "cyc_like",
+            "Person",
+            "uni",
+            m::SHORTEST_PATH_MEASURE,
+        )
+        .unwrap();
+    assert!(v > 0.0);
+}

@@ -1,0 +1,117 @@
+//! Robustness fuzzing: every parser in the workspace must return `Ok` or
+//! `Err` on arbitrary input — never panic, hang, or overflow. These
+//! properties run the parsers over random byte soup and over mutated
+//! fragments of valid documents (the nastier case).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_parser_never_panics(input in "[ -~\\n<>&;\"']{0,200}") {
+        let mut parser = sst_rdf::xml::XmlParser::new(&input);
+        for _ in 0..600 {
+            match parser.next_event() {
+                Ok(sst_rdf::xml::XmlEvent::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rdfxml_parser_never_panics(input in "[ -~\\n<>&;\"']{0,200}") {
+        let _ = sst_rdf::parse_rdfxml(&input, "http://fuzz/");
+    }
+
+    #[test]
+    fn turtle_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let _ = sst_rdf::parse_turtle(&input, "http://fuzz/");
+    }
+
+    #[test]
+    fn ntriples_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let _ = sst_rdf::parse_ntriples(&input);
+    }
+
+    #[test]
+    fn sparql_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let graph = sst_rdf::Graph::new();
+        let _ = sst_rdf::select(&graph, &input);
+    }
+
+    #[test]
+    fn sexpr_parser_never_panics(input in "[ -~\\n()\";]{0,200}") {
+        let _ = sst_sexpr::parse_all(&input);
+    }
+
+    #[test]
+    fn powerloom_wrapper_never_panics(input in "[ -~\\n()\";?]{0,200}") {
+        let _ = sst_wrappers::parse_powerloom(&input, "fuzz");
+    }
+
+    #[test]
+    fn wordnet_wrapper_never_panics(input in "[ -~\\n|@]{0,200}") {
+        let _ = sst_wrappers::parse_wordnet(&input, "fuzz");
+        let _ = sst_wrappers::WordNetIndex::parse(&input);
+    }
+
+    #[test]
+    fn soqaql_never_panics(input in "[ -~\\n]{0,120}") {
+        let soqa = sst_soqa::Soqa::new();
+        let _ = sst_soqa::ql::execute(&soqa, &input);
+    }
+
+    /// Mutated valid documents: flip a window of a well-formed OWL file and
+    /// reparse — the parser must fail cleanly or succeed, not panic.
+    #[test]
+    fn mutated_owl_never_panics(
+        start in 0usize..400,
+        len in 0usize..40,
+        replacement in "[ -~]{0,40}",
+    ) {
+        const DOC: &str = r##"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/f">
+  <owl:Class rdf:ID="Person"><rdfs:comment>doc &amp; text</rdfs:comment></owl:Class>
+  <owl:Class rdf:ID="Student"><rdfs:subClassOf rdf:resource="#Person"/></owl:Class>
+</rdf:RDF>"##;
+        let bytes = DOC.as_bytes();
+        let start = start.min(bytes.len());
+        let end = (start + len).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..start]);
+        mutated.extend_from_slice(replacement.as_bytes());
+        mutated.extend_from_slice(&bytes[end..]);
+        if let Ok(text) = String::from_utf8(mutated) {
+            let _ = sst_wrappers::parse_owl(&text, "fuzz", "http://example.org/f");
+        }
+    }
+
+    /// Mutated PowerLoom modules likewise.
+    #[test]
+    fn mutated_ploom_never_panics(
+        start in 0usize..160,
+        len in 0usize..30,
+        replacement in "[ -~]{0,30}",
+    ) {
+        const DOC: &str = r#"(defmodule "M" :documentation "d")
+(in-module "M")
+(defconcept PERSON :documentation "A human.")
+(defconcept STUDENT (?s PERSON))
+(defrelation knows ((?a PERSON) (?b PERSON)))
+(assert (PERSON Anna))"#;
+        let bytes = DOC.as_bytes();
+        let start = start.min(bytes.len());
+        let end = (start + len).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..start]);
+        mutated.extend_from_slice(replacement.as_bytes());
+        mutated.extend_from_slice(&bytes[end..]);
+        if let Ok(text) = String::from_utf8(mutated) {
+            let _ = sst_wrappers::parse_powerloom(&text, "fuzz");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-checks the two query engines — triple-level SPARQL-lite over the
+//! RDF substrate vs meta-model-level SOQA-QL over the facade — on the same
+//! corpus document, plus property tests for the LIKE matcher.
+
+use proptest::prelude::*;
+use sst_bench::{data_dir, load_corpus, names};
+use sst_core::TreeMode;
+use sst_rdf::select;
+use sst_soqa::ql::like_match;
+
+#[test]
+fn sparql_and_soqaql_agree_on_sumo_class_count() {
+    let sumo_text = std::fs::read_to_string(data_dir().join("ontologies/sumo.owl"))
+        .expect("sumo.owl");
+    let graph = sst_rdf::parse_rdfxml(&sumo_text, "http://reliant.teknowledge.com/DAML/SUMO.owl")
+        .expect("parse sumo");
+    let classes = select(&graph, "SELECT ?c WHERE { ?c a owl:Class . }").expect("sparql");
+
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let t = sst
+        .query(&format!("SELECT COUNT(*) FROM concepts OF '{}'", names::SUMO))
+        .expect("soqa-ql");
+    let soqa_count: usize = t.rows[0][0].render().parse().unwrap();
+    // SOQA adds the implicit owl:Thing root on top of the declared classes.
+    assert_eq!(soqa_count, classes.len() + 1);
+}
+
+#[test]
+fn sparql_subclass_join_matches_soqa_direct_subs() {
+    let sumo_text = std::fs::read_to_string(data_dir().join("ontologies/sumo.owl"))
+        .expect("sumo.owl");
+    let graph = sst_rdf::parse_rdfxml(&sumo_text, "http://reliant.teknowledge.com/DAML/SUMO.owl")
+        .expect("parse sumo");
+    let rows = select(
+        &graph,
+        "PREFIX sumo: <http://reliant.teknowledge.com/DAML/SUMO.owl#>\n\
+         SELECT ?sub WHERE { ?sub rdfs:subClassOf sumo:Mammal . }",
+    )
+    .expect("sparql");
+
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let mammal = sst.soqa().resolve(names::SUMO, "Mammal").unwrap();
+    assert_eq!(rows.len(), sst.soqa().sub_concepts(mammal).len());
+}
+
+#[test]
+fn sparql_filter_contains_matches_soqaql_like() {
+    let sumo_text = std::fs::read_to_string(data_dir().join("ontologies/sumo.owl"))
+        .expect("sumo.owl");
+    let graph = sst_rdf::parse_rdfxml(&sumo_text, "http://reliant.teknowledge.com/DAML/SUMO.owl")
+        .expect("parse sumo");
+    let sparql_hits = select(
+        &graph,
+        "SELECT ?c WHERE { ?c a owl:Class . FILTER CONTAINS(?c, \"mammal\") }",
+    )
+    .expect("sparql");
+
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let t = sst
+        .query(&format!(
+            "SELECT name FROM concepts OF '{}' WHERE name CONTAINS 'mammal'",
+            names::SUMO
+        ))
+        .expect("soqa-ql");
+    assert_eq!(sparql_hits.len(), t.rows.len());
+    assert!(!t.rows.is_empty(), "expected Mammal-derived classes");
+}
+
+// ---- LIKE matcher properties -------------------------------------------
+
+proptest! {
+    /// A pattern equal to the text (no wildcards) always matches; adding a
+    /// leading and trailing `%` preserves matching for any text extension.
+    #[test]
+    fn like_literal_and_wildcard_extension(
+        text in "[a-zA-Z0-9]{0,12}",
+        prefix in "[a-zA-Z0-9]{0,6}",
+        suffix in "[a-zA-Z0-9]{0,6}",
+    ) {
+        prop_assert!(like_match(&text, &text));
+        let wrapped = format!("%{text}%");
+        let extended = format!("{prefix}{text}{suffix}");
+        prop_assert!(like_match(&wrapped, &extended));
+    }
+
+    /// `_` matches exactly one character: a pattern of n underscores
+    /// matches exactly the strings of length n.
+    #[test]
+    fn like_underscore_counts_characters(n in 0usize..8, text in "[a-z]{0,10}") {
+        let pattern = "_".repeat(n);
+        prop_assert_eq!(like_match(&pattern, &text), text.chars().count() == n);
+    }
+
+    /// `%` alone matches everything.
+    #[test]
+    fn like_percent_matches_everything(text in "[ -~]{0,20}") {
+        prop_assert!(like_match("%", &text));
+    }
+
+    /// Patterns without wildcards match only exact strings.
+    #[test]
+    fn like_without_wildcards_is_equality(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        prop_assert_eq!(like_match(&a, &b), a == b);
+    }
+}

@@ -1,0 +1,80 @@
+//! SOQA-QL end to end over the real five-ontology corpus: the query shell
+//! the paper exposes through the SST facade's helper methods.
+
+use sst_bench::{load_corpus, names};
+use sst_core::TreeMode;
+
+#[test]
+fn query_all_ontology_metadata() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let t = sst
+        .query("SELECT name, language, concept_count FROM ontology ORDER BY name")
+        .unwrap();
+    assert_eq!(t.rows.len(), 5);
+    let total: i64 = t.rows.iter().map(|r| r[2].render().parse::<i64>().unwrap()).sum();
+    assert_eq!(total, 943);
+    // Languages are reported per ontology.
+    let langs: Vec<String> = t.rows.iter().map(|r| r[1].render()).collect();
+    assert!(langs.contains(&"PowerLoom".to_owned()));
+    assert!(langs.contains(&"DAML+OIL".to_owned()));
+}
+
+#[test]
+fn like_query_finds_professors_across_ontologies() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let t = sst
+        .query("SELECT ontology, name FROM concepts WHERE name LIKE '%rofessor%' ORDER BY ontology")
+        .unwrap();
+    assert!(t.rows.len() >= 8, "expected professors in several ontologies");
+    let ontologies: std::collections::HashSet<String> =
+        t.rows.iter().map(|r| r[0].render()).collect();
+    assert!(ontologies.len() >= 3);
+}
+
+#[test]
+fn depth_filter_and_limit() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let t = sst
+        .query(&format!(
+            "SELECT name, depth FROM concepts OF '{}' WHERE depth >= 3 ORDER BY depth DESC LIMIT 5",
+            names::SUMO
+        ))
+        .unwrap();
+    assert_eq!(t.rows.len(), 5);
+    let depths: Vec<i64> = t.rows.iter().map(|r| r[1].render().parse().unwrap()).collect();
+    assert!(depths.windows(2).all(|w| w[0] >= w[1]));
+    assert!(depths[0] >= 5, "SUMO should be deep, got {depths:?}");
+}
+
+#[test]
+fn attribute_and_instance_extents() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let attrs = sst
+        .query(&format!(
+            "SELECT name, concept, data_type FROM attributes OF '{}'",
+            names::UNIV_BENCH
+        ))
+        .unwrap();
+    assert!(attrs.rows.len() >= 5);
+    let instances = sst
+        .query(&format!("SELECT name, concept FROM instances OF '{}'", names::COURSES))
+        .unwrap();
+    assert!(instances.rows.iter().any(|r| r[0].render() == "ProfMeier"));
+}
+
+#[test]
+fn documentation_contains_search() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let t = sst
+        .query("SELECT ontology, name FROM concepts WHERE documentation CONTAINS 'teaches'")
+        .unwrap();
+    assert!(!t.rows.is_empty());
+}
+
+#[test]
+fn bad_queries_surface_errors() {
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    assert!(sst.query("SELECT nothing FROM concepts").is_err());
+    assert!(sst.query("DROP TABLE concepts").is_err());
+    assert!(sst.query("SELECT name FROM concepts OF 'ghost'").is_err());
+}
