@@ -1,0 +1,7 @@
+#!/bin/sh
+# Repo CI gate: fmt-check, static-analysis lint, clippy -D warnings,
+# release build, tests. Thin wrapper over `cargo xtask ci` so local runs
+# and automation share one definition of "green".
+set -eu
+cd "$(dirname "$0")"
+exec cargo xtask ci

@@ -3,12 +3,11 @@
 //! the design choices; the correctness side is asserted in the integration
 //! tests (`tests/design_ablations.rs`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sst_bench::harness::Criterion;
+use sst_bench::{criterion_group, criterion_main};
 use sst_bench::{load_corpus, names};
 use sst_core::{measure_ids as m, TreeMode};
-use sst_simpack::{
-    sequence_similarity, CostModel, InformationContent, ProbabilityMode, Taxonomy,
-};
+use sst_simpack::{sequence_similarity, CostModel, InformationContent, ProbabilityMode, Taxonomy};
 
 /// A1: the Eq. 4 cost model — unit costs vs a discounted-replace model vs
 /// the constraint-violating model (replace > delete + insert).
@@ -21,9 +20,7 @@ fn bench_cost_models(c: &mut Criterion) {
         ("cheap_replace", CostModel::new(1.0, 1.0, 0.5).unwrap()),
         ("violating", CostModel::unchecked(1.0, 1.0, 3.0)),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| sequence_similarity(&x, &y, costs))
-        });
+        group.bench_function(label, |b| b.iter(|| sequence_similarity(&x, &y, costs)));
     }
     group.finish();
 }
@@ -42,9 +39,7 @@ fn bench_ic_modes(c: &mut Criterion) {
         b.iter(|| InformationContent::for_mode(&taxonomy, ProbabilityMode::SubclassCount, &counts))
     });
     group.bench_function("instance_corpus", |b| {
-        b.iter(|| {
-            InformationContent::for_mode(&taxonomy, ProbabilityMode::InstanceCorpus, &counts)
-        })
+        b.iter(|| InformationContent::for_mode(&taxonomy, ProbabilityMode::InstanceCorpus, &counts))
     });
     group.finish();
 }
@@ -79,10 +74,8 @@ fn bench_tree_modes(c: &mut Criterion) {
 /// the same index of SUMO concept descriptions.
 fn bench_text_rankers(c: &mut Criterion) {
     use sst_index::{Bm25, Bm25Params, IndexBuilder};
-    let sumo = std::fs::read_to_string(
-        sst_bench::data_dir().join("ontologies/sumo.owl"),
-    )
-    .expect("sumo.owl");
+    let sumo = std::fs::read_to_string(sst_bench::data_dir().join("ontologies/sumo.owl"))
+        .expect("sumo.owl");
     let onto = sst_wrappers::parse_owl(&sumo, "sumo", "http://sumo").expect("parse");
     let mut builder = IndexBuilder::new();
     for id in onto.concept_ids() {
@@ -106,7 +99,7 @@ fn bench_text_rankers(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(30);
+    config = sst_bench::harness::Criterion::default().sample_size(30);
     targets = bench_cost_models, bench_ic_modes, bench_tree_modes, bench_text_rankers
 }
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! measure, on the paper's 943-concept corpus — one in-ontology pair and
 //! one cross-ontology pair per measure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sst_bench::harness::Criterion;
+use sst_bench::{criterion_group, criterion_main};
 use sst_bench::{load_corpus, names};
 use sst_core::TreeMode;
 
@@ -34,7 +35,7 @@ fn bench_pairwise(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(30);
+    config = sst_bench::harness::Criterion::default().sample_size(30);
     targets = bench_pairwise
 }
 criterion_main!(benches);

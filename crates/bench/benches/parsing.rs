@@ -1,8 +1,9 @@
 //! P2 (DESIGN.md): parser and index throughput — the substrate costs behind
 //! toolkit construction.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sst_bench::data_dir;
+use sst_bench::harness::{Criterion, Throughput};
+use sst_bench::{criterion_group, criterion_main};
 use sst_index::IndexBuilder;
 
 fn read(name: &str) -> String {
@@ -16,9 +17,7 @@ fn bench_parsers(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parse");
     group.throughput(Throughput::Bytes(sumo.len() as u64));
-    group.bench_function("rdfxml/sumo.owl", |b| {
-        b.iter(|| sst_rdf_parse(&sumo))
-    });
+    group.bench_function("rdfxml/sumo.owl", |b| b.iter(|| sst_rdf_parse(&sumo)));
     group.throughput(Throughput::Bytes(course.len() as u64));
     group.bench_function("powerloom/course.ploom", |b| {
         b.iter(|| sst_wrappers::parse_powerloom(&course, "COURSES").unwrap())
@@ -90,7 +89,7 @@ fn bench_indexing(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = sst_bench::harness::Criterion::default().sample_size(20);
     targets = bench_parsers, bench_indexing
 }
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! corpus per measure family, and over generated taxonomies of growing
 //! size; plus the pairwise similarity matrix on a subtree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_bench::harness::{BenchmarkId, Criterion};
+use sst_bench::{criterion_group, criterion_main};
 use sst_bench::{generate_taxonomy, load_corpus, names, TaxonomySpec};
 use sst_core::{measure_ids as m, ConceptSet, SstBuilder, TreeMode};
 
@@ -30,15 +31,30 @@ fn bench_most_similar_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("most_similar/scaling");
     group.sample_size(10);
     for n in [100usize, 400, 1600] {
-        let ontology = generate_taxonomy(TaxonomySpec { concepts: n, seed: 3, ..Default::default() });
+        let ontology = generate_taxonomy(TaxonomySpec {
+            concepts: n,
+            seed: 3,
+            ..Default::default()
+        });
         let name = ontology.name().to_owned();
-        let query = ontology.concept(ontology.concept_ids().last().unwrap()).name.clone();
-        let sst = SstBuilder::new().register_ontology(ontology).unwrap().build();
+        let query = ontology
+            .concept(ontology.concept_ids().last().unwrap())
+            .name
+            .clone();
+        let sst = SstBuilder::new()
+            .register_ontology(ontology)
+            .unwrap()
+            .build();
         group.bench_with_input(BenchmarkId::new("wu_palmer", n), &n, |b, _| {
             b.iter(|| {
-                sst.most_similar(&query, &name, &ConceptSet::All, 10,
-                                 m::CONCEPTUAL_SIMILARITY_MEASURE)
-                    .unwrap()
+                sst.most_similar(
+                    &query,
+                    &name,
+                    &ConceptSet::All,
+                    10,
+                    m::CONCEPTUAL_SIMILARITY_MEASURE,
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("tfidf", n), &n, |b, _| {
@@ -55,7 +71,10 @@ fn bench_similarity_matrix(c: &mut Criterion) {
     let sst = load_corpus(TreeMode::SuperThing, false);
     let subtree = ConceptSet::Subtree(sst_core::ConceptRef::new("Person", names::UNIV_BENCH));
     c.bench_function("similarity_matrix/univ-bench-person-subtree", |b| {
-        b.iter(|| sst.similarity_matrix(&subtree, m::CONCEPTUAL_SIMILARITY_MEASURE).unwrap())
+        b.iter(|| {
+            sst.similarity_matrix(&subtree, m::CONCEPTUAL_SIMILARITY_MEASURE)
+                .unwrap()
+        })
     });
 }
 
@@ -67,7 +86,8 @@ fn bench_parallel_matrix(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| {
-                sst.similarity_matrix_parallel(&subtree, m::TFIDF_MEASURE, t).unwrap()
+                sst.similarity_matrix_parallel(&subtree, m::TFIDF_MEASURE, t)
+                    .unwrap()
             })
         });
     }
@@ -82,21 +102,36 @@ fn bench_cached_most_similar(c: &mut Criterion) {
         let cache = CachedSimilarity::new(&sst);
         // Warm the cache once.
         cache
-            .most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10,
-                          m::CONCEPTUAL_SIMILARITY_MEASURE)
+            .most_similar(
+                "Professor",
+                names::DAML_UNIV,
+                &ConceptSet::All,
+                10,
+                m::CONCEPTUAL_SIMILARITY_MEASURE,
+            )
             .unwrap();
         b.iter(|| {
             cache
-                .most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10,
-                              m::CONCEPTUAL_SIMILARITY_MEASURE)
+                .most_similar(
+                    "Professor",
+                    names::DAML_UNIV,
+                    &ConceptSet::All,
+                    10,
+                    m::CONCEPTUAL_SIMILARITY_MEASURE,
+                )
                 .unwrap()
         })
     });
     group.bench_function("cold_vs_warm/uncached", |b| {
         b.iter(|| {
-            sst.most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10,
-                             m::CONCEPTUAL_SIMILARITY_MEASURE)
-                .unwrap()
+            sst.most_similar(
+                "Professor",
+                names::DAML_UNIV,
+                &ConceptSet::All,
+                10,
+                m::CONCEPTUAL_SIMILARITY_MEASURE,
+            )
+            .unwrap()
         })
     });
     group.finish();
@@ -113,7 +148,7 @@ fn bench_toolkit_build(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = sst_bench::harness::Criterion::default().sample_size(20);
     targets = bench_most_similar_corpus, bench_most_similar_scaling,
               bench_similarity_matrix, bench_parallel_matrix, bench_cached_most_similar,
               bench_toolkit_build

@@ -91,9 +91,8 @@ fn report(sst: &SstToolkit, label: &str, out: &mut String) {
 }
 
 fn main() {
-    let mut out = String::from(
-        "Figure 3 — approaches to building a single tree for a set of ontologies\n",
-    );
+    let mut out =
+        String::from("Figure 3 — approaches to building a single tree for a set of ontologies\n");
     report(
         &toolkit(TreeMode::SuperThing),
         "(a) Super-Thing tree (the paper's design: domains stay separated)",

@@ -15,5 +15,10 @@ fn main() {
     let owl = generate_sumo_owl(SUMO_CLASSES, SEED);
     let path = data_dir().join("ontologies/sumo.owl");
     std::fs::write(&path, &owl).expect("write sumo.owl");
-    println!("wrote {} ({} classes, seed {})", path.display(), SUMO_CLASSES, SEED);
+    println!(
+        "wrote {} ({} classes, seed {})",
+        path.display(),
+        SUMO_CLASSES,
+        SEED
+    );
 }

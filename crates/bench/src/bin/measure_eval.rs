@@ -13,9 +13,18 @@ use sst_bench::{data_dir, evaluate_measures, render_results};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let concepts: usize = args.first().map(|a| a.parse().expect("concepts")).unwrap_or(120);
-    let strength: f64 = args.get(1).map(|a| a.parse().expect("strength")).unwrap_or(0.4);
-    let sample: usize = args.get(2).map(|a| a.parse().expect("sample")).unwrap_or(30);
+    let concepts: usize = args
+        .first()
+        .map(|a| a.parse().expect("concepts"))
+        .unwrap_or(120);
+    let strength: f64 = args
+        .get(1)
+        .map(|a| a.parse().expect("strength"))
+        .unwrap_or(0.4);
+    let sample: usize = args
+        .get(2)
+        .map(|a| a.parse().expect("sample"))
+        .unwrap_or(30);
 
     println!(
         "Measure evaluation: {concepts} concepts, perturbation strength {strength}, \

@@ -97,7 +97,11 @@ fn render_dissimilar(sst: &SstToolkit) -> String {
         )
         .expect("most dissimilar");
     for r in rows {
-        out.push_str(&format!("  {:<40} {:.4}\n", format!("{}:{}", r.ontology, r.concept), r.similarity));
+        out.push_str(&format!(
+            "  {:<40} {:.4}\n",
+            format!("{}:{}", r.ontology, r.concept),
+            r.similarity
+        ));
     }
     out
 }

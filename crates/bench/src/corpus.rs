@@ -23,8 +23,7 @@ pub fn data_dir() -> PathBuf {
 }
 
 fn read(path: &Path) -> String {
-    std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
 }
 
 /// Loads the five paper ontologies (plus optionally WordNet) into a
@@ -78,11 +77,8 @@ pub fn load_corpus(mode: TreeMode, with_wordnet: bool) -> SstToolkit {
         .register_ontology(sumo)
         .expect("register sumo");
     if with_wordnet {
-        let wn = parse_wordnet(
-            &read(&data_dir().join("wordnet/data.noun")),
-            names::WORDNET,
-        )
-        .expect("data.noun");
+        let wn = parse_wordnet(&read(&data_dir().join("wordnet/data.noun")), names::WORDNET)
+            .expect("data.noun");
         builder = builder.register_ontology(wn).expect("register wordnet");
     }
     builder.build()

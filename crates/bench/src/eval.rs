@@ -8,8 +8,7 @@
 //! original concept among the perturbed copies. Precision@1 against the
 //! known ground truth scores the measure for that perturbation domain.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use sst_core::{ConceptRef, ConceptSet, SstBuilder};
 use sst_soqa::{Ontology, OntologyBuilder, OntologyMetadata};
 
@@ -49,7 +48,7 @@ impl Perturbation {
 
 /// Applies a typo to a name: swaps two *distinct* adjacent interior
 /// characters (scanning from a random offset, so the typo position varies).
-fn typo(name: &str, rng: &mut StdRng) -> String {
+fn typo(name: &str, rng: &mut SplitMix64) -> String {
     let mut chars: Vec<char> = name.chars().collect();
     if chars.len() >= 4 {
         let start = rng.gen_range(1..chars.len() - 2);
@@ -66,13 +65,8 @@ fn typo(name: &str, rng: &mut StdRng) -> String {
 
 /// Builds the perturbed copy of `original` under the given perturbation
 /// kind and strength (probability each concept is affected).
-pub fn perturb(
-    original: &Ontology,
-    kind: Perturbation,
-    strength: f64,
-    seed: u64,
-) -> Ontology {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn perturb(original: &Ontology, kind: Perturbation, strength: f64, seed: u64) -> Ontology {
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = OntologyBuilder::new(OntologyMetadata {
         name: format!("{}_perturbed", original.name()),
         language: "Synthetic".to_owned(),
@@ -114,7 +108,7 @@ pub fn perturb(
                 // Re-parent to a random other concept with a smaller id to
                 // preserve acyclicity.
                 let upper = cid.0.max(1);
-                sst_soqa::ConceptId(rng.gen_range(0..upper))
+                sst_soqa::ConceptId(rng.gen_range(0..upper as usize) as u32)
             } else {
                 sup
             };
@@ -153,10 +147,14 @@ pub fn evaluate_measures(
         let original_name = original.name().to_owned();
         let perturbed_name = perturbed.name().to_owned();
         // Ground truth: concept at index i ↔ perturbed concept at index i.
-        let source_names: Vec<String> =
-            original.concept_ids().map(|id| original.concept(id).name.clone()).collect();
-        let target_names: Vec<String> =
-            perturbed.concept_ids().map(|id| perturbed.concept(id).name.clone()).collect();
+        let source_names: Vec<String> = original
+            .concept_ids()
+            .map(|id| original.concept(id).name.clone())
+            .collect();
+        let target_names: Vec<String> = perturbed
+            .concept_ids()
+            .map(|id| perturbed.concept(id).name.clone())
+            .collect();
 
         let sst = SstBuilder::new()
             .register_ontology(original)
@@ -179,7 +177,13 @@ pub fn evaluate_measures(
             let mut hits = 0usize;
             for &qi in &queries {
                 let top = sst
-                    .most_similar(&source_names[qi], &original_name, &target_set, 1, measure_id)
+                    .most_similar(
+                        &source_names[qi],
+                        &original_name,
+                        &target_set,
+                        1,
+                        measure_id,
+                    )
                     .expect("most similar");
                 if let Some(best) = top.first() {
                     if best.concept == target_names[qi] {
@@ -234,7 +238,11 @@ mod tests {
 
     #[test]
     fn perturbation_is_deterministic_and_size_preserving() {
-        let o = generate_taxonomy(TaxonomySpec { concepts: 40, seed: 5, ..Default::default() });
+        let o = generate_taxonomy(TaxonomySpec {
+            concepts: 40,
+            seed: 5,
+            ..Default::default()
+        });
         let a = perturb(&o, Perturbation::All, 0.5, 9);
         let b = perturb(&o, Perturbation::All, 0.5, 9);
         assert_eq!(a.concept_count(), o.concept_count());
@@ -245,7 +253,11 @@ mod tests {
 
     #[test]
     fn name_perturbation_changes_some_names() {
-        let o = generate_taxonomy(TaxonomySpec { concepts: 60, seed: 5, ..Default::default() });
+        let o = generate_taxonomy(TaxonomySpec {
+            concepts: 60,
+            seed: 5,
+            ..Default::default()
+        });
         let p = perturb(&o, Perturbation::Names, 0.8, 1);
         let changed = o
             .concept_ids()
@@ -257,20 +269,28 @@ mod tests {
 
     #[test]
     fn structure_perturbation_keeps_single_root_reachability() {
-        let o = generate_taxonomy(TaxonomySpec { concepts: 50, seed: 3, ..Default::default() });
+        let o = generate_taxonomy(TaxonomySpec {
+            concepts: 50,
+            seed: 3,
+            ..Default::default()
+        });
         let p = perturb(&o, Perturbation::Structure, 0.5, 2);
         // Every non-root concept still has a parent (acyclic by id order).
         let root = p.roots()[0];
         for id in p.concept_ids() {
             if id != root {
-                assert!(!p.direct_supers(id).is_empty(), "orphaned {}", p.concept(id).name);
+                assert!(
+                    !p.direct_supers(id).is_empty(),
+                    "orphaned {}",
+                    p.concept(id).name
+                );
             }
         }
     }
 
     #[test]
     fn typo_preserves_length() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let t = typo("Professor", &mut rng);
         assert_eq!(t.len(), "Professor".len());
         assert_ne!(t, "Professor");

@@ -2,16 +2,19 @@
 //!
 //! Provides the evaluation corpus loader ([`corpus`]), the synthetic
 //! workload generators ([`workload`]), and hosts the experiment binaries
-//! (`table1`, `figure5`, `figure3`, `gen_ontologies`) plus the Criterion
-//! benches. See DESIGN.md §2 for the experiment index.
+//! (`table1`, `figure5`, `figure3`, `gen_ontologies`) plus the in-repo
+//! harness benches ([`harness`]). See DESIGN.md §2 for the experiment index.
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod corpus;
 pub mod eval;
+pub mod harness;
+pub mod rng;
 pub mod workload;
 
 pub use corpus::{data_dir, load_corpus, names, PAPER_CONCEPT_COUNT};
 pub use eval::{evaluate_measures, perturb, render_results, EvalResult, Perturbation};
+pub use rng::SplitMix64;
 pub use workload::{generate_sumo_owl, generate_taxonomy, TaxonomySpec};

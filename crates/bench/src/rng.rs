@@ -1,0 +1,104 @@
+//! Vendored deterministic PRNG for workload generation.
+//!
+//! The bench crate must build with no network access, so instead of the
+//! `rand` crate we carry a tiny SplitMix64 generator (Steele, Lea &
+//! Flood, OOPSLA 2014 — the same mixer `rand` uses to seed its own
+//! engines). Statistical quality is far beyond what seeded taxonomy
+//! generation and perturbation sampling need, and the streams are stable
+//! across platforms, which keeps the experiment tables reproducible.
+
+use std::ops::Range;
+
+/// A SplitMix64 generator: 64 bits of state, one multiply-xorshift mix
+/// per draw, equidistributed over `u64`.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Mirrors `rand::SeedableRng::seed_from_u64`
+    /// so call sites read the same as they did with `StdRng`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `range` (half-open). Uses Lemire's widening
+    /// multiply reduction; the modulo bias for spans far below 2^64 is
+    /// unobservable. Empty ranges yield `range.start`.
+    pub fn gen_range(&mut self, range: Range<usize>) -> usize {
+        let span = range.end.saturating_sub(range.start) as u64;
+        if span == 0 {
+            return range.start;
+        }
+        let draw = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + draw as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 mantissa bits of uniformity is plenty for perturbation rates.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.gen_range(0..i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+        assert_eq!(rng.gen_range(5..5), 5, "empty range yields start");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate} too far from 0.25");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 3 should not give identity permutation");
+    }
+}

@@ -1,8 +1,7 @@
 //! Workload generators: seeded random taxonomies for scaling studies and
 //! the synthetic SUMO stand-in (DESIGN.md §3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use sst_soqa::{Instance, Ontology, OntologyBuilder, OntologyMetadata};
 
 /// Parameters of a generated taxonomy.
@@ -19,30 +18,86 @@ pub struct TaxonomySpec {
 
 impl Default for TaxonomySpec {
     fn default() -> Self {
-        TaxonomySpec { concepts: 100, branching: 5, instances: 0, seed: 7 }
+        TaxonomySpec {
+            concepts: 100,
+            branching: 5,
+            instances: 0,
+            seed: 7,
+        }
     }
 }
 
 const STEMS: &[&str] = &[
-    "Process", "Object", "Agent", "Event", "Artifact", "Region", "Substance", "Device",
-    "Organism", "Motion", "Quantity", "Relation", "Attribute", "Structure", "Measure",
-    "Group", "Action", "State", "Product", "System",
+    "Process",
+    "Object",
+    "Agent",
+    "Event",
+    "Artifact",
+    "Region",
+    "Substance",
+    "Device",
+    "Organism",
+    "Motion",
+    "Quantity",
+    "Relation",
+    "Attribute",
+    "Structure",
+    "Measure",
+    "Group",
+    "Action",
+    "State",
+    "Product",
+    "System",
 ];
 
 const MODIFIERS: &[&str] = &[
-    "Biological", "Chemical", "Physical", "Abstract", "Social", "Economic", "Geographic",
-    "Temporal", "Spatial", "Industrial", "Agricultural", "Medical", "Legal", "Musical",
-    "Linguistic", "Mechanical", "Electrical", "Thermal", "Optical", "Digital", "Ancient",
-    "Modern", "Primary", "Secondary", "Complex", "Simple", "Internal", "External",
-    "Natural", "Artificial", "Stationary", "Mobile", "Solid", "Liquid", "Gaseous",
-    "Organic", "Inorganic", "Composite", "Elementary", "Terrestrial",
+    "Biological",
+    "Chemical",
+    "Physical",
+    "Abstract",
+    "Social",
+    "Economic",
+    "Geographic",
+    "Temporal",
+    "Spatial",
+    "Industrial",
+    "Agricultural",
+    "Medical",
+    "Legal",
+    "Musical",
+    "Linguistic",
+    "Mechanical",
+    "Electrical",
+    "Thermal",
+    "Optical",
+    "Digital",
+    "Ancient",
+    "Modern",
+    "Primary",
+    "Secondary",
+    "Complex",
+    "Simple",
+    "Internal",
+    "External",
+    "Natural",
+    "Artificial",
+    "Stationary",
+    "Mobile",
+    "Solid",
+    "Liquid",
+    "Gaseous",
+    "Organic",
+    "Inorganic",
+    "Composite",
+    "Elementary",
+    "Terrestrial",
 ];
 
 /// Generates a random rooted taxonomy for scaling benchmarks. Every concept
 /// gets a short documentation string so the TFIDF measure has text to index.
 pub fn generate_taxonomy(spec: TaxonomySpec) -> Ontology {
     assert!(spec.concepts >= 1);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
     let mut builder = OntologyBuilder::new(OntologyMetadata {
         name: format!("synthetic_{}", spec.concepts),
         language: "Synthetic".to_owned(),
@@ -98,67 +153,279 @@ pub fn generate_taxonomy(spec: TaxonomySpec) -> Ontology {
 /// `Entity → … → Mammal → … → Human` chain Table 1 depends on.
 /// Entries are `(name, parent, documentation)`.
 const SUMO_SKELETON: &[(&str, &str, &str)] = &[
-    ("Entity", "", "The universal class of individuals; the root node of the ontology"),
-    ("Physical", "Entity", "An entity that has a location in space-time"),
-    ("Abstract", "Entity", "Properties or qualities as distinguished from any particular embodiment"),
-    ("Object", "Physical", "A physical entity that is spatially extended"),
-    ("Process", "Physical", "The class of things that happen and have temporal parts or stages"),
-    ("SelfConnectedObject", "Object", "An object that does not consist of two or more disconnected parts"),
-    ("Collection", "Object", "An object whose parts have a position relative to one another"),
+    (
+        "Entity",
+        "",
+        "The universal class of individuals; the root node of the ontology",
+    ),
+    (
+        "Physical",
+        "Entity",
+        "An entity that has a location in space-time",
+    ),
+    (
+        "Abstract",
+        "Entity",
+        "Properties or qualities as distinguished from any particular embodiment",
+    ),
+    (
+        "Object",
+        "Physical",
+        "A physical entity that is spatially extended",
+    ),
+    (
+        "Process",
+        "Physical",
+        "The class of things that happen and have temporal parts or stages",
+    ),
+    (
+        "SelfConnectedObject",
+        "Object",
+        "An object that does not consist of two or more disconnected parts",
+    ),
+    (
+        "Collection",
+        "Object",
+        "An object whose parts have a position relative to one another",
+    ),
     ("Region", "Object", "A topographic location"),
-    ("Agent", "Object", "Something or someone that can act on its own and produce changes"),
-    ("Substance", "SelfConnectedObject", "An object in which every part is similar to every other in every relevant respect"),
-    ("CorpuscularObject", "SelfConnectedObject", "A self-connected object whose parts have properties not shared by the whole"),
-    ("OrganicObject", "CorpuscularObject", "An object of or derived from living organisms"),
-    ("Organism", "OrganicObject", "A living individual, including all parts of the organism"),
+    (
+        "Agent",
+        "Object",
+        "Something or someone that can act on its own and produce changes",
+    ),
+    (
+        "Substance",
+        "SelfConnectedObject",
+        "An object in which every part is similar to every other in every relevant respect",
+    ),
+    (
+        "CorpuscularObject",
+        "SelfConnectedObject",
+        "A self-connected object whose parts have properties not shared by the whole",
+    ),
+    (
+        "OrganicObject",
+        "CorpuscularObject",
+        "An object of or derived from living organisms",
+    ),
+    (
+        "Organism",
+        "OrganicObject",
+        "A living individual, including all parts of the organism",
+    ),
     ("Plant", "Organism", "An organism of the vegetable kingdom"),
-    ("Animal", "Organism", "An organism with the power of voluntary movement"),
-    ("Microorganism", "Organism", "An organism that can be seen only with the aid of a microscope"),
+    (
+        "Animal",
+        "Organism",
+        "An organism with the power of voluntary movement",
+    ),
+    (
+        "Microorganism",
+        "Organism",
+        "An organism that can be seen only with the aid of a microscope",
+    ),
     ("Invertebrate", "Animal", "An animal without a backbone"),
-    ("Vertebrate", "Animal", "An animal which has a spinal column"),
-    ("ColdBloodedVertebrate", "Vertebrate", "Vertebrates whose body temperature is not internally regulated"),
-    ("WarmBloodedVertebrate", "Vertebrate", "Vertebrates whose body temperature is internally regulated"),
-    ("Fish", "ColdBloodedVertebrate", "A cold-blooded aquatic vertebrate"),
-    ("Reptile", "ColdBloodedVertebrate", "A cold-blooded vertebrate having an external covering of scales"),
-    ("Bird", "WarmBloodedVertebrate", "A warm-blooded egg-laying vertebrate characterized by feathers and wings"),
-    ("Mammal", "WarmBloodedVertebrate", "A warm-blooded vertebrate having the skin more or less covered with hair"),
-    ("AquaticMammal", "Mammal", "The class of mammals that dwell chiefly in the water"),
-    ("HoofedMammal", "Mammal", "The class of quadruped mammals with hooves"),
+    (
+        "Vertebrate",
+        "Animal",
+        "An animal which has a spinal column",
+    ),
+    (
+        "ColdBloodedVertebrate",
+        "Vertebrate",
+        "Vertebrates whose body temperature is not internally regulated",
+    ),
+    (
+        "WarmBloodedVertebrate",
+        "Vertebrate",
+        "Vertebrates whose body temperature is internally regulated",
+    ),
+    (
+        "Fish",
+        "ColdBloodedVertebrate",
+        "A cold-blooded aquatic vertebrate",
+    ),
+    (
+        "Reptile",
+        "ColdBloodedVertebrate",
+        "A cold-blooded vertebrate having an external covering of scales",
+    ),
+    (
+        "Bird",
+        "WarmBloodedVertebrate",
+        "A warm-blooded egg-laying vertebrate characterized by feathers and wings",
+    ),
+    (
+        "Mammal",
+        "WarmBloodedVertebrate",
+        "A warm-blooded vertebrate having the skin more or less covered with hair",
+    ),
+    (
+        "AquaticMammal",
+        "Mammal",
+        "The class of mammals that dwell chiefly in the water",
+    ),
+    (
+        "HoofedMammal",
+        "Mammal",
+        "The class of quadruped mammals with hooves",
+    ),
     ("Carnivore", "Mammal", "The class of flesh-eating mammals"),
-    ("Rodent", "Mammal", "The class of mammals with continuously growing incisor teeth"),
-    ("Primate", "Mammal", "The class of mammals including monkeys, apes, and human beings"),
-    ("Monkey", "Primate", "The class of primates that are not hominids"),
+    (
+        "Rodent",
+        "Mammal",
+        "The class of mammals with continuously growing incisor teeth",
+    ),
+    (
+        "Primate",
+        "Mammal",
+        "The class of mammals including monkeys, apes, and human beings",
+    ),
+    (
+        "Monkey",
+        "Primate",
+        "The class of primates that are not hominids",
+    ),
     ("Ape", "Primate", "The class of large tailless primates"),
-    ("Hominid", "Primate", "The class of great apes and human beings"),
-    ("Human", "Hominid", "Modern man, the only remaining species of the Homo genus"),
+    (
+        "Hominid",
+        "Primate",
+        "The class of great apes and human beings",
+    ),
+    (
+        "Human",
+        "Hominid",
+        "Modern man, the only remaining species of the Homo genus",
+    ),
     ("Man", "Human", "The class of male humans"),
     ("Woman", "Human", "The class of female humans"),
-    ("GeographicArea", "Region", "A geographic location of any size"),
-    ("WaterArea", "GeographicArea", "A body consisting mainly of water"),
-    ("LandArea", "GeographicArea", "An area predominantly of dry land"),
-    ("Artifact", "CorpuscularObject", "A corpuscular object that is the product of a making"),
-    ("Device", "Artifact", "An artifact whose purpose is to serve as an instrument"),
-    ("MeasuringDevice", "Device", "A device whose purpose is to measure a physical quantity"),
-    ("TransportationDevice", "Device", "A device whose purpose is to transport people or goods"),
-    ("Vehicle", "TransportationDevice", "A transportation device that carries its load"),
-    ("Machine", "Device", "A device with moving parts that performs work"),
-    ("Building", "Artifact", "An artifact with the purpose of sheltering activities"),
-    ("Quantity", "Abstract", "Any specification of how many or how much of something there is"),
-    ("Number", "Quantity", "A measure of how many things there are or how much there is"),
-    ("PhysicalQuantity", "Quantity", "A measure of some quantifiable aspect of the physical world"),
-    ("Attribute", "Abstract", "A quality or property of an entity as distinguished from the entity itself"),
-    ("Relation", "Abstract", "The class of relations between entities"),
-    ("Proposition", "Abstract", "An abstract entity that expresses a complete thought"),
-    ("SetOrClass", "Abstract", "The class of sets and classes, i.e. abstract collections"),
-    ("Graph", "Abstract", "A mathematical structure of nodes and arcs"),
-    ("IntentionalProcess", "Process", "A process that has a specific purpose for its agent"),
-    ("BiologicalProcess", "Process", "A process embodied in an organism"),
+    (
+        "GeographicArea",
+        "Region",
+        "A geographic location of any size",
+    ),
+    (
+        "WaterArea",
+        "GeographicArea",
+        "A body consisting mainly of water",
+    ),
+    (
+        "LandArea",
+        "GeographicArea",
+        "An area predominantly of dry land",
+    ),
+    (
+        "Artifact",
+        "CorpuscularObject",
+        "A corpuscular object that is the product of a making",
+    ),
+    (
+        "Device",
+        "Artifact",
+        "An artifact whose purpose is to serve as an instrument",
+    ),
+    (
+        "MeasuringDevice",
+        "Device",
+        "A device whose purpose is to measure a physical quantity",
+    ),
+    (
+        "TransportationDevice",
+        "Device",
+        "A device whose purpose is to transport people or goods",
+    ),
+    (
+        "Vehicle",
+        "TransportationDevice",
+        "A transportation device that carries its load",
+    ),
+    (
+        "Machine",
+        "Device",
+        "A device with moving parts that performs work",
+    ),
+    (
+        "Building",
+        "Artifact",
+        "An artifact with the purpose of sheltering activities",
+    ),
+    (
+        "Quantity",
+        "Abstract",
+        "Any specification of how many or how much of something there is",
+    ),
+    (
+        "Number",
+        "Quantity",
+        "A measure of how many things there are or how much there is",
+    ),
+    (
+        "PhysicalQuantity",
+        "Quantity",
+        "A measure of some quantifiable aspect of the physical world",
+    ),
+    (
+        "Attribute",
+        "Abstract",
+        "A quality or property of an entity as distinguished from the entity itself",
+    ),
+    (
+        "Relation",
+        "Abstract",
+        "The class of relations between entities",
+    ),
+    (
+        "Proposition",
+        "Abstract",
+        "An abstract entity that expresses a complete thought",
+    ),
+    (
+        "SetOrClass",
+        "Abstract",
+        "The class of sets and classes, i.e. abstract collections",
+    ),
+    (
+        "Graph",
+        "Abstract",
+        "A mathematical structure of nodes and arcs",
+    ),
+    (
+        "IntentionalProcess",
+        "Process",
+        "A process that has a specific purpose for its agent",
+    ),
+    (
+        "BiologicalProcess",
+        "Process",
+        "A process embodied in an organism",
+    ),
     ("Motion", "Process", "Any process of movement"),
-    ("InternalChange", "Process", "A process which changes the internal properties of its patient"),
-    ("SocialInteraction", "IntentionalProcess", "A process involving two or more agents interacting"),
-    ("Communication", "SocialInteraction", "A social interaction that conveys information"),
-    ("Organization", "Agent", "A corporate or similar institution recognized as an agent"),
-    ("GroupOfPeople", "Agent", "Any collection of humans considered as an agent"),
+    (
+        "InternalChange",
+        "Process",
+        "A process which changes the internal properties of its patient",
+    ),
+    (
+        "SocialInteraction",
+        "IntentionalProcess",
+        "A process involving two or more agents interacting",
+    ),
+    (
+        "Communication",
+        "SocialInteraction",
+        "A social interaction that conveys information",
+    ),
+    (
+        "Organization",
+        "Agent",
+        "A corporate or similar institution recognized as an agent",
+    ),
+    (
+        "GroupOfPeople",
+        "Agent",
+        "Any collection of humans considered as an agent",
+    ),
 ];
 
 /// Emits the synthetic SUMO OWL document with exactly `class_count` classes
@@ -170,7 +437,7 @@ pub fn generate_sumo_owl(class_count: usize, seed: u64) -> String {
         "need at least {} classes",
         SUMO_SKELETON.len()
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut classes: Vec<(String, String, String)> = SUMO_SKELETON
         .iter()
         .map(|&(n, p, d)| (n.to_owned(), p.to_owned(), d.to_owned()))
@@ -215,7 +482,9 @@ pub fn generate_sumo_owl(class_count: usize, seed: u64) -> String {
         out.push_str(&format!("    <rdfs:label>{name}</rdfs:label>\n"));
         out.push_str(&format!("    <rdfs:comment>{doc}</rdfs:comment>\n"));
         if !parent.is_empty() {
-            out.push_str(&format!("    <rdfs:subClassOf rdf:resource=\"#{parent}\"/>\n"));
+            out.push_str(&format!(
+                "    <rdfs:subClassOf rdf:resource=\"#{parent}\"/>\n"
+            ));
         }
         out.push_str("  </owl:Class>\n");
     }
@@ -229,7 +498,10 @@ mod tests {
 
     #[test]
     fn generated_taxonomy_has_requested_size() {
-        let o = generate_taxonomy(TaxonomySpec { concepts: 200, ..Default::default() });
+        let o = generate_taxonomy(TaxonomySpec {
+            concepts: 200,
+            ..Default::default()
+        });
         assert_eq!(o.concept_count(), 200);
         assert_eq!(o.roots().len(), 1);
         assert!(o.max_depth() >= 3, "should not be a star");
@@ -237,7 +509,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = TaxonomySpec { concepts: 64, seed: 11, ..Default::default() };
+        let spec = TaxonomySpec {
+            concepts: 64,
+            seed: 11,
+            ..Default::default()
+        };
         let a = generate_taxonomy(spec);
         let b = generate_taxonomy(spec);
         assert_eq!(a.concept_count(), b.concept_count());

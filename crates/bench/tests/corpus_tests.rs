@@ -70,7 +70,10 @@ fn wordnet_index_file_resolves_synonyms() {
     assert!(index.len() > 40);
     // "prof" is a synonym in the professor synset; both resolve to the
     // same offset.
-    assert_eq!(index.primary_synset("prof"), index.primary_synset("professor"));
+    assert_eq!(
+        index.primary_synset("prof"),
+        index.primary_synset("professor")
+    );
     assert!(index.primary_synset("professor").is_some());
     // Multi-word lemma with a space normalizes to the underscore form.
     assert_eq!(

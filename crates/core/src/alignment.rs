@@ -55,7 +55,9 @@ pub fn align(
     config: &AlignmentConfig,
 ) -> Result<Vec<Correspondence>> {
     if config.measures.is_empty() {
-        return Err(SstError::InvalidArgument("alignment needs at least one measure".into()));
+        return Err(SstError::InvalidArgument(
+            "alignment needs at least one measure".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&config.threshold) {
         return Err(SstError::InvalidArgument(format!(
@@ -67,11 +69,15 @@ pub fn align(
 
     let source_names: Vec<String> = {
         let o = sst.soqa().ontology(source)?;
-        o.concept_ids().map(|id| o.concept(id).name.clone()).collect()
+        o.concept_ids()
+            .map(|id| o.concept(id).name.clone())
+            .collect()
     };
     let target_names: Vec<String> = {
         let o = sst.soqa().ontology(target)?;
-        o.concept_ids().map(|id| o.concept(id).name.clone()).collect()
+        o.concept_ids()
+            .map(|id| o.concept(id).name.clone())
+            .collect()
     };
 
     // Score every pair under the combined measure.
@@ -138,7 +144,11 @@ mod tests {
             &[
                 ("Thing", None, "top"),
                 ("Person", Some("Thing"), "a human being"),
-                ("Student", Some("Person"), "a person who studies at a university"),
+                (
+                    "Student",
+                    Some("Person"),
+                    "a person who studies at a university",
+                ),
                 ("Professor", Some("Person"), "a person who teaches courses"),
                 ("Course", Some("Thing"), "a unit of teaching"),
             ],
@@ -148,7 +158,11 @@ mod tests {
             &[
                 ("Top", None, "root"),
                 ("Human", Some("Top"), "a human being"),
-                ("Learner", Some("Human"), "a human who studies at a university"),
+                (
+                    "Learner",
+                    Some("Human"),
+                    "a human who studies at a university",
+                ),
                 ("Teacher", Some("Human"), "a human who teaches courses"),
                 ("Module", Some("Top"), "a unit of teaching"),
             ],
@@ -199,8 +213,14 @@ mod tests {
     #[test]
     fn threshold_filters_weak_pairs() {
         let sst = toolkit();
-        let strict = AlignmentConfig { threshold: 0.9, ..AlignmentConfig::default() };
-        let loose = AlignmentConfig { threshold: 0.0, ..AlignmentConfig::default() };
+        let strict = AlignmentConfig {
+            threshold: 0.9,
+            ..AlignmentConfig::default()
+        };
+        let loose = AlignmentConfig {
+            threshold: 0.0,
+            ..AlignmentConfig::default()
+        };
         let strict_result = align(&sst, "left", "right", &strict).unwrap();
         let loose_result = align(&sst, "left", "right", &loose).unwrap();
         assert!(strict_result.len() <= loose_result.len());
@@ -216,14 +236,20 @@ mod tests {
             &sst,
             "left",
             "right",
-            &AlignmentConfig { measures: vec![], ..AlignmentConfig::default() }
+            &AlignmentConfig {
+                measures: vec![],
+                ..AlignmentConfig::default()
+            }
         )
         .is_err());
         assert!(align(
             &sst,
             "left",
             "right",
-            &AlignmentConfig { threshold: 1.5, ..AlignmentConfig::default() }
+            &AlignmentConfig {
+                threshold: 1.5,
+                ..AlignmentConfig::default()
+            }
         )
         .is_err());
         assert!(align(&sst, "left", "ghost", &AlignmentConfig::default()).is_err());

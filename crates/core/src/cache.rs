@@ -4,12 +4,15 @@
 //! share a memo table.
 //!
 //! [`CachedSimilarity`] wraps a borrowed [`SstToolkit`] with an interior
-//! `parking_lot::RwLock` memo keyed by `(measure, pair)`; pairs are stored
+//! `std::sync::RwLock` memo keyed by `(measure, pair)`; pairs are stored
 //! in canonical order since every registered measure is symmetric. The
-//! cache is `Sync`, so parallel clients share it.
+//! cache is `Sync`, so parallel clients share it. Lock poisoning is
+//! recovered rather than propagated: the memo holds only derived scores,
+//! so a panicking writer can never leave it semantically inconsistent.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use sst_soqa::GlobalConcept;
 
@@ -17,14 +20,15 @@ use crate::error::Result;
 use crate::facade::{ConceptAndSimilarity, ConceptSet, SstToolkit};
 
 type Key = (usize, GlobalConcept, GlobalConcept);
+type Memo = HashMap<Key, f64>;
 
 /// A memoizing view over a toolkit.
 #[derive(Debug)]
 pub struct CachedSimilarity<'a> {
     toolkit: &'a SstToolkit,
-    memo: RwLock<HashMap<Key, f64>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    memo: RwLock<Memo>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> CachedSimilarity<'a> {
@@ -32,9 +36,17 @@ impl<'a> CachedSimilarity<'a> {
         CachedSimilarity {
             toolkit,
             memo: RwLock::new(HashMap::new()),
-            hits: RwLock::new(0),
-            misses: RwLock::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
+    }
+
+    fn memo_read(&self) -> RwLockReadGuard<'_, Memo> {
+        self.memo.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn memo_write(&self) -> RwLockWriteGuard<'_, Memo> {
+        self.memo.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The wrapped toolkit.
@@ -44,23 +56,26 @@ impl<'a> CachedSimilarity<'a> {
 
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.read(), *self.misses.read())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
-        self.memo.read().len()
+        self.memo_read().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.memo.read().is_empty()
+        self.memo_read().is_empty()
     }
 
     /// Clears the memo (e.g. after registering a differently-configured
     /// toolkit is impossible — toolkits are frozen — so this mainly serves
     /// memory management in long-running services).
     pub fn clear(&self) {
-        self.memo.write().clear();
+        self.memo_write().clear();
     }
 
     fn canonical(measure: usize, a: GlobalConcept, b: GlobalConcept) -> Key {
@@ -82,10 +97,13 @@ impl<'a> CachedSimilarity<'a> {
         measure: usize,
     ) -> Result<f64> {
         let a = self.toolkit.soqa().resolve(first_ontology, first_concept)?;
-        let b = self.toolkit.soqa().resolve(second_ontology, second_concept)?;
+        let b = self
+            .toolkit
+            .soqa()
+            .resolve(second_ontology, second_concept)?;
         let key = Self::canonical(measure, a, b);
-        if let Some(&cached) = self.memo.read().get(&key) {
-            *self.hits.write() += 1;
+        if let Some(&cached) = self.memo_read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached);
         }
         let value = self.toolkit.get_similarity(
@@ -95,8 +113,8 @@ impl<'a> CachedSimilarity<'a> {
             second_ontology,
             measure,
         )?;
-        *self.misses.write() += 1;
-        self.memo.write().insert(key, value);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.memo_write().insert(key, value);
         Ok(value)
     }
 
@@ -113,7 +131,12 @@ impl<'a> CachedSimilarity<'a> {
         let mut all = Vec::new();
         for gc in self.toolkit.concept_set(set)? {
             let other = self.toolkit.soqa().concept(gc).name.clone();
-            let other_onto = self.toolkit.soqa().ontology_at(gc.ontology).name().to_owned();
+            let other_onto = self
+                .toolkit
+                .soqa()
+                .ontology_at(gc.ontology)
+                .name()
+                .to_owned();
             let sim = self.get_similarity(concept, ontology, &other, &other_onto, measure)?;
             all.push(ConceptAndSimilarity {
                 concept: other,
@@ -148,7 +171,10 @@ mod tests {
             let c = b.concept(name);
             b.add_subclass(c, thing);
         }
-        SstBuilder::new().register_ontology(b.build()).unwrap().build()
+        SstBuilder::new()
+            .register_ontology(b.build())
+            .unwrap()
+            .build()
     }
 
     #[test]
@@ -188,7 +214,13 @@ mod tests {
             .get_similarity("Student", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
             .unwrap();
         cache
-            .get_similarity("Student", "uni", "Person", "uni", m::CONCEPTUAL_SIMILARITY_MEASURE)
+            .get_similarity(
+                "Student",
+                "uni",
+                "Person",
+                "uni",
+                m::CONCEPTUAL_SIMILARITY_MEASURE,
+            )
             .unwrap();
         assert_eq!(cache.len(), 2);
     }
@@ -198,15 +230,33 @@ mod tests {
         let sst = toolkit();
         let cache = CachedSimilarity::new(&sst);
         let cached = cache
-            .most_similar("Student", "uni", &ConceptSet::All, 3, m::SHORTEST_PATH_MEASURE)
+            .most_similar(
+                "Student",
+                "uni",
+                &ConceptSet::All,
+                3,
+                m::SHORTEST_PATH_MEASURE,
+            )
             .unwrap();
         let direct = sst
-            .most_similar("Student", "uni", &ConceptSet::All, 3, m::SHORTEST_PATH_MEASURE)
+            .most_similar(
+                "Student",
+                "uni",
+                &ConceptSet::All,
+                3,
+                m::SHORTEST_PATH_MEASURE,
+            )
             .unwrap();
         assert_eq!(cached, direct);
         // Second call is fully cached.
         cache
-            .most_similar("Student", "uni", &ConceptSet::All, 3, m::SHORTEST_PATH_MEASURE)
+            .most_similar(
+                "Student",
+                "uni",
+                &ConceptSet::All,
+                3,
+                m::SHORTEST_PATH_MEASURE,
+            )
             .unwrap();
         let (hits, misses) = cache.stats();
         assert_eq!(misses, 5); // one per concept in the set
@@ -233,8 +283,7 @@ mod tests {
                 scope.spawn(|| {
                     for pair in [("Student", "Person"), ("Course", "Professor")] {
                         cache
-                            .get_similarity(pair.0, "uni", pair.1, "uni",
-                                            m::SHORTEST_PATH_MEASURE)
+                            .get_similarity(pair.0, "uni", pair.1, "uni", m::SHORTEST_PATH_MEASURE)
                             .unwrap();
                     }
                 });

@@ -31,11 +31,18 @@ pub struct GnuplotArtifacts {
 
 impl Chart {
     pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
-        Chart { title: title.into(), y_label: y_label.into(), bars: Vec::new() }
+        Chart {
+            title: title.into(),
+            y_label: y_label.into(),
+            bars: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, label: impl Into<String>, value: f64) {
-        self.bars.push(Bar { label: label.into(), value });
+        self.bars.push(Bar {
+            label: label.into(),
+            value,
+        });
     }
 
     /// Renders the chart as horizontal ASCII bars. `width` is the maximum

@@ -51,7 +51,11 @@ impl Dendrogram {
     pub fn cut(&self, threshold: f64) -> Vec<Vec<String>> {
         match self {
             Dendrogram::Leaf(name) => vec![vec![name.clone()]],
-            Dendrogram::Merge { similarity, left, right } => {
+            Dendrogram::Merge {
+                similarity,
+                left,
+                right,
+            } => {
                 if *similarity >= threshold {
                     let mut members: Vec<String> =
                         self.leaves().into_iter().map(str::to_owned).collect();
@@ -80,7 +84,11 @@ impl Dendrogram {
                 out.push_str(name);
                 out.push('\n');
             }
-            Dendrogram::Merge { similarity, left, right } => {
+            Dendrogram::Merge {
+                similarity,
+                left,
+                right,
+            } => {
                 out.push_str(&"  ".repeat(depth));
                 out.push_str(&format!("┐ {similarity:.3}\n"));
                 left.render_into(out, depth + 1);
@@ -100,14 +108,22 @@ pub fn cluster(
 ) -> Result<Dendrogram> {
     let (labels, matrix) = sst.similarity_matrix(set, measure)?;
     if labels.is_empty() {
-        return Err(SstError::InvalidArgument("cannot cluster an empty concept set".into()));
+        return Err(SstError::InvalidArgument(
+            "cannot cluster an empty concept set".into(),
+        ));
     }
-    Ok(cluster_matrix(&labels, &matrix, linkage))
+    cluster_matrix(&labels, &matrix, linkage)
+        .ok_or_else(|| SstError::InvalidArgument("cannot cluster an empty concept set".into()))
 }
 
 /// Clustering over a precomputed similarity matrix (exposed for tests and
 /// for matrices built from combined measures).
-pub fn cluster_matrix(labels: &[String], matrix: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+/// Returns `None` when `labels` is empty (there is nothing to cluster).
+pub fn cluster_matrix(
+    labels: &[String],
+    matrix: &[Vec<f64>],
+    linkage: Linkage,
+) -> Option<Dendrogram> {
     assert_eq!(labels.len(), matrix.len());
     // Active clusters: dendrogram + member indices.
     let mut clusters: Vec<(Dendrogram, Vec<usize>)> = labels
@@ -153,7 +169,7 @@ pub fn cluster_matrix(labels: &[String], matrix: &[Vec<f64>], linkage: Linkage) 
             members,
         ));
     }
-    clusters.pop().expect("at least one cluster").0
+    clusters.pop().map(|(tree, _)| tree)
 }
 
 #[cfg(test)]
@@ -162,8 +178,7 @@ mod tests {
 
     /// Two tight groups {a, b} and {c, d} with weak cross similarity.
     fn two_groups() -> (Vec<String>, Vec<Vec<f64>>) {
-        let labels: Vec<String> =
-            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
         let matrix = vec![
             vec![1.0, 0.9, 0.1, 0.2],
             vec![0.9, 1.0, 0.15, 0.1],
@@ -177,7 +192,7 @@ mod tests {
     fn recovers_two_groups_under_every_linkage() {
         let (labels, matrix) = two_groups();
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
-            let tree = cluster_matrix(&labels, &matrix, linkage);
+            let tree = cluster_matrix(&labels, &matrix, linkage).expect("non-empty input");
             let clusters = tree.cut(0.5);
             assert_eq!(clusters.len(), 2, "{linkage:?}");
             assert!(clusters.contains(&vec!["a".to_owned(), "b".to_owned()]));
@@ -188,7 +203,7 @@ mod tests {
     #[test]
     fn cut_thresholds() {
         let (labels, matrix) = two_groups();
-        let tree = cluster_matrix(&labels, &matrix, Linkage::Average);
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Average).expect("non-empty input");
         assert_eq!(tree.cut(0.0).len(), 1); // everything merges
         assert_eq!(tree.cut(2.0).len(), 4); // nothing merges
     }
@@ -196,7 +211,7 @@ mod tests {
     #[test]
     fn leaves_preserved() {
         let (labels, matrix) = two_groups();
-        let tree = cluster_matrix(&labels, &matrix, Linkage::Single);
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Single).expect("non-empty input");
         let mut leaves: Vec<&str> = tree.leaves();
         leaves.sort_unstable();
         assert_eq!(leaves, vec!["a", "b", "c", "d"]);
@@ -206,7 +221,7 @@ mod tests {
     fn single_leaf_set() {
         let labels = vec!["only".to_owned()];
         let matrix = vec![vec![1.0]];
-        let tree = cluster_matrix(&labels, &matrix, Linkage::Average);
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Average).expect("non-empty input");
         assert_eq!(tree.cut(0.5), vec![vec!["only".to_owned()]]);
         assert!(tree.render().contains("only"));
     }
@@ -214,7 +229,7 @@ mod tests {
     #[test]
     fn render_shows_merge_levels() {
         let (labels, matrix) = two_groups();
-        let tree = cluster_matrix(&labels, &matrix, Linkage::Single);
+        let tree = cluster_matrix(&labels, &matrix, Linkage::Single).expect("non-empty input");
         let text = tree.render();
         assert!(text.contains("┐ 0.9"));
         assert!(text.lines().count() >= 6);
@@ -230,8 +245,9 @@ mod tests {
             vec![0.9, 1.0, 0.9],
             vec![0.1, 0.9, 1.0],
         ];
-        let single = cluster_matrix(&labels, &matrix, Linkage::Single);
-        let complete = cluster_matrix(&labels, &matrix, Linkage::Complete);
+        let single = cluster_matrix(&labels, &matrix, Linkage::Single).expect("non-empty input");
+        let complete =
+            cluster_matrix(&labels, &matrix, Linkage::Complete).expect("non-empty input");
         assert_eq!(single.cut(0.5).len(), 1);
         assert_eq!(complete.cut(0.5).len(), 2);
     }

@@ -13,6 +13,9 @@ pub enum SstError {
     UnknownMeasure(String),
     /// A service was invoked with invalid parameters.
     InvalidArgument(String),
+    /// An internal failure the caller cannot repair (e.g. a worker
+    /// thread died mid-computation).
+    Internal(String),
 }
 
 impl fmt::Display for SstError {
@@ -21,6 +24,7 @@ impl fmt::Display for SstError {
             SstError::Soqa(e) => e.fmt(f),
             SstError::UnknownMeasure(m) => write!(f, "unknown similarity measure `{m}`"),
             SstError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            SstError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

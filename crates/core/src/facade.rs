@@ -59,7 +59,10 @@ pub struct ConceptRef {
 
 impl ConceptRef {
     pub fn new(concept: impl Into<String>, ontology: impl Into<String>) -> Self {
-        ConceptRef { concept: concept.into(), ontology: ontology.into() }
+        ConceptRef {
+            concept: concept.into(),
+            ontology: ontology.into(),
+        }
     }
 }
 
@@ -174,7 +177,15 @@ impl SstBuilder {
             .map(|(i, r)| (r.info().name, i))
             .collect();
 
-        SstToolkit { soqa: self.soqa, tree, ic, index, doc_ids, runners, measure_names }
+        SstToolkit {
+            soqa: self.soqa,
+            tree,
+            ic,
+            index,
+            doc_ids,
+            runners,
+            measure_names,
+        }
     }
 }
 
@@ -393,10 +404,18 @@ impl SstToolkit {
         let concepts = self.concept_set(set)?;
         let runner = self.runner(measure)?;
         let ctx = self.ctx();
-        let labels = concepts.iter().map(|&gc| self.soqa.qualified_name(gc)).collect();
+        let labels = concepts
+            .iter()
+            .map(|&gc| self.soqa.qualified_name(gc))
+            .collect();
         let matrix = concepts
             .iter()
-            .map(|&a| concepts.iter().map(|&b| runner.similarity(&ctx, a, b)).collect())
+            .map(|&a| {
+                concepts
+                    .iter()
+                    .map(|&b| runner.similarity(&ctx, a, b))
+                    .collect()
+            })
             .collect();
         Ok((labels, matrix))
     }
@@ -414,11 +433,13 @@ impl SstToolkit {
         let concepts = self.concept_set(set)?;
         let runner = self.runner(measure)?;
         let ctx = self.ctx();
-        let labels: Vec<String> =
-            concepts.iter().map(|&gc| self.soqa.qualified_name(gc)).collect();
+        let labels: Vec<String> = concepts
+            .iter()
+            .map(|&gc| self.soqa.qualified_name(gc))
+            .collect();
         let threads = threads.clamp(1, concepts.len().max(1));
         let mut matrix = vec![Vec::new(); concepts.len()];
-        std::thread::scope(|scope| {
+        let worker_died = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..threads {
                 let concepts = &concepts;
@@ -435,12 +456,24 @@ impl SstToolkit {
                     rows
                 }));
             }
+            let mut worker_died = false;
             for handle in handles {
-                for (i, row) in handle.join().expect("matrix worker panicked") {
-                    matrix[i] = row;
+                match handle.join() {
+                    Ok(rows) => {
+                        for (i, row) in rows {
+                            matrix[i] = row;
+                        }
+                    }
+                    Err(_) => worker_died = true,
                 }
             }
+            worker_died
         });
+        if worker_died {
+            return Err(SstError::Internal(
+                "similarity-matrix worker thread died".into(),
+            ));
+        }
         Ok((labels, matrix))
     }
 
@@ -517,7 +550,12 @@ impl SstToolkit {
             let other = self.soqa.concept(gc).name.clone();
             let other_onto = self.soqa.ontology_at(gc.ontology).name().to_owned();
             let sim = self.combined_similarity(
-                concept, ontology, &other, &other_onto, measures, combiner,
+                concept,
+                ontology,
+                &other,
+                &other_onto,
+                measures,
+                combiner,
             )?;
             all.push(ConceptAndSimilarity {
                 concept: other,
@@ -556,9 +594,7 @@ impl SstToolkit {
             measures,
         )?;
         let mut chart = Chart::new(
-            format!(
-                "{first_ontology}:{first_concept} vs {second_ontology}:{second_concept}"
-            ),
+            format!("{first_ontology}:{first_concept} vs {second_ontology}:{second_concept}"),
             "similarity",
         );
         for (&m, value) in measures.iter().zip(values) {
@@ -583,7 +619,11 @@ impl SstToolkit {
                 "The {k} most similar concepts for {ontology}:{concept} ({})",
                 info.display
             ),
-            if info.normalized { "similarity".to_owned() } else { "bits".to_owned() },
+            if info.normalized {
+                "similarity".to_owned()
+            } else {
+                "bits".to_owned()
+            },
         );
         for row in ranked {
             chart.push(format!("{}:{}", row.ontology, row.concept), row.similarity);
@@ -600,7 +640,9 @@ impl SstToolkit {
 
     /// Renders the concept-hierarchy browser pane for one ontology.
     pub fn render_ontology_tree(&self, ontology: &str) -> Result<String> {
-        Ok(sst_soqa::browser::render_tree(self.soqa.ontology(ontology)?))
+        Ok(sst_soqa::browser::render_tree(
+            self.soqa.ontology(ontology)?,
+        ))
     }
 
     /// Renders the browser detail pane for one concept.
@@ -611,6 +653,8 @@ impl SstToolkit {
 
     /// Renders the metadata pane for one ontology.
     pub fn render_metadata(&self, ontology: &str) -> Result<String> {
-        Ok(sst_soqa::browser::render_metadata(self.soqa.ontology(ontology)?))
+        Ok(sst_soqa::browser::render_metadata(
+            self.soqa.ontology(ontology)?,
+        ))
     }
 }

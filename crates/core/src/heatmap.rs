@@ -26,7 +26,11 @@ impl Heatmap {
         for row in &matrix {
             assert_eq!(labels.len(), row.len(), "matrix must be square");
         }
-        Heatmap { title: title.into(), labels, matrix }
+        Heatmap {
+            title: title.into(),
+            labels,
+            matrix,
+        }
     }
 
     /// ASCII rendering: one shade cell (two chars wide) per pair, with
@@ -44,7 +48,8 @@ impl Heatmap {
             out.push_str(&format!("  {:>3} ", i + 1));
             for &v in row {
                 let clamped = v.clamp(0.0, 1.0);
-                let shade = SHADES[((clamped * (SHADES.len() - 1) as f64).round()) as usize];
+                let idx = (clamped * (SHADES.len() - 1) as f64).round() as usize;
+                let shade = SHADES.get(idx).copied().unwrap_or('█');
                 out.push_str(&format!(" {shade}{shade}"));
             }
             out.push('\n');
@@ -110,11 +115,7 @@ mod tests {
 
     #[test]
     fn values_are_clamped() {
-        let h = Heatmap::new(
-            "clamp",
-            vec!["x".into()],
-            vec![vec![42.0]],
-        );
+        let h = Heatmap::new("clamp", vec!["x".into()], vec![vec![42.0]]);
         let text = h.to_ascii();
         assert!(text.contains('█'));
     }

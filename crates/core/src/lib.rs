@@ -33,7 +33,7 @@
 //! ```
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod alignment;
 pub mod cache;
@@ -50,14 +50,14 @@ pub use alignment::{align, AlignmentConfig, Correspondence};
 pub use cache::CachedSimilarity;
 pub use chart::{Bar, Chart, GnuplotArtifacts};
 pub use clustering::{cluster, cluster_matrix, Dendrogram, Linkage};
+pub use error::{Result, SstError};
 pub use export::{
     alignment_to_csv, alignment_to_json, matrix_to_csv, ranking_to_csv, ranking_to_json,
 };
-pub use error::{Result, SstError};
-pub use heatmap::Heatmap;
 pub use facade::{
-    measure_ids, ConceptAndSimilarity, ConceptRef, ConceptSet, ProbabilityModeConfig,
-    SstBuilder, SstConfig, SstToolkit,
+    measure_ids, ConceptAndSimilarity, ConceptRef, ConceptSet, ProbabilityModeConfig, SstBuilder,
+    SstConfig, SstToolkit,
 };
+pub use heatmap::Heatmap;
 pub use runner::{MeasureRunner, RunnerInfo, SimilarityContext};
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};

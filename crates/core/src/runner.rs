@@ -10,11 +10,11 @@ use std::fmt;
 
 use sst_index::{DocId, InvertedIndex};
 use sst_simpack::{
-    edge_similarity, jaro, jaro_winkler, lin_similarity, monge_elkan, qgram,
-    jiang_conrath_similarity, levenshtein_similarity, needleman_wunsch_similarity,
-    resnik_similarity, sequence_similarity, shortest_path_similarity,
-    smith_waterman_similarity, tree_similarity, wu_palmer_similarity_rooted,
-    AlignmentScoring, CostModel, FeatureSet, InformationContent, LabeledTree, MeasureKind,
+    edge_similarity, jaro, jaro_winkler, jiang_conrath_similarity, levenshtein_similarity,
+    lin_similarity, monge_elkan, needleman_wunsch_similarity, qgram, resnik_similarity,
+    sequence_similarity, shortest_path_similarity, smith_waterman_similarity, tree_similarity,
+    wu_palmer_similarity_rooted, AlignmentScoring, CostModel, FeatureSet, InformationContent,
+    LabeledTree, MeasureKind,
 };
 use sst_soqa::{GlobalConcept, Soqa};
 
@@ -116,8 +116,7 @@ impl SimilarityContext<'_> {
     pub fn subtree(&self, gc: GlobalConcept, depth: usize) -> LabeledTree {
         let mut tree = LabeledTree::new();
         let root_node = self.tree.node(gc);
-        let root =
-            tree.add_node(self.soqa.concept(gc).name.clone(), None);
+        let root = tree.add_node(self.soqa.concept(gc).name.clone(), None);
         self.fill_subtree(root_node, root, depth, &mut tree);
         tree
     }
@@ -151,8 +150,7 @@ pub trait MeasureRunner: Send + Sync {
     /// Metadata shown to clients (name, normalization, …).
     fn info(&self) -> RunnerInfo;
     /// Pairwise similarity of two concepts under this measure.
-    fn similarity(&self, ctx: &SimilarityContext<'_>, a: GlobalConcept, b: GlobalConcept)
-        -> f64;
+    fn similarity(&self, ctx: &SimilarityContext<'_>, a: GlobalConcept, b: GlobalConcept) -> f64;
 }
 
 impl fmt::Debug for dyn MeasureRunner {

@@ -54,7 +54,10 @@ impl UnifiedTree {
             let ontology = soqa.ontology_at(oi);
             let roots: Vec<_> = ontology.roots().to_vec();
             for cid in ontology.concept_ids() {
-                let gc = GlobalConcept { ontology: oi, concept: cid };
+                let gc = GlobalConcept {
+                    ontology: oi,
+                    concept: cid,
+                };
                 if mode == TreeMode::MergedThing && roots.contains(&cid) {
                     // Replaced by the shared root node.
                     node_of.insert(gc, 0);
@@ -70,7 +73,10 @@ impl UnifiedTree {
         for oi in 0..soqa.ontology_count() {
             let ontology = soqa.ontology_at(oi);
             for cid in ontology.concept_ids() {
-                let gc = GlobalConcept { ontology: oi, concept: cid };
+                let gc = GlobalConcept {
+                    ontology: oi,
+                    concept: cid,
+                };
                 let node = node_of[&gc];
                 let supers = ontology.direct_supers(cid);
                 if supers.is_empty() {
@@ -81,13 +87,21 @@ impl UnifiedTree {
                     }
                 } else {
                     for &sup in supers {
-                        let sup_gc = GlobalConcept { ontology: oi, concept: sup };
+                        let sup_gc = GlobalConcept {
+                            ontology: oi,
+                            concept: sup,
+                        };
                         taxonomy.add_edge(node, node_of[&sup_gc]);
                     }
                 }
             }
         }
-        UnifiedTree { taxonomy, mode, concepts, node_of }
+        UnifiedTree {
+            taxonomy,
+            mode,
+            concepts,
+            node_of,
+        }
     }
 
     /// The tree-join mode this tree was built with.
@@ -158,10 +172,7 @@ impl UnifiedTree {
             }
             // Follow the parent on a shortest path to the root.
             let parents = self.taxonomy.parents(node);
-            match parents
-                .iter()
-                .min_by_key(|&&p| self.taxonomy.depth(p))
-            {
+            match parents.iter().min_by_key(|&&p| self.taxonomy.depth(p)) {
                 Some(&p) => node = p,
                 None => break,
             }
@@ -243,9 +254,7 @@ mod tests {
         let professor = soqa.resolve("uni", "Professor").unwrap();
         let blackbird = soqa.resolve("birds", "Blackbird").unwrap();
 
-        let d = |t: &UnifiedTree, a, b| {
-            t.taxonomy().shortest_path(t.node(a), t.node(b)).unwrap()
-        };
+        let d = |t: &UnifiedTree, a, b| t.taxonomy().shortest_path(t.node(a), t.node(b)).unwrap();
         assert_eq!(d(&st, student, professor), 2);
         assert_eq!(d(&st, student, blackbird), 6);
         assert_eq!(d(&merged, student, professor), 2);
@@ -277,7 +286,9 @@ mod tests {
         let blackb = flat_soqa.resolve("o2", "Blackbird").unwrap();
         // Exactly the paper's complaint: equal distances.
         assert_eq!(
-            flat_merged.taxonomy().shortest_path(flat_merged.node(s), flat_merged.node(p)),
+            flat_merged
+                .taxonomy()
+                .shortest_path(flat_merged.node(s), flat_merged.node(p)),
             flat_merged
                 .taxonomy()
                 .shortest_path(flat_merged.node(s), flat_merged.node(blackb)),

@@ -61,13 +61,23 @@ fn builder_configuration_flows_through() {
 fn probability_mode_changes_ic_measures() {
     // OWL side has 3 instances over 2 concepts out of 4 → 50% populated, so
     // the instance corpus is used when requested; subclass mode must differ.
-    let inst = toolkit(TreeMode::SuperThing, ProbabilityModeConfig::InstanceCorpusWithFallback);
+    let inst = toolkit(
+        TreeMode::SuperThing,
+        ProbabilityModeConfig::InstanceCorpusWithFallback,
+    );
     let sub = toolkit(TreeMode::SuperThing, ProbabilityModeConfig::SubclassCount);
     let q = ("Student", "uni_owl", "Professor", "uni_owl");
-    let a = inst.get_similarity(q.0, q.1, q.2, q.3, m::RESNIK_MEASURE).unwrap();
-    let b = sub.get_similarity(q.0, q.1, q.2, q.3, m::RESNIK_MEASURE).unwrap();
+    let a = inst
+        .get_similarity(q.0, q.1, q.2, q.3, m::RESNIK_MEASURE)
+        .unwrap();
+    let b = sub
+        .get_similarity(q.0, q.1, q.2, q.3, m::RESNIK_MEASURE)
+        .unwrap();
     assert!(a.is_finite() && b.is_finite());
-    assert!((a - b).abs() > 1e-6, "expected different IC corpora: {a} vs {b}");
+    assert!(
+        (a - b).abs() > 1e-6,
+        "expected different IC corpora: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -85,12 +95,26 @@ fn combined_similarity_service() {
 
     // Arity mismatch and unnormalized components are rejected.
     assert!(matches!(
-        sst.combined_similarity("Student", "uni_owl", "STUDENT", "PL", &measures[..1], &combiner),
+        sst.combined_similarity(
+            "Student",
+            "uni_owl",
+            "STUDENT",
+            "PL",
+            &measures[..1],
+            &combiner
+        ),
         Err(SstError::InvalidArgument(_))
     ));
     let with_resnik = [m::RESNIK_MEASURE, m::TFIDF_MEASURE];
     assert!(sst
-        .combined_similarity("Student", "uni_owl", "STUDENT", "PL", &with_resnik, &combiner)
+        .combined_similarity(
+            "Student",
+            "uni_owl",
+            "STUDENT",
+            "PL",
+            &with_resnik,
+            &combiner
+        )
         .is_err());
 }
 
@@ -109,15 +133,23 @@ fn most_similar_combined_ranks_cross_language_twins_high() {
         )
         .unwrap();
     assert_eq!(top[0].concept, "Student"); // self
-    // The PowerLoom STUDENT should appear in the top 3.
-    assert!(top.iter().any(|r| r.concept == "STUDENT" && r.ontology == "PL"));
+                                           // The PowerLoom STUDENT should appear in the top 3.
+    assert!(top
+        .iter()
+        .any(|r| r.concept == "STUDENT" && r.ontology == "PL"));
 }
 
 #[test]
 fn chart_services_render() {
     let sst = toolkit(TreeMode::SuperThing, ProbabilityModeConfig::default());
     let chart = sst
-        .most_similar_plot("Professor", "uni_owl", &ConceptSet::All, 4, m::TFIDF_MEASURE)
+        .most_similar_plot(
+            "Professor",
+            "uni_owl",
+            &ConceptSet::All,
+            4,
+            m::TFIDF_MEASURE,
+        )
         .unwrap();
     assert_eq!(chart.bars.len(), 4);
     assert!(chart.title.contains("4 most similar"));
@@ -125,7 +157,13 @@ fn chart_services_render() {
     assert!(gnuplot.data.lines().count() == 4);
     // Unnormalized measure labels the axis in bits.
     let resnik_chart = sst
-        .most_similar_plot("Professor", "uni_owl", &ConceptSet::All, 2, m::RESNIK_MEASURE)
+        .most_similar_plot(
+            "Professor",
+            "uni_owl",
+            &ConceptSet::All,
+            2,
+            m::RESNIK_MEASURE,
+        )
         .unwrap();
     assert_eq!(resnik_chart.y_label, "bits");
 }
@@ -146,7 +184,9 @@ fn browser_render_helpers() {
 #[test]
 fn soqaql_count_via_facade() {
     let sst = toolkit(TreeMode::SuperThing, ProbabilityModeConfig::default());
-    let t = sst.query("SELECT COUNT(*) FROM concepts OF 'uni_owl'").unwrap();
+    let t = sst
+        .query("SELECT COUNT(*) FROM concepts OF 'uni_owl'")
+        .unwrap();
     assert_eq!(t.rows[0][0].render(), "4"); // Thing + 3 classes
     let t = sst.query("SELECT COUNT(*) FROM instances").unwrap();
     assert_eq!(t.rows[0][0].render(), "3");
@@ -165,7 +205,9 @@ fn concept_set_resolution_errors() {
 fn parallel_matrix_matches_sequential() {
     let sst = toolkit(TreeMode::SuperThing, ProbabilityModeConfig::default());
     let set = ConceptSet::All;
-    let (labels_a, seq) = sst.similarity_matrix(&set, m::CONCEPTUAL_SIMILARITY_MEASURE).unwrap();
+    let (labels_a, seq) = sst
+        .similarity_matrix(&set, m::CONCEPTUAL_SIMILARITY_MEASURE)
+        .unwrap();
     let (labels_b, par) = sst
         .similarity_matrix_parallel(&set, m::CONCEPTUAL_SIMILARITY_MEASURE, 4)
         .unwrap();

@@ -39,7 +39,11 @@ impl<'a> Bm25<'a> {
         } else {
             total as f64 / index.doc_count() as f64
         };
-        Bm25 { index, params, average_doc_length }
+        Bm25 {
+            index,
+            params,
+            average_doc_length,
+        }
     }
 
     /// BM25 inverse document frequency: `ln((N − df + 0.5) / (df + 0.5) + 1)`.
@@ -64,13 +68,12 @@ impl<'a> Bm25<'a> {
                 let len_norm = 1.0 - self.params.b
                     + self.params.b * self.index.doc_length(doc) as f64
                         / self.average_doc_length.max(1e-9);
-                let score = idf * (tf * (self.params.k1 + 1.0))
-                    / (tf + self.params.k1 * len_norm);
+                let score = idf * (tf * (self.params.k1 + 1.0)) / (tf + self.params.k1 * len_norm);
                 *scores.entry(doc).or_insert(0.0) += score;
             }
         }
         let mut out: Vec<(DocId, f64)> = scores.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }

@@ -139,7 +139,7 @@ impl InvertedIndex {
                 (doc, if denom > 0.0 { dot / denom } else { 0.0 })
             })
             .collect();
-        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        results.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         results.truncate(k);
         results
     }
@@ -196,6 +196,7 @@ impl IndexBuilder {
         if let Some(&existing) = self.index.keys.get(&key) {
             return existing;
         }
+        // lint: allow(panic) id space (2^32 documents) exceeds any real corpus
         let doc = DocId(u32::try_from(self.index.docs.len()).expect("too many documents"));
         let tokens = analyze(text);
         let mut tf: HashMap<TermId, u32> = HashMap::new();
@@ -203,9 +204,8 @@ impl IndexBuilder {
             let term_id = match self.index.term_ids.get(token) {
                 Some(&t) => t,
                 None => {
-                    let t = TermId(
-                        u32::try_from(self.index.terms.len()).expect("too many terms"),
-                    );
+                    let next_term = u32::try_from(self.index.terms.len()).expect("too many terms"); // lint: allow(panic) id space (2^32 terms) exceeds any real vocabulary
+                    let t = TermId(next_term);
                     self.index.terms.push(token.clone());
                     self.index.term_ids.insert(token.clone(), t);
                     self.index.postings.push(Vec::new());
@@ -219,7 +219,10 @@ impl IndexBuilder {
         for &(t, f) in &doc_vec {
             self.index.postings[t.0 as usize].push(Posting { doc, tf: f });
         }
-        self.index.docs.push(DocEntry { key: key.clone(), length: tokens.len() as u32 });
+        self.index.docs.push(DocEntry {
+            key: key.clone(),
+            length: tokens.len() as u32,
+        });
         self.index.keys.insert(key, doc);
         self.index.doc_terms.push(doc_vec);
         doc

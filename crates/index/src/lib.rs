@@ -18,7 +18,7 @@
 //! ```
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod bm25;
 pub mod index;

@@ -11,7 +11,9 @@ pub fn stem(word: &str) -> String {
     if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_owned();
     }
-    let mut s = Stemmer { b: word.as_bytes().to_vec() };
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
     s.step1a();
     s.step1b();
     s.step1c();
@@ -20,7 +22,10 @@ pub fn stem(word: &str) -> String {
     s.step4();
     s.step5a();
     s.step5b();
-    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+    // The stemmer rewrites byte suffixes; a non-ASCII input could in
+    // principle leave a torn multi-byte sequence, so recover lossily
+    // instead of asserting.
+    String::from_utf8(s.b).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 
 struct Stemmer {
@@ -85,14 +90,16 @@ impl Stemmer {
 
     /// True if `b[..=j]` ends in a double consonant.
     fn double_consonant(&self, j: usize) -> bool {
-        j >= 1 && self.b[j] == self.b[j - 1] && self.is_consonant(j)
+        let Some(prev) = j.checked_sub(1) else {
+            return false;
+        };
+        self.b[j] == self.b[prev] && self.is_consonant(j)
     }
 
     /// True if `b[..=j]` ends consonant-vowel-consonant where the final
     /// consonant is not w, x, or y.
     fn cvc(&self, j: usize) -> bool {
-        if j < 2 || !self.is_consonant(j) || self.is_consonant(j - 1) || !self.is_consonant(j - 2)
-        {
+        if j < 2 || !self.is_consonant(j) || self.is_consonant(j - 1) || !self.is_consonant(j - 2) {
             return false;
         }
         !matches!(self.b[j], b'w' | b'x' | b'y')
@@ -236,8 +243,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         const SUFFIXES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+            "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         // "ion" needs the preceding letter to be s or t.
         if let Some(j) = self.stem_end("ion") {
@@ -389,7 +396,13 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_common_words() {
-        for w in ["running", "happiness", "relational", "generalization", "libraries"] {
+        for w in [
+            "running",
+            "happiness",
+            "relational",
+            "generalization",
+            "libraries",
+        ] {
             let once = stem(w);
             assert_eq!(stem(&once), once, "idempotence for {w}");
         }

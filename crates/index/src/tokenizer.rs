@@ -12,10 +12,9 @@ pub fn tokenize(text: &str) -> Vec<String> {
     let mut prev_lower = false;
     for c in text.chars() {
         if c.is_alphanumeric() {
-            if c.is_uppercase() && prev_lower
-                && !current.is_empty() {
-                    tokens.push(std::mem::take(&mut current));
-                }
+            if c.is_uppercase() && prev_lower && !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
             prev_lower = c.is_lowercase() || c.is_numeric();
             current.extend(c.to_lowercase());
         } else {
@@ -35,10 +34,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// Lucene `StopAnalyzer` set plus a few function words common in ontology
 /// documentation strings).
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
-    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
-    "these", "they", "this", "to", "was", "will", "with", "which", "who", "whose", "has",
-    "have", "its", "from", "can", "may", "each", "any", "all", "some", "other", "more",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with", "which", "who", "whose", "has", "have", "its",
+    "from", "can", "may", "each", "any", "all", "some", "other", "more",
 ];
 
 /// Returns true when `token` is a stopword.

@@ -1,43 +1,113 @@
 //! Property tests for the full-text substrate: stemmer and index
-//! invariants over random inputs.
+//! invariants over generated inputs, sampled with a deterministic inline
+//! PRNG (no external test engine).
 
-use proptest::prelude::*;
 use sst_index::{analyze, stem, tokenize, IndexBuilder};
 
-proptest! {
-    /// Stemming always yields a lowercase ASCII word. (Note: the classic
-    /// Porter algorithm is *not* idempotent — e.g. "aase" → "aas" → "aa",
-    /// because step 5a's e-removal can re-expose a step-1a plural-s — so no
-    /// idempotence property is asserted; the reference vectors in
-    /// `porter.rs` pin the standard behaviour instead.)
-    #[test]
-    fn stems_are_lowercase_ascii(word in "[a-z]{1,15}") {
+/// Deterministic PRNG (SplitMix64) so failures reproduce exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn lower_word(&mut self, min: usize, max: usize) -> String {
+        let len = min + self.below(max - min + 1);
+        (0..len)
+            .map(|_| char::from(b'a' + self.below(26) as u8))
+            .collect()
+    }
+
+    /// Lowercase letters and spaces — document-shaped text.
+    fn lower_text(&mut self, min: usize, max: usize) -> String {
+        let len = min + self.below(max - min + 1);
+        (0..len)
+            .map(|_| {
+                if self.below(6) == 0 {
+                    ' '
+                } else {
+                    char::from(b'a' + self.below(26) as u8)
+                }
+            })
+            .collect()
+    }
+
+    fn printable(&mut self, max: usize) -> String {
+        let len = self.below(max + 1);
+        (0..len)
+            .map(|_| char::from(b' ' + self.below(95) as u8))
+            .collect()
+    }
+}
+
+const CASES: u64 = 256;
+
+/// Stemming always yields a lowercase ASCII word. (Note: the classic
+/// Porter algorithm is *not* idempotent — e.g. "aase" → "aas" → "aa",
+/// because step 5a's e-removal can re-expose a step-1a plural-s — so no
+/// idempotence property is asserted; the reference vectors in
+/// `porter.rs` pin the standard behaviour instead.)
+#[test]
+fn stems_are_lowercase_ascii() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let word = rng.lower_word(1, 15);
         let s = stem(&word);
-        prop_assert!(!s.is_empty());
-        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        assert!(!s.is_empty(), "seed {seed}: {word}");
+        assert!(
+            s.bytes().all(|b| b.is_ascii_lowercase()),
+            "seed {seed}: {word} -> {s}"
+        );
     }
+}
 
-    /// Stems never grow.
-    #[test]
-    fn stems_never_grow(word in "[a-z]{1,15}") {
-        prop_assert!(stem(&word).len() <= word.len());
+/// Stems never grow.
+#[test]
+fn stems_never_grow() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x9D2C));
+        let word = rng.lower_word(1, 15);
+        assert!(stem(&word).len() <= word.len(), "seed {seed}: {word}");
     }
+}
 
-    /// Tokenization output is lowercase alphanumeric and loss-bounded.
-    #[test]
-    fn tokens_are_normalized(text in "[ -~]{0,60}") {
+/// Tokenization output is lowercase alphanumeric and loss-bounded.
+#[test]
+fn tokens_are_normalized() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x1357));
+        let text = rng.printable(60);
         for token in tokenize(&text) {
-            prop_assert!(!token.is_empty());
-            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
-            prop_assert!(!token.chars().any(|c| c.is_uppercase()));
+            assert!(!token.is_empty(), "seed {seed}");
+            assert!(
+                token.chars().all(|c| c.is_alphanumeric()),
+                "seed {seed}: {token}"
+            );
+            assert!(
+                !token.chars().any(|c| c.is_uppercase()),
+                "seed {seed}: {token}"
+            );
         }
     }
+}
 
-    /// Cosine over the index is symmetric, within [0, 1], and 1 on self.
-    #[test]
-    fn index_cosine_invariants(
-        docs in proptest::collection::vec("[a-z ]{1,50}", 2..8)
-    ) {
+/// Cosine over the index is symmetric, within [0, 1], and 1 on self.
+#[test]
+fn index_cosine_invariants() {
+    for seed in 0..CASES / 2 {
+        let mut rng = Rng(seed.wrapping_mul(0xFACE));
+        let docs: Vec<String> = (0..2 + rng.below(6))
+            .map(|_| rng.lower_text(1, 50))
+            .collect();
         let mut builder = IndexBuilder::new();
         let ids: Vec<_> = docs
             .iter()
@@ -45,38 +115,42 @@ proptest! {
             .map(|(i, text)| builder.add_document(format!("d{i}"), text))
             .collect();
         let index = builder.build();
-        for &a in &ids {
+        for (pos, &a) in ids.iter().enumerate() {
             for &b in &ids {
                 let ab = index.cosine(a, b);
-                prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
-                prop_assert!((ab - index.cosine(b, a)).abs() < 1e-12);
+                assert!((0.0..=1.0 + 1e-12).contains(&ab), "seed {seed}");
+                assert!((ab - index.cosine(b, a)).abs() < 1e-12, "seed {seed}");
             }
             // Self-similarity is 1 when the document has any terms.
-            if !analyze(&docs[ids.iter().position(|&x| x == a).unwrap()]).is_empty() {
-                prop_assert!((index.cosine(a, a) - 1.0).abs() < 1e-9);
+            if !analyze(&docs[pos]).is_empty() {
+                assert!((index.cosine(a, a) - 1.0).abs() < 1e-9, "seed {seed}");
             }
         }
     }
+}
 
-    /// Search results are sorted by descending score and bounded by k.
-    #[test]
-    fn search_is_sorted_and_bounded(
-        docs in proptest::collection::vec("[a-z ]{1,40}", 1..6),
-        query in "[a-z ]{1,20}",
-        k in 1usize..5,
-    ) {
+/// Search results are sorted by descending score and bounded by k.
+#[test]
+fn search_is_sorted_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x2468));
+        let docs: Vec<String> = (0..1 + rng.below(5))
+            .map(|_| rng.lower_text(1, 40))
+            .collect();
+        let query = rng.lower_text(1, 20);
+        let k = 1 + rng.below(4);
         let mut builder = IndexBuilder::new();
         for (i, text) in docs.iter().enumerate() {
             builder.add_document(format!("d{i}"), text);
         }
         let index = builder.build();
         let hits = index.search(&query, k);
-        prop_assert!(hits.len() <= k);
+        assert!(hits.len() <= k, "seed {seed}");
         for w in hits.windows(2) {
-            prop_assert!(w[0].1 >= w[1].1);
+            assert!(w[0].1 >= w[1].1, "seed {seed}");
         }
         for (_, score) in hits {
-            prop_assert!(score > 0.0 && score <= 1.0 + 1e-9);
+            assert!(score > 0.0 && score <= 1.0 + 1e-9, "seed {seed}");
         }
     }
 }

@@ -25,6 +25,7 @@ impl TermInterner {
         if let Some(&id) = self.ids.get(term) {
             return id;
         }
+        // lint: allow(panic) interner capacity (2^32 distinct terms) exceeds any real ontology
         let id = TermId(u32::try_from(self.terms.len()).expect("more than 2^32 terms"));
         self.terms.push(term.clone());
         self.ids.insert(term.clone(), id);
@@ -96,7 +97,11 @@ impl Graph {
     pub fn add_prefix(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
         let prefix = prefix.into();
         let namespace = namespace.into();
-        if !self.prefixes.iter().any(|(p, n)| *p == prefix && *n == namespace) {
+        if !self
+            .prefixes
+            .iter()
+            .any(|(p, n)| *p == prefix && *n == namespace)
+        {
             self.prefixes.push((prefix, namespace));
         }
     }
@@ -119,6 +124,9 @@ impl Graph {
     fn decode(&self, (s, p, o): (TermId, TermId, TermId)) -> Triple {
         let predicate = match self.interner.resolve(p) {
             Term::Iri(iri) => iri.clone(),
+            // `insert` only interns IRI predicates, so this arm is an
+            // internal-invariant breach, not a user-input condition.
+            // lint: allow(panic) Triple::predicate is typed Iri; no Result channel exists here
             other => unreachable!("predicate interned as non-IRI: {other:?}"),
         };
         Triple {
@@ -272,11 +280,13 @@ mod tests {
         assert_eq!(g.matching(None, None, None).len(), 4);
         assert_eq!(g.matching(Some(&Term::iri("s1")), None, None).len(), 3);
         assert_eq!(
-            g.matching(Some(&Term::iri("s1")), Some(&Iri::new("p1")), None).len(),
+            g.matching(Some(&Term::iri("s1")), Some(&Iri::new("p1")), None)
+                .len(),
             2
         );
         assert_eq!(
-            g.matching(None, Some(&Iri::new("p1")), Some(&Term::iri("o1"))).len(),
+            g.matching(None, Some(&Iri::new("p1")), Some(&Term::iri("o1")))
+                .len(),
             2
         );
         assert_eq!(g.matching(None, None, Some(&Term::iri("o1"))).len(), 3);
@@ -291,7 +301,8 @@ mod tests {
             1
         );
         assert_eq!(
-            g.matching(Some(&Term::iri("s1")), None, Some(&Term::iri("o1"))).len(),
+            g.matching(Some(&Term::iri("s1")), None, Some(&Term::iri("o1")))
+                .len(),
             2
         );
     }
@@ -308,8 +319,16 @@ mod tests {
     fn literals_are_distinct_terms() {
         let mut g = Graph::new();
         let p = Iri::new("p");
-        g.insert(Triple::new(Term::iri("s"), p.clone(), Term::Literal(Literal::plain("x"))));
-        g.insert(Triple::new(Term::iri("s"), p.clone(), Term::Literal(Literal::lang("x", "en"))));
+        g.insert(Triple::new(
+            Term::iri("s"),
+            p.clone(),
+            Term::Literal(Literal::plain("x")),
+        ));
+        g.insert(Triple::new(
+            Term::iri("s"),
+            p.clone(),
+            Term::Literal(Literal::lang("x", "en")),
+        ));
         assert_eq!(g.len(), 2);
         assert_eq!(g.objects_for(&Term::iri("s"), &p).len(), 2);
     }
@@ -331,6 +350,9 @@ mod tests {
             crate::vocab::rdf::type_(),
             Term::iri("Person"),
         ));
-        assert_eq!(g.instances_of(&Iri::new("Person")), vec![Term::iri("alice")]);
+        assert_eq!(
+            g.instances_of(&Iri::new("Person")),
+            vec![Term::iri("alice")]
+        );
     }
 }

@@ -27,7 +27,11 @@ pub struct InferenceOptions {
 
 impl Default for InferenceOptions {
     fn default() -> Self {
-        InferenceOptions { subclass: true, subproperty: true, domain_range: true }
+        InferenceOptions {
+            subclass: true,
+            subproperty: true,
+            domain_range: true,
+        }
     }
 }
 
@@ -73,11 +77,7 @@ pub fn rdfs_closure(graph: &Graph, options: InferenceOptions) -> Graph {
             // rdfs5: (p ⊑ q), (q ⊑ r) ⇒ (p ⊑ r)
             for t1 in out.matching(None, Some(&sub_prop), None) {
                 for t2 in out.matching(Some(&t1.object), Some(&sub_prop), None) {
-                    additions.push(Triple::new(
-                        t1.subject.clone(),
-                        sub_prop.clone(),
-                        t2.object,
-                    ));
+                    additions.push(Triple::new(t1.subject.clone(), sub_prop.clone(), t2.object));
                 }
             }
             // rdfs7: (s p o), (p ⊑ q) ⇒ (s q o)
@@ -93,21 +93,21 @@ pub fn rdfs_closure(graph: &Graph, options: InferenceOptions) -> Graph {
         if options.domain_range {
             // rdfs2: (p domain c), (s p o) ⇒ (s : c)
             for t1 in out.matching(None, Some(&domain), None) {
-                let Some(p) = t1.subject.as_iri() else { continue };
+                let Some(p) = t1.subject.as_iri() else {
+                    continue;
+                };
                 for stmt in out.matching(None, Some(p), None) {
                     additions.push(Triple::new(stmt.subject, type_.clone(), t1.object.clone()));
                 }
             }
             // rdfs3: (p range c), (s p o), o is a resource ⇒ (o : c)
             for t1 in out.matching(None, Some(&range), None) {
-                let Some(p) = t1.subject.as_iri() else { continue };
+                let Some(p) = t1.subject.as_iri() else {
+                    continue;
+                };
                 for stmt in out.matching(None, Some(p), None) {
                     if stmt.object.is_resource() {
-                        additions.push(Triple::new(
-                            stmt.object,
-                            type_.clone(),
-                            t1.object.clone(),
-                        ));
+                        additions.push(Triple::new(stmt.object, type_.clone(), t1.object.clone()));
                     }
                 }
             }
@@ -141,8 +141,16 @@ mod tests {
     #[test]
     fn subclass_transitivity_and_type_inheritance() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("Student"), rdfs::sub_class_of(), iri("Person")));
-        g.insert(Triple::new(iri("Person"), rdfs::sub_class_of(), iri("Agent")));
+        g.insert(Triple::new(
+            iri("Student"),
+            rdfs::sub_class_of(),
+            iri("Person"),
+        ));
+        g.insert(Triple::new(
+            iri("Person"),
+            rdfs::sub_class_of(),
+            iri("Agent"),
+        ));
         g.insert(Triple::new(iri("alice"), rdf::type_(), iri("Student")));
         let closed = rdfs_closure(&g, InferenceOptions::default());
         assert!(closed.contains(&Triple::new(
@@ -157,7 +165,11 @@ mod tests {
     #[test]
     fn subproperty_statement_inheritance() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("advises"), rdfs::sub_property_of(), iri("knows")));
+        g.insert(Triple::new(
+            iri("advises"),
+            rdfs::sub_property_of(),
+            iri("knows"),
+        ));
         g.insert(Triple::new(iri("bob"), p("advises"), iri("alice")));
         let closed = rdfs_closure(&g, InferenceOptions::default());
         assert!(closed.contains(&Triple::new(iri("bob"), p("knows"), iri("alice"))));
@@ -169,7 +181,11 @@ mod tests {
         g.insert(Triple::new(iri("teaches"), rdfs::domain(), iri("Teacher")));
         g.insert(Triple::new(iri("teaches"), rdfs::range(), iri("Course")));
         g.insert(Triple::new(iri("eve"), p("teaches"), iri("db1")));
-        g.insert(Triple::new(iri("eve"), p("teaches"), Term::literal("not-a-resource")));
+        g.insert(Triple::new(
+            iri("eve"),
+            p("teaches"),
+            Term::literal("not-a-resource"),
+        ));
         let closed = rdfs_closure(&g, InferenceOptions::default());
         assert!(closed.contains(&Triple::new(iri("eve"), rdf::type_(), iri("Teacher"))));
         assert!(closed.contains(&Triple::new(iri("db1"), rdf::type_(), iri("Course"))));
@@ -207,7 +223,10 @@ mod tests {
         g.insert(Triple::new(iri("eve"), p("teaches"), iri("db1")));
         let closed = rdfs_closure(
             &g,
-            InferenceOptions { domain_range: false, ..InferenceOptions::default() },
+            InferenceOptions {
+                domain_range: false,
+                ..InferenceOptions::default()
+            },
         );
         assert!(!closed.contains(&Triple::new(iri("eve"), rdf::type_(), iri("Teacher"))));
     }

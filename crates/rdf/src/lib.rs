@@ -20,7 +20,7 @@
 //! ```
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod error;
 pub mod graph;
@@ -28,8 +28,8 @@ pub mod inference;
 pub mod model;
 pub mod ntriples;
 pub mod rdfxml;
-pub mod sparql;
 pub mod rdfxml_writer;
+pub mod sparql;
 pub mod turtle;
 pub mod vocab;
 pub mod xml;

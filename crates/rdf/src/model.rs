@@ -70,17 +70,29 @@ pub struct Literal {
 impl Literal {
     /// A plain string literal.
     pub fn plain(lexical: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), language: None, datatype: None }
+        Literal {
+            lexical: lexical.into(),
+            language: None,
+            datatype: None,
+        }
     }
 
     /// A language-tagged literal.
     pub fn lang(lexical: impl Into<String>, language: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), language: Some(language.into()), datatype: None }
+        Literal {
+            lexical: lexical.into(),
+            language: Some(language.into()),
+            datatype: None,
+        }
     }
 
     /// A typed literal.
     pub fn typed(lexical: impl Into<String>, datatype: impl Into<Iri>) -> Self {
-        Literal { lexical: lexical.into(), language: None, datatype: Some(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            language: None,
+            datatype: Some(datatype.into()),
+        }
     }
 }
 
@@ -156,7 +168,11 @@ pub struct Triple {
 
 impl Triple {
     pub fn new(subject: Term, predicate: impl Into<Iri>, object: Term) -> Self {
-        Triple { subject, predicate: predicate.into(), object }
+        Triple {
+            subject,
+            predicate: predicate.into(),
+            object,
+        }
     }
 }
 
@@ -185,7 +201,6 @@ pub fn escape_literal(s: &str) -> String {
     }
     out
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,11 @@ pub fn parse_ntriples(input: &str) -> Result<Graph> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut cursor = Cursor { input: line, pos: 0, line: line_no };
+        let mut cursor = Cursor {
+            input: line,
+            pos: 0,
+            line: line_no,
+        };
         let subject = cursor.parse_subject()?;
         cursor.skip_ws();
         let predicate = cursor.parse_iri()?;
@@ -50,7 +54,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::NTriples { message: message.into(), line: self.line }
+        RdfError::NTriples {
+            message: message.into(),
+            line: self.line,
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -104,8 +111,13 @@ impl<'a> Cursor<'a> {
         let rest = self.rest();
         let end = rest.find('>').ok_or_else(|| self.err("unterminated IRI"))?;
         let iri = &rest[..end];
-        if iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '"') {
-            return Err(RdfError::InvalidIri { iri: iri.to_owned() });
+        if iri
+            .chars()
+            .any(|c| c.is_whitespace() || c == '<' || c == '"')
+        {
+            return Err(RdfError::InvalidIri {
+                iri: iri.to_owned(),
+            });
         }
         self.pos += end + 1;
         Ok(Iri::new(iri))

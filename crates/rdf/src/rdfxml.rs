@@ -44,17 +44,17 @@ fn scan_root_prefixes(input: &str) -> Vec<(String, String)> {
     let Some(end) = input[start..].find('>') else {
         return out;
     };
-    let tag = &input[start..start + end];
+    let tag = input.get(start..start + end).unwrap_or("");
     let mut rest = tag;
     while let Some(i) = rest.find("xmlns") {
-        rest = &rest[i + 5..];
+        rest = rest.get(i + 5..).unwrap_or("");
         let prefix = if let Some(stripped) = rest.strip_prefix(':') {
             let eq = match stripped.find('=') {
                 Some(e) => e,
                 None => break,
             };
             let p = stripped[..eq].trim().to_owned();
-            rest = &stripped[eq + 1..];
+            rest = stripped.get(eq + 1..).unwrap_or("");
             p
         } else if rest.starts_with('=') {
             rest = &rest[1..];
@@ -69,7 +69,7 @@ fn scan_root_prefixes(input: &str) -> Vec<(String, String)> {
         let body = &rest2[1..];
         let Some(close) = body.find(quote) else { break };
         out.push((prefix, body[..close].to_owned()));
-        rest = &body[close + 1..];
+        rest = body.get(close + 1..).unwrap_or("");
     }
     out
 }
@@ -84,8 +84,13 @@ pub fn resolve_iri(base: &str, reference: &str) -> String {
     if let Some(colon) = reference.find(':') {
         let scheme = &reference[..colon];
         if !scheme.is_empty()
-            && scheme.chars().all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
-            && scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+            && scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
+            && scheme
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
         {
             return reference.to_owned();
         }
@@ -101,8 +106,11 @@ pub fn resolve_iri(base: &str, reference: &str) -> String {
     if reference.starts_with('/') {
         // Resolve against the authority.
         if let Some(scheme_end) = base.find("://") {
-            let after = &base[scheme_end + 3..];
-            let auth_end = after.find('/').map(|i| scheme_end + 3 + i).unwrap_or(base.len());
+            let after = base.get(scheme_end + 3..).unwrap_or("");
+            let auth_end = after
+                .find('/')
+                .map(|i| scheme_end + 3 + i)
+                .unwrap_or(base.len());
             return format!("{}{}", &base[..auth_end], reference);
         }
         return reference.to_owned();
@@ -130,7 +138,10 @@ struct Scope {
 
 impl<'a> RdfXmlParser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(RdfError::RdfXml { message: message.into(), location: self.reader.location() })
+        Err(RdfError::RdfXml {
+            message: message.into(),
+            location: self.reader.location(),
+        })
     }
 
     fn fresh_blank(&mut self) -> Term {
@@ -145,8 +156,11 @@ impl<'a> RdfXmlParser<'a> {
                 match attr.name.local.as_str() {
                     "base" => scope.base = attr.value.clone(),
                     "lang" => {
-                        scope.lang =
-                            if attr.value.is_empty() { None } else { Some(attr.value.clone()) }
+                        scope.lang = if attr.value.is_empty() {
+                            None
+                        } else {
+                            Some(attr.value.clone())
+                        }
                     }
                     _ => {}
                 }
@@ -156,10 +170,17 @@ impl<'a> RdfXmlParser<'a> {
     }
 
     fn parse_document(&mut self, base: &str) -> Result<()> {
-        let scope = Scope { base: base.to_owned(), lang: None };
+        let scope = Scope {
+            base: base.to_owned(),
+            lang: None,
+        };
         loop {
             match self.reader.next_event()? {
-                NsEvent::StartElement { name, attributes, self_closing } => {
+                NsEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     let scope = self.scoped(&scope, &attributes);
                     if name.is(RDF_NS, "RDF") {
                         if self_closing {
@@ -194,7 +215,11 @@ impl<'a> RdfXmlParser<'a> {
     fn parse_node_elements(&mut self, scope: &Scope) -> Result<()> {
         loop {
             match self.reader.next_event()? {
-                NsEvent::StartElement { name, attributes, self_closing } => {
+                NsEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     let inner = self.scoped(scope, &attributes);
                     self.parse_node_element(name, attributes, self_closing, &inner)?;
                 }
@@ -225,8 +250,10 @@ impl<'a> RdfXmlParser<'a> {
                         subject = Some(Term::iri(resolve_iri(&scope.base, &attr.value)));
                     }
                     "ID" => {
-                        subject =
-                            Some(Term::iri(resolve_iri(&scope.base, &format!("#{}", attr.value))));
+                        subject = Some(Term::iri(resolve_iri(
+                            &scope.base,
+                            &format!("#{}", attr.value),
+                        )));
                     }
                     "nodeID" => subject = Some(Term::blank(attr.value.clone())),
                     _ => {}
@@ -276,7 +303,11 @@ impl<'a> RdfXmlParser<'a> {
     fn parse_property_elements(&mut self, subject: &Term, scope: &Scope) -> Result<()> {
         loop {
             match self.reader.next_event()? {
-                NsEvent::StartElement { name, attributes, self_closing } => {
+                NsEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     self.parse_property_element(subject, name, attributes, self_closing, scope)?;
                 }
                 NsEvent::Text(t) if t.trim().is_empty() => continue,
@@ -333,7 +364,8 @@ impl<'a> RdfXmlParser<'a> {
         match parse_type.as_deref() {
             Some("Resource") => {
                 let node = self.fresh_blank();
-                self.graph.insert(Triple::new(subject.clone(), predicate, node.clone()));
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate, node.clone()));
                 if self_closing {
                     self.consume_end()?;
                 } else {
@@ -349,7 +381,8 @@ impl<'a> RdfXmlParser<'a> {
                     self.parse_collection_items(&scope)?
                 };
                 let list = self.build_list(items);
-                self.graph.insert(Triple::new(subject.clone(), predicate, list));
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate, list));
                 return Ok(());
             }
             Some("Literal") => {
@@ -374,11 +407,13 @@ impl<'a> RdfXmlParser<'a> {
         }
 
         if let Some(object) = resource {
-            self.graph.insert(Triple::new(subject.clone(), predicate, object.clone()));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate, object.clone()));
             // Property attributes on a reference property element describe
             // the object.
             for (p, v) in prop_attrs {
-                self.graph.insert(Triple::new(object.clone(), p, Term::literal(v)));
+                self.graph
+                    .insert(Triple::new(object.clone(), p, Term::literal(v)));
             }
             if self_closing {
                 self.consume_end()?;
@@ -396,9 +431,11 @@ impl<'a> RdfXmlParser<'a> {
         if !prop_attrs.is_empty() {
             // Empty property element with property attributes ⇒ blank node.
             let node = self.fresh_blank();
-            self.graph.insert(Triple::new(subject.clone(), predicate, node.clone()));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate, node.clone()));
             for (p, v) in prop_attrs {
-                self.graph.insert(Triple::new(node.clone(), p, Term::literal(v)));
+                self.graph
+                    .insert(Triple::new(node.clone(), p, Term::literal(v)));
             }
             if self_closing {
                 self.consume_end()?;
@@ -428,7 +465,11 @@ impl<'a> RdfXmlParser<'a> {
         loop {
             match self.reader.next_event()? {
                 NsEvent::Text(t) => text.push_str(&t),
-                NsEvent::StartElement { name, attributes, self_closing } => {
+                NsEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     if nested.is_some() {
                         return self.err("multiple node elements inside one property element");
                     }
@@ -444,7 +485,8 @@ impl<'a> RdfXmlParser<'a> {
                 if !text.trim().is_empty() {
                     return self.err("mixed text and node content in property element");
                 }
-                self.graph.insert(Triple::new(subject.clone(), predicate, object));
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate, object));
             }
             None => {
                 self.graph.insert(Triple::new(
@@ -479,7 +521,11 @@ impl<'a> RdfXmlParser<'a> {
         let mut items = Vec::new();
         loop {
             match self.reader.next_event()? {
-                NsEvent::StartElement { name, attributes, self_closing } => {
+                NsEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     items.push(self.parse_node_element(name, attributes, self_closing, scope)?);
                 }
                 NsEvent::Text(t) if t.trim().is_empty() => continue,
@@ -495,8 +541,10 @@ impl<'a> RdfXmlParser<'a> {
         let mut head = Term::Iri(rdf::nil());
         for item in items.into_iter().rev() {
             let cell = self.fresh_blank();
-            self.graph.insert(Triple::new(cell.clone(), rdf::first(), item));
-            self.graph.insert(Triple::new(cell.clone(), rdf::rest(), head));
+            self.graph
+                .insert(Triple::new(cell.clone(), rdf::first(), item));
+            self.graph
+                .insert(Triple::new(cell.clone(), rdf::rest(), head));
             head = cell;
         }
         head
@@ -570,7 +618,11 @@ mod tests {
         let g = parse(r##"<owl:Class rdf:ID="Person"/>"##);
         assert_eq!(g.instances_of(&crate::vocab::owl::class()).len(), 1);
         assert!(!g
-            .matching(Some(&Term::iri("http://example.org/onto#Person")), None, None)
+            .matching(
+                Some(&Term::iri("http://example.org/onto#Person")),
+                None,
+                None
+            )
             .is_empty());
     }
 
@@ -605,7 +657,10 @@ mod tests {
         assert!(g.contains(&Triple::new(
             subject,
             Iri::new("http://example.org/onto#age"),
-            Term::Literal(Literal::typed("4", Iri::new("http://www.w3.org/2001/XMLSchema#int"))),
+            Term::Literal(Literal::typed(
+                "4",
+                Iri::new("http://www.w3.org/2001/XMLSchema#int")
+            )),
         )));
     }
 
@@ -634,7 +689,10 @@ mod tests {
                  </rdfs:subClassOf>
                </owl:Class>"##,
         );
-        let objs = g.objects_for(&Term::iri("http://example.org/onto#A"), &rdfs::sub_class_of());
+        let objs = g.objects_for(
+            &Term::iri("http://example.org/onto#A"),
+            &rdfs::sub_class_of(),
+        );
         assert_eq!(objs.len(), 1);
         assert!(matches!(objs[0], Term::Blank(_)));
         assert_eq!(g.objects_for(&objs[0], &rdfs::comment()).len(), 1);
@@ -681,8 +739,14 @@ mod tests {
             r##"<owl:Class rdf:about="#A"><rdfs:subClassOf rdf:parseType="Resource"/></owl:Class>
                <owl:Class rdf:about="#B"><rdfs:subClassOf rdf:parseType="Resource"/></owl:Class>"##,
         );
-        let a = g.objects_for(&Term::iri("http://example.org/onto#A"), &rdfs::sub_class_of());
-        let b = g.objects_for(&Term::iri("http://example.org/onto#B"), &rdfs::sub_class_of());
+        let a = g.objects_for(
+            &Term::iri("http://example.org/onto#A"),
+            &rdfs::sub_class_of(),
+        );
+        let b = g.objects_for(
+            &Term::iri("http://example.org/onto#B"),
+            &rdfs::sub_class_of(),
+        );
         assert_ne!(a[0], b[0]);
     }
 
@@ -693,7 +757,10 @@ mod tests {
                <rdf:Description rdf:nodeID="n1"><rdfs:comment>x</rdfs:comment></rdf:Description>"##,
         );
         let obj = g
-            .object_for(&Term::iri("http://example.org/onto#A"), &rdfs::sub_class_of())
+            .object_for(
+                &Term::iri("http://example.org/onto#A"),
+                &rdfs::sub_class_of(),
+            )
             .expect("object");
         assert_eq!(obj, Term::blank("n1"));
         assert_eq!(g.objects_for(&obj, &rdfs::comment()).len(), 1);
@@ -722,10 +789,11 @@ mod tests {
 
     #[test]
     fn root_prefix_scan() {
-        let doc = format!(
-            r##"<rdf:RDF xmlns:rdf="{RDF_NS}" xmlns:ex='http://e/'></rdf:RDF>"##
-        );
+        let doc = format!(r##"<rdf:RDF xmlns:rdf="{RDF_NS}" xmlns:ex='http://e/'></rdf:RDF>"##);
         let g = parse_rdfxml(&doc, BASE).expect("parse");
-        assert!(g.prefixes().iter().any(|(p, n)| p == "ex" && n == "http://e/"));
+        assert!(g
+            .prefixes()
+            .iter()
+            .any(|(p, n)| p == "ex" && n == "http://e/"));
     }
 }

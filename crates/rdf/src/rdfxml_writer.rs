@@ -36,7 +36,7 @@ fn qname_split(iri: &Iri) -> Option<(&str, &str)> {
         return None;
     }
     let mut chars = local.chars();
-    let first = chars.next().unwrap();
+    let first = chars.next()?;
     if !(first.is_alphabetic() || first == '_') {
         return None;
     }
@@ -104,7 +104,10 @@ pub fn write_rdfxml(graph: &Graph) -> String {
     let mut ns_sorted: Vec<(&String, &String)> = prefixes.iter().collect();
     ns_sorted.sort_by_key(|(_, p)| (*p).clone());
     for (ns, prefix) in ns_sorted {
-        out.push_str(&format!("\n         xmlns:{prefix}=\"{}\"", escape_attr(ns)));
+        out.push_str(&format!(
+            "\n         xmlns:{prefix}=\"{}\"",
+            escape_attr(ns)
+        ));
     }
     if let Some(base) = graph.base() {
         out.push_str(&format!("\n         xml:base=\"{}\"", escape_attr(base)));
@@ -112,26 +115,34 @@ pub fn write_rdfxml(graph: &Graph) -> String {
     out.push_str(">\n");
 
     for (subject, mut triples) in by_subject {
+        // A literal subject is not writable RDF/XML; skip the group
+        // rather than abort the whole serialisation.
+        if matches!(subject, Term::Literal(_)) {
+            continue;
+        }
         // Pick a type triple usable as the element name.
         let type_pos = triples.iter().position(|t| {
-            t.predicate == type_iri
-                && matches!(&t.object, Term::Iri(i) if qname(i).is_some())
+            t.predicate == type_iri && matches!(&t.object, Term::Iri(i) if qname(i).is_some())
         });
         let element = match type_pos {
             Some(pos) => {
                 let t = triples.remove(pos);
                 match t.object {
-                    Term::Iri(i) => qname(&i).expect("checked above"),
-                    _ => unreachable!(),
+                    // `type_pos` only matches IRI objects with a usable
+                    // qname; fall back rather than trust that at a distance.
+                    Term::Iri(i) => qname(&i).unwrap_or_else(|| "rdf:Description".to_owned()),
+                    _ => "rdf:Description".to_owned(),
                 }
             }
             None => "rdf:Description".to_owned(),
         };
         out.push_str(&format!("  <{element}"));
         match &subject {
-            Term::Iri(iri) => out.push_str(&format!(" rdf:about=\"{}\"", escape_attr(iri.as_str()))),
+            Term::Iri(iri) => {
+                out.push_str(&format!(" rdf:about=\"{}\"", escape_attr(iri.as_str())))
+            }
             Term::Blank(b) => out.push_str(&format!(" rdf:nodeID=\"{}\"", escape_attr(&b.0))),
-            Term::Literal(_) => unreachable!("literal subject"),
+            Term::Literal(_) => {}
         }
         if triples.is_empty() {
             out.push_str("/>\n");
@@ -163,10 +174,7 @@ pub fn write_rdfxml(graph: &Graph) -> String {
                     if let Some(lang) = &lit.language {
                         attrs.push_str(&format!(" xml:lang=\"{}\"", escape_attr(lang)));
                     } else if let Some(dt) = &lit.datatype {
-                        attrs.push_str(&format!(
-                            " rdf:datatype=\"{}\"",
-                            escape_attr(dt.as_str())
-                        ));
+                        attrs.push_str(&format!(" rdf:datatype=\"{}\"", escape_attr(dt.as_str())));
                     }
                     out.push_str(&format!(
                         "    <{pred}{attrs}>{}</{pred}>\n",
@@ -219,7 +227,10 @@ mod tests {
         g.insert(Triple::new(
             s,
             Iri::new("http://example.org/v#age"),
-            Term::Literal(Literal::typed("4", Iri::new("http://www.w3.org/2001/XMLSchema#int"))),
+            Term::Literal(Literal::typed(
+                "4",
+                Iri::new("http://www.w3.org/2001/XMLSchema#int"),
+            )),
         ));
         assert_same(&g, &roundtrip(&g));
     }

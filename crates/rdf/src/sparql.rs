@@ -147,7 +147,10 @@ impl Tokens {
     }
 
     fn eat(&mut self, expected: &str) -> bool {
-        if self.peek().is_some_and(|t| t.eq_ignore_ascii_case(expected)) {
+        if self
+            .peek()
+            .is_some_and(|t| t.eq_ignore_ascii_case(expected))
+        {
             self.pos += 1;
             true
         } else {
@@ -175,7 +178,9 @@ pub fn parse_select(input: &str) -> Result<SelectQuery> {
 
     while tokens.eat("PREFIX") {
         let name = tokens.next().ok_or_else(|| err("expected prefix name"))?;
-        let prefix = name.strip_suffix(':').ok_or_else(|| err("prefix must end with `:`"))?;
+        let prefix = name
+            .strip_suffix(':')
+            .ok_or_else(|| err("prefix must end with `:`"))?;
         let iri = tokens.next().ok_or_else(|| err("expected prefix IRI"))?;
         let iri = iri
             .strip_prefix('<')
@@ -247,7 +252,10 @@ pub fn parse_select(input: &str) -> Result<SelectQuery> {
                 filters.push(parse_filter(&mut tokens, &prefixes, &term)?);
             }
             Some(_) => {
-                let s = term(&tokens.next().unwrap(), &prefixes)?;
+                let s = term(
+                    &tokens.next().ok_or_else(|| err("expected subject"))?,
+                    &prefixes,
+                )?;
                 let p = term(
                     &tokens.next().ok_or_else(|| err("expected predicate"))?,
                     &prefixes,
@@ -256,7 +264,11 @@ pub fn parse_select(input: &str) -> Result<SelectQuery> {
                     &tokens.next().ok_or_else(|| err("expected object"))?,
                     &prefixes,
                 )?;
-                patterns.push(TriplePattern { subject: s, predicate: p, object: o });
+                patterns.push(TriplePattern {
+                    subject: s,
+                    predicate: p,
+                    object: o,
+                });
             }
         }
     }
@@ -270,8 +282,8 @@ pub fn parse_select(input: &str) -> Result<SelectQuery> {
     } else {
         None
     };
-    if tokens.peek().is_some() {
-        return Err(err(format!("trailing token `{}`", tokens.peek().unwrap())));
+    if let Some(trailing) = tokens.peek() {
+        return Err(err(format!("trailing token `{trailing}`")));
     }
     if patterns.is_empty() {
         return Err(err("WHERE block has no triple patterns"));
@@ -293,7 +305,13 @@ pub fn parse_select(input: &str) -> Result<SelectQuery> {
     } else {
         variables
     };
-    Ok(SelectQuery { variables, distinct, patterns, filters, limit })
+    Ok(SelectQuery {
+        variables,
+        distinct,
+        patterns,
+        filters,
+        limit,
+    })
 }
 
 fn parse_filter<F>(
@@ -305,7 +323,10 @@ where
     F: Fn(&str, &HashMap<String, String>) -> Result<PatternTerm>,
 {
     // Either `CONTAINS ( ?v , "s" )` or `( ?v = term )` / `( ?v != term )`.
-    if tokens.peek().is_some_and(|t| t.eq_ignore_ascii_case("CONTAINS")) {
+    if tokens
+        .peek()
+        .is_some_and(|t| t.eq_ignore_ascii_case("CONTAINS"))
+    {
         tokens.next();
         if !tokens.eat("(") {
             return Err(err("expected `(` after CONTAINS"));
@@ -318,7 +339,9 @@ where
         let needle = tokens
             .next()
             .and_then(|t| {
-                t.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(str::to_owned)
+                t.strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .map(str::to_owned)
             })
             .ok_or_else(|| err("CONTAINS needs a quoted string"))?;
         if !tokens.eat(")") {
@@ -333,14 +356,18 @@ where
         .next()
         .and_then(|t| t.strip_prefix('?').map(str::to_owned))
         .ok_or_else(|| err("FILTER comparison needs a ?variable"))?;
-    let op = tokens.next().ok_or_else(|| err("expected comparison operator"))?;
+    let op = tokens
+        .next()
+        .ok_or_else(|| err("expected comparison operator"))?;
     let equal = match op.as_str() {
         "=" => true,
         "!=" => false,
         other => return Err(err(format!("unsupported operator `{other}`"))),
     };
     let rhs = term(
-        &tokens.next().ok_or_else(|| err("expected comparison operand"))?,
+        &tokens
+            .next()
+            .ok_or_else(|| err("expected comparison operand"))?,
         prefixes,
     )?;
     if !tokens.eat(")") {
@@ -382,7 +409,10 @@ fn join(
     query: &SelectQuery,
     results: &mut Vec<Binding>,
 ) {
-    if query.limit.is_some_and(|l| results.len() >= l && !query.distinct) {
+    if query
+        .limit
+        .is_some_and(|l| results.len() >= l && !query.distinct)
+    {
         return;
     }
     if index == patterns.len() {
@@ -398,9 +428,10 @@ fn join(
         if query.distinct {
             let key: Vec<Option<&Term>> =
                 query.variables.iter().map(|v| projected.get(v)).collect();
-            if results.iter().any(|r| {
-                query.variables.iter().map(|v| r.get(v)).collect::<Vec<_>>() == key
-            }) {
+            if results
+                .iter()
+                .any(|r| query.variables.iter().map(|v| r.get(v)).collect::<Vec<_>>() == key)
+            {
                 return;
             }
         }
@@ -462,7 +493,9 @@ fn filter_holds(filter: &Filter, binding: &Binding) -> bool {
             .get(var)
             .is_some_and(|t| render(t).to_lowercase().contains(&needle.to_lowercase())),
         Filter::Compare(var, equal, rhs) => {
-            let Some(lhs) = binding.get(var) else { return false };
+            let Some(lhs) = binding.get(var) else {
+                return false;
+            };
             let rhs = match rhs {
                 PatternTerm::Const(t) => t.clone(),
                 PatternTerm::Var(v) => match binding.get(v) {

@@ -45,11 +45,21 @@ struct TurtleParser {
 
 impl TurtleParser {
     fn location(&self) -> Location {
-        Location { line: self.line, column: self.column }
+        Location {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Turtle {
+            message: message.into(),
+            location: self.location(),
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(RdfError::Turtle { message: message.into(), location: self.location() })
+        Err(self.error(message))
     }
 
     fn peek(&self) -> Option<char> {
@@ -97,7 +107,7 @@ impl TurtleParser {
         }
     }
 
-    fn expect(&mut self, c: char) -> Result<()> {
+    fn expect_char(&mut self, c: char) -> Result<()> {
         if self.eat(c) {
             Ok(())
         } else {
@@ -153,20 +163,20 @@ impl TurtleParser {
     }
 
     fn parse_at_directive(&mut self) -> Result<()> {
-        self.expect('@')?;
+        self.expect_char('@')?;
         let word = self.parse_bare_word();
         match word.as_str() {
             "prefix" => {
                 self.parse_prefix_binding()?;
                 self.skip_ws();
-                self.expect('.')
+                self.expect_char('.')
             }
             "base" => {
                 self.skip_ws();
                 let iri = self.parse_iriref()?;
                 self.base = iri;
                 self.skip_ws();
-                self.expect('.')
+                self.expect_char('.')
             }
             other => self.err(format!("unknown directive `@{other}`")),
         }
@@ -186,7 +196,7 @@ impl TurtleParser {
             prefix.push(c);
             self.bump();
         }
-        self.expect(':')?;
+        self.expect_char(':')?;
         self.skip_ws();
         let ns = self.parse_iriref()?;
         self.prefixes.insert(prefix.clone(), ns.clone());
@@ -211,7 +221,7 @@ impl TurtleParser {
         let subject = self.parse_subject()?;
         self.parse_predicate_object_list(&subject)?;
         self.skip_ws();
-        self.expect('.')
+        self.expect_char('.')
     }
 
     fn parse_subject(&mut self) -> Result<Term> {
@@ -232,7 +242,8 @@ impl TurtleParser {
             let predicate = self.parse_predicate()?;
             loop {
                 let object = self.parse_object()?;
-                self.graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
                 self.skip_ws();
                 if !self.eat(',') {
                     break;
@@ -275,11 +286,7 @@ impl TurtleParser {
             Some('(') => self.parse_collection(),
             Some('"') | Some('\'') => self.parse_quoted_literal(),
             Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => self.parse_numeric_literal(),
-            Some('t') | Some('f')
-                if self.matches_boolean() =>
-            {
-                self.parse_boolean_literal()
-            }
+            Some('t') | Some('f') if self.matches_boolean() => self.parse_boolean_literal(),
             Some(_) => Ok(Term::Iri(self.parse_prefixed_name()?)),
             None => self.err("expected object"),
         }
@@ -306,13 +313,18 @@ impl TurtleParser {
 
     fn parse_boolean_literal(&mut self) -> Result<Term> {
         let word = self.parse_bare_word();
-        Ok(Term::Literal(Literal::typed(word, Iri::new(format!("{XSD_NS}boolean")))))
+        Ok(Term::Literal(Literal::typed(
+            word,
+            Iri::new(format!("{XSD_NS}boolean")),
+        )))
     }
 
     fn parse_numeric_literal(&mut self) -> Result<Term> {
         let mut lexical = String::new();
         if matches!(self.peek(), Some('+') | Some('-')) {
-            lexical.push(self.bump().unwrap());
+            if let Some(sign) = self.bump() {
+                lexical.push(sign);
+            }
         }
         let mut is_decimal = false;
         while let Some(c) = self.peek() {
@@ -331,11 +343,14 @@ impl TurtleParser {
             return self.err("malformed number");
         }
         let dt = if is_decimal { "decimal" } else { "integer" };
-        Ok(Term::Literal(Literal::typed(lexical, Iri::new(format!("{XSD_NS}{dt}")))))
+        Ok(Term::Literal(Literal::typed(
+            lexical,
+            Iri::new(format!("{XSD_NS}{dt}")),
+        )))
     }
 
     fn parse_iriref(&mut self) -> Result<String> {
-        self.expect('<')?;
+        self.expect_char('<')?;
         let mut iri = String::new();
         loop {
             match self.bump() {
@@ -368,10 +383,14 @@ impl TurtleParser {
         if !self.eat(':') {
             return self.err("expected `:` in prefixed name");
         }
-        let ns = self.prefixes.get(&prefix).cloned().ok_or_else(|| RdfError::UnknownPrefix {
-            prefix: prefix.clone(),
-            location: self.location(),
-        })?;
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .cloned()
+            .ok_or_else(|| RdfError::UnknownPrefix {
+                prefix: prefix.clone(),
+                location: self.location(),
+            })?;
         let mut local = String::new();
         while let Some(c) = self.peek() {
             if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
@@ -412,7 +431,7 @@ impl TurtleParser {
     }
 
     fn parse_blank_node_property_list(&mut self) -> Result<Term> {
-        self.expect('[')?;
+        self.expect_char('[')?;
         let node = self.fresh_blank();
         self.skip_ws();
         if self.eat(']') {
@@ -420,12 +439,12 @@ impl TurtleParser {
         }
         self.parse_predicate_object_list(&node)?;
         self.skip_ws();
-        self.expect(']')?;
+        self.expect_char(']')?;
         Ok(node)
     }
 
     fn parse_collection(&mut self) -> Result<Term> {
-        self.expect('(')?;
+        self.expect_char('(')?;
         let mut items = Vec::new();
         loop {
             self.skip_ws();
@@ -440,15 +459,19 @@ impl TurtleParser {
         let mut head = Term::Iri(rdf::nil());
         for item in items.into_iter().rev() {
             let cell = self.fresh_blank();
-            self.graph.insert(Triple::new(cell.clone(), rdf::first(), item));
-            self.graph.insert(Triple::new(cell.clone(), rdf::rest(), head));
+            self.graph
+                .insert(Triple::new(cell.clone(), rdf::first(), item));
+            self.graph
+                .insert(Triple::new(cell.clone(), rdf::rest(), head));
             head = cell;
         }
         Ok(head)
     }
 
     fn parse_quoted_literal(&mut self) -> Result<Term> {
-        let quote = self.peek().unwrap();
+        let Some(quote) = self.peek() else {
+            return self.err("expected quoted literal");
+        };
         let long = self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote);
         let lexical = if long {
             self.bump();
@@ -526,16 +549,14 @@ impl TurtleParser {
                 let n = if e == 'u' { 4 } else { 8 };
                 let mut hex = String::new();
                 for _ in 0..n {
-                    hex.push(self.bump().ok_or_else(|| {
-                        self.err::<()>("truncated \\u escape").unwrap_err()
-                    })?);
+                    hex.push(
+                        self.bump()
+                            .ok_or_else(|| self.error("truncated \\u escape"))?,
+                    );
                 }
                 let code =
-                    u32::from_str_radix(&hex, 16).map_err(|_| {
-                        self.err::<()>("bad \\u escape").unwrap_err()
-                    })?;
-                char::from_u32(code)
-                    .ok_or_else(|| self.err::<()>("\\u out of range").unwrap_err())
+                    u32::from_str_radix(&hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+                char::from_u32(code).ok_or_else(|| self.error("\\u out of range"))
             }
             Some(other) => self.err(format!("unknown escape `\\{other}`")),
             None => self.err("dangling escape"),
@@ -563,7 +584,9 @@ pub fn write_turtle(graph: &Graph) -> String {
         for (prefix, ns) in &prefixes {
             if let Some(local) = iri.as_str().strip_prefix(ns.as_str()) {
                 if !local.is_empty()
-                    && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                    && local
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
                 {
                     return format!("{prefix}:{local}");
                 }
@@ -691,7 +714,10 @@ mod tests {
         )
         .expect("parse");
         let lit = g.iter().next().unwrap().object;
-        assert_eq!(lit.as_literal().unwrap().lexical, "line1\nline2 \"quoted\" end");
+        assert_eq!(
+            lit.as_literal().unwrap().lexical,
+            "line1\nline2 \"quoted\" end"
+        );
     }
 
     #[test]
@@ -702,7 +728,9 @@ mod tests {
         )
         .expect("parse");
         assert_eq!(g.len(), 3);
-        let inner = g.object_for(&Term::iri("http://e/s"), &Iri::new("http://e/p")).unwrap();
+        let inner = g
+            .object_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"))
+            .unwrap();
         assert!(matches!(inner, Term::Blank(_)));
         assert_eq!(g.objects_for(&inner, &Iri::new("http://e/q")).len(), 1);
     }
@@ -714,8 +742,13 @@ mod tests {
             BASE,
         )
         .expect("parse");
-        let head = g.object_for(&Term::iri("http://e/s"), &Iri::new("http://e/p")).unwrap();
-        assert_eq!(g.object_for(&head, &rdf::first()).unwrap(), Term::iri("http://e/a"));
+        let head = g
+            .object_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"))
+            .unwrap();
+        assert_eq!(
+            g.object_for(&head, &rdf::first()).unwrap(),
+            Term::iri("http://e/a")
+        );
     }
 
     #[test]
@@ -762,8 +795,8 @@ mod tests {
 
     #[test]
     fn trailing_semicolon_is_tolerated() {
-        let g = parse_turtle("@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .\n", BASE)
-            .expect("parse");
+        let g =
+            parse_turtle("@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .\n", BASE).expect("parse");
         assert_eq!(g.len(), 1);
     }
 }

@@ -78,7 +78,10 @@ impl<'a> XmlParser<'a> {
 
     /// Current location, for error reporting.
     pub fn location(&self) -> Location {
-        Location { line: self.line, column: self.column }
+        Location {
+            line: self.line,
+            column: self.column,
+        }
     }
 
     /// Depth of currently open elements.
@@ -86,8 +89,15 @@ impl<'a> XmlParser<'a> {
         self.open.len()
     }
 
+    fn error(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Xml {
+            message: message.into(),
+            location: self.location(),
+        }
+    }
+
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(RdfError::Xml { message: message.into(), location: self.location() })
+        Err(self.error(message))
     }
 
     fn peek(&self) -> Option<u8> {
@@ -166,13 +176,13 @@ impl<'a> XmlParser<'a> {
         let mut rest = raw;
         while let Some(amp) = rest.find('&') {
             out.push_str(&rest[..amp]);
-            rest = &rest[amp + 1..];
+            rest = rest.get(amp + 1..).unwrap_or("");
             let semi = match rest.find(';') {
                 Some(i) if i <= 10 => i,
                 _ => return self.err("unterminated entity reference"),
             };
             let entity = &rest[..semi];
-            rest = &rest[semi + 1..];
+            rest = rest.get(semi + 1..).unwrap_or("");
             match entity {
                 "amp" => out.push('&'),
                 "lt" => out.push('<'),
@@ -181,18 +191,20 @@ impl<'a> XmlParser<'a> {
                 "apos" => out.push('\''),
                 _ if entity.starts_with("#x") || entity.starts_with("#X") => {
                     let code = u32::from_str_radix(&entity[2..], 16)
-                        .map_err(|_| self.err::<()>("bad hex character reference").unwrap_err())?;
-                    out.push(char::from_u32(code).ok_or_else(|| {
-                        self.err::<()>("character reference out of range").unwrap_err()
-                    })?);
+                        .map_err(|_| self.error("bad hex character reference"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.error("character reference out of range"))?,
+                    );
                 }
                 _ if entity.starts_with('#') => {
-                    let code = entity[1..].parse::<u32>().map_err(|_| {
-                        self.err::<()>("bad decimal character reference").unwrap_err()
-                    })?;
-                    out.push(char::from_u32(code).ok_or_else(|| {
-                        self.err::<()>("character reference out of range").unwrap_err()
-                    })?);
+                    let code = entity[1..]
+                        .parse::<u32>()
+                        .map_err(|_| self.error("bad decimal character reference"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.error("character reference out of range"))?,
+                    );
                 }
                 _ => {
                     // Unknown general entity: ontologies occasionally declare
@@ -223,7 +235,13 @@ impl<'a> XmlParser<'a> {
         // Attribute-value normalization: newlines and tabs become spaces.
         let normalized: String = raw
             .chars()
-            .map(|c| if c == '\n' || c == '\r' || c == '\t' { ' ' } else { c })
+            .map(|c| {
+                if c == '\n' || c == '\r' || c == '\t' {
+                    ' '
+                } else {
+                    c
+                }
+            })
             .collect();
         let value = self.decode_entities(&normalized)?;
         Ok(Attribute { name, value })
@@ -238,7 +256,11 @@ impl<'a> XmlParser<'a> {
                 Some(b'>') => {
                     self.bump();
                     self.open.push(name.clone());
-                    return Ok(XmlEvent::StartElement { name, attributes, self_closing: false });
+                    return Ok(XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
                 }
                 Some(b'/') => {
                     self.bump();
@@ -246,7 +268,11 @@ impl<'a> XmlParser<'a> {
                         return self.err("expected `>` after `/`");
                     }
                     self.bump();
-                    return Ok(XmlEvent::StartElement { name, attributes, self_closing: true });
+                    return Ok(XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
                 }
                 Some(b) if Self::is_name_start(b) => {
                     let attr = self.read_attribute()?;
@@ -270,7 +296,9 @@ impl<'a> XmlParser<'a> {
         self.bump();
         match self.open.pop() {
             Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
-            Some(open) => self.err(format!("mismatched end tag: expected `</{open}>`, found `</{name}>`")),
+            Some(open) => self.err(format!(
+                "mismatched end tag: expected `</{open}>`, found `</{name}>`"
+            )),
             None => self.err(format!("unexpected end tag `</{name}>`")),
         }
     }
@@ -366,7 +394,10 @@ pub struct ExpandedName {
 impl ExpandedName {
     /// Builds an expanded name from a namespace IRI and local part.
     pub fn new(namespace: impl Into<String>, local: impl Into<String>) -> Self {
-        ExpandedName { namespace: Some(namespace.into()), local: local.into() }
+        ExpandedName {
+            namespace: Some(namespace.into()),
+            local: local.into(),
+        }
     }
 
     /// True when the name is `{namespace}local`.
@@ -394,8 +425,14 @@ pub struct NsAttribute {
 /// Namespace-resolved events produced by [`NsReader`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NsEvent {
-    StartElement { name: ExpandedName, attributes: Vec<NsAttribute>, self_closing: bool },
-    EndElement { name: ExpandedName },
+    StartElement {
+        name: ExpandedName,
+        attributes: Vec<NsAttribute>,
+        self_closing: bool,
+    },
+    EndElement {
+        name: ExpandedName,
+    },
     Text(String),
     Eof,
 }
@@ -447,17 +484,26 @@ impl<'a> NsReader<'a> {
                     prefix: prefix.to_owned(),
                     location: self.parser.location(),
                 })?;
-                Ok(ExpandedName { namespace: Some(ns.to_owned()), local: local.to_owned() })
+                Ok(ExpandedName {
+                    namespace: Some(ns.to_owned()),
+                    local: local.to_owned(),
+                })
             }
             None => {
                 // Unprefixed attributes are in no namespace; unprefixed
                 // elements take the default namespace.
                 if is_attribute {
-                    Ok(ExpandedName { namespace: None, local: qname.to_owned() })
+                    Ok(ExpandedName {
+                        namespace: None,
+                        local: qname.to_owned(),
+                    })
                 } else {
                     let ns = self.lookup("").map(str::to_owned);
                     let ns = ns.filter(|n| !n.is_empty());
-                    Ok(ExpandedName { namespace: ns, local: qname.to_owned() })
+                    Ok(ExpandedName {
+                        namespace: ns,
+                        local: qname.to_owned(),
+                    })
                 }
             }
         }
@@ -470,14 +516,20 @@ impl<'a> NsReader<'a> {
         }
         loop {
             match self.parser.next_event()? {
-                XmlEvent::StartElement { name, attributes, self_closing } => {
+                XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     self.depth += 1;
                     // First pass: collect namespace declarations in scope.
                     for attr in &attributes {
                         if attr.name == "xmlns" {
-                            self.scopes.push((self.depth, String::new(), attr.value.clone()));
+                            self.scopes
+                                .push((self.depth, String::new(), attr.value.clone()));
                         } else if let Some(prefix) = attr.name.strip_prefix("xmlns:") {
-                            self.scopes.push((self.depth, prefix.to_owned(), attr.value.clone()));
+                            self.scopes
+                                .push((self.depth, prefix.to_owned(), attr.value.clone()));
                         }
                     }
                     let resolved_name = self.resolve(&name, false)?;
@@ -510,10 +562,10 @@ impl<'a> NsReader<'a> {
                     });
                 }
                 XmlEvent::EndElement { .. } => {
-                    let name = self
-                        .open_names
-                        .pop()
-                        .expect("XmlParser validated nesting");
+                    let name = self.open_names.pop().ok_or_else(|| RdfError::Xml {
+                        message: "end tag without matching start".into(),
+                        location: self.location(),
+                    })?;
                     self.scopes.retain(|(d, _, _)| *d < self.depth);
                     self.depth -= 1;
                     return Ok(NsEvent::EndElement { name });
@@ -570,8 +622,14 @@ mod tests {
             XmlEvent::StartElement {
                 name: "a".into(),
                 attributes: vec![
-                    Attribute { name: "x".into(), value: "1".into() },
-                    Attribute { name: "y".into(), value: "two".into() },
+                    Attribute {
+                        name: "x".into(),
+                        value: "1".into()
+                    },
+                    Attribute {
+                        name: "y".into(),
+                        value: "two".into()
+                    },
                 ],
                 self_closing: true,
             }
@@ -682,14 +740,19 @@ mod tests {
         // whitespace text
         assert!(matches!(r.next_event().unwrap(), NsEvent::Text(_)));
         match r.next_event().unwrap() {
-            NsEvent::StartElement { name, attributes, .. } => {
+            NsEvent::StartElement {
+                name, attributes, ..
+            } => {
                 assert!(name.is("http://d/", "Class"));
                 assert!(attributes[0].name.is("http://r/", "about"));
             }
             other => panic!("unexpected {other:?}"),
         }
         // synthetic end for the self-closing element
-        assert!(matches!(r.next_event().unwrap(), NsEvent::EndElement { .. }));
+        assert!(matches!(
+            r.next_event().unwrap(),
+            NsEvent::EndElement { .. }
+        ));
     }
 
     #[test]
@@ -710,7 +773,10 @@ mod tests {
     #[test]
     fn unknown_prefix_is_an_error() {
         let mut r = NsReader::new("<x:a/>");
-        assert!(matches!(r.next_event(), Err(RdfError::UnknownPrefix { .. })));
+        assert!(matches!(
+            r.next_event(),
+            Err(RdfError::UnknownPrefix { .. })
+        ));
     }
 
     #[test]

@@ -1,119 +1,176 @@
 //! Property-based tests for the RDF substrate: serializer/parser roundtrips
-//! and store invariants.
+//! and store invariants, checked over deterministically sampled random
+//! graphs (an inline SplitMix64 sampler stands in for the proptest engine
+//! so the suite runs with no external dependencies).
 
-use proptest::prelude::*;
-use sst_rdf::{parse_ntriples, parse_rdfxml, parse_turtle, write_ntriples, write_rdfxml, write_turtle};
+use sst_rdf::{
+    parse_ntriples, parse_rdfxml, parse_turtle, write_ntriples, write_rdfxml, write_turtle,
+};
 use sst_rdf::{Graph, Iri, Literal, Term, Triple};
 
-fn arb_iri() -> impl Strategy<Value = Iri> {
-    "[a-z]{1,8}".prop_map(|s| Iri::new(format!("http://example.org/ns#{s}")))
-}
+/// Deterministic PRNG (SplitMix64) so failures reproduce exactly.
+struct Rng(u64);
 
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    // Lexical forms with characters that exercise escaping.
-    fn lexical() -> impl Strategy<Value = String> {
-        proptest::string::string_regex("[ -~]{0,20}").unwrap()
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
-    prop_oneof![
-        lexical().prop_map(Literal::plain),
-        (lexical(), "[a-z]{2}").prop_map(|(l, t)| Literal::lang(l, t)),
-        (lexical(), arb_iri()).prop_map(|(l, d)| Literal::typed(l, d)),
-    ]
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn ascii_word(&mut self, min: usize, max: usize) -> String {
+        let len = min + self.below(max - min + 1);
+        (0..len)
+            .map(|_| char::from(b'a' + self.below(26) as u8))
+            .collect()
+    }
+
+    /// Printable-ASCII string including characters that exercise escaping.
+    fn printable(&mut self, max: usize) -> String {
+        let len = self.below(max + 1);
+        (0..len)
+            .map(|_| char::from(b' ' + self.below(95) as u8))
+            .collect()
+    }
 }
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        arb_iri().prop_map(Term::Iri),
-        "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
-        arb_literal().prop_map(Term::Literal),
-    ]
+fn arb_iri(rng: &mut Rng) -> Iri {
+    Iri::new(format!("http://example.org/ns#{}", rng.ascii_word(1, 8)))
 }
 
-fn arb_subject() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        arb_iri().prop_map(Term::Iri),
-        "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
-    ]
+fn arb_literal(rng: &mut Rng) -> Literal {
+    match rng.below(3) {
+        0 => Literal::plain(rng.printable(20)),
+        1 => {
+            let lex = rng.printable(20);
+            Literal::lang(lex, rng.ascii_word(2, 2))
+        }
+        _ => {
+            let lex = rng.printable(20);
+            let dt = arb_iri(rng);
+            Literal::typed(lex, dt)
+        }
+    }
 }
 
-fn arb_triple() -> impl Strategy<Value = Triple> {
-    (arb_subject(), arb_iri(), arb_term())
-        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+fn arb_subject(rng: &mut Rng) -> Term {
+    if rng.below(2) == 0 {
+        Term::Iri(arb_iri(rng))
+    } else {
+        Term::blank(rng.ascii_word(1, 7))
+    }
 }
 
-fn arb_graph() -> impl Strategy<Value = Vec<Triple>> {
-    proptest::collection::vec(arb_triple(), 0..40)
+fn arb_term(rng: &mut Rng) -> Term {
+    match rng.below(3) {
+        0 => Term::Iri(arb_iri(rng)),
+        1 => Term::blank(rng.ascii_word(1, 7)),
+        _ => Term::Literal(arb_literal(rng)),
+    }
 }
 
-proptest! {
-    /// N-Triples write → parse is the identity on graphs.
-    #[test]
-    fn ntriples_roundtrip(triples in arb_graph()) {
-        let graph: Graph = triples.iter().cloned().collect();
+fn arb_triple(rng: &mut Rng) -> Triple {
+    Triple::new(arb_subject(rng), arb_iri(rng), arb_term(rng))
+}
+
+fn arb_graph(rng: &mut Rng) -> Vec<Triple> {
+    let n = rng.below(40);
+    (0..n).map(|_| arb_triple(rng)).collect()
+}
+
+const CASES: u64 = 128;
+
+/// N-Triples write → parse is the identity on graphs.
+#[test]
+fn ntriples_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let graph: Graph = arb_graph(&mut rng).into_iter().collect();
         let text = write_ntriples(&graph);
         let parsed = parse_ntriples(&text).expect("reparse our own output");
-        prop_assert_eq!(graph.len(), parsed.len());
+        assert_eq!(graph.len(), parsed.len(), "seed {seed}");
         for t in graph.iter() {
-            prop_assert!(parsed.contains(&t), "missing triple {}", t);
+            assert!(parsed.contains(&t), "seed {seed}: missing triple {}", t);
         }
     }
+}
 
-    /// Turtle write → parse is the identity on graphs.
-    #[test]
-    fn turtle_roundtrip(triples in arb_graph()) {
-        let graph: Graph = triples.iter().cloned().collect();
+/// Turtle write → parse is the identity on graphs.
+#[test]
+fn turtle_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x0F0F));
+        let graph: Graph = arb_graph(&mut rng).into_iter().collect();
         let text = write_turtle(&graph);
-        let parsed = parse_turtle(&text, "http://example.org/doc")
-            .expect("reparse our own output");
-        prop_assert_eq!(graph.len(), parsed.len());
+        let parsed = parse_turtle(&text, "http://example.org/doc").expect("reparse our own output");
+        assert_eq!(graph.len(), parsed.len(), "seed {seed}");
         for t in graph.iter() {
-            prop_assert!(parsed.contains(&t), "missing triple {}", t);
+            assert!(parsed.contains(&t), "seed {seed}: missing triple {}", t);
         }
     }
+}
 
-    /// RDF/XML write → parse is the identity on graphs.
-    #[test]
-    fn rdfxml_roundtrip(triples in arb_graph()) {
-        let graph: Graph = triples.iter().cloned().collect();
+/// RDF/XML write → parse is the identity on graphs.
+#[test]
+fn rdfxml_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0xA5A5));
+        let graph: Graph = arb_graph(&mut rng).into_iter().collect();
         let text = write_rdfxml(&graph);
-        let parsed = parse_rdfxml(&text, "http://example.org/doc")
-            .expect("reparse our own output");
-        prop_assert_eq!(graph.len(), parsed.len());
+        let parsed = parse_rdfxml(&text, "http://example.org/doc").expect("reparse our own output");
+        assert_eq!(graph.len(), parsed.len(), "seed {seed}");
         for t in graph.iter() {
-            prop_assert!(parsed.contains(&t), "missing triple {}", t);
+            assert!(parsed.contains(&t), "seed {seed}: missing triple {}", t);
         }
     }
+}
 
-    /// Insertion is idempotent and `contains` agrees with `matching`.
-    #[test]
-    fn graph_insert_contains_consistent(triples in arb_graph()) {
+/// Insertion is idempotent and `contains` agrees with `matching`.
+#[test]
+fn graph_insert_contains_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x51ED));
+        let triples = arb_graph(&mut rng);
         let mut graph = Graph::new();
         for t in &triples {
             graph.insert(t.clone());
         }
         let len = graph.len();
         for t in &triples {
-            prop_assert!(!graph.insert(t.clone()));
-            prop_assert!(graph.contains(t));
-            prop_assert!(!graph
-                .matching(Some(&t.subject), Some(&t.predicate), Some(&t.object))
-                .is_empty());
+            assert!(!graph.insert(t.clone()), "seed {seed}");
+            assert!(graph.contains(t), "seed {seed}");
+            assert!(
+                !graph
+                    .matching(Some(&t.subject), Some(&t.predicate), Some(&t.object))
+                    .is_empty(),
+                "seed {seed}"
+            );
         }
-        prop_assert_eq!(graph.len(), len);
+        assert_eq!(graph.len(), len, "seed {seed}");
     }
+}
 
-    /// Every triple returned by a pattern query actually matches the pattern.
-    #[test]
-    fn matching_respects_pattern(triples in arb_graph(), probe in arb_triple()) {
-        let graph: Graph = triples.into_iter().collect();
+/// Every triple returned by a pattern query actually matches the pattern.
+#[test]
+fn matching_respects_pattern() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0xC0DE));
+        let graph: Graph = arb_graph(&mut rng).into_iter().collect();
+        let probe = arb_triple(&mut rng);
         for t in graph.matching(None, Some(&probe.predicate), None) {
-            prop_assert_eq!(&t.predicate, &probe.predicate);
+            assert_eq!(&t.predicate, &probe.predicate, "seed {seed}");
         }
         for t in graph.matching(Some(&probe.subject), None, None) {
-            prop_assert_eq!(&t.subject, &probe.subject);
+            assert_eq!(&t.subject, &probe.subject, "seed {seed}");
         }
         for t in graph.matching(None, None, Some(&probe.object)) {
-            prop_assert_eq!(&t.object, &probe.object);
+            assert_eq!(&t.object, &probe.object, "seed {seed}");
         }
     }
 }

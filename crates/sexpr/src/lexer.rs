@@ -45,7 +45,10 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(input: &'a str) -> Self {
-        Lexer { chars: input.chars().peekable(), line: 1 }
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -57,7 +60,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), line: self.line }
+        LexError {
+            message: message.into(),
+            line: self.line,
+        }
     }
 
     fn skip_trivia(&mut self) {
@@ -121,8 +127,14 @@ impl<'a> Lexer<'a> {
             ':' => {
                 self.bump();
                 let mut name = String::new();
-                while matches!(self.chars.peek(), Some(&c) if Self::is_symbol_char(c)) {
-                    name.push(self.bump().unwrap());
+                while let Some(c) = self
+                    .chars
+                    .peek()
+                    .copied()
+                    .filter(|&c| Self::is_symbol_char(c))
+                {
+                    self.bump();
+                    name.push(c);
                 }
                 if name.is_empty() {
                     return Err(self.err("empty keyword"));
@@ -131,8 +143,14 @@ impl<'a> Lexer<'a> {
             }
             _ => {
                 let mut word = String::new();
-                while matches!(self.chars.peek(), Some(&c) if Self::is_symbol_char(c)) {
-                    word.push(self.bump().unwrap());
+                while let Some(c) = self
+                    .chars
+                    .peek()
+                    .copied()
+                    .filter(|&c| Self::is_symbol_char(c))
+                {
+                    self.bump();
+                    word.push(c);
                 }
                 if word.is_empty() {
                     return Err(self.err(format!("unexpected character `{c}`")));
@@ -225,7 +243,9 @@ mod tests {
 
     #[test]
     fn comments_are_skipped_and_lines_tracked() {
-        let toks = Lexer::new("; header\n(a ; trailing\n b)").tokenize().expect("lex");
+        let toks = Lexer::new("; header\n(a ; trailing\n b)")
+            .tokenize()
+            .expect("lex");
         assert_eq!(toks.len(), 4);
         assert_eq!(toks[0].line, 2); // (
         assert_eq!(toks[2].line, 3); // b

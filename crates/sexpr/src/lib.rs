@@ -19,7 +19,7 @@
 //! ```
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod lexer;
 pub mod parser;

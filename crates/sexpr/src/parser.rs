@@ -14,7 +14,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s-expression parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "s-expression parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -22,7 +26,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -31,7 +38,10 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut forms = parse_all(input)?;
     match forms.len() {
         1 => Ok(forms.remove(0)),
-        0 => Err(ParseError { message: "empty input".into(), line: 1 }),
+        0 => Err(ParseError {
+            message: "empty input".into(),
+            line: 1,
+        }),
         n => Err(ParseError {
             message: format!("expected one expression, found {n}"),
             line: 1,
@@ -69,7 +79,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), line: self.current_line() })
+        Err(ParseError {
+            message: message.into(),
+            line: self.current_line(),
+        })
     }
 
     fn parse_value(&mut self) -> Result<Value, ParseError> {
@@ -115,7 +128,10 @@ mod tests {
             items[2],
             Value::list(vec![Value::symbol("?s"), Value::symbol("PERSON")])
         );
-        assert_eq!(v.keyword_value("documentation").unwrap().as_str(), Some("doc"));
+        assert_eq!(
+            v.keyword_value("documentation").unwrap().as_str(),
+            Some("doc")
+        );
     }
 
     #[test]

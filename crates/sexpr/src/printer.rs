@@ -30,10 +30,12 @@ fn write_value(out: &mut String, value: &Value, indent: usize) {
                     out.push('\n');
                     out.push_str(&" ".repeat(child_indent));
                     write_value(out, item, child_indent);
-                    if let Some(next) = iter.peek() {
-                        if !matches!(next, Value::Keyword(_)) {
+                    if iter
+                        .peek()
+                        .is_some_and(|next| !matches!(next, Value::Keyword(_)))
+                    {
+                        if let Some(next) = iter.next() {
                             out.push(' ');
-                            let next = iter.next().unwrap();
                             write_value(out, next, child_indent);
                         }
                     }

@@ -1,24 +1,73 @@
-//! Property tests: printer ↔ parser roundtrips over arbitrary values.
+//! Property tests: printer ↔ parser roundtrips over generated values,
+//! sampled with a deterministic inline PRNG (no external test engine).
 
-use proptest::prelude::*;
 use sst_sexpr::{parse, to_string_pretty, Value};
 
-fn arb_atom() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        "[a-zA-Z?*<>=+-][a-zA-Z0-9?*<>=+:./-]{0,12}".prop_map(Value::Symbol),
-        "[a-z][a-z0-9-]{0,10}".prop_map(Value::Keyword),
-        proptest::string::string_regex("[ -~]{0,16}")
-            .unwrap()
-            .prop_map(Value::String),
-        any::<i32>().prop_map(|i| Value::Integer(i as i64)),
-        (-1000.0f64..1000.0).prop_map(|x| Value::Float((x * 16.0).round() / 16.0)),
-    ]
+/// Deterministic PRNG (SplitMix64) so failures reproduce exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn pick(&mut self, alphabet: &str) -> char {
+        let chars: Vec<char> = alphabet.chars().collect();
+        chars[self.below(chars.len())]
+    }
+
+    fn word(&mut self, first: &str, rest: &str, max_rest: usize) -> String {
+        let mut s = String::new();
+        s.push(self.pick(first));
+        for _ in 0..self.below(max_rest + 1) {
+            s.push(self.pick(rest));
+        }
+        s
+    }
+
+    fn printable(&mut self, max: usize) -> String {
+        let len = self.below(max + 1);
+        (0..len)
+            .map(|_| char::from(b' ' + self.below(95) as u8))
+            .collect()
+    }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    arb_atom().prop_recursive(4, 64, 8, |inner| {
-        proptest::collection::vec(inner, 0..6).prop_map(Value::List)
-    })
+const SYM_FIRST: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ?*<>=+-";
+const SYM_REST: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789?*<>=+:./-";
+
+fn arb_atom(rng: &mut Rng) -> Value {
+    match rng.below(5) {
+        0 => Value::Symbol(rng.word(SYM_FIRST, SYM_REST, 12)),
+        1 => Value::Keyword(rng.word(
+            "abcdefghijklmnopqrstuvwxyz",
+            "abcdefghijklmnopqrstuvwxyz0123456789-",
+            10,
+        )),
+        2 => Value::String(rng.printable(16)),
+        3 => Value::Integer(rng.next() as i32 as i64),
+        _ => {
+            let raw = (rng.next() % 32_000) as f64 / 16.0 - 1000.0;
+            Value::Float((raw * 16.0).round() / 16.0)
+        }
+    }
+}
+
+fn arb_value(rng: &mut Rng, depth: usize) -> Value {
+    if depth > 0 && rng.below(3) == 0 {
+        let n = rng.below(6);
+        Value::List((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+    } else {
+        arb_atom(rng)
+    }
 }
 
 /// Symbols that happen to look numeric re-lex as numbers, so exclude
@@ -35,35 +84,63 @@ fn lexes_cleanly(v: &Value) -> bool {
     }
 }
 
-proptest! {
-    #[test]
-    fn display_roundtrips(v in arb_value().prop_filter("ambiguous lexemes", lexes_cleanly)) {
+const CASES: u64 = 256;
+
+#[test]
+fn display_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let v = arb_value(&mut rng, 4);
+        if !lexes_cleanly(&v) {
+            continue;
+        }
         let printed = v.to_string();
         let reparsed = parse(&printed).expect("reparse Display output");
-        prop_assert_eq!(&reparsed, &v, "printed as {}", printed);
+        assert_eq!(reparsed, v, "seed {seed}: printed as {}", printed);
     }
+}
 
-    #[test]
-    fn pretty_printer_roundtrips(v in arb_value().prop_filter("ambiguous lexemes", lexes_cleanly)) {
+#[test]
+fn pretty_printer_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0xBEEF));
+        let v = arb_value(&mut rng, 4);
+        if !lexes_cleanly(&v) {
+            continue;
+        }
         let pretty = to_string_pretty(&v);
         let reparsed = parse(&pretty).expect("reparse pretty output");
-        prop_assert_eq!(&reparsed, &v, "pretty printed as {}", pretty);
+        assert_eq!(reparsed, v, "seed {seed}: pretty printed as {}", pretty);
     }
+}
 
-    /// The keyword_value accessor finds exactly the value following the
-    /// first occurrence of the keyword.
-    #[test]
-    fn keyword_value_semantics(
-        head in "[a-z]{1,8}",
-        kw in "[a-z]{1,8}",
-        payload in "[ -~]{0,12}",
-    ) {
+/// The keyword_value accessor finds exactly the value following the
+/// first occurrence of the keyword.
+#[test]
+fn keyword_value_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x7A11));
+        let head = rng.word(
+            "abcdefghijklmnopqrstuvwxyz",
+            "abcdefghijklmnopqrstuvwxyz",
+            7,
+        );
+        let kw = rng.word(
+            "abcdefghijklmnopqrstuvwxyz",
+            "abcdefghijklmnopqrstuvwxyz",
+            7,
+        );
+        let payload = rng.printable(12);
         let v = Value::list(vec![
             Value::symbol(head),
             Value::keyword(kw.clone()),
             Value::string(payload.clone()),
         ]);
-        prop_assert_eq!(v.keyword_value(&kw).and_then(Value::as_str), Some(payload.as_str()));
-        prop_assert!(v.keyword_value("missing-keyword").is_none());
+        assert_eq!(
+            v.keyword_value(&kw).and_then(Value::as_str),
+            Some(payload.as_str()),
+            "seed {seed}"
+        );
+        assert!(v.keyword_value("missing-keyword").is_none(), "seed {seed}");
     }
 }

@@ -16,23 +16,31 @@ pub struct AlignmentScoring {
 
 impl Default for AlignmentScoring {
     fn default() -> Self {
-        AlignmentScoring { matched: 1.0, mismatch: -1.0, gap: -0.5 }
+        AlignmentScoring {
+            matched: 1.0,
+            mismatch: -1.0,
+            gap: -0.5,
+        }
     }
 }
 
 /// Needleman-Wunsch global alignment score of two token sequences.
 pub fn needleman_wunsch<T: PartialEq>(x: &[T], y: &[T], s: AlignmentScoring) -> f64 {
+    // Two-row DP; `w = [prev[j], prev[j+1]]` via `windows(2)` and
+    // `curr.last()` is the cell to the left, so no subscript arithmetic.
     let mut prev: Vec<f64> = (0..=y.len()).map(|j| j as f64 * s.gap).collect();
-    let mut curr = vec![0.0; y.len() + 1];
+    let mut curr: Vec<f64> = Vec::with_capacity(y.len() + 1);
     for (i, tx) in x.iter().enumerate() {
-        curr[0] = (i + 1) as f64 * s.gap;
-        for (j, ty) in y.iter().enumerate() {
+        curr.clear();
+        curr.push((i + 1) as f64 * s.gap);
+        for (ty, w) in y.iter().zip(prev.windows(2)) {
             let m = if tx == ty { s.matched } else { s.mismatch };
-            curr[j + 1] = (prev[j] + m).max(prev[j + 1] + s.gap).max(curr[j] + s.gap);
+            let left = curr.last().copied().unwrap_or(0.0);
+            curr.push((w[0] + m).max(w[1] + s.gap).max(left + s.gap));
         }
         std::mem::swap(&mut prev, &mut curr);
     }
-    prev[y.len()]
+    prev.last().copied().unwrap_or(0.0)
 }
 
 /// Needleman-Wunsch normalized to [0, 1]: score divided by the best
@@ -56,18 +64,18 @@ pub fn needleman_wunsch_similarity<T: PartialEq>(x: &[T], y: &[T], s: AlignmentS
 pub fn smith_waterman<T: PartialEq>(x: &[T], y: &[T], s: AlignmentScoring) -> f64 {
     let mut best = 0.0_f64;
     let mut prev = vec![0.0_f64; y.len() + 1];
-    let mut curr = vec![0.0_f64; y.len() + 1];
+    let mut curr: Vec<f64> = Vec::with_capacity(y.len() + 1);
     for tx in x {
-        for (j, ty) in y.iter().enumerate() {
+        curr.clear();
+        curr.push(0.0);
+        for (ty, w) in y.iter().zip(prev.windows(2)) {
             let m = if tx == ty { s.matched } else { s.mismatch };
-            curr[j + 1] = (prev[j] + m)
-                .max(prev[j + 1] + s.gap)
-                .max(curr[j] + s.gap)
-                .max(0.0);
-            best = best.max(curr[j + 1]);
+            let left = curr.last().copied().unwrap_or(0.0);
+            let cell = (w[0] + m).max(w[1] + s.gap).max(left + s.gap).max(0.0);
+            best = best.max(cell);
+            curr.push(cell);
         }
         std::mem::swap(&mut prev, &mut curr);
-        curr[0] = 0.0;
     }
     best
 }
@@ -103,7 +111,11 @@ mod tests {
 
     #[test]
     fn nw_prefers_gaps_over_mismatches_when_cheaper() {
-        let s = AlignmentScoring { matched: 1.0, mismatch: -2.0, gap: -0.5 };
+        let s = AlignmentScoring {
+            matched: 1.0,
+            mismatch: -2.0,
+            gap: -0.5,
+        };
         // "ab" vs "axb": insert a gap (−0.5) rather than mismatch.
         let score = needleman_wunsch(&toks("ab"), &toks("axb"), s);
         assert_eq!(score, 1.0 + 1.0 - 0.5);
@@ -133,7 +145,10 @@ mod tests {
     fn sw_never_negative_and_zero_for_disjoint() {
         let s = AlignmentScoring::default();
         assert_eq!(smith_waterman(&toks("abc"), &toks("xyz"), s), 0.0);
-        assert_eq!(smith_waterman_similarity(&toks("abc"), &toks("xyz"), s), 0.0);
+        assert_eq!(
+            smith_waterman_similarity(&toks("abc"), &toks("xyz"), s),
+            0.0
+        );
     }
 
     #[test]
@@ -150,9 +165,7 @@ mod tests {
         let s = AlignmentScoring::default();
         let x = toks("aaaaacoreaaaaa");
         let y = toks("zzzzzcorezzzzz");
-        assert!(
-            smith_waterman_similarity(&x, &y, s) > needleman_wunsch_similarity(&x, &y, s)
-        );
+        assert!(smith_waterman_similarity(&x, &y, s) > needleman_wunsch_similarity(&x, &y, s));
     }
 
     #[test]

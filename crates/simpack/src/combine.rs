@@ -32,7 +32,10 @@ impl Combiner {
         if weights.is_empty() {
             return Err("at least one weight is required".to_owned());
         }
-        if weights.iter().any(|&w| w <= 0.0 || !w.is_finite() || w.is_nan()) {
+        if weights
+            .iter()
+            .any(|&w| w <= 0.0 || !w.is_finite() || w.is_nan())
+        {
             return Err("weights must be positive and finite".to_owned());
         }
         Ok(Combiner { strategy, weights })
@@ -40,7 +43,12 @@ impl Combiner {
 
     /// Uniform weights for `n` components.
     pub fn uniform(strategy: Amalgamation, n: usize) -> Combiner {
-        Combiner::new(strategy, vec![1.0; n.max(1)]).expect("uniform weights are valid")
+        // Bypass `new` rather than unwrap its validation: the literal
+        // weight 1.0 satisfies it by construction.
+        Combiner {
+            strategy,
+            weights: vec![1.0; n.max(1)],
+        }
     }
 
     /// Number of component scores expected.
@@ -53,11 +61,20 @@ impl Combiner {
     /// # Panics
     /// Panics if `scores.len() != self.arity()`.
     pub fn combine(&self, scores: &[f64]) -> f64 {
-        assert_eq!(scores.len(), self.weights.len(), "score/weight arity mismatch");
+        assert_eq!(
+            scores.len(),
+            self.weights.len(),
+            "score/weight arity mismatch"
+        );
         let total: f64 = self.weights.iter().sum();
         match self.strategy {
             Amalgamation::WeightedAverage => {
-                scores.iter().zip(&self.weights).map(|(s, w)| s * w).sum::<f64>() / total
+                scores
+                    .iter()
+                    .zip(&self.weights)
+                    .map(|(s, w)| s * w)
+                    .sum::<f64>()
+                    / total
             }
             Amalgamation::Max => scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             Amalgamation::Min => scores.iter().copied().fold(f64::INFINITY, f64::min),
@@ -65,7 +82,12 @@ impl Combiner {
                 if scores.contains(&0.0) {
                     return 0.0;
                 }
-                total / scores.iter().zip(&self.weights).map(|(s, w)| w / s).sum::<f64>()
+                total
+                    / scores
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(s, w)| w / s)
+                        .sum::<f64>()
             }
         }
     }

@@ -7,7 +7,7 @@
 //! path *in general* (undirected, possibly through common descendants).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Node handle within a [`Taxonomy`].
 pub type NodeId = u32;
@@ -33,7 +33,12 @@ impl Clone for Taxonomy {
             parents: self.parents.clone(),
             children: self.children.clone(),
             root: self.root,
-            depth_cache: RwLock::new(self.depth_cache.read().expect("cache lock").clone()),
+            depth_cache: RwLock::new(
+                self.depth_cache
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
         }
     }
 }
@@ -59,7 +64,10 @@ impl Taxonomy {
         if !self.parents[child as usize].contains(&parent) {
             self.parents[child as usize].push(parent);
             self.children[parent as usize].push(child);
-            *self.depth_cache.write().expect("cache lock") = None;
+            *self
+                .depth_cache
+                .write()
+                .unwrap_or_else(PoisonError::into_inner) = None;
         }
     }
 
@@ -67,7 +75,12 @@ impl Taxonomy {
     /// BFS over child edges; unreachable nodes get depth 0). Computed once
     /// and cached until the taxonomy changes.
     pub fn depths(&self) -> Arc<Vec<u32>> {
-        if let Some(cached) = self.depth_cache.read().expect("cache lock").clone() {
+        if let Some(cached) = self
+            .depth_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+        {
             return cached;
         }
         let mut depths = vec![0u32; self.node_count()];
@@ -84,7 +97,10 @@ impl Taxonomy {
             }
         }
         let depths = Arc::new(depths);
-        *self.depth_cache.write().expect("cache lock") = Some(depths.clone());
+        *self
+            .depth_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(depths.clone());
         depths
     }
 
@@ -111,7 +127,7 @@ impl Taxonomy {
         dist[start as usize] = Some(0);
         let mut queue = VecDeque::from([start]);
         while let Some(n) = queue.pop_front() {
-            let d = dist[n as usize].unwrap();
+            let Some(d) = dist[n as usize] else { continue };
             for &p in &self.parents[n as usize] {
                 if dist[p as usize].is_none() {
                     dist[p as usize] = Some(d + 1);
@@ -143,8 +159,11 @@ impl Taxonomy {
         dist[a as usize] = Some(0);
         let mut queue = VecDeque::from([a]);
         while let Some(n) = queue.pop_front() {
-            let d = dist[n as usize].unwrap();
-            for &m in self.parents[n as usize].iter().chain(&self.children[n as usize]) {
+            let Some(d) = dist[n as usize] else { continue };
+            for &m in self.parents[n as usize]
+                .iter()
+                .chain(&self.children[n as usize])
+            {
                 if dist[m as usize].is_none() {
                     if m == b {
                         return Some(d + 1);
@@ -356,16 +375,18 @@ mod tests {
         assert!((wu_palmer_similarity_rooted(&t, 2, 6) - 2.0 / 6.0).abs() < 1e-12);
         assert_eq!(wu_palmer_similarity_rooted(&t, 2, 2), 1.0);
         // Still orders in-domain above cross-domain.
-        assert!(
-            wu_palmer_similarity_rooted(&t, 2, 3) > wu_palmer_similarity_rooted(&t, 2, 6)
-        );
+        assert!(wu_palmer_similarity_rooted(&t, 2, 3) > wu_palmer_similarity_rooted(&t, 2, 6));
     }
 
     #[test]
     fn measures_are_symmetric() {
         let t = sample();
         for (a, b) in [(2, 3), (2, 6), (4, 6), (0, 4)] {
-            for f in [shortest_path_similarity, edge_similarity, wu_palmer_similarity] {
+            for f in [
+                shortest_path_similarity,
+                edge_similarity,
+                wu_palmer_similarity,
+            ] {
                 assert!((f(&t, a, b) - f(&t, b, a)).abs() < 1e-12);
             }
         }

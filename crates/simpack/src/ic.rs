@@ -44,7 +44,10 @@ impl InformationContent {
             }
         }
         let total = cumulative[taxonomy.root() as usize];
-        let prob = cumulative.into_iter().map(|c| (c / total).clamp(1e-12, 1.0)).collect();
+        let prob = cumulative
+            .into_iter()
+            .map(|c| (c / total).clamp(1e-12, 1.0))
+            .collect();
         InformationContent { prob }
     }
 
@@ -65,11 +68,7 @@ impl InformationContent {
     /// most Semantic Web ontologies) … we propose to use the probability of
     /// encountering a subclass"). "Sparse" means fewer than 10% of concepts
     /// carry any instance.
-    pub fn for_mode(
-        taxonomy: &Taxonomy,
-        mode: ProbabilityMode,
-        instance_counts: &[usize],
-    ) -> Self {
+    pub fn for_mode(taxonomy: &Taxonomy, mode: ProbabilityMode, instance_counts: &[usize]) -> Self {
         match mode {
             ProbabilityMode::SubclassCount => Self::from_subclasses(taxonomy),
             ProbabilityMode::InstanceCorpus => {
@@ -105,14 +104,12 @@ fn common_subsumers(t: &Taxonomy, a: NodeId, b: NodeId) -> Vec<NodeId> {
 
 /// The common subsumer with maximal information content, if any.
 fn best_subsumer(t: &Taxonomy, ic: &InformationContent, a: NodeId, b: NodeId) -> Option<NodeId> {
-    common_subsumers(t, a, b)
-        .into_iter()
-        .max_by(|&x, &y| {
-            ic.ic(x)
-                .partial_cmp(&ic.ic(y))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(y.cmp(&x)) // deterministic tie-break on smaller id
-        })
+    common_subsumers(t, a, b).into_iter().max_by(|&x, &y| {
+        ic.ic(x)
+            .partial_cmp(&ic.ic(y))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(y.cmp(&x)) // deterministic tie-break on smaller id
+    })
 }
 
 /// Resnik similarity (Eq. 7): `max_{z ∈ S(a,b)} −log₂ p(z)`.
@@ -244,8 +241,7 @@ mod tests {
     #[test]
     fn empty_instance_corpus_falls_back_to_subclasses() {
         let t = sample();
-        let fallback =
-            InformationContent::for_mode(&t, ProbabilityMode::InstanceCorpus, &[0; 7]);
+        let fallback = InformationContent::for_mode(&t, ProbabilityMode::InstanceCorpus, &[0; 7]);
         let subclass = InformationContent::from_subclasses(&t);
         for n in 0..7 {
             assert!((fallback.probability(n) - subclass.probability(n)).abs() < 1e-12);
@@ -268,16 +264,12 @@ mod tests {
         let ic = InformationContent::from_subclasses(&t);
         for (a, b) in [(2, 3), (2, 6), (0, 4)] {
             assert!(
-                (resnik_similarity(&t, &ic, a, b) - resnik_similarity(&t, &ic, b, a)).abs()
-                    < 1e-12
+                (resnik_similarity(&t, &ic, a, b) - resnik_similarity(&t, &ic, b, a)).abs() < 1e-12
             );
+            assert!((lin_similarity(&t, &ic, a, b) - lin_similarity(&t, &ic, b, a)).abs() < 1e-12);
             assert!(
-                (lin_similarity(&t, &ic, a, b) - lin_similarity(&t, &ic, b, a)).abs() < 1e-12
-            );
-            assert!(
-                (jiang_conrath_similarity(&t, &ic, a, b)
-                    - jiang_conrath_similarity(&t, &ic, b, a))
-                .abs()
+                (jiang_conrath_similarity(&t, &ic, a, b) - jiang_conrath_similarity(&t, &ic, b, a))
+                    .abs()
                     < 1e-12
             );
         }

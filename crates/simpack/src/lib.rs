@@ -22,7 +22,7 @@
 //! * [`measure`] — the measure catalogue with normalization metadata.
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod align;
 pub mod combine;
@@ -35,13 +35,13 @@ pub mod tree;
 pub mod vector;
 
 pub use align::{
-    needleman_wunsch, needleman_wunsch_similarity, smith_waterman,
-    smith_waterman_similarity, AlignmentScoring,
+    needleman_wunsch, needleman_wunsch_similarity, smith_waterman, smith_waterman_similarity,
+    AlignmentScoring,
 };
 pub use combine::{Amalgamation, Combiner};
 pub use graph::{
-    edge_similarity, shortest_path_similarity, wu_palmer_similarity,
-    wu_palmer_similarity_rooted, NodeId, Taxonomy,
+    edge_similarity, shortest_path_similarity, wu_palmer_similarity, wu_palmer_similarity_rooted,
+    NodeId, Taxonomy,
 };
 pub use ic::{
     jiang_conrath_similarity, lin_similarity, resnik_similarity, InformationContent,
@@ -54,6 +54,6 @@ pub use string::{
 };
 pub use tree::{tree_edit_distance, tree_similarity, LabeledTree};
 pub use vector::{
-    cosine, cosine_weighted, dice, features, jaccard, jaccard_weighted, overlap,
-    overlap_weighted, FeatureSet, SparseVector,
+    cosine, cosine_weighted, dice, features, jaccard, jaccard_weighted, overlap, overlap_weighted,
+    FeatureSet, SparseVector,
 };

@@ -213,7 +213,14 @@ mod tests {
     fn covers_all_paper_table1_measures() {
         // Table 1 columns: Conceptual Similarity, Levenshtein, Lin, Resnik,
         // Shortest Path, TFIDF.
-        for name in ["wu_palmer", "levenshtein", "lin", "resnik", "shortest_path", "tfidf"] {
+        for name in [
+            "wu_palmer",
+            "levenshtein",
+            "lin",
+            "resnik",
+            "shortest_path",
+            "tfidf",
+        ] {
             assert!(descriptor(name).is_some(), "missing {name}");
         }
     }

@@ -17,7 +17,11 @@ pub struct CostModel {
 
 impl CostModel {
     /// Unit costs: the classic Levenshtein setting.
-    pub const UNIT: CostModel = CostModel { insert: 1.0, delete: 1.0, replace: 1.0 };
+    pub const UNIT: CostModel = CostModel {
+        insert: 1.0,
+        delete: 1.0,
+        replace: 1.0,
+    };
 
     /// Builds a cost model, checking the paper's constraint
     /// `c(delete) + c(insert) ≥ c(replace)` and positivity.
@@ -31,13 +35,21 @@ impl CostModel {
                 delete, insert, replace
             ));
         }
-        Ok(CostModel { insert, delete, replace })
+        Ok(CostModel {
+            insert,
+            delete,
+            replace,
+        })
     }
 
     /// An *unchecked* constructor for ablation experiments that deliberately
     /// violate the constraint.
     pub fn unchecked(insert: f64, delete: f64, replace: f64) -> CostModel {
-        CostModel { insert, delete, replace }
+        CostModel {
+            insert,
+            delete,
+            replace,
+        }
     }
 }
 
@@ -49,17 +61,21 @@ pub fn xform<T: PartialEq>(x: &[T], y: &[T], costs: CostModel) -> f64 {
     if y.is_empty() {
         return x.len() as f64 * costs.delete;
     }
+    // Two-row DP; `w = [prev[j], prev[j+1]]` via `windows(2)` and
+    // `curr.last()` is the cell to the left, so no subscript arithmetic.
     let mut prev: Vec<f64> = (0..=y.len()).map(|j| j as f64 * costs.insert).collect();
-    let mut curr = vec![0.0; y.len() + 1];
+    let mut curr: Vec<f64> = Vec::with_capacity(y.len() + 1);
     for (i, tx) in x.iter().enumerate() {
-        curr[0] = (i + 1) as f64 * costs.delete;
-        for (j, ty) in y.iter().enumerate() {
-            let subst = if tx == ty { prev[j] } else { prev[j] + costs.replace };
-            curr[j + 1] = subst.min(prev[j + 1] + costs.delete).min(curr[j] + costs.insert);
+        curr.clear();
+        curr.push((i + 1) as f64 * costs.delete);
+        for (ty, w) in y.iter().zip(prev.windows(2)) {
+            let subst = if tx == ty { w[0] } else { w[0] + costs.replace };
+            let left = curr.last().copied().unwrap_or(0.0);
+            curr.push(subst.min(w[1] + costs.delete).min(left + costs.insert));
         }
         std::mem::swap(&mut prev, &mut curr);
     }
-    prev[y.len()]
+    prev.last().copied().unwrap_or(0.0)
 }
 
 /// Worst-case transformation cost `xform_wc(x, y)` (paper §2.2): replace

@@ -16,18 +16,21 @@ pub fn levenshtein_distance(a: &str, b: &str) -> usize {
     if b.is_empty() {
         return a.len();
     }
-    // Two-row dynamic program.
+    // Two-row dynamic program; `w = [prev[j], prev[j+1]]` via `windows(2)`
+    // and `curr.last()` is the cell to the left, so no subscript arithmetic.
     let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut curr = vec![0usize; b.len() + 1];
+    let mut curr: Vec<usize> = Vec::with_capacity(b.len() + 1);
     for (i, &ca) in a.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
+        curr.clear();
+        curr.push(i + 1);
+        for (&cb, w) in b.iter().zip(prev.windows(2)) {
             let cost = usize::from(ca != cb);
-            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            let left = curr.last().copied().unwrap_or(0);
+            curr.push((w[1] + 1).min(left + 1).min(w[0] + cost));
         }
         std::mem::swap(&mut prev, &mut curr);
     }
-    prev[b.len()]
+    prev.last().copied().unwrap_or(0)
 }
 
 /// Levenshtein similarity in [0, 1]: `1 − d / max(|a|, |b|)`.
@@ -137,10 +140,7 @@ where
     }
     let mut total = 0.0;
     for ta in a {
-        let best = b
-            .iter()
-            .map(|tb| inner(ta, tb))
-            .fold(0.0_f64, f64::max);
+        let best = b.iter().map(|tb| inner(ta, tb)).fold(0.0_f64, f64::max);
         total += best;
     }
     total / a.len() as f64

@@ -112,7 +112,10 @@ fn parse_node(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Se
                 }
             }
         }
-        Some(_) => Ok(SexprNode { label: read_word(chars)?, children: Vec::new() }),
+        Some(_) => Ok(SexprNode {
+            label: read_word(chars)?,
+            children: Vec::new(),
+        }),
         None => Err("empty input".to_owned()),
     }
 }
@@ -163,7 +166,11 @@ pub fn tree_edit_distance(a: &LabeledTree, b: &LabeledTree) -> usize {
             compute_treedist(&ta, &tb, i, j, &mut treedist);
         }
     }
-    treedist[ta.n - 1][tb.n - 1]
+    treedist
+        .last()
+        .and_then(|row| row.last())
+        .copied()
+        .unwrap_or(0)
 }
 
 /// Tree similarity: `1 − d / (|a| + |b|)`. The denominator is the worst
@@ -212,45 +219,56 @@ impl ZsTree {
                 keyroots.push(i);
             }
         }
-        let labels = order.iter().map(|&node| tree.labels[node].clone()).collect();
-        ZsTree { labels, l, keyroots, n }
+        let labels = order
+            .iter()
+            .map(|&node| tree.labels[node].clone())
+            .collect();
+        ZsTree {
+            labels,
+            l,
+            keyroots,
+            n,
+        }
     }
 }
 
-fn compute_treedist(
-    a: &ZsTree,
-    b: &ZsTree,
-    i: usize,
-    j: usize,
-    treedist: &mut [Vec<usize>],
-) {
+fn compute_treedist(a: &ZsTree, b: &ZsTree, i: usize, j: usize, treedist: &mut [Vec<usize>]) {
     let li = a.l[i];
     let lj = b.l[j];
     let m = i - li + 2;
     let n = j - lj + 2;
     // forestdist over postorder ranges, 1-indexed with 0 = empty forest.
+    // Deleting/inserting an i-token prefix costs i, so the border cells are
+    // just their own index.
     let mut fd = vec![vec![0usize; n]; m];
-    for di in 1..m {
-        fd[di][0] = fd[di - 1][0] + 1;
+    for (di, row) in fd.iter_mut().enumerate() {
+        row[0] = di;
     }
-    for dj in 1..n {
-        fd[0][dj] = fd[0][dj - 1] + 1;
+    if let Some(row0) = fd.first_mut() {
+        for (dj, cell) in row0.iter_mut().enumerate() {
+            *cell = dj;
+        }
     }
     for di in 1..m {
+        // Named predecessor indices keep the recurrence readable and the
+        // subscripts free of inline arithmetic.
+        let pdi = di - 1;
+        let ai = li + pdi;
         for dj in 1..n {
-            let ai = li + di - 1;
-            let bj = lj + dj - 1;
+            let pdj = dj - 1;
+            let bj = lj + pdj;
             if a.l[ai] == li && b.l[bj] == lj {
                 let relabel = usize::from(a.labels[ai] != b.labels[bj]);
-                fd[di][dj] = (fd[di - 1][dj] + 1)
-                    .min(fd[di][dj - 1] + 1)
-                    .min(fd[di - 1][dj - 1] + relabel);
-                treedist[ai][bj] = fd[di][dj];
+                let cell = (fd[pdi][dj] + 1)
+                    .min(fd[di][pdj] + 1)
+                    .min(fd[pdi][pdj] + relabel);
+                fd[di][dj] = cell;
+                treedist[ai][bj] = cell;
             } else {
                 let da = a.l[ai] - li;
                 let db = b.l[bj] - lj;
-                fd[di][dj] = (fd[di - 1][dj] + 1)
-                    .min(fd[di][dj - 1] + 1)
+                fd[di][dj] = (fd[pdi][dj] + 1)
+                    .min(fd[di][pdj] + 1)
                     .min(fd[da][db] + treedist[ai][bj]);
             }
         }

@@ -1,72 +1,153 @@
 //! Property tests for the measure library: metric axioms and normalization
-//! over random inputs.
+//! over generated inputs, sampled with a deterministic inline PRNG (no
+//! external test engine).
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
 use sst_simpack::{
     cosine, dice, features, jaccard, jaro, jaro_winkler, levenshtein_distance,
     levenshtein_similarity, needleman_wunsch_similarity, overlap, qgram, sequence_similarity,
     smith_waterman_similarity, tree_edit_distance, AlignmentScoring, CostModel, LabeledTree,
 };
 
-proptest! {
-    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
-    #[test]
-    fn levenshtein_is_a_metric(
-        a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
-    ) {
-        prop_assert_eq!(levenshtein_distance(&a, &a), 0);
-        prop_assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
+/// Deterministic PRNG (SplitMix64) so failures reproduce exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    /// Word over a restricted alphabet, e.g. `word("abc", 0, 8)`.
+    fn word(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
+        let len = min + self.below(max - min + 1);
+        (0..len)
+            .map(|_| char::from(alphabet[self.below(alphabet.len())]))
+            .collect()
+    }
+
+    fn printable(&mut self, max: usize) -> String {
+        let len = self.below(max + 1);
+        (0..len)
+            .map(|_| char::from(b' ' + self.below(95) as u8))
+            .collect()
+    }
+}
+
+const CASES: u64 = 256;
+
+/// Levenshtein is a metric: identity, symmetry, triangle inequality.
+#[test]
+fn levenshtein_is_a_metric() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let a = rng.word(b"abc", 0, 8);
+        let b = rng.word(b"abc", 0, 8);
+        let c = rng.word(b"abc", 0, 8);
+        assert_eq!(levenshtein_distance(&a, &a), 0, "seed {seed}");
+        assert_eq!(
+            levenshtein_distance(&a, &b),
+            levenshtein_distance(&b, &a),
+            "seed {seed}"
+        );
         let ab = levenshtein_distance(&a, &b);
         let bc = levenshtein_distance(&b, &c);
         let ac = levenshtein_distance(&a, &c);
-        prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+        assert!(
+            ac <= ab + bc,
+            "seed {seed}: triangle violated: {} > {} + {}",
+            ac,
+            ab,
+            bc
+        );
     }
+}
 
-    /// All string similarities stay in [0, 1] and are 1 on identical input.
-    #[test]
-    fn string_similarities_normalized(a in "[ -~]{0,12}", b in "[ -~]{0,12}") {
+/// All string similarities stay in [0, 1] and are 1 on identical input.
+#[test]
+fn string_similarities_normalized() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x5F5F));
+        let a = rng.printable(12);
+        let b = rng.printable(12);
         for (name, f) in [
-            ("levenshtein", levenshtein_similarity as fn(&str, &str) -> f64),
+            (
+                "levenshtein",
+                levenshtein_similarity as fn(&str, &str) -> f64,
+            ),
             ("jaro", jaro),
             ("jaro_winkler", jaro_winkler),
         ] {
             let v = f(&a, &b);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}: {}", name, v);
-            prop_assert!((f(&a, &a) - 1.0).abs() < 1e-12, "{} identity", name);
-            prop_assert!((v - f(&b, &a)).abs() < 1e-12, "{} symmetry", name);
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&v),
+                "seed {seed} {}: {}",
+                name,
+                v
+            );
+            assert!(
+                (f(&a, &a) - 1.0).abs() < 1e-12,
+                "seed {seed} {} identity",
+                name
+            );
+            assert!(
+                (v - f(&b, &a)).abs() < 1e-12,
+                "seed {seed} {} symmetry",
+                name
+            );
         }
         let v = qgram(&a, &b, 3);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        assert!((0.0..=1.0 + 1e-12).contains(&v), "seed {seed}");
     }
+}
 
-    /// Vector measures over arbitrary feature sets: range, symmetry,
-    /// identity (on non-empty sets), and the overlap ≥ jaccard ordering.
-    #[test]
-    fn vector_measures_axioms(
-        xs in proptest::collection::btree_set("[a-e]{1,3}", 0..8),
-        ys in proptest::collection::btree_set("[a-e]{1,3}", 0..8),
-    ) {
+/// Vector measures over arbitrary feature sets: range, symmetry,
+/// identity (on non-empty sets), and the overlap ≥ jaccard ordering.
+#[test]
+fn vector_measures_axioms() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0xABCD));
+        let xs: BTreeSet<String> = (0..rng.below(8))
+            .map(|_| rng.word(b"abcde", 1, 3))
+            .collect();
+        let ys: BTreeSet<String> = (0..rng.below(8))
+            .map(|_| rng.word(b"abcde", 1, 3))
+            .collect();
         let x = features(xs.iter().cloned());
         let y = features(ys.iter().cloned());
         for f in [cosine, jaccard, overlap, dice] {
             let v = f(&x, &y);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
-            prop_assert!((v - f(&y, &x)).abs() < 1e-12);
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "seed {seed}");
+            assert!((v - f(&y, &x)).abs() < 1e-12, "seed {seed}");
             if !x.is_empty() {
-                prop_assert!((f(&x, &x) - 1.0).abs() < 1e-12);
+                assert!((f(&x, &x) - 1.0).abs() < 1e-12, "seed {seed}");
             }
         }
-        prop_assert!(overlap(&x, &y) + 1e-12 >= jaccard(&x, &y));
-        prop_assert!(dice(&x, &y) + 1e-12 >= jaccard(&x, &y));
+        assert!(overlap(&x, &y) + 1e-12 >= jaccard(&x, &y), "seed {seed}");
+        assert!(dice(&x, &y) + 1e-12 >= jaccard(&x, &y), "seed {seed}");
     }
+}
 
-    /// Sequence similarity (Eq. 4) and both alignment similarities stay in
-    /// [0, 1], symmetric under symmetric costs, and 1 on identical input.
-    #[test]
-    fn sequence_measures_axioms(
-        a in proptest::collection::vec("[a-d]{1,2}", 0..10),
-        b in proptest::collection::vec("[a-d]{1,2}", 0..10),
-    ) {
+/// Sequence similarity (Eq. 4) and both alignment similarities stay in
+/// [0, 1], symmetric under symmetric costs, and 1 on identical input.
+#[test]
+fn sequence_measures_axioms() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x4321));
+        let a: Vec<String> = (0..rng.below(10))
+            .map(|_| rng.word(b"abcd", 1, 2))
+            .collect();
+        let b: Vec<String> = (0..rng.below(10))
+            .map(|_| rng.word(b"abcd", 1, 2))
+            .collect();
         let scoring = AlignmentScoring::default();
         for (name, v, w) in [
             (
@@ -85,53 +166,56 @@ proptest! {
                 smith_waterman_similarity(&b, &a, scoring),
             ),
         ] {
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}: {}", name, v);
-            prop_assert!((v - w).abs() < 1e-12, "{} symmetry", name);
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&v),
+                "seed {seed} {}: {}",
+                name,
+                v
+            );
+            assert!((v - w).abs() < 1e-12, "seed {seed} {} symmetry", name);
         }
-        prop_assert!((sequence_similarity(&a, &a, CostModel::UNIT) - 1.0).abs() < 1e-12);
-        prop_assert!(
-            (needleman_wunsch_similarity(&a, &a, scoring) - 1.0).abs() < 1e-12
+        assert!(
+            (sequence_similarity(&a, &a, CostModel::UNIT) - 1.0).abs() < 1e-12,
+            "seed {seed}"
+        );
+        assert!(
+            (needleman_wunsch_similarity(&a, &a, scoring) - 1.0).abs() < 1e-12,
+            "seed {seed}"
         );
     }
 }
 
-fn arb_tree() -> impl Strategy<Value = LabeledTree> {
-    // Random parent vector (parent[i] < i) with labels from a small set.
-    (1usize..10).prop_flat_map(|n| {
-        let labels = proptest::collection::vec("[a-c]", n);
-        let parents: Vec<BoxedStrategy<usize>> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(0usize).boxed()
-                } else {
-                    (0..i).boxed()
-                }
-            })
-            .collect();
-        (labels, parents).prop_map(|(labels, parents)| {
-            let mut tree = LabeledTree::new();
-            let mut ids = Vec::new();
-            for (i, label) in labels.iter().enumerate() {
-                let parent = if i == 0 { None } else { Some(ids[parents[i]]) };
-                ids.push(tree.add_node(label.clone(), parent));
-            }
-            tree
-        })
-    })
+/// Random tree via a parent vector (parent[i] < i) with labels from a
+/// small set — the same shape the proptest strategy generated.
+fn arb_tree(rng: &mut Rng) -> LabeledTree {
+    let n = 1 + rng.below(9);
+    let mut tree = LabeledTree::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let label = rng.word(b"abc", 1, 1);
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(ids[rng.below(i)])
+        };
+        ids.push(tree.add_node(label, parent));
+    }
+    tree
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Tree edit distance: identity, symmetry, and the size bound
-    /// d(a, b) ≤ |a| + |b|.
-    #[test]
-    fn tree_edit_axioms(a in arb_tree(), b in arb_tree()) {
-        prop_assert_eq!(tree_edit_distance(&a, &a), 0);
+/// Tree edit distance: identity, symmetry, and the size bound
+/// d(a, b) ≤ |a| + |b|.
+#[test]
+fn tree_edit_axioms() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x7E57));
+        let a = arb_tree(&mut rng);
+        let b = arb_tree(&mut rng);
+        assert_eq!(tree_edit_distance(&a, &a), 0, "seed {seed}");
         let ab = tree_edit_distance(&a, &b);
-        prop_assert_eq!(ab, tree_edit_distance(&b, &a));
-        prop_assert!(ab <= a.len() + b.len());
+        assert_eq!(ab, tree_edit_distance(&b, &a), "seed {seed}");
+        assert!(ab <= a.len() + b.len(), "seed {seed}");
         // Distance at least the size difference.
-        prop_assert!(ab >= a.len().abs_diff(b.len()));
+        assert!(ab >= a.len().abs_diff(b.len()), "seed {seed}");
     }
 }

@@ -62,18 +62,36 @@ pub fn render_concept(soqa: &Soqa, gc: GlobalConcept) -> String {
     out.push_str(&format!("  depth:         {}\n", o.depth(gc.concept)));
 
     let names = |items: Vec<GlobalConcept>| -> String {
-        let v: Vec<String> = items.iter().map(|&g| soqa.concept(g).name.clone()).collect();
+        let v: Vec<String> = items
+            .iter()
+            .map(|&g| soqa.concept(g).name.clone())
+            .collect();
         if v.is_empty() {
             "—".to_owned()
         } else {
             v.join(", ")
         }
     };
-    out.push_str(&format!("  superconcepts: {}\n", names(soqa.super_concepts(gc))));
-    out.push_str(&format!("  subconcepts:   {}\n", names(soqa.sub_concepts(gc))));
-    out.push_str(&format!("  coordinate:    {}\n", names(soqa.coordinate_concepts(gc))));
-    out.push_str(&format!("  equivalent:    {}\n", names(soqa.equivalent_concepts(gc))));
-    out.push_str(&format!("  antonym:       {}\n", names(soqa.antonym_concepts(gc))));
+    out.push_str(&format!(
+        "  superconcepts: {}\n",
+        names(soqa.super_concepts(gc))
+    ));
+    out.push_str(&format!(
+        "  subconcepts:   {}\n",
+        names(soqa.sub_concepts(gc))
+    ));
+    out.push_str(&format!(
+        "  coordinate:    {}\n",
+        names(soqa.coordinate_concepts(gc))
+    ));
+    out.push_str(&format!(
+        "  equivalent:    {}\n",
+        names(soqa.equivalent_concepts(gc))
+    ));
+    out.push_str(&format!(
+        "  antonym:       {}\n",
+        names(soqa.antonym_concepts(gc))
+    ));
 
     let attrs = soqa.attributes_of(gc);
     if !attrs.is_empty() {
@@ -93,9 +111,7 @@ pub fn render_concept(soqa: &Soqa, gc: GlobalConcept) -> String {
             let params: Vec<String> = m
                 .parameters
                 .iter()
-                .map(|p| {
-                    format!("{}: {}", p.name, p.data_type.as_deref().unwrap_or("?"))
-                })
+                .map(|p| format!("{}: {}", p.name, p.data_type.as_deref().unwrap_or("?")))
                 .collect();
             out.push_str(&format!(
                 "    - {}({}) -> {}\n",

@@ -59,7 +59,11 @@ impl OntologyDiff {
                 ConceptChange::Redocumented(name) => {
                     out.push_str(&format!("~ concept {name} (documentation changed)\n"))
                 }
-                ConceptChange::Reparented { concept, before, after } => out.push_str(&format!(
+                ConceptChange::Reparented {
+                    concept,
+                    before,
+                    after,
+                } => out.push_str(&format!(
                     "~ concept {concept} (supers {before:?} → {after:?})\n"
                 )),
             }
@@ -88,19 +92,29 @@ fn name_set<I: Iterator<Item = String>>(iter: I) -> BTreeSet<String> {
 pub fn diff_ontologies(before: &Ontology, after: &Ontology) -> OntologyDiff {
     let mut report = OntologyDiff::default();
 
-    let before_names =
-        name_set(before.concept_ids().map(|id| before.concept(id).name.clone()));
+    let before_names = name_set(
+        before
+            .concept_ids()
+            .map(|id| before.concept(id).name.clone()),
+    );
     let after_names = name_set(after.concept_ids().map(|id| after.concept(id).name.clone()));
 
     for name in after_names.difference(&before_names) {
-        report.concept_changes.push(ConceptChange::Added(name.clone()));
+        report
+            .concept_changes
+            .push(ConceptChange::Added(name.clone()));
     }
     for name in before_names.difference(&after_names) {
-        report.concept_changes.push(ConceptChange::Removed(name.clone()));
+        report
+            .concept_changes
+            .push(ConceptChange::Removed(name.clone()));
     }
     for name in before_names.intersection(&after_names) {
-        let b = before.concept_by_name(name).expect("in before set");
-        let a = after.concept_by_name(name).expect("in after set");
+        // `name` came from both name sets, so both lookups succeed; skip
+        // defensively rather than assert.
+        let (Some(b), Some(a)) = (before.concept_by_name(name), after.concept_by_name(name)) else {
+            continue;
+        };
         let b_supers: BTreeSet<String> = before
             .direct_supers(b)
             .iter()
@@ -119,7 +133,9 @@ pub fn diff_ontologies(before: &Ontology, after: &Ontology) -> OntologyDiff {
             });
         }
         if before.concept(b).documentation != after.concept(a).documentation {
-            report.concept_changes.push(ConceptChange::Redocumented(name.clone()));
+            report
+                .concept_changes
+                .push(ConceptChange::Redocumented(name.clone()));
         }
     }
 
@@ -183,7 +199,10 @@ mod tests {
         let prof = after.concept("Professor");
         after.add_subclass(prof, thing);
         let diff = diff_ontologies(&before, &after.build());
-        assert_eq!(diff.concept_changes, vec![ConceptChange::Added("Professor".into())]);
+        assert_eq!(
+            diff.concept_changes,
+            vec![ConceptChange::Added("Professor".into())]
+        );
         let reverse = diff_ontologies(&after_with_professor(), &before);
         assert!(reverse
             .concept_changes

@@ -27,7 +27,13 @@ fn xsd_type(data_type: &str) -> Iri {
 /// Characters legal in an IRI fragment produced from a concept name.
 fn fragment(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -48,7 +54,11 @@ pub fn ontology_to_graph(ontology: &Ontology, base: &str) -> Graph {
 
     // Ontology header.
     let header = Term::iri(base);
-    graph.insert(Triple::new(header.clone(), rdf::type_(), Term::Iri(owl::ontology())));
+    graph.insert(Triple::new(
+        header.clone(),
+        rdf::type_(),
+        Term::Iri(owl::ontology()),
+    ));
     if let Some(doc) = &ontology.metadata.documentation {
         graph.insert(Triple::new(
             header.clone(),
@@ -68,7 +78,11 @@ pub fn ontology_to_graph(ontology: &Ontology, base: &str) -> Graph {
     for cid in ontology.concept_ids() {
         let concept = ontology.concept(cid);
         let subject = node(&concept.name);
-        graph.insert(Triple::new(subject.clone(), rdf::type_(), Term::Iri(owl::class())));
+        graph.insert(Triple::new(
+            subject.clone(),
+            rdf::type_(),
+            Term::Iri(owl::class()),
+        ));
         graph.insert(Triple::new(
             subject.clone(),
             rdfs::label(),
@@ -118,7 +132,11 @@ pub fn ontology_to_graph(ontology: &Ontology, base: &str) -> Graph {
             node(&ontology.concept(attribute.concept).name),
         ));
         if let Some(dt) = &attribute.data_type {
-            graph.insert(Triple::new(subject.clone(), rdfs::range(), Term::Iri(xsd_type(dt))));
+            graph.insert(Triple::new(
+                subject.clone(),
+                rdfs::range(),
+                Term::Iri(xsd_type(dt)),
+            ));
         }
         if let Some(doc) = &attribute.documentation {
             graph.insert(Triple::new(
@@ -226,7 +244,11 @@ mod tests {
     fn exports_classes_and_hierarchy() {
         let g = ontology_to_graph(&sample(), BASE);
         let student = Term::iri(format!("{BASE}#STUDENT"));
-        assert!(g.contains(&Triple::new(student.clone(), rdf::type_(), Term::Iri(owl::class()))));
+        assert!(g.contains(&Triple::new(
+            student.clone(),
+            rdf::type_(),
+            Term::Iri(owl::class())
+        )));
         assert!(g.contains(&Triple::new(
             student,
             rdfs::sub_class_of(),

@@ -77,13 +77,16 @@ impl Soqa {
     /// Resolves `(ontology name, concept name)` to a global concept handle.
     pub fn resolve(&self, ontology: &str, concept: &str) -> Result<GlobalConcept> {
         let idx = self.ontology_index(ontology)?;
-        let cid = self.ontologies[idx].concept_by_name(concept).ok_or_else(|| {
-            SoqaError::UnknownConcept {
+        let cid = self.ontologies[idx]
+            .concept_by_name(concept)
+            .ok_or_else(|| SoqaError::UnknownConcept {
                 ontology: ontology.to_owned(),
                 concept: concept.to_owned(),
-            }
-        })?;
-        Ok(GlobalConcept { ontology: idx, concept: cid })
+            })?;
+        Ok(GlobalConcept {
+            ontology: idx,
+            concept: cid,
+        })
     }
 
     /// The concept record behind a global handle.
@@ -100,7 +103,10 @@ impl Soqa {
     pub fn all_concepts(&self) -> Vec<GlobalConcept> {
         let mut out = Vec::with_capacity(self.total_concept_count());
         for (i, o) in self.ontologies.iter().enumerate() {
-            out.extend(o.concept_ids().map(|c| GlobalConcept { ontology: i, concept: c }));
+            out.extend(o.concept_ids().map(|c| GlobalConcept {
+                ontology: i,
+                concept: c,
+            }));
         }
         out
     }
@@ -110,7 +116,10 @@ impl Soqa {
         self.ontologies[gc.ontology]
             .direct_supers(gc.concept)
             .iter()
-            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|&c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
@@ -119,7 +128,10 @@ impl Soqa {
         self.ontologies[gc.ontology]
             .direct_subs(gc.concept)
             .iter()
-            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|&c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
@@ -128,7 +140,10 @@ impl Soqa {
         self.ontologies[gc.ontology]
             .all_supers(gc.concept)
             .into_iter()
-            .map(|c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
@@ -137,7 +152,10 @@ impl Soqa {
         self.ontologies[gc.ontology]
             .all_subs(gc.concept)
             .into_iter()
-            .map(|c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
@@ -146,7 +164,10 @@ impl Soqa {
         self.ontologies[gc.ontology]
             .coordinate_concepts(gc.concept)
             .into_iter()
-            .map(|c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
@@ -155,7 +176,10 @@ impl Soqa {
         self.concept(gc)
             .equivalent_concepts
             .iter()
-            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|&c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
@@ -164,14 +188,21 @@ impl Soqa {
         self.concept(gc)
             .antonym_concepts
             .iter()
-            .map(|&c| GlobalConcept { ontology: gc.ontology, concept: c })
+            .map(|&c| GlobalConcept {
+                ontology: gc.ontology,
+                concept: c,
+            })
             .collect()
     }
 
     /// Attributes declared for a concept.
     pub fn attributes_of(&self, gc: GlobalConcept) -> Vec<&Attribute> {
         let o = &self.ontologies[gc.ontology];
-        o.concept(gc.concept).attributes.iter().map(|&a| o.attribute(a)).collect()
+        o.concept(gc.concept)
+            .attributes
+            .iter()
+            .map(|&a| o.attribute(a))
+            .collect()
     }
 
     /// Attributes declared for a concept or inherited from any superconcept.
@@ -187,19 +218,31 @@ impl Soqa {
     /// Methods declared for a concept.
     pub fn methods_of(&self, gc: GlobalConcept) -> Vec<&Method> {
         let o = &self.ontologies[gc.ontology];
-        o.concept(gc.concept).methods.iter().map(|&m| o.method(m)).collect()
+        o.concept(gc.concept)
+            .methods
+            .iter()
+            .map(|&m| o.method(m))
+            .collect()
     }
 
     /// Relationships a concept participates in.
     pub fn relationships_of(&self, gc: GlobalConcept) -> Vec<&Relationship> {
         let o = &self.ontologies[gc.ontology];
-        o.concept(gc.concept).relationships.iter().map(|&r| o.relationship(r)).collect()
+        o.concept(gc.concept)
+            .relationships
+            .iter()
+            .map(|&r| o.relationship(r))
+            .collect()
     }
 
     /// Direct instances of a concept.
     pub fn instances_of(&self, gc: GlobalConcept) -> Vec<&Instance> {
         let o = &self.ontologies[gc.ontology];
-        o.concept(gc.concept).instances.iter().map(|&i| o.instance(i)).collect()
+        o.concept(gc.concept)
+            .instances
+            .iter()
+            .map(|&i| o.instance(i))
+            .collect()
     }
 
     /// A display name of the form `ontology:Concept` (the notation used in
@@ -301,14 +344,20 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut soqa = Soqa::new();
         soqa.register(uni()).unwrap();
-        assert!(matches!(soqa.register(uni()), Err(SoqaError::DuplicateOntology(_))));
+        assert!(matches!(
+            soqa.register(uni()),
+            Err(SoqaError::DuplicateOntology(_))
+        ));
     }
 
     #[test]
     fn unknown_lookups_error() {
         let mut soqa = Soqa::new();
         soqa.register(uni()).unwrap();
-        assert!(matches!(soqa.resolve("nope", "X"), Err(SoqaError::UnknownOntology(_))));
+        assert!(matches!(
+            soqa.resolve("nope", "X"),
+            Err(SoqaError::UnknownOntology(_))
+        ));
         assert!(matches!(
             soqa.resolve("uni", "Nope"),
             Err(SoqaError::UnknownConcept { .. })

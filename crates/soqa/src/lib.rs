@@ -9,7 +9,7 @@
 //! [`browser`] renders the text-mode ontology browser panes.
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod browser;
 pub mod diff;
@@ -23,9 +23,9 @@ pub mod stats;
 pub use diff::{diff_ontologies, ConceptChange, OntologyDiff};
 pub use error::{Result, SoqaError};
 pub use export::ontology_to_graph;
-pub use stats::{ontology_stats, OntologyStats};
 pub use facade::{GlobalConcept, Soqa};
 pub use model::{
-    Attribute, AttributeId, Concept, ConceptId, Instance, InstanceId, Method, MethodId,
-    Ontology, OntologyBuilder, OntologyMetadata, Parameter, Relationship, RelationshipId,
+    Attribute, AttributeId, Concept, ConceptId, Instance, InstanceId, Method, MethodId, Ontology,
+    OntologyBuilder, OntologyMetadata, Parameter, Relationship, RelationshipId,
 };
+pub use stats::{ontology_stats, OntologyStats};

@@ -294,7 +294,10 @@ impl Ontology {
         let mut seen = vec![false; self.concepts.len()];
         seen[id.index()] = true;
         loop {
-            if frontier.iter().any(|c| self.concept(*c).super_concepts.is_empty()) {
+            if frontier
+                .iter()
+                .any(|c| self.concept(*c).super_concepts.is_empty())
+            {
                 return depth;
             }
             let mut next = Vec::new();
@@ -338,7 +341,12 @@ pub struct OntologyBuilder {
 
 impl OntologyBuilder {
     pub fn new(metadata: OntologyMetadata) -> Self {
-        OntologyBuilder { ontology: Ontology { metadata, ..Ontology::default() } }
+        OntologyBuilder {
+            ontology: Ontology {
+                metadata,
+                ..Ontology::default()
+            },
+        }
     }
 
     /// Adds (or retrieves) a concept by name. Wrappers call this eagerly for
@@ -348,7 +356,10 @@ impl OntologyBuilder {
             return id;
         }
         let id = ConceptId(self.ontology.concepts.len() as u32);
-        self.ontology.concepts.push(Concept { name: name.to_owned(), ..Concept::default() });
+        self.ontology.concepts.push(Concept {
+            name: name.to_owned(),
+            ..Concept::default()
+        });
         self.ontology.concept_names.insert(name.to_owned(), id);
         id
     }
@@ -421,7 +432,9 @@ impl OntologyBuilder {
     /// Adds an attribute to `concept`.
     pub fn add_attribute(&mut self, attribute: Attribute) -> AttributeId {
         let id = AttributeId(self.ontology.attributes.len() as u32);
-        self.ontology.concepts[attribute.concept.index()].attributes.push(id);
+        self.ontology.concepts[attribute.concept.index()]
+            .attributes
+            .push(id);
         self.ontology.attributes.push(attribute);
         id
     }
@@ -429,7 +442,9 @@ impl OntologyBuilder {
     /// Adds a method to its concept.
     pub fn add_method(&mut self, method: Method) -> MethodId {
         let id = MethodId(self.ontology.methods.len() as u32);
-        self.ontology.concepts[method.concept.index()].methods.push(id);
+        self.ontology.concepts[method.concept.index()]
+            .methods
+            .push(id);
         self.ontology.methods.push(method);
         id
     }
@@ -453,8 +468,12 @@ impl OntologyBuilder {
     /// Adds an instance to its concept.
     pub fn add_instance(&mut self, instance: Instance) -> InstanceId {
         let id = InstanceId(self.ontology.instances.len() as u32);
-        self.ontology.concepts[instance.concept.index()].instances.push(id);
-        self.ontology.instance_names.insert(instance.name.clone(), id);
+        self.ontology.concepts[instance.concept.index()]
+            .instances
+            .push(id);
+        self.ontology
+            .instance_names
+            .insert(instance.name.clone(), id);
         self.ontology.instances.push(instance);
         id
     }
@@ -529,8 +548,11 @@ mod tests {
     fn super_and_sub_closures() {
         let o = sample();
         let full = o.concept_by_name("FullProfessor").unwrap();
-        let supers: Vec<&str> =
-            o.all_supers(full).iter().map(|&c| o.concept(c).name.as_str()).collect();
+        let supers: Vec<&str> = o
+            .all_supers(full)
+            .iter()
+            .map(|&c| o.concept(c).name.as_str())
+            .collect();
         assert_eq!(supers, vec!["Professor", "Person", "Thing"]);
         let thing = o.concept_by_name("Thing").unwrap();
         assert_eq!(o.all_subs(thing).len(), 4);

@@ -56,7 +56,11 @@ pub enum Expr {
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
-    Compare { field: String, op: CompareOp, value: Value },
+    Compare {
+        field: String,
+        op: CompareOp,
+        value: Value,
+    },
 }
 
 /// Comparison operators.

@@ -117,7 +117,10 @@ pub fn execute_parsed(soqa: &Soqa, q: &Query) -> Result<ResultTable> {
 
     if let Some(order) = &q.order_by {
         if !all_fields.contains(&order.field.as_str()) {
-            return Err(SoqaError::Query(format!("unknown ORDER BY field `{}`", order.field)));
+            return Err(SoqaError::Query(format!(
+                "unknown ORDER BY field `{}`",
+                order.field
+            )));
         }
         let field = order.field.as_str();
         rows.sort_by(|a, b| {
@@ -175,7 +178,10 @@ pub fn execute_parsed(soqa: &Soqa, q: &Query) -> Result<ResultTable> {
                 .collect()
         })
         .collect();
-    Ok(ResultTable { columns, rows: out_rows })
+    Ok(ResultTable {
+        columns,
+        rows: out_rows,
+    })
 }
 
 fn validate_expr_fields(expr: &Expr, fields: &[&'static str]) -> Result<()> {
@@ -216,12 +222,18 @@ fn compare(cell: &Cell, op: CompareOp, value: &Value) -> bool {
     use std::cmp::Ordering;
     match op {
         CompareOp::Like => {
-            let Value::String(pattern) = value else { return false };
+            let Value::String(pattern) = value else {
+                return false;
+            };
             like_match(pattern, &cell.render())
         }
         CompareOp::Contains => {
-            let Value::String(needle) = value else { return false };
-            cell.render().to_lowercase().contains(&needle.to_lowercase())
+            let Value::String(needle) = value else {
+                return false;
+            };
+            cell.render()
+                .to_lowercase()
+                .contains(&needle.to_lowercase())
         }
         _ => {
             let ord = match (cell, value) {
@@ -243,7 +255,8 @@ fn compare(cell: &Cell, op: CompareOp, value: &Value) -> bool {
                 CompareOp::LtEq => ord != Ordering::Greater,
                 CompareOp::Gt => ord == Ordering::Greater,
                 CompareOp::GtEq => ord != Ordering::Less,
-                CompareOp::Like | CompareOp::Contains => unreachable!(),
+                // Handled by the outer match; kept only for exhaustiveness.
+                CompareOp::Like | CompareOp::Contains => false,
             }
         }
     }
@@ -289,7 +302,14 @@ fn build_rows(soqa: &Soqa, extent: Extent, ontologies: &[usize]) -> (Vec<&'stati
         ],
         Extent::Attributes => vec!["ontology", "name", "concept", "data_type", "documentation"],
         Extent::Methods => {
-            vec!["ontology", "name", "concept", "return_type", "parameter_count", "documentation"]
+            vec![
+                "ontology",
+                "name",
+                "concept",
+                "return_type",
+                "parameter_count",
+                "documentation",
+            ]
         }
         Extent::Relationships => vec!["ontology", "name", "arity", "related", "documentation"],
         Extent::Instances => vec!["ontology", "name", "concept"],
@@ -388,7 +408,10 @@ fn build_rows(soqa: &Soqa, extent: Extent, ontologies: &[usize]) -> (Vec<&'stati
                 row.insert("concept_count", Cell::Num(o.concept_count() as f64));
                 row.insert("attribute_count", Cell::Num(o.attributes().len() as f64));
                 row.insert("method_count", Cell::Num(o.methods().len() as f64));
-                row.insert("relationship_count", Cell::Num(o.relationships().len() as f64));
+                row.insert(
+                    "relationship_count",
+                    Cell::Num(o.relationships().len() as f64),
+                );
                 row.insert("instance_count", Cell::Num(o.instances().len() as f64));
                 rows.push(row);
             }
@@ -455,8 +478,11 @@ mod tests {
     #[test]
     fn where_numeric_comparison() {
         let soqa = sample();
-        let t = execute(&soqa, "SELECT name FROM concepts WHERE depth >= 2 ORDER BY name")
-            .expect("run");
+        let t = execute(
+            &soqa,
+            "SELECT name FROM concepts WHERE depth >= 2 ORDER BY name",
+        )
+        .expect("run");
         let names: Vec<String> = t.rows.iter().map(|r| r[0].render()).collect();
         assert_eq!(names, vec!["Professor", "Student"]);
     }
@@ -476,8 +502,11 @@ mod tests {
     #[test]
     fn order_by_desc_and_limit() {
         let soqa = sample();
-        let t = execute(&soqa, "SELECT name FROM concepts ORDER BY name DESC LIMIT 2")
-            .expect("run");
+        let t = execute(
+            &soqa,
+            "SELECT name FROM concepts ORDER BY name DESC LIMIT 2",
+        )
+        .expect("run");
         let names: Vec<String> = t.rows.iter().map(|r| r[0].render()).collect();
         assert_eq!(names, vec!["Thing", "Student"]);
     }

@@ -178,10 +178,9 @@ mod tests {
 
     #[test]
     fn lexes_a_full_query() {
-        let toks = tokenize(
-            "SELECT name, documentation FROM concepts WHERE name LIKE 'Prof%' LIMIT 5",
-        )
-        .expect("lex");
+        let toks =
+            tokenize("SELECT name, documentation FROM concepts WHERE name LIKE 'Prof%' LIMIT 5")
+                .expect("lex");
         assert_eq!(toks[0], Token::Keyword(Keyword::Select));
         assert!(toks.contains(&Token::String("Prof%".into())));
         assert!(toks.contains(&Token::Number(5.0)));

@@ -113,7 +113,15 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { fields, count, extent, ontology, filter, order_by, limit })
+        Ok(Query {
+            fields,
+            count,
+            extent,
+            ontology,
+            filter,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_projection(&mut self) -> Result<(Vec<String>, Option<CountSpec>)> {
@@ -129,7 +137,9 @@ impl Parser {
             let spec = match self.bump() {
                 Some(Token::Star) => CountSpec::Star,
                 Some(Token::Identifier(f)) => CountSpec::Field(f),
-                other => return self.err(format!("expected `*` or field in COUNT, found {other:?}")),
+                other => {
+                    return self.err(format!("expected `*` or field in COUNT, found {other:?}"))
+                }
             };
             match self.bump() {
                 Some(Token::RParen) => {}
@@ -233,8 +243,8 @@ mod tests {
 
     #[test]
     fn and_binds_tighter_than_or() {
-        let q = parse_query("SELECT * FROM concepts WHERE a = 1 OR b = 2 AND c = 3")
-            .expect("parse");
+        let q =
+            parse_query("SELECT * FROM concepts WHERE a = 1 OR b = 2 AND c = 3").expect("parse");
         match q.filter.unwrap() {
             Expr::Or(_, right) => assert!(matches!(*right, Expr::And(_, _))),
             other => panic!("unexpected {other:?}"),

@@ -72,7 +72,11 @@ pub fn ontology_stats(ontology: &Ontology) -> OntologyStats {
         roots: ontology.roots().len(),
         leaves,
         max_depth: depth_histogram.len().saturating_sub(1),
-        average_depth: if concepts == 0 { 0.0 } else { depth_sum as f64 / concepts as f64 },
+        average_depth: if concepts == 0 {
+            0.0
+        } else {
+            depth_sum as f64 / concepts as f64
+        },
         average_branching: if branching_nodes == 0 {
             0.0
         } else {
@@ -101,7 +105,13 @@ impl OntologyStats {
             self.max_depth, self.average_depth, self.average_branching
         ));
         out.push_str("  depth histogram:\n");
-        let peak = self.depth_histogram.iter().copied().max().unwrap_or(1).max(1);
+        let peak = self
+            .depth_histogram
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
         for (depth, &count) in self.depth_histogram.iter().enumerate() {
             let bar = "▪".repeat((count * 40).div_ceil(peak));
             out.push_str(&format!("    {depth:>3} | {bar} {count}\n"));

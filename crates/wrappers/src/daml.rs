@@ -7,8 +7,10 @@ use crate::dl_rdf::{graph_to_ontology, DlVocabulary};
 
 /// Parses a DAML+OIL (RDF/XML) document into a SOQA ontology.
 pub fn parse_daml(source: &str, name: &str, base: &str) -> Result<Ontology, SoqaError> {
-    let graph = sst_rdf::parse_rdfxml(source, base)
-        .map_err(|e| SoqaError::Wrapper { language: "DAML+OIL".into(), message: e.to_string() })?;
+    let graph = sst_rdf::parse_rdfxml(source, base).map_err(|e| SoqaError::Wrapper {
+        language: "DAML+OIL".into(),
+        message: e.to_string(),
+    })?;
     graph_to_ontology(&graph, name, &DlVocabulary::daml())
 }
 

@@ -56,10 +56,7 @@ impl DlVocabulary {
             datatype_property: daml::datatype_property(),
             sub_class_of: vec![daml::sub_class_of(), rdfs::sub_class_of()],
             equivalent_class: vec![daml::same_class_as()],
-            disjoint_with: vec![Iri::new(format!(
-                "{}disjointWith",
-                sst_rdf::vocab::DAML_NS
-            ))],
+            disjoint_with: vec![Iri::new(format!("{}disjointWith", sst_rdf::vocab::DAML_NS))],
             version_info: daml::version_info(),
         }
     }
@@ -96,10 +93,12 @@ pub fn graph_to_ontology(
         ..OntologyMetadata::default()
     };
     if let Some(onto_node) = graph.instances_of(&vocab.ontology).into_iter().next() {
-        metadata.documentation =
-            graph.object_for(&onto_node, &rdfs::comment()).and_then(|t| literal_text(&t));
-        metadata.version =
-            graph.object_for(&onto_node, &vocab.version_info).and_then(|t| literal_text(&t));
+        metadata.documentation = graph
+            .object_for(&onto_node, &rdfs::comment())
+            .and_then(|t| literal_text(&t));
+        metadata.version = graph
+            .object_for(&onto_node, &vocab.version_info)
+            .and_then(|t| literal_text(&t));
         if let Some(Term::Iri(iri)) = Some(&onto_node).filter(|t| t.as_iri().is_some()).cloned() {
             if !iri.as_str().is_empty() {
                 metadata.uri = Some(iri.as_str().to_owned());
@@ -111,7 +110,10 @@ pub fn graph_to_ontology(
             (&mut metadata.last_modified, ["date", "modified"]),
         ] {
             for p in preds {
-                for ns in ["http://purl.org/dc/elements/1.1/", "http://purl.org/dc/terms/"] {
+                for ns in [
+                    "http://purl.org/dc/elements/1.1/",
+                    "http://purl.org/dc/terms/",
+                ] {
                     if field.is_none() {
                         *field = graph
                             .object_for(&onto_node, &Iri::new(format!("{ns}{p}")))
@@ -142,10 +144,16 @@ pub fn graph_to_ontology(
 
     let thing_id = builder.concept(&thing_name);
     for term in &class_terms {
-        let Some(cname) = term_name(term) else { continue };
+        let Some(cname) = term_name(term) else {
+            continue;
+        };
         let id = builder.concept(&cname);
-        let doc = graph.object_for(term, &rdfs::comment()).and_then(|t| literal_text(&t));
-        let label = graph.object_for(term, &rdfs::label()).and_then(|t| literal_text(&t));
+        let doc = graph
+            .object_for(term, &rdfs::comment())
+            .and_then(|t| literal_text(&t));
+        let label = graph
+            .object_for(term, &rdfs::label())
+            .and_then(|t| literal_text(&t));
         let c = builder.concept_mut(id);
         if c.documentation.is_none() {
             c.documentation = doc;
@@ -172,9 +180,10 @@ pub fn graph_to_ontology(
     }
 
     // Equivalences and disjointness.
-    for (preds, is_equiv) in
-        [(&vocab.equivalent_class, true), (&vocab.disjoint_with, false)]
-    {
+    for (preds, is_equiv) in [
+        (&vocab.equivalent_class, true),
+        (&vocab.disjoint_with, false),
+    ] {
         for pred in preds {
             for t in graph.matching(None, Some(pred), None) {
                 let (Some(a), Some(b)) = (term_name(&t.subject), term_name(&t.object)) else {
@@ -200,8 +209,12 @@ pub fn graph_to_ontology(
     let domain = rdfs::domain();
     let range = rdfs::range();
     for prop_term in graph.instances_of(&vocab.datatype_property) {
-        let Some(pname) = term_name(&prop_term) else { continue };
-        let doc = graph.object_for(&prop_term, &rdfs::comment()).and_then(|t| literal_text(&t));
+        let Some(pname) = term_name(&prop_term) else {
+            continue;
+        };
+        let doc = graph
+            .object_for(&prop_term, &rdfs::comment())
+            .and_then(|t| literal_text(&t));
         let dt = graph
             .object_for(&prop_term, &range)
             .and_then(|t| term_name(&t));
@@ -224,8 +237,12 @@ pub fn graph_to_ontology(
         }
     }
     for prop_term in graph.instances_of(&vocab.object_property) {
-        let Some(pname) = term_name(&prop_term) else { continue };
-        let doc = graph.object_for(&prop_term, &rdfs::comment()).and_then(|t| literal_text(&t));
+        let Some(pname) = term_name(&prop_term) else {
+            continue;
+        };
+        let doc = graph
+            .object_for(&prop_term, &rdfs::comment())
+            .and_then(|t| literal_text(&t));
         let domains: Vec<String> = graph
             .objects_for(&prop_term, &domain)
             .iter()
@@ -256,11 +273,15 @@ pub fn graph_to_ontology(
     let known: std::collections::HashSet<String> =
         class_terms.iter().filter_map(term_name).collect();
     for t in graph.matching(None, Some(&type_iri), None) {
-        let Some(class_name) = term_name(&t.object) else { continue };
+        let Some(class_name) = term_name(&t.object) else {
+            continue;
+        };
         if !known.contains(&class_name) {
             continue;
         }
-        let Some(inst_name) = term_name(&t.subject) else { continue };
+        let Some(inst_name) = term_name(&t.subject) else {
+            continue;
+        };
         if known.contains(&inst_name) || inst_name.starts_with("_:") {
             continue;
         }

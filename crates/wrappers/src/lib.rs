@@ -8,7 +8,7 @@
 //! directly) into the SOQA meta model of `sst-soqa`.
 
 #![warn(missing_debug_implementations)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod daml;
 pub mod dl_rdf;
@@ -21,10 +21,12 @@ pub use daml::parse_daml;
 pub use owl::parse_owl;
 pub use powerloom::parse_powerloom;
 pub use registry::{
-    wrapper_for, DamlWrapper, OntologyWrapper, OwlWrapper, PowerLoomWrapper,
-    WordNetWrapper, WrapperRegistry,
+    wrapper_for, DamlWrapper, OntologyWrapper, OwlWrapper, PowerLoomWrapper, WordNetWrapper,
+    WrapperRegistry,
 };
-pub use wordnet::{parse_index_line, parse_wordnet, write_data_file, IndexEntry, Synset, WordNetIndex};
+pub use wordnet::{
+    parse_index_line, parse_wordnet, write_data_file, IndexEntry, Synset, WordNetIndex,
+};
 
 use sst_soqa::{Ontology, SoqaError};
 

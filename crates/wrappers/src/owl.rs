@@ -14,7 +14,10 @@ pub fn parse_owl(source: &str, name: &str, base: &str) -> Result<Ontology, SoqaE
     } else {
         sst_rdf::parse_turtle(source, base)
     }
-    .map_err(|e| SoqaError::Wrapper { language: "OWL".into(), message: e.to_string() })?;
+    .map_err(|e| SoqaError::Wrapper {
+        language: "OWL".into(),
+        message: e.to_string(),
+    })?;
     graph_to_ontology(&graph, name, &DlVocabulary::owl())
 }
 
@@ -65,7 +68,12 @@ mod tests {
         let o = parse_owl(UNI, "uni", "http://example.org/uni").expect("parse");
         assert_eq!(o.metadata.language, "OWL");
         assert_eq!(o.metadata.version.as_deref(), Some("1.1"));
-        assert!(o.metadata.documentation.as_deref().unwrap().contains("university"));
+        assert!(o
+            .metadata
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("university"));
 
         // Thing + Person + Student + Professor + Lecturer
         assert_eq!(o.concept_count(), 5);
@@ -115,8 +123,12 @@ mod tests {
         assert_eq!(o.concept(student).instances.len(), 1);
         let alice = o.instance(o.concept(student).instances[0]);
         assert_eq!(alice.name, "alice");
-        assert!(alice.attribute_values.contains(&("name".into(), "Alice".into())));
-        assert!(alice.relationship_values.contains(&("advisor".into(), "bob".into())));
+        assert!(alice
+            .attribute_values
+            .contains(&("name".into(), "Alice".into())));
+        assert!(alice
+            .relationship_values
+            .contains(&("advisor".into(), "bob".into())));
     }
 
     #[test]

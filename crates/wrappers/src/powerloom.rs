@@ -22,7 +22,10 @@ fn is_literal_type(name: &str) -> bool {
 }
 
 fn wrapper_err(message: impl Into<String>) -> SoqaError {
-    SoqaError::Wrapper { language: "PowerLoom".into(), message: message.into() }
+    SoqaError::Wrapper {
+        language: "PowerLoom".into(),
+        message: message.into(),
+    }
 }
 
 /// Parses a PowerLoom module into a SOQA ontology registered under `name`.
@@ -36,7 +39,9 @@ pub fn parse_powerloom(source: &str, name: &str) -> Result<Ontology, SoqaError> 
 
     // First pass: module metadata.
     for form in &forms {
-        let Some(head) = form.head().and_then(Value::as_symbol) else { continue };
+        let Some(head) = form.head().and_then(Value::as_symbol) else {
+            continue;
+        };
         if head.eq_ignore_ascii_case("defmodule") {
             if let Some(doc) = form.keyword_value("documentation").and_then(Value::as_str) {
                 metadata.documentation = Some(doc.to_owned());
@@ -53,7 +58,9 @@ pub fn parse_powerloom(source: &str, name: &str) -> Result<Ontology, SoqaError> 
     let mut builder = OntologyBuilder::new(metadata);
 
     for form in &forms {
-        let Some(head) = form.head().and_then(Value::as_symbol) else { continue };
+        let Some(head) = form.head().and_then(Value::as_symbol) else {
+            continue;
+        };
         match head.to_ascii_lowercase().as_str() {
             "defconcept" => def_concept(&mut builder, form)?,
             "defrelation" => def_relation(&mut builder, form)?,
@@ -62,7 +69,9 @@ pub fn parse_powerloom(source: &str, name: &str) -> Result<Ontology, SoqaError> 
             // Module plumbing — no model content.
             "defmodule" | "in-module" | "in-package" | "in-dialect" | "clear-module" => {}
             other => {
-                return Err(wrapper_err(format!("unsupported top-level form `({other} …)`")))
+                return Err(wrapper_err(format!(
+                    "unsupported top-level form `({other} …)`"
+                )))
             }
         }
     }
@@ -195,18 +204,16 @@ fn def_function(builder: &mut OntologyBuilder, form: &Value) -> Result<(), SoqaE
         .and_then(Value::as_str)
         .map(str::to_owned);
     let params = tail.get(1).map(parse_params).unwrap_or_default();
-    let return_type = form
-        .keyword_value("->")
-        .map(|v| match v {
-            Value::List(items) => items
-                .get(1)
-                .or_else(|| items.first())
-                .and_then(Value::as_symbol)
-                .unwrap_or("THING")
-                .to_owned(),
-            Value::Symbol(s) => s.clone(),
-            _ => "THING".to_owned(),
-        });
+    let return_type = form.keyword_value("->").map(|v| match v {
+        Value::List(items) => items
+            .get(1)
+            .or_else(|| items.first())
+            .and_then(Value::as_symbol)
+            .unwrap_or("THING")
+            .to_owned(),
+        Value::Symbol(s) => s.clone(),
+        _ => "THING".to_owned(),
+    });
     let concept_name = params
         .first()
         .map(|(_, t)| t.clone())
@@ -218,7 +225,10 @@ fn def_function(builder: &mut OntologyBuilder, form: &Value) -> Result<(), SoqaE
         definition: Some(form.to_string()),
         parameters: params
             .iter()
-            .map(|(n, t)| Parameter { name: n.clone(), data_type: Some(t.clone()) })
+            .map(|(n, t)| Parameter {
+                name: n.clone(),
+                data_type: Some(t.clone()),
+            })
             .collect(),
         return_type,
         concept,
@@ -293,7 +303,12 @@ mod tests {
         let o = parse_powerloom(COURSES, "COURSES").expect("parse");
         assert_eq!(o.metadata.language, "PowerLoom");
         assert_eq!(o.metadata.version.as_deref(), Some("2.1"));
-        assert!(o.metadata.documentation.as_deref().unwrap().contains("course"));
+        assert!(o
+            .metadata
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("course"));
     }
 
     #[test]
@@ -301,8 +316,11 @@ mod tests {
         let o = parse_powerloom(COURSES, "COURSES").expect("parse");
         assert_eq!(o.concept_count(), 5);
         let ta = o.concept_by_name("TEACHING-ASSISTANT").unwrap();
-        let supers: Vec<&str> =
-            o.direct_supers(ta).iter().map(|&c| o.concept(c).name.as_str()).collect();
+        let supers: Vec<&str> = o
+            .direct_supers(ta)
+            .iter()
+            .map(|&c| o.concept(c).name.as_str())
+            .collect();
         assert_eq!(supers, vec!["STUDENT", "EMPLOYEE"]);
         // PERSON and COURSE are roots (no implicit Thing in PowerLoom).
         assert_eq!(o.roots().len(), 2);

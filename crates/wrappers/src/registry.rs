@@ -42,28 +42,34 @@ macro_rules! wrapper {
                 $exts
             }
 
-            fn parse(
-                &self,
-                $src: &str,
-                $name: &str,
-                $base: &str,
-            ) -> Result<Ontology, SoqaError> {
+            fn parse(&self, $src: &str, $name: &str, $base: &str) -> Result<Ontology, SoqaError> {
                 $body
             }
         }
     };
 }
 
-wrapper!(OwlWrapper, "OWL", &["owl", "rdf", "ttl"], |src, name, base| parse_owl(
-    src, name, base
-));
-wrapper!(DamlWrapper, "DAML+OIL", &["daml"], |src, name, base| parse_daml(src, name, base));
-wrapper!(PowerLoomWrapper, "PowerLoom", &["ploom", "plm"], |src, name, _base| {
-    parse_powerloom(src, name)
+wrapper!(
+    OwlWrapper,
+    "OWL",
+    &["owl", "rdf", "ttl"],
+    |src, name, base| parse_owl(src, name, base)
+);
+wrapper!(DamlWrapper, "DAML+OIL", &["daml"], |src, name, base| {
+    parse_daml(src, name, base)
 });
-wrapper!(WordNetWrapper, "WordNet", &["noun", "wn"], |src, name, _base| {
-    parse_wordnet(src, name)
-});
+wrapper!(
+    PowerLoomWrapper,
+    "PowerLoom",
+    &["ploom", "plm"],
+    |src, name, _base| parse_powerloom(src, name)
+);
+wrapper!(
+    WordNetWrapper,
+    "WordNet",
+    &["noun", "wn"],
+    |src, name, _base| parse_wordnet(src, name)
+);
 
 /// Registry of available wrappers; extensible at runtime with custom ones.
 pub struct WrapperRegistry {
@@ -143,7 +149,10 @@ impl WrapperRegistry {
             language: wrapper.language().into(),
             message: format!("cannot read {}: {e}", path.display()),
         })?;
-        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("ontology");
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("ontology");
         wrapper.parse(&source, name.unwrap_or(stem), base)
     }
 }
@@ -166,19 +175,31 @@ mod tests {
     fn registry_dispatches_by_extension() {
         let registry = WrapperRegistry::new();
         assert_eq!(
-            registry.for_path(Path::new("x/univ-bench.owl")).unwrap().language(),
+            registry
+                .for_path(Path::new("x/univ-bench.owl"))
+                .unwrap()
+                .language(),
             "OWL"
         );
         assert_eq!(
-            registry.for_path(Path::new("univ1.0.daml")).unwrap().language(),
+            registry
+                .for_path(Path::new("univ1.0.daml"))
+                .unwrap()
+                .language(),
             "DAML+OIL"
         );
         assert_eq!(
-            registry.for_path(Path::new("course.PLOOM")).unwrap().language(),
+            registry
+                .for_path(Path::new("course.PLOOM"))
+                .unwrap()
+                .language(),
             "PowerLoom"
         );
         assert_eq!(
-            registry.for_path(Path::new("wn/data.noun")).unwrap().language(),
+            registry
+                .for_path(Path::new("wn/data.noun"))
+                .unwrap()
+                .language(),
             "WordNet"
         );
         assert!(registry.for_path(Path::new("mystery.xyz")).is_none());
@@ -259,7 +280,9 @@ mod tests {
             .load_file(Path::new("/nonexistent/x.owl"), None, "")
             .unwrap_err();
         assert!(matches!(err, SoqaError::Wrapper { .. }));
-        let err = registry.load_file(Path::new("/tmp/unknown.format"), None, "").unwrap_err();
+        let err = registry
+            .load_file(Path::new("/tmp/unknown.format"), None, "")
+            .unwrap_err();
         assert!(err.to_string().contains("no wrapper"));
     }
 }

@@ -18,7 +18,10 @@ use std::collections::HashMap;
 use sst_soqa::{Ontology, OntologyBuilder, OntologyMetadata, SoqaError};
 
 fn wrapper_err(message: impl Into<String>) -> SoqaError {
-    SoqaError::Wrapper { language: "WordNet".into(), message: message.into() }
+    SoqaError::Wrapper {
+        language: "WordNet".into(),
+        message: message.into(),
+    }
 }
 
 /// One parsed synset line.
@@ -69,7 +72,9 @@ pub fn parse_data_line(line: &str) -> Result<Option<Synset>, SoqaError> {
     i += 1;
     let mut hypernyms = Vec::new();
     for _ in 0..p_cnt {
-        let symbol = fields.get(i).ok_or_else(|| wrapper_err("truncated pointer list"))?;
+        let symbol = fields
+            .get(i)
+            .ok_or_else(|| wrapper_err("truncated pointer list"))?;
         let target = fields
             .get(i + 1)
             .ok_or_else(|| wrapper_err("truncated pointer target"))?
@@ -80,7 +85,12 @@ pub fn parse_data_line(line: &str) -> Result<Option<Synset>, SoqaError> {
         }
         i += 4; // symbol, offset, pos, source/target
     }
-    Ok(Some(Synset { offset, words, hypernyms, gloss }))
+    Ok(Some(Synset {
+        offset,
+        words,
+        hypernyms,
+        gloss,
+    }))
 }
 
 /// Parses a whole `data.pos` file into a SOQA ontology named `name`.
@@ -111,17 +121,24 @@ pub fn parse_wordnet(data: &str, name: &str) -> Result<Ontology, SoqaError> {
     let mut by_offset: HashMap<u64, sst_soqa::ConceptId> = HashMap::new();
     let mut name_uses: HashMap<String, usize> = HashMap::new();
     for s in &synsets {
-        let base = s.words.first().cloned().unwrap_or_else(|| format!("synset_{}", s.offset));
+        let base = s
+            .words
+            .first()
+            .cloned()
+            .unwrap_or_else(|| format!("synset_{}", s.offset));
         let uses = name_uses.entry(base.clone()).or_insert(0);
         *uses += 1;
-        let concept_name = if *uses == 1 { base } else { format!("{base}#{uses}") };
+        let concept_name = if *uses == 1 {
+            base
+        } else {
+            format!("{base}#{uses}")
+        };
         let id = builder.concept(&concept_name);
         if !s.gloss.is_empty() {
             builder.concept_mut(id).documentation = Some(s.gloss.clone());
         }
         if s.words.len() > 1 {
-            builder.concept_mut(id).definition =
-                Some(format!("synonyms: {}", s.words.join(", ")));
+            builder.concept_mut(id).definition = Some(format!("synonyms: {}", s.words.join(", ")));
         }
         by_offset.insert(s.offset, id);
     }
@@ -228,7 +245,10 @@ impl WordNetIndex {
     /// lemmas are lowercase with `_` for spaces; the lookup normalizes.
     pub fn synsets(&self, lemma: &str) -> &[u64] {
         let normalized = lemma.to_lowercase().replace(' ', "_");
-        self.entries.get(&normalized).map(Vec::as_slice).unwrap_or(&[])
+        self.entries
+            .get(&normalized)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The primary (most frequent) synset for `lemma`.
@@ -302,9 +322,19 @@ mod tests {
     fn glosses_become_documentation() {
         let o = parse_wordnet(MINI, "wordnet").expect("parse");
         let bird = o.concept_by_name("bird").unwrap();
-        assert!(o.concept(bird).documentation.as_deref().unwrap().contains("egg-laying"));
+        assert!(o
+            .concept(bird)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("egg-laying"));
         let lt = o.concept_by_name("living_thing").unwrap();
-        assert!(o.concept(lt).definition.as_deref().unwrap().contains("organism"));
+        assert!(o
+            .concept(lt)
+            .definition
+            .as_deref()
+            .unwrap()
+            .contains("organism"));
     }
 
     #[test]

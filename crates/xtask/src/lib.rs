@@ -1,0 +1,29 @@
+//! # xtask — workspace automation
+//!
+//! Implements the repo's static-analysis gate (`cargo xtask lint`) and
+//! the one-command CI pipeline (`cargo xtask ci`). Zero external
+//! dependencies by design: the gate must run in the same offline
+//! environment as the build itself.
+//!
+//! The lint logic lives in a library target so the fixture-driven
+//! integration tests (`tests/lint_fixtures.rs`) can drive it directly;
+//! `src/main.rs` is a thin argument dispatcher.
+
+#![forbid(unsafe_code)]
+
+pub mod ci;
+pub mod rules;
+pub mod scan;
+
+use std::path::PathBuf;
+
+/// Workspace root, derived from this crate's manifest location
+/// (`crates/xtask` → two levels up), so the tool works from any cwd.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

@@ -1,0 +1,66 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//! - `lint` — run the repo static-analysis gate; nonzero exit and
+//!   `file:line` diagnostics on any violation.
+//! - `ci` — fmt-check → lint → clippy (-D warnings) → release build →
+//!   tests, stopping at the first failure.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use xtask::{ci, rules, workspace_root};
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [DIR]   run the static-analysis gate (optionally on one member DIR)
+  ci           fmt-check, lint, clippy -D warnings, release build, tests
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let findings = if let Some(dir) = args.get(1) {
+                rules::lint_member(&root, &root.join(dir))
+            } else {
+                rules::lint_workspace(&root)
+            };
+            match findings {
+                Ok(findings) if findings.is_empty() => {
+                    eprintln!("lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    eprintln!("lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("lint: cannot walk workspace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("ci") => match ci::run(&root) {
+            Ok(()) => {
+                eprintln!("ci: all stages passed");
+                ExitCode::SUCCESS
+            }
+            Err(stage) => {
+                eprintln!("ci: FAILED at stage: {stage}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Lint rules and the workspace walker.
+//!
+//! Policy (documented in README.md §Static analysis):
+//!
+//! - **panic**: non-test library code must not call `.unwrap()` /
+//!   `.unwrap_err()` / `.expect()` / `.expect_err()` or invoke `panic!` /
+//!   `unimplemented!` / `todo!` / `unreachable!`. Parsers and services
+//!   return their crate error type instead of aborting the process.
+//! - **index**: subscripts containing `+`/`-` arithmetic (`v[i + 1]`,
+//!   `s[pos..pos - k]`) are the classic off-by-one panic sites; use
+//!   `.get()` / `.get_mut()` or restructure. Plain `v[i]` is allowed —
+//!   flagging every subscript would drown the signal.
+//! - **forbid-unsafe**: every crate root carries `#![forbid(unsafe_code)]`.
+//! - **error-impl**: every `pub` type named `*Error` implements
+//!   `std::error::Error`.
+//!
+//! Escape hatch: `// lint: allow(panic) <reason>` (or `allow(index)`) on
+//! the offending line, or alone on the line above, suppresses exactly one
+//! finding of that rule. The reason is mandatory.
+//!
+//! Exempt from panic/index rules: `tests/`, `benches/`, `examples/`,
+//! `src/bin/` binaries, the `xtask` tooling crate, the `sst-bench`
+//! harness crate, and `#[cfg(test)]` regions anywhere.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{is_ident_char, strip, Stripped};
+
+/// Crates whose *library* code is exempt from the panic/index rules:
+/// development tooling and the benchmark harness, which are never part
+/// of the served library surface.
+const EXEMPT_CRATES: &[&str] = &["xtask", "bench"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    Panic,
+    Index,
+    ForbidUnsafe,
+    ErrorImpl,
+    BadAllow,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::ErrorImpl => "error-impl",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+}
+
+/// One diagnostic, pointing at `file:line`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Method names whose call is a potential panic.
+const PANIC_METHODS: &[&str] = &["unwrap", "unwrap_err", "expect", "expect_err"];
+/// Macros that abort.
+const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable"];
+
+/// Lints one library source file (panic + index rules).
+pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let mut findings = Vec::new();
+    for (idx, line) in stripped.lines.iter().enumerate() {
+        if line.in_test_cfg {
+            continue;
+        }
+        let mut line_findings = Vec::new();
+        scan_panics(&line.code, &mut |message| {
+            line_findings.push((Rule::Panic, message));
+        });
+        scan_indexing(&line.code, &mut |message| {
+            line_findings.push((Rule::Index, message));
+        });
+        apply_allows(path, idx, &stripped, line_findings, &mut findings);
+    }
+    findings
+}
+
+/// Suppression: each `lint: allow(<rule>) reason` comment on the line —
+/// or alone on the previous line — cancels exactly one finding of that
+/// rule on this line.
+fn apply_allows(
+    path: &Path,
+    idx: usize,
+    stripped: &Stripped,
+    line_findings: Vec<(Rule, String)>,
+    out: &mut Vec<Finding>,
+) {
+    let mut allows: Vec<Rule> = Vec::new();
+    let mut push_allow = |comment: &str, line_no: usize, out: &mut Vec<Finding>| {
+        for (rule_name, rule) in [("panic", Rule::Panic), ("index", Rule::Index)] {
+            let marker = format!("lint: allow({rule_name})");
+            if let Some(pos) = comment.find(&marker) {
+                let reason = comment[pos + marker.len()..].trim();
+                if reason.is_empty() {
+                    out.push(Finding {
+                        file: path.to_path_buf(),
+                        line: line_no + 1,
+                        rule: Rule::BadAllow,
+                        message: format!(
+                            "escape hatch `lint: allow({rule_name})` requires a reason"
+                        ),
+                    });
+                } else {
+                    allows.push(rule);
+                }
+            }
+        }
+    };
+    // A standalone allow-comment line applies to the next line of code.
+    if idx > 0 {
+        let prev = &stripped.lines[idx - 1];
+        if prev.code.trim().is_empty() && !prev.comment.is_empty() {
+            push_allow(&prev.comment, idx - 1, out);
+        }
+    }
+    let own_comment = stripped.lines[idx].comment.clone();
+    if !own_comment.is_empty() {
+        push_allow(&own_comment, idx, out);
+    }
+
+    for (rule, message) in line_findings {
+        if let Some(pos) = allows.iter().position(|&r| r == rule) {
+            allows.remove(pos);
+            continue;
+        }
+        out.push(Finding {
+            file: path.to_path_buf(),
+            line: idx + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Finds panic-family method calls and macros in one stripped code line.
+fn scan_panics(code: &str, emit: &mut dyn FnMut(String)) {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if !is_ident_char(c) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_char(bytes[i] as char) {
+            i += 1;
+        }
+        let word = &code[start..i];
+        let before = code[..start].chars().next_back();
+        let after_ws = code[i..].trim_start();
+        if before == Some('.') && PANIC_METHODS.contains(&word) && after_ws.starts_with('(') {
+            emit(format!(
+                "`.{word}()` can panic; return the crate error type instead"
+            ));
+        }
+        if before != Some('.')
+            && before.is_none_or(|c| !is_ident_char(c))
+            && PANIC_MACROS.contains(&word)
+            && after_ws.starts_with('!')
+        {
+            emit(format!(
+                "`{word}!` aborts on malformed input; return an error instead"
+            ));
+        }
+    }
+}
+
+/// Flags subscripts with `+`/`-` arithmetic: `v[i + 1]`, `s[..n - 1]`.
+fn scan_indexing(code: &str, emit: &mut dyn FnMut(String)) {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Require an indexable expression before the bracket: identifier,
+        // `)` or `]`. This skips array types/literals and attributes.
+        let before = chars[..i].iter().rev().find(|ch| !ch.is_whitespace());
+        let indexable = matches!(before, Some(&b) if is_ident_char(b) || b == ')' || b == ']');
+        if !indexable {
+            continue;
+        }
+        // Walk to the matching close bracket.
+        let mut depth = 1;
+        let mut j = i + 1;
+        let mut has_arith = false;
+        while j < chars.len() && depth > 0 {
+            match chars[j] {
+                '[' | '(' => depth += 1,
+                ']' | ')' => depth -= 1,
+                '+' => has_arith = true,
+                '-' if chars.get(j + 1) != Some(&'>') => has_arith = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_arith && depth == 0 {
+            emit(
+                "arithmetic subscript can panic out of bounds; use `.get()`/checked math"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Lints a crate root for `#![forbid(unsafe_code)]`.
+pub fn lint_crate_root(path: &Path, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let found = stripped.lines.iter().any(|l| {
+        let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+        compact.contains("#![forbid(unsafe_code)]")
+    });
+    if found {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: path.to_path_buf(),
+            line: 1,
+            rule: Rule::ForbidUnsafe,
+            message: "crate root must declare `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+/// Lints one crate's sources for `pub … *Error` types lacking a
+/// `std::error::Error` impl. `sources` is (path, text) for every library
+/// file of the crate.
+pub fn lint_error_impls(sources: &[(PathBuf, String)]) -> Vec<Finding> {
+    let mut declared: Vec<(PathBuf, usize, String)> = Vec::new();
+    let mut implemented: Vec<String> = Vec::new();
+    for (path, text) in sources {
+        let stripped = strip(text);
+        for (idx, line) in stripped.lines.iter().enumerate() {
+            let code = line.code.trim();
+            for intro in ["pub enum ", "pub struct "] {
+                if let Some(rest) = code.strip_prefix(intro) {
+                    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                    if name.ends_with("Error") {
+                        declared.push((path.clone(), idx + 1, name));
+                    }
+                }
+            }
+            // `impl … Error for <Name>` — covers `std::error::Error for X`
+            // and plain `Error for X`.
+            if let Some(pos) = line.code.find("Error for ") {
+                let rest = &line.code[pos + "Error for ".len()..];
+                let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                if !name.is_empty() {
+                    implemented.push(name);
+                }
+            }
+        }
+    }
+    declared
+        .into_iter()
+        .filter(|(_, _, name)| !implemented.iter().any(|i| i == name))
+        .map(|(file, line, name)| Finding {
+            file,
+            line,
+            rule: Rule::ErrorImpl,
+            message: format!("public error type `{name}` must implement `std::error::Error`"),
+        })
+        .collect()
+}
+
+/// True when `rel` (workspace-relative, forward slashes) is library code
+/// subject to the panic/index rules.
+pub fn is_linted_library_path(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") {
+        if parts.get(1).is_some_and(|c| EXEMPT_CRATES.contains(c)) {
+            return false;
+        }
+        // crates/<name>/src/** except src/bin/**.
+        parts.get(2) == Some(&"src") && parts.get(3) != Some(&"bin")
+    } else {
+        // examples/, tests/ and anything else outside crates/ is exempt.
+        false
+    }
+}
+
+/// Walks the workspace and runs every rule. `root` is the workspace root.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    let mut member_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let dir = entry?.path();
+        if dir.is_dir() {
+            member_dirs.push(dir);
+        }
+    }
+    member_dirs.push(root.join("examples"));
+    member_dirs.push(root.join("tests"));
+    member_dirs.sort();
+
+    for dir in member_dirs {
+        findings.extend(lint_member(root, &dir)?);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Lints a single workspace member directory (must contain `src/`).
+pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
+    let src = dir.join("src");
+    if !src.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut findings = Vec::new();
+
+    // Crate root attribute rule — lib.rs, else main.rs.
+    let crate_root = ["lib.rs", "main.rs"]
+        .into_iter()
+        .map(|f| src.join(f))
+        .find(|p| p.is_file());
+    if let Some(ref root_file) = crate_root {
+        let text = std::fs::read_to_string(root_file)?;
+        findings.extend(lint_crate_root(&relative(root, root_file), &text));
+    }
+
+    // Library sources.
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    collect_rs_files(&src, &mut |path| {
+        let text = std::fs::read_to_string(path)?;
+        sources.push((relative(root, path), text));
+        Ok(())
+    })?;
+    sources.sort();
+
+    for (rel, text) in &sources {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if is_linted_library_path(&rel_str) {
+            findings.extend(lint_source(rel, text));
+        }
+    }
+
+    // Error-impl rule sees the whole crate at once (impl may live in a
+    // sibling module), excluding bin sources.
+    let lib_sources: Vec<(PathBuf, String)> = sources
+        .into_iter()
+        .filter(|(rel, _)| {
+            let s = rel.to_string_lossy().replace('\\', "/");
+            !s.contains("/src/bin/")
+        })
+        .collect();
+    findings.extend(lint_error_impls(&lib_sources));
+    Ok(findings)
+}
+
+fn relative(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}
+
+fn collect_rs_files(
+    dir: &Path,
+    f: &mut dyn FnMut(&Path) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, f)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            f(&path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        let f = lint_str("fn f() { x.unwrap(); y.expect(\"msg\"); }");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn flags_panic_macros() {
+        let f = lint_str("fn f() { panic!(\"boom\"); todo!(); std::unreachable!() }");
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn ignores_similar_identifiers() {
+        let f = lint_str("fn f() { x.unwrap_or(0); x.unwrap_or_else(g); my_panic!(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ignores_strings_and_comments() {
+        let f = lint_str("// calls x.unwrap()\nlet s = \"panic!()\";");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let f = lint_str("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_exactly_one() {
+        let one = lint_str("x.unwrap(); // lint: allow(panic) infallible: set above\n");
+        assert!(one.is_empty(), "{one:?}");
+        let two = lint_str("x.unwrap(); y.unwrap(); // lint: allow(panic) only covers one\n");
+        assert_eq!(two.len(), 1);
+    }
+
+    #[test]
+    fn allow_comment_on_previous_line() {
+        let f = lint_str("// lint: allow(panic) guarded by is_some above\nx.unwrap();\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_flagged() {
+        let f = lint_str("x.unwrap(); // lint: allow(panic)\n");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == Rule::BadAllow));
+        assert!(f.iter().any(|f| f.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn flags_arithmetic_subscripts_only() {
+        let f = lint_str("let a = v[i + 1]; let b = v[i]; let c = s[..n - 1];");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::Index));
+    }
+
+    #[test]
+    fn index_rule_skips_array_types_and_attributes() {
+        let f = lint_str("#[derive(Debug)]\nstruct S { buf: [u8; N + 1] }\nlet x = [0; n + 1];");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let missing = lint_crate_root(Path::new("lib.rs"), "//! doc\npub mod a;\n");
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].rule, Rule::ForbidUnsafe);
+        let ok = lint_crate_root(
+            Path::new("lib.rs"),
+            "//! doc\n#![forbid(unsafe_code)]\npub mod a;\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn error_types_must_implement_error() {
+        let bad = vec![(
+            PathBuf::from("error.rs"),
+            "pub enum ParseError { Bad }\n".to_string(),
+        )];
+        let f = lint_error_impls(&bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ErrorImpl);
+
+        let good = vec![(
+            PathBuf::from("error.rs"),
+            "pub enum ParseError { Bad }\nimpl std::error::Error for ParseError {}\n".to_string(),
+        )];
+        assert!(lint_error_impls(&good).is_empty());
+    }
+
+    #[test]
+    fn impl_in_sibling_module_counts() {
+        let sources = vec![
+            (PathBuf::from("a.rs"), "pub struct IoError;\n".to_string()),
+            (
+                PathBuf::from("b.rs"),
+                "impl std::error::Error for IoError {}\n".to_string(),
+            ),
+        ];
+        assert!(lint_error_impls(&sources).is_empty());
+    }
+
+    #[test]
+    fn library_path_classification() {
+        assert!(is_linted_library_path("crates/rdf/src/turtle.rs"));
+        assert!(is_linted_library_path("crates/soqa/src/ql/eval.rs"));
+        assert!(!is_linted_library_path("crates/rdf/tests/proptests.rs"));
+        assert!(!is_linted_library_path("crates/bench/src/corpus.rs"));
+        assert!(!is_linted_library_path("crates/xtask/src/rules.rs"));
+        assert!(!is_linted_library_path("crates/bench/src/bin/table1.rs"));
+        assert!(!is_linted_library_path("crates/core/src/bin/server.rs"));
+        assert!(!is_linted_library_path("examples/quickstart.rs"));
+        assert!(!is_linted_library_path("tests/tests/end_to_end.rs"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Lexical preprocessing for the lint rules.
+//!
+//! The lint gate deliberately avoids a full Rust parser: a line/token
+//! scanner is fast, dependency-free, and adequate for the policy rules.
+//! The cost is that rule matching must never fire inside comments,
+//! string/char literals, or `#[cfg(test)]` regions — this module strips
+//! those out, producing per-line *code text* (literals and comments
+//! blanked with spaces, so byte columns stay aligned) plus the per-line
+//! *line-comment text* (kept verbatim for the escape-hatch syntax).
+
+/// One source line after stripping.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments and literal contents replaced by spaces.
+    pub code: String,
+    /// Text of any `//` comment on the line (without the slashes).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]`-gated region.
+    pub in_test_cfg: bool,
+}
+
+/// A whole file after stripping, 0-indexed by line.
+#[derive(Debug)]
+pub struct Stripped {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside a `//` comment (ends at newline).
+    LineComment,
+    /// Inside `/* */`; Rust block comments nest, the payload is the depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal with `hashes` trailing `#` marks.
+    RawStr {
+        hashes: u32,
+    },
+}
+
+/// Strips comments and literals and marks `#[cfg(test)]` regions.
+pub fn strip(source: &str) -> Stripped {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+
+    // cfg(test) tracking: once the attribute is seen, the *next* item —
+    // delimited by the `{ … }` it opens, or terminated by a `;` — is
+    // test-only. `exempt_floor` holds the brace depth outside the gated
+    // region while inside one.
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut pending_cfg_depth: i64 = 0;
+    let mut exempt_floor: Option<i64> = None;
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let line_starts_exempt = exempt_floor.is_some() || pending_cfg_test;
+
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        comment = chars[i + 2..].iter().collect();
+                        code.push_str(&" ".repeat(chars.len() - i));
+                        state = State::LineComment;
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        state = State::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        // Raw-string openers end with `"`: detect `r` / `br`
+                        // plus `#`s immediately before this quote.
+                        let mut j = i;
+                        let mut hashes = 0u32;
+                        while j > 0 && chars[j - 1] == '#' {
+                            hashes += 1;
+                            j -= 1;
+                        }
+                        let raw_prefix = j > 0
+                            && (chars[j - 1] == 'r'
+                                && (j < 2 || !is_ident_char(chars[j - 2]) || chars[j - 2] == 'b'));
+                        if raw_prefix {
+                            state = State::RawStr { hashes };
+                        } else {
+                            state = State::Str;
+                        }
+                        code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A char literal is
+                        // `'x'` or `'\…'`; a lifetime has no closing quote.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: consume to closing quote.
+                            code.push('\'');
+                            i += 1;
+                            while i < chars.len() && chars[i] != '\'' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                            if i < chars.len() {
+                                code.push('\'');
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                            code.push_str("' '");
+                            i += 3;
+                            continue;
+                        }
+                        // Lifetime or stray quote: keep and move on.
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    '{' => {
+                        if pending_cfg_test && exempt_floor.is_none() {
+                            exempt_floor = Some(depth);
+                            pending_cfg_test = false;
+                        }
+                        depth += 1;
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if exempt_floor.is_some_and(|floor| depth <= floor) {
+                            exempt_floor = None;
+                        }
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    ';' => {
+                        // `#[cfg(test)] use …;` — attribute consumed by a
+                        // braceless item at the same depth.
+                        if pending_cfg_test && depth == pending_cfg_depth {
+                            pending_cfg_test = false;
+                        }
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                },
+                State::LineComment => unreachable!("line comments end with the line"),
+                State::BlockComment(d) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if d == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(d - 1)
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(d + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                State::RawStr { hashes } => {
+                    if c == '"' {
+                        let closing =
+                            (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if closing {
+                            state = State::Code;
+                            code.push('"');
+                            code.push_str(&"#".repeat(hashes as usize));
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        if state == State::LineComment {
+            state = State::Code;
+        }
+
+        // Arm cfg(test) tracking off the stripped code so strings/comments
+        // can't trigger it. `#[cfg(test)]` plus composed forms like
+        // `#[cfg(any(test, …))]` / `#[cfg(all(test, …))]` count.
+        let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("#[cfg(test)]")
+            || compact.contains("#[cfg(any(test")
+            || compact.contains("#[cfg(all(test")
+        {
+            pending_cfg_test = true;
+            pending_cfg_depth = depth;
+        }
+
+        lines.push(Line {
+            code,
+            comment,
+            in_test_cfg: line_starts_exempt || exempt_floor.is_some() || pending_cfg_test,
+        });
+    }
+
+    Stripped { lines }
+}
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        strip(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments_but_keeps_text() {
+        let s = strip("let x = 1; // lint: allow(panic) reason\n");
+        assert!(!s.lines[0].code.contains("lint"));
+        assert_eq!(s.lines[0].comment.trim(), "lint: allow(panic) reason");
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let c = codes("let s = \"panic!().unwrap()\";");
+        assert!(!c[0].contains("panic"));
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains('"'));
+    }
+
+    #[test]
+    fn strips_raw_strings_with_hashes() {
+        let c = codes("let s = r#\"has \"quotes\" and unwrap()\"#; x.unwrap();");
+        assert!(
+            c[0].contains(".unwrap()"),
+            "code after literal survives: {}",
+            c[0]
+        );
+        assert_eq!(c[0].matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let c = codes("a /* outer /* inner */ still comment */ b.unwrap()");
+        assert!(c[0].contains(".unwrap()"));
+        assert!(!c[0].contains("comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let c = codes("/* one\n two unwrap()\n three */ real.unwrap()");
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[2].contains("real.unwrap()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = codes("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; x.find(q) }");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        // The double-quote char literal must not open a string state.
+        assert!(c[0].contains("x.find(q)"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = strip(src);
+        let flags: Vec<bool> = s.lines.iter().map(|l| l.in_test_cfg).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { x.unwrap() }\n";
+        let s = strip(src);
+        assert!(s.lines[1].in_test_cfg);
+        assert!(!s.lines[2].in_test_cfg, "cfg must not leak past the `;`");
+    }
+
+    #[test]
+    fn cfg_test_inside_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn lib() { x.unwrap() }\n";
+        let s = strip(src);
+        assert!(!s.lines[1].in_test_cfg);
+    }
+}

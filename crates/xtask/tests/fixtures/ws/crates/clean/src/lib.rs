@@ -1,0 +1,36 @@
+//! Lint fixture: a member that satisfies every rule, including a
+//! correctly justified escape hatch. Test data only — never compiled.
+
+#![forbid(unsafe_code)]
+
+pub struct CleanError;
+
+impl std::fmt::Display for CleanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("clean fixture error")
+    }
+}
+
+impl std::error::Error for CleanError {}
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn window(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i + 1).copied()
+}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // lint: allow(panic) fixture: demonstrates a justified suppression
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

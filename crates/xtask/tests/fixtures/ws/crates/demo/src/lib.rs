@@ -1,0 +1,32 @@
+//! Lint fixture: seeded violations, exactly one per rule. This file is
+//! test data for `lint_fixtures.rs` — it is never compiled, and the real
+//! workspace walk never descends into `tests/fixtures/`.
+//!
+//! (Deliberately missing `#![forbid(unsafe_code)]` — that is the
+//! forbid-unsafe violation.)
+
+/// error-impl violation: public error type without a `std::error::Error`
+/// implementation anywhere in the crate.
+pub struct DemoError;
+
+/// panic violation: `.unwrap()` in library code.
+pub fn first(v: &[u32]) -> u32 {
+    v.iter().next().copied().unwrap()
+}
+
+/// index violation: arithmetic subscript.
+pub fn shift(v: &[u32], i: usize) -> u32 {
+    v[i + 1]
+}
+
+/// bad-allow violation: escape hatch without a reason (and the panic
+/// finding it fails to suppress).
+pub fn hatch_without_reason(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() // lint: allow(panic)
+}
+
+/// Escape-hatch scope check: one allow, two panics on the line — exactly
+/// one finding must survive.
+pub fn two_panics_one_allow(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() + v.last().copied().unwrap() // lint: allow(panic) covers only one
+}

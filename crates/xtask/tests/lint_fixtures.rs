@@ -1,0 +1,113 @@
+//! Fixture-driven tests for the static-analysis gate.
+//!
+//! The fixture tree under `tests/fixtures/ws/` mimics a tiny workspace:
+//! `crates/demo` seeds exactly one violation per rule, `crates/clean`
+//! satisfies every rule (including a justified escape hatch). The tests
+//! drive the library API directly and the installed `xtask` binary for
+//! the exit-code contract.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::rules::{self, Finding, Rule};
+
+fn fixture_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn lint_fixture_member(name: &str) -> Vec<Finding> {
+    let ws = fixture_ws();
+    rules::lint_member(&ws, &ws.join("crates").join(name)).expect("fixture tree readable")
+}
+
+fn count(findings: &[Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn seeded_fixture_triggers_every_rule() {
+    let findings = lint_fixture_member("demo");
+    assert_eq!(count(&findings, Rule::ForbidUnsafe), 1, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::Index), 1, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::ErrorImpl), 1, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::BadAllow), 1, "{findings:#?}");
+    // Three surviving panic findings: the plain unwrap, the one whose
+    // allow lacks a reason, and the second unwrap on the
+    // two-panics-one-allow line.
+    assert_eq!(count(&findings, Rule::Panic), 3, "{findings:#?}");
+}
+
+#[test]
+fn findings_point_at_file_and_line() {
+    let findings = lint_fixture_member("demo");
+    let index_finding = findings
+        .iter()
+        .find(|f| f.rule == Rule::Index)
+        .expect("index finding present");
+    assert!(
+        index_finding.file.to_string_lossy().ends_with("lib.rs"),
+        "{index_finding:?}"
+    );
+    // `file:line` rendering is the diagnostic contract.
+    let rendered = index_finding.to_string();
+    assert!(
+        rendered.contains("lib.rs:") && rendered.contains("[index]"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn escape_hatch_suppresses_exactly_one_finding() {
+    let ws = fixture_ws();
+    let demo = ws.join("crates/demo/src/lib.rs");
+    let source = std::fs::read_to_string(&demo).expect("fixture readable");
+    let hatch_line = source
+        .lines()
+        .position(|l| l.contains("covers only one"))
+        .expect("fixture line present")
+        + 1;
+    let findings = lint_fixture_member("demo");
+    let on_line: Vec<&Finding> = findings.iter().filter(|f| f.line == hatch_line).collect();
+    assert_eq!(on_line.len(), 1, "{on_line:#?}");
+    assert_eq!(on_line[0].rule, Rule::Panic);
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let findings = lint_fixture_member("clean");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = xtask::workspace_root();
+    let findings = rules::lint_workspace(&root).expect("workspace readable");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lint_binary_exits_nonzero_on_seeded_violation() {
+    // The binary resolves `DIR` relative to the real workspace root; the
+    // demo fixture still violates forbid-unsafe there (panic/index are
+    // exempt under `crates/xtask/`).
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "crates/xtask/tests/fixtures/ws/crates/demo"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("forbid-unsafe"), "{stdout}");
+}
+
+#[test]
+fn lint_binary_exits_zero_on_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

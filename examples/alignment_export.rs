@@ -19,7 +19,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let source = args.first().map(String::as_str).unwrap_or(names::DAML_UNIV);
     let target = args.get(1).map(String::as_str).unwrap_or(names::UNIV_BENCH);
-    let threshold: f64 = args.get(2).map(|t| t.parse().expect("threshold")).unwrap_or(0.3);
+    let threshold: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("threshold"))
+        .unwrap_or(0.3);
 
     let sst = load_corpus(TreeMode::SuperThing, false);
     let config = AlignmentConfig {
@@ -29,9 +32,7 @@ fn main() {
     };
     let proposal = align(&sst, source, target, &config).expect("alignment");
 
-    println!(
-        "Alignment {source} → {target}  (Wu-Palmer + TFIDF, threshold {threshold}):\n"
-    );
+    println!("Alignment {source} → {target}  (Wu-Palmer + TFIDF, threshold {threshold}):\n");
     for c in &proposal {
         println!(
             "  {:<28} ≈ {:<28} {:.4}",
@@ -42,8 +43,7 @@ fn main() {
 
     let results = data_dir().join("../results");
     std::fs::create_dir_all(&results).expect("results dir");
-    std::fs::write(results.join("alignment.csv"), alignment_to_csv(&proposal))
-        .expect("write csv");
+    std::fs::write(results.join("alignment.csv"), alignment_to_csv(&proposal)).expect("write csv");
     std::fs::write(results.join("alignment.json"), alignment_to_json(&proposal))
         .expect("write json");
     println!("(exported to results/alignment.csv and results/alignment.json)");

@@ -51,16 +51,18 @@ fn run_command(sst: &SstToolkit, line: &str) -> String {
             })
             .collect::<Vec<_>>()
             .join("\n")),
-        ("tree", [ontology]) => sst.render_ontology_tree(ontology).map_err(|e| e.to_string()),
+        ("tree", [ontology]) => sst
+            .render_ontology_tree(ontology)
+            .map_err(|e| e.to_string()),
         ("meta", [ontology]) => sst.render_metadata(ontology).map_err(|e| e.to_string()),
         ("stats", [ontology]) => sst
             .soqa()
             .ontology(ontology)
             .map(|o| sst_soqa::ontology_stats(o).render())
             .map_err(|e| e.to_string()),
-        ("concept", [ontology, name]) => {
-            sst.render_concept(name, ontology).map_err(|e| e.to_string())
-        }
+        ("concept", [ontology, name]) => sst
+            .render_concept(name, ontology)
+            .map_err(|e| e.to_string()),
         ("measures", []) => Ok(sst
             .measures()
             .iter()
@@ -71,7 +73,11 @@ fn run_command(sst: &SstToolkit, line: &str) -> String {
                     info.name,
                     info.display,
                     info.kind,
-                    if info.normalized { "" } else { "  (unnormalized)" }
+                    if info.normalized {
+                        ""
+                    } else {
+                        "  (unnormalized)"
+                    }
                 )
             })
             .collect::<Vec<_>>()
@@ -94,7 +100,11 @@ fn run_command(sst: &SstToolkit, line: &str) -> String {
                 Ok(rows
                     .iter()
                     .map(|r| {
-                        format!("  {:<44} {:.4}", format!("{}:{}", r.ontology, r.concept), r.similarity)
+                        format!(
+                            "  {:<44} {:.4}",
+                            format!("{}:{}", r.ontology, r.concept),
+                            r.similarity
+                        )
                     })
                     .collect::<Vec<_>>()
                     .join("\n"))
@@ -102,7 +112,9 @@ fn run_command(sst: &SstToolkit, line: &str) -> String {
         }
         ("query", _) if !args.is_empty() => {
             let q = line.trim_start_matches("query").trim();
-            sst.query(q).map(|t| t.to_ascii()).map_err(|e| e.to_string())
+            sst.query(q)
+                .map(|t| t.to_ascii())
+                .map_err(|e| e.to_string())
         }
         ("help", _) => Ok(HELP.to_owned()),
         _ => Err(format!("unknown command `{line}` — try `help`")),

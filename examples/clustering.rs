@@ -15,7 +15,10 @@ use sst_core::{cluster, ConceptRef, ConceptSet, Linkage, TreeMode};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let measure_name = args.first().map(String::as_str).unwrap_or("tfidf");
-    let threshold: f64 = args.get(1).map(|t| t.parse().expect("threshold")).unwrap_or(0.3);
+    let threshold: f64 = args
+        .get(1)
+        .map(|t| t.parse().expect("threshold"))
+        .unwrap_or(0.3);
 
     let sst = load_corpus(TreeMode::SuperThing, false);
     let measure = sst.measure_id(measure_name).expect("measure");

@@ -48,7 +48,10 @@ fn main() {
     let registry = WrapperRegistry::new();
     let base = format!(
         "http://example.org/converted/{}",
-        input.file_stem().and_then(|s| s.to_str()).unwrap_or("ontology")
+        input
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("ontology")
     );
     let ontology = match registry.load_file(&input, None, &base) {
         Ok(o) => o,

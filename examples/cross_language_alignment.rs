@@ -38,7 +38,13 @@ fn main() {
         .ontology(target)
         .expect("wordnet registered")
         .roots()[0];
-    let root_name = sst.soqa().ontology(target).unwrap().concept(target_root).name.clone();
+    let root_name = sst
+        .soqa()
+        .ontology(target)
+        .unwrap()
+        .concept(target_root)
+        .name
+        .clone();
     let target_set = ConceptSet::Subtree(ConceptRef::new(root_name, target));
 
     println!("Alignment proposal: {source} (PowerLoom) → {target} (WordNet)\n");
@@ -50,14 +56,21 @@ fn main() {
 
     let source_concepts: Vec<String> = {
         let o = sst.soqa().ontology(source).expect("courses registered");
-        o.concept_ids().map(|id| o.concept(id).name.clone()).collect()
+        o.concept_ids()
+            .map(|id| o.concept(id).name.clone())
+            .collect()
     };
     let mut agreements = 0usize;
     let mut total = 0usize;
     for concept in &source_concepts {
         let lexical = best_match(&sst, concept, source, &target_set, m::TFIDF_MEASURE);
-        let structural =
-            best_match(&sst, concept, source, &target_set, m::CONCEPTUAL_SIMILARITY_MEASURE);
+        let structural = best_match(
+            &sst,
+            concept,
+            source,
+            &target_set,
+            m::CONCEPTUAL_SIMILARITY_MEASURE,
+        );
         if let (Some((lex, ls)), Some((stru, ss))) = (lexical, structural) {
             let agree = lex == stru;
             total += 1;
@@ -77,7 +90,13 @@ fn main() {
 
     // And the paper's concrete example pair:
     let sim = sst
-        .get_similarity("STUDENT", source, "researcher", target, m::SHORTEST_PATH_MEASURE)
+        .get_similarity(
+            "STUDENT",
+            source,
+            "researcher",
+            target,
+            m::SHORTEST_PATH_MEASURE,
+        )
         .expect("student vs researcher");
     println!(
         "\nPaper §3 example — sim(COURSES:STUDENT, wordnet:researcher) under Shortest Path: {sim:.4}"

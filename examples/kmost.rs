@@ -89,9 +89,7 @@ fn main() {
         println!("{}", chart.to_ascii(48));
     } else {
         let direction = if dissimilar { "dissimilar" } else { "similar" };
-        println!(
-            "The {k} most {direction} concepts for {ontology}:{concept} ({measure_name}):"
-        );
+        println!("The {k} most {direction} concepts for {ontology}:{concept} ({measure_name}):");
         for row in rows {
             println!(
                 "  {:<46} {:.4}",

@@ -41,8 +41,12 @@ const COURSES_PLOOM: &str = r#"
 fn main() {
     // 1. Parse each source with its language wrapper — this is all the
     //    language-specific code you will ever see.
-    let owl = parse_owl(UNIVERSITY_OWL, "university_owl", "http://example.org/university")
-        .expect("parse OWL");
+    let owl = parse_owl(
+        UNIVERSITY_OWL,
+        "university_owl",
+        "http://example.org/university",
+    )
+    .expect("parse OWL");
     let ploom = parse_powerloom(COURSES_PLOOM, "MINI-COURSES").expect("parse PowerLoom");
 
     // 2. Build the toolkit: one unified tree under Super Thing.
@@ -65,19 +69,37 @@ fn main() {
     ] {
         let info = sst.measure_info(measure).unwrap();
         let sim = sst
-            .get_similarity("Student", "university_owl", "STUDENT", "MINI-COURSES", measure)
+            .get_similarity(
+                "Student",
+                "university_owl",
+                "STUDENT",
+                "MINI-COURSES",
+                measure,
+            )
             .expect("similarity");
-        println!("sim(university_owl:Student, MINI-COURSES:STUDENT) [{:<22}] = {sim:.4}",
-                 info.display);
+        println!(
+            "sim(university_owl:Student, MINI-COURSES:STUDENT) [{:<22}] = {sim:.4}",
+            info.display
+        );
     }
 
     // 4. (S2) The most similar concepts anywhere for the OWL Professor.
     let ranked = sst
-        .most_similar("Professor", "university_owl", &ConceptSet::All, 4, m::TFIDF_MEASURE)
+        .most_similar(
+            "Professor",
+            "university_owl",
+            &ConceptSet::All,
+            4,
+            m::TFIDF_MEASURE,
+        )
         .expect("most similar");
     println!("\nMost similar to university_owl:Professor (TFIDF):");
     for row in &ranked {
-        println!("  {:<28} {:.4}", format!("{}:{}", row.ontology, row.concept), row.similarity);
+        println!(
+            "  {:<28} {:.4}",
+            format!("{}:{}", row.ontology, row.concept),
+            row.similarity
+        );
     }
 
     // 5. (S3) A chart comparing two concepts under several measures.

@@ -22,10 +22,30 @@ struct SchemaElement {
 }
 
 const SCHEMA: &[SchemaElement] = &[
-    SchemaElement { table: "staff", column: "prof_id", concept: "Professor", ontology: names::DAML_UNIV },
-    SchemaElement { table: "enrollment", column: "student_nr", concept: "STUDENT", ontology: names::COURSES },
-    SchemaElement { table: "payroll", column: "employee_id", concept: "Employee", ontology: names::SWRC },
-    SchemaElement { table: "catalog", column: "course_code", concept: "Course", ontology: names::UNIV_BENCH },
+    SchemaElement {
+        table: "staff",
+        column: "prof_id",
+        concept: "Professor",
+        ontology: names::DAML_UNIV,
+    },
+    SchemaElement {
+        table: "enrollment",
+        column: "student_nr",
+        concept: "STUDENT",
+        ontology: names::COURSES,
+    },
+    SchemaElement {
+        table: "payroll",
+        column: "employee_id",
+        concept: "Employee",
+        ontology: names::SWRC,
+    },
+    SchemaElement {
+        table: "catalog",
+        column: "course_code",
+        concept: "Course",
+        ontology: names::UNIV_BENCH,
+    },
 ];
 
 /// Combined score: the average of Wu-Palmer (structure) and TFIDF (text) —
@@ -38,7 +58,12 @@ fn combined_candidates(
     k: usize,
 ) -> Vec<(String, f64)> {
     let structural = sst
-        .similarity_to_set(concept, ontology, &ConceptSet::All, m::CONCEPTUAL_SIMILARITY_MEASURE)
+        .similarity_to_set(
+            concept,
+            ontology,
+            &ConceptSet::All,
+            m::CONCEPTUAL_SIMILARITY_MEASURE,
+        )
         .expect("structural scores");
     let textual = sst
         .similarity_to_set(concept, ontology, &ConceptSet::All, m::TFIDF_MEASURE)

@@ -1,2 +1,4 @@
 //! Shared helpers for the SST examples (corpus loading lives in
 //! `sst-bench::corpus`; this crate only hosts the example binaries).
+
+#![forbid(unsafe_code)]

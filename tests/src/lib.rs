@@ -1,3 +1,5 @@
 //! Integration-test crate: see the `tests/` directory for the cross-crate
 //! test suites (end-to-end paper scenario, design ablations, extension
 //! points, SOQA-QL, and property-based measure invariants).
+
+#![forbid(unsafe_code)]

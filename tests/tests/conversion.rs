@@ -12,8 +12,8 @@ use sst_wrappers::{parse_owl, parse_powerloom};
 const BASE: &str = "http://example.org/converted/courses";
 
 fn converted_courses() -> (sst_soqa::Ontology, sst_soqa::Ontology) {
-    let source = std::fs::read_to_string(data_dir().join("ontologies/course.ploom"))
-        .expect("course.ploom");
+    let source =
+        std::fs::read_to_string(data_dir().join("ontologies/course.ploom")).expect("course.ploom");
     let original = parse_powerloom(&source, "COURSES").expect("powerloom parse");
     let graph = ontology_to_graph(&original, BASE);
     let owl_text = sst_rdf::write_rdfxml(&graph);
@@ -43,7 +43,11 @@ fn conversion_preserves_concepts_and_hierarchy() {
             .map(|&s| converted.concept(s).name.as_str())
             .collect();
         for sup in original_supers {
-            assert!(converted_supers.contains(&sup), "{} lost super {sup}", concept.name);
+            assert!(
+                converted_supers.contains(&sup),
+                "{} lost super {sup}",
+                concept.name
+            );
         }
     }
 }
@@ -59,7 +63,8 @@ fn conversion_preserves_documentation_and_attributes() {
     );
     // full-name attribute survives as a datatype property on PERSON.
     let person = converted.concept_by_name("PERSON").unwrap();
-    let attrs: Vec<&str> = converted.concept(person)
+    let attrs: Vec<&str> = converted
+        .concept(person)
         .attributes
         .iter()
         .map(|&a| converted.attribute(a).name.as_str())
@@ -78,9 +83,18 @@ fn converted_ontology_is_similarity_comparable_with_the_original() {
         .build();
     // A concept should recognize its converted twin with high TFIDF score.
     let sim = sst
-        .get_similarity("STUDENT", "COURSES", "STUDENT", "COURSES_OWL", m::TFIDF_MEASURE)
+        .get_similarity(
+            "STUDENT",
+            "COURSES",
+            "STUDENT",
+            "COURSES_OWL",
+            m::TFIDF_MEASURE,
+        )
         .unwrap();
-    assert!(sim > 0.9, "converted twin should be near-identical, got {sim}");
+    assert!(
+        sim > 0.9,
+        "converted twin should be near-identical, got {sim}"
+    );
     // And the twin ranks first among all converted concepts.
     let top = sst
         .most_similar(
@@ -96,8 +110,8 @@ fn converted_ontology_is_similarity_comparable_with_the_original() {
 
 #[test]
 fn sparql_inspects_the_exported_graph() {
-    let source = std::fs::read_to_string(data_dir().join("ontologies/course.ploom"))
-        .expect("course.ploom");
+    let source =
+        std::fs::read_to_string(data_dir().join("ontologies/course.ploom")).expect("course.ploom");
     let original = parse_powerloom(&source, "COURSES").expect("powerloom parse");
     let graph = ontology_to_graph(&original, BASE);
 
@@ -114,15 +128,18 @@ fn sparql_inspects_the_exported_graph() {
         ),
     )
     .expect("sparql");
-    assert_eq!(rows.len(), original.direct_subs(original.concept_by_name("PERSON").unwrap()).len());
+    assert_eq!(
+        rows.len(),
+        original
+            .direct_subs(original.concept_by_name("PERSON").unwrap())
+            .len()
+    );
 
     // RDFS closure makes the indirect subclasses visible too.
     let closed = sst_rdf::rdfs_closure(&graph, sst_rdf::InferenceOptions::default());
     let rows = select(
         &closed,
-        &format!(
-            "PREFIX c: <{BASE}#>\nSELECT ?sub WHERE {{ ?sub rdfs:subClassOf c:PERSON . }}"
-        ),
+        &format!("PREFIX c: <{BASE}#>\nSELECT ?sub WHERE {{ ?sub rdfs:subClassOf c:PERSON . }}"),
     )
     .expect("sparql");
     let person = original.concept_by_name("PERSON").unwrap();

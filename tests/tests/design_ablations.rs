@@ -5,8 +5,8 @@
 use sst_bench::{load_corpus, names};
 use sst_core::{measure_ids as m, TreeMode};
 use sst_simpack::{
-    lin_similarity, resnik_similarity, sequence_similarity, xform, CostModel,
-    InformationContent, Taxonomy,
+    lin_similarity, resnik_similarity, sequence_similarity, xform, CostModel, InformationContent,
+    Taxonomy,
 };
 
 // ---- A1: cost model --------------------------------------------------------
@@ -27,14 +27,20 @@ fn violating_the_cost_constraint_degenerates_the_measure() {
     // token) still *exceeds* the "worst case" (12 = 4 replacements), so the
     // normalized value only survives because of clamping.
     assert_eq!(xform(&x, &y, bad), 8.0);
-    assert!(xform(&x, &y, bad) < 12.0, "worst case no longer bounds reality");
+    assert!(
+        xform(&x, &y, bad) < 12.0,
+        "worst case no longer bounds reality"
+    );
     // And partial overlaps are distorted: a sequence sharing half its
     // tokens scores the same as under unit costs *scaled differently*.
     let z = ["a", "b", "g", "h"];
     let sim_ok = sequence_similarity(&x, &z, ok);
     let sim_bad = sequence_similarity(&x, &z, bad);
     assert!((sim_ok - 0.5).abs() < 1e-12);
-    assert!(sim_bad > sim_ok, "violating model inflates similarity: {sim_bad}");
+    assert!(
+        sim_bad > sim_ok,
+        "violating model inflates similarity: {sim_bad}"
+    );
 }
 
 #[test]

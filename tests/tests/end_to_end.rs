@@ -46,9 +46,15 @@ fn table1_shape_holds() {
     // Self row: every normalized measure is 1; Resnik is unnormalized ≫ 1.
     for (i, &measure) in measures.iter().enumerate() {
         if measure == m::RESNIK_MEASURE {
-            assert!(table[0][i] > 1.0, "Resnik self-similarity is information content");
+            assert!(
+                table[0][i] > 1.0,
+                "Resnik self-similarity is information content"
+            );
         } else {
-            assert!((table[0][i] - 1.0).abs() < 1e-9, "measure {measure} self-sim");
+            assert!(
+                (table[0][i] - 1.0).abs() < 1e-9,
+                "measure {measure} self-sim"
+            );
         }
     }
     // Lin and Resnik collapse to exactly 0 across ontologies (the common
@@ -64,7 +70,11 @@ fn table1_shape_holds() {
             if measure == m::RESNIK_MEASURE {
                 continue;
             }
-            assert!(row[i] < 0.5, "cross-ontology should stay low, got {}", row[i]);
+            assert!(
+                row[i] < 0.5,
+                "cross-ontology should stay low, got {}",
+                row[i]
+            );
         }
     }
     // TFIDF orders AssistantProfessor ≫ EMPLOYEE ≫ {Human, Mammal}, as in
@@ -79,7 +89,13 @@ fn table1_shape_holds() {
 fn figure5_ranking_shape_holds() {
     let sst = corpus();
     let top = sst
-        .most_similar("Professor", names::DAML_UNIV, &ConceptSet::All, 10, m::TFIDF_MEASURE)
+        .most_similar(
+            "Professor",
+            names::DAML_UNIV,
+            &ConceptSet::All,
+            10,
+            m::TFIDF_MEASURE,
+        )
         .unwrap();
     assert_eq!(top.len(), 10);
     assert_eq!(top[0].concept, "Professor");
@@ -98,7 +114,10 @@ fn figure5_ranking_shape_holds() {
             lower.contains("prof") || lower.contains("faculty") || lower.contains("lectur")
         })
         .count();
-    assert!(relevant >= 5, "only {relevant} relevant concepts in the top 10");
+    assert!(
+        relevant >= 5,
+        "only {relevant} relevant concepts in the top 10"
+    );
     let ontologies: std::collections::HashSet<&str> =
         top.iter().map(|r| r.ontology.as_str()).collect();
     assert!(ontologies.len() >= 3, "top-10 should span ontologies");
@@ -172,7 +191,11 @@ fn every_measure_satisfies_basic_invariants_on_the_corpus() {
             let ab = sst.get_similarity(c1, o1, c2, o2, id).unwrap();
             let ba = sst.get_similarity(c2, o2, c1, o1, id).unwrap();
             // Symmetry (all default runners are symmetric).
-            assert!((ab - ba).abs() < 1e-9, "{} not symmetric on {c1}/{c2}", info.name);
+            assert!(
+                (ab - ba).abs() < 1e-9,
+                "{} not symmetric on {c1}/{c2}",
+                info.name
+            );
             assert!(ab.is_finite());
             assert!(ab >= 0.0, "{} produced a negative score", info.name);
             if info.normalized {
@@ -181,10 +204,20 @@ fn every_measure_satisfies_basic_invariants_on_the_corpus() {
         }
         // Identity: self-similarity is maximal for normalized measures.
         let self_sim = sst
-            .get_similarity("Professor", names::DAML_UNIV, "Professor", names::DAML_UNIV, id)
+            .get_similarity(
+                "Professor",
+                names::DAML_UNIV,
+                "Professor",
+                names::DAML_UNIV,
+                id,
+            )
             .unwrap();
         if info.normalized {
-            assert!((self_sim - 1.0).abs() < 1e-9, "{} self-sim = {self_sim}", info.name);
+            assert!(
+                (self_sim - 1.0).abs() < 1e-9,
+                "{} self-sim = {self_sim}",
+                info.name
+            );
         }
     }
 }
@@ -198,7 +231,11 @@ fn similarity_plot_and_chart_pipeline() {
             names::DAML_UNIV,
             "AssistantProfessor",
             names::UNIV_BENCH,
-            &[m::CONCEPTUAL_SIMILARITY_MEASURE, m::TFIDF_MEASURE, m::LIN_MEASURE],
+            &[
+                m::CONCEPTUAL_SIMILARITY_MEASURE,
+                m::TFIDF_MEASURE,
+                m::LIN_MEASURE,
+            ],
         )
         .unwrap();
     assert_eq!(chart.bars.len(), 3);
@@ -213,8 +250,9 @@ fn similarity_plot_and_chart_pipeline() {
 fn similarity_matrix_is_symmetric_with_unit_diagonal() {
     let sst = corpus();
     let set = ConceptSet::Subtree(ConceptRef::new("Publication", names::SWRC));
-    let (labels, matrix) =
-        sst.similarity_matrix(&set, m::CONCEPTUAL_SIMILARITY_MEASURE).unwrap();
+    let (labels, matrix) = sst
+        .similarity_matrix(&set, m::CONCEPTUAL_SIMILARITY_MEASURE)
+        .unwrap();
     assert_eq!(labels.len(), matrix.len());
     for (i, row) in matrix.iter().enumerate() {
         assert!((row[i] - 1.0).abs() < 1e-9);
@@ -227,15 +265,35 @@ fn similarity_matrix_is_symmetric_with_unit_diagonal() {
 #[test]
 fn errors_are_reported_not_panicked() {
     let sst = corpus();
-    assert!(sst.get_similarity("Nope", names::DAML_UNIV, "Professor", names::DAML_UNIV, 0).is_err());
-    assert!(sst.get_similarity("Professor", "missing_onto", "Professor", names::DAML_UNIV, 0).is_err());
     assert!(sst
-        .get_similarity("Professor", names::DAML_UNIV, "Professor", names::DAML_UNIV, 999)
+        .get_similarity("Nope", names::DAML_UNIV, "Professor", names::DAML_UNIV, 0)
+        .is_err());
+    assert!(sst
+        .get_similarity(
+            "Professor",
+            "missing_onto",
+            "Professor",
+            names::DAML_UNIV,
+            0
+        )
+        .is_err());
+    assert!(sst
+        .get_similarity(
+            "Professor",
+            names::DAML_UNIV,
+            "Professor",
+            names::DAML_UNIV,
+            999
+        )
         .is_err());
     assert!(sst.measure_id("not_a_measure").is_err());
     assert!(sst
-        .most_similar("Professor", names::DAML_UNIV, &ConceptSet::List(vec![
-            ConceptRef::new("Ghost", names::SUMO)
-        ]), 3, 0)
+        .most_similar(
+            "Professor",
+            names::DAML_UNIV,
+            &ConceptSet::List(vec![ConceptRef::new("Ghost", names::SUMO)]),
+            3,
+            0
+        )
         .is_err());
 }

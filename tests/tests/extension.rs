@@ -81,8 +81,16 @@ fn custom_runner_registers_and_runs() {
         .build();
     let id = sst.measure_id("name_equality").expect("registered");
     assert_eq!(id, sst.measure_count() - 1);
-    assert_eq!(sst.get_similarity("Student", "a", "Student", "b", id).unwrap(), 1.0);
-    assert_eq!(sst.get_similarity("Student", "a", "Professor", "b", id).unwrap(), 0.0);
+    assert_eq!(
+        sst.get_similarity("Student", "a", "Student", "b", id)
+            .unwrap(),
+        1.0
+    );
+    assert_eq!(
+        sst.get_similarity("Student", "a", "Professor", "b", id)
+            .unwrap(),
+        0.0
+    );
 }
 
 #[test]
@@ -96,7 +104,9 @@ fn combined_runner_blends_families() {
         .build();
     let combined = sst.measure_id("combined").unwrap();
     // Same name across ontologies: lexical 1, structural small → in between.
-    let v = sst.get_similarity("Student", "a", "Student", "b", combined).unwrap();
+    let v = sst
+        .get_similarity("Student", "a", "Student", "b", combined)
+        .unwrap();
     assert!(v > 0.5 && v < 1.0, "got {v}");
     // Custom measures drive every service, not just pairwise calls.
     let top = sst

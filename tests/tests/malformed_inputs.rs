@@ -1,0 +1,99 @@
+//! Malformed-input contract: every parser in the toolkit returns `Err`
+//! on broken input — it must never panic or abort the process. Each test
+//! here feeds a specific, realistic corruption (truncation, bad escapes,
+//! unbalanced structure) to one parser and asserts an honest `Err`.
+//!
+//! These complement `parser_robustness.rs` (random soup): the inputs
+//! below are the hand-picked shapes that used to hit `unwrap`/`expect`
+//! paths before the static-analysis gate forced `Result` flows.
+
+use sst_wrappers::{parse_daml, parse_owl, parse_powerloom};
+
+const BASE: &str = "http://example.org/base";
+
+#[test]
+fn turtle_truncated_unicode_escape_is_err() {
+    // `\u` demands four hex digits; the document ends after two.
+    let src = "<http://e/s> <http://e/p> \"bad \\u12";
+    let result = sst_rdf::parse_turtle(src, BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn turtle_missing_object_is_err() {
+    let result = sst_rdf::parse_turtle("<http://e/s> <http://e/p> .", BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn turtle_unknown_prefix_is_err() {
+    let result = sst_rdf::parse_turtle("undeclared:s <http://e/p> <http://e/o> .", BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn ntriples_unterminated_literal_is_err() {
+    let src = "<http://e/s> <http://e/p> \"never closed .\n";
+    let result = sst_rdf::parse_ntriples(src);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn rdfxml_unbalanced_elements_are_err() {
+    let src = "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\">\
+               <rdf:Description rdf:about=\"http://e/s\">";
+    let result = sst_rdf::parse_rdfxml(src, BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn rdfxml_bad_character_reference_is_err() {
+    let src = "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\">\
+               <rdf:Description rdf:about=\"http://e/&#xZZ;\"/></rdf:RDF>";
+    let result = sst_rdf::parse_rdfxml(src, BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn sparql_trailing_garbage_is_err() {
+    let result = sst_rdf::parse_select("SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 trailing garbage");
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn soqa_ql_misspelled_keyword_is_err() {
+    let result = sst_soqa::ql::parse_query("SELEC name FROM concepts");
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn soqa_ql_unterminated_string_is_err() {
+    let result = sst_soqa::ql::parse_query("SELECT name FROM concepts WHERE name = \"open");
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn powerloom_unbalanced_sexpr_is_err() {
+    let result = parse_powerloom("(defconcept Vehicle (", "fixture");
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn owl_broken_xml_is_err() {
+    let result = parse_owl("<rdf:RDF <broken", "fixture", BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn daml_broken_xml_is_err() {
+    let result = parse_daml("not xml at all < > &", "fixture", BASE);
+    assert!(result.is_err(), "{result:?}");
+}
+
+#[test]
+fn wordnet_malformed_data_line_is_err() {
+    // A data line with a synset offset but truncated before its word
+    // count must be rejected, not sliced blindly.
+    let result = sst_wrappers::wordnet::parse_data_line("00001740 03 n");
+    assert!(result.is_err(), "{result:?}");
+}

@@ -1,15 +1,36 @@
 //! Robustness fuzzing: every parser in the workspace must return `Ok` or
 //! `Err` on arbitrary input — never panic, hang, or overflow. These
 //! properties run the parsers over random byte soup and over mutated
-//! fragments of valid documents (the nastier case).
+//! fragments of valid documents (the nastier case). Inputs are sampled
+//! with the vendored deterministic PRNG so failures reproduce exactly.
 
-use proptest::prelude::*;
+use sst_bench::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    #[test]
-    fn xml_parser_never_panics(input in "[ -~\\n<>&;\"']{0,200}") {
+/// Random string over `alphabet` with length in `0..=max`.
+fn soup(rng: &mut SplitMix64, alphabet: &str, max: usize) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    let len = rng.gen_range(0..max + 1);
+    (0..len)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+/// Printable ASCII plus the structural characters in `extra`.
+fn printable_plus(extra: &str) -> String {
+    let mut s: String = (b' '..=b'~').map(char::from).collect();
+    s.push('\n');
+    s.push_str(extra);
+    s
+}
+
+#[test]
+fn xml_parser_never_panics() {
+    let alphabet = printable_plus("<>&;\"'");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let input = soup(&mut rng, &alphabet, 200);
         let mut parser = sst_rdf::xml::XmlParser::new(&input);
         for _ in 0..600 {
             match parser.next_event() {
@@ -18,59 +39,108 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn rdfxml_parser_never_panics(input in "[ -~\\n<>&;\"']{0,200}") {
+#[test]
+fn rdfxml_parser_never_panics() {
+    let alphabet = printable_plus("<>&;\"'");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0BAD);
+        let input = soup(&mut rng, &alphabet, 200);
         let _ = sst_rdf::parse_rdfxml(&input, "http://fuzz/");
     }
+}
 
-    #[test]
-    fn turtle_parser_never_panics(input in "[ -~\\n]{0,200}") {
+#[test]
+fn turtle_parser_never_panics() {
+    let alphabet = printable_plus("");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x7E47);
+        let input = soup(&mut rng, &alphabet, 200);
         let _ = sst_rdf::parse_turtle(&input, "http://fuzz/");
     }
+}
 
-    #[test]
-    fn ntriples_parser_never_panics(input in "[ -~\\n]{0,200}") {
+#[test]
+fn ntriples_parser_never_panics() {
+    let alphabet = printable_plus("");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0170);
+        let input = soup(&mut rng, &alphabet, 200);
         let _ = sst_rdf::parse_ntriples(&input);
     }
+}
 
-    #[test]
-    fn sparql_parser_never_panics(input in "[ -~\\n]{0,200}") {
+#[test]
+fn sparql_parser_never_panics() {
+    let alphabet = printable_plus("");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5AB1);
+        let input = soup(&mut rng, &alphabet, 200);
         let graph = sst_rdf::Graph::new();
         let _ = sst_rdf::select(&graph, &input);
     }
+}
 
-    #[test]
-    fn sexpr_parser_never_panics(input in "[ -~\\n()\";]{0,200}") {
+#[test]
+fn sexpr_parser_never_panics() {
+    let alphabet = printable_plus("()\";");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x53B8);
+        let input = soup(&mut rng, &alphabet, 200);
         let _ = sst_sexpr::parse_all(&input);
     }
+}
 
-    #[test]
-    fn powerloom_wrapper_never_panics(input in "[ -~\\n()\";?]{0,200}") {
+#[test]
+fn powerloom_wrapper_never_panics() {
+    let alphabet = printable_plus("()\";?");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x9100);
+        let input = soup(&mut rng, &alphabet, 200);
         let _ = sst_wrappers::parse_powerloom(&input, "fuzz");
     }
+}
 
-    #[test]
-    fn wordnet_wrapper_never_panics(input in "[ -~\\n|@]{0,200}") {
+#[test]
+fn wordnet_wrapper_never_panics() {
+    let alphabet = printable_plus("|@");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x30D0);
+        let input = soup(&mut rng, &alphabet, 200);
         let _ = sst_wrappers::parse_wordnet(&input, "fuzz");
         let _ = sst_wrappers::WordNetIndex::parse(&input);
     }
+}
 
-    #[test]
-    fn soqaql_never_panics(input in "[ -~\\n]{0,120}") {
+#[test]
+fn soqaql_never_panics() {
+    let alphabet = printable_plus("");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x50DA);
+        let input = soup(&mut rng, &alphabet, 120);
         let soqa = sst_soqa::Soqa::new();
         let _ = sst_soqa::ql::execute(&soqa, &input);
     }
+}
 
-    /// Mutated valid documents: flip a window of a well-formed OWL file and
-    /// reparse — the parser must fail cleanly or succeed, not panic.
-    #[test]
-    fn mutated_owl_never_panics(
-        start in 0usize..400,
-        len in 0usize..40,
-        replacement in "[ -~]{0,40}",
-    ) {
-        const DOC: &str = r##"<?xml version="1.0"?>
+/// Splices `replacement` over `doc[start..start+len]` (clamped).
+fn splice(doc: &str, start: usize, len: usize, replacement: &str) -> Option<String> {
+    let bytes = doc.as_bytes();
+    let start = start.min(bytes.len());
+    let end = (start + len).min(bytes.len());
+    let mut mutated = Vec::new();
+    mutated.extend_from_slice(&bytes[..start]);
+    mutated.extend_from_slice(replacement.as_bytes());
+    mutated.extend_from_slice(&bytes[end..]);
+    String::from_utf8(mutated).ok()
+}
+
+/// Mutated valid documents: flip a window of a well-formed OWL file and
+/// reparse — the parser must fail cleanly or succeed, not panic.
+#[test]
+fn mutated_owl_never_panics() {
+    const DOC: &str = r##"<?xml version="1.0"?>
 <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
          xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
          xmlns:owl="http://www.w3.org/2002/07/owl#"
@@ -78,39 +148,34 @@ proptest! {
   <owl:Class rdf:ID="Person"><rdfs:comment>doc &amp; text</rdfs:comment></owl:Class>
   <owl:Class rdf:ID="Student"><rdfs:subClassOf rdf:resource="#Person"/></owl:Class>
 </rdf:RDF>"##;
-        let bytes = DOC.as_bytes();
-        let start = start.min(bytes.len());
-        let end = (start + len).min(bytes.len());
-        let mut mutated = Vec::new();
-        mutated.extend_from_slice(&bytes[..start]);
-        mutated.extend_from_slice(replacement.as_bytes());
-        mutated.extend_from_slice(&bytes[end..]);
-        if let Ok(text) = String::from_utf8(mutated) {
+    let alphabet = printable_plus("");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0112);
+        let start = rng.gen_range(0..400);
+        let len = rng.gen_range(0..40);
+        let replacement = soup(&mut rng, &alphabet, 40);
+        if let Some(text) = splice(DOC, start, len, &replacement) {
             let _ = sst_wrappers::parse_owl(&text, "fuzz", "http://example.org/f");
         }
     }
+}
 
-    /// Mutated PowerLoom modules likewise.
-    #[test]
-    fn mutated_ploom_never_panics(
-        start in 0usize..160,
-        len in 0usize..30,
-        replacement in "[ -~]{0,30}",
-    ) {
-        const DOC: &str = r#"(defmodule "M" :documentation "d")
+/// Mutated PowerLoom modules likewise.
+#[test]
+fn mutated_ploom_never_panics() {
+    const DOC: &str = r#"(defmodule "M" :documentation "d")
 (in-module "M")
 (defconcept PERSON :documentation "A human.")
 (defconcept STUDENT (?s PERSON))
 (defrelation knows ((?a PERSON) (?b PERSON)))
 (assert (PERSON Anna))"#;
-        let bytes = DOC.as_bytes();
-        let start = start.min(bytes.len());
-        let end = (start + len).min(bytes.len());
-        let mut mutated = Vec::new();
-        mutated.extend_from_slice(&bytes[..start]);
-        mutated.extend_from_slice(replacement.as_bytes());
-        mutated.extend_from_slice(&bytes[end..]);
-        if let Ok(text) = String::from_utf8(mutated) {
+    let alphabet = printable_plus("");
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x1A0B);
+        let start = rng.gen_range(0..160);
+        let len = rng.gen_range(0..30);
+        let replacement = soup(&mut rng, &alphabet, 30);
+        if let Some(text) = splice(DOC, start, len, &replacement) {
             let _ = sst_wrappers::parse_powerloom(&text, "fuzz");
         }
     }

@@ -2,23 +2,25 @@
 //! RDF substrate vs meta-model-level SOQA-QL over the facade — on the same
 //! corpus document, plus property tests for the LIKE matcher.
 
-use proptest::prelude::*;
-use sst_bench::{data_dir, load_corpus, names};
+use sst_bench::{data_dir, load_corpus, names, SplitMix64};
 use sst_core::TreeMode;
 use sst_rdf::select;
 use sst_soqa::ql::like_match;
 
 #[test]
 fn sparql_and_soqaql_agree_on_sumo_class_count() {
-    let sumo_text = std::fs::read_to_string(data_dir().join("ontologies/sumo.owl"))
-        .expect("sumo.owl");
+    let sumo_text =
+        std::fs::read_to_string(data_dir().join("ontologies/sumo.owl")).expect("sumo.owl");
     let graph = sst_rdf::parse_rdfxml(&sumo_text, "http://reliant.teknowledge.com/DAML/SUMO.owl")
         .expect("parse sumo");
     let classes = select(&graph, "SELECT ?c WHERE { ?c a owl:Class . }").expect("sparql");
 
     let sst = load_corpus(TreeMode::SuperThing, false);
     let t = sst
-        .query(&format!("SELECT COUNT(*) FROM concepts OF '{}'", names::SUMO))
+        .query(&format!(
+            "SELECT COUNT(*) FROM concepts OF '{}'",
+            names::SUMO
+        ))
         .expect("soqa-ql");
     let soqa_count: usize = t.rows[0][0].render().parse().unwrap();
     // SOQA adds the implicit owl:Thing root on top of the declared classes.
@@ -27,8 +29,8 @@ fn sparql_and_soqaql_agree_on_sumo_class_count() {
 
 #[test]
 fn sparql_subclass_join_matches_soqa_direct_subs() {
-    let sumo_text = std::fs::read_to_string(data_dir().join("ontologies/sumo.owl"))
-        .expect("sumo.owl");
+    let sumo_text =
+        std::fs::read_to_string(data_dir().join("ontologies/sumo.owl")).expect("sumo.owl");
     let graph = sst_rdf::parse_rdfxml(&sumo_text, "http://reliant.teknowledge.com/DAML/SUMO.owl")
         .expect("parse sumo");
     let rows = select(
@@ -45,8 +47,8 @@ fn sparql_subclass_join_matches_soqa_direct_subs() {
 
 #[test]
 fn sparql_filter_contains_matches_soqaql_like() {
-    let sumo_text = std::fs::read_to_string(data_dir().join("ontologies/sumo.owl"))
-        .expect("sumo.owl");
+    let sumo_text =
+        std::fs::read_to_string(data_dir().join("ontologies/sumo.owl")).expect("sumo.owl");
     let graph = sst_rdf::parse_rdfxml(&sumo_text, "http://reliant.teknowledge.com/DAML/SUMO.owl")
         .expect("parse sumo");
     let sparql_hits = select(
@@ -68,38 +70,70 @@ fn sparql_filter_contains_matches_soqaql_like() {
 
 // ---- LIKE matcher properties -------------------------------------------
 
-proptest! {
-    /// A pattern equal to the text (no wildcards) always matches; adding a
-    /// leading and trailing `%` preserves matching for any text extension.
-    #[test]
-    fn like_literal_and_wildcard_extension(
-        text in "[a-zA-Z0-9]{0,12}",
-        prefix in "[a-zA-Z0-9]{0,6}",
-        suffix in "[a-zA-Z0-9]{0,6}",
-    ) {
-        prop_assert!(like_match(&text, &text));
+const CASES: u64 = 256;
+
+/// Random string over `alphabet` with length in `min..=max`.
+fn word(rng: &mut SplitMix64, alphabet: &[u8], min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..max + 1);
+    (0..len)
+        .map(|_| char::from(alphabet[rng.gen_range(0..alphabet.len())]))
+        .collect()
+}
+
+const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+/// A pattern equal to the text (no wildcards) always matches; adding a
+/// leading and trailing `%` preserves matching for any text extension.
+#[test]
+fn like_literal_and_wildcard_extension() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let text = word(&mut rng, ALNUM, 0, 12);
+        let prefix = word(&mut rng, ALNUM, 0, 6);
+        let suffix = word(&mut rng, ALNUM, 0, 6);
+        assert!(like_match(&text, &text), "seed {seed}");
         let wrapped = format!("%{text}%");
         let extended = format!("{prefix}{text}{suffix}");
-        prop_assert!(like_match(&wrapped, &extended));
+        assert!(like_match(&wrapped, &extended), "seed {seed}");
     }
+}
 
-    /// `_` matches exactly one character: a pattern of n underscores
-    /// matches exactly the strings of length n.
-    #[test]
-    fn like_underscore_counts_characters(n in 0usize..8, text in "[a-z]{0,10}") {
+/// `_` matches exactly one character: a pattern of n underscores
+/// matches exactly the strings of length n.
+#[test]
+fn like_underscore_counts_characters() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x11DE);
+        let n = rng.gen_range(0..8);
+        let text = word(&mut rng, LOWER, 0, 10);
         let pattern = "_".repeat(n);
-        prop_assert_eq!(like_match(&pattern, &text), text.chars().count() == n);
+        assert_eq!(
+            like_match(&pattern, &text),
+            text.chars().count() == n,
+            "seed {seed}"
+        );
     }
+}
 
-    /// `%` alone matches everything.
-    #[test]
-    fn like_percent_matches_everything(text in "[ -~]{0,20}") {
-        prop_assert!(like_match("%", &text));
+/// `%` alone matches everything.
+#[test]
+fn like_percent_matches_everything() {
+    let printable: Vec<u8> = (b' '..=b'~').collect();
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xCE27);
+        let text = word(&mut rng, &printable, 0, 20);
+        assert!(like_match("%", &text), "seed {seed}");
     }
+}
 
-    /// Patterns without wildcards match only exact strings.
-    #[test]
-    fn like_without_wildcards_is_equality(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
-        prop_assert_eq!(like_match(&a, &b), a == b);
+/// Patterns without wildcards match only exact strings.
+#[test]
+fn like_without_wildcards_is_equality() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xE4A1);
+        let a = word(&mut rng, LOWER, 1, 8);
+        let b = word(&mut rng, LOWER, 1, 8);
+        assert_eq!(like_match(&a, &b), a == b, "seed {seed}");
     }
 }

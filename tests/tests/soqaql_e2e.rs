@@ -11,7 +11,11 @@ fn query_all_ontology_metadata() {
         .query("SELECT name, language, concept_count FROM ontology ORDER BY name")
         .unwrap();
     assert_eq!(t.rows.len(), 5);
-    let total: i64 = t.rows.iter().map(|r| r[2].render().parse::<i64>().unwrap()).sum();
+    let total: i64 = t
+        .rows
+        .iter()
+        .map(|r| r[2].render().parse::<i64>().unwrap())
+        .sum();
     assert_eq!(total, 943);
     // Languages are reported per ontology.
     let langs: Vec<String> = t.rows.iter().map(|r| r[1].render()).collect();
@@ -25,7 +29,10 @@ fn like_query_finds_professors_across_ontologies() {
     let t = sst
         .query("SELECT ontology, name FROM concepts WHERE name LIKE '%rofessor%' ORDER BY ontology")
         .unwrap();
-    assert!(t.rows.len() >= 8, "expected professors in several ontologies");
+    assert!(
+        t.rows.len() >= 8,
+        "expected professors in several ontologies"
+    );
     let ontologies: std::collections::HashSet<String> =
         t.rows.iter().map(|r| r[0].render()).collect();
     assert!(ontologies.len() >= 3);
@@ -41,7 +48,11 @@ fn depth_filter_and_limit() {
         ))
         .unwrap();
     assert_eq!(t.rows.len(), 5);
-    let depths: Vec<i64> = t.rows.iter().map(|r| r[1].render().parse().unwrap()).collect();
+    let depths: Vec<i64> = t
+        .rows
+        .iter()
+        .map(|r| r[1].render().parse().unwrap())
+        .collect();
     assert!(depths.windows(2).all(|w| w[0] >= w[1]));
     assert!(depths[0] >= 5, "SUMO should be deep, got {depths:?}");
 }
@@ -57,7 +68,10 @@ fn attribute_and_instance_extents() {
         .unwrap();
     assert!(attrs.rows.len() >= 5);
     let instances = sst
-        .query(&format!("SELECT name, concept FROM instances OF '{}'", names::COURSES))
+        .query(&format!(
+            "SELECT name, concept FROM instances OF '{}'",
+            names::COURSES
+        ))
         .unwrap();
     assert!(instances.rows.iter().any(|r| r[0].render() == "ProfMeier"));
 }
