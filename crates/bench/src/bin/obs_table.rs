@@ -1,0 +1,137 @@
+//! Per-measure latency table from the observability layer: drives the
+//! Table 1 workload (plus one ranking pass per measure) against the bundled
+//! corpus and exports what the `sst-obs` registry recorded as
+//! `results/BENCH_obs.json` — call counts, mean / p50 / p99 latency, and
+//! the full bucket histograms, one entry per measure in Table 1's shape.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p sst-bench --bin obs_table
+//! ```
+
+use sst_bench::{data_dir, load_corpus, names};
+use sst_core::{measure_ids as m, ConceptSet, SstToolkit};
+use sst_obs::HistogramSnapshot;
+
+const QUERY: (&str, &str) = ("Professor", names::DAML_UNIV);
+
+const ROWS: &[(&str, &str)] = &[
+    ("Professor", names::DAML_UNIV),
+    ("AssistantProfessor", names::UNIV_BENCH),
+    ("EMPLOYEE", names::COURSES),
+    ("Human", names::SUMO),
+    ("Mammal", names::SUMO),
+];
+
+const MEASURES: &[usize] = &[
+    m::CONCEPTUAL_SIMILARITY_MEASURE,
+    m::LEVENSHTEIN_MEASURE,
+    m::LIN_MEASURE,
+    m::RESNIK_MEASURE,
+    m::SHORTEST_PATH_MEASURE,
+    m::TFIDF_MEASURE,
+];
+
+/// How many times the Table 1 pairwise workload is repeated so the latency
+/// histograms have enough observations for stable quantiles.
+const REPEATS: usize = 50;
+
+fn drive_workload(sst: &SstToolkit) {
+    for _ in 0..REPEATS {
+        for &(concept, ontology) in ROWS {
+            sst.get_similarities(QUERY.0, QUERY.1, concept, ontology, MEASURES)
+                .expect("similarity");
+        }
+    }
+    // One whole-operation ranking pass per measure (the paper's S2 service).
+    for &mid in MEASURES {
+        sst.most_similar(QUERY.0, QUERY.1, &ConceptSet::All, 10, mid)
+            .expect("most similar");
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .bounds
+        .iter()
+        .zip(&h.bucket_counts)
+        .map(|(le, count)| format!("{{\"le\":{le},\"count\":{count}}}"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"mean_seconds\":{},\"p50_seconds\":{},\"p99_seconds\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.mean_seconds(),
+        h.quantile_seconds(0.5),
+        h.quantile_seconds(0.99),
+        buckets.join(",")
+    )
+}
+
+fn render_json(sst: &SstToolkit) -> String {
+    let snap = sst.metrics().snapshot();
+    let mut measures = Vec::new();
+    for &mid in MEASURES {
+        let info = sst.measure_info(mid).expect("measure info");
+        let name = info.name;
+        let pair_calls = snap
+            .counter(&format!("core.pair.calls.{name}"))
+            .unwrap_or(0);
+        let pair = snap
+            .histogram(&format!("core.pair.latency.{name}"))
+            .expect("pair latency recorded");
+        let rank = snap
+            .histogram(&format!("core.rank.latency.{name}"))
+            .expect("rank latency recorded");
+        measures.push(format!(
+            "{{\"measure\":\"{name}\",\"display\":\"{}\",\"pair_calls\":{pair_calls},\
+             \"pair_latency\":{},\"rank_latency\":{}}}",
+            info.display,
+            histogram_json(pair),
+            histogram_json(rank)
+        ));
+    }
+    format!(
+        "{{\"workload\":{{\"query\":\"{}:{}\",\"rows\":{},\"repeats\":{REPEATS}}},\
+         \"measures\":[{}]}}",
+        QUERY.1,
+        QUERY.0,
+        ROWS.len(),
+        measures.join(",")
+    )
+}
+
+fn render_text(sst: &SstToolkit) -> String {
+    let snap = sst.metrics().snapshot();
+    let mut out = String::from(
+        "Per-measure latency (Table 1 workload)\n\n\
+         Measure                 calls      mean        p50        p99\n",
+    );
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for &mid in MEASURES {
+        let info = sst.measure_info(mid).expect("measure info");
+        let pair = snap
+            .histogram(&format!("core.pair.latency.{}", info.name))
+            .expect("pair latency recorded");
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>10.2e} {:>10.2e} {:>10.2e}\n",
+            info.display,
+            pair.count,
+            pair.mean_seconds(),
+            pair.quantile_seconds(0.5),
+            pair.quantile_seconds(0.99),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let sst = load_corpus(sst_core::TreeMode::SuperThing, false);
+    drive_workload(&sst);
+    println!("{}", render_text(&sst));
+
+    let results = data_dir().join("../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(results.join("BENCH_obs.json"), render_json(&sst)).expect("write BENCH_obs");
+    println!("(written to results/BENCH_obs.json)");
+}

@@ -65,6 +65,8 @@ pub fn align(
             config.threshold
         )));
     }
+    sst.metrics().inc("core.align.calls");
+    let _span = sst.metrics().span("core.align.latency");
     let combiner = Combiner::uniform(config.strategy, config.measures.len());
 
     let source_names: Vec<String> = {
@@ -91,10 +93,12 @@ pub fn align(
             }
         }
     }
-    // Greedy best-first one-to-one matching.
+    // Greedy best-first one-to-one matching. `total_cmp` keeps the order
+    // deterministic even if a user-registered runner produces NaN (such
+    // pairs are already dropped by the threshold filter above, since
+    // `NaN >= t` is false, but combined scores stay defensive).
     scored.sort_by(|a, b| {
-        b.2.partial_cmp(&a.2)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        b.2.total_cmp(&a.2)
             .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
     });
     let mut source_used = vec![false; source_names.len()];

@@ -12,23 +12,31 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use sst_obs::Counter;
 use sst_soqa::GlobalConcept;
 
 use crate::error::Result;
-use crate::facade::{ConceptAndSimilarity, ConceptSet, SstToolkit};
+use crate::facade::{rank_descending, ConceptAndSimilarity, ConceptSet, SstToolkit};
 
 type Key = (usize, GlobalConcept, GlobalConcept);
 type Memo = HashMap<Key, f64>;
 
 /// A memoizing view over a toolkit.
+///
+/// Hit/miss traffic is tracked twice on purpose: the local atomics back
+/// [`CachedSimilarity::stats`] (per-cache, reset by construction), while the
+/// `core.cache.hits` / `core.cache.misses` counters in the toolkit's
+/// metrics registry aggregate across every cache built on the toolkit.
 #[derive(Debug)]
 pub struct CachedSimilarity<'a> {
     toolkit: &'a SstToolkit,
     memo: RwLock<Memo>,
     hits: AtomicU64,
     misses: AtomicU64,
+    hits_metric: Arc<Counter>,
+    misses_metric: Arc<Counter>,
 }
 
 impl<'a> CachedSimilarity<'a> {
@@ -38,6 +46,8 @@ impl<'a> CachedSimilarity<'a> {
             memo: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hits_metric: toolkit.metrics().counter("core.cache.hits"),
+            misses_metric: toolkit.metrics().counter("core.cache.misses"),
         }
     }
 
@@ -104,6 +114,7 @@ impl<'a> CachedSimilarity<'a> {
         let key = Self::canonical(measure, a, b);
         if let Some(&cached) = self.memo_read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits_metric.inc();
             return Ok(cached);
         }
         let value = self.toolkit.get_similarity(
@@ -114,6 +125,7 @@ impl<'a> CachedSimilarity<'a> {
             measure,
         )?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_metric.inc();
         self.memo_write().insert(key, value);
         Ok(value)
     }
@@ -144,12 +156,7 @@ impl<'a> CachedSimilarity<'a> {
                 similarity: sim,
             });
         }
-        all.sort_by(|x, y| {
-            y.similarity
-                .partial_cmp(&x.similarity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
-        });
+        all.sort_by(rank_descending);
         all.truncate(k);
         Ok(all)
     }

@@ -106,6 +106,8 @@ pub fn cluster(
     measure: usize,
     linkage: Linkage,
 ) -> Result<Dendrogram> {
+    sst.metrics().inc("core.cluster.calls");
+    let _span = sst.metrics().span("core.cluster.latency");
     let (labels, matrix) = sst.similarity_matrix(set, measure)?;
     if labels.is_empty() {
         return Err(SstError::InvalidArgument(
@@ -118,13 +120,16 @@ pub fn cluster(
 
 /// Clustering over a precomputed similarity matrix (exposed for tests and
 /// for matrices built from combined measures).
-/// Returns `None` when `labels` is empty (there is nothing to cluster).
+/// Returns `None` when `labels` is empty (there is nothing to cluster) or
+/// when the matrix's row count does not match the label count.
 pub fn cluster_matrix(
     labels: &[String],
     matrix: &[Vec<f64>],
     linkage: Linkage,
 ) -> Option<Dendrogram> {
-    assert_eq!(labels.len(), matrix.len());
+    if labels.len() != matrix.len() {
+        return None;
+    }
     // Active clusters: dendrogram + member indices.
     let mut clusters: Vec<(Dendrogram, Vec<usize>)> = labels
         .iter()

@@ -11,8 +11,11 @@
 //!   [`SstToolkit::similarity_plot`]
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use sst_index::{DocId, IndexBuilder, InvertedIndex};
+use sst_obs::{Counter, Histogram, Metrics};
 use sst_simpack::{InformationContent, ProbabilityMode};
 use sst_soqa::ql::ResultTable;
 use sst_soqa::{GlobalConcept, Ontology, Soqa};
@@ -87,6 +90,20 @@ pub struct ConceptAndSimilarity {
     pub similarity: f64,
 }
 
+/// Shared descending rank order for k-best results: IEEE 754 `total_cmp`
+/// on the similarity (NaN ranks first), then the qualified name as a
+/// deterministic tiebreak. Both the direct and the cached k-best paths
+/// sort with this, so a NaN score from a user-registered runner ranks
+/// identically whether or not the pair was memoized.
+pub(crate) fn rank_descending(
+    x: &ConceptAndSimilarity,
+    y: &ConceptAndSimilarity,
+) -> std::cmp::Ordering {
+    y.similarity
+        .total_cmp(&x.similarity)
+        .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
+}
+
 /// Configuration knobs for toolkit construction.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SstConfig {
@@ -144,6 +161,8 @@ impl SstBuilder {
     /// Freezes the toolkit: builds the unified tree, the information
     /// content, and the full-text index.
     pub fn build(self) -> SstToolkit {
+        let metrics = Metrics::new();
+        let _build_span = metrics.span("core.build.latency");
         let tree = UnifiedTree::build(&self.soqa, self.config.tree_mode);
 
         // Instance counts per tree node for the IC corpus.
@@ -160,7 +179,7 @@ impl SstBuilder {
         // Full-text index: one document per concept (paper §2.2: "we
         // exported a full-text description of all concepts … and built an
         // index over the descriptions").
-        let mut index_builder = IndexBuilder::new();
+        let mut index_builder = IndexBuilder::with_metrics(metrics.clone());
         let mut doc_ids: Vec<Option<DocId>> = vec![None; tree.node_count()];
         for gc in tree.all_concepts() {
             let key = self.soqa.qualified_name(gc);
@@ -176,6 +195,10 @@ impl SstBuilder {
             .enumerate()
             .map(|(i, r)| (r.info().name, i))
             .collect();
+        let measure_metrics = runners
+            .iter()
+            .map(|r| MeasureMetrics::register(&metrics, &r.info().name))
+            .collect();
 
         SstToolkit {
             soqa: self.soqa,
@@ -185,6 +208,49 @@ impl SstBuilder {
             doc_ids,
             runners,
             measure_names,
+            measure_metrics,
+            metrics,
+        }
+    }
+}
+
+/// Pre-resolved metric handles for one registered measure, so hot loops
+/// record with pure atomic traffic instead of per-call name lookups.
+#[derive(Debug)]
+struct MeasureMetrics {
+    /// `core.pair.calls.<measure>` — pairwise runner invocations.
+    pair_calls: Arc<Counter>,
+    /// `core.pair.latency.<measure>` — per-invocation latency (recorded on
+    /// the pairwise and ranking paths; matrix paths count pairs only).
+    pair_latency: Arc<Histogram>,
+    /// `core.rank.calls.<measure>` / `core.rank.latency.<measure>` —
+    /// whole-operation stats of the k-best services.
+    rank_calls: Arc<Counter>,
+    rank_latency: Arc<Histogram>,
+    /// `core.matrix.calls.<measure>` / `core.matrix.latency.<measure>` —
+    /// whole-operation stats of the similarity-matrix services.
+    matrix_calls: Arc<Counter>,
+    matrix_latency: Arc<Histogram>,
+}
+
+/// Which whole-operation metric family a facade service records into.
+#[derive(Debug, Clone, Copy)]
+enum MeasureOp {
+    /// The k-best services (`most_similar`, `most_dissimilar`, combined).
+    Rank,
+    /// The similarity-matrix services (serial and parallel).
+    Matrix,
+}
+
+impl MeasureMetrics {
+    fn register(metrics: &Metrics, measure: &str) -> MeasureMetrics {
+        MeasureMetrics {
+            pair_calls: metrics.counter(&format!("core.pair.calls.{measure}")),
+            pair_latency: metrics.histogram(&format!("core.pair.latency.{measure}")),
+            rank_calls: metrics.counter(&format!("core.rank.calls.{measure}")),
+            rank_latency: metrics.histogram(&format!("core.rank.latency.{measure}")),
+            matrix_calls: metrics.counter(&format!("core.matrix.calls.{measure}")),
+            matrix_latency: metrics.histogram(&format!("core.matrix.latency.{measure}")),
         }
     }
 }
@@ -199,6 +265,8 @@ pub struct SstToolkit {
     doc_ids: Vec<Option<DocId>>,
     runners: Vec<Box<dyn MeasureRunner>>,
     measure_names: HashMap<String, usize>,
+    measure_metrics: Vec<MeasureMetrics>,
+    metrics: Metrics,
 }
 
 impl SstToolkit {
@@ -210,6 +278,20 @@ impl SstToolkit {
     /// The unified ontology tree.
     pub fn tree(&self) -> &UnifiedTree {
         &self.tree
+    }
+
+    /// The toolkit's metrics registry. Cloning the returned handle shares
+    /// the registry (see `sst_obs::Metrics`), so services built on top of
+    /// the toolkit can record into the same report.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// JSON export of every metric the toolkit has recorded: per-measure
+    /// call counts and latency histograms, cache hit/miss counters, index
+    /// and query-engine throughput.
+    pub fn metrics_report(&self) -> String {
+        self.metrics.to_json()
     }
 
     fn ctx(&self) -> SimilarityContext<'_> {
@@ -257,6 +339,37 @@ impl SstToolkit {
             .ok_or_else(|| SstError::UnknownMeasure(measure.to_string()))
     }
 
+    /// Runs one pairwise similarity computation, recording the per-measure
+    /// call counter and latency histogram.
+    fn timed_similarity(
+        &self,
+        measure: usize,
+        ctx: &SimilarityContext<'_>,
+        a: GlobalConcept,
+        b: GlobalConcept,
+    ) -> Result<f64> {
+        let runner = self.runner(measure)?;
+        let start = Instant::now();
+        let value = runner.similarity(ctx, a, b);
+        if let Some(mm) = self.measure_metrics.get(measure) {
+            mm.pair_calls.inc();
+            mm.pair_latency.observe(start.elapsed());
+        }
+        Ok(value)
+    }
+
+    /// An RAII span over a whole-operation histogram of `measure`, plus the
+    /// matching call counter, selected by `op`.
+    fn measure_span(&self, measure: usize, op: MeasureOp) -> Option<sst_obs::Span> {
+        let mm = self.measure_metrics.get(measure)?;
+        let (calls, latency) = match op {
+            MeasureOp::Rank => (&mm.rank_calls, &mm.rank_latency),
+            MeasureOp::Matrix => (&mm.matrix_calls, &mm.matrix_latency),
+        };
+        calls.inc();
+        Some(sst_obs::Span::new(Arc::clone(latency)))
+    }
+
     fn resolve(&self, r: &ConceptRef) -> Result<GlobalConcept> {
         Ok(self.soqa.resolve(&r.ontology, &r.concept)?)
     }
@@ -294,7 +407,7 @@ impl SstToolkit {
     ) -> Result<f64> {
         let a = self.soqa.resolve(first_ontology, first_concept)?;
         let b = self.soqa.resolve(second_ontology, second_concept)?;
-        Ok(self.runner(measure)?.similarity(&self.ctx(), a, b))
+        self.timed_similarity(measure, &self.ctx(), a, b)
     }
 
     /// Similarity of two concepts under a list of measures.
@@ -311,7 +424,7 @@ impl SstToolkit {
         let ctx = self.ctx();
         measures
             .iter()
-            .map(|&m| Ok(self.runner(m)?.similarity(&ctx, a, b)))
+            .map(|&m| self.timed_similarity(m, &ctx, a, b))
             .collect()
     }
 
@@ -327,18 +440,19 @@ impl SstToolkit {
         measure: usize,
     ) -> Result<Vec<ConceptAndSimilarity>> {
         let query = self.soqa.resolve(ontology, concept)?;
-        let runner = self.runner(measure)?;
         let ctx = self.ctx();
-        Ok(self
-            .concept_set(set)?
+        self.concept_set(set)?
             .into_iter()
-            .map(|gc| self.to_result(gc, runner.similarity(&ctx, query, gc)))
-            .collect())
+            .map(|gc| Ok(self.to_result(gc, self.timed_similarity(measure, &ctx, query, gc)?)))
+            .collect()
     }
 
     /// The `k` most similar concepts of `set` for the query concept (paper
     /// signature S2). Results are sorted by descending similarity; ties
-    /// break on the qualified name for determinism.
+    /// break on the qualified name for determinism. Ordering uses IEEE 754
+    /// `total_cmp`, so NaN scores from user-registered runners rank
+    /// deterministically (first) instead of freezing wherever the sort
+    /// happened to leave them.
     pub fn most_similar(
         &self,
         concept: &str,
@@ -347,13 +461,9 @@ impl SstToolkit {
         k: usize,
         measure: usize,
     ) -> Result<Vec<ConceptAndSimilarity>> {
+        let _span = self.measure_span(measure, MeasureOp::Rank);
         let mut all = self.similarity_to_set(concept, ontology, set, measure)?;
-        all.sort_by(|x, y| {
-            y.similarity
-                .partial_cmp(&x.similarity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
-        });
+        all.sort_by(rank_descending);
         all.truncate(k);
         Ok(all)
     }
@@ -367,11 +477,11 @@ impl SstToolkit {
         k: usize,
         measure: usize,
     ) -> Result<Vec<ConceptAndSimilarity>> {
+        let _span = self.measure_span(measure, MeasureOp::Rank);
         let mut all = self.similarity_to_set(concept, ontology, set, measure)?;
         all.sort_by(|x, y| {
             x.similarity
-                .partial_cmp(&y.similarity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&y.similarity)
                 .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
         });
         all.truncate(k);
@@ -396,6 +506,10 @@ impl SstToolkit {
 
     /// Full pairwise similarity matrix of a concept set under one measure.
     /// Returns the set's qualified names and the row-major matrix.
+    ///
+    /// Every registered measure is symmetric (Monge-Elkan is explicitly
+    /// symmetrized in its runner), so only the upper triangle is computed
+    /// and mirrored — `n(n+1)/2` runner calls instead of `n²`.
     pub fn similarity_matrix(
         &self,
         set: &ConceptSet,
@@ -403,27 +517,43 @@ impl SstToolkit {
     ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
         let concepts = self.concept_set(set)?;
         let runner = self.runner(measure)?;
+        let _span = self.measure_span(measure, MeasureOp::Matrix);
         let ctx = self.ctx();
         let labels = concepts
             .iter()
             .map(|&gc| self.soqa.qualified_name(gc))
             .collect();
-        let matrix = concepts
-            .iter()
-            .map(|&a| {
-                concepts
-                    .iter()
-                    .map(|&b| runner.similarity(&ctx, a, b))
-                    .collect()
-            })
-            .collect();
+        let n = concepts.len();
+        let mut matrix = vec![vec![0.0; n]; n];
+        for (i, &a) in concepts.iter().enumerate() {
+            for (j, &b) in concepts.iter().enumerate().skip(i) {
+                let v = runner.similarity(&ctx, a, b);
+                matrix[i][j] = v;
+                matrix[j][i] = v;
+            }
+        }
+        self.record_matrix_pairs(measure, n);
         Ok((labels, matrix))
+    }
+
+    /// Bookkeeping for the matrix services: `n(n+1)/2` computed pairs into
+    /// the per-measure pair counter and the global `core.matrix.pairs`.
+    fn record_matrix_pairs(&self, measure: usize, n: usize) {
+        let pairs = (n as u64 * (n as u64 + 1)) / 2;
+        if let Some(mm) = self.measure_metrics.get(measure) {
+            mm.pair_calls.add(pairs);
+        }
+        self.metrics.add("core.matrix.pairs", pairs);
     }
 
     /// Like [`SstToolkit::similarity_matrix`] but computed with `threads`
     /// worker threads (rows are partitioned round-robin). Useful for large
     /// concept sets: the runners are stateless and the context is shared
     /// read-only, so the matrix parallelizes embarrassingly.
+    ///
+    /// Workers compute only the row suffix `j ≥ i` of their rows; the lower
+    /// triangle is mirrored serially after the join, matching the serial
+    /// service's halved runner-call count.
     pub fn similarity_matrix_parallel(
         &self,
         set: &ConceptSet,
@@ -432,36 +562,42 @@ impl SstToolkit {
     ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
         let concepts = self.concept_set(set)?;
         let runner = self.runner(measure)?;
+        let _span = self.measure_span(measure, MeasureOp::Matrix);
         let ctx = self.ctx();
         let labels: Vec<String> = concepts
             .iter()
             .map(|&gc| self.soqa.qualified_name(gc))
             .collect();
-        let threads = threads.clamp(1, concepts.len().max(1));
-        let mut matrix = vec![Vec::new(); concepts.len()];
+        let n = concepts.len();
+        let threads = threads.clamp(1, n.max(1));
+        let mut matrix = vec![vec![0.0; n]; n];
         let worker_died = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..threads {
                 let concepts = &concepts;
                 let ctx = &ctx;
                 handles.push(scope.spawn(move || {
-                    let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+                    let mut suffixes: Vec<(usize, Vec<f64>)> = Vec::new();
                     for i in (worker..concepts.len()).step_by(threads) {
-                        let row = concepts
+                        let suffix = concepts
                             .iter()
+                            .skip(i)
                             .map(|&b| runner.similarity(ctx, concepts[i], b))
                             .collect();
-                        rows.push((i, row));
+                        suffixes.push((i, suffix));
                     }
-                    rows
+                    suffixes
                 }));
             }
             let mut worker_died = false;
             for handle in handles {
                 match handle.join() {
-                    Ok(rows) => {
-                        for (i, row) in rows {
-                            matrix[i] = row;
+                    Ok(suffixes) => {
+                        for (i, suffix) in suffixes {
+                            for (j, v) in (i..).zip(suffix) {
+                                matrix[i][j] = v;
+                                matrix[j][i] = v;
+                            }
                         }
                     }
                     Err(_) => worker_died = true,
@@ -474,6 +610,7 @@ impl SstToolkit {
                 "similarity-matrix worker thread died".into(),
             ));
         }
+        self.record_matrix_pairs(measure, n);
         Ok((labels, matrix))
     }
 
@@ -563,12 +700,7 @@ impl SstToolkit {
                 similarity: sim,
             });
         }
-        all.sort_by(|x, y| {
-            y.similarity
-                .partial_cmp(&x.similarity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (&x.ontology, &x.concept).cmp(&(&y.ontology, &y.concept)))
-        });
+        all.sort_by(rank_descending);
         all.truncate(k);
         Ok(all)
     }
@@ -633,9 +765,14 @@ impl SstToolkit {
 
     // ---- helper services (paper §3: browser / query shell hooks) ----------
 
-    /// Runs a SOQA-QL query against the registered ontologies.
+    /// Runs a SOQA-QL query against the registered ontologies, recording
+    /// per-query parse/eval timing into the toolkit's metrics registry.
     pub fn query(&self, soqaql: &str) -> Result<ResultTable> {
-        Ok(sst_soqa::ql::execute(&self.soqa, soqaql)?)
+        Ok(sst_soqa::ql::execute_with_metrics(
+            &self.soqa,
+            soqaql,
+            Some(&self.metrics),
+        )?)
     }
 
     /// Renders the concept-hierarchy browser pane for one ontology.

@@ -22,8 +22,10 @@ const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
 impl Heatmap {
     /// Builds a heatmap; panics if the matrix is not square over the labels.
     pub fn new(title: impl Into<String>, labels: Vec<String>, matrix: Vec<Vec<f64>>) -> Heatmap {
+        // lint: allow(panic) documented constructor contract: callers pass matrices from similarity_matrix, which is square by construction
         assert_eq!(labels.len(), matrix.len(), "matrix rows must match labels");
         for row in &matrix {
+            // lint: allow(panic) documented constructor contract (see above)
             assert_eq!(labels.len(), row.len(), "matrix must be square");
         }
         Heatmap {

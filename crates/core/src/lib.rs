@@ -60,4 +60,5 @@ pub use facade::{
 };
 pub use heatmap::Heatmap;
 pub use runner::{MeasureRunner, RunnerInfo, SimilarityContext};
+pub use sst_obs::{Metrics, MetricsSnapshot};
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};

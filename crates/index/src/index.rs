@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use sst_obs::Metrics;
+
 use crate::tokenizer::analyze;
 
 /// Identifier of an indexed document.
@@ -39,6 +41,8 @@ pub struct InvertedIndex {
     postings: Vec<Vec<Posting>>,
     /// Per-document term vectors (term id → tf), sorted by term id.
     doc_terms: Vec<Vec<(TermId, u32)>>,
+    /// Registry the search path records into (see [`IndexBuilder::with_metrics`]).
+    metrics: Option<Metrics>,
 }
 
 impl InvertedIndex {
@@ -109,6 +113,10 @@ impl InvertedIndex {
     /// Analyzes `query` and returns the `k` best documents by TF-IDF cosine,
     /// best first. Ties break on ascending document id for determinism.
     pub fn search(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        let _span = self.metrics.as_ref().map(|m| {
+            m.inc("index.search.calls");
+            m.span("index.search.latency")
+        });
         let tokens = analyze(query);
         let mut tf: HashMap<TermId, u32> = HashMap::new();
         for token in tokens {
@@ -188,6 +196,19 @@ impl IndexBuilder {
         IndexBuilder::default()
     }
 
+    /// Like [`IndexBuilder::new`], but the builder and the built index
+    /// record throughput into `metrics`: `index.docs`, `index.terms` and
+    /// `index.tokens` counters while indexing, plus `index.search.calls` /
+    /// `index.search.latency` on the query path.
+    pub fn with_metrics(metrics: Metrics) -> Self {
+        IndexBuilder {
+            index: InvertedIndex {
+                metrics: Some(metrics),
+                ..InvertedIndex::default()
+            },
+        }
+    }
+
     /// Analyzes `text` and adds it under `key`. Re-adding an existing key
     /// replaces nothing — it returns the existing id (documents are
     /// immutable once added).
@@ -200,6 +221,7 @@ impl IndexBuilder {
         let doc = DocId(u32::try_from(self.index.docs.len()).expect("too many documents"));
         let tokens = analyze(text);
         let mut tf: HashMap<TermId, u32> = HashMap::new();
+        let mut new_terms = 0u64;
         for token in &tokens {
             let term_id = match self.index.term_ids.get(token) {
                 Some(&t) => t,
@@ -209,6 +231,7 @@ impl IndexBuilder {
                     self.index.terms.push(token.clone());
                     self.index.term_ids.insert(token.clone(), t);
                     self.index.postings.push(Vec::new());
+                    new_terms += 1;
                     t
                 }
             };
@@ -218,6 +241,11 @@ impl IndexBuilder {
         doc_vec.sort_by_key(|&(t, _)| t);
         for &(t, f) in &doc_vec {
             self.index.postings[t.0 as usize].push(Posting { doc, tf: f });
+        }
+        if let Some(m) = &self.index.metrics {
+            m.inc("index.docs");
+            m.add("index.tokens", tokens.len() as u64);
+            m.add("index.terms", new_terms);
         }
         self.index.docs.push(DocEntry {
             key: key.clone(),

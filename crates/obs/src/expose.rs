@@ -1,0 +1,249 @@
+//! Exposition: point-in-time snapshots rendered as sorted text (for the
+//! browser's `stats` pane) or JSON (for `SstToolkit::metrics_report()` and
+//! the bench exports). JSON is emitted by hand — the crate stays
+//! dependency-free — and every number uses `f64`'s `Display`, which never
+//! produces exponent notation, so the output is valid JSON.
+
+use crate::histogram::Histogram;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bounds in seconds (overflow bucket excluded).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one entry per bound plus the trailing overflow.
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed durations in seconds.
+    pub sum_seconds: f64,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn of(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: h.bounds().to_vec(),
+            bucket_counts: h.bucket_counts(),
+            count: h.count(),
+            sum_seconds: h.sum_seconds(),
+        }
+    }
+
+    /// Mean observed duration in seconds (0.0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate in seconds: the upper bound of
+    /// the bucket containing the `q`-quantile observation (`q` in [0, 1]).
+    /// Overflow-bucket hits report the last finite bound; empty histograms
+    /// report 0.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .or_else(|| self.bounds.last())
+                    .copied()
+                    .unwrap_or(0.0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// A point-in-time copy of a whole registry, name-sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of the gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshot of the histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Human-readable exposition: one line per metric, sorted by name
+    /// within each section. Histograms show count / mean / p50 / p99.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<44} {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<44} {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("latency histograms (count · mean · p50 · p99):\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<44} {:>8} · {} · {} · {}\n",
+                    h.count,
+                    humanize_seconds(h.mean_seconds()),
+                    humanize_seconds(h.quantile_seconds(0.5)),
+                    humanize_seconds(h.quantile_seconds(0.99)),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// JSON exposition:
+    /// `{"counters":{…},"gauges":{…},"histograms":{name:{count,sum_seconds,buckets:[{le,count},…],overflow}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        push_entries(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, &self.gauges, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, &self.histograms, |out, h| {
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum_seconds\":{},\"buckets\":[",
+                h.count, h.sum_seconds
+            ));
+            let mut first = true;
+            for (&le, &count) in h.bounds.iter().zip(&h.bucket_counts) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{{\"le\":{le},\"count\":{count}}}"));
+            }
+            let overflow = h.bucket_counts.last().copied().unwrap_or(0);
+            out.push_str(&format!("],\"overflow\":{overflow}}}"));
+        });
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_entries<T>(out: &mut String, entries: &[(String, T)], render: impl Fn(&mut String, &T)) {
+    let mut first = true;
+    for (name, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":", escape_json(name)));
+        render(out, value);
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `1.5ms`-style rendering for the text pane.
+fn humanize_seconds(s: f64) -> String {
+    if s <= 0.0 {
+        "0".to_owned()
+    } else if s < 1e-6 {
+        format!("{:.0}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_histogram() -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: vec![0.001, 0.01, 0.1],
+            bucket_counts: vec![2, 1, 0, 1],
+            count: 4,
+            sum_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let h = sample_histogram();
+        assert_eq!(h.quantile_seconds(0.0), 0.001);
+        assert_eq!(h.quantile_seconds(0.5), 0.001);
+        assert_eq!(h.quantile_seconds(0.75), 0.01);
+        // The p99 observation sits in the overflow bucket → last bound.
+        assert_eq!(h.quantile_seconds(0.99), 0.1);
+        assert_eq!(h.mean_seconds(), 0.125);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0],
+            bucket_counts: vec![0, 0],
+            count: 0,
+            sum_seconds: 0.0,
+        };
+        assert_eq!(h.quantile_seconds(0.5), 0.0);
+        assert_eq!(h.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let snap = MetricsSnapshot {
+            counters: vec![("weird\"name".to_owned(), 1)],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert!(snap.to_json().contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are cumulative-style upper bounds in **seconds** plus an
+//! implicit overflow bucket; observation is two relaxed atomic adds and a
+//! linear scan over ≤ a couple dozen bounds — cheap enough for per-call
+//! recording on similarity hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Default latency bounds: 1µs … 10s, roughly half-decade spaced. The
+/// paper's Table 1 measures span µs (string measures on short names) to
+/// hundreds of ms (WordNet-scale IC measures), so the range covers every
+/// registered runner with headroom.
+pub const DEFAULT_LATENCY_BOUNDS: [f64; 15] = [
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 10.0,
+];
+
+/// A fixed-bucket histogram of durations (seconds).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds; observations above the last bound land in
+    /// the overflow bucket.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket
+    /// (`counts.len() == bounds.len() + 1`).
+    counts: Vec<AtomicU64>,
+    /// Total observations.
+    count: AtomicU64,
+    /// Sum of observed durations, in nanoseconds (saturating).
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram over the given ascending upper bounds. Bounds
+    /// that are not finite or not ascending are dropped rather than
+    /// rejected — a histogram always exists once registered.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        let mut clean: Vec<f64> = Vec::with_capacity(bounds.len());
+        for &b in bounds {
+            if b.is_finite() && clean.last().is_none_or(|&prev| b > prev) {
+                clean.push(b);
+            }
+        }
+        let counts = (0..clean.len().saturating_add(1))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Histogram {
+            bounds: clean,
+            counts,
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency histogram (see [`DEFAULT_LATENCY_BOUNDS`]).
+    pub fn latency() -> Histogram {
+        Histogram::with_bounds(&DEFAULT_LATENCY_BOUNDS)
+    }
+
+    /// Records one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_seconds(d.as_secs_f64());
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a raw seconds value into the buckets only (used by
+    /// [`Histogram::observe`]; NaN lands in the overflow bucket).
+    fn observe_seconds(&self, seconds: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(slot) = self.counts.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The ascending upper bounds (without the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow last (`bounds().len() + 1` entries).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed durations in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bounds_are_ascending() {
+        let h = Histogram::latency();
+        assert_eq!(h.bounds().len(), DEFAULT_LATENCY_BOUNDS.len());
+        for w in h.bounds().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn non_ascending_bounds_are_dropped() {
+        let h = Histogram::with_bounds(&[1.0, 0.5, 2.0, f64::NAN, 3.0]);
+        assert_eq!(h.bounds(), &[1.0, 2.0, 3.0]);
+        assert_eq!(h.bucket_counts().len(), 4);
+    }
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = Histogram::with_bounds(&[1e-3, 1e-2, 1e-1]);
+        h.observe(Duration::from_micros(500)); // ≤ 1ms
+        h.observe(Duration::from_millis(1)); // boundary: ≤ 1ms
+        h.observe(Duration::from_millis(5)); // ≤ 10ms
+        h.observe(Duration::from_secs(2)); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 0, 1]);
+        assert_eq!(h.count(), 4);
+        let sum = h.sum_seconds();
+        assert!((sum - 2.0065).abs() < 1e-9, "sum {sum}");
+    }
+}

@@ -1,0 +1,247 @@
+//! The metric registry and its handle types.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+use crate::expose::MetricsSnapshot;
+use crate::histogram::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (set/adjust to any value).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    pub fn adjust(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Name-keyed metric stores. `BTreeMap` keeps exposition sorted without a
+/// second pass.
+#[derive(Debug, Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A global-free metrics registry. Cloning is cheap (an [`Arc`] bump) and
+/// every clone refers to the same underlying metrics, so one handle can be
+/// threaded through parsers, indexes, and facades without shared statics.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Inner>,
+}
+
+/// Get-or-register in one of the three stores: a read-locked fast path,
+/// then a write-locked insert for first registration.
+fn resolve<T>(
+    store: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(found) = store
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(name)
+    {
+        return Arc::clone(found);
+    }
+    let mut map = store.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(
+        map.entry(name.to_owned())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, registering it on first use. The returned
+    /// handle can be cached by hot-path callers to skip the name lookup.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        resolve(&self.inner.counters, name, Counter::default)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        resolve(&self.inner.gauges, name, Gauge::default)
+    }
+
+    /// The latency histogram named `name` with the default bounds,
+    /// registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        resolve(&self.inner.histograms, name, Histogram::latency)
+    }
+
+    /// The histogram named `name`, registered with the given bounds on
+    /// first use (an already-registered histogram keeps its bounds).
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        resolve(&self.inner.histograms, name, || {
+            Histogram::with_bounds(bounds)
+        })
+    }
+
+    /// Convenience: increment the counter named `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Convenience: add `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Starts an RAII timing span recording into the histogram named
+    /// `name` when dropped.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self.histogram(name))
+    }
+
+    /// A point-in-time copy of every metric, for exposition.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), crate::expose::HistogramSnapshot::of(v)))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Sorted text exposition (shortcut for `snapshot().render_text()`).
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    /// JSON exposition (shortcut for `snapshot().to_json()`).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// An RAII timing span: measures from construction to drop and records the
+/// elapsed time into its histogram.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span recording into `histogram` on drop.
+    pub fn new(histogram: Arc<Histogram>) -> Span {
+        Span {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.observe(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let m = Metrics::new();
+        m.inc("a.calls");
+        m.add("a.calls", 4);
+        let handle = m.counter("a.calls");
+        handle.inc();
+        assert_eq!(m.snapshot().counter("a.calls"), Some(6));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let m = Metrics::new();
+        let clone = m.clone();
+        clone.inc("shared");
+        assert_eq!(m.snapshot().counter("shared"), Some(1));
+    }
+
+    #[test]
+    fn gauges_set_and_adjust() {
+        let m = Metrics::new();
+        let g = m.gauge("depth");
+        g.set(10);
+        g.adjust(-3);
+        assert_eq!(m.snapshot().gauge("depth"), Some(7));
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let m = Metrics::new();
+        {
+            let _span = m.span("op.latency");
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("op.latency").expect("registered");
+        assert_eq!(h.count, 1);
+    }
+}

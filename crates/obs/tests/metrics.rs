@@ -1,0 +1,117 @@
+//! Integration tests for the sst-obs registry: bucket boundary semantics,
+//! concurrent counter traffic, and the JSON exposition golden shape.
+
+use std::time::Duration;
+
+use sst_obs::{Histogram, Metrics, DEFAULT_LATENCY_BOUNDS};
+
+#[test]
+fn bucket_boundaries_are_inclusive_upper_bounds() {
+    let m = Metrics::new();
+    let h = m.histogram_with_bounds("b.latency", &[1e-3, 1e-2]);
+    // Exactly on a bound → that bucket; just above → the next.
+    h.observe(Duration::from_millis(1));
+    h.observe(Duration::from_nanos(1_000_001));
+    h.observe(Duration::from_millis(10));
+    h.observe(Duration::from_millis(11)); // overflow
+    assert_eq!(h.bucket_counts(), vec![1, 2, 1]);
+    assert_eq!(h.count(), 4);
+}
+
+#[test]
+fn default_bounds_span_micro_to_ten_seconds() {
+    assert_eq!(DEFAULT_LATENCY_BOUNDS.first(), Some(&1e-6));
+    assert_eq!(DEFAULT_LATENCY_BOUNDS.last(), Some(&10.0));
+    let h = Histogram::latency();
+    h.observe(Duration::from_nanos(1)); // below the first bound
+    assert_eq!(h.bucket_counts().first(), Some(&1));
+}
+
+#[test]
+fn registered_histograms_keep_their_bounds() {
+    let m = Metrics::new();
+    m.histogram_with_bounds("h", &[1.0, 2.0]);
+    // Re-registration with different bounds returns the existing one.
+    let again = m.histogram_with_bounds("h", &[9.0]);
+    assert_eq!(again.bounds(), &[1.0, 2.0]);
+}
+
+#[test]
+fn concurrent_counter_increments_from_scoped_workers() {
+    let m = Metrics::new();
+    const WORKERS: u64 = 8;
+    const PER_WORKER: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let m = m.clone();
+            scope.spawn(move || {
+                let calls = m.counter("stress.calls");
+                for _ in 0..PER_WORKER {
+                    calls.inc();
+                    m.add("stress.bytes", 3);
+                }
+            });
+        }
+    });
+    let snap = m.snapshot();
+    assert_eq!(snap.counter("stress.calls"), Some(WORKERS * PER_WORKER));
+    assert_eq!(snap.counter("stress.bytes"), Some(WORKERS * PER_WORKER * 3));
+}
+
+#[test]
+fn concurrent_histogram_observations_are_all_counted() {
+    let m = Metrics::new();
+    std::thread::scope(|scope| {
+        for worker in 0..4u64 {
+            let m = m.clone();
+            scope.spawn(move || {
+                let h = m.histogram_with_bounds("h.latency", &[1e-3, 1.0]);
+                for i in 0..1_000u64 {
+                    h.observe(Duration::from_micros(worker * 250 + i));
+                }
+            });
+        }
+    });
+    let snap = m.snapshot();
+    let h = snap.histogram("h.latency").expect("registered");
+    assert_eq!(h.count, 4_000);
+    assert_eq!(h.bucket_counts.iter().sum::<u64>(), 4_000);
+}
+
+#[test]
+fn json_exposition_golden() {
+    let m = Metrics::new();
+    m.add("parse.documents", 2);
+    m.inc("parse.errors");
+    m.gauge("active").set(-3);
+    let h = m.histogram_with_bounds("parse.latency", &[0.001, 0.01]);
+    h.observe(Duration::from_micros(500));
+    h.observe(Duration::from_micros(500));
+    h.observe(Duration::from_millis(20));
+
+    let golden = concat!(
+        "{\"counters\":{\"parse.documents\":2,\"parse.errors\":1},",
+        "\"gauges\":{\"active\":-3},",
+        "\"histograms\":{\"parse.latency\":{\"count\":3,\"sum_seconds\":0.021,",
+        "\"buckets\":[{\"le\":0.001,\"count\":2},{\"le\":0.01,\"count\":0}],",
+        "\"overflow\":1}}}",
+    );
+    assert_eq!(m.to_json(), golden);
+}
+
+#[test]
+fn text_exposition_lists_every_section() {
+    let m = Metrics::new();
+    m.inc("a.calls");
+    m.gauge("b.depth").set(2);
+    m.histogram("c.latency").observe(Duration::from_millis(2));
+    let text = m.render_text();
+    assert!(text.contains("counters:"));
+    assert!(text.contains("a.calls"));
+    assert!(text.contains("gauges:"));
+    assert!(text.contains("latency histograms"));
+    assert!(text.contains("c.latency"));
+
+    let empty = Metrics::new();
+    assert!(empty.render_text().contains("no metrics recorded"));
+}

@@ -39,7 +39,7 @@ pub use graph::Graph;
 pub use inference::{rdfs_closure, InferenceOptions};
 pub use model::{BlankNode, Iri, Literal, Term, Triple};
 pub use ntriples::{parse_ntriples, write_ntriples};
-pub use rdfxml::{parse_rdfxml, resolve_iri};
+pub use rdfxml::{parse_rdfxml, parse_rdfxml_with_metrics, resolve_iri};
 pub use rdfxml_writer::write_rdfxml;
 pub use sparql::{parse_select, select, Binding, SelectQuery};
-pub use turtle::{parse_turtle, write_turtle};
+pub use turtle::{parse_turtle, parse_turtle_with_metrics, write_turtle};

@@ -20,6 +20,18 @@ const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
 /// `base` is the document base IRI used to resolve relative references;
 /// an in-document `xml:base` overrides it.
 pub fn parse_rdfxml(input: &str, base: &str) -> Result<Graph> {
+    parse_rdfxml_with_metrics(input, base, None)
+}
+
+/// Like [`parse_rdfxml`], but records throughput into `metrics` when given:
+/// `rdf.rdfxml.documents` / `rdf.rdfxml.triples` / `rdf.rdfxml.bytes`
+/// counters and the `rdf.rdfxml.parse.latency` histogram.
+pub fn parse_rdfxml_with_metrics(
+    input: &str,
+    base: &str,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<Graph> {
+    let _span = metrics.map(|m| m.span("rdf.rdfxml.parse.latency"));
     let mut parser = RdfXmlParser {
         reader: NsReader::new(input),
         graph: Graph::new(),
@@ -32,6 +44,11 @@ pub fn parse_rdfxml(input: &str, base: &str) -> Result<Graph> {
         parser.graph.add_prefix(prefix, ns);
     }
     parser.graph.set_base(base);
+    if let Some(m) = metrics {
+        m.inc("rdf.rdfxml.documents");
+        m.add("rdf.rdfxml.triples", parser.graph.len() as u64);
+        m.add("rdf.rdfxml.bytes", input.len() as u64);
+    }
     Ok(parser.graph)
 }
 

@@ -18,6 +18,18 @@ use crate::vocab::{rdf, XSD_NS};
 /// Parses a Turtle document. `base` seeds relative-IRI resolution and can be
 /// overridden by an in-document `@base`.
 pub fn parse_turtle(input: &str, base: &str) -> Result<Graph> {
+    parse_turtle_with_metrics(input, base, None)
+}
+
+/// Like [`parse_turtle`], but records throughput into `metrics` when given:
+/// `rdf.turtle.documents` / `rdf.turtle.triples` / `rdf.turtle.bytes`
+/// counters and the `rdf.turtle.parse.latency` histogram.
+pub fn parse_turtle_with_metrics(
+    input: &str,
+    base: &str,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<Graph> {
+    let _span = metrics.map(|m| m.span("rdf.turtle.parse.latency"));
     let mut p = TurtleParser {
         chars: input.chars().collect(),
         pos: 0,
@@ -29,6 +41,11 @@ pub fn parse_turtle(input: &str, base: &str) -> Result<Graph> {
         blank_counter: 0,
     };
     p.parse_document()?;
+    if let Some(m) = metrics {
+        m.inc("rdf.turtle.documents");
+        m.add("rdf.turtle.triples", p.graph.len() as u64);
+        m.add("rdf.turtle.bytes", input.len() as u64);
+    }
     Ok(p.graph)
 }
 

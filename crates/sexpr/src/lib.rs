@@ -27,6 +27,6 @@ pub mod printer;
 pub mod value;
 
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse, parse_all, ParseError};
+pub use parser::{parse, parse_all, parse_all_with_metrics, ParseError};
 pub use printer::to_string_pretty;
 pub use value::Value;

@@ -51,11 +51,27 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 
 /// Parses a whole file of top-level forms (the shape of a `.ploom` module).
 pub fn parse_all(input: &str) -> Result<Vec<Value>, ParseError> {
+    parse_all_with_metrics(input, None)
+}
+
+/// Like [`parse_all`], but records throughput into `metrics` when given:
+/// `sexpr.documents` / `sexpr.forms` / `sexpr.bytes` counters and the
+/// `sexpr.parse.latency` histogram.
+pub fn parse_all_with_metrics(
+    input: &str,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<Vec<Value>, ParseError> {
+    let _span = metrics.map(|m| m.span("sexpr.parse.latency"));
     let tokens = Lexer::new(input).tokenize()?;
     let mut parser = Parser { tokens, pos: 0 };
     let mut forms = Vec::new();
     while !parser.at_end() {
         forms.push(parser.parse_value()?);
+    }
+    if let Some(m) = metrics {
+        m.inc("sexpr.documents");
+        m.add("sexpr.forms", forms.len() as u64);
+        m.add("sexpr.bytes", input.len() as u64);
     }
     Ok(forms)
 }

@@ -61,6 +61,7 @@ impl Combiner {
     /// # Panics
     /// Panics if `scores.len() != self.arity()`.
     pub fn combine(&self, scores: &[f64]) -> f64 {
+        // lint: allow(panic) documented in the `# Panics` section: arity is a construction-time invariant
         assert_eq!(
             scores.len(),
             self.weights.len(),

@@ -46,6 +46,7 @@ impl Clone for Taxonomy {
 impl Taxonomy {
     /// Creates a taxonomy with `node_count` nodes rooted at `root`.
     pub fn new(node_count: usize, root: NodeId) -> Self {
+        // lint: allow(panic) construction-time invariant; taxonomies are built by UnifiedTree with a valid root
         assert!((root as usize) < node_count, "root out of range");
         Taxonomy {
             parents: vec![Vec::new(); node_count],

@@ -31,6 +31,7 @@ impl InformationContent {
     /// the root's total. Zero-count nodes still contribute an epsilon
     /// observation so their IC is finite.
     pub fn from_counts(taxonomy: &Taxonomy, counts: &[f64]) -> Self {
+        // lint: allow(panic) construction-time invariant; counts come from the same taxonomy's node table
         assert_eq!(counts.len(), taxonomy.node_count(), "one count per node");
         let n = taxonomy.node_count();
         let mut cumulative = vec![0.0; n];

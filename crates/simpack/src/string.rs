@@ -90,10 +90,20 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
 }
 
+/// Winkler's boost threshold: the prefix bonus only applies to pairs whose
+/// Jaro similarity already exceeds this value (Winkler 1990).
+const JARO_WINKLER_BOOST_THRESHOLD: f64 = 0.7;
+
 /// Jaro-Winkler: Jaro boosted by the length of the common prefix (≤ 4),
-/// with the standard scaling factor p = 0.1.
+/// with the standard scaling factor p = 0.1. Following Winkler's original
+/// definition, the boost is applied only when the base Jaro similarity
+/// exceeds the 0.7 boost threshold — dissimilar strings that merely share
+/// a prefix keep their plain Jaro score.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
+    if j <= JARO_WINKLER_BOOST_THRESHOLD {
+        return j;
+    }
     let prefix = a
         .chars()
         .zip(b.chars())
@@ -104,9 +114,11 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 }
 
 /// Q-gram (here trigram, padded) similarity: Dice coefficient over the sets
-/// of character q-grams.
+/// of character q-grams. A degenerate `q == 0` is treated as `q == 1`
+/// (unigram Dice) instead of panicking — gram extraction needs at least one
+/// character per gram, and unigrams are the smallest well-defined case.
 pub fn qgram(a: &str, b: &str, q: usize) -> f64 {
-    assert!(q >= 1, "q must be positive");
+    let q = q.max(1);
     let grams = |s: &str| -> BTreeSet<Vec<char>> {
         let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
             .chain(s.chars())
@@ -195,12 +207,28 @@ mod tests {
     }
 
     #[test]
+    fn jaro_winkler_boost_needs_threshold() {
+        // "AB" vs "AXYZ" shares the prefix "A" but jaro ≈ 0.583 ≤ 0.7:
+        // below Winkler's boost threshold the plain Jaro score is returned.
+        let j = jaro("AB", "AXYZ");
+        assert!(j < 0.7, "got {j}");
+        assert_eq!(jaro_winkler("AB", "AXYZ"), j);
+    }
+
+    #[test]
     fn qgram_behaviour() {
         assert_eq!(qgram("", "", 3), 1.0);
         assert_eq!(qgram("abc", "", 3), 0.0);
         assert_eq!(qgram("night", "night", 3), 1.0);
         let s = qgram("night", "nacht", 3);
         assert!(s > 0.0 && s < 0.5, "got {s}");
+    }
+
+    #[test]
+    fn qgram_zero_is_treated_as_unigram() {
+        assert_eq!(qgram("abc", "abc", 0), qgram("abc", "abc", 1));
+        assert_eq!(qgram("abc", "cba", 0), 1.0); // same unigram set
+        assert_eq!(qgram("abc", "xyz", 0), 0.0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ impl LabeledTree {
         match parent {
             Some(p) => self.children[p].push(id),
             None => {
+                // lint: allow(panic) builder misuse (second root) is a programming error, not input-dependent
                 assert!(self.root.is_none(), "tree already has a root");
                 self.root = Some(id);
             }

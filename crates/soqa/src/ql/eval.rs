@@ -81,8 +81,42 @@ type Row = HashMap<&'static str, Cell>;
 
 /// Parses and executes `query` against the facade.
 pub fn execute(soqa: &Soqa, query: &str) -> Result<ResultTable> {
-    let q = parse_query(query)?;
-    execute_parsed(soqa, &q)
+    execute_with_metrics(soqa, query, None)
+}
+
+/// Like [`execute`], but records per-query observability when a registry is
+/// supplied: the `soqa.ql.queries` counter and `soqa.ql.parse.latency` /
+/// `soqa.ql.eval.latency` histograms (failed parses and evaluations also
+/// bump `soqa.ql.errors`).
+pub fn execute_with_metrics(
+    soqa: &Soqa,
+    query: &str,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<ResultTable> {
+    if let Some(m) = metrics {
+        m.inc("soqa.ql.queries");
+    }
+    let parsed = {
+        let _span = metrics.map(|m| m.span("soqa.ql.parse.latency"));
+        parse_query(query)
+    };
+    let q = match parsed {
+        Ok(q) => q,
+        Err(e) => {
+            if let Some(m) = metrics {
+                m.inc("soqa.ql.errors");
+            }
+            return Err(e);
+        }
+    };
+    let _span = metrics.map(|m| m.span("soqa.ql.eval.latency"));
+    let result = execute_parsed(soqa, &q);
+    if result.is_err() {
+        if let Some(m) = metrics {
+            m.inc("soqa.ql.errors");
+        }
+    }
+    result
 }
 
 /// Executes an already-parsed query.

@@ -5,7 +5,10 @@
 //! - **panic**: non-test library code must not call `.unwrap()` /
 //!   `.unwrap_err()` / `.expect()` / `.expect_err()` or invoke `panic!` /
 //!   `unimplemented!` / `todo!` / `unreachable!`. Parsers and services
-//!   return their crate error type instead of aborting the process.
+//!   return their crate error type instead of aborting the process. The
+//!   `assert!` / `assert_eq!` / `assert_ne!` macros are flagged too:
+//!   precondition checks in library code should degrade or return errors
+//!   (`debug_assert!` stays allowed — it compiles out of release builds).
 //! - **index**: subscripts containing `+`/`-` arithmetic (`v[i + 1]`,
 //!   `s[pos..pos - k]`) are the classic off-by-one panic sites; use
 //!   `.get()` / `.get_mut()` or restructure. Plain `v[i]` is allowed —
@@ -80,6 +83,9 @@ impl fmt::Display for Finding {
 const PANIC_METHODS: &[&str] = &["unwrap", "unwrap_err", "expect", "expect_err"];
 /// Macros that abort.
 const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable"];
+/// Assertion macros: release-mode aborts hiding as precondition checks.
+/// (`debug_assert*` is allowed — it compiles out of release builds.)
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
 /// Lints one library source file (panic + index rules).
 pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
@@ -182,12 +188,18 @@ fn scan_panics(code: &str, emit: &mut dyn FnMut(String)) {
         }
         if before != Some('.')
             && before.is_none_or(|c| !is_ident_char(c))
-            && PANIC_MACROS.contains(&word)
             && after_ws.starts_with('!')
         {
-            emit(format!(
-                "`{word}!` aborts on malformed input; return an error instead"
-            ));
+            if PANIC_MACROS.contains(&word) {
+                emit(format!(
+                    "`{word}!` aborts on malformed input; return an error instead"
+                ));
+            }
+            if ASSERT_MACROS.contains(&word) {
+                emit(format!(
+                    "`{word}!` aborts in release builds; return an error or use `debug_assert!`"
+                ));
+            }
         }
     }
 }
@@ -420,6 +432,31 @@ mod tests {
     #[test]
     fn ignores_similar_identifiers() {
         let f = lint_str("fn f() { x.unwrap_or(0); x.unwrap_or_else(g); my_panic!(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_assert_macros() {
+        let f = lint_str("fn f() { assert!(x > 0); assert_eq!(a, b); assert_ne!(a, b); }");
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn debug_assert_is_allowed() {
+        let f = lint_str("fn f() { debug_assert!(x > 0); debug_assert_eq!(a, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn assert_in_test_cfg_is_exempt() {
+        let f = lint_str("#[cfg(test)]\nmod tests {\n fn t() { assert_eq!(1, 1); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_hatch_covers_asserts() {
+        let f = lint_str("assert!(q >= 1); // lint: allow(panic) documented contract\n");
         assert!(f.is_empty(), "{f:?}");
     }
 

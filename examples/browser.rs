@@ -20,6 +20,7 @@ commands:
   tree <ontology>                    show the concept hierarchy pane
   meta <ontology>                    show the metadata pane
   stats <ontology>                   show the structural statistics pane
+  stats                              show toolkit metrics (calls, latency, cache)
   concept <ontology> <name>          show the concept detail pane
   measures                           list similarity measures
   sim <o1> <c1> <o2> <c2> <measure>  similarity of two concepts
@@ -60,6 +61,9 @@ fn run_command(sst: &SstToolkit, line: &str) -> String {
             .ontology(ontology)
             .map(|o| sst_soqa::ontology_stats(o).render())
             .map_err(|e| e.to_string()),
+        // Bare `stats`: the observability pane — everything the toolkit's
+        // metrics registry has recorded this session.
+        ("stats", []) => Ok(sst.metrics().render_text()),
         ("concept", [ontology, name]) => sst
             .render_concept(name, ontology)
             .map_err(|e| e.to_string()),
@@ -140,6 +144,9 @@ fn demo(sst: &SstToolkit) {
             "query SELECT name, depth FROM concepts OF '{}' WHERE name LIKE 'P%' ORDER BY depth",
             names::UNIV_BENCH
         ),
+        // Close the tour with the observability pane: every service above
+        // has left call counts and latency histograms in the registry.
+        "stats".to_owned(),
     ];
     for cmd in script {
         println!("sst-browser> {cmd}");
