@@ -1,7 +1,10 @@
 #!/bin/sh
 # Repo CI gate: fmt-check, static-analysis lint, clippy -D warnings,
 # release build, tests. Thin wrapper over `cargo xtask ci` so local runs
-# and automation share one definition of "green".
+# and automation share one definition of "green", plus the batch-engine
+# smoke gate (prepared-context matrices must stay bit-identical to the
+# naive path on every measure).
 set -eu
 cd "$(dirname "$0")"
-exec cargo xtask ci
+cargo xtask ci
+cargo run --release -p sst-bench --bin matrix_bench -- --smoke

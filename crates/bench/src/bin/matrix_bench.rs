@@ -1,0 +1,240 @@
+//! Prepared-context batch engine benchmark: times the full-registry
+//! similarity-matrix workload (`similarity_matrix` and
+//! `similarity_matrix_parallel`) in `Naive` vs `Prepared` batch mode on a
+//! seeded synthetic two-ontology corpus, verifying bit-identity of every
+//! cell on every measure, and writes `results/BENCH_matrix.json`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p sst-bench --bin matrix_bench            # full run
+//! cargo run --release -p sst-bench --bin matrix_bench -- --smoke # CI gate
+//! ```
+//!
+//! `--smoke` skips the timing loops (and the JSON export) and only checks
+//! correctness — prepared serial and parallel matrices must reproduce the
+//! naive path bit-for-bit on a smaller fixture.
+
+use std::time::Instant;
+
+use sst_bench::{data_dir, generate_taxonomy, TaxonomySpec};
+use sst_core::{BatchMode, ConceptSet, SstBuilder, SstToolkit};
+
+/// Worker threads for the parallel-matrix comparison.
+const THREADS: usize = 4;
+/// Timing repetitions per (measure, mode); the median is reported.
+const REPEATS: usize = 3;
+
+fn build_toolkit(primary: usize, secondary: usize) -> SstToolkit {
+    // Two ontologies so the matrix crosses ontology boundaries (lowest
+    // common ancestors through Super Thing, distinct documentation
+    // vocabularies). Instances feed the IC corpus.
+    let a = generate_taxonomy(TaxonomySpec {
+        concepts: primary,
+        branching: 4,
+        instances: primary / 2,
+        seed: 41,
+    });
+    let b = generate_taxonomy(TaxonomySpec {
+        concepts: secondary,
+        branching: 6,
+        instances: secondary / 4,
+        seed: 97,
+    });
+    SstBuilder::new()
+        .register_ontology(a)
+        .expect("register primary")
+        .register_ontology(b)
+        .expect("register secondary")
+        .build()
+}
+
+fn assert_identical(name: &str, what: &str, a: &[Vec<f64>], b: &[Vec<f64>]) {
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        for (j, (va, vb)) in ra.iter().zip(rb).enumerate() {
+            assert!(
+                va.to_bits() == vb.to_bits(),
+                "{name}: {what} diverges at [{i}][{j}]: {va} vs {vb}"
+            );
+        }
+    }
+}
+
+/// Median wall-clock seconds of `REPEATS` runs of `f`.
+fn time_median(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: String,
+    naive_s: f64,
+    prepared_s: f64,
+    naive_par_s: f64,
+    prepared_par_s: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive_s / self.prepared_s
+    }
+
+    fn speedup_par(&self) -> f64 {
+        self.naive_par_s / self.prepared_par_s
+    }
+}
+
+/// One measure: verify bit-identity across all four paths, then time them.
+fn bench_measure(sst: &SstToolkit, measure: usize, timed: bool) -> Row {
+    let set = ConceptSet::All;
+    let info = sst.measure_info(measure).expect("measure info");
+
+    let (_, naive) = sst
+        .similarity_matrix_mode(&set, measure, BatchMode::Naive)
+        .expect("naive matrix");
+    let (_, prepared) = sst
+        .similarity_matrix_mode(&set, measure, BatchMode::Prepared)
+        .expect("prepared matrix");
+    assert_identical(&info.name, "prepared vs naive", &naive, &prepared);
+    let (_, prepared_par) = sst
+        .similarity_matrix_parallel_mode(&set, measure, THREADS, BatchMode::Prepared)
+        .expect("prepared parallel matrix");
+    assert_identical(&info.name, "prepared parallel", &naive, &prepared_par);
+    let (_, naive_par) = sst
+        .similarity_matrix_parallel_mode(&set, measure, THREADS, BatchMode::Naive)
+        .expect("naive parallel matrix");
+    assert_identical(&info.name, "naive parallel", &naive, &naive_par);
+
+    let mut row = Row {
+        name: info.name.clone(),
+        naive_s: 0.0,
+        prepared_s: 0.0,
+        naive_par_s: 0.0,
+        prepared_par_s: 0.0,
+    };
+    if !timed {
+        return row;
+    }
+    row.naive_s = time_median(|| {
+        std::hint::black_box(sst.similarity_matrix_mode(&set, measure, BatchMode::Naive))
+            .expect("naive matrix");
+    });
+    row.prepared_s = time_median(|| {
+        std::hint::black_box(sst.similarity_matrix_mode(&set, measure, BatchMode::Prepared))
+            .expect("prepared matrix");
+    });
+    row.naive_par_s = time_median(|| {
+        std::hint::black_box(sst.similarity_matrix_parallel_mode(
+            &set,
+            measure,
+            THREADS,
+            BatchMode::Naive,
+        ))
+        .expect("naive parallel matrix");
+    });
+    row.prepared_par_s = time_median(|| {
+        std::hint::black_box(sst.similarity_matrix_parallel_mode(
+            &set,
+            measure,
+            THREADS,
+            BatchMode::Prepared,
+        ))
+        .expect("prepared parallel matrix");
+    });
+    row
+}
+
+fn render_json(concepts: usize, rows: &[Row]) -> String {
+    let total_naive: f64 = rows.iter().map(|r| r.naive_s).sum();
+    let total_prepared: f64 = rows.iter().map(|r| r.prepared_s).sum();
+    let total_naive_par: f64 = rows.iter().map(|r| r.naive_par_s).sum();
+    let total_prepared_par: f64 = rows.iter().map(|r| r.prepared_par_s).sum();
+    let measures: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"measure\":\"{}\",\"naive_seconds\":{},\"prepared_seconds\":{},\
+                 \"speedup\":{:.2},\"naive_parallel_seconds\":{},\
+                 \"prepared_parallel_seconds\":{},\"parallel_speedup\":{:.2},\
+                 \"bit_identical\":true}}",
+                r.name,
+                r.naive_s,
+                r.prepared_s,
+                r.speedup(),
+                r.naive_par_s,
+                r.prepared_par_s,
+                r.speedup_par()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workload\":{{\"concepts\":{concepts},\"set\":\"All\",\"threads\":{THREADS},\
+         \"repeats\":{REPEATS},\"measure_count\":{}}},\
+         \"totals\":{{\"naive_seconds\":{total_naive},\"prepared_seconds\":{total_prepared},\
+         \"speedup\":{:.2},\"naive_parallel_seconds\":{total_naive_par},\
+         \"prepared_parallel_seconds\":{total_prepared_par},\"parallel_speedup\":{:.2}}},\
+         \"measures\":[{}]}}",
+        rows.len(),
+        total_naive / total_prepared,
+        total_naive_par / total_prepared_par,
+        measures.join(",")
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (primary, secondary) = if smoke { (48, 24) } else { (140, 70) };
+    let sst = build_toolkit(primary, secondary);
+    let concepts = sst.tree().all_concepts().len();
+    println!(
+        "matrix_bench: {} measures on {} concepts ({})",
+        sst.measure_count(),
+        concepts,
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut rows = Vec::new();
+    for measure in 0..sst.measure_count() {
+        let row = bench_measure(&sst, measure, !smoke);
+        if smoke {
+            println!("  {:<18} bit-identical ok", row.name);
+        } else {
+            println!(
+                "  {:<18} naive {:>8.4}s  prepared {:>8.4}s  speedup {:>5.2}x  (parallel {:>5.2}x)",
+                row.name,
+                row.naive_s,
+                row.prepared_s,
+                row.speedup(),
+                row.speedup_par()
+            );
+        }
+        rows.push(row);
+    }
+
+    if smoke {
+        println!("matrix_bench --smoke: all measures bit-identical across batch modes");
+        return;
+    }
+
+    let total_naive: f64 = rows.iter().map(|r| r.naive_s).sum();
+    let total_prepared: f64 = rows.iter().map(|r| r.prepared_s).sum();
+    println!(
+        "total: naive {total_naive:.3}s prepared {total_prepared:.3}s speedup {:.2}x",
+        total_naive / total_prepared
+    );
+
+    let results = data_dir().join("../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(
+        results.join("BENCH_matrix.json"),
+        render_json(concepts, &rows),
+    )
+    .expect("write BENCH_matrix");
+    println!("(written to results/BENCH_matrix.json)");
+}

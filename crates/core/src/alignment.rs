@@ -8,9 +8,10 @@
 //! [`Amalgamation`] strategy.
 
 use sst_simpack::{Amalgamation, Combiner};
+use sst_soqa::GlobalConcept;
 
 use crate::error::{Result, SstError};
-use crate::facade::SstToolkit;
+use crate::facade::{PairScorer, SstToolkit};
 
 /// One proposed correspondence.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,11 +83,36 @@ pub fn align(
             .collect()
     };
 
+    if source_names.is_empty() || target_names.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Resolve every concept once (names resolve exactly as the pairwise
+    // service would) and prepare one batch context over source ∪ target,
+    // instead of re-resolving and rederiving runner inputs per pair.
+    let mut batch: Vec<GlobalConcept> = Vec::with_capacity(source_names.len() + target_names.len());
+    for s_name in &source_names {
+        batch.push(sst.soqa().resolve(source, s_name)?);
+    }
+    for t_name in &target_names {
+        batch.push(sst.soqa().resolve(target, t_name)?);
+    }
+    let prep = sst.prepare(&batch);
+    let scorers: Vec<PairScorer<'_>> = config
+        .measures
+        .iter()
+        .map(|&m| Ok(PairScorer::new(sst.runner(m)?, &prep)))
+        .collect::<Result<_>>()?;
+
     // Score every pair under the combined measure.
     let mut scored: Vec<(usize, usize, f64)> = Vec::new();
-    for (si, s_name) in source_names.iter().enumerate() {
-        for (ti, t_name) in target_names.iter().enumerate() {
-            let scores = sst.get_similarities(s_name, source, t_name, target, &config.measures)?;
+    let mut scores = vec![0.0; config.measures.len()];
+    for si in 0..source_names.len() {
+        for ti in 0..target_names.len() {
+            let tpos = source_names.len() + ti;
+            for ((&m, scorer), slot) in config.measures.iter().zip(&scorers).zip(&mut scores) {
+                *slot = sst.timed_score(m, || scorer.score(si, tpos));
+            }
             let combined = combiner.combine(&scores);
             if combined >= config.threshold {
                 scored.push((si, ti, combined));

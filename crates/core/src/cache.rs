@@ -18,7 +18,7 @@ use sst_obs::Counter;
 use sst_soqa::GlobalConcept;
 
 use crate::error::Result;
-use crate::facade::{rank_descending, ConceptAndSimilarity, ConceptSet, SstToolkit};
+use crate::facade::{rank_descending, ConceptAndSimilarity, ConceptSet, PairScorer, SstToolkit};
 
 type Key = (usize, GlobalConcept, GlobalConcept);
 type Memo = HashMap<Key, f64>;
@@ -132,6 +132,11 @@ impl<'a> CachedSimilarity<'a> {
 
     /// Cached version of [`SstToolkit::most_similar`]: reuses any pairs
     /// already scored and stores the rest.
+    ///
+    /// Misses are computed in one batch on the toolkit's prepared-context
+    /// path (one [`SstToolkit::prepare`] over the missed members plus the
+    /// query) instead of one naive pairwise call per member; hit/miss
+    /// accounting and memo keys are unchanged.
     pub fn most_similar(
         &self,
         concept: &str,
@@ -140,8 +145,20 @@ impl<'a> CachedSimilarity<'a> {
         k: usize,
         measure: usize,
     ) -> Result<Vec<ConceptAndSimilarity>> {
-        let mut all = Vec::new();
-        for gc in self.toolkit.concept_set(set)? {
+        let members = self.toolkit.concept_set(set)?;
+        if members.is_empty() {
+            return Ok(Vec::new());
+        }
+        let query = self.toolkit.soqa().resolve(ontology, concept)?;
+
+        // Scan the memo once; misses are deduplicated into batch slots so a
+        // repeated pair is computed once and the repeat counts as a hit,
+        // exactly as the sequential per-member path behaved.
+        let mut all: Vec<ConceptAndSimilarity> = Vec::with_capacity(members.len());
+        let mut slot_of_row: Vec<Option<usize>> = Vec::with_capacity(members.len());
+        let mut pending_keys: HashMap<Key, usize> = HashMap::new();
+        let mut pending: Vec<GlobalConcept> = Vec::new();
+        for gc in members {
             let other = self.toolkit.soqa().concept(gc).name.clone();
             let other_onto = self
                 .toolkit
@@ -149,13 +166,57 @@ impl<'a> CachedSimilarity<'a> {
                 .ontology_at(gc.ontology)
                 .name()
                 .to_owned();
-            let sim = self.get_similarity(concept, ontology, &other, &other_onto, measure)?;
+            // Resolve by name like the pairwise service does, so duplicate
+            // names keep hitting the same memo entry they always did.
+            let rgc = self.toolkit.soqa().resolve(&other_onto, &other)?;
+            let key = Self::canonical(measure, query, rgc);
+            let (similarity, slot) = if let Some(&cached) = self.memo_read().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits_metric.inc();
+                (cached, None)
+            } else if let Some(&slot) = pending_keys.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits_metric.inc();
+                (0.0, Some(slot))
+            } else {
+                let slot = pending.len();
+                pending_keys.insert(key, slot);
+                pending.push(rgc);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses_metric.inc();
+                (0.0, Some(slot))
+            };
             all.push(ConceptAndSimilarity {
                 concept: other,
                 ontology: other_onto,
-                similarity: sim,
+                similarity,
             });
+            slot_of_row.push(slot);
         }
+
+        if !pending.is_empty() {
+            let runner = self.toolkit.runner(measure)?;
+            let mut batch = pending.clone();
+            batch.push(query);
+            let prep = self.toolkit.prepare(&batch);
+            let scorer = PairScorer::new(runner, &prep);
+            let qpos = batch.len() - 1;
+            let values: Vec<f64> = (0..pending.len())
+                .map(|i| self.toolkit.timed_score(measure, || scorer.score(qpos, i)))
+                .collect();
+            {
+                let mut memo = self.memo_write();
+                for (&key, &slot) in &pending_keys {
+                    memo.insert(key, values[slot]);
+                }
+            }
+            for (row, slot) in all.iter_mut().zip(&slot_of_row) {
+                if let Some(slot) = *slot {
+                    row.similarity = values[slot];
+                }
+            }
+        }
+
         all.sort_by(rank_descending);
         all.truncate(k);
         Ok(all)

@@ -22,7 +22,9 @@ use sst_soqa::{GlobalConcept, Ontology, Soqa};
 
 use crate::chart::Chart;
 use crate::error::{Result, SstError};
-use crate::runner::{default_runners, MeasureRunner, RunnerInfo, SimilarityContext};
+use crate::runner::{
+    default_runners, MeasureRunner, PreparedContext, PreparedMeasure, RunnerInfo, SimilarityContext,
+};
 use crate::tree::{TreeMode, UnifiedTree};
 
 /// Paper-style integer constants for the default measures, e.g.
@@ -88,6 +90,51 @@ pub struct ConceptAndSimilarity {
     pub concept: String,
     pub ontology: String,
     pub similarity: f64,
+}
+
+/// Which execution path the batch services (matrix, set, k-best) take.
+///
+/// Both paths are bit-identical on all default measures; `Naive` is kept as
+/// the reference implementation for regression benchmarks and property
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Prepared-context batch engine: per-concept views and BFS tables are
+    /// computed once per operation (the default).
+    #[default]
+    Prepared,
+    /// Per-pair path: every runner call rederives its inputs.
+    Naive,
+}
+
+/// One pair-scoring strategy for a batch operation: either a
+/// measure-specialized [`PreparedMeasure`], or the naive per-pair runner
+/// call for runners without a batch hook.
+pub(crate) enum PairScorer<'p> {
+    Prepared(Box<dyn PreparedMeasure + 'p>),
+    Naive {
+        runner: &'p dyn MeasureRunner,
+        prep: &'p PreparedContext<'p>,
+    },
+}
+
+impl<'p> PairScorer<'p> {
+    pub(crate) fn new(runner: &'p dyn MeasureRunner, prep: &'p PreparedContext<'p>) -> Self {
+        match runner.prepare(prep) {
+            Some(m) => PairScorer::Prepared(m),
+            None => PairScorer::Naive { runner, prep },
+        }
+    }
+
+    /// Similarity of the prepared concepts at positions `a` and `b`.
+    pub(crate) fn score(&self, a: usize, b: usize) -> f64 {
+        match self {
+            PairScorer::Prepared(m) => m.similarity(a, b),
+            PairScorer::Naive { runner, prep } => {
+                runner.similarity(prep.base(), prep.concept(a), prep.concept(b))
+            }
+        }
+    }
 }
 
 /// Shared descending rank order for k-best results: IEEE 754 `total_cmp`
@@ -332,7 +379,7 @@ impl SstToolkit {
             .ok_or_else(|| SstError::UnknownMeasure(measure.to_string()))
     }
 
-    fn runner(&self, measure: usize) -> Result<&dyn MeasureRunner> {
+    pub(crate) fn runner(&self, measure: usize) -> Result<&dyn MeasureRunner> {
         self.runners
             .get(measure)
             .map(AsRef::as_ref)
@@ -356,6 +403,31 @@ impl SstToolkit {
             mm.pair_latency.observe(start.elapsed());
         }
         Ok(value)
+    }
+
+    /// Builds a [`PreparedContext`] over `concepts`: per-concept feature
+    /// sets, interned token sequences, subtree forms, document vectors, and
+    /// BFS tables, computed once so batch scans stop rederiving them per
+    /// pair. Public so external batch flows (benches, user services) can
+    /// drive [`MeasureRunner::prepare`] directly.
+    pub fn prepare(&self, concepts: &[GlobalConcept]) -> PreparedContext<'_> {
+        let _span = self.metrics.span("core.prepare.latency");
+        self.metrics
+            .add("core.prepare.concepts", concepts.len() as u64);
+        PreparedContext::new(self.ctx(), concepts)
+    }
+
+    /// Records one pair computation produced by `score` into the same
+    /// per-measure counters/histograms as [`SstToolkit::timed_similarity`],
+    /// so prepared-path rankings keep the naive path's metric semantics.
+    pub(crate) fn timed_score(&self, measure: usize, score: impl FnOnce() -> f64) -> f64 {
+        let start = Instant::now();
+        let value = score();
+        if let Some(mm) = self.measure_metrics.get(measure) {
+            mm.pair_calls.inc();
+            mm.pair_latency.observe(start.elapsed());
+        }
+        value
     }
 
     /// An RAII span over a whole-operation histogram of `measure`, plus the
@@ -431,7 +503,8 @@ impl SstToolkit {
     // ---- concept-vs-set and k-best services --------------------------------
 
     /// Similarity of `concept` to every member of `set` under one measure,
-    /// in set order.
+    /// in set order. Runs on the prepared-context batch path: the query and
+    /// every member are prepared once, then scored positionally.
     pub fn similarity_to_set(
         &self,
         concept: &str,
@@ -440,11 +513,21 @@ impl SstToolkit {
         measure: usize,
     ) -> Result<Vec<ConceptAndSimilarity>> {
         let query = self.soqa.resolve(ontology, concept)?;
-        let ctx = self.ctx();
-        self.concept_set(set)?
-            .into_iter()
-            .map(|gc| Ok(self.to_result(gc, self.timed_similarity(measure, &ctx, query, gc)?)))
-            .collect()
+        let members = self.concept_set(set)?;
+        if members.is_empty() {
+            return Ok(Vec::new());
+        }
+        let runner = self.runner(measure)?;
+        let mut batch = members.clone();
+        batch.push(query);
+        let prep = self.prepare(&batch);
+        let scorer = PairScorer::new(runner, &prep);
+        let qpos = batch.len() - 1;
+        Ok(members
+            .iter()
+            .enumerate()
+            .map(|(i, &gc)| self.to_result(gc, self.timed_score(measure, || scorer.score(qpos, i))))
+            .collect())
     }
 
     /// The `k` most similar concepts of `set` for the query concept (paper
@@ -490,6 +573,10 @@ impl SstToolkit {
 
     /// Most-similar under *several* measures at once: returns one ranked
     /// list per measure, in measure order.
+    ///
+    /// The query and the concept set are resolved and prepared **once** and
+    /// the per-concept views are shared across all measures (previously this
+    /// re-resolved everything per measure via [`SstToolkit::most_similar`]).
     pub fn most_similar_multi(
         &self,
         concept: &str,
@@ -498,10 +585,35 @@ impl SstToolkit {
         k: usize,
         measures: &[usize],
     ) -> Result<Vec<Vec<ConceptAndSimilarity>>> {
-        measures
-            .iter()
-            .map(|&m| self.most_similar(concept, ontology, set, k, m))
-            .collect()
+        let query = self.soqa.resolve(ontology, concept)?;
+        let members = self.concept_set(set)?;
+        if members.is_empty() {
+            return Ok(measures
+                .iter()
+                .map(|&m| {
+                    let _span = self.measure_span(m, MeasureOp::Rank);
+                    Vec::new()
+                })
+                .collect());
+        }
+        let mut batch = members.clone();
+        batch.push(query);
+        let prep = self.prepare(&batch);
+        let qpos = batch.len() - 1;
+        let mut rankings = Vec::with_capacity(measures.len());
+        for &m in measures {
+            let _span = self.measure_span(m, MeasureOp::Rank);
+            let scorer = PairScorer::new(self.runner(m)?, &prep);
+            let mut all: Vec<ConceptAndSimilarity> = members
+                .iter()
+                .enumerate()
+                .map(|(i, &gc)| self.to_result(gc, self.timed_score(m, || scorer.score(qpos, i))))
+                .collect();
+            all.sort_by(rank_descending);
+            all.truncate(k);
+            rankings.push(all);
+        }
+        Ok(rankings)
     }
 
     /// Full pairwise similarity matrix of a concept set under one measure.
@@ -515,21 +627,48 @@ impl SstToolkit {
         set: &ConceptSet,
         measure: usize,
     ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
+        self.similarity_matrix_mode(set, measure, BatchMode::default())
+    }
+
+    /// [`SstToolkit::similarity_matrix`] with an explicit [`BatchMode`] —
+    /// `Naive` keeps the per-pair reference path for benchmarks and
+    /// bit-identity tests.
+    pub fn similarity_matrix_mode(
+        &self,
+        set: &ConceptSet,
+        measure: usize,
+        mode: BatchMode,
+    ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
         let concepts = self.concept_set(set)?;
         let runner = self.runner(measure)?;
         let _span = self.measure_span(measure, MeasureOp::Matrix);
-        let ctx = self.ctx();
         let labels = concepts
             .iter()
             .map(|&gc| self.soqa.qualified_name(gc))
             .collect();
         let n = concepts.len();
         let mut matrix = vec![vec![0.0; n]; n];
-        for (i, &a) in concepts.iter().enumerate() {
-            for (j, &b) in concepts.iter().enumerate().skip(i) {
-                let v = runner.similarity(&ctx, a, b);
-                matrix[i][j] = v;
-                matrix[j][i] = v;
+        match mode {
+            BatchMode::Naive => {
+                let ctx = self.ctx();
+                for (i, &a) in concepts.iter().enumerate() {
+                    for (j, &b) in concepts.iter().enumerate().skip(i) {
+                        let v = runner.similarity(&ctx, a, b);
+                        matrix[i][j] = v;
+                        matrix[j][i] = v;
+                    }
+                }
+            }
+            BatchMode::Prepared => {
+                let prep = self.prepare(&concepts);
+                let scorer = PairScorer::new(runner, &prep);
+                for (i, _) in concepts.iter().enumerate() {
+                    for (j, _) in concepts.iter().enumerate().skip(i) {
+                        let v = scorer.score(i, j);
+                        matrix[i][j] = v;
+                        matrix[j][i] = v;
+                    }
+                }
             }
         }
         self.record_matrix_pairs(measure, n);
@@ -560,6 +699,20 @@ impl SstToolkit {
         measure: usize,
         threads: usize,
     ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
+        self.similarity_matrix_parallel_mode(set, measure, threads, BatchMode::default())
+    }
+
+    /// [`SstToolkit::similarity_matrix_parallel`] with an explicit
+    /// [`BatchMode`]. In `Prepared` mode one prepared context (and one
+    /// prepared scorer) is built up front and shared read-only by all
+    /// workers.
+    pub fn similarity_matrix_parallel_mode(
+        &self,
+        set: &ConceptSet,
+        measure: usize,
+        threads: usize,
+        mode: BatchMode,
+    ) -> Result<(Vec<String>, Vec<Vec<f64>>)> {
         let concepts = self.concept_set(set)?;
         let runner = self.runner(measure)?;
         let _span = self.measure_span(measure, MeasureOp::Matrix);
@@ -570,20 +723,31 @@ impl SstToolkit {
             .collect();
         let n = concepts.len();
         let threads = threads.clamp(1, n.max(1));
+        let prepared = match mode {
+            BatchMode::Prepared => Some(self.prepare(&concepts)),
+            BatchMode::Naive => None,
+        };
+        let scorer = prepared.as_ref().map(|prep| PairScorer::new(runner, prep));
         let mut matrix = vec![vec![0.0; n]; n];
         let worker_died = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..threads {
                 let concepts = &concepts;
                 let ctx = &ctx;
+                let scorer = scorer.as_ref();
                 handles.push(scope.spawn(move || {
                     let mut suffixes: Vec<(usize, Vec<f64>)> = Vec::new();
                     for i in (worker..concepts.len()).step_by(threads) {
-                        let suffix = concepts
-                            .iter()
-                            .skip(i)
-                            .map(|&b| runner.similarity(ctx, concepts[i], b))
-                            .collect();
+                        let suffix = match scorer {
+                            Some(scorer) => {
+                                (i..concepts.len()).map(|j| scorer.score(i, j)).collect()
+                            }
+                            None => concepts
+                                .iter()
+                                .skip(i)
+                                .map(|&b| runner.similarity(ctx, concepts[i], b))
+                                .collect(),
+                        };
                         suffixes.push((i, suffix));
                     }
                     suffixes
@@ -672,7 +836,9 @@ impl SstToolkit {
         Ok(combiner.combine(&scores))
     }
 
-    /// k most similar concepts under a combined measure.
+    /// k most similar concepts under a combined measure. Batched: the set
+    /// is prepared once and the component scorers are shared across all
+    /// members.
     pub fn most_similar_combined(
         &self,
         concept: &str,
@@ -682,24 +848,46 @@ impl SstToolkit {
         measures: &[usize],
         combiner: &sst_simpack::Combiner,
     ) -> Result<Vec<ConceptAndSimilarity>> {
-        let mut all: Vec<ConceptAndSimilarity> = Vec::new();
-        for gc in self.concept_set(set)? {
-            let other = self.soqa.concept(gc).name.clone();
-            let other_onto = self.soqa.ontology_at(gc.ontology).name().to_owned();
-            let sim = self.combined_similarity(
-                concept,
-                ontology,
-                &other,
-                &other_onto,
-                measures,
-                combiner,
-            )?;
-            all.push(ConceptAndSimilarity {
-                concept: other,
-                ontology: other_onto,
-                similarity: sim,
-            });
+        let members = self.concept_set(set)?;
+        if members.is_empty() {
+            return Ok(Vec::new());
         }
+        if measures.len() != combiner.arity() {
+            return Err(SstError::InvalidArgument(format!(
+                "{} measures but combiner arity {}",
+                measures.len(),
+                combiner.arity()
+            )));
+        }
+        for &mid in measures {
+            if !self.measure_info(mid)?.normalized {
+                return Err(SstError::InvalidArgument(format!(
+                    "measure `{}` is unnormalized and cannot be combined",
+                    self.measure_info(mid)?.name
+                )));
+            }
+        }
+        let query = self.soqa.resolve(ontology, concept)?;
+        let mut batch = members.clone();
+        batch.push(query);
+        let prep = self.prepare(&batch);
+        let scorers: Vec<PairScorer<'_>> = measures
+            .iter()
+            .map(|&m| Ok(PairScorer::new(self.runner(m)?, &prep)))
+            .collect::<Result<_>>()?;
+        let qpos = batch.len() - 1;
+        let mut all: Vec<ConceptAndSimilarity> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &gc)| {
+                let scores: Vec<f64> = measures
+                    .iter()
+                    .zip(&scorers)
+                    .map(|(&m, scorer)| self.timed_score(m, || scorer.score(qpos, i)))
+                    .collect();
+                self.to_result(gc, combiner.combine(&scores))
+            })
+            .collect();
         all.sort_by(rank_descending);
         all.truncate(k);
         Ok(all)

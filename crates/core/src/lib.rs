@@ -55,10 +55,13 @@ pub use export::{
     alignment_to_csv, alignment_to_json, matrix_to_csv, ranking_to_csv, ranking_to_json,
 };
 pub use facade::{
-    measure_ids, ConceptAndSimilarity, ConceptRef, ConceptSet, ProbabilityModeConfig, SstBuilder,
-    SstConfig, SstToolkit,
+    measure_ids, BatchMode, ConceptAndSimilarity, ConceptRef, ConceptSet, ProbabilityModeConfig,
+    SstBuilder, SstConfig, SstToolkit,
 };
 pub use heatmap::Heatmap;
-pub use runner::{MeasureRunner, RunnerInfo, SimilarityContext};
+pub use runner::{
+    ConceptView, MeasureRunner, PreparedContext, PreparedMeasure, RunnerInfo, SimilarityContext,
+    TokenId,
+};
 pub use sst_obs::{Metrics, MetricsSnapshot};
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};

@@ -6,15 +6,20 @@
 //! it with the facade — exactly the extension mechanism the paper
 //! advertises.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use sst_index::{DocId, InvertedIndex};
+use sst_index::{cosine_sparse, DocId, InvertedIndex, TermId};
 use sst_simpack::{
-    edge_similarity, jaro, jaro_winkler, jiang_conrath_similarity, levenshtein_similarity,
-    lin_similarity, monge_elkan, needleman_wunsch_similarity, qgram, resnik_similarity,
-    sequence_similarity, shortest_path_similarity, smith_waterman_similarity, tree_similarity,
-    wu_palmer_similarity_rooted, AlignmentScoring, CostModel, FeatureSet, InformationContent,
-    LabeledTree, MeasureKind,
+    edge_similarity, edge_similarity_from, jaro, jaro_chars, jaro_winkler, jaro_winkler_chars,
+    jiang_conrath_similarity, jiang_conrath_similarity_from, levenshtein_similarity,
+    levenshtein_similarity_chars, lin_similarity, lin_similarity_from, monge_elkan,
+    needleman_wunsch_similarity, qgram, qgram_from, resnik_similarity, resnik_similarity_from,
+    sequence_similarity, shortest_path_similarity, shortest_path_similarity_from,
+    smith_waterman_similarity, tree_similarity, tree_similarity_zs, wu_palmer_similarity_rooted,
+    wu_palmer_similarity_rooted_from, AlignmentScoring, CostModel, DepthTable, FeatureSet,
+    InformationContent, LabeledTree, MeasureKind, NodeId, QGramProfile, SourceTables, ZsTree,
 };
 use sst_soqa::{GlobalConcept, Soqa};
 
@@ -35,6 +40,7 @@ pub struct RunnerInfo {
 /// Everything a runner may need: the SOQA facade, the unified tree, the
 /// precomputed information content, and the full-text index (one document
 /// per concept).
+#[derive(Clone, Copy)]
 pub struct SimilarityContext<'a> {
     pub soqa: &'a Soqa,
     pub tree: &'a UnifiedTree,
@@ -145,12 +151,191 @@ impl SimilarityContext<'_> {
     }
 }
 
+/// Interned M₂ token: sequence and alignment DP compare these `u32` ids
+/// instead of `String`s. Ids are assigned per [`PreparedContext`]; equal ids
+/// ⟺ equal token strings, so the DP outcome is bit-identical.
+pub type TokenId = u32;
+
+/// Memoized per-concept artifacts for one batch operation: everything the
+/// default runners rederive per *pair* on the naive path, computed once per
+/// *concept* instead.
+#[derive(Debug)]
+pub struct ConceptView {
+    /// The concept these views describe.
+    pub concept: GlobalConcept,
+    /// Its node in the unified tree.
+    pub node: NodeId,
+    /// M₁ feature set (attributes, methods, relationships, typed supers).
+    pub features: FeatureSet,
+    /// M₂ token sequence, interned to [`TokenId`]s.
+    pub tokens: Vec<TokenId>,
+    /// The concept's local name.
+    pub name: String,
+    /// `name` as a character slice (for the Jaro-family measures).
+    pub name_chars: Vec<char>,
+    /// `name` split into lowercase word tokens, interned across the batch
+    /// (for Monge-Elkan; resolve via [`PreparedContext::name_token_pool`]).
+    pub name_tokens: Vec<TokenId>,
+    /// Padded q-gram profile of `name` (for the q-gram measure).
+    pub qgrams: QGramProfile,
+    /// Depth-2 unified-tree subtree in preprocessed Zhang-Shasha form.
+    pub subtree: ZsTree,
+    /// The concept's document in the full-text index, if any.
+    pub doc: Option<DocId>,
+    /// Cached TF-IDF vector of `doc` (empty when `doc` is `None`).
+    pub tfidf: Vec<(TermId, f64)>,
+}
+
+/// A prepared batch context: per-concept [`ConceptView`]s plus per-concept
+/// BFS tables and the shared depth table, constructed once per matrix /
+/// rank / set operation. An n-concept scan costs n preparations instead of
+/// O(n²) rederivations.
+#[derive(Debug)]
+pub struct PreparedContext<'a> {
+    base: SimilarityContext<'a>,
+    views: Vec<ConceptView>,
+    /// First position of each distinct concept in `views`.
+    index_of: HashMap<GlobalConcept, usize>,
+    /// Per-concept upward + undirected BFS tables over the unified tree.
+    tables: Vec<SourceTables>,
+    depths: Arc<DepthTable>,
+    /// Distinct lowercase name tokens across the batch, indexed by the ids
+    /// in [`ConceptView::name_tokens`].
+    name_token_pool: Vec<String>,
+}
+
+impl<'a> PreparedContext<'a> {
+    /// Builds views and BFS tables for `concepts` (one entry per position;
+    /// duplicates are kept so positions line up with the caller's list).
+    pub fn new(base: SimilarityContext<'a>, concepts: &[GlobalConcept]) -> Self {
+        let nodes: Vec<NodeId> = concepts.iter().map(|&gc| base.tree.node(gc)).collect();
+        let tables = base.tree.taxonomy().source_tables_for(&nodes);
+        let depths = base.tree.taxonomy().depths();
+        let mut interner: HashMap<String, TokenId> = HashMap::new();
+        let mut name_interner: HashMap<String, TokenId> = HashMap::new();
+        let mut name_token_pool: Vec<String> = Vec::new();
+        let mut index_of = HashMap::with_capacity(concepts.len());
+        let mut views = Vec::with_capacity(concepts.len());
+        for (i, (&gc, &node)) in concepts.iter().zip(&nodes).enumerate() {
+            index_of.entry(gc).or_insert(i);
+            let tokens = base
+                .token_sequence(gc)
+                .into_iter()
+                .map(|t| {
+                    let next = interner.len() as TokenId;
+                    *interner.entry(t).or_insert(next)
+                })
+                .collect();
+            let name = base.name(gc).to_owned();
+            let name_tokens = sst_index::tokenize(&name)
+                .into_iter()
+                .map(|t| {
+                    if let Some(&id) = name_interner.get(&t) {
+                        id
+                    } else {
+                        let id = name_token_pool.len() as TokenId;
+                        name_interner.insert(t.clone(), id);
+                        name_token_pool.push(t);
+                        id
+                    }
+                })
+                .collect();
+            let name_chars = name.chars().collect();
+            let qgrams = QGramProfile::new(&name, QGRAM_Q);
+            let doc = base.doc_ids[node as usize];
+            let tfidf = doc.map(|d| base.index.tfidf_vector(d)).unwrap_or_default();
+            views.push(ConceptView {
+                concept: gc,
+                node,
+                features: base.feature_set(gc),
+                tokens,
+                name,
+                name_chars,
+                name_tokens,
+                qgrams,
+                subtree: ZsTree::new(&base.subtree(gc, 2)),
+                doc,
+                tfidf,
+            });
+        }
+        PreparedContext {
+            base,
+            views,
+            index_of,
+            tables,
+            depths,
+            name_token_pool,
+        }
+    }
+
+    /// The distinct name tokens of the batch (the strings behind the ids in
+    /// [`ConceptView::name_tokens`]).
+    pub fn name_token_pool(&self) -> &[String] {
+        &self.name_token_pool
+    }
+
+    /// The underlying per-pair context (for naive fallback scoring).
+    pub fn base(&self) -> &SimilarityContext<'a> {
+        &self.base
+    }
+
+    /// Number of prepared positions.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The concept at position `i`.
+    pub fn concept(&self, i: usize) -> GlobalConcept {
+        self.views[i].concept
+    }
+
+    /// The memoized views of the concept at position `i`.
+    pub fn view(&self, i: usize) -> &ConceptView {
+        &self.views[i]
+    }
+
+    /// The BFS tables of the concept at position `i`.
+    pub fn tables(&self, i: usize) -> &SourceTables {
+        &self.tables[i]
+    }
+
+    /// The shared depth table of the unified tree.
+    pub fn depths(&self) -> &DepthTable {
+        &self.depths
+    }
+
+    /// First position of `gc`, if it was prepared.
+    pub fn position(&self, gc: GlobalConcept) -> Option<usize> {
+        self.index_of.get(&gc).copied()
+    }
+}
+
+/// A measure specialized to one [`PreparedContext`]: scores pairs by
+/// *position* in the prepared concept list. Implementations must be
+/// bit-identical to the runner's [`MeasureRunner::similarity`] on the same
+/// concepts.
+pub trait PreparedMeasure: Send + Sync {
+    /// Similarity of the prepared concepts at positions `a` and `b`.
+    fn similarity(&self, a: usize, b: usize) -> f64;
+}
+
 /// A coupling module for one similarity measure.
 pub trait MeasureRunner: Send + Sync {
     /// Metadata shown to clients (name, normalization, …).
     fn info(&self) -> RunnerInfo;
     /// Pairwise similarity of two concepts under this measure.
     fn similarity(&self, ctx: &SimilarityContext<'_>, a: GlobalConcept, b: GlobalConcept) -> f64;
+    /// Batch hook: a scorer specialized to `prep`, or `None` to keep the
+    /// per-pair path (the default, so user-registered runners keep working
+    /// unchanged — the facade falls back to calling `similarity` per pair).
+    fn prepare<'p>(&self, prep: &'p PreparedContext<'_>) -> Option<Box<dyn PreparedMeasure + 'p>> {
+        let _ = prep;
+        None
+    }
 }
 
 impl fmt::Debug for dyn MeasureRunner {
@@ -159,9 +344,234 @@ impl fmt::Debug for dyn MeasureRunner {
     }
 }
 
+/// Prepared scorer over M₁ feature sets. The concept-identity check mirrors
+/// the naive runners' identity axiom (compare concepts, not positions:
+/// duplicated concepts must still score 1).
+struct PreparedFeatures<'p> {
+    prep: &'p PreparedContext<'p>,
+    f: fn(&FeatureSet, &FeatureSet) -> f64,
+}
+
+impl PreparedMeasure for PreparedFeatures<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        if va.concept == vb.concept {
+            return 1.0; // identity axiom, even for featureless concepts
+        }
+        (self.f)(&va.features, &vb.features)
+    }
+}
+
+/// Prepared scorer over interned M₂ token sequences.
+struct PreparedTokens<'p> {
+    prep: &'p PreparedContext<'p>,
+    f: fn(&[TokenId], &[TokenId]) -> f64,
+}
+
+impl PreparedMeasure for PreparedTokens<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        (self.f)(&self.prep.view(a).tokens, &self.prep.view(b).tokens)
+    }
+}
+
+/// Prepared scorer over pre-collected name character slices (for the
+/// Jaro family, whose `&str` entry points collect a `Vec<char>` per call).
+struct PreparedNameChars<'p> {
+    prep: &'p PreparedContext<'p>,
+    f: fn(&[char], &[char]) -> f64,
+}
+
+impl PreparedMeasure for PreparedNameChars<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        (self.f)(&self.prep.view(a).name_chars, &self.prep.view(b).name_chars)
+    }
+}
+
+/// Gram size of the registered q-gram measure (padded trigrams); the
+/// profiles cached on [`ConceptView`] are built with the same size.
+const QGRAM_Q: usize = 3;
+
+/// Prepared q-gram scorer over per-concept gram profiles: compares the
+/// cached sets through [`qgram_from`], the core of `qgram` itself, instead
+/// of rebuilding both profiles on every pair.
+struct PreparedQGram<'p> {
+    prep: &'p PreparedContext<'p>,
+}
+
+impl PreparedMeasure for PreparedQGram<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        qgram_from(&self.prep.view(a).qgrams, &self.prep.view(b).qgrams)
+    }
+}
+
+/// Prepared Monge-Elkan over interned name tokens. A batch's distinct
+/// tokens form a small pool, so the inner [`levenshtein_similarity`] of
+/// every distinct token pair is computed once at prepare time; per-pair
+/// scoring then replays `monge_elkan` in both directions as pure table
+/// lookups — the same inner values consumed in the same fold order, so the
+/// result is bit-identical while the dominant inner DP drops from
+/// O(pairs · tokens²) to O(pool²).
+struct PreparedMongeElkan<'p> {
+    prep: &'p PreparedContext<'p>,
+    /// `rows[x][y] = levenshtein_similarity(pool[x], pool[y])`. Only the
+    /// upper triangle is computed; the lower is mirrored, which is bitwise
+    /// safe because the inner similarity is exactly symmetric (a symmetric
+    /// integer distance over a symmetric max length).
+    rows: Vec<Vec<f64>>,
+}
+
+impl<'p> PreparedMongeElkan<'p> {
+    fn new(prep: &'p PreparedContext<'_>) -> Self {
+        let pool = prep.name_token_pool();
+        let chars: Vec<Vec<char>> = pool.iter().map(|t| t.chars().collect()).collect();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(pool.len());
+        for (i, x) in chars.iter().enumerate() {
+            let mut row = Vec::with_capacity(pool.len());
+            for prev in &rows {
+                // Mirror of the already-computed sim(pool[j], pool[i]).
+                row.push(prev.get(i).copied().unwrap_or(0.0));
+            }
+            for y in chars.iter().skip(i) {
+                row.push(levenshtein_similarity_chars(x, y));
+            }
+            rows.push(row);
+        }
+        PreparedMongeElkan { prep, rows }
+    }
+
+    /// The precomputed inner-similarity row of token `x` (empty only if the
+    /// pool itself is empty, in which case no token ids exist either).
+    fn row(&self, x: TokenId) -> &[f64] {
+        self.rows.get(x as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `monge_elkan(a, b, levenshtein_similarity)` replayed on the table.
+    fn directed(&self, a: &[TokenId], b: &[TokenId]) -> f64 {
+        if a.is_empty() {
+            return f64::from(u8::from(b.is_empty()));
+        }
+        if b.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for &x in a {
+            let row = self.row(x);
+            let best = b
+                .iter()
+                .map(|&y| row.get(y as usize).copied().unwrap_or(0.0))
+                .fold(0.0_f64, f64::max);
+            total += best;
+        }
+        total / a.len() as f64
+    }
+}
+
+impl PreparedMeasure for PreparedMongeElkan<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let ta = &self.prep.view(a).name_tokens;
+        let tb = &self.prep.view(b).name_tokens;
+        let ab = self.directed(ta, tb);
+        let ba = self.directed(tb, ta);
+        (ab + ba) / 2.0
+    }
+}
+
+/// Which graph formula a [`PreparedGraph`] scorer applies.
+enum GraphFormula {
+    ShortestPath,
+    Edge,
+    WuPalmerRooted,
+}
+
+/// Prepared scorer over per-concept BFS tables and the shared depth table.
+struct PreparedGraph<'p> {
+    prep: &'p PreparedContext<'p>,
+    formula: GraphFormula,
+}
+
+impl PreparedMeasure for PreparedGraph<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        let (ta, tb) = (self.prep.tables(a), self.prep.tables(b));
+        match self.formula {
+            GraphFormula::ShortestPath => shortest_path_similarity_from(ta, vb.node),
+            GraphFormula::Edge => {
+                edge_similarity_from(&ta.up, &tb.up, va.node == vb.node, self.prep.depths().max())
+            }
+            GraphFormula::WuPalmerRooted => {
+                wu_palmer_similarity_rooted_from(&ta.up, &tb.up, self.prep.depths())
+            }
+        }
+    }
+}
+
+/// Which IC formula a [`PreparedIc`] scorer applies.
+enum IcFormula {
+    Resnik,
+    Lin,
+    JiangConrath,
+}
+
+/// Prepared information-content scorer over per-concept upward tables.
+struct PreparedIc<'p> {
+    prep: &'p PreparedContext<'p>,
+    formula: IcFormula,
+}
+
+impl PreparedMeasure for PreparedIc<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let ic = self.prep.base().ic;
+        let (na, nb) = (self.prep.view(a).node, self.prep.view(b).node);
+        let (da, db) = (&self.prep.tables(a).up, &self.prep.tables(b).up);
+        match self.formula {
+            IcFormula::Resnik => resnik_similarity_from(ic, da, db),
+            IcFormula::Lin => lin_similarity_from(ic, na, nb, da, db),
+            IcFormula::JiangConrath => jiang_conrath_similarity_from(ic, na, nb, da, db),
+        }
+    }
+}
+
+/// Prepared TF-IDF cosine over cached per-concept term vectors.
+struct PreparedTfidf<'p> {
+    prep: &'p PreparedContext<'p>,
+}
+
+impl PreparedMeasure for PreparedTfidf<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        if va.doc.is_none() || vb.doc.is_none() {
+            return 0.0;
+        }
+        cosine_sparse(&va.tfidf, &vb.tfidf)
+    }
+}
+
+/// Prepared Zhang-Shasha similarity over cached subtree forms.
+struct PreparedTreeEdit<'p> {
+    prep: &'p PreparedContext<'p>,
+}
+
+impl PreparedMeasure for PreparedTreeEdit<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        tree_similarity_zs(&self.prep.view(a).subtree, &self.prep.view(b).subtree)
+    }
+}
+
 macro_rules! runner {
     ($(#[$doc:meta])* $ty:ident, $name:literal, $display:literal, $kind:expr,
      $normalized:literal, |$ctx:ident, $a:ident, $b:ident| $body:expr) => {
+        runner!(
+            $(#[$doc])* $ty, $name, $display, $kind, $normalized,
+            |$ctx, $a, $b| $body,
+            prepare: |prep| {
+                let _ = prep;
+                None
+            }
+        );
+    };
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $display:literal, $kind:expr,
+     $normalized:literal, |$ctx:ident, $a:ident, $b:ident| $body:expr,
+     prepare: |$prep:ident| $pbody:expr) => {
         $(#[$doc])*
         #[derive(Debug, Default, Clone, Copy)]
         pub struct $ty;
@@ -184,6 +594,13 @@ macro_rules! runner {
             ) -> f64 {
                 $body
             }
+
+            fn prepare<'p>(
+                &self,
+                $prep: &'p PreparedContext<'_>,
+            ) -> Option<Box<dyn PreparedMeasure + 'p>> {
+                $pbody
+            }
         }
     };
 }
@@ -196,7 +613,8 @@ runner!(
             return 1.0; // identity axiom, even for featureless concepts
         }
         sst_simpack::cosine(&ctx.feature_set(a), &ctx.feature_set(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::cosine }))
 );
 runner!(
     /// Extended Jaccard over feature sets (Eq. 2).
@@ -206,7 +624,8 @@ runner!(
             return 1.0; // identity axiom, even for featureless concepts
         }
         sst_simpack::jaccard(&ctx.feature_set(a), &ctx.feature_set(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::jaccard }))
 );
 runner!(
     /// Overlap over feature sets (Eq. 3).
@@ -216,7 +635,8 @@ runner!(
             return 1.0; // identity axiom, even for featureless concepts
         }
         sst_simpack::overlap(&ctx.feature_set(a), &ctx.feature_set(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::overlap }))
 );
 runner!(
     /// Dice over feature sets (extension).
@@ -226,7 +646,8 @@ runner!(
             return 1.0; // identity axiom, even for featureless concepts
         }
         sst_simpack::dice(&ctx.feature_set(a), &ctx.feature_set(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::dice }))
 );
 runner!(
     /// Normalized token-sequence edit distance over M₂ sequences (Eq. 4).
@@ -235,22 +656,26 @@ runner!(
         let x = ctx.token_sequence(a);
         let y = ctx.token_sequence(b);
         sequence_similarity(&x, &y, CostModel::UNIT)
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| sequence_similarity(x, y, CostModel::UNIT) }))
 );
 runner!(
     /// Jaro on concept names (SecondString extension).
     JaroRunner, "jaro", "Jaro", MeasureKind::String, true,
-    |ctx, a, b| jaro(ctx.name(a), ctx.name(b))
+    |ctx, a, b| jaro(ctx.name(a), ctx.name(b)),
+    prepare: |prep| Some(Box::new(PreparedNameChars { prep, f: jaro_chars }))
 );
 runner!(
     /// Jaro-Winkler on concept names (SecondString extension).
     JaroWinklerRunner, "jaro_winkler", "Jaro-Winkler", MeasureKind::String, true,
-    |ctx, a, b| jaro_winkler(ctx.name(a), ctx.name(b))
+    |ctx, a, b| jaro_winkler(ctx.name(a), ctx.name(b)),
+    prepare: |prep| Some(Box::new(PreparedNameChars { prep, f: jaro_winkler_chars }))
 );
 runner!(
     /// Padded trigram Dice on concept names (SimMetrics extension).
     QGramRunner, "qgram", "Q-Gram", MeasureKind::String, true,
-    |ctx, a, b| qgram(ctx.name(a), ctx.name(b), 3)
+    |ctx, a, b| qgram(ctx.name(a), ctx.name(b), QGRAM_Q),
+    prepare: |prep| Some(Box::new(PreparedQGram { prep }))
 );
 runner!(
     /// Monge-Elkan over name tokens with Levenshtein inner similarity,
@@ -264,7 +689,8 @@ runner!(
         let ab = monge_elkan(&ra, &rb, levenshtein_similarity);
         let ba = monge_elkan(&rb, &ra, levenshtein_similarity);
         (ab + ba) / 2.0
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedMongeElkan::new(prep)))
 );
 runner!(
     /// `1 / (1 + len)` over the undirected shortest path in the unified
@@ -272,12 +698,14 @@ runner!(
     ShortestPathRunner, "shortest_path", "Shortest Path", MeasureKind::Graph, true,
     |ctx, a, b| {
         shortest_path_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedGraph { prep, formula: GraphFormula::ShortestPath }))
 );
 runner!(
     /// Normalized edge counting (Eq. 5).
     EdgeRunner, "edge", "Edge Counting", MeasureKind::Graph, true,
-    |ctx, a, b| edge_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
+    |ctx, a, b| edge_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b)),
+    prepare: |prep| Some(Box::new(PreparedGraph { prep, formula: GraphFormula::Edge }))
 );
 runner!(
     /// Wu & Palmer conceptual similarity (Eq. 6) — the paper's "Conceptual
@@ -286,7 +714,8 @@ runner!(
     WuPalmerRunner, "wu_palmer", "Conceptual Similarity", MeasureKind::Graph, true,
     |ctx, a, b| {
         wu_palmer_similarity_rooted(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedGraph { prep, formula: GraphFormula::WuPalmerRooted }))
 );
 runner!(
     /// Resnik information content similarity (Eq. 7) — **unnormalized**,
@@ -294,14 +723,16 @@ runner!(
     ResnikRunner, "resnik", "Resnik", MeasureKind::InformationTheoretic, false,
     |ctx, a, b| {
         resnik_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedIc { prep, formula: IcFormula::Resnik }))
 );
 runner!(
     /// Lin similarity (Eq. 8).
     LinRunner, "lin", "Lin", MeasureKind::InformationTheoretic, true,
     |ctx, a, b| {
         lin_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedIc { prep, formula: IcFormula::Lin }))
 );
 runner!(
     /// Jiang-Conrath similarity (IC extension).
@@ -309,7 +740,8 @@ runner!(
     MeasureKind::InformationTheoretic, true,
     |ctx, a, b| {
         jiang_conrath_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedIc { prep, formula: IcFormula::JiangConrath }))
 );
 runner!(
     /// TF-IDF cosine over the concepts' exported full-text descriptions —
@@ -323,13 +755,15 @@ runner!(
             return 0.0;
         };
         ctx.index.cosine(da, db)
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedTfidf { prep }))
 );
 runner!(
     /// Zhang-Shasha tree edit similarity of the concepts' subtrees
     /// (depth-limited to 2) — the future-work tree measure.
     TreeEditRunner, "tree_edit", "Tree Edit Distance", MeasureKind::Tree, true,
-    |ctx, a, b| tree_similarity(&ctx.subtree(a, 2), &ctx.subtree(b, 2))
+    |ctx, a, b| tree_similarity(&ctx.subtree(a, 2), &ctx.subtree(b, 2)),
+    prepare: |prep| Some(Box::new(PreparedTreeEdit { prep }))
 );
 runner!(
     /// Needleman-Wunsch global alignment of the M₂ token sequences
@@ -340,7 +774,8 @@ runner!(
         let x = ctx.token_sequence(a);
         let y = ctx.token_sequence(b);
         needleman_wunsch_similarity(&x, &y, AlignmentScoring::default())
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| needleman_wunsch_similarity(x, y, AlignmentScoring::default()) }))
 );
 runner!(
     /// Smith-Waterman local alignment of the M₂ token sequences: scores the
@@ -351,7 +786,8 @@ runner!(
         let x = ctx.token_sequence(a);
         let y = ctx.token_sequence(b);
         smith_waterman_similarity(&x, &y, AlignmentScoring::default())
-    }
+    },
+    prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| smith_waterman_similarity(x, y, AlignmentScoring::default()) }))
 );
 
 /// The default runner set, in registration order. The position of each

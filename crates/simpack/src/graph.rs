@@ -12,6 +12,46 @@ use std::sync::{Arc, PoisonError, RwLock};
 /// Node handle within a [`Taxonomy`].
 pub type NodeId = u32;
 
+/// Cached per-node depths plus the maximum depth (`MAX` of Eq. 5),
+/// computed in one downward BFS and shared via `Arc` so batch scans can
+/// hold one reference instead of re-locking the cache per lookup.
+#[derive(Debug, Clone)]
+pub struct DepthTable {
+    depths: Vec<u32>,
+    max: u32,
+}
+
+impl DepthTable {
+    /// Depth of `n` (shortest edge count from the root).
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depths[n as usize]
+    }
+
+    /// The depth of the deepest node.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// All depths, indexed by node id.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.depths
+    }
+}
+
+/// Per-source BFS distance tables: everything the graph and IC measures
+/// need about one concept, computed once. An n-concept matrix scan builds
+/// n of these instead of running 2 fresh BFS traversals per pair.
+#[derive(Debug, Clone)]
+pub struct SourceTables {
+    /// Upward distances: `up[n] = Some(k)` iff `n` subsumes the source at
+    /// `k` steps (ancestor-or-self). Mirrors [`Taxonomy::up_distances`].
+    pub up: Vec<Option<u32>>,
+    /// Undirected distances (the paper's "shortest path in general", which
+    /// may run through common descendants). Mirrors
+    /// [`Taxonomy::shortest_path`] from the source to every node.
+    pub undirected: Vec<Option<u32>>,
+}
+
 /// A rooted specialization DAG. Nodes are dense ids; edges point from
 /// subconcept to superconcept.
 ///
@@ -24,7 +64,7 @@ pub struct Taxonomy {
     parents: Vec<Vec<NodeId>>,
     children: Vec<Vec<NodeId>>,
     root: NodeId,
-    depth_cache: RwLock<Option<Arc<Vec<u32>>>>,
+    depth_cache: RwLock<Option<Arc<DepthTable>>>,
 }
 
 impl Clone for Taxonomy {
@@ -73,9 +113,10 @@ impl Taxonomy {
     }
 
     /// Depths of every node (shortest edge count from the root, downward
-    /// BFS over child edges; unreachable nodes get depth 0). Computed once
-    /// and cached until the taxonomy changes.
-    pub fn depths(&self) -> Arc<Vec<u32>> {
+    /// BFS over child edges; unreachable nodes get depth 0), together with
+    /// the maximum depth. Computed once and cached until the taxonomy
+    /// changes, so `max_depth` is an O(1) lookup rather than an O(n) scan.
+    pub fn depths(&self) -> Arc<DepthTable> {
         if let Some(cached) = self
             .depth_cache
             .read()
@@ -97,12 +138,13 @@ impl Taxonomy {
                 }
             }
         }
-        let depths = Arc::new(depths);
+        let max = depths.iter().copied().max().unwrap_or(0);
+        let table = Arc::new(DepthTable { depths, max });
         *self
             .depth_cache
             .write()
-            .unwrap_or_else(PoisonError::into_inner) = Some(depths.clone());
-        depths
+            .unwrap_or_else(PoisonError::into_inner) = Some(table.clone());
+        table
     }
 
     pub fn node_count(&self) -> usize {
@@ -124,9 +166,15 @@ impl Taxonomy {
     /// Upward distances from `start` to every ancestor-or-self:
     /// `dist[n] = Some(k)` if `n` subsumes `start` at k steps.
     pub fn up_distances(&self, start: NodeId) -> Vec<Option<u32>> {
+        let mut queue = VecDeque::new();
+        self.up_distances_with(start, &mut queue)
+    }
+
+    fn up_distances_with(&self, start: NodeId, queue: &mut VecDeque<NodeId>) -> Vec<Option<u32>> {
         let mut dist = vec![None; self.node_count()];
         dist[start as usize] = Some(0);
-        let mut queue = VecDeque::from([start]);
+        queue.clear();
+        queue.push_back(start);
         while let Some(n) = queue.pop_front() {
             let Some(d) = dist[n as usize] else { continue };
             for &p in &self.parents[n as usize] {
@@ -139,14 +187,70 @@ impl Taxonomy {
         dist
     }
 
-    /// Depth of `n`: shortest upward distance from `n` to the root.
-    pub fn depth(&self, n: NodeId) -> u32 {
-        self.depths()[n as usize]
+    /// Undirected BFS distances from `start` to every node (over parent and
+    /// child edges alike). `undirected[b]` equals
+    /// [`Taxonomy::shortest_path`]`(start, b)` for every `b`.
+    pub fn undirected_distances(&self, start: NodeId) -> Vec<Option<u32>> {
+        let mut queue = VecDeque::new();
+        self.undirected_distances_with(start, &mut queue)
     }
 
-    /// `MAX` of Eq. 5: the depth of the deepest node.
+    fn undirected_distances_with(
+        &self,
+        start: NodeId,
+        queue: &mut VecDeque<NodeId>,
+    ) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.node_count()];
+        dist[start as usize] = Some(0);
+        queue.clear();
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            let Some(d) = dist[n as usize] else { continue };
+            for &m in self.parents[n as usize]
+                .iter()
+                .chain(&self.children[n as usize])
+            {
+                if dist[m as usize].is_none() {
+                    dist[m as usize] = Some(d + 1);
+                    queue.push_back(m);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Both BFS tables for one source concept.
+    pub fn source_tables(&self, start: NodeId) -> SourceTables {
+        let mut queue = VecDeque::new();
+        SourceTables {
+            up: self.up_distances_with(start, &mut queue),
+            undirected: self.undirected_distances_with(start, &mut queue),
+        }
+    }
+
+    /// Batch variant of [`Taxonomy::source_tables`]: one table pair per
+    /// requested source, reusing a single BFS queue as scratch across the
+    /// whole batch. This is what turns an n-concept matrix scan from n²
+    /// traversals into n.
+    pub fn source_tables_for(&self, starts: &[NodeId]) -> Vec<SourceTables> {
+        let mut queue = VecDeque::new();
+        starts
+            .iter()
+            .map(|&s| SourceTables {
+                up: self.up_distances_with(s, &mut queue),
+                undirected: self.undirected_distances_with(s, &mut queue),
+            })
+            .collect()
+    }
+
+    /// Depth of `n`: shortest upward distance from `n` to the root.
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depths().depth(n)
+    }
+
+    /// `MAX` of Eq. 5: the depth of the deepest node (cached, O(1)).
     pub fn max_depth(&self) -> u32 {
-        self.depths().iter().copied().max().unwrap_or(0)
+        self.depths().max()
     }
 
     /// Length of the shortest undirected path between `a` and `b` —
@@ -182,10 +286,7 @@ impl Taxonomy {
     pub fn path_via_common_ancestor(&self, a: NodeId, b: NodeId) -> Option<u32> {
         let da = self.up_distances(a);
         let db = self.up_distances(b);
-        da.iter()
-            .zip(&db)
-            .filter_map(|(x, y)| Some(x.as_ref()? + y.as_ref()?))
-            .min()
+        path_via_common_ancestor_from(&da, &db)
     }
 
     /// Most recent common ancestor: the common ancestor minimizing the
@@ -195,32 +296,65 @@ impl Taxonomy {
     pub fn mrca(&self, a: NodeId, b: NodeId) -> Option<(NodeId, u32, u32)> {
         let da = self.up_distances(a);
         let db = self.up_distances(b);
-        let mut best: Option<(NodeId, u32, u32, u32)> = None; // (node, n1, n2, depth)
-        for n in 0..self.node_count() as u32 {
-            let (Some(n1), Some(n2)) = (da[n as usize], db[n as usize]) else {
-                continue;
-            };
-            let depth = self.depth(n);
-            let better = match &best {
-                None => true,
-                Some((bn, b1, b2, bd)) => {
-                    let (bn, b1, b2, bd) = (*bn, *b1, *b2, *bd);
-                    let (sum, bsum) = (n1 + n2, b1 + b2);
-                    sum < bsum || (sum == bsum && (depth > bd || (depth == bd && n < bn)))
-                }
-            };
-            if better {
-                best = Some((n, n1, n2, depth));
-            }
-        }
-        best.map(|(n, n1, n2, _)| (n, n1, n2))
+        // One depth-table fetch for the whole candidate scan — the previous
+        // `self.depth(n)` re-acquired the cache lock per candidate node.
+        let depths = self.depths();
+        mrca_from(&da, &db, &depths)
     }
+}
+
+/// Table-based [`Taxonomy::path_via_common_ancestor`]: zip-min over two
+/// precomputed upward-distance tables.
+pub fn path_via_common_ancestor_from(da: &[Option<u32>], db: &[Option<u32>]) -> Option<u32> {
+    da.iter()
+        .zip(db)
+        .filter_map(|(x, y)| Some(x.as_ref()? + y.as_ref()?))
+        .min()
+}
+
+/// Table-based [`Taxonomy::mrca`]: same scan and tie-breaks (smaller summed
+/// distance, then greater depth, then smaller id) over precomputed upward
+/// distances and a shared depth table.
+pub fn mrca_from(
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+    depths: &DepthTable,
+) -> Option<(NodeId, u32, u32)> {
+    let mut best: Option<(NodeId, u32, u32, u32)> = None; // (node, n1, n2, depth)
+    for n in 0..da.len() as NodeId {
+        let (Some(n1), Some(n2)) = (da[n as usize], db[n as usize]) else {
+            continue;
+        };
+        let depth = depths.depth(n);
+        let better = match &best {
+            None => true,
+            Some((bn, b1, b2, bd)) => {
+                let (bn, b1, b2, bd) = (*bn, *b1, *b2, *bd);
+                let (sum, bsum) = (n1 + n2, b1 + b2);
+                sum < bsum || (sum == bsum && (depth > bd || (depth == bd && n < bn)))
+            }
+        };
+        if better {
+            best = Some((n, n1, n2, depth));
+        }
+    }
+    best.map(|(n, n1, n2, _)| (n, n1, n2))
 }
 
 /// Shortest-path similarity: `1 / (1 + len)` over the undirected shortest
 /// path; 0 when disconnected. Self-similarity is 1.
 pub fn shortest_path_similarity(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
-    match t.shortest_path(a, b) {
+    shortest_path_length_similarity(t.shortest_path(a, b))
+}
+
+/// Table-based [`shortest_path_similarity`]: the undirected BFS table of
+/// `a`'s [`SourceTables`] already holds the shortest-path length to `b`.
+pub fn shortest_path_similarity_from(a: &SourceTables, b: NodeId) -> f64 {
+    shortest_path_length_similarity(a.undirected[b as usize])
+}
+
+fn shortest_path_length_similarity(len: Option<u32>) -> f64 {
+    match len {
         Some(len) => 1.0 / (1.0 + len as f64),
         None => 0.0,
     }
@@ -230,11 +364,26 @@ pub fn shortest_path_similarity(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
 /// `(2·MAX − len(a, b)) / (2·MAX)` with `len` the shortest path through a
 /// common ancestor. Disconnected pairs score 0.
 pub fn edge_similarity(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
-    let max = t.max_depth() as f64;
+    edge_length_similarity(t.path_via_common_ancestor(a, b), a == b, t.max_depth())
+}
+
+/// Table-based [`edge_similarity`] over two precomputed upward-distance
+/// tables and a cached `MAX` depth.
+pub fn edge_similarity_from(
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+    same: bool,
+    max_depth: u32,
+) -> f64 {
+    edge_length_similarity(path_via_common_ancestor_from(da, db), same, max_depth)
+}
+
+fn edge_length_similarity(len: Option<u32>, same: bool, max_depth: u32) -> f64 {
+    let max = max_depth as f64;
     if max == 0.0 {
-        return if a == b { 1.0 } else { 0.0 };
+        return if same { 1.0 } else { 0.0 };
     }
-    match t.path_via_common_ancestor(a, b) {
+    match len {
         Some(len) => ((2.0 * max - len as f64) / (2.0 * max)).clamp(0.0, 1.0),
         None => 0.0,
     }
@@ -244,15 +393,29 @@ pub fn edge_similarity(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
 /// `2·N3 / (N1 + N2 + 2·N3)` where N3 is the depth of the MRCA and N1, N2
 /// the distances from the two concepts to it.
 pub fn wu_palmer_similarity(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
-    let Some((mrca, n1, n2)) = t.mrca(a, b) else {
+    wu_palmer_core(t.mrca(a, b), &t.depths(), a == b)
+}
+
+/// Table-based [`wu_palmer_similarity`].
+pub fn wu_palmer_similarity_from(
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+    depths: &DepthTable,
+    same: bool,
+) -> f64 {
+    wu_palmer_core(mrca_from(da, db, depths), depths, same)
+}
+
+fn wu_palmer_core(mrca: Option<(NodeId, u32, u32)>, depths: &DepthTable, same: bool) -> f64 {
+    let Some((mrca, n1, n2)) = mrca else {
         return 0.0;
     };
-    let n3 = t.depth(mrca) as f64;
+    let n3 = depths.depth(mrca) as f64;
     let (n1, n2) = (n1 as f64, n2 as f64);
     let denom = n1 + n2 + 2.0 * n3;
     if denom == 0.0 {
         // Both concepts are the root itself.
-        return if a == b { 1.0 } else { 0.0 };
+        return if same { 1.0 } else { 0.0 };
     }
     2.0 * n3 / denom
 }
@@ -263,10 +426,23 @@ pub fn wu_palmer_similarity(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
 /// the Super-Thing root) at a small *nonzero* similarity ordered by path
 /// length, matching the paper's Table 1 column. Self-similarity is 1.
 pub fn wu_palmer_similarity_rooted(t: &Taxonomy, a: NodeId, b: NodeId) -> f64 {
-    let Some((mrca, n1, n2)) = t.mrca(a, b) else {
+    wu_palmer_rooted_core(t.mrca(a, b), &t.depths())
+}
+
+/// Table-based [`wu_palmer_similarity_rooted`].
+pub fn wu_palmer_similarity_rooted_from(
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+    depths: &DepthTable,
+) -> f64 {
+    wu_palmer_rooted_core(mrca_from(da, db, depths), depths)
+}
+
+fn wu_palmer_rooted_core(mrca: Option<(NodeId, u32, u32)>, depths: &DepthTable) -> f64 {
+    let Some((mrca, n1, n2)) = mrca else {
         return 0.0;
     };
-    let n3 = t.depth(mrca) as f64 + 1.0;
+    let n3 = depths.depth(mrca) as f64 + 1.0;
     let (n1, n2) = (n1 as f64, n2 as f64);
     2.0 * n3 / (n1 + n2 + 2.0 * n3)
 }
@@ -431,5 +607,53 @@ mod tests {
         assert_eq!(edge_similarity(&t, 0, 0), 1.0);
         assert_eq!(wu_palmer_similarity(&t, 0, 0), 1.0);
         assert_eq!(shortest_path_similarity(&t, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn undirected_distances_match_shortest_path() {
+        let mut deep = Taxonomy::new(6, 0);
+        deep.add_edge(1, 0);
+        deep.add_edge(2, 1);
+        deep.add_edge(3, 0);
+        deep.add_edge(4, 3);
+        deep.add_edge(5, 2);
+        deep.add_edge(5, 4);
+        for a in 0..6 {
+            let table = deep.undirected_distances(a);
+            for b in 0..6 {
+                assert_eq!(table[b as usize], deep.shortest_path(a, b), "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn source_tables_reproduce_pairwise_measures_bit_identically() {
+        let t = sample();
+        let nodes: Vec<NodeId> = (0..7).collect();
+        let tables = t.source_tables_for(&nodes);
+        let depths = t.depths();
+        for &a in &nodes {
+            assert_eq!(tables[a as usize].up, t.up_distances(a));
+            for &b in &nodes {
+                let (ta, tb) = (&tables[a as usize], &tables[b as usize]);
+                assert_eq!(
+                    shortest_path_similarity_from(ta, b).to_bits(),
+                    shortest_path_similarity(&t, a, b).to_bits()
+                );
+                assert_eq!(
+                    edge_similarity_from(&ta.up, &tb.up, a == b, depths.max()).to_bits(),
+                    edge_similarity(&t, a, b).to_bits()
+                );
+                assert_eq!(
+                    wu_palmer_similarity_from(&ta.up, &tb.up, &depths, a == b).to_bits(),
+                    wu_palmer_similarity(&t, a, b).to_bits()
+                );
+                assert_eq!(
+                    wu_palmer_similarity_rooted_from(&ta.up, &tb.up, &depths).to_bits(),
+                    wu_palmer_similarity_rooted(&t, a, b).to_bits()
+                );
+                assert_eq!(mrca_from(&ta.up, &tb.up, &depths), t.mrca(a, b));
+            }
+        }
     }
 }

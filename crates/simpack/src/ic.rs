@@ -94,23 +94,28 @@ impl InformationContent {
     }
 }
 
-/// The set of common subsumers of `a` and `b` (ancestors-or-self of both).
-fn common_subsumers(t: &Taxonomy, a: NodeId, b: NodeId) -> Vec<NodeId> {
-    let da = t.up_distances(a);
-    let db = t.up_distances(b);
-    (0..t.node_count() as NodeId)
+/// The common subsumer with maximal information content, if any, computed
+/// from two precomputed upward-distance tables (see
+/// [`Taxonomy::up_distances`]). This is the batch entry point: matrix scans
+/// compute one table per concept instead of two fresh BFS runs per pair.
+pub fn best_subsumer_from(
+    ic: &InformationContent,
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+) -> Option<NodeId> {
+    (0..da.len() as NodeId)
         .filter(|&n| da[n as usize].is_some() && db[n as usize].is_some())
-        .collect()
+        .max_by(|&x, &y| {
+            ic.ic(x)
+                .partial_cmp(&ic.ic(y))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(y.cmp(&x)) // deterministic tie-break on smaller id
+        })
 }
 
 /// The common subsumer with maximal information content, if any.
 fn best_subsumer(t: &Taxonomy, ic: &InformationContent, a: NodeId, b: NodeId) -> Option<NodeId> {
-    common_subsumers(t, a, b).into_iter().max_by(|&x, &y| {
-        ic.ic(x)
-            .partial_cmp(&ic.ic(y))
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(y.cmp(&x)) // deterministic tie-break on smaller id
-    })
+    best_subsumer_from(ic, &t.up_distances(a), &t.up_distances(b))
 }
 
 /// Resnik similarity (Eq. 7): `max_{z ∈ S(a,b)} −log₂ p(z)`.
@@ -118,8 +123,21 @@ fn best_subsumer(t: &Taxonomy, ic: &InformationContent, a: NodeId, b: NodeId) ->
 /// **Unnormalized**: the value is an information content in bits (Table 1
 /// reports 12.7 for the self-comparison), not a score in [0, 1].
 pub fn resnik_similarity(t: &Taxonomy, ic: &InformationContent, a: NodeId, b: NodeId) -> f64 {
+    resnik_core(ic, best_subsumer(t, ic, a, b))
+}
+
+/// Table-based [`resnik_similarity`].
+pub fn resnik_similarity_from(
+    ic: &InformationContent,
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+) -> f64 {
+    resnik_core(ic, best_subsumer_from(ic, da, db))
+}
+
+fn resnik_core(ic: &InformationContent, best: Option<NodeId>) -> f64 {
     // `+ 0.0` canonicalizes IEEE −0.0 (from −log₂ 1) to 0.0.
-    best_subsumer(t, ic, a, b).map(|z| ic.ic(z)).unwrap_or(0.0) + 0.0
+    best.map(|z| ic.ic(z)).unwrap_or(0.0) + 0.0
 }
 
 /// Lin similarity (Eq. 8):
@@ -132,7 +150,26 @@ pub fn lin_similarity(t: &Taxonomy, ic: &InformationContent, a: NodeId, b: NodeI
     if denom == 0.0 {
         return if a == b { 1.0 } else { 0.0 };
     }
-    let Some(z) = best_subsumer(t, ic, a, b) else {
+    lin_core(ic, best_subsumer(t, ic, a, b), denom)
+}
+
+/// Table-based [`lin_similarity`].
+pub fn lin_similarity_from(
+    ic: &InformationContent,
+    a: NodeId,
+    b: NodeId,
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+) -> f64 {
+    let denom = ic.probability(a).log2() + ic.probability(b).log2();
+    if denom == 0.0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    lin_core(ic, best_subsumer_from(ic, da, db), denom)
+}
+
+fn lin_core(ic: &InformationContent, best: Option<NodeId>, denom: f64) -> f64 {
+    let Some(z) = best else {
         return 0.0;
     };
     // `+ 0.0` canonicalizes IEEE −0.0 (zero numerator, negative denominator).
@@ -148,7 +185,22 @@ pub fn jiang_conrath_similarity(
     a: NodeId,
     b: NodeId,
 ) -> f64 {
-    let Some(z) = best_subsumer(t, ic, a, b) else {
+    jiang_conrath_core(ic, a, b, best_subsumer(t, ic, a, b))
+}
+
+/// Table-based [`jiang_conrath_similarity`].
+pub fn jiang_conrath_similarity_from(
+    ic: &InformationContent,
+    a: NodeId,
+    b: NodeId,
+    da: &[Option<u32>],
+    db: &[Option<u32>],
+) -> f64 {
+    jiang_conrath_core(ic, a, b, best_subsumer_from(ic, da, db))
+}
+
+fn jiang_conrath_core(ic: &InformationContent, a: NodeId, b: NodeId, best: Option<NodeId>) -> f64 {
+    let Some(z) = best else {
         return 0.0;
     };
     let distance = (ic.ic(a) + ic.ic(b) - 2.0 * ic.ic(z)).max(0.0);
@@ -257,6 +309,30 @@ mod tests {
         let near = jiang_conrath_similarity(&t, &ic, 3, 4);
         let far = jiang_conrath_similarity(&t, &ic, 3, 6);
         assert!(near > far);
+    }
+
+    #[test]
+    fn table_variants_are_bit_identical() {
+        let t = sample();
+        let ic = InformationContent::from_subclasses(&t);
+        let tables: Vec<_> = (0..7).map(|n| t.up_distances(n)).collect();
+        for a in 0..7 {
+            for b in 0..7 {
+                let (da, db) = (&tables[a as usize], &tables[b as usize]);
+                assert_eq!(
+                    resnik_similarity_from(&ic, da, db).to_bits(),
+                    resnik_similarity(&t, &ic, a, b).to_bits()
+                );
+                assert_eq!(
+                    lin_similarity_from(&ic, a, b, da, db).to_bits(),
+                    lin_similarity(&t, &ic, a, b).to_bits()
+                );
+                assert_eq!(
+                    jiang_conrath_similarity_from(&ic, a, b, da, db).to_bits(),
+                    jiang_conrath_similarity(&t, &ic, a, b).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

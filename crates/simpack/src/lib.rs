@@ -40,19 +40,25 @@ pub use align::{
 };
 pub use combine::{Amalgamation, Combiner};
 pub use graph::{
-    edge_similarity, shortest_path_similarity, wu_palmer_similarity, wu_palmer_similarity_rooted,
-    NodeId, Taxonomy,
+    edge_similarity, edge_similarity_from, shortest_path_similarity, shortest_path_similarity_from,
+    wu_palmer_similarity, wu_palmer_similarity_from, wu_palmer_similarity_rooted,
+    wu_palmer_similarity_rooted_from, DepthTable, NodeId, SourceTables, Taxonomy,
 };
 pub use ic::{
-    jiang_conrath_similarity, lin_similarity, resnik_similarity, InformationContent,
-    ProbabilityMode,
+    jiang_conrath_similarity, jiang_conrath_similarity_from, lin_similarity, lin_similarity_from,
+    resnik_similarity, resnik_similarity_from, InformationContent, ProbabilityMode,
 };
 pub use measure::{descriptor, MeasureDescriptor, MeasureKind, CATALOG};
 pub use sequence::{sequence_similarity, xform, xform_worst_case, CostModel};
 pub use string::{
-    jaro, jaro_winkler, levenshtein_distance, levenshtein_similarity, monge_elkan, qgram,
+    jaro, jaro_chars, jaro_winkler, jaro_winkler_chars, levenshtein_distance,
+    levenshtein_distance_chars, levenshtein_similarity, levenshtein_similarity_chars, monge_elkan,
+    qgram, qgram_from, QGramProfile,
 };
-pub use tree::{tree_edit_distance, tree_similarity, LabeledTree};
+pub use tree::{
+    tree_edit_distance, tree_edit_distance_zs, tree_similarity, tree_similarity_zs, LabeledTree,
+    ZsTree,
+};
 pub use vector::{
     cosine, cosine_weighted, dice, features, jaccard, jaccard_weighted, overlap, overlap_weighted,
     FeatureSet, SparseVector,

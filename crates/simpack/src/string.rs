@@ -10,6 +10,12 @@ use std::collections::BTreeSet;
 pub fn levenshtein_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_distance_chars(&a, &b)
+}
+
+/// [`levenshtein_distance`] over pre-collected character slices (its core;
+/// batch scans cache the `Vec<char>` per string and call this directly).
+pub fn levenshtein_distance_chars(a: &[char], b: &[char]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -35,11 +41,18 @@ pub fn levenshtein_distance(a: &str, b: &str) -> usize {
 
 /// Levenshtein similarity in [0, 1]: `1 − d / max(|a|, |b|)`.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_similarity_chars(&a, &b)
+}
+
+/// [`levenshtein_similarity`] over pre-collected character slices.
+pub fn levenshtein_similarity_chars(a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_distance_chars(a, b) as f64 / max_len as f64
 }
 
 /// Jaro similarity (matching characters within half the longer length,
@@ -47,6 +60,11 @@ pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+/// [`jaro`] over pre-collected character slices (its core).
+pub fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -100,13 +118,20 @@ const JARO_WINKLER_BOOST_THRESHOLD: f64 = 0.7;
 /// exceeds the 0.7 boost threshold — dissimilar strings that merely share
 /// a prefix keep their plain Jaro score.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_chars(&a, &b)
+}
+
+/// [`jaro_winkler`] over pre-collected character slices (its core).
+pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> f64 {
+    let j = jaro_chars(a, b);
     if j <= JARO_WINKLER_BOOST_THRESHOLD {
         return j;
     }
     let prefix = a
-        .chars()
-        .zip(b.chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count() as f64;
@@ -118,23 +143,44 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 /// (unigram Dice) instead of panicking — gram extraction needs at least one
 /// character per gram, and unigrams are the smallest well-defined case.
 pub fn qgram(a: &str, b: &str, q: usize) -> f64 {
-    let q = q.max(1);
-    let grams = |s: &str| -> BTreeSet<Vec<char>> {
+    qgram_from(&QGramProfile::new(a, q), &QGramProfile::new(b, q))
+}
+
+/// Precomputed padded q-gram set of one string. Building the profile
+/// dominates the cost of [`qgram`], so batch scans construct one per
+/// string and compare with [`qgram_from`] — which is [`qgram`]'s own core,
+/// making the two bit-identical by construction.
+#[derive(Debug, Clone)]
+pub struct QGramProfile {
+    grams: BTreeSet<Vec<char>>,
+    /// Whether the source string was empty (the grams of an empty padded
+    /// string are non-empty for q ≥ 2, so this is tracked separately).
+    empty: bool,
+}
+
+impl QGramProfile {
+    pub fn new(s: &str, q: usize) -> Self {
+        let q = q.max(1);
         let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
             .chain(s.chars())
             .chain(std::iter::repeat_n('#', q - 1))
             .collect();
-        padded.windows(q).map(|w| w.to_vec()).collect()
-    };
-    if a.is_empty() && b.is_empty() {
+        QGramProfile {
+            grams: padded.windows(q).map(|w| w.to_vec()).collect(),
+            empty: s.is_empty(),
+        }
+    }
+}
+
+/// Q-gram similarity of two precomputed profiles (the core of [`qgram`]).
+pub fn qgram_from(a: &QGramProfile, b: &QGramProfile) -> f64 {
+    if a.empty && b.empty {
         return 1.0;
     }
-    if a.is_empty() || b.is_empty() {
+    if a.empty || b.empty {
         return 0.0;
     }
-    let ga = grams(a);
-    let gb = grams(b);
-    2.0 * ga.intersection(&gb).count() as f64 / (ga.len() + gb.len()) as f64
+    2.0 * a.grams.intersection(&b.grams).count() as f64 / (a.grams.len() + b.grams.len()) as f64
 }
 
 /// Monge-Elkan: average over the tokens of `a` of the best inner similarity
@@ -229,6 +275,40 @@ mod tests {
         assert_eq!(qgram("abc", "abc", 0), qgram("abc", "abc", 1));
         assert_eq!(qgram("abc", "cba", 0), 1.0); // same unigram set
         assert_eq!(qgram("abc", "xyz", 0), 0.0);
+    }
+
+    #[test]
+    fn chars_cores_match_str_entry_points_bitwise() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("MARTHA", "MARHTA"),
+            ("zürich", "zurich"),
+            ("Professor", "Professional"),
+            ("", "abc"),
+            ("", ""),
+        ];
+        for (a, b) in pairs {
+            let ca: Vec<char> = a.chars().collect();
+            let cb: Vec<char> = b.chars().collect();
+            assert_eq!(
+                levenshtein_similarity(a, b).to_bits(),
+                levenshtein_similarity_chars(&ca, &cb).to_bits()
+            );
+            // Exact symmetry underpins mirrored similarity tables.
+            assert_eq!(
+                levenshtein_similarity(a, b).to_bits(),
+                levenshtein_similarity(b, a).to_bits()
+            );
+            assert_eq!(jaro(a, b).to_bits(), jaro_chars(&ca, &cb).to_bits());
+            assert_eq!(
+                jaro_winkler(a, b).to_bits(),
+                jaro_winkler_chars(&ca, &cb).to_bits()
+            );
+            assert_eq!(
+                qgram(a, b, 3).to_bits(),
+                qgram_from(&QGramProfile::new(a, 3), &QGramProfile::new(b, 3)).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -152,19 +152,24 @@ fn build_from_value(
 /// Zhang-Shasha tree edit distance with unit costs (insert, delete,
 /// relabel each cost 1).
 pub fn tree_edit_distance(a: &LabeledTree, b: &LabeledTree) -> usize {
-    if a.is_empty() {
-        return b.len();
+    tree_edit_distance_zs(&ZsTree::new(a), &ZsTree::new(b))
+}
+
+/// [`tree_edit_distance`] over pre-built [`ZsTree`] forms. Batch scans
+/// preprocess each tree once (postorder, leftmost leaves, keyroots) and
+/// reuse the forms across every pair.
+pub fn tree_edit_distance_zs(ta: &ZsTree, tb: &ZsTree) -> usize {
+    if ta.n == 0 {
+        return tb.n;
     }
-    if b.is_empty() {
-        return a.len();
+    if tb.n == 0 {
+        return ta.n;
     }
-    let ta = ZsTree::new(a);
-    let tb = ZsTree::new(b);
     let mut treedist = vec![vec![0usize; tb.n]; ta.n];
 
     for &i in &ta.keyroots {
         for &j in &tb.keyroots {
-            compute_treedist(&ta, &tb, i, j, &mut treedist);
+            compute_treedist(ta, tb, i, j, &mut treedist);
         }
     }
     treedist
@@ -177,16 +182,22 @@ pub fn tree_edit_distance(a: &LabeledTree, b: &LabeledTree) -> usize {
 /// Tree similarity: `1 − d / (|a| + |b|)`. The denominator is the worst
 /// case (delete all of `a`, insert all of `b`), so the value is in [0, 1].
 pub fn tree_similarity(a: &LabeledTree, b: &LabeledTree) -> f64 {
-    let total = a.len() + b.len();
+    tree_similarity_zs(&ZsTree::new(a), &ZsTree::new(b))
+}
+
+/// [`tree_similarity`] over pre-built [`ZsTree`] forms.
+pub fn tree_similarity_zs(ta: &ZsTree, tb: &ZsTree) -> f64 {
+    let total = ta.n + tb.n;
     if total == 0 {
         return 1.0;
     }
-    1.0 - tree_edit_distance(a, b) as f64 / total as f64
+    1.0 - tree_edit_distance_zs(ta, tb) as f64 / total as f64
 }
 
 /// Preprocessed tree in Zhang-Shasha form: postorder labels, leftmost-leaf
 /// indices, and keyroots.
-struct ZsTree {
+#[derive(Debug, Clone)]
+pub struct ZsTree {
     labels: Vec<String>,
     /// l[i] = postorder index of the leftmost leaf of the subtree at i.
     l: Vec<usize>,
@@ -195,7 +206,8 @@ struct ZsTree {
 }
 
 impl ZsTree {
-    fn new(tree: &LabeledTree) -> Self {
+    /// Preprocesses `tree` for repeated distance computations.
+    pub fn new(tree: &LabeledTree) -> Self {
         let order = tree.postorder();
         let n = order.len();
         let mut pos = vec![0usize; n];
@@ -338,6 +350,26 @@ mod tests {
         let a = t("(f (d (a) (c (b))) (e))");
         let b = t("(g (h) (c (d (a) (b))) (e))");
         assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn zs_forms_are_bit_identical_to_direct_calls() {
+        let trees = [
+            t("(f (d (a) (c (b))) (e))"),
+            t("(g (h) (c (d (a) (b))) (e))"),
+            t("(f (a) (b))"),
+            LabeledTree::new(),
+        ];
+        let forms: Vec<ZsTree> = trees.iter().map(ZsTree::new).collect();
+        for (a, fa) in trees.iter().zip(&forms) {
+            for (b, fb) in trees.iter().zip(&forms) {
+                assert_eq!(tree_edit_distance_zs(fa, fb), tree_edit_distance(a, b));
+                assert_eq!(
+                    tree_similarity_zs(fa, fb).to_bits(),
+                    tree_similarity(a, b).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

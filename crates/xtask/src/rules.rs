@@ -16,10 +16,17 @@
 //! - **forbid-unsafe**: every crate root carries `#![forbid(unsafe_code)]`.
 //! - **error-impl**: every `pub` type named `*Error` implements
 //!   `std::error::Error`.
+//! - **lock-in-loop**: `.read()` / `.write()` / `.lock()` (and the
+//!   `try_` variants) inside a `for` loop body re-acquire a lock per
+//!   iteration — the exact bug class behind `Taxonomy::mrca` locking the
+//!   depth cache once per candidate. Hoist the guard (or a cheap `Arc`
+//!   clone of the data) out of the loop. Acquisitions in the loop
+//!   *header* (`for x in m.read()…`) run once and are not flagged.
 //!
-//! Escape hatch: `// lint: allow(panic) <reason>` (or `allow(index)`) on
-//! the offending line, or alone on the line above, suppresses exactly one
-//! finding of that rule. The reason is mandatory.
+//! Escape hatch: `// lint: allow(panic) <reason>` (or `allow(index)`,
+//! `allow(lock-in-loop)`) on the offending line, or alone on the line
+//! above, suppresses exactly one finding of that rule. The reason is
+//! mandatory.
 //!
 //! Exempt from panic/index rules: `tests/`, `benches/`, `examples/`,
 //! `src/bin/` binaries, the `xtask` tooling crate, the `sst-bench`
@@ -41,6 +48,7 @@ pub enum Rule {
     Index,
     ForbidUnsafe,
     ErrorImpl,
+    LockInLoop,
     BadAllow,
 }
 
@@ -51,6 +59,7 @@ impl Rule {
             Rule::Index => "index",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::ErrorImpl => "error-impl",
+            Rule::LockInLoop => "lock-in-loop",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -87,15 +96,21 @@ const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable"]
 /// (`debug_assert*` is allowed — it compiles out of release builds.)
 const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
-/// Lints one library source file (panic + index rules).
+/// Lints one library source file (panic + index + lock-in-loop rules).
 pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
     let stripped = strip(source);
     let mut findings = Vec::new();
+    let mut locks = LoopLockScanner::default();
     for (idx, line) in stripped.lines.iter().enumerate() {
+        // The lock scanner sees every line — brace depth must stay in sync
+        // across `#[cfg(test)]` regions — but findings there are dropped.
+        let mut line_findings = Vec::new();
+        locks.scan_line(&line.code, &mut |message| {
+            line_findings.push((Rule::LockInLoop, message));
+        });
         if line.in_test_cfg {
             continue;
         }
-        let mut line_findings = Vec::new();
         scan_panics(&line.code, &mut |message| {
             line_findings.push((Rule::Panic, message));
         });
@@ -119,7 +134,11 @@ fn apply_allows(
 ) {
     let mut allows: Vec<Rule> = Vec::new();
     let mut push_allow = |comment: &str, line_no: usize, out: &mut Vec<Finding>| {
-        for (rule_name, rule) in [("panic", Rule::Panic), ("index", Rule::Index)] {
+        for (rule_name, rule) in [
+            ("panic", Rule::Panic),
+            ("index", Rule::Index),
+            ("lock-in-loop", Rule::LockInLoop),
+        ] {
             let marker = format!("lint: allow({rule_name})");
             if let Some(pos) = comment.find(&marker) {
                 let reason = comment[pos + marker.len()..].trim();
@@ -162,6 +181,110 @@ fn apply_allows(
             message,
         });
     }
+}
+
+/// Zero-argument lock-acquisition methods of `std::sync::RwLock` /
+/// `Mutex`. The empty-parens requirement below keeps `io::Read::read`
+/// and `io::Write::write` (which take buffers) out of scope.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Cross-line scanner for the **lock-in-loop** rule.
+///
+/// Tracks brace depth and the depths at which `for` loop bodies open, and
+/// flags `.read()` / `.write()` / `.lock()` / `.try_*()` calls while at
+/// least one `for` body is open. Char order within a line gives the header
+/// exemption for free: in `for x in m.read().iter() {` the call precedes
+/// the `{`, so no body is open yet.
+#[derive(Debug, Default)]
+struct LoopLockScanner {
+    /// Current brace nesting depth.
+    depth: usize,
+    /// Depths at which a `for` body's `{` opened (innermost last).
+    for_bodies: Vec<usize>,
+    /// A `for … in` header was seen; the next `{` opens its body.
+    pending_for: bool,
+}
+
+impl LoopLockScanner {
+    fn scan_line(&mut self, code: &str, emit: &mut dyn FnMut(String)) {
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c == '{' {
+                self.depth += 1;
+                if self.pending_for {
+                    self.for_bodies.push(self.depth);
+                    self.pending_for = false;
+                }
+                i += 1;
+                continue;
+            }
+            if c == '}' {
+                if self.for_bodies.last() == Some(&self.depth) {
+                    self.for_bodies.pop();
+                }
+                self.depth = self.depth.saturating_sub(1);
+                i += 1;
+                continue;
+            }
+            if !is_ident_char(c) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                i += 1;
+            }
+            let word = &code[start..i];
+            let before = code[..start].chars().next_back();
+            let boundary_before = before != Some('.') && before.is_none_or(|c| !is_ident_char(c));
+            // A loop header: the `for` keyword (not the HRTB `for<…>`)
+            // followed by the `in` keyword before any `{` on this line.
+            if word == "for"
+                && boundary_before
+                && !code[i..].trim_start().starts_with('<')
+                && has_in_keyword(&code[i..])
+            {
+                self.pending_for = true;
+                continue;
+            }
+            if before == Some('.')
+                && LOCK_METHODS.contains(&word)
+                && code[i..].trim_start().starts_with("()")
+                && !self.for_bodies.is_empty()
+            {
+                emit(format!(
+                    "`.{word}()` acquires a lock inside a `for` loop; \
+                     hoist the guard (or an `Arc` of the data) out of the loop"
+                ));
+            }
+        }
+    }
+}
+
+/// True when the `in` keyword occurs in `rest` before any `{`.
+fn has_in_keyword(rest: &str) -> bool {
+    let bytes = rest.as_bytes();
+    let mut j = 0;
+    while j < bytes.len() {
+        let c = bytes[j] as char;
+        if c == '{' {
+            return false;
+        }
+        if !is_ident_char(c) {
+            j += 1;
+            continue;
+        }
+        let start = j;
+        while j < bytes.len() && is_ident_char(bytes[j] as char) {
+            j += 1;
+        }
+        if &rest[start..j] == "in" {
+            return true;
+        }
+    }
+    false
 }
 
 /// Finds panic-family method calls and macros in one stripped code line.
@@ -546,6 +669,79 @@ mod tests {
             ),
         ];
         assert!(lint_error_impls(&sources).is_empty());
+    }
+
+    #[test]
+    fn flags_lock_acquisition_inside_for_loop() {
+        let f = lint_str("fn f() {\n for n in nodes {\n let d = cache.read();\n }\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockInLoop);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn flags_all_lock_methods_in_loops() {
+        let f = lint_str(
+            "for x in xs {\n a.write();\n b.lock();\n c.try_read();\n d.try_write();\n e.try_lock();\n}\n",
+        );
+        assert_eq!(f.len(), 5, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::LockInLoop));
+    }
+
+    #[test]
+    fn lock_in_loop_header_runs_once_and_is_allowed() {
+        let f = lint_str("for x in map.read().iter() {\n use_it(x);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_in_single_line_loop_is_flagged() {
+        let f = lint_str("for x in xs { m.read(); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockInLoop);
+    }
+
+    #[test]
+    fn lock_outside_loops_is_allowed() {
+        let f = lint_str(
+            "fn f() { let g = m.read(); for x in xs { use_it(x); }\n let h = m.write(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn io_style_calls_with_arguments_are_not_locks() {
+        let f = lint_str("for x in xs {\n file.write(buf);\n src.read(buf);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let f = lint_str("impl Display for Finding {\n fn fmt(&self) { m.read(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let f = lint_str("fn f(g: impl for<'a> Fn(&'a str)) { m.read(); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_in_loop_allow_hatch_works() {
+        let f = lint_str(
+            "for x in xs {\n // lint: allow(lock-in-loop) rarely-contended config lock\n m.read();\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let bare = lint_str("for x in xs {\n m.read(); // lint: allow(lock-in-loop)\n}\n");
+        assert_eq!(bare.len(), 2, "{bare:?}");
+        assert!(bare.iter().any(|f| f.rule == Rule::BadAllow));
+    }
+
+    #[test]
+    fn lock_in_test_cfg_loop_is_exempt() {
+        let f = lint_str("#[cfg(test)]\nmod tests {\n fn t() { for x in xs { m.read(); } }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

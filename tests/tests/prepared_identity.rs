@@ -1,0 +1,254 @@
+//! Bit-identity of the prepared-context batch engine (PR 3 tentpole):
+//! every batch service must produce *exactly* the same IEEE 754 bits as
+//! the naive per-pair path, for every registered measure, on the paper
+//! corpus. Comparisons use `f64::to_bits`, so even a `-0.0` vs `0.0` or
+//! NaN-payload drift fails.
+
+use sst_bench::{load_corpus, names};
+use sst_core::{BatchMode, CachedSimilarity, ConceptRef, ConceptSet, SstToolkit, TreeMode};
+use sst_simpack::{Amalgamation, Combiner};
+
+fn corpus() -> SstToolkit {
+    load_corpus(TreeMode::SuperThing, false)
+}
+
+/// A cross-ontology concept set exercising every runner input: taxonomy
+/// positions, names, feature sets, documentation (tf-idf), and subtrees.
+fn mixed_set() -> ConceptSet {
+    ConceptSet::List(vec![
+        ConceptRef::new("Professor", names::DAML_UNIV),
+        ConceptRef::new("AssistantProfessor", names::UNIV_BENCH),
+        ConceptRef::new("FullProfessor", names::UNIV_BENCH),
+        ConceptRef::new("Student", names::UNIV_BENCH),
+        ConceptRef::new("GraduateStudent", names::UNIV_BENCH),
+        ConceptRef::new("Publication", names::UNIV_BENCH),
+        ConceptRef::new("EMPLOYEE", names::COURSES),
+        ConceptRef::new("COURSE", names::COURSES),
+        ConceptRef::new("Human", names::SUMO),
+        ConceptRef::new("Mammal", names::SUMO),
+        ConceptRef::new("Publication", names::SWRC),
+        ConceptRef::new("PhDStudent", names::SWRC),
+        // Duplicate member: the identity axiom and memo-hit semantics must
+        // survive repeated concepts in a `List` set.
+        ConceptRef::new("Student", names::UNIV_BENCH),
+    ])
+}
+
+fn all_measures(sst: &SstToolkit) -> Vec<usize> {
+    (0..sst.measure_count()).collect()
+}
+
+fn assert_matrices_bit_identical(
+    measure: usize,
+    a: &(Vec<String>, Vec<Vec<f64>>),
+    b: &(Vec<String>, Vec<Vec<f64>>),
+    what: &str,
+) {
+    assert_eq!(a.0, b.0, "labels diverge for measure {measure} ({what})");
+    for (i, (ra, rb)) in a.1.iter().zip(&b.1).enumerate() {
+        for (j, (va, vb)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "measure {measure} {what} diverges at [{i}][{j}]: {va} vs {vb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_matrix_is_bit_identical_to_naive_for_every_measure() {
+    let sst = corpus();
+    let set = mixed_set();
+    for measure in all_measures(&sst) {
+        let naive = sst
+            .similarity_matrix_mode(&set, measure, BatchMode::Naive)
+            .unwrap();
+        let prepared = sst
+            .similarity_matrix_mode(&set, measure, BatchMode::Prepared)
+            .unwrap();
+        assert_matrices_bit_identical(measure, &naive, &prepared, "prepared vs naive");
+    }
+}
+
+#[test]
+fn prepared_matrix_is_bit_identical_on_a_subtree_set() {
+    let sst = corpus();
+    let set = ConceptSet::Subtree(ConceptRef::new("Person", names::UNIV_BENCH));
+    for measure in all_measures(&sst) {
+        let naive = sst
+            .similarity_matrix_mode(&set, measure, BatchMode::Naive)
+            .unwrap();
+        let prepared = sst
+            .similarity_matrix_mode(&set, measure, BatchMode::Prepared)
+            .unwrap();
+        assert_matrices_bit_identical(measure, &naive, &prepared, "subtree prepared vs naive");
+    }
+}
+
+#[test]
+fn parallel_prepared_matrix_matches_serial_for_every_measure() {
+    let sst = corpus();
+    let set = mixed_set();
+    for measure in all_measures(&sst) {
+        let serial = sst
+            .similarity_matrix_mode(&set, measure, BatchMode::Prepared)
+            .unwrap();
+        for threads in [1, 3, 8] {
+            let parallel = sst
+                .similarity_matrix_parallel_mode(&set, measure, threads, BatchMode::Prepared)
+                .unwrap();
+            assert_matrices_bit_identical(measure, &serial, &parallel, "parallel vs serial");
+        }
+        let naive_parallel = sst
+            .similarity_matrix_parallel_mode(&set, measure, 4, BatchMode::Naive)
+            .unwrap();
+        assert_matrices_bit_identical(measure, &serial, &naive_parallel, "naive-parallel");
+    }
+}
+
+#[test]
+fn similarity_to_set_matches_pairwise_service_for_every_measure() {
+    let sst = corpus();
+    let set = mixed_set();
+    let (query, query_onto) = ("Professor", names::DAML_UNIV);
+    for measure in all_measures(&sst) {
+        let batched = sst
+            .similarity_to_set(query, query_onto, &set, measure)
+            .unwrap();
+        let ConceptSet::List(ref refs) = set else {
+            unreachable!()
+        };
+        assert_eq!(batched.len(), refs.len());
+        for (row, r) in batched.iter().zip(refs) {
+            assert_eq!(row.concept, r.concept);
+            assert_eq!(row.ontology, r.ontology);
+            let direct = sst
+                .get_similarity(query, query_onto, &r.concept, &r.ontology, measure)
+                .unwrap();
+            assert_eq!(
+                row.similarity.to_bits(),
+                direct.to_bits(),
+                "measure {measure} batch vs pairwise diverges on {}:{}",
+                r.ontology,
+                r.concept
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_most_similar_matches_direct_for_every_measure() {
+    let sst = corpus();
+    let set = mixed_set();
+    let cache = CachedSimilarity::new(&sst);
+    for measure in all_measures(&sst) {
+        let direct = sst
+            .most_similar("Student", names::UNIV_BENCH, &set, 7, measure)
+            .unwrap();
+        // Run the cached path twice: cold (batch-computed misses) and warm
+        // (pure memo hits) must both reproduce the direct ranking.
+        for pass in ["cold", "warm"] {
+            let cached = cache
+                .most_similar("Student", names::UNIV_BENCH, &set, 7, measure)
+                .unwrap();
+            assert_eq!(cached.len(), direct.len());
+            for (c, d) in cached.iter().zip(&direct) {
+                assert_eq!((&c.concept, &c.ontology), (&d.concept, &d.ontology));
+                assert_eq!(
+                    c.similarity.to_bits(),
+                    d.similarity.to_bits(),
+                    "measure {measure} {pass} cached ranking diverges"
+                );
+            }
+        }
+    }
+    let (hits, misses) = cache.stats();
+    assert!(hits > 0 && misses > 0, "hits={hits} misses={misses}");
+}
+
+#[test]
+fn most_similar_multi_matches_per_measure_rankings() {
+    let sst = corpus();
+    let set = mixed_set();
+    let measures = all_measures(&sst);
+    let multi = sst
+        .most_similar_multi("Human", names::SUMO, &set, 5, &measures)
+        .unwrap();
+    assert_eq!(multi.len(), measures.len());
+    for (&measure, ranking) in measures.iter().zip(&multi) {
+        let single = sst
+            .most_similar("Human", names::SUMO, &set, 5, measure)
+            .unwrap();
+        assert_eq!(ranking.len(), single.len());
+        for (a, b) in ranking.iter().zip(&single) {
+            assert_eq!((&a.concept, &a.ontology), (&b.concept, &b.ontology));
+            assert_eq!(
+                a.similarity.to_bits(),
+                b.similarity.to_bits(),
+                "measure {measure} multi vs single ranking diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn combined_ranking_matches_pairwise_combined_scores() {
+    let sst = corpus();
+    let set = mixed_set();
+    let measures = [
+        sst_core::measure_ids::CONCEPTUAL_SIMILARITY_MEASURE,
+        sst_core::measure_ids::LEVENSHTEIN_MEASURE,
+        sst_core::measure_ids::TFIDF_MEASURE,
+    ];
+    let combiner = Combiner::uniform(Amalgamation::WeightedAverage, measures.len());
+    let ranked = sst
+        .most_similar_combined("Student", names::UNIV_BENCH, &set, 20, &measures, &combiner)
+        .unwrap();
+    for row in &ranked {
+        let direct = sst
+            .combined_similarity(
+                "Student",
+                names::UNIV_BENCH,
+                &row.concept,
+                &row.ontology,
+                &measures,
+                &combiner,
+            )
+            .unwrap();
+        assert_eq!(
+            row.similarity.to_bits(),
+            direct.to_bits(),
+            "combined ranking diverges on {}:{}",
+            row.ontology,
+            row.concept
+        );
+    }
+}
+
+#[test]
+fn alignment_scores_match_pairwise_combined_scores() {
+    let sst = corpus();
+    let config = sst_core::AlignmentConfig::default();
+    let combiner = Combiner::uniform(config.strategy, config.measures.len());
+    let result = sst_core::align(&sst, names::UNIV_BENCH, names::COURSES, &config).unwrap();
+    assert!(!result.is_empty());
+    for corr in &result {
+        let scores = sst
+            .get_similarities(
+                &corr.source_concept,
+                names::UNIV_BENCH,
+                &corr.target_concept,
+                names::COURSES,
+                &config.measures,
+            )
+            .unwrap();
+        assert_eq!(
+            corr.similarity.to_bits(),
+            combiner.combine(&scores).to_bits(),
+            "alignment score diverges on {} -> {}",
+            corr.source_concept,
+            corr.target_concept
+        );
+    }
+}
