@@ -1,0 +1,104 @@
+//! Fault-injection gate: mutates the seed ontology fixtures under
+//! `data/` into hostile inputs and drives every governed parser over
+//! them, asserting the ingestion layer's robustness contract — any
+//! input yields `Ok` or a structured `Err`; never a panic, stack
+//! overflow, or runaway allocation.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p sst-bench --bin fault_smoke             # full run
+//! cargo run --release -p sst-bench --bin fault_smoke -- --smoke  # CI gate
+//! ```
+//!
+//! `--smoke` derives fewer mutants per fixture so the gate stays fast;
+//! both modes run the synthetic deep-nesting and long-literal attacks.
+//! The fault corpus is seeded, so any failure reproduces exactly.
+
+use sst_bench::{build_corpus, data_dir, run_fault_suite, Format};
+use sst_limits::Limits;
+use sst_obs::Metrics;
+
+/// Mutants derived per seed fixture (cycling truncate/flip/splice).
+const FULL_MUTANTS: usize = 120;
+const SMOKE_MUTANTS: usize = 18;
+/// The corpus stream seed; bump to explore a fresh mutation stream.
+const SEED: u64 = 0x5357_4F51_4121;
+
+fn read_fixture(rel: &str) -> String {
+    let path = data_dir().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_seed = if smoke { SMOKE_MUTANTS } else { FULL_MUTANTS };
+
+    // Seed fixtures: the real corpus files, plus inline Turtle/N-Triples
+    // seeds (the checked-in ontologies are RDF/XML, PowerLoom, WordNet).
+    let mut seeds = vec![
+        (Format::RdfXml, read_fixture("ontologies/univ-bench.owl")),
+        (Format::RdfXml, read_fixture("ontologies/swrc.owl")),
+        (Format::RdfXml, read_fixture("ontologies/univ1.0.daml")),
+        (Format::Sexpr, read_fixture("ontologies/course.ploom")),
+        (Format::WordNet, read_fixture("wordnet/data.noun")),
+        (Format::WordNet, read_fixture("wordnet/index.noun")),
+        (
+            Format::Turtle,
+            "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n\
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             @prefix : <http://e/#> .\n\
+             :A a owl:Class ; rdfs:comment \"root \\u00e9class\" .\n\
+             :B a owl:Class ; rdfs:subClassOf :A ; :rel ( :A [ :p :A ] ) .\n"
+                .to_owned(),
+        ),
+        (
+            Format::NTriples,
+            "<http://e/s> <http://e/p> \"v\" .\n\
+             <http://e/s> <http://e/q> _:b0 .\n\
+             _:b0 <http://e/r> \"\\u0041 tail\"@en .\n"
+                .to_owned(),
+        ),
+    ];
+    // The generated SUMO fixture is optional (produced by gen_ontologies).
+    let sumo = data_dir().join("ontologies/sumo.owl");
+    if sumo.exists() {
+        seeds.push((Format::RdfXml, read_fixture("ontologies/sumo.owl")));
+    }
+
+    let cases = build_corpus(&seeds, per_seed, SEED);
+    let metrics = Metrics::new();
+    let report = run_fault_suite(&cases, &Limits::default(), &metrics);
+
+    println!(
+        "fault corpus: {} cases from {} seeds ({} mutants each + synthetic attacks)",
+        report.cases,
+        seeds.len(),
+        per_seed
+    );
+    println!(
+        "  accepted: {:>5}  (mutation left the document parseable)",
+        report.accepted
+    );
+    println!(
+        "  rejected: {:>5}  (structured error returned)",
+        report.rejected
+    );
+    println!("  limit violations by counter:");
+    if report.limit_counters.is_empty() {
+        println!("    (none)");
+    } else {
+        for (name, value) in &report.limit_counters {
+            println!("    {name:<32} {value}");
+        }
+    }
+
+    // Gate conditions. Reaching this line at all means no parser panicked
+    // or overflowed the stack; beyond that, the synthetic attacks must
+    // have tripped the limits rather than slipped through.
+    assert_eq!(report.accepted + report.rejected, report.cases);
+    assert!(
+        !report.limit_counters.is_empty(),
+        "synthetic attacks failed to trip any resource limit"
+    );
+    println!("fault smoke: OK");
+}

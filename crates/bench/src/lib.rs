@@ -10,11 +10,13 @@
 
 pub mod corpus;
 pub mod eval;
+pub mod faults;
 pub mod harness;
 pub mod rng;
 pub mod workload;
 
 pub use corpus::{data_dir, load_corpus, names, PAPER_CONCEPT_COUNT};
 pub use eval::{evaluate_measures, perturb, render_results, EvalResult, Perturbation};
+pub use faults::{build_corpus, run_fault_suite, FaultCase, FaultReport, Format};
 pub use rng::SplitMix64;
 pub use workload::{generate_sumo_owl, generate_taxonomy, TaxonomySpec};

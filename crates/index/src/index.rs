@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use sst_limits::{Budget, LimitViolation, Limits};
 use sst_obs::Metrics;
 
 use crate::tokenizer::analyze;
@@ -186,14 +187,38 @@ fn norm(v: &[(TermId, f64)]) -> f64 {
 
 /// Builder accumulating documents before freezing them into an
 /// [`InvertedIndex`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IndexBuilder {
     index: InvertedIndex,
+    budget: Budget,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        IndexBuilder::new()
+    }
 }
 
 impl IndexBuilder {
+    /// An unbounded builder: index contents come from documents the caller
+    /// already parsed under its own limits, so `new()` applies none.
     pub fn new() -> Self {
-        IndexBuilder::default()
+        IndexBuilder {
+            index: InvertedIndex::default(),
+            budget: Budget::new(&Limits::unbounded()),
+        }
+    }
+
+    /// A builder that enforces a resource [`Limits`] policy while indexing:
+    /// the item cap bounds documents plus distinct terms, the step budget
+    /// bounds total analyzed bytes, and the literal cap bounds any single
+    /// document. Exceeding a limit makes [`IndexBuilder::try_add_document`]
+    /// return the violation.
+    pub fn with_limits(limits: &Limits) -> Self {
+        IndexBuilder {
+            index: InvertedIndex::default(),
+            budget: Budget::new(limits),
+        }
     }
 
     /// Like [`IndexBuilder::new`], but the builder and the built index
@@ -206,6 +231,7 @@ impl IndexBuilder {
                 metrics: Some(metrics),
                 ..InvertedIndex::default()
             },
+            budget: Budget::new(&Limits::unbounded()),
         }
     }
 
@@ -213,10 +239,31 @@ impl IndexBuilder {
     /// replaces nothing — it returns the existing id (documents are
     /// immutable once added).
     pub fn add_document(&mut self, key: impl Into<String>, text: &str) -> DocId {
+        // new()/with_metrics() builders are unbounded; limited builders are
+        // only built via with_limits(), whose callers use try_add_document.
+        // lint: allow(panic) unreachable on the unbounded builders this method documents
+        self.try_add_document(key, text).expect("unbounded builder")
+    }
+
+    /// Like [`IndexBuilder::add_document`], but charges the builder's
+    /// resource budget and reports the violation instead of indexing when
+    /// a limit is exceeded. On an unbounded builder this never fails.
+    ///
+    /// On failure no document is added; terms interned before the
+    /// violation stay in the vocabulary (with empty postings), which only
+    /// costs memory already accounted to the item budget.
+    pub fn try_add_document(
+        &mut self,
+        key: impl Into<String>,
+        text: &str,
+    ) -> Result<DocId, LimitViolation> {
         let key = key.into();
         if let Some(&existing) = self.index.keys.get(&key) {
-            return existing;
+            return Ok(existing);
         }
+        self.budget.item("index documents")?;
+        self.budget.check_literal(text.len(), "index document")?;
+        self.budget.charge_steps(text.len() as u64, "index bytes")?;
         // lint: allow(panic) id space (2^32 documents) exceeds any real corpus
         let doc = DocId(u32::try_from(self.index.docs.len()).expect("too many documents"));
         let tokens = analyze(text);
@@ -226,6 +273,7 @@ impl IndexBuilder {
             let term_id = match self.index.term_ids.get(token) {
                 Some(&t) => t,
                 None => {
+                    self.budget.item("index terms")?;
                     let next_term = u32::try_from(self.index.terms.len()).expect("too many terms"); // lint: allow(panic) id space (2^32 terms) exceeds any real vocabulary
                     let t = TermId(next_term);
                     self.index.terms.push(token.clone());
@@ -253,7 +301,7 @@ impl IndexBuilder {
         });
         self.index.keys.insert(key, doc);
         self.index.doc_terms.push(doc_vec);
-        doc
+        Ok(doc)
     }
 
     /// Freezes the builder.
@@ -336,6 +384,29 @@ mod tests {
         let c = b.add_document("k", "three four");
         assert_eq!(a, c);
         assert_eq!(b.build().doc_count(), 1);
+    }
+
+    #[test]
+    fn limited_builder_reports_violations() {
+        let limits = Limits::default().with_max_items(2);
+        let mut b = IndexBuilder::with_limits(&limits);
+        // One document plus one distinct term fit the budget of 2...
+        assert!(b.try_add_document("a", "alpha").is_ok());
+        // ...but the second document is item #3.
+        let violation = b.try_add_document("b", "alpha").unwrap_err();
+        assert_eq!(violation.kind, sst_limits::LimitKind::Items);
+        // Re-adding an existing key costs nothing even on an empty budget.
+        assert!(b.try_add_document("a", "alpha").is_ok());
+        assert_eq!(b.build().doc_count(), 1);
+    }
+
+    #[test]
+    fn unbounded_builder_never_fails() {
+        let mut b = IndexBuilder::with_limits(&Limits::unbounded());
+        for i in 0..100 {
+            assert!(b.try_add_document(format!("d{i}"), "text here").is_ok());
+        }
+        assert_eq!(b.build().doc_count(), 100);
     }
 
     #[test]

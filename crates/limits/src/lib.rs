@@ -1,0 +1,449 @@
+//! # sst-limits — resource governance for untrusted ingestion
+//!
+//! Every SST parser (RDF/XML, Turtle, N-Triples, PowerLoom s-expressions,
+//! WordNet files) accepts third-party documents. A hostile or merely
+//! pathological file must not overflow the stack, exhaust memory, or spin
+//! forever — it must produce a structured error (or a bounded partial
+//! result) like any other malformed input.
+//!
+//! This crate is the shared vocabulary for that contract:
+//!
+//! - [`Limits`] — the static policy: maximum input size, nesting depth,
+//!   item count, literal length, and a deterministic step budget that acts
+//!   as a portable timeout.
+//! - [`Budget`] — the runtime tracker a parser threads through its
+//!   productions, charging steps/items/depth against a [`Limits`].
+//! - [`LimitViolation`] — the structured error: which limit, the configured
+//!   bound, the observed value, and what the parser was doing.
+//! - [`Partial`] — optional recovery: the value assembled before the
+//!   failure plus the diagnostics, for callers that prefer a bounded
+//!   partial result over an all-or-nothing `Err`.
+//!
+//! The crate is dependency-free so every substrate (sst-rdf, sst-sexpr,
+//! sst-index, sst-wrappers) can share one `Limits` type.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Which resource bound a [`LimitViolation`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// Total input size in bytes ([`Limits::max_input_bytes`]).
+    InputBytes,
+    /// Nesting / recursion depth ([`Limits::max_depth`]).
+    Depth,
+    /// Produced items — triples, forms, synsets, documents
+    /// ([`Limits::max_items`]).
+    Items,
+    /// A single literal, IRI, or token in bytes
+    /// ([`Limits::max_literal_bytes`]).
+    LiteralBytes,
+    /// Deterministic parser steps — the portable timeout
+    /// ([`Limits::max_steps`]).
+    Steps,
+}
+
+impl LimitKind {
+    /// Stable snake_case name, used for metric keys
+    /// (`<parser>.limit.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LimitKind::InputBytes => "input_bytes",
+            LimitKind::Depth => "depth",
+            LimitKind::Items => "items",
+            LimitKind::LiteralBytes => "literal_bytes",
+            LimitKind::Steps => "steps",
+        }
+    }
+}
+
+/// A structured resource-limit error: what was exceeded and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitViolation {
+    /// Which bound was hit.
+    pub kind: LimitKind,
+    /// The configured bound.
+    pub limit: u64,
+    /// The observed value (the first value past the bound).
+    pub observed: u64,
+    /// What the parser was doing, e.g. `"turtle collection nesting"`.
+    pub what: &'static str,
+}
+
+impl fmt::Display for LimitViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exceeded the {} limit ({} > {})",
+            self.what,
+            self.kind.name(),
+            self.observed,
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for LimitViolation {}
+
+/// Static resource policy for one parse.
+///
+/// [`Limits::default`] is the governed profile every convenience entry
+/// point (`parse_turtle`, `parse_all`, `parse_owl`, …) applies; it is
+/// sized so that all legitimate ontology documents — including the
+/// full seed corpus under `data/` — parse identically to an unbounded
+/// run, while pathological inputs fail fast. Callers that genuinely
+/// need more (a trusted multi-gigabyte dump) opt out explicitly with
+/// [`Limits::unbounded`] or a field override through the
+/// `*_with_limits` entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum document size in bytes (default 64 MiB).
+    pub max_input_bytes: usize,
+    /// Maximum nesting / recursion depth (default 128).
+    pub max_depth: usize,
+    /// Maximum produced items — triples, forms, synsets, indexed
+    /// documents (default 4,000,000).
+    pub max_items: u64,
+    /// Maximum size of a single literal, IRI, or token in bytes
+    /// (default 1 MiB).
+    pub max_literal_bytes: usize,
+    /// Maximum deterministic parser steps; roughly one step per consumed
+    /// character, so this caps total work like a timeout that does not
+    /// depend on the host clock (default 512,000,000).
+    pub max_steps: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_input_bytes: 64 << 20,
+            max_depth: 128,
+            max_items: 4_000_000,
+            max_literal_bytes: 1 << 20,
+            max_steps: 512_000_000,
+        }
+    }
+}
+
+impl Limits {
+    /// The governed default profile (same as [`Limits::default`]).
+    pub fn governed() -> Limits {
+        Limits::default()
+    }
+
+    /// The explicit opt-out: every bound at its maximum. Parses behave
+    /// exactly like the pre-governance parsers.
+    pub fn unbounded() -> Limits {
+        Limits {
+            max_input_bytes: usize::MAX,
+            max_depth: usize::MAX,
+            max_items: u64::MAX,
+            max_literal_bytes: usize::MAX,
+            max_steps: u64::MAX,
+        }
+    }
+
+    /// Override the input-size bound.
+    pub fn with_max_input_bytes(mut self, n: usize) -> Limits {
+        self.max_input_bytes = n;
+        self
+    }
+
+    /// Override the nesting-depth bound.
+    pub fn with_max_depth(mut self, n: usize) -> Limits {
+        self.max_depth = n;
+        self
+    }
+
+    /// Override the item-count bound.
+    pub fn with_max_items(mut self, n: u64) -> Limits {
+        self.max_items = n;
+        self
+    }
+
+    /// Override the per-literal size bound.
+    pub fn with_max_literal_bytes(mut self, n: usize) -> Limits {
+        self.max_literal_bytes = n;
+        self
+    }
+
+    /// Override the step budget.
+    pub fn with_max_steps(mut self, n: u64) -> Limits {
+        self.max_steps = n;
+        self
+    }
+}
+
+/// Runtime tracker charging work against a [`Limits`].
+///
+/// A parser holds one `Budget` for the whole document and calls the
+/// charge methods from its productions; each returns the structured
+/// [`LimitViolation`] as soon as a bound is crossed.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    limits: Limits,
+    steps: u64,
+    depth: usize,
+    items: u64,
+}
+
+impl Budget {
+    /// A fresh budget governed by `limits`.
+    pub fn new(limits: &Limits) -> Budget {
+        Budget {
+            limits: *limits,
+            steps: 0,
+            depth: 0,
+            items: 0,
+        }
+    }
+
+    /// The policy this budget charges against.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Current nesting depth (for diagnostics).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Items charged so far.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Rejects inputs larger than `max_input_bytes` before any work is done.
+    pub fn check_input(&self, bytes: usize, what: &'static str) -> Result<(), LimitViolation> {
+        if bytes > self.limits.max_input_bytes {
+            return Err(LimitViolation {
+                kind: LimitKind::InputBytes,
+                limit: self.limits.max_input_bytes as u64,
+                observed: bytes as u64,
+                what,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges one deterministic step (call once per consumed character).
+    #[inline]
+    pub fn step(&mut self, what: &'static str) -> Result<(), LimitViolation> {
+        self.charge_steps(1, what)
+    }
+
+    /// Charges `n` steps at once.
+    #[inline]
+    pub fn charge_steps(&mut self, n: u64, what: &'static str) -> Result<(), LimitViolation> {
+        self.steps = self.steps.saturating_add(n);
+        if self.steps > self.limits.max_steps {
+            return Err(LimitViolation {
+                kind: LimitKind::Steps,
+                limit: self.limits.max_steps,
+                observed: self.steps,
+                what,
+            });
+        }
+        Ok(())
+    }
+
+    /// Enters one nesting level; pair with [`Budget::exit`].
+    pub fn enter(&mut self, what: &'static str) -> Result<(), LimitViolation> {
+        let next = self.depth.saturating_add(1);
+        if next > self.limits.max_depth {
+            return Err(LimitViolation {
+                kind: LimitKind::Depth,
+                limit: self.limits.max_depth as u64,
+                observed: next as u64,
+                what,
+            });
+        }
+        self.depth = next;
+        Ok(())
+    }
+
+    /// Leaves one nesting level.
+    pub fn exit(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Charges one produced item (triple, form, synset, document).
+    pub fn item(&mut self, what: &'static str) -> Result<(), LimitViolation> {
+        self.items = self.items.saturating_add(1);
+        if self.items > self.limits.max_items {
+            return Err(LimitViolation {
+                kind: LimitKind::Items,
+                limit: self.limits.max_items,
+                observed: self.items,
+                what,
+            });
+        }
+        Ok(())
+    }
+
+    /// Rejects a single literal / IRI / token longer than
+    /// `max_literal_bytes`. Call while accumulating, so the allocation
+    /// stays bounded too.
+    pub fn check_literal(&self, bytes: usize, what: &'static str) -> Result<(), LimitViolation> {
+        if bytes > self.limits.max_literal_bytes {
+            return Err(LimitViolation {
+                kind: LimitKind::LiteralBytes,
+                limit: self.limits.max_literal_bytes as u64,
+                observed: bytes as u64,
+                what,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A bounded partial result: whatever was assembled before the first
+/// failure, plus the diagnostics explaining what was lost.
+///
+/// The recovery contract is prefix-shaped: `value` holds everything the
+/// parser produced before the first error — there is no resynchronization
+/// past it (except line-oriented formats, which may record one diagnostic
+/// per bad line and keep going). `errors` is empty exactly when the parse
+/// was complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial<T, E> {
+    /// The value parsed so far (complete when `errors` is empty).
+    pub value: T,
+    /// Diagnostics, in document order. Bounded by
+    /// [`Partial::MAX_DIAGNOSTICS`] for recovering line-oriented parsers.
+    pub errors: Vec<E>,
+}
+
+impl<T, E> Partial<T, E> {
+    /// Cap on recorded diagnostics for parsers that resynchronize and keep
+    /// collecting (a hostile document must not grow an unbounded error
+    /// list).
+    pub const MAX_DIAGNOSTICS: usize = 64;
+
+    /// A complete parse: no diagnostics.
+    pub fn complete(value: T) -> Partial<T, E> {
+        Partial {
+            value,
+            errors: Vec::new(),
+        }
+    }
+
+    /// A truncated parse: the prefix value plus the error that stopped it.
+    pub fn broken(value: T, error: E) -> Partial<T, E> {
+        Partial {
+            value,
+            errors: vec![error],
+        }
+    }
+
+    /// True when the whole document parsed.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Collapses to a strict result: `Ok(value)` when complete, otherwise
+    /// the first diagnostic (the partial value is dropped).
+    pub fn into_result(mut self) -> Result<T, E> {
+        if self.errors.is_empty() {
+            Ok(self.value)
+        } else {
+            Err(self.errors.remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded_and_unbounded_is_not() {
+        let d = Limits::default();
+        assert!(d.max_depth < 100_000);
+        assert!(d.max_input_bytes < usize::MAX);
+        let u = Limits::unbounded();
+        assert_eq!(u.max_steps, u64::MAX);
+        assert_eq!(u.max_depth, usize::MAX);
+    }
+
+    #[test]
+    fn builder_overrides_one_field() {
+        let l = Limits::default().with_max_depth(3).with_max_items(10);
+        assert_eq!(l.max_depth, 3);
+        assert_eq!(l.max_items, 10);
+        assert_eq!(l.max_literal_bytes, Limits::default().max_literal_bytes);
+    }
+
+    #[test]
+    fn depth_charges_and_releases() {
+        let mut b = Budget::new(&Limits::default().with_max_depth(2));
+        assert!(b.enter("t").is_ok());
+        assert!(b.enter("t").is_ok());
+        let err = b.enter("nesting").unwrap_err();
+        assert_eq!(err.kind, LimitKind::Depth);
+        assert_eq!(err.limit, 2);
+        assert_eq!(err.observed, 3);
+        b.exit();
+        assert!(b.enter("t").is_ok(), "exit frees a level");
+    }
+
+    #[test]
+    fn steps_and_items_accumulate() {
+        let mut b = Budget::new(&Limits::default().with_max_steps(5).with_max_items(1));
+        for _ in 0..5 {
+            assert!(b.step("t").is_ok());
+        }
+        assert_eq!(b.step("work").unwrap_err().kind, LimitKind::Steps);
+        assert!(b.item("t").is_ok());
+        assert_eq!(b.item("t").unwrap_err().kind, LimitKind::Items);
+    }
+
+    #[test]
+    fn input_and_literal_checks() {
+        let b = Budget::new(
+            &Limits::default()
+                .with_max_input_bytes(10)
+                .with_max_literal_bytes(4),
+        );
+        assert!(b.check_input(10, "doc").is_ok());
+        assert_eq!(
+            b.check_input(11, "doc").unwrap_err().kind,
+            LimitKind::InputBytes
+        );
+        assert!(b.check_literal(4, "lit").is_ok());
+        let err = b.check_literal(5, "lit").unwrap_err();
+        assert_eq!(err.kind, LimitKind::LiteralBytes);
+        assert_eq!(err.what, "lit");
+    }
+
+    #[test]
+    fn violation_display_names_the_site() {
+        let err = LimitViolation {
+            kind: LimitKind::Depth,
+            limit: 128,
+            observed: 129,
+            what: "turtle collection nesting",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("turtle collection nesting"), "{msg}");
+        assert!(msg.contains("depth"), "{msg}");
+        assert!(msg.contains("129 > 128"), "{msg}");
+    }
+
+    #[test]
+    fn partial_contract() {
+        let ok: Partial<u32, &str> = Partial::complete(7);
+        assert!(ok.is_complete());
+        assert_eq!(ok.into_result(), Ok(7));
+        let broken: Partial<u32, &str> = Partial::broken(3, "boom");
+        assert!(!broken.is_complete());
+        assert_eq!(broken.into_result(), Err("boom"));
+    }
+}

@@ -32,6 +32,8 @@ pub enum RdfError {
     UnknownPrefix { prefix: String, location: Location },
     /// An IRI failed basic validation.
     InvalidIri { iri: String },
+    /// A resource-governance limit was exceeded while parsing.
+    Limit(sst_limits::LimitViolation),
 }
 
 impl fmt::Display for RdfError {
@@ -53,11 +55,18 @@ impl fmt::Display for RdfError {
                 write!(f, "unknown namespace prefix `{prefix}` at {location}")
             }
             RdfError::InvalidIri { iri } => write!(f, "invalid IRI: `{iri}`"),
+            RdfError::Limit(violation) => write!(f, "{violation}"),
         }
     }
 }
 
 impl std::error::Error for RdfError {}
+
+impl From<sst_limits::LimitViolation> for RdfError {
+    fn from(violation: sst_limits::LimitViolation) -> Self {
+        RdfError::Limit(violation)
+    }
+}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RdfError>;

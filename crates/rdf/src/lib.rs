@@ -38,8 +38,29 @@ pub use error::{Location, RdfError, Result};
 pub use graph::Graph;
 pub use inference::{rdfs_closure, InferenceOptions};
 pub use model::{BlankNode, Iri, Literal, Term, Triple};
-pub use ntriples::{parse_ntriples, write_ntriples};
-pub use rdfxml::{parse_rdfxml, parse_rdfxml_with_metrics, resolve_iri};
+pub use ntriples::{
+    parse_ntriples, parse_ntriples_partial, parse_ntriples_with_limits, write_ntriples,
+};
+pub use rdfxml::{
+    parse_rdfxml, parse_rdfxml_partial, parse_rdfxml_with_limits, parse_rdfxml_with_metrics,
+    resolve_iri,
+};
 pub use rdfxml_writer::write_rdfxml;
 pub use sparql::{parse_select, select, Binding, SelectQuery};
-pub use turtle::{parse_turtle, parse_turtle_with_metrics, write_turtle};
+pub use sst_limits::{Budget, LimitKind, LimitViolation, Limits, Partial};
+pub use turtle::{
+    parse_turtle, parse_turtle_partial, parse_turtle_with_limits, parse_turtle_with_metrics,
+    write_turtle,
+};
+
+/// Bumps the `<prefix>.limit.<kind>` counter for a violation when metrics
+/// are wired in.
+pub(crate) fn record_limit_violation(
+    metrics: Option<&sst_obs::Metrics>,
+    prefix: &str,
+    violation: &sst_limits::LimitViolation,
+) {
+    if let Some(m) = metrics {
+        m.inc(&format!("{prefix}.limit.{}", violation.kind.name()));
+    }
+}

@@ -1,14 +1,70 @@
 //! N-Triples parser and serializer (RDF 1.1 N-Triples, ASCII-escape subset).
 
+use sst_limits::{Budget, Limits, Partial};
+
 use crate::error::{RdfError, Result};
 use crate::graph::Graph;
 use crate::model::{Iri, Literal, Term, Triple};
 
-/// Parses an N-Triples document.
+/// Parses an N-Triples document under [`Limits::default`].
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_ntriples(input: &str) -> Result<Graph> {
+    parse_ntriples_with_limits(input, &Limits::default())
+}
+
+/// Parses an N-Triples document under an explicit resource [`Limits`]
+/// policy; violations surface as [`RdfError::Limit`].
+pub fn parse_ntriples_with_limits(input: &str, limits: &Limits) -> Result<Graph> {
+    let mut first_err = None;
+    let graph = parse_ntriples_inner(input, limits, &mut |err| {
+        if first_err.is_none() {
+            first_err = Some(err);
+        }
+        false
+    });
+    match first_err {
+        None => Ok(graph),
+        Some(err) => Err(err),
+    }
+}
+
+/// Parses as much of an N-Triples document as possible. Being
+/// line-oriented, the parser resynchronizes at the next line after a bad
+/// statement and records one diagnostic per bad line, up to
+/// [`Partial::MAX_DIAGNOSTICS`]; a [`RdfError::Limit`] violation stops the
+/// whole parse (the budget is document-global).
+pub fn parse_ntriples_partial(input: &str, limits: &Limits) -> Partial<Graph, RdfError> {
+    let mut errors = Vec::new();
+    let graph = parse_ntriples_inner(input, limits, &mut |err| {
+        let fatal = matches!(err, RdfError::Limit(_));
+        errors.push(err);
+        !fatal && errors.len() < Partial::<Graph, RdfError>::MAX_DIAGNOSTICS
+    });
+    Partial {
+        value: graph,
+        errors,
+    }
+}
+
+/// Shared driver: `on_error` decides whether to resynchronize at the next
+/// line (`true`) or stop (`false`).
+fn parse_ntriples_inner(
+    input: &str,
+    limits: &Limits,
+    on_error: &mut dyn FnMut(RdfError) -> bool,
+) -> Graph {
     let mut graph = Graph::new();
+    let mut budget = Budget::new(limits);
+    if let Err(violation) = budget.check_input(input.len(), "ntriples document") {
+        on_error(violation.into());
+        return graph;
+    }
     for (idx, raw_line) in input.lines().enumerate() {
         let line_no = (idx + 1) as u32;
+        if let Err(violation) = budget.charge_steps(raw_line.len() as u64 + 1, "ntriples bytes") {
+            on_error(violation.into());
+            return graph;
+        }
         let line = raw_line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -17,23 +73,24 @@ pub fn parse_ntriples(input: &str) -> Result<Graph> {
             input: line,
             pos: 0,
             line: line_no,
+            budget: &budget,
         };
-        let subject = cursor.parse_subject()?;
-        cursor.skip_ws();
-        let predicate = cursor.parse_iri()?;
-        cursor.skip_ws();
-        let object = cursor.parse_term()?;
-        cursor.skip_ws();
-        if !cursor.eat('.') {
-            return Err(cursor.err("expected `.` at end of statement"));
+        match cursor.parse_statement() {
+            Ok(triple) => {
+                if let Err(violation) = budget.item("ntriples triples") {
+                    on_error(violation.into());
+                    return graph;
+                }
+                graph.insert(triple);
+            }
+            Err(err) => {
+                if !on_error(err) {
+                    return graph;
+                }
+            }
         }
-        cursor.skip_ws();
-        if !cursor.at_end() && !cursor.rest().starts_with('#') {
-            return Err(cursor.err("trailing content after `.`"));
-        }
-        graph.insert(Triple::new(subject, predicate, object));
     }
-    Ok(graph)
+    graph
 }
 
 /// Serializes a graph to N-Triples, one statement per line, in index order.
@@ -50,6 +107,7 @@ struct Cursor<'a> {
     input: &'a str,
     pos: usize,
     line: u32,
+    budget: &'a Budget,
 }
 
 impl<'a> Cursor<'a> {
@@ -58,6 +116,23 @@ impl<'a> Cursor<'a> {
             message: message.into(),
             line: self.line,
         }
+    }
+
+    fn parse_statement(&mut self) -> Result<Triple> {
+        let subject = self.parse_subject()?;
+        self.skip_ws();
+        let predicate = self.parse_iri()?;
+        self.skip_ws();
+        let object = self.parse_term()?;
+        self.skip_ws();
+        if !self.eat('.') {
+            return Err(self.err("expected `.` at end of statement"));
+        }
+        self.skip_ws();
+        if !self.at_end() && !self.rest().starts_with('#') {
+            return Err(self.err("trailing content after `.`"));
+        }
+        Ok(Triple::new(subject, predicate, object))
     }
 
     fn rest(&self) -> &'a str {
@@ -110,6 +185,7 @@ impl<'a> Cursor<'a> {
         }
         let rest = self.rest();
         let end = rest.find('>').ok_or_else(|| self.err("unterminated IRI"))?;
+        self.budget.check_literal(end, "ntriples IRI")?;
         let iri = &rest[..end];
         if iri
             .chars()
@@ -137,6 +213,8 @@ impl<'a> Cursor<'a> {
         if end == 0 {
             return Err(self.err("empty blank node label"));
         }
+        self.budget
+            .check_literal(end, "ntriples blank node label")?;
         let label = &rest[..end];
         self.pos += end;
         Ok(Term::blank(label))
@@ -148,6 +226,8 @@ impl<'a> Cursor<'a> {
         }
         let mut lexical = String::new();
         loop {
+            self.budget
+                .check_literal(lexical.len(), "ntriples literal")?;
             let Some(c) = self.peek() else {
                 return Err(self.err("unterminated literal"));
             };

@@ -7,6 +7,8 @@
 //! and `rdf:datatype`), and `rdf:parseType="Resource" | "Collection" |
 //! "Literal"`. `xml:base` and `xml:lang` are scoped per element.
 
+use sst_limits::{Budget, Limits, Partial};
+
 use crate::error::{RdfError, Result};
 use crate::graph::Graph;
 use crate::model::{Iri, Literal, Term, Triple};
@@ -15,41 +17,99 @@ use crate::xml::{ExpandedName, NsAttribute, NsEvent, NsReader};
 
 const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
 
-/// Parses an RDF/XML document into a [`Graph`].
+/// Parses an RDF/XML document into a [`Graph`] under [`Limits::default`].
 ///
 /// `base` is the document base IRI used to resolve relative references;
 /// an in-document `xml:base` overrides it.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_rdfxml(input: &str, base: &str) -> Result<Graph> {
-    parse_rdfxml_with_metrics(input, base, None)
+    parse_rdfxml_with_limits(input, base, &Limits::default(), None)
 }
 
 /// Like [`parse_rdfxml`], but records throughput into `metrics` when given:
 /// `rdf.rdfxml.documents` / `rdf.rdfxml.triples` / `rdf.rdfxml.bytes`
 /// counters and the `rdf.rdfxml.parse.latency` histogram.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_rdfxml_with_metrics(
     input: &str,
     base: &str,
     metrics: Option<&sst_obs::Metrics>,
 ) -> Result<Graph> {
+    parse_rdfxml_with_limits(input, base, &Limits::default(), metrics)
+}
+
+/// Parses an RDF/XML document under an explicit resource [`Limits`] policy.
+/// The XML layer enforces the input-size, element-nesting, and token-length
+/// bounds (bounding this parser's recursion); this layer charges each
+/// produced triple. A violation surfaces as [`RdfError::Limit`] and bumps
+/// the `rdf.rdfxml.limit.<kind>` counter when `metrics` is given.
+pub fn parse_rdfxml_with_limits(
+    input: &str,
+    base: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<Graph> {
+    match parse_rdfxml_inner(input, base, limits, metrics) {
+        (graph, None) => Ok(graph),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+/// Parses as much of an RDF/XML document as possible. The returned
+/// [`Partial`] holds every triple inserted before the first error plus that
+/// error; a clean parse has an empty `errors` vector.
+pub fn parse_rdfxml_partial(
+    input: &str,
+    base: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Partial<Graph, RdfError> {
+    match parse_rdfxml_inner(input, base, limits, metrics) {
+        (graph, None) => Partial::complete(graph),
+        (graph, Some(err)) => Partial::broken(graph, err),
+    }
+}
+
+fn parse_rdfxml_inner(
+    input: &str,
+    base: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> (Graph, Option<RdfError>) {
     let _span = metrics.map(|m| m.span("rdf.rdfxml.parse.latency"));
+    let budget = Budget::new(limits);
+    if let Err(violation) = budget.check_input(input.len(), "rdfxml document") {
+        crate::record_limit_violation(metrics, "rdf.rdfxml", &violation);
+        return (Graph::new(), Some(violation.into()));
+    }
     let mut parser = RdfXmlParser {
-        reader: NsReader::new(input),
+        reader: NsReader::with_limits(input, limits),
         graph: Graph::new(),
         blank_counter: 0,
+        budget,
     };
-    parser.parse_document(base)?;
-    // Remember prefixes declared on the root element (best effort: scan the
-    // first tag textually so serializers can reuse them).
-    for (prefix, ns) in scan_root_prefixes(input) {
-        parser.graph.add_prefix(prefix, ns);
+    match parser.parse_document(base) {
+        Ok(()) => {
+            // Remember prefixes declared on the root element (best effort:
+            // scan the first tag textually so serializers can reuse them).
+            for (prefix, ns) in scan_root_prefixes(input) {
+                parser.graph.add_prefix(prefix, ns);
+            }
+            parser.graph.set_base(base);
+            if let Some(m) = metrics {
+                m.inc("rdf.rdfxml.documents");
+                m.add("rdf.rdfxml.triples", parser.graph.len() as u64);
+                m.add("rdf.rdfxml.bytes", input.len() as u64);
+            }
+            (parser.graph, None)
+        }
+        Err(err) => {
+            if let RdfError::Limit(violation) = &err {
+                crate::record_limit_violation(metrics, "rdf.rdfxml", violation);
+            }
+            (parser.graph, Some(err))
+        }
     }
-    parser.graph.set_base(base);
-    if let Some(m) = metrics {
-        m.inc("rdf.rdfxml.documents");
-        m.add("rdf.rdfxml.triples", parser.graph.len() as u64);
-        m.add("rdf.rdfxml.bytes", input.len() as u64);
-    }
-    Ok(parser.graph)
 }
 
 /// Extracts `xmlns` declarations from the document's root element.
@@ -144,6 +204,7 @@ struct RdfXmlParser<'a> {
     reader: NsReader<'a>,
     graph: Graph,
     blank_counter: u64,
+    budget: Budget,
 }
 
 /// Scoped state inherited down the element tree.
@@ -164,6 +225,12 @@ impl<'a> RdfXmlParser<'a> {
     fn fresh_blank(&mut self) -> Term {
         self.blank_counter += 1;
         Term::blank(format!("b{}", self.blank_counter))
+    }
+
+    fn insert(&mut self, triple: Triple) -> Result<()> {
+        self.budget.item("rdfxml triples")?;
+        self.graph.insert(triple);
+        Ok(())
     }
 
     fn scoped(&self, parent: &Scope, attributes: &[NsAttribute]) -> Scope {
@@ -281,11 +348,11 @@ impl<'a> RdfXmlParser<'a> {
 
         // Typed node element ⇒ rdf:type triple.
         if !name.is(RDF_NS, "Description") {
-            self.graph.insert(Triple::new(
+            self.insert(Triple::new(
                 subject.clone(),
                 rdf::type_(),
                 Term::iri(name.as_iri()),
-            ));
+            ))?;
         }
 
         // Property attributes.
@@ -298,11 +365,11 @@ impl<'a> RdfXmlParser<'a> {
                 Some(lang) => Term::Literal(Literal::lang(attr.value.clone(), lang.clone())),
                 None => Term::Literal(Literal::plain(attr.value.clone())),
             };
-            self.graph.insert(Triple::new(
+            self.insert(Triple::new(
                 subject.clone(),
                 Iri::new(attr.name.as_iri()),
                 object,
-            ));
+            ))?;
         }
 
         if self_closing {
@@ -381,8 +448,7 @@ impl<'a> RdfXmlParser<'a> {
         match parse_type.as_deref() {
             Some("Resource") => {
                 let node = self.fresh_blank();
-                self.graph
-                    .insert(Triple::new(subject.clone(), predicate, node.clone()));
+                self.insert(Triple::new(subject.clone(), predicate, node.clone()))?;
                 if self_closing {
                     self.consume_end()?;
                 } else {
@@ -397,9 +463,8 @@ impl<'a> RdfXmlParser<'a> {
                 } else {
                     self.parse_collection_items(&scope)?
                 };
-                let list = self.build_list(items);
-                self.graph
-                    .insert(Triple::new(subject.clone(), predicate, list));
+                let list = self.build_list(items)?;
+                self.insert(Triple::new(subject.clone(), predicate, list))?;
                 return Ok(());
             }
             Some("Literal") => {
@@ -409,14 +474,14 @@ impl<'a> RdfXmlParser<'a> {
                 } else {
                     self.collect_xml_literal()?
                 };
-                self.graph.insert(Triple::new(
+                self.insert(Triple::new(
                     subject.clone(),
                     predicate,
                     Term::Literal(Literal::typed(
                         text,
                         Iri::new(format!("{RDF_NS}XMLLiteral")),
                     )),
-                ));
+                ))?;
                 return Ok(());
             }
             Some(other) => return self.err(format!("unsupported parseType `{other}`")),
@@ -424,13 +489,11 @@ impl<'a> RdfXmlParser<'a> {
         }
 
         if let Some(object) = resource {
-            self.graph
-                .insert(Triple::new(subject.clone(), predicate, object.clone()));
+            self.insert(Triple::new(subject.clone(), predicate, object.clone()))?;
             // Property attributes on a reference property element describe
             // the object.
             for (p, v) in prop_attrs {
-                self.graph
-                    .insert(Triple::new(object.clone(), p, Term::literal(v)));
+                self.insert(Triple::new(object.clone(), p, Term::literal(v)))?;
             }
             if self_closing {
                 self.consume_end()?;
@@ -448,11 +511,9 @@ impl<'a> RdfXmlParser<'a> {
         if !prop_attrs.is_empty() {
             // Empty property element with property attributes ⇒ blank node.
             let node = self.fresh_blank();
-            self.graph
-                .insert(Triple::new(subject.clone(), predicate, node.clone()));
+            self.insert(Triple::new(subject.clone(), predicate, node.clone()))?;
             for (p, v) in prop_attrs {
-                self.graph
-                    .insert(Triple::new(node.clone(), p, Term::literal(v)));
+                self.insert(Triple::new(node.clone(), p, Term::literal(v)))?;
             }
             if self_closing {
                 self.consume_end()?;
@@ -468,11 +529,11 @@ impl<'a> RdfXmlParser<'a> {
         if self_closing {
             // Empty property element: empty literal.
             self.consume_end()?;
-            self.graph.insert(Triple::new(
+            self.insert(Triple::new(
                 subject.clone(),
                 predicate,
                 self.make_literal(String::new(), datatype, &scope),
-            ));
+            ))?;
             return Ok(());
         }
 
@@ -502,15 +563,14 @@ impl<'a> RdfXmlParser<'a> {
                 if !text.trim().is_empty() {
                     return self.err("mixed text and node content in property element");
                 }
-                self.graph
-                    .insert(Triple::new(subject.clone(), predicate, object));
+                self.insert(Triple::new(subject.clone(), predicate, object))?;
             }
             None => {
-                self.graph.insert(Triple::new(
+                self.insert(Triple::new(
                     subject.clone(),
                     predicate,
                     self.make_literal(text, datatype, &scope),
-                ));
+                ))?;
             }
         }
         Ok(())
@@ -554,17 +614,15 @@ impl<'a> RdfXmlParser<'a> {
     }
 
     /// Builds an rdf:List from `items`, returning its head.
-    fn build_list(&mut self, items: Vec<Term>) -> Term {
+    fn build_list(&mut self, items: Vec<Term>) -> Result<Term> {
         let mut head = Term::Iri(rdf::nil());
         for item in items.into_iter().rev() {
             let cell = self.fresh_blank();
-            self.graph
-                .insert(Triple::new(cell.clone(), rdf::first(), item));
-            self.graph
-                .insert(Triple::new(cell.clone(), rdf::rest(), head));
+            self.insert(Triple::new(cell.clone(), rdf::first(), item))?;
+            self.insert(Triple::new(cell.clone(), rdf::rest(), head))?;
             head = cell;
         }
-        head
+        Ok(head)
     }
 
     /// Collects the textual content of a `parseType="Literal"` body. Nested

@@ -167,6 +167,7 @@ fn err(message: impl Into<String>) -> RdfError {
 }
 
 /// Parses a SELECT query with optional PREFIX declarations.
+// lint: allow(limits) non-recursive token scan; allocation is linear in query length
 pub fn parse_select(input: &str) -> Result<SelectQuery> {
     let mut tokens = Tokens::new(input);
     let mut prefixes: HashMap<String, String> = HashMap::new();

@@ -9,29 +9,77 @@
 
 use std::collections::HashMap;
 
+use sst_limits::{Budget, Limits, Partial};
+
 use crate::error::{Location, RdfError, Result};
 use crate::graph::Graph;
 use crate::model::{escape_literal, Iri, Literal, Term, Triple};
 use crate::rdfxml::resolve_iri;
 use crate::vocab::{rdf, XSD_NS};
 
-/// Parses a Turtle document. `base` seeds relative-IRI resolution and can be
-/// overridden by an in-document `@base`.
+/// Parses a Turtle document under [`Limits::default`]. `base` seeds
+/// relative-IRI resolution and can be overridden by an in-document `@base`.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_turtle(input: &str, base: &str) -> Result<Graph> {
-    parse_turtle_with_metrics(input, base, None)
+    parse_turtle_with_limits(input, base, &Limits::default(), None)
 }
 
 /// Like [`parse_turtle`], but records throughput into `metrics` when given:
 /// `rdf.turtle.documents` / `rdf.turtle.triples` / `rdf.turtle.bytes`
 /// counters and the `rdf.turtle.parse.latency` histogram.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_turtle_with_metrics(
     input: &str,
     base: &str,
     metrics: Option<&sst_obs::Metrics>,
 ) -> Result<Graph> {
+    parse_turtle_with_limits(input, base, &Limits::default(), metrics)
+}
+
+/// Parses a Turtle document under an explicit resource [`Limits`] policy.
+/// A violation surfaces as [`RdfError::Limit`] and bumps the
+/// `rdf.turtle.limit.<kind>` counter when `metrics` is given.
+pub fn parse_turtle_with_limits(
+    input: &str,
+    base: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<Graph> {
+    match parse_turtle_inner(input, base, limits, metrics) {
+        (graph, None) => Ok(graph),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+/// Parses as much of a Turtle document as possible. The returned
+/// [`Partial`] holds every triple inserted before the first error plus that
+/// error; a clean parse has an empty `errors` vector.
+pub fn parse_turtle_partial(
+    input: &str,
+    base: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Partial<Graph, RdfError> {
+    match parse_turtle_inner(input, base, limits, metrics) {
+        (graph, None) => Partial::complete(graph),
+        (graph, Some(err)) => Partial::broken(graph, err),
+    }
+}
+
+fn parse_turtle_inner(
+    input: &str,
+    base: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> (Graph, Option<RdfError>) {
     let _span = metrics.map(|m| m.span("rdf.turtle.parse.latency"));
+    let budget = Budget::new(limits);
+    if let Err(violation) = budget.check_input(input.len(), "turtle document") {
+        crate::record_limit_violation(metrics, "rdf.turtle", &violation);
+        return (Graph::new(), Some(violation.into()));
+    }
     let mut p = TurtleParser {
-        chars: input.chars().collect(),
+        input,
         pos: 0,
         line: 1,
         column: 1,
@@ -39,18 +87,29 @@ pub fn parse_turtle_with_metrics(
         prefixes: HashMap::new(),
         graph: Graph::new(),
         blank_counter: 0,
+        budget,
     };
-    p.parse_document()?;
-    if let Some(m) = metrics {
-        m.inc("rdf.turtle.documents");
-        m.add("rdf.turtle.triples", p.graph.len() as u64);
-        m.add("rdf.turtle.bytes", input.len() as u64);
+    match p.parse_document() {
+        Ok(()) => {
+            if let Some(m) = metrics {
+                m.inc("rdf.turtle.documents");
+                m.add("rdf.turtle.triples", p.graph.len() as u64);
+                m.add("rdf.turtle.bytes", input.len() as u64);
+            }
+            (p.graph, None)
+        }
+        Err(err) => {
+            if let RdfError::Limit(violation) = &err {
+                crate::record_limit_violation(metrics, "rdf.turtle", violation);
+            }
+            (p.graph, Some(err))
+        }
     }
-    Ok(p.graph)
 }
 
-struct TurtleParser {
-    chars: Vec<char>,
+struct TurtleParser<'a> {
+    input: &'a str,
+    /// Byte offset into `input`; always on a `char` boundary.
     pos: usize,
     line: u32,
     column: u32,
@@ -58,9 +117,10 @@ struct TurtleParser {
     prefixes: HashMap<String, String>,
     graph: Graph,
     blank_counter: u64,
+    budget: Budget,
 }
 
-impl TurtleParser {
+impl TurtleParser<'_> {
     fn location(&self) -> Location {
         Location {
             line: self.line,
@@ -79,17 +139,21 @@ impl TurtleParser {
         Err(self.error(message))
     }
 
+    fn rest(&self) -> &str {
+        self.input.get(self.pos..).unwrap_or("")
+    }
+
     fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
+        self.rest().chars().next()
     }
 
     fn peek_at(&self, n: usize) -> Option<char> {
-        self.chars.get(self.pos + n).copied()
+        self.rest().chars().nth(n)
     }
 
     fn bump(&mut self) -> Option<char> {
         let c = self.peek()?;
-        self.pos += 1;
+        self.pos += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.column = 1;
@@ -234,7 +298,14 @@ impl TurtleParser {
         w
     }
 
+    fn insert_triple(&mut self, triple: Triple) -> Result<()> {
+        self.budget.item("turtle triples")?;
+        self.graph.insert(triple);
+        Ok(())
+    }
+
     fn parse_statement(&mut self) -> Result<()> {
+        self.budget.step("turtle statement")?;
         let subject = self.parse_subject()?;
         self.parse_predicate_object_list(&subject)?;
         self.skip_ws();
@@ -259,8 +330,7 @@ impl TurtleParser {
             let predicate = self.parse_predicate()?;
             loop {
                 let object = self.parse_object()?;
-                self.graph
-                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.insert_triple(Triple::new(subject.clone(), predicate.clone(), object))?;
                 self.skip_ws();
                 if !self.eat(',') {
                     break;
@@ -295,6 +365,7 @@ impl TurtleParser {
     }
 
     fn parse_object(&mut self) -> Result<Term> {
+        self.budget.step("turtle term")?;
         self.skip_ws();
         match self.peek() {
             Some('<') => Ok(Term::Iri(Iri::new(self.parse_resolved_iri()?))),
@@ -370,9 +441,15 @@ impl TurtleParser {
         self.expect_char('<')?;
         let mut iri = String::new();
         loop {
+            self.budget.check_literal(iri.len(), "turtle IRI")?;
             match self.bump() {
                 Some('>') => break,
                 Some(c) if c.is_whitespace() => return self.err("whitespace in IRI"),
+                // Only \uXXXX and \UXXXXXXXX are legal escapes inside an IRI.
+                Some('\\') => match self.bump() {
+                    Some(e @ ('u' | 'U')) => iri.push(self.unicode_escape(e)?),
+                    _ => return self.err("only \\u and \\U escapes are allowed in IRIs"),
+                },
                 Some(c) => iri.push(c),
                 None => return self.err("unterminated IRI"),
             }
@@ -410,6 +487,8 @@ impl TurtleParser {
             })?;
         let mut local = String::new();
         while let Some(c) = self.peek() {
+            self.budget
+                .check_literal(local.len(), "turtle local name")?;
             if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
                 // A trailing '.' terminates the statement, not the name.
                 if c == '.'
@@ -448,19 +527,26 @@ impl TurtleParser {
     }
 
     fn parse_blank_node_property_list(&mut self) -> Result<Term> {
+        // The recursion through parse_object bottoms out at max_depth
+        // instead of overflowing the stack on `[ :p [ :p [ ... ] ] ]`.
+        self.budget
+            .enter("turtle blank node property list nesting")?;
         self.expect_char('[')?;
         let node = self.fresh_blank();
         self.skip_ws();
         if self.eat(']') {
+            self.budget.exit();
             return Ok(node);
         }
         self.parse_predicate_object_list(&node)?;
         self.skip_ws();
         self.expect_char(']')?;
+        self.budget.exit();
         Ok(node)
     }
 
     fn parse_collection(&mut self) -> Result<Term> {
+        self.budget.enter("turtle collection nesting")?;
         self.expect_char('(')?;
         let mut items = Vec::new();
         loop {
@@ -476,12 +562,11 @@ impl TurtleParser {
         let mut head = Term::Iri(rdf::nil());
         for item in items.into_iter().rev() {
             let cell = self.fresh_blank();
-            self.graph
-                .insert(Triple::new(cell.clone(), rdf::first(), item));
-            self.graph
-                .insert(Triple::new(cell.clone(), rdf::rest(), head));
+            self.insert_triple(Triple::new(cell.clone(), rdf::first(), item))?;
+            self.insert_triple(Triple::new(cell.clone(), rdf::rest(), head))?;
             head = cell;
         }
+        self.budget.exit();
         Ok(head)
     }
 
@@ -496,6 +581,7 @@ impl TurtleParser {
             self.bump();
             let mut s = String::new();
             loop {
+                self.budget.check_literal(s.len(), "turtle long string")?;
                 if self.peek() == Some(quote)
                     && self.peek_at(1) == Some(quote)
                     && self.peek_at(2) == Some(quote)
@@ -516,6 +602,7 @@ impl TurtleParser {
             self.bump();
             let mut s = String::new();
             loop {
+                self.budget.check_literal(s.len(), "turtle string")?;
                 match self.bump() {
                     Some(c) if c == quote => break,
                     Some('\\') => s.push(self.unescape()?),
@@ -562,22 +649,25 @@ impl TurtleParser {
             Some('"') => Ok('"'),
             Some('\'') => Ok('\''),
             Some('\\') => Ok('\\'),
-            Some(e @ ('u' | 'U')) => {
-                let n = if e == 'u' { 4 } else { 8 };
-                let mut hex = String::new();
-                for _ in 0..n {
-                    hex.push(
-                        self.bump()
-                            .ok_or_else(|| self.error("truncated \\u escape"))?,
-                    );
-                }
-                let code =
-                    u32::from_str_radix(&hex, 16).map_err(|_| self.error("bad \\u escape"))?;
-                char::from_u32(code).ok_or_else(|| self.error("\\u out of range"))
-            }
+            Some(e @ ('u' | 'U')) => self.unicode_escape(e),
             Some(other) => self.err(format!("unknown escape `\\{other}`")),
             None => self.err("dangling escape"),
         }
+    }
+
+    /// Decodes the hex digits of a `\u` (4-digit) or `\U` (8-digit) escape,
+    /// the marker character having already been consumed.
+    fn unicode_escape(&mut self, marker: char) -> Result<char> {
+        let n = if marker == 'u' { 4 } else { 8 };
+        let mut hex = String::new();
+        for _ in 0..n {
+            hex.push(
+                self.bump()
+                    .ok_or_else(|| self.error("truncated \\u escape"))?,
+            );
+        }
+        let code = u32::from_str_radix(&hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        char::from_u32(code).ok_or_else(|| self.error("\\u out of range"))
     }
 }
 

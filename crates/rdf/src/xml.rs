@@ -12,6 +12,8 @@
 //! [`XmlEvent`] at a time, which keeps memory proportional to the largest
 //! single token rather than the document.
 
+use sst_limits::{LimitKind, LimitViolation, Limits};
+
 use crate::error::{Location, RdfError, Result};
 
 /// A single XML attribute as written in the document (prefix not resolved).
@@ -58,12 +60,21 @@ pub struct XmlParser<'a> {
     /// Stack of open element names, used to validate nesting.
     open: Vec<String>,
     finished: bool,
+    limits: Limits,
 }
 
 impl<'a> XmlParser<'a> {
-    /// Creates a parser over `input`. The input must be UTF-8 (enforced by
-    /// the `&str` type).
+    /// Creates a parser over `input` under [`Limits::default`]. The input
+    /// must be UTF-8 (enforced by the `&str` type).
+    // lint: allow(limits) convenience constructor applying Limits::default()
     pub fn new(input: &'a str) -> Self {
+        Self::with_limits(input, &Limits::default())
+    }
+
+    /// Creates a parser over `input` under an explicit resource [`Limits`]
+    /// policy. The element-nesting bound here is what keeps the recursive
+    /// RDF/XML reader above from overflowing the stack.
+    pub fn with_limits(input: &'a str, limits: &Limits) -> Self {
         // Skip a UTF-8 byte-order mark if present (editors emit them).
         let input = input.strip_prefix('\u{feff}').unwrap_or(input);
         XmlParser {
@@ -73,7 +84,23 @@ impl<'a> XmlParser<'a> {
             column: 1,
             open: Vec::new(),
             finished: false,
+            limits: *limits,
         }
+    }
+
+    fn limit_error(
+        &self,
+        kind: LimitKind,
+        limit: u64,
+        observed: u64,
+        what: &'static str,
+    ) -> RdfError {
+        RdfError::Limit(LimitViolation {
+            kind,
+            limit,
+            observed,
+            what,
+        })
     }
 
     /// Current location, for error reporting.
@@ -137,6 +164,14 @@ impl<'a> XmlParser<'a> {
     fn read_until(&mut self, delim: &[u8], what: &str) -> Result<String> {
         let start = self.pos;
         while self.pos < self.input.len() {
+            if self.pos - start > self.limits.max_literal_bytes {
+                return Err(self.limit_error(
+                    LimitKind::LiteralBytes,
+                    self.limits.max_literal_bytes as u64,
+                    (self.pos - start) as u64,
+                    "xml token",
+                ));
+            }
             if self.starts_with(delim) {
                 let raw = &self.input[start..self.pos];
                 self.advance(delim.len());
@@ -255,6 +290,14 @@ impl<'a> XmlParser<'a> {
             match self.peek() {
                 Some(b'>') => {
                     self.bump();
+                    if self.open.len() >= self.limits.max_depth {
+                        return Err(self.limit_error(
+                            LimitKind::Depth,
+                            self.limits.max_depth as u64,
+                            self.open.len() as u64 + 1,
+                            "xml element nesting",
+                        ));
+                    }
                     self.open.push(name.clone());
                     return Ok(XmlEvent::StartElement {
                         name,
@@ -324,6 +367,14 @@ impl<'a> XmlParser<'a> {
         if self.finished {
             return Ok(XmlEvent::Eof);
         }
+        if self.input.len() > self.limits.max_input_bytes {
+            return Err(self.limit_error(
+                LimitKind::InputBytes,
+                self.limits.max_input_bytes as u64,
+                self.input.len() as u64,
+                "xml document",
+            ));
+        }
         if self.pos >= self.input.len() {
             if let Some(open) = self.open.last() {
                 return self.err(format!("unexpected end of input: `<{open}>` not closed"));
@@ -367,7 +418,25 @@ impl<'a> XmlParser<'a> {
         } else {
             let start = self.pos;
             while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                if self.pos - start > self.limits.max_literal_bytes {
+                    return Err(self.limit_error(
+                        LimitKind::LiteralBytes,
+                        self.limits.max_literal_bytes as u64,
+                        (self.pos - start) as u64,
+                        "xml character data",
+                    ));
+                }
                 self.bump();
+            }
+            // The in-loop check runs before each bump, so a run that stops
+            // exactly one byte past the cap (on `<` or EOF) slips through it.
+            if self.pos - start > self.limits.max_literal_bytes {
+                return Err(self.limit_error(
+                    LimitKind::LiteralBytes,
+                    self.limits.max_literal_bytes as u64,
+                    (self.pos - start) as u64,
+                    "xml character data",
+                ));
             }
             let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
             // Normalize CRLF to LF in character data.
@@ -455,9 +524,16 @@ pub struct NsReader<'a> {
 }
 
 impl<'a> NsReader<'a> {
+    /// Creates a reader under [`Limits::default`].
+    // lint: allow(limits) convenience constructor applying Limits::default()
     pub fn new(input: &'a str) -> Self {
+        Self::with_limits(input, &Limits::default())
+    }
+
+    /// Creates a reader under an explicit resource [`Limits`] policy.
+    pub fn with_limits(input: &'a str, limits: &Limits) -> Self {
         NsReader {
-            parser: XmlParser::new(input),
+            parser: XmlParser::with_limits(input, limits),
             scopes: vec![(0, "xml".to_owned(), XML_NS.to_owned())],
             depth: 0,
             open_names: Vec::new(),

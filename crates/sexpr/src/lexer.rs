@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sst_limits::{Budget, LimitViolation, Limits};
+
 /// Token categories.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
@@ -26,6 +28,9 @@ pub struct Token {
 pub struct LexError {
     pub message: String,
     pub line: u32,
+    /// Present when the error is a resource-limit violation rather than a
+    /// syntax error.
+    pub violation: Option<LimitViolation>,
 }
 
 impl fmt::Display for LexError {
@@ -41,13 +46,23 @@ impl std::error::Error for LexError {}
 pub struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: u32,
+    budget: Budget,
 }
 
 impl<'a> Lexer<'a> {
+    /// Creates a lexer under [`Limits::default`].
+    // lint: allow(limits) convenience constructor applying Limits::default()
     pub fn new(input: &'a str) -> Self {
+        Self::with_limits(input, &Limits::default())
+    }
+
+    /// Creates a lexer under an explicit resource [`Limits`] policy (the
+    /// per-token length cap bounds string/symbol accumulation).
+    pub fn with_limits(input: &'a str, limits: &Limits) -> Self {
         Lexer {
             chars: input.chars().peekable(),
             line: 1,
+            budget: Budget::new(limits),
         }
     }
 
@@ -63,7 +78,16 @@ impl<'a> Lexer<'a> {
         LexError {
             message: message.into(),
             line: self.line,
+            violation: None,
         }
+    }
+
+    fn check_literal(&self, len: usize, what: &'static str) -> Result<(), LexError> {
+        self.budget.check_literal(len, what).map_err(|v| LexError {
+            message: v.to_string(),
+            line: self.line,
+            violation: Some(v),
+        })
     }
 
     fn skip_trivia(&mut self) {
@@ -106,6 +130,7 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 let mut s = String::new();
                 loop {
+                    self.check_literal(s.len(), "sexpr string")?;
                     match self.bump() {
                         Some('"') => break,
                         Some('\\') => match self.bump() {
@@ -133,6 +158,7 @@ impl<'a> Lexer<'a> {
                     .copied()
                     .filter(|&c| Self::is_symbol_char(c))
                 {
+                    self.check_literal(name.len(), "sexpr keyword")?;
                     self.bump();
                     name.push(c);
                 }
@@ -149,6 +175,7 @@ impl<'a> Lexer<'a> {
                     .copied()
                     .filter(|&c| Self::is_symbol_char(c))
                 {
+                    self.check_literal(word.len(), "sexpr symbol")?;
                     self.bump();
                     word.push(c);
                 }

@@ -27,6 +27,9 @@ pub mod printer;
 pub mod value;
 
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse, parse_all, parse_all_with_metrics, ParseError};
+pub use parser::{
+    parse, parse_all, parse_all_partial, parse_all_with_limits, parse_all_with_metrics, ParseError,
+};
 pub use printer::to_string_pretty;
+pub use sst_limits::{Budget, LimitKind, LimitViolation, Limits, Partial};
 pub use value::Value;

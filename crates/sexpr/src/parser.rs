@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sst_limits::{Budget, LimitViolation, Limits, Partial};
+
 use crate::lexer::{LexError, Lexer, Token, TokenKind};
 use crate::value::Value;
 
@@ -10,6 +12,27 @@ use crate::value::Value;
 pub struct ParseError {
     pub message: String,
     pub line: u32,
+    /// Present when the error is a resource-limit violation rather than a
+    /// syntax error.
+    pub violation: Option<LimitViolation>,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: u32) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            violation: None,
+        }
+    }
+
+    fn limit(violation: LimitViolation, line: u32) -> ParseError {
+        ParseError {
+            message: violation.to_string(),
+            line,
+            violation: Some(violation),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -29,56 +52,129 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            violation: e.violation,
         }
     }
 }
 
 /// Parses exactly one s-expression; trailing content is an error.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut forms = parse_all(input)?;
     match forms.len() {
         1 => Ok(forms.remove(0)),
-        0 => Err(ParseError {
-            message: "empty input".into(),
-            line: 1,
-        }),
-        n => Err(ParseError {
-            message: format!("expected one expression, found {n}"),
-            line: 1,
-        }),
+        0 => Err(ParseError::new("empty input", 1)),
+        n => Err(ParseError::new(
+            format!("expected one expression, found {n}"),
+            1,
+        )),
     }
 }
 
-/// Parses a whole file of top-level forms (the shape of a `.ploom` module).
+/// Parses a whole file of top-level forms (the shape of a `.ploom` module)
+/// under [`Limits::default`].
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_all(input: &str) -> Result<Vec<Value>, ParseError> {
-    parse_all_with_metrics(input, None)
+    parse_all_with_limits(input, &Limits::default(), None)
 }
 
 /// Like [`parse_all`], but records throughput into `metrics` when given:
 /// `sexpr.documents` / `sexpr.forms` / `sexpr.bytes` counters and the
 /// `sexpr.parse.latency` histogram.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_all_with_metrics(
     input: &str,
     metrics: Option<&sst_obs::Metrics>,
 ) -> Result<Vec<Value>, ParseError> {
+    parse_all_with_limits(input, &Limits::default(), metrics)
+}
+
+/// Parses a whole file of top-level forms under an explicit resource
+/// [`Limits`] policy. The nesting-depth bound is what keeps the recursive
+/// parse from overflowing the stack on `(((((...` input; a violation
+/// carries its [`LimitViolation`] in [`ParseError::violation`] and bumps
+/// the `sexpr.limit.<kind>` counter when `metrics` is given.
+pub fn parse_all_with_limits(
+    input: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Result<Vec<Value>, ParseError> {
+    match parse_all_inner(input, limits, metrics) {
+        (forms, None) => Ok(forms),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+/// Parses as much of a document as possible. The returned [`Partial`]
+/// holds every complete top-level form before the first error plus that
+/// error; a clean parse has an empty `errors` vector.
+pub fn parse_all_partial(
+    input: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> Partial<Vec<Value>, ParseError> {
+    match parse_all_inner(input, limits, metrics) {
+        (forms, None) => Partial::complete(forms),
+        (forms, Some(err)) => Partial::broken(forms, err),
+    }
+}
+
+fn record_limit(metrics: Option<&sst_obs::Metrics>, violation: &LimitViolation) {
+    if let Some(m) = metrics {
+        m.inc(&format!("sexpr.limit.{}", violation.kind.name()));
+    }
+}
+
+fn parse_all_inner(
+    input: &str,
+    limits: &Limits,
+    metrics: Option<&sst_obs::Metrics>,
+) -> (Vec<Value>, Option<ParseError>) {
     let _span = metrics.map(|m| m.span("sexpr.parse.latency"));
-    let tokens = Lexer::new(input).tokenize()?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let budget = Budget::new(limits);
+    if let Err(violation) = budget.check_input(input.len(), "sexpr document") {
+        record_limit(metrics, &violation);
+        return (Vec::new(), Some(ParseError::limit(violation, 1)));
+    }
+    let tokens = match Lexer::with_limits(input, limits).tokenize() {
+        Ok(tokens) => tokens,
+        Err(e) => {
+            let err = ParseError::from(e);
+            if let Some(violation) = &err.violation {
+                record_limit(metrics, violation);
+            }
+            return (Vec::new(), Some(err));
+        }
+    };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        budget,
+    };
     let mut forms = Vec::new();
     while !parser.at_end() {
-        forms.push(parser.parse_value()?);
+        match parser.parse_value() {
+            Ok(value) => forms.push(value),
+            Err(err) => {
+                if let Some(violation) = &err.violation {
+                    record_limit(metrics, violation);
+                }
+                return (forms, Some(err));
+            }
+        }
     }
     if let Some(m) = metrics {
         m.inc("sexpr.documents");
         m.add("sexpr.forms", forms.len() as u64);
         m.add("sexpr.bytes", input.len() as u64);
     }
-    Ok(forms)
+    (forms, None)
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    budget: Budget,
 }
 
 impl Parser {
@@ -95,24 +191,34 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            message: message.into(),
-            line: self.current_line(),
-        })
+        Err(ParseError::new(message, self.current_line()))
+    }
+
+    fn charge(
+        &mut self,
+        charge: impl FnOnce(&mut Budget) -> Result<(), LimitViolation>,
+    ) -> Result<(), ParseError> {
+        let line = self.current_line();
+        charge(&mut self.budget).map_err(|v| ParseError::limit(v, line))
     }
 
     fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.charge(|b| b.item("sexpr values"))?;
         let Some(token) = self.tokens.get(self.pos).cloned() else {
             return self.err("unexpected end of input");
         };
         self.pos += 1;
         match token.kind {
             TokenKind::LParen => {
+                // The recursion below is bounded by max_depth instead of
+                // overflowing the stack on deeply nested `(((...)))` input.
+                self.charge(|b| b.enter("sexpr list nesting"))?;
                 let mut items = Vec::new();
                 loop {
                     match self.tokens.get(self.pos).map(|t| &t.kind) {
                         Some(TokenKind::RParen) => {
                             self.pos += 1;
+                            self.budget.exit();
                             return Ok(Value::List(items));
                         }
                         Some(_) => items.push(self.parse_value()?),
@@ -174,5 +280,37 @@ mod tests {
     fn error_lines_are_meaningful() {
         let err = parse_all("(a\n(b\n").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Regression: parse_value recursed once per nesting level, so this
+        // input crashed the process before the depth guard existed.
+        let depth = 100_000;
+        let mut input = String::with_capacity(2 * depth + 1);
+        for _ in 0..depth {
+            input.push('(');
+        }
+        input.push('x');
+        for _ in 0..depth {
+            input.push(')');
+        }
+        let err = parse_all(&input).unwrap_err();
+        let violation = err.violation.expect("limit violation");
+        assert_eq!(violation.kind, sst_limits::LimitKind::Depth);
+    }
+
+    #[test]
+    fn partial_keeps_forms_before_the_error() {
+        let partial = parse_all_partial("(a) (b) (c", &Limits::default(), None);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.value.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_limits_opt_out_of_the_item_cap() {
+        let limits = Limits::default().with_max_items(2);
+        assert!(parse_all_with_limits("(a) (b) (c)", &limits, None).is_err());
+        assert!(parse_all_with_limits("(a) (b) (c)", &Limits::unbounded(), None).is_ok());
     }
 }

@@ -15,6 +15,8 @@ pub enum SoqaError {
     Wrapper { language: String, message: String },
     /// A SOQA-QL query failed to parse or evaluate.
     Query(String),
+    /// A source document blew past a resource limit while being ingested.
+    Limit(sst_limits::LimitViolation),
 }
 
 impl fmt::Display for SoqaError {
@@ -31,11 +33,18 @@ impl fmt::Display for SoqaError {
                 write!(f, "{language} wrapper error: {message}")
             }
             SoqaError::Query(message) => write!(f, "SOQA-QL error: {message}"),
+            SoqaError::Limit(violation) => write!(f, "{violation}"),
         }
     }
 }
 
 impl std::error::Error for SoqaError {}
+
+impl From<sst_limits::LimitViolation> for SoqaError {
+    fn from(violation: sst_limits::LimitViolation) -> Self {
+        SoqaError::Limit(violation)
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, SoqaError>;

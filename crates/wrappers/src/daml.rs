@@ -1,16 +1,28 @@
 //! SOQA wrapper for DAML+OIL ontologies (the language of the paper's
 //! University of Maryland `univ1.0.daml` ontology).
 
+use sst_limits::Limits;
 use sst_soqa::{Ontology, SoqaError};
 
-use crate::dl_rdf::{graph_to_ontology, DlVocabulary};
+use crate::dl_rdf::{graph_to_ontology, rdf_wrapper_err, DlVocabulary};
 
-/// Parses a DAML+OIL (RDF/XML) document into a SOQA ontology.
+/// Parses a DAML+OIL (RDF/XML) document into a SOQA ontology, applying
+/// [`Limits::default`].
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_daml(source: &str, name: &str, base: &str) -> Result<Ontology, SoqaError> {
-    let graph = sst_rdf::parse_rdfxml(source, base).map_err(|e| SoqaError::Wrapper {
-        language: "DAML+OIL".into(),
-        message: e.to_string(),
-    })?;
+    parse_daml_with_limits(source, name, base, &Limits::default())
+}
+
+/// Like [`parse_daml`], but under an explicit resource [`Limits`] policy.
+/// A violated limit surfaces as [`SoqaError::Limit`].
+pub fn parse_daml_with_limits(
+    source: &str,
+    name: &str,
+    base: &str,
+    limits: &Limits,
+) -> Result<Ontology, SoqaError> {
+    let graph = sst_rdf::parse_rdfxml_with_limits(source, base, limits, None)
+        .map_err(|e| rdf_wrapper_err("DAML+OIL", e))?;
     graph_to_ontology(&graph, name, &DlVocabulary::daml())
 }
 

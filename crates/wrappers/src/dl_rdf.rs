@@ -331,3 +331,16 @@ pub fn graph_to_ontology(
 pub fn looks_like_xml(source: &str) -> bool {
     source.trim_start().starts_with('<')
 }
+
+/// Maps an `sst-rdf` error into a SOQA error, preserving resource-limit
+/// violations as [`SoqaError::Limit`] so callers can distinguish a hostile
+/// document from a merely malformed one.
+pub(crate) fn rdf_wrapper_err(language: &str, error: sst_rdf::RdfError) -> SoqaError {
+    match error {
+        sst_rdf::RdfError::Limit(violation) => SoqaError::Limit(violation),
+        other => SoqaError::Wrapper {
+            language: language.into(),
+            message: other.to_string(),
+        },
+    }
+}

@@ -17,15 +17,17 @@ pub mod powerloom;
 pub mod registry;
 pub mod wordnet;
 
-pub use daml::parse_daml;
-pub use owl::parse_owl;
-pub use powerloom::parse_powerloom;
+pub use daml::{parse_daml, parse_daml_with_limits};
+pub use owl::{parse_owl, parse_owl_with_limits};
+pub use powerloom::{parse_powerloom, parse_powerloom_with_limits};
 pub use registry::{
     wrapper_for, DamlWrapper, OntologyWrapper, OwlWrapper, PowerLoomWrapper, WordNetWrapper,
     WrapperRegistry,
 };
+pub use sst_limits::{LimitKind, LimitViolation, Limits};
 pub use wordnet::{
-    parse_index_line, parse_wordnet, write_data_file, IndexEntry, Synset, WordNetIndex,
+    parse_index_line, parse_wordnet, parse_wordnet_with_limits, write_data_file, IndexEntry,
+    Synset, WordNetIndex,
 };
 
 use sst_soqa::{Ontology, SoqaError};
@@ -59,17 +61,32 @@ impl Language {
 }
 
 /// One-call dispatch: parses `source` as `language` into an ontology named
-/// `name`. RDF-based languages resolve relative IRIs against `base`.
+/// `name`, applying [`Limits::default`]. RDF-based languages resolve
+/// relative IRIs against `base`.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse(
     language: Language,
     source: &str,
     name: &str,
     base: &str,
 ) -> Result<Ontology, SoqaError> {
+    parse_with_limits(language, source, name, base, &Limits::default())
+}
+
+/// Like [`parse`], but under an explicit resource [`Limits`] policy. A
+/// violated limit surfaces as [`SoqaError::Limit`] instead of a generic
+/// wrapper error.
+pub fn parse_with_limits(
+    language: Language,
+    source: &str,
+    name: &str,
+    base: &str,
+    limits: &Limits,
+) -> Result<Ontology, SoqaError> {
     match language {
-        Language::Owl => parse_owl(source, name, base),
-        Language::Daml => parse_daml(source, name, base),
-        Language::PowerLoom => parse_powerloom(source, name),
-        Language::WordNet => parse_wordnet(source, name),
+        Language::Owl => parse_owl_with_limits(source, name, base, limits),
+        Language::Daml => parse_daml_with_limits(source, name, base, limits),
+        Language::PowerLoom => parse_powerloom_with_limits(source, name, limits),
+        Language::WordNet => parse_wordnet_with_limits(source, name, limits),
     }
 }

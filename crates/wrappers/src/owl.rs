@@ -1,23 +1,34 @@
 //! SOQA wrapper for OWL ontologies (RDF/XML or Turtle serialization).
 
+use sst_limits::Limits;
 use sst_soqa::{Ontology, SoqaError};
 
-use crate::dl_rdf::{graph_to_ontology, looks_like_xml, DlVocabulary};
+use crate::dl_rdf::{graph_to_ontology, looks_like_xml, rdf_wrapper_err, DlVocabulary};
 
-/// Parses an OWL document into a SOQA ontology registered under `name`.
+/// Parses an OWL document into a SOQA ontology registered under `name`,
+/// applying [`Limits::default`].
 ///
 /// The serialization is sniffed: documents starting with `<` are parsed as
 /// RDF/XML, anything else as Turtle. `base` is the document base IRI.
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_owl(source: &str, name: &str, base: &str) -> Result<Ontology, SoqaError> {
+    parse_owl_with_limits(source, name, base, &Limits::default())
+}
+
+/// Like [`parse_owl`], but under an explicit resource [`Limits`] policy.
+/// A violated limit surfaces as [`SoqaError::Limit`].
+pub fn parse_owl_with_limits(
+    source: &str,
+    name: &str,
+    base: &str,
+    limits: &Limits,
+) -> Result<Ontology, SoqaError> {
     let graph = if looks_like_xml(source) {
-        sst_rdf::parse_rdfxml(source, base)
+        sst_rdf::parse_rdfxml_with_limits(source, base, limits, None)
     } else {
-        sst_rdf::parse_turtle(source, base)
+        sst_rdf::parse_turtle_with_limits(source, base, limits, None)
     }
-    .map_err(|e| SoqaError::Wrapper {
-        language: "OWL".into(),
-        message: e.to_string(),
-    })?;
+    .map_err(|e| rdf_wrapper_err("OWL", e))?;
     graph_to_ontology(&graph, name, &DlVocabulary::owl())
 }
 

@@ -7,7 +7,8 @@
 //! `deffunction` (mapped to SOQA methods), and `assert` of unary membership
 //! and binary attribute facts.
 
-use sst_sexpr::{parse_all, Value};
+use sst_limits::Limits;
+use sst_sexpr::{parse_all_with_limits, Value};
 use sst_soqa::{
     Attribute, Instance, Method, Ontology, OntologyBuilder, OntologyMetadata, Parameter,
     Relationship, SoqaError,
@@ -28,9 +29,24 @@ fn wrapper_err(message: impl Into<String>) -> SoqaError {
     }
 }
 
-/// Parses a PowerLoom module into a SOQA ontology registered under `name`.
+/// Parses a PowerLoom module into a SOQA ontology registered under `name`,
+/// applying [`Limits::default`].
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_powerloom(source: &str, name: &str) -> Result<Ontology, SoqaError> {
-    let forms = parse_all(source).map_err(|e| wrapper_err(e.to_string()))?;
+    parse_powerloom_with_limits(source, name, &Limits::default())
+}
+
+/// Like [`parse_powerloom`], but under an explicit resource [`Limits`]
+/// policy. A violated limit surfaces as [`SoqaError::Limit`].
+pub fn parse_powerloom_with_limits(
+    source: &str,
+    name: &str,
+    limits: &Limits,
+) -> Result<Ontology, SoqaError> {
+    let forms = parse_all_with_limits(source, limits, None).map_err(|e| match e.violation {
+        Some(violation) => SoqaError::Limit(violation),
+        None => wrapper_err(e.to_string()),
+    })?;
     let mut metadata = OntologyMetadata {
         name: name.to_owned(),
         language: "PowerLoom".to_owned(),

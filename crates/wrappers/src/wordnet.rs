@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use sst_limits::{Budget, Limits};
 use sst_soqa::{Ontology, OntologyBuilder, OntologyMetadata, SoqaError};
 
 fn wrapper_err(message: impl Into<String>) -> SoqaError {
@@ -37,6 +38,7 @@ pub struct Synset {
 
 /// Parses one `data.pos` line. Lines starting with whitespace are the
 /// license header and yield `None`.
+// lint: allow(limits) single-line parser; the file-level entry points bound line length
 pub fn parse_data_line(line: &str) -> Result<Option<Synset>, SoqaError> {
     if line.is_empty() || line.starts_with(' ') {
         return Ok(None);
@@ -56,7 +58,10 @@ pub fn parse_data_line(line: &str) -> Result<Option<Synset>, SoqaError> {
     let w_cnt = usize::from_str_radix(fields[3], 16)
         .map_err(|_| wrapper_err(format!("bad word count `{}`", fields[3])))?;
     let mut i = 4;
-    let mut words = Vec::with_capacity(w_cnt);
+    // Cap the pre-allocation by what the line can actually hold: `w_cnt`
+    // comes straight from the input, so trusting it would let a one-line
+    // document request an arbitrarily large buffer.
+    let mut words = Vec::with_capacity(w_cnt.min(fields.len()));
     for _ in 0..w_cnt {
         let word = fields
             .get(i)
@@ -98,10 +103,28 @@ pub fn parse_data_line(line: &str) -> Result<Option<Synset>, SoqaError> {
 /// Concepts are named by the synset's first lemma; when several synsets
 /// share a first lemma, later ones get `#2`, `#3`, … suffixes (WordNet
 /// sense numbers).
+// lint: allow(limits) convenience wrapper applying Limits::default()
 pub fn parse_wordnet(data: &str, name: &str) -> Result<Ontology, SoqaError> {
+    parse_wordnet_with_limits(data, name, &Limits::default())
+}
+
+/// Like [`parse_wordnet`], but under an explicit resource [`Limits`]
+/// policy: the input-size cap bounds the whole file, the item cap bounds
+/// the number of synsets, and the literal cap bounds any single line. A
+/// violated limit surfaces as [`SoqaError::Limit`].
+pub fn parse_wordnet_with_limits(
+    data: &str,
+    name: &str,
+    limits: &Limits,
+) -> Result<Ontology, SoqaError> {
+    let mut budget = Budget::new(limits);
+    budget.check_input(data.len(), "wordnet data file")?;
     let mut synsets = Vec::new();
     for line in data.lines() {
+        budget.check_literal(line.len(), "wordnet data line")?;
+        budget.charge_steps(line.len() as u64 + 1, "wordnet bytes")?;
         if let Some(s) = parse_data_line(line)? {
+            budget.item("wordnet synsets")?;
             synsets.push(s);
         }
     }
@@ -175,6 +198,7 @@ pub struct IndexEntry {
 /// ```text
 /// lemma pos synset_cnt p_cnt [ptr_symbol…] sense_cnt tagsense_cnt offset…
 /// ```
+// lint: allow(limits) single-line parser; the file-level entry points bound line length
 pub fn parse_index_line(line: &str) -> Result<Option<IndexEntry>, SoqaError> {
     if line.is_empty() || line.starts_with(' ') {
         return Ok(None);
@@ -193,7 +217,9 @@ pub fn parse_index_line(line: &str) -> Result<Option<IndexEntry>, SoqaError> {
     // Skip pos, synset_cnt, p_cnt, the p_cnt pointer symbols, sense_cnt and
     // tagsense_cnt; the rest are synset offsets.
     let offset_start = 4 + p_cnt + 2;
-    let mut synsets = Vec::with_capacity(synset_cnt);
+    // `synset_cnt` is attacker-controlled; bound the pre-allocation by the
+    // number of fields actually present on the line.
+    let mut synsets = Vec::with_capacity(synset_cnt.min(fields.len()));
     for field in fields
         .get(offset_start..)
         .ok_or_else(|| wrapper_err("truncated index line"))?
@@ -221,11 +247,24 @@ pub struct WordNetIndex {
 }
 
 impl WordNetIndex {
-    /// Parses a whole `index.pos` file.
+    /// Parses a whole `index.pos` file under [`Limits::default`].
+    // lint: allow(limits) convenience wrapper applying Limits::default()
     pub fn parse(data: &str) -> Result<WordNetIndex, SoqaError> {
+        Self::parse_with_limits(data, &Limits::default())
+    }
+
+    /// Like [`WordNetIndex::parse`], but under an explicit resource
+    /// [`Limits`] policy (item cap bounds lemma entries, literal cap bounds
+    /// any single line).
+    pub fn parse_with_limits(data: &str, limits: &Limits) -> Result<WordNetIndex, SoqaError> {
+        let mut budget = Budget::new(limits);
+        budget.check_input(data.len(), "wordnet index file")?;
         let mut entries = HashMap::new();
         for line in data.lines() {
+            budget.check_literal(line.len(), "wordnet index line")?;
+            budget.charge_steps(line.len() as u64 + 1, "wordnet index bytes")?;
             if let Some(e) = parse_index_line(line)? {
+                budget.item("wordnet index entries")?;
                 entries.insert(e.lemma, e.synsets);
             }
         }
@@ -380,6 +419,23 @@ mod tests {
         assert_eq!(idx.primary_synset("professor"), Some(20815));
         assert_eq!(idx.primary_synset("Research Worker"), Some(21180));
         assert!(idx.synsets("ghost").is_empty());
+    }
+
+    #[test]
+    fn huge_announced_counts_do_not_preallocate() {
+        // Regression: the announced word/synset counts used to size
+        // `Vec::with_capacity` directly, so a single forged line could
+        // demand gigabytes. Both must fail fast instead.
+        assert!(parse_data_line("00000001 03 n ffffffff x 0 000 | g").is_err());
+        assert!(parse_index_line("bank n 99999999 0 1 1 00000001").is_err());
+    }
+
+    #[test]
+    fn limits_bound_synset_count() {
+        let limits = Limits::default().with_max_items(2);
+        let err = parse_wordnet_with_limits(MINI, "wn", &limits).unwrap_err();
+        assert!(matches!(err, SoqaError::Limit(_)));
+        assert!(parse_wordnet_with_limits(MINI, "wn", &Limits::default()).is_ok());
     }
 
     #[test]

@@ -22,11 +22,19 @@
 //!   depth cache once per candidate. Hoist the guard (or a cheap `Arc`
 //!   clone of the data) out of the loop. Acquisitions in the loop
 //!   *header* (`for x in m.read()…`) run once and are not flagged.
+//! - **limits**: in the ingestion crates (`rdf`, `sexpr`, `wrappers`),
+//!   every `pub fn parse*` must take the resource-governance `Limits`
+//!   type somewhere in its signature. Parsers consume untrusted input;
+//!   an entry point without limits revives the unbounded
+//!   recursion/allocation bug class the governance layer closed.
+//!   Convenience wrappers that delegate to a `*_with_limits` sibling
+//!   under `Limits::default()` carry an audited
+//!   `// lint: allow(limits) <reason>` instead.
 //!
 //! Escape hatch: `// lint: allow(panic) <reason>` (or `allow(index)`,
-//! `allow(lock-in-loop)`) on the offending line, or alone on the line
-//! above, suppresses exactly one finding of that rule. The reason is
-//! mandatory.
+//! `allow(lock-in-loop)`, `allow(limits)`) on the offending line, or
+//! alone on the line above, suppresses exactly one finding of that rule.
+//! The reason is mandatory.
 //!
 //! Exempt from panic/index rules: `tests/`, `benches/`, `examples/`,
 //! `src/bin/` binaries, the `xtask` tooling crate, the `sst-bench`
@@ -42,6 +50,10 @@ use crate::scan::{is_ident_char, strip, Stripped};
 /// of the served library surface.
 const EXEMPT_CRATES: &[&str] = &["xtask", "bench"];
 
+/// Crates whose library code ingests untrusted input and is therefore
+/// subject to the **limits** rule.
+const LIMITS_GOVERNED_CRATES: &[&str] = &["rdf", "sexpr", "wrappers"];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     Panic,
@@ -49,6 +61,7 @@ pub enum Rule {
     ForbidUnsafe,
     ErrorImpl,
     LockInLoop,
+    Limits,
     BadAllow,
 }
 
@@ -60,6 +73,7 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::ErrorImpl => "error-impl",
             Rule::LockInLoop => "lock-in-loop",
+            Rule::Limits => "limits",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -138,6 +152,7 @@ fn apply_allows(
             ("panic", Rule::Panic),
             ("index", Rule::Index),
             ("lock-in-loop", Rule::LockInLoop),
+            ("limits", Rule::Limits),
         ] {
             let marker = format!("lint: allow({rule_name})");
             if let Some(pos) = comment.find(&marker) {
@@ -364,6 +379,89 @@ fn scan_indexing(code: &str, emit: &mut dyn FnMut(String)) {
     }
 }
 
+/// Lints one governed-crate source file for the **limits** rule: every
+/// `pub fn parse*` must mention the `Limits` type somewhere in its
+/// signature, or carry an audited `lint: allow(limits) <reason>` on its
+/// first line or the line above. (Reason-less allows are reported as
+/// `bad-allow` by [`lint_source`], which recognizes the same marker.)
+pub fn lint_limits(path: &Path, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let lines = &stripped.lines;
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test_cfg {
+            continue;
+        }
+        let Some(name) = parser_fn_name(&line.code) else {
+            continue;
+        };
+        // Accumulate the signature until the body opens or a `;` ends a
+        // bodiless (trait) declaration.
+        let mut signature = String::new();
+        for sig_line in &lines[idx..] {
+            signature.push_str(&sig_line.code);
+            signature.push(' ');
+            if sig_line.code.contains('{') || sig_line.code.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        if signature.contains("Limits") || has_limits_allow(idx, lines) {
+            continue;
+        }
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line: idx + 1,
+            rule: Rule::Limits,
+            message: format!(
+                "public parser entry point `{name}` bypasses resource governance; \
+                 take a `&Limits` parameter or delegate to a `*_with_limits` \
+                 sibling under an audited `lint: allow(limits)`"
+            ),
+        });
+    }
+    findings
+}
+
+/// The identifier after `pub fn ` when it names a parser entry point.
+fn parser_fn_name(code: &str) -> Option<&str> {
+    let pos = code.find("pub fn ")?;
+    let rest = &code[pos + "pub fn ".len()..];
+    let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
+    let name = &rest[..end];
+    (name == "parse" || name.starts_with("parse_")).then_some(name)
+}
+
+/// True when line `idx` (or a standalone comment line above it) carries a
+/// `lint: allow(limits)` marker with a reason.
+fn has_limits_allow(idx: usize, lines: &[crate::scan::Line]) -> bool {
+    if allows_limits(&lines[idx].comment) {
+        return true;
+    }
+    idx > 0 && {
+        let prev = &lines[idx - 1];
+        prev.code.trim().is_empty() && allows_limits(&prev.comment)
+    }
+}
+
+fn allows_limits(comment: &str) -> bool {
+    const MARKER: &str = "lint: allow(limits)";
+    comment
+        .find(MARKER)
+        .is_some_and(|pos| !comment[pos + MARKER.len()..].trim().is_empty())
+}
+
+/// True when `rel` (workspace-relative, forward slashes) is library code
+/// of an ingestion crate subject to the **limits** rule.
+pub fn is_limits_governed_path(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.first() == Some(&"crates")
+        && parts
+            .get(1)
+            .is_some_and(|c| LIMITS_GOVERNED_CRATES.contains(c))
+        && parts.get(2) == Some(&"src")
+        && parts.get(3) != Some(&"bin")
+}
+
 /// Lints a crate root for `#![forbid(unsafe_code)]`.
 pub fn lint_crate_root(path: &Path, source: &str) -> Vec<Finding> {
     let stripped = strip(source);
@@ -493,6 +591,9 @@ pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         if is_linted_library_path(&rel_str) {
             findings.extend(lint_source(rel, text));
+        }
+        if is_limits_governed_path(&rel_str) {
+            findings.extend(lint_limits(rel, text));
         }
     }
 
@@ -742,6 +843,72 @@ mod tests {
     fn lock_in_test_cfg_loop_is_exempt() {
         let f = lint_str("#[cfg(test)]\nmod tests {\n fn t() { for x in xs { m.read(); } }\n}\n");
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn lint_limits_str(src: &str) -> Vec<Finding> {
+        lint_limits(Path::new("crates/rdf/src/test.rs"), src)
+    }
+
+    #[test]
+    fn limits_rule_flags_ungoverned_parser() {
+        let f = lint_limits_str("pub fn parse_turtle(input: &str) -> Result<Graph> {\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Limits);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn limits_rule_accepts_limits_parameter() {
+        let f = lint_limits_str(
+            "pub fn parse_turtle_with_limits(input: &str, limits: &Limits) -> Result<Graph> {\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn limits_rule_sees_multiline_signatures() {
+        let f = lint_limits_str(
+            "pub fn parse_rdfxml_with_limits(\n    input: &str,\n    limits: &Limits,\n) -> Result<Graph> {\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn limits_rule_allow_hatch_with_reason() {
+        let above = lint_limits_str(
+            "// lint: allow(limits) convenience wrapper applying Limits::default()\npub fn parse(input: &str) -> Result<Graph> {\n}\n",
+        );
+        assert!(above.is_empty(), "{above:?}");
+        let inline = lint_limits_str(
+            "pub fn parse(input: &str) -> Result<Graph> { // lint: allow(limits) delegates\n}\n",
+        );
+        assert!(inline.is_empty(), "{inline:?}");
+        // A reason-less allow does not suppress (and lint_source reports it
+        // as bad-allow).
+        let bare = lint_limits_str(
+            "// lint: allow(limits)\npub fn parse(input: &str) -> Result<Graph> {\n}\n",
+        );
+        assert_eq!(bare.len(), 1, "{bare:?}");
+    }
+
+    #[test]
+    fn limits_rule_ignores_non_parser_fns_and_tests() {
+        let f = lint_limits_str(
+            "pub fn to_string(g: &Graph) -> String {\n}\nfn parse_private(s: &str) {}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let t = lint_limits_str("#[cfg(test)]\nmod tests {\n pub fn parse_helper(s: &str) {}\n}\n");
+        assert!(t.is_empty(), "{t:?}");
+    }
+
+    #[test]
+    fn limits_governed_path_classification() {
+        assert!(is_limits_governed_path("crates/rdf/src/turtle.rs"));
+        assert!(is_limits_governed_path("crates/sexpr/src/parser.rs"));
+        assert!(is_limits_governed_path("crates/wrappers/src/wordnet.rs"));
+        assert!(!is_limits_governed_path("crates/core/src/facade.rs"));
+        assert!(!is_limits_governed_path("crates/rdf/tests/proptests.rs"));
+        assert!(!is_limits_governed_path("crates/rdf/src/bin/tool.rs"));
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Resource-governance integration tests.
+//!
+//! Three families:
+//!
+//! 1. **Deep-nesting regressions** — the stack-overflow inputs that
+//!    motivated the `Limits` layer must come back as structured `Depth`
+//!    violations under the *default* limits, for every recursive parser.
+//! 2. **Partial recovery** — the `*_partial` entry points must keep the
+//!    prefix (or, for line-oriented N-Triples, the salvageable lines)
+//!    parsed before an error.
+//! 3. **Fixture identity** — parsing every seed fixture under `data/`
+//!    with default limits must produce exactly what an unbounded parse
+//!    produces: governance is free for legitimate documents.
+
+use sst_limits::{LimitKind, Limits};
+
+// ---------------------------------------------------------------------------
+// 1. Deep nesting under default limits.
+// ---------------------------------------------------------------------------
+
+const DEPTH: usize = 100_000;
+
+fn expect_depth_violation(err: sst_rdf::RdfError, what: &str) {
+    match err {
+        sst_rdf::RdfError::Limit(v) => {
+            assert_eq!(v.kind, LimitKind::Depth, "{what}: {v}")
+        }
+        other => panic!("{what}: expected a depth violation, got: {other}"),
+    }
+}
+
+#[test]
+fn turtle_deep_blank_node_property_lists_error_cleanly() {
+    // Regression: each `[` recursed once in parse_object, so ~100k levels
+    // overflowed the stack before the depth guard existed.
+    let mut doc = String::from("<http://e/s> <http://e/p> ");
+    doc.push_str(&"[ <http://e/q> ".repeat(DEPTH));
+    doc.push_str("<http://e/o>");
+    doc.push_str(&" ]".repeat(DEPTH));
+    doc.push_str(" .\n");
+    let err = sst_rdf::parse_turtle(&doc, "http://e/").unwrap_err();
+    expect_depth_violation(err, "blank node property lists");
+}
+
+#[test]
+fn turtle_deep_collections_error_cleanly() {
+    let mut doc = String::from("<http://e/s> <http://e/p> ");
+    doc.push_str(&"( ".repeat(DEPTH));
+    doc.push_str("<http://e/o>");
+    doc.push_str(&" )".repeat(DEPTH));
+    doc.push_str(" .\n");
+    let err = sst_rdf::parse_turtle(&doc, "http://e/").unwrap_err();
+    expect_depth_violation(err, "collections");
+}
+
+#[test]
+fn rdfxml_deep_element_nesting_errors_cleanly() {
+    let mut doc = String::from(
+        "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" \
+         xmlns:e=\"http://e/\">",
+    );
+    doc.push_str(&"<e:D>".repeat(DEPTH));
+    doc.push_str(&"</e:D>".repeat(DEPTH));
+    doc.push_str("</rdf:RDF>");
+    let err = sst_rdf::parse_rdfxml(&doc, "http://e/").unwrap_err();
+    expect_depth_violation(err, "rdfxml elements");
+}
+
+#[test]
+fn sexpr_deep_lists_error_cleanly() {
+    let mut doc = "(".repeat(DEPTH);
+    doc.push('x');
+    doc.push_str(&")".repeat(DEPTH));
+    let err = sst_sexpr::parse_all(&doc).unwrap_err();
+    assert_eq!(err.violation.map(|v| v.kind), Some(LimitKind::Depth));
+    // The same input through the PowerLoom wrapper surfaces as
+    // SoqaError::Limit, not a stack overflow.
+    let wrapped = sst_wrappers::parse_powerloom(&doc, "deep").unwrap_err();
+    assert!(matches!(
+        wrapped,
+        sst_soqa::SoqaError::Limit(v) if v.kind == LimitKind::Depth
+    ));
+}
+
+#[test]
+fn raising_the_depth_limit_is_an_explicit_opt_in() {
+    let mut doc = String::from("<http://e/s> <http://e/p> ");
+    doc.push_str(&"[ <http://e/q> ".repeat(200));
+    doc.push_str("<http://e/o>");
+    doc.push_str(&" ]".repeat(200));
+    doc.push_str(" .\n");
+    // 200 levels exceed the default of 128…
+    assert!(sst_rdf::parse_turtle(&doc, "http://e/").is_err());
+    // …but a caller who knows its documents can raise the ceiling.
+    let relaxed = Limits::default().with_max_depth(512);
+    let graph = sst_rdf::parse_turtle_with_limits(&doc, "http://e/", &relaxed, None).unwrap();
+    assert_eq!(graph.len(), 201); // the outer statement + one `q` link per level
+}
+
+// ---------------------------------------------------------------------------
+// 2. Partial recovery.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ntriples_partial_resyncs_per_line() {
+    let doc = "<http://e/a> <http://e/p> \"one\" .\n\
+               this line is garbage\n\
+               <http://e/b> <http://e/p> \"two\" .\n\
+               also garbage\n\
+               <http://e/c> <http://e/p> \"three\" .\n";
+    let partial = sst_rdf::parse_ntriples_partial(doc, &Limits::default());
+    assert!(!partial.is_complete());
+    assert_eq!(partial.value.len(), 3, "good lines survive");
+    assert_eq!(partial.errors.len(), 2, "one diagnostic per bad line");
+}
+
+#[test]
+fn turtle_partial_keeps_the_prefix() {
+    let doc = "@prefix e: <http://e/> .\n\
+               e:a e:p \"one\" .\n\
+               e:b e:p \"two\" .\n\
+               e:c e:p ] broken\n";
+    let partial = sst_rdf::parse_turtle_partial(doc, "http://e/", &Limits::default(), None);
+    assert!(!partial.is_complete());
+    assert_eq!(
+        partial.value.len(),
+        2,
+        "statements before the error survive"
+    );
+}
+
+#[test]
+fn rdfxml_partial_keeps_triples_before_the_error() {
+    let doc = "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" \
+               xmlns:e=\"http://e/\">\
+               <rdf:Description rdf:about=\"http://e/a\"><e:p>one</e:p></rdf:Description>\
+               <rdf:Description rdf:about=\"http://e/b\"><e:p>two</e:p></mismatched>\
+               </rdf:RDF>";
+    let partial = sst_rdf::parse_rdfxml_partial(doc, "http://e/", &Limits::default(), None);
+    assert!(!partial.is_complete());
+    assert!(partial.value.len() >= 2, "triples before the error survive");
+}
+
+#[test]
+fn sexpr_partial_keeps_whole_forms() {
+    let partial = sst_sexpr::parse_all_partial("(a 1) (b 2) (c ", &Limits::default(), None);
+    assert!(!partial.is_complete());
+    assert_eq!(partial.value.len(), 2);
+    assert_eq!(partial.errors.len(), 1);
+}
+
+#[test]
+fn limit_violations_abort_partial_recovery() {
+    // Limits are document-global: once the budget is gone, resyncing to
+    // the next line must NOT continue (that would defeat the cap).
+    let tight = Limits::default().with_max_items(2);
+    let doc = "<http://e/a> <http://e/p> \"1\" .\n\
+               <http://e/b> <http://e/p> \"2\" .\n\
+               <http://e/c> <http://e/p> \"3\" .\n\
+               <http://e/d> <http://e/p> \"4\" .\n";
+    let partial = sst_rdf::parse_ntriples_partial(doc, &tight);
+    assert!(!partial.is_complete());
+    assert_eq!(partial.value.len(), 2);
+    assert_eq!(partial.errors.len(), 1, "fatal: no further resync");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Fixture identity: default limits are invisible for real documents.
+// ---------------------------------------------------------------------------
+
+fn fixture(rel: &str) -> String {
+    let path = sst_bench::data_dir().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Canonical triple listing for graph comparison (Graph iterates its
+/// BTree-backed store in a deterministic order).
+fn triples(graph: &sst_rdf::Graph) -> Vec<String> {
+    graph.iter().map(|t| format!("{t:?}")).collect()
+}
+
+#[test]
+fn rdfxml_fixtures_parse_identically_under_default_limits() {
+    for (file, base) in [
+        (
+            "ontologies/univ-bench.owl",
+            "http://www.lehigh.edu/univ-bench.owl",
+        ),
+        ("ontologies/swrc.owl", "http://swrc.ontoware.org/ontology"),
+        (
+            "ontologies/univ1.0.daml",
+            "http://www.cs.umd.edu/projects/plus/DAML/onts/univ1.0.daml",
+        ),
+    ] {
+        let source = fixture(file);
+        let governed = sst_rdf::parse_rdfxml(&source, base)
+            .unwrap_or_else(|e| panic!("{file} under default limits: {e}"));
+        let unbounded =
+            sst_rdf::parse_rdfxml_with_limits(&source, base, &Limits::unbounded(), None)
+                .unwrap_or_else(|e| panic!("{file} unbounded: {e}"));
+        assert_eq!(triples(&governed), triples(&unbounded), "{file}");
+    }
+}
+
+#[test]
+fn ploom_fixture_parses_identically_under_default_limits() {
+    let source = fixture("ontologies/course.ploom");
+    let governed = sst_sexpr::parse_all(&source).expect("default limits");
+    let unbounded =
+        sst_sexpr::parse_all_with_limits(&source, &Limits::unbounded(), None).expect("unbounded");
+    assert_eq!(governed, unbounded);
+}
+
+#[test]
+fn wordnet_fixtures_parse_identically_under_default_limits() {
+    let data = fixture("wordnet/data.noun");
+    let governed = sst_wrappers::parse_wordnet(&data, "wn").expect("default limits");
+    let unbounded = sst_wrappers::parse_wordnet_with_limits(&data, "wn", &Limits::unbounded())
+        .expect("unbounded");
+    assert_eq!(governed.concept_count(), unbounded.concept_count());
+    assert_eq!(governed.max_depth(), unbounded.max_depth());
+
+    let index = fixture("wordnet/index.noun");
+    let governed_idx = sst_wrappers::WordNetIndex::parse(&index).expect("default limits");
+    let unbounded_idx = sst_wrappers::WordNetIndex::parse_with_limits(&index, &Limits::unbounded())
+        .expect("unbounded");
+    assert_eq!(governed_idx.len(), unbounded_idx.len());
+    assert_eq!(
+        governed_idx.primary_synset("professor"),
+        unbounded_idx.primary_synset("professor")
+    );
+}
+
+#[test]
+fn wrapper_dispatch_accepts_explicit_limits() {
+    use sst_wrappers::Language;
+    let source = fixture("ontologies/univ-bench.owl");
+    let ontology = sst_wrappers::parse_with_limits(
+        Language::Owl,
+        &source,
+        "univ",
+        "http://www.lehigh.edu/univ-bench.owl",
+        &Limits::default(),
+    )
+    .expect("parse");
+    // Starving the same parse proves the limits actually reach the parser.
+    let starved = sst_wrappers::parse_with_limits(
+        Language::Owl,
+        &source,
+        "univ",
+        "http://www.lehigh.edu/univ-bench.owl",
+        &Limits::default().with_max_input_bytes(64),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        starved,
+        sst_soqa::SoqaError::Limit(v) if v.kind == LimitKind::InputBytes
+    ));
+    assert!(ontology.concept_count() > 0);
+}

@@ -160,6 +160,111 @@ fn mutated_owl_never_panics() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic fault corpus: hand-written corruptions that byte soup is
+// unlikely to hit — truncated escapes, unterminated tokens, mismatched
+// tags, oversized literals. Every case must come back as a structured
+// error (or a clean parse where the corruption is harmless), never a
+// panic or hang.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_unicode_escapes_error_cleanly() {
+    // Turtle \u (4 hex digits) and \U (8 hex digits) cut short, at end of
+    // input and before the closing quote.
+    for doc in [
+        "<http://e/s> <http://e/p> \"a\\u00",
+        "<http://e/s> <http://e/p> \"a\\u00\" .",
+        "<http://e/s> <http://e/p> \"a\\U0001F4",
+        "<http://e/s> <http://e/p> \"a\\U0001F4\" .",
+        "<http://e/s> <http://e/p> \"\\uZZZZ\" .",
+        "@prefix e: <http://e/\\u00> .",
+    ] {
+        assert!(sst_rdf::parse_turtle(doc, "http://e/").is_err(), "{doc}");
+    }
+    for doc in [
+        "<http://e/s> <http://e/p> \"a\\u00\" .",
+        "<http://e/s> <http://e/p> \"a\\U0001F4\" .",
+        "<http://e/s> <http://e/p> \"a\\u",
+    ] {
+        assert!(sst_rdf::parse_ntriples(doc).is_err(), "{doc}");
+    }
+}
+
+#[test]
+fn unterminated_strings_and_comments_error_cleanly() {
+    assert!(sst_rdf::parse_turtle("<http://e/s> <http://e/p> \"open", "http://e/").is_err());
+    assert!(
+        sst_rdf::parse_turtle("<http://e/s> <http://e/p> \"\"\"long open", "http://e/").is_err()
+    );
+    assert!(sst_rdf::parse_ntriples("<http://e/s> <http://e/p> \"open").is_err());
+    assert!(sst_sexpr::parse_all("(doc \"open").is_err());
+    assert!(sst_sexpr::parse_all("(doc \"dangling\\").is_err());
+    // Comments that never see a newline must terminate at EOF, not hang.
+    let _ = sst_rdf::parse_turtle("# only a comment", "http://e/");
+    let _ = sst_sexpr::parse_all("; only a comment");
+}
+
+#[test]
+fn mismatched_close_tags_error_cleanly() {
+    const OPEN: &str =
+        "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" xmlns:e=\"http://e/\">";
+    for body in [
+        "<e:A></e:B></rdf:RDF>",      // wrong close name
+        "<e:A><e:B></e:A></rdf:RDF>", // close skips a level
+        "<e:A>",                      // never closed
+        "</e:A></rdf:RDF>",           // close without open
+    ] {
+        let doc = format!("{OPEN}{body}");
+        assert!(sst_rdf::parse_rdfxml(&doc, "http://e/").is_err(), "{body}");
+    }
+}
+
+#[test]
+fn oversized_literals_hit_the_literal_limit() {
+    use sst_rdf::LimitKind;
+    let huge = "A".repeat((1 << 20) + 1); // one byte past the default cap
+    let turtle = format!("<http://e/s> <http://e/p> \"{huge}\" .");
+    let nt = format!("<http://e/s> <http://e/p> \"{huge}\" .\n");
+    let xml = format!(
+        "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" \
+         xmlns:e=\"http://e/\"><rdf:Description rdf:about=\"http://e/s\">\
+         <e:p>{huge}</e:p></rdf:Description></rdf:RDF>"
+    );
+    let sexpr = format!("(doc \"{huge}\")");
+    let wn = format!("00000001 03 n 01 entity 0 000 | {huge}\n");
+
+    let turtle_err = sst_rdf::parse_turtle(&turtle, "http://e/").unwrap_err();
+    assert!(matches!(turtle_err, sst_rdf::RdfError::Limit(v) if v.kind == LimitKind::LiteralBytes));
+    let nt_err = sst_rdf::parse_ntriples(&nt).unwrap_err();
+    assert!(matches!(nt_err, sst_rdf::RdfError::Limit(v) if v.kind == LimitKind::LiteralBytes));
+    let xml_err = sst_rdf::parse_rdfxml(&xml, "http://e/").unwrap_err();
+    assert!(matches!(xml_err, sst_rdf::RdfError::Limit(v) if v.kind == LimitKind::LiteralBytes));
+    let sexpr_err = sst_sexpr::parse_all(&sexpr).unwrap_err();
+    assert_eq!(
+        sexpr_err.violation.map(|v| v.kind),
+        Some(sst_sexpr::LimitKind::LiteralBytes)
+    );
+    let wn_err = sst_wrappers::parse_wordnet(&wn, "fuzz").unwrap_err();
+    assert!(matches!(
+        wn_err,
+        sst_soqa::SoqaError::Limit(v) if v.kind == sst_wrappers::LimitKind::LiteralBytes
+    ));
+}
+
+#[test]
+fn wordnet_forged_counts_error_cleanly() {
+    // Announced counts far beyond the fields present must be rejected
+    // without pre-allocating to the announced size.
+    for doc in [
+        "00000001 03 n ffffffff entity 0 000 | g\n",
+        "00000001 03 n 01 entity 0 999999999 @ 00000002 n 0000 | g\n",
+    ] {
+        assert!(sst_wrappers::parse_wordnet(doc, "fuzz").is_err(), "{doc}");
+    }
+    assert!(sst_wrappers::WordNetIndex::parse("bank n 99999999 0 1 1 00000001\n").is_err());
+}
+
 /// Mutated PowerLoom modules likewise.
 #[test]
 fn mutated_ploom_never_panics() {
