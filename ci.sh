@@ -3,11 +3,14 @@
 # release build, tests. Thin wrapper over `cargo xtask ci` so local runs
 # and automation share one definition of "green", plus the batch-engine
 # smoke gate (prepared-context matrices must stay bit-identical to the
-# naive path on every measure) and the fault-injection smoke gate (no
+# naive path on every measure), the fault-injection smoke gate (no
 # corrupted or hostile input may panic, overflow the stack, or blow past
-# the resource limits in any parser).
+# the resource limits in any parser), and the server smoke gate (the
+# query service answers every concurrent request 200/429, sheds instead
+# of queueing unboundedly, and drains cleanly on shutdown).
 set -eu
 cd "$(dirname "$0")"
 cargo xtask ci
 cargo run --release -p sst-bench --bin matrix_bench -- --smoke
 cargo run --release -p sst-bench --bin fault_smoke -- --smoke
+cargo run --release -p sst-bench --bin server_smoke -- --smoke

@@ -1,0 +1,215 @@
+//! Server smoke gate: boots the `sst-server` query service on an
+//! ephemeral port, hammers it from concurrent client threads with a
+//! scripted mix of `/ql`, `/similarity`, `/rank`, `/healthz` and
+//! `/metrics` traffic, and asserts the service contract:
+//!
+//! - every request is answered `200` or shed `429` — no hangs, no `5xx`;
+//! - the `/metrics` exposition accounts for exactly the traffic sent
+//!   (accepted == dispatched + shed, zero 5xx counters);
+//! - shutdown drains cleanly and `Server::run` returns `Ok`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p sst-bench --bin server_smoke             # full run
+//! cargo run --release -p sst-bench --bin server_smoke -- --smoke  # CI gate
+//! ```
+//!
+//! The full run writes `results/BENCH_server.json` with throughput and
+//! the final counter values; `--smoke` keeps the same request mix at a
+//! smaller round count and skips the file.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use sst_bench::{data_dir, load_corpus, names};
+use sst_core::TreeMode;
+use sst_server::{Server, ServerConfig};
+
+/// Client threads (the acceptance floor is ≥ 4).
+const CLIENTS: usize = 6;
+/// Requests per client: ≥ 1k total even in smoke mode.
+const SMOKE_ROUNDS: usize = 200;
+const FULL_ROUNDS: usize = 1_000;
+
+fn request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set client timeout");
+    stream.write_all(raw).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    (status, response)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    request(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nhost: smoke\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nhost: smoke\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// One scripted request from the mix; returns its status code.
+fn scripted(addr: SocketAddr, step: usize) -> u16 {
+    match step % 5 {
+        0 => get(addr, "/healthz").0,
+        1 => {
+            get(
+                addr,
+                &format!(
+                    "/similarity?first=Professor&first_ontology={o}\
+                     &second=EMPLOYEE&second_ontology={c}&measure=levenshtein",
+                    o = names::DAML_UNIV,
+                    c = names::COURSES
+                ),
+            )
+            .0
+        }
+        2 => {
+            get(
+                addr,
+                &format!(
+                    "/rank?concept=Professor&ontology={}&k=3&measure=levenshtein",
+                    names::DAML_UNIV
+                ),
+            )
+            .0
+        }
+        3 => post(addr, "/ql", "SELECT name, concept_count FROM ontology").0,
+        _ => get(addr, "/metrics").0,
+    }
+}
+
+/// Reads one counter from the `/metrics` text exposition.
+fn counter(metrics_body: &str, name: &str) -> u64 {
+    metrics_body
+        .lines()
+        .find_map(|line| {
+            let (n, v) = line.trim_start().split_once(char::is_whitespace)?;
+            (n == name).then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rounds = if smoke { SMOKE_ROUNDS } else { FULL_ROUNDS };
+
+    let sst = load_corpus(TreeMode::SuperThing, false);
+    let server = Server::bind(ServerConfig {
+        workers: 4,
+        queue_capacity: 32,
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+
+    let started = Instant::now();
+    let (ok, shed) = std::thread::scope(|scope| {
+        let running = scope.spawn(|| server.run(&sst));
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let (mut ok, mut shed) = (0u64, 0u64);
+                    for r in 0..rounds {
+                        match scripted(addr, c + r) {
+                            200 => ok += 1,
+                            429 => shed += 1,
+                            other => panic!(
+                                "request {r} of client {c}: status {other}; \
+                                 only 200/429 are legal under well-formed load"
+                            ),
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+
+        let (mut ok, mut shed) = (0u64, 0u64);
+        for client in clients {
+            let (o, s) = client.join().expect("client thread");
+            ok += o;
+            shed += s;
+        }
+
+        handle.shutdown();
+        running
+            .join()
+            .expect("server thread")
+            .expect("server run result");
+        (ok, shed)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let total = (CLIENTS * rounds) as u64;
+    assert_eq!(ok + shed, total, "every request must be answered");
+    assert!(ok > 0, "some traffic must get through");
+
+    // The exposition must account for exactly the traffic sent.
+    let metrics = sst.metrics().render_text();
+    let dispatched: u64 = ["ql", "similarity", "rank", "metrics", "healthz", "other"]
+        .iter()
+        .map(|ep| counter(&metrics, &format!("server.requests.{ep}")))
+        .sum();
+    let accepted = counter(&metrics, "server.accepted");
+    let shed_counter = counter(&metrics, "server.shed");
+    assert_eq!(dispatched, ok, "dispatched == 200s the clients saw");
+    assert_eq!(shed_counter, shed, "shed == 429s the clients saw");
+    assert_eq!(
+        accepted,
+        dispatched + shed_counter,
+        "accepted == dispatched + shed"
+    );
+    assert_eq!(
+        counter(&metrics, "server.responses.5xx"),
+        0,
+        "no 5xx under well-formed load"
+    );
+
+    println!(
+        "server_smoke: {CLIENTS} clients x {rounds} requests = {total} total; \
+         {ok} ok, {shed} shed, {:.0} req/s, zero 5xx",
+        total as f64 / elapsed
+    );
+
+    if smoke {
+        println!("server_smoke --smoke: service contract holds");
+        return;
+    }
+
+    let results = data_dir().join("../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \"rounds_per_client\": {rounds},\n  \
+         \"requests\": {total},\n  \"ok\": {ok},\n  \"shed\": {shed},\n  \
+         \"elapsed_s\": {elapsed:.3},\n  \"requests_per_s\": {:.1},\n  \
+         \"accepted\": {accepted},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"cache_evictions\": {}\n}}\n",
+        total as f64 / elapsed,
+        counter(&metrics, "core.cache.hits"),
+        counter(&metrics, "core.cache.misses"),
+        counter(&metrics, "core.cache.evictions"),
+    );
+    std::fs::write(results.join("BENCH_server.json"), json).expect("write BENCH_server");
+    println!("(written to results/BENCH_server.json)");
+}

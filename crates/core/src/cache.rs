@@ -1,62 +1,104 @@
 //! Similarity caching. Pairwise scores are deterministic for a built
 //! toolkit (the tree, IC and index are frozen), so k-most-similar loops,
-//! alignment, and clustering — which all re-query the same pairs — can
-//! share a memo table.
+//! alignment, clustering — and above all the long-running query service
+//! (`sst-server`) — which all re-query the same pairs, can share a memo.
 //!
-//! [`CachedSimilarity`] wraps a borrowed [`SstToolkit`] with an interior
-//! `std::sync::RwLock` memo keyed by `(measure, pair)`; pairs are stored
-//! in canonical order since every registered measure is symmetric. The
+//! [`CachedSimilarity`] wraps a borrowed [`SstToolkit`] with a **sharded,
+//! capacity-bounded LRU** keyed by `(measure, pair)`; pairs are stored in
+//! canonical order since every registered measure is symmetric. Keys are
+//! hash-partitioned over independent mutex-guarded shards, so concurrent
+//! writers on different keys do not serialize on one global lock. The
 //! cache is `Sync`, so parallel clients share it. Lock poisoning is
 //! recovered rather than propagated: the memo holds only derived scores,
 //! so a panicking writer can never leave it semantically inconsistent.
+//!
+//! ## Bounded memory
+//!
+//! [`CachedSimilarity::new`] bounds the memo at
+//! [`CachedSimilarity::DEFAULT_CAPACITY`] entries; when full, each shard
+//! evicts its least-recently-used pair (counted in
+//! [`CachedSimilarity::evictions`] and the `core.cache.evictions`
+//! counter). [`CachedSimilarity::with_capacity`] picks a custom bound and
+//! [`CachedSimilarity::unbounded`] opts out for offline batch jobs that
+//! prefer the pre-eviction behavior. Evicted pairs are simply recomputed
+//! on the next query — scores are deterministic, so a bounded cache is
+//! always bit-identical to an unbounded one (only hit/miss/eviction
+//! traffic differs).
+//!
+//! ## Single-flight misses
+//!
+//! [`CachedSimilarity::get_similarity`] uses a reserve-slot protocol: the
+//! first thread to miss a key reserves it and computes; concurrent
+//! threads missing the same key wait and wake to a hit. Each resident
+//! pair is therefore computed — and counted as a miss — exactly once
+//! (the batch path of [`CachedSimilarity::most_similar`] may duplicate
+//! work under concurrency but stays value-identical).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 use sst_obs::Counter;
 use sst_soqa::GlobalConcept;
 
 use crate::error::Result;
 use crate::facade::{rank_descending, ConceptAndSimilarity, ConceptSet, PairScorer, SstToolkit};
+use crate::lru::{ShardedLru, Slot};
 
 type Key = (usize, GlobalConcept, GlobalConcept);
-type Memo = HashMap<Key, f64>;
 
 /// A memoizing view over a toolkit.
 ///
 /// Hit/miss traffic is tracked twice on purpose: the local atomics back
 /// [`CachedSimilarity::stats`] (per-cache, reset by construction), while the
-/// `core.cache.hits` / `core.cache.misses` counters in the toolkit's
-/// metrics registry aggregate across every cache built on the toolkit.
+/// `core.cache.hits` / `core.cache.misses` / `core.cache.evictions`
+/// counters in the toolkit's metrics registry aggregate across every cache
+/// built on the toolkit.
 #[derive(Debug)]
 pub struct CachedSimilarity<'a> {
     toolkit: &'a SstToolkit,
-    memo: RwLock<Memo>,
+    memo: ShardedLru<Key, f64>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     hits_metric: Arc<Counter>,
     misses_metric: Arc<Counter>,
+    evictions_metric: Arc<Counter>,
 }
 
 impl<'a> CachedSimilarity<'a> {
+    /// Default capacity bound of [`CachedSimilarity::new`], in cached
+    /// pairs. Sized for serving workloads: large enough that interactive
+    /// traffic over mid-size ontologies rarely evicts, small enough that a
+    /// long-running service stays memory-bounded.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A cache bounded at [`CachedSimilarity::DEFAULT_CAPACITY`] pairs.
     pub fn new(toolkit: &'a SstToolkit) -> Self {
+        Self::with_capacity(toolkit, Self::DEFAULT_CAPACITY)
+    }
+
+    /// A cache bounded at `capacity` pairs (clamped to at least one).
+    /// When full, the least-recently-used pair of the key's shard is
+    /// evicted to make room.
+    pub fn with_capacity(toolkit: &'a SstToolkit, capacity: usize) -> Self {
         CachedSimilarity {
             toolkit,
-            memo: RwLock::new(HashMap::new()),
+            memo: ShardedLru::with_capacity(capacity),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             hits_metric: toolkit.metrics().counter("core.cache.hits"),
             misses_metric: toolkit.metrics().counter("core.cache.misses"),
+            evictions_metric: toolkit.metrics().counter("core.cache.evictions"),
         }
     }
 
-    fn memo_read(&self) -> RwLockReadGuard<'_, Memo> {
-        self.memo.read().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn memo_write(&self) -> RwLockWriteGuard<'_, Memo> {
-        self.memo.write().unwrap_or_else(PoisonError::into_inner)
+    /// The explicit opt-out: a cache that never evicts. For offline batch
+    /// jobs (alignment, clustering over a fixed set) where the working set
+    /// is known to fit; long-running services should prefer a bound.
+    pub fn unbounded(toolkit: &'a SstToolkit) -> Self {
+        Self::with_capacity(toolkit, usize::MAX)
     }
 
     /// The wrapped toolkit.
@@ -72,20 +114,33 @@ impl<'a> CachedSimilarity<'a> {
         )
     }
 
-    /// Number of cached pairs.
+    /// Pairs evicted to uphold the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity bound ([`usize::MAX`] when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.memo.capacity()
+    }
+
+    /// Number of cached pairs; never exceeds [`CachedSimilarity::capacity`].
     pub fn len(&self) -> usize {
-        self.memo_read().len()
+        self.memo.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.memo_read().is_empty()
+        self.len() == 0
     }
 
-    /// Clears the memo (e.g. after registering a differently-configured
-    /// toolkit is impossible — toolkits are frozen — so this mainly serves
-    /// memory management in long-running services).
+    /// Drops every cached pair (capacity and counters are kept).
+    /// Re-registering a differently-configured toolkit is impossible —
+    /// toolkits are frozen once built — so `clear` exists for memory
+    /// management: unbounded caches in long-running services can shed
+    /// their memo wholesale, and bounded caches can drop a cold working
+    /// set at once instead of evicting it pair by pair.
     pub fn clear(&self) {
-        self.memo_write().clear();
+        self.memo.clear();
     }
 
     fn canonical(measure: usize, a: GlobalConcept, b: GlobalConcept) -> Key {
@@ -97,7 +152,20 @@ impl<'a> CachedSimilarity<'a> {
         }
     }
 
+    /// Records an eviction reported by the memo.
+    fn note_evictions(&self, count: u64) {
+        if count > 0 {
+            self.evictions.fetch_add(count, Ordering::Relaxed);
+            self.evictions_metric.add(count);
+        }
+    }
+
     /// Cached version of [`SstToolkit::get_similarity`].
+    ///
+    /// Misses are single-flight: concurrent callers of the same absent
+    /// pair block until the first caller's computation lands, then return
+    /// it as a hit — each resident pair is computed once and `misses`
+    /// counts distinct computations, not racing threads.
     pub fn get_similarity(
         &self,
         first_concept: &str,
@@ -112,22 +180,37 @@ impl<'a> CachedSimilarity<'a> {
             .soqa()
             .resolve(second_ontology, second_concept)?;
         let key = Self::canonical(measure, a, b);
-        if let Some(&cached) = self.memo_read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.hits_metric.inc();
-            return Ok(cached);
+        match self.memo.get_or_reserve(&key) {
+            Slot::Hit(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits_metric.inc();
+                Ok(cached)
+            }
+            Slot::Reserved => {
+                let computed = self.toolkit.get_similarity(
+                    first_concept,
+                    first_ontology,
+                    second_concept,
+                    second_ontology,
+                    measure,
+                );
+                match computed {
+                    Ok(value) => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.misses_metric.inc();
+                        let evicted = self.memo.fulfill(key, value);
+                        self.note_evictions(u64::from(evicted));
+                        Ok(value)
+                    }
+                    Err(e) => {
+                        // Hand the reservation to a waiter (or drop it);
+                        // nothing was computed, so nothing is counted.
+                        self.memo.abandon(&key);
+                        Err(e)
+                    }
+                }
+            }
         }
-        let value = self.toolkit.get_similarity(
-            first_concept,
-            first_ontology,
-            second_concept,
-            second_ontology,
-            measure,
-        )?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.misses_metric.inc();
-        self.memo_write().insert(key, value);
-        Ok(value)
     }
 
     /// Cached version of [`SstToolkit::most_similar`]: reuses any pairs
@@ -135,8 +218,10 @@ impl<'a> CachedSimilarity<'a> {
     ///
     /// Misses are computed in one batch on the toolkit's prepared-context
     /// path (one [`SstToolkit::prepare`] over the missed members plus the
-    /// query) instead of one naive pairwise call per member; hit/miss
-    /// accounting and memo keys are unchanged.
+    /// query) instead of one naive pairwise call per member; memo keys are
+    /// unchanged. Hit/miss counters move only after the whole batch has
+    /// completed — an error partway through the scan (unknown measure, a
+    /// member that fails to resolve) leaves every counter untouched.
     pub fn most_similar(
         &self,
         concept: &str,
@@ -150,10 +235,15 @@ impl<'a> CachedSimilarity<'a> {
             return Ok(Vec::new());
         }
         let query = self.toolkit.soqa().resolve(ontology, concept)?;
+        // Fail on an unknown measure *before* any accounting.
+        let runner = self.toolkit.runner(measure)?;
 
         // Scan the memo once; misses are deduplicated into batch slots so a
         // repeated pair is computed once and the repeat counts as a hit,
-        // exactly as the sequential per-member path behaved.
+        // exactly as the sequential per-member path behaved. Hits and
+        // misses accumulate locally until all work has actually happened.
+        let mut hits: u64 = 0;
+        let mut misses: u64 = 0;
         let mut all: Vec<ConceptAndSimilarity> = Vec::with_capacity(members.len());
         let mut slot_of_row: Vec<Option<usize>> = Vec::with_capacity(members.len());
         let mut pending_keys: HashMap<Key, usize> = HashMap::new();
@@ -170,20 +260,17 @@ impl<'a> CachedSimilarity<'a> {
             // names keep hitting the same memo entry they always did.
             let rgc = self.toolkit.soqa().resolve(&other_onto, &other)?;
             let key = Self::canonical(measure, query, rgc);
-            let (similarity, slot) = if let Some(&cached) = self.memo_read().get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.hits_metric.inc();
+            let (similarity, slot) = if let Some(cached) = self.memo.get(&key) {
+                hits += 1;
                 (cached, None)
             } else if let Some(&slot) = pending_keys.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.hits_metric.inc();
+                hits += 1;
                 (0.0, Some(slot))
             } else {
                 let slot = pending.len();
                 pending_keys.insert(key, slot);
                 pending.push(rgc);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.misses_metric.inc();
+                misses += 1;
                 (0.0, Some(slot))
             };
             all.push(ConceptAndSimilarity {
@@ -195,7 +282,6 @@ impl<'a> CachedSimilarity<'a> {
         }
 
         if !pending.is_empty() {
-            let runner = self.toolkit.runner(measure)?;
             let mut batch = pending.clone();
             batch.push(query);
             let prep = self.toolkit.prepare(&batch);
@@ -204,18 +290,25 @@ impl<'a> CachedSimilarity<'a> {
             let values: Vec<f64> = (0..pending.len())
                 .map(|i| self.toolkit.timed_score(measure, || scorer.score(qpos, i)))
                 .collect();
-            {
-                let mut memo = self.memo_write();
-                for (&key, &slot) in &pending_keys {
-                    memo.insert(key, values[slot]);
+            let mut evicted: u64 = 0;
+            for (&key, &slot) in &pending_keys {
+                if self.memo.insert(key, values[slot]) {
+                    evicted += 1;
                 }
             }
+            self.note_evictions(evicted);
             for (row, slot) in all.iter_mut().zip(&slot_of_row) {
                 if let Some(slot) = *slot {
                     row.similarity = values[slot];
                 }
             }
         }
+
+        // Every pair is scored: account for the completed work.
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.hits_metric.add(hits);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.misses_metric.add(misses);
 
         all.sort_by(rank_descending);
         all.truncate(k);
@@ -360,5 +453,133 @@ mod tests {
         assert_eq!(cache.len(), 2);
         let (hits, misses) = cache.stats();
         assert_eq!(hits + misses, 8);
+    }
+
+    /// The check-then-act race pin: many threads hammering the same small
+    /// pair set must compute (and count) each distinct pair exactly once.
+    #[test]
+    fn concurrent_misses_are_single_flight() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        let pairs = [
+            ("Student", "Person"),
+            ("Student", "Professor"),
+            ("Student", "Course"),
+            ("Person", "Professor"),
+            ("Person", "Course"),
+            ("Professor", "Course"),
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let pairs = &pairs;
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        for (i, pair) in pairs.iter().enumerate() {
+                            // Stagger orders across threads to chase races.
+                            let (a, b) = if (t + round + i) % 2 == 0 {
+                                (pair.0, pair.1)
+                            } else {
+                                (pair.1, pair.0)
+                            };
+                            cache
+                                .get_similarity(a, "uni", b, "uni", m::SHORTEST_PATH_MEASURE)
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(
+            misses,
+            pairs.len() as u64,
+            "each distinct pair is computed exactly once"
+        );
+        assert_eq!(hits + misses, 8 * 20 * pairs.len() as u64);
+        assert_eq!(cache.len(), pairs.len());
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    /// Satellite pin: a failing service call must not move the counters.
+    #[test]
+    fn errors_leave_counters_untouched() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::new(&sst);
+        // Unknown measure: most_similar fails before any per-row work.
+        cache
+            .most_similar("Student", "uni", &ConceptSet::All, 3, 999)
+            .unwrap_err();
+        // Unknown concept: pairwise fails before any computation.
+        cache
+            .get_similarity("Nobody", "uni", "Person", "uni", m::SHORTEST_PATH_MEASURE)
+            .unwrap_err();
+        assert_eq!(cache.stats(), (0, 0), "no work happened, nothing counted");
+        assert!(cache.is_empty());
+    }
+
+    /// Bounded capacity: the LRU never grows past its bound, evictions are
+    /// counted, and evicted pairs recompute to bit-identical scores.
+    #[test]
+    fn tiny_capacity_stays_bounded_and_bit_identical() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::with_capacity(&sst, 2);
+        assert_eq!(cache.capacity(), 2);
+        let concepts = ["Thing", "Person", "Student", "Professor", "Course"];
+        let mut direct = Vec::new();
+        for a in concepts {
+            for b in concepts {
+                let cached = cache
+                    .get_similarity(a, "uni", b, "uni", m::LIN_MEASURE)
+                    .unwrap();
+                let uncached = sst
+                    .get_similarity(a, "uni", b, "uni", m::LIN_MEASURE)
+                    .unwrap();
+                assert_eq!(cached.to_bits(), uncached.to_bits(), "{a} vs {b}");
+                assert!(cache.len() <= 2, "len {} exceeds capacity", cache.len());
+                direct.push(uncached);
+            }
+        }
+        assert!(cache.evictions() > 0, "churning 15 pairs through 2 slots");
+        // Second sweep still bit-identical after heavy eviction.
+        for (i, a) in concepts.iter().enumerate() {
+            for (j, b) in concepts.iter().enumerate() {
+                let again = cache
+                    .get_similarity(a, "uni", b, "uni", m::LIN_MEASURE)
+                    .unwrap();
+                assert_eq!(again.to_bits(), direct[i * concepts.len() + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_opt_out_never_evicts() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::unbounded(&sst);
+        assert_eq!(cache.capacity(), usize::MAX);
+        let concepts = ["Thing", "Person", "Student", "Professor", "Course"];
+        for a in concepts {
+            for b in concepts {
+                cache
+                    .get_similarity(a, "uni", b, "uni", m::JARO_MEASURE)
+                    .unwrap();
+            }
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 15); // C(5,2) + 5 self-pairs
+    }
+
+    #[test]
+    fn eviction_counter_reaches_metrics_registry() {
+        let sst = toolkit();
+        let cache = CachedSimilarity::with_capacity(&sst, 1);
+        for pair in [("Student", "Person"), ("Course", "Professor")] {
+            cache
+                .get_similarity(pair.0, "uni", pair.1, "uni", m::SHORTEST_PATH_MEASURE)
+                .unwrap();
+        }
+        let snap = sst.metrics().snapshot();
+        assert_eq!(snap.counter("core.cache.evictions"), Some(1));
+        assert_eq!(snap.counter("core.cache.misses"), Some(2));
     }
 }

@@ -963,6 +963,24 @@ impl SstToolkit {
         )?)
     }
 
+    /// Like [`SstToolkit::query`], but evaluation charges its work against
+    /// a step/item budget governed by `limits` and fails with a structured
+    /// limit error instead of running arbitrarily long. Long-running
+    /// services (`sst-server`) evaluate on this entry point so one huge
+    /// query cannot hold a worker thread past its deadline.
+    pub fn query_with_limits(
+        &self,
+        soqaql: &str,
+        limits: &sst_limits::Limits,
+    ) -> Result<ResultTable> {
+        Ok(sst_soqa::ql::execute_budgeted(
+            &self.soqa,
+            soqaql,
+            Some(&self.metrics),
+            limits,
+        )?)
+    }
+
     /// Renders the concept-hierarchy browser pane for one ontology.
     pub fn render_ontology_tree(&self, ontology: &str) -> Result<String> {
         Ok(sst_soqa::browser::render_tree(

@@ -43,6 +43,7 @@ pub mod error;
 pub mod export;
 pub mod facade;
 pub mod heatmap;
+mod lru;
 pub mod runner;
 pub mod tree;
 

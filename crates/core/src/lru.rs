@@ -1,0 +1,425 @@
+//! Sharded, capacity-bounded LRU map backing [`crate::cache::CachedSimilarity`].
+//!
+//! The memo a long-running service shares across requests must be
+//! *bounded*: the old `RwLock<HashMap>` grew without limit, which is
+//! exactly the memory leak the ROADMAP's "long-running services" goal
+//! cannot afford. This module provides:
+//!
+//! * **Sharding.** Keys are hash-partitioned over independent
+//!   `Mutex`-guarded shards, so concurrent writers on different keys do
+//!   not serialize on one global write lock.
+//! * **Bounded capacity with LRU eviction.** The configured capacity is
+//!   distributed exactly over the shards (sum of shard capacities equals
+//!   the total), so the total resident entry count never exceeds the
+//!   configured bound. Each shard evicts its least-recently-used entry
+//!   on overflow and reports the eviction to the caller.
+//! * **Reserve-slot protocol.** [`ShardedLru::get_or_reserve`] closes the
+//!   check-then-act race of the old cache: the first thread to miss a key
+//!   *reserves* it and computes; concurrent threads missing the same key
+//!   block on the shard's condvar and wake to a hit. Each key is computed
+//!   (and counted as a miss) exactly once while it stays resident.
+//!
+//! Reservations live in a side table, not in the LRU itself, so a
+//! reserved-but-uncomputed key can never be evicted and never counts
+//! against the capacity bound (in-flight reservations are bounded by the
+//! number of computing threads).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel index for "no node".
+const NIL: usize = usize::MAX;
+
+/// Number of shards; a small power of two — enough to spread write
+/// contention across a worker pool without fragmenting tiny capacities.
+const SHARD_COUNT: usize = 8;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an intrusive-list LRU over a slab plus the reservation set.
+#[derive(Debug)]
+struct LruInner<K, V> {
+    /// Key → slab slot.
+    map: HashMap<K, usize>,
+    /// Slab of list nodes; `free` holds recycled slots.
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    /// Most-recently-used end of the list.
+    head: usize,
+    /// Least-recently-used end of the list.
+    tail: usize,
+    /// Maximum resident entries in this shard.
+    capacity: usize,
+    /// Keys currently reserved by a computing thread.
+    pending: HashSet<K>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruInner<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruInner {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            pending: HashSet::new(),
+        }
+    }
+
+    /// Unlinks node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = match self.nodes.get(i) {
+            Some(n) => (n.prev, n.next),
+            None => return,
+        };
+        match self.nodes.get_mut(prev) {
+            Some(p) => p.next = next,
+            None => self.head = next,
+        }
+        match self.nodes.get_mut(next) {
+            Some(n) => n.prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    /// Links node `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        let old_head = self.head;
+        if let Some(n) = self.nodes.get_mut(i) {
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        match self.nodes.get_mut(old_head) {
+            Some(h) => h.prev = i,
+            None => self.tail = i,
+        }
+        self.head = i;
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get_touch(&mut self, key: &K) -> Option<V> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        self.nodes.get(i).map(|n| n.value.clone())
+    }
+
+    /// Inserts (or refreshes) `key → value`; returns `true` when an entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            if let Some(n) = self.nodes.get_mut(i) {
+                n.value = value;
+            }
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            if let Some(n) = self.nodes.get(lru) {
+                let old_key = n.key.clone();
+                self.unlink(lru);
+                self.map.remove(&old_key);
+                self.free.push(lru);
+                evicted = true;
+            }
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                if let Some(n) = self.nodes.get_mut(slot) {
+                    *n = node;
+                }
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    /// Wakes threads waiting on a reserved key of this shard.
+    ready: Condvar,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn lock(&self) -> MutexGuard<'_, LruInner<K, V>> {
+        // The LRU holds only derived values; a panicking holder cannot
+        // leave it semantically inconsistent, so poisoning is recovered.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Outcome of [`ShardedLru::get_or_reserve`].
+#[derive(Debug, PartialEq)]
+pub(crate) enum Slot<V> {
+    /// The key was resident (possibly after waiting for a concurrent
+    /// computation); the value is attached.
+    Hit(V),
+    /// The key is absent and now reserved by the caller, who must follow
+    /// up with [`ShardedLru::fulfill`] or [`ShardedLru::abandon`].
+    Reserved,
+}
+
+/// A sharded, capacity-bounded LRU map (see module docs).
+#[derive(Debug)]
+pub(crate) struct ShardedLru<K, V> {
+    shards: Vec<Shard<K, V>>,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// A map holding at most `capacity` entries in total. Capacities below
+    /// one are clamped to one; tiny capacities use fewer shards so the
+    /// per-shard bound stays meaningful.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = SHARD_COUNT.min(capacity);
+        let shards = (0..shard_count)
+            .map(|i| {
+                // Distribute the capacity exactly: the first
+                // `capacity % shard_count` shards take one extra entry,
+                // so the shard capacities sum to `capacity`.
+                let base = capacity / shard_count;
+                let extra = usize::from(i < capacity % shard_count);
+                Shard {
+                    inner: Mutex::new(LruInner::new(base.saturating_add(extra))),
+                    ready: Condvar::new(),
+                }
+            })
+            .collect();
+        ShardedLru { shards, capacity }
+    }
+
+    /// The configured total capacity bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total resident entries (reservations excluded).
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Drops every resident entry. Reservations (and their waiters) are
+    /// untouched: the in-flight computations complete normally.
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            // lint: allow(lock-in-loop) each iteration locks a *different* shard exactly once
+            let mut inner = shard.lock();
+            let capacity = inner.capacity;
+            *inner = LruInner::new(capacity);
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        // `shards` is non-empty by construction (capacity is clamped ≥ 1),
+        // and the modulo keeps the index in range.
+        let idx = (hasher.finish() as usize) % self.shards.len().max(1);
+        &self.shards[idx]
+    }
+
+    /// Non-blocking lookup refreshing recency; never reserves.
+    pub(crate) fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get_touch(key)
+    }
+
+    /// Looks `key` up; on a miss, reserves it for the caller. If another
+    /// thread holds the reservation, blocks until that thread fulfills
+    /// (→ `Hit`) or abandons (→ the caller inherits the reservation).
+    pub(crate) fn get_or_reserve(&self, key: &K) -> Slot<V> {
+        let shard = self.shard(key);
+        let mut inner = shard.lock();
+        loop {
+            if let Some(value) = inner.get_touch(key) {
+                return Slot::Hit(value);
+            }
+            if !inner.pending.contains(key) {
+                inner.pending.insert(key.clone());
+                return Slot::Reserved;
+            }
+            inner = shard
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Publishes the value for a key previously reserved via
+    /// [`ShardedLru::get_or_reserve`] and wakes its waiters. Returns `true`
+    /// when an entry was evicted to make room.
+    pub(crate) fn fulfill(&self, key: K, value: V) -> bool {
+        let shard = self.shard(&key);
+        let evicted = {
+            let mut inner = shard.lock();
+            inner.pending.remove(&key);
+            inner.insert(key, value)
+        };
+        shard.ready.notify_all();
+        evicted
+    }
+
+    /// Releases a reservation without publishing a value (the computation
+    /// failed); one waiter inherits the reservation and retries.
+    pub(crate) fn abandon(&self, key: &K) {
+        let shard = self.shard(key);
+        {
+            let mut inner = shard.lock();
+            inner.pending.remove(key);
+        }
+        shard.ready.notify_all();
+    }
+
+    /// Plain insert (no reservation involved), waking any waiters that
+    /// were blocked on a concurrent reservation of the same key. Returns
+    /// `true` when an entry was evicted to make room.
+    pub(crate) fn insert(&self, key: K, value: V) -> bool {
+        let shard = self.shard(&key);
+        let evicted = shard.lock().insert(key, value);
+        shard.ready.notify_all();
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_touch() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(16);
+        assert!(!lru.insert(1, 10));
+        assert!(!lru.insert(2, 20));
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound_and_lru_evicts() {
+        // Capacity one collapses to a single one-slot shard, so eviction
+        // order is fully observable.
+        let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(1);
+        assert!(!lru.insert(1, 10));
+        assert!(lru.insert(2, 20), "inserting past capacity evicts");
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), None, "older entry was evicted");
+        assert_eq!(lru.get(&2), Some(20));
+    }
+
+    #[test]
+    fn recency_decides_the_victim() {
+        // One shard in isolation: touching an entry shields it.
+        let mut inner: LruInner<u32, u32> = LruInner::new(3);
+        inner.insert(1, 10);
+        inner.insert(2, 20);
+        inner.insert(3, 30);
+        assert_eq!(inner.get_touch(&1), Some(10)); // 1 becomes MRU; 2 is LRU
+        assert!(inner.insert(4, 40));
+        assert_eq!(inner.get_touch(&2), None, "least-recently-used evicted");
+        assert_eq!(inner.get_touch(&1), Some(10));
+        assert_eq!(inner.get_touch(&3), Some(30));
+        assert_eq!(inner.get_touch(&4), Some(40));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert!(!lru.insert(1, 11), "overwrite does not evict");
+        assert_eq!(lru.get(&1), Some(11));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        for capacity in [1, 2, 7, 8, 9, 64, 1000] {
+            let lru: ShardedLru<u64, u64> = ShardedLru::with_capacity(capacity);
+            let total: usize = lru.shards.iter().map(|s| s.lock().capacity).sum();
+            assert_eq!(total, capacity, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn length_never_exceeds_capacity_under_churn() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::with_capacity(13);
+        for i in 0..500 {
+            lru.insert(i, i);
+            assert!(lru.len() <= 13, "len {} at i {i}", lru.len());
+        }
+        assert_eq!(lru.len(), 13);
+    }
+
+    #[test]
+    fn reserve_then_fulfill_wakes_waiters() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(8);
+        assert_eq!(lru.get_or_reserve(&7), Slot::Reserved);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| lru.get_or_reserve(&7));
+            // Give the waiter a moment to block, then publish.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!lru.fulfill(7, 70));
+            assert_eq!(waiter.join().expect("waiter"), Slot::Hit(70));
+        });
+    }
+
+    #[test]
+    fn abandon_hands_reservation_to_a_waiter() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(8);
+        assert_eq!(lru.get_or_reserve(&7), Slot::Reserved);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| lru.get_or_reserve(&7));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            lru.abandon(&7);
+            assert_eq!(
+                waiter.join().expect("waiter"),
+                Slot::Reserved,
+                "a waiter inherits the abandoned reservation"
+            );
+        });
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(4);
+        for i in 0..4 {
+            lru.insert(i, i);
+        }
+        lru.clear();
+        assert_eq!(lru.len(), 0);
+        for i in 0..10 {
+            lru.insert(i, i);
+        }
+        assert_eq!(lru.len(), 4, "capacity survives clear");
+    }
+}

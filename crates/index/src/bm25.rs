@@ -65,9 +65,18 @@ impl<'a> Bm25<'a> {
             let idf = self.idf(postings.len());
             for &Posting { doc, tf } in postings {
                 let tf = tf as f64;
-                let len_norm = 1.0 - self.params.b
-                    + self.params.b * self.index.doc_length(doc) as f64
-                        / self.average_doc_length.max(1e-9);
+                // `average_doc_length == 0` means every indexed document is
+                // empty (nothing tokenized). There is no length signal to
+                // normalize by, so normalization degenerates to neutral
+                // (`len_norm = 1`) — dividing by an epsilon instead would
+                // blow the norm up by ~1e9 for any non-empty document.
+                let len_norm = if self.average_doc_length == 0.0 {
+                    1.0
+                } else {
+                    1.0 - self.params.b
+                        + self.params.b * self.index.doc_length(doc) as f64
+                            / self.average_doc_length
+                };
                 let score = idf * (tf * (self.params.k1 + 1.0)) / (tf + self.params.k1 * len_norm);
                 *scores.entry(doc).or_insert(0.0) += score;
             }
@@ -131,6 +140,22 @@ mod tests {
         // k1 = 0 makes tf irrelevant: tripled "professor" gains nothing.
         let hits = bm25.search("professor", 2);
         assert!((hits[0].1 - hits[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_empty_documents_score_finite() {
+        // Documents exist but none tokenizes to anything: the average
+        // document length is zero. Scoring must stay finite and empty —
+        // no epsilon-division blow-up, no NaN.
+        let mut b = IndexBuilder::new();
+        b.add_document("blank-a", "");
+        b.add_document("blank-b", "... !!! ???");
+        let idx = b.build();
+        let bm25 = Bm25::new(&idx, Bm25Params::default());
+        assert_eq!(idx.doc_count(), 2);
+        let hits = bm25.search("professor teaching", 5);
+        assert!(hits.is_empty());
+        assert!(hits.iter().all(|&(_, s)| s.is_finite()));
     }
 
     #[test]

@@ -276,7 +276,13 @@ impl Budget {
 
     /// Charges one produced item (triple, form, synset, document).
     pub fn item(&mut self, what: &'static str) -> Result<(), LimitViolation> {
-        self.items = self.items.saturating_add(1);
+        self.charge_items(1, what)
+    }
+
+    /// Charges `n` produced items at once (a query engine materializing a
+    /// whole row set charges it in one call instead of per row).
+    pub fn charge_items(&mut self, n: u64, what: &'static str) -> Result<(), LimitViolation> {
+        self.items = self.items.saturating_add(n);
         if self.items > self.limits.max_items {
             return Err(LimitViolation {
                 kind: LimitKind::Items,

@@ -1,0 +1,300 @@
+//! Minimal, dependency-free HTTP/1.1 framing for the query service.
+//!
+//! Only what the service needs: request-line + header parsing with hard
+//! size caps, `Content-Length` bodies, query-string decoding, and
+//! `Connection: close` responses with explicit `Content-Length`. Every
+//! connection carries exactly one request — keep-alive is deliberately
+//! not offered so the per-request read/write timeouts double as a whole
+//! connection deadline and a slow client can never pin a worker across
+//! requests.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/similarity`.
+    pub path: String,
+    /// Decoded query parameters, last occurrence wins.
+    pub query: HashMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// The body as UTF-8 (lossy; SOQA-QL is ASCII-heavy anyway).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Ok(Request),
+    /// The peer closed before sending anything; nothing to answer.
+    Closed,
+    /// The read timed out — the per-request deadline fired (HTTP 408).
+    Deadline,
+    /// The head or body exceeded its size cap (HTTP 431 / 413).
+    TooLarge,
+    /// The bytes did not parse as HTTP (HTTP 400).
+    Malformed,
+}
+
+/// Reads one request from `stream`, honoring its configured read timeout
+/// and the `max_body_bytes` cap.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::TooLarge;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed
+                };
+            }
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e) if is_timeout(&e) => return ReadOutcome::Deadline,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Closed,
+        }
+    };
+
+    let head = String::from_utf8_lossy(buf.get(..head_end).unwrap_or(&[])).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return ReadOutcome::Malformed,
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed;
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return ReadOutcome::Malformed,
+            }
+        }
+    }
+    if content_length > max_body_bytes {
+        return ReadOutcome::TooLarge;
+    }
+
+    // Body: whatever followed the head in the buffer, then the rest.
+    let body_start = head_end.saturating_add(4); // past "\r\n\r\n"
+    let mut body: Vec<u8> = buf.get(body_start..).unwrap_or(&[]).to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Malformed,
+            Ok(n) => body.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e) if is_timeout(&e) => return ReadOutcome::Deadline,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    body.truncate(content_length);
+
+    let (path, query) = split_target(target);
+    ReadOutcome::Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        body,
+    })
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Position of the `\r\n\r\n` terminating the request head.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into the decoded path and query parameters.
+fn split_target(target: &str) -> (String, HashMap<String, String>) {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    (percent_decode(raw_path), query)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes.get(i) {
+            Some(b'+') => {
+                out.push(b' ');
+                i = i.saturating_add(1);
+            }
+            Some(b'%') => {
+                let hi = bytes.get(i.saturating_add(1)).and_then(hex_val);
+                let lo = bytes.get(i.saturating_add(2)).and_then(hex_val);
+                match (hi, lo) {
+                    (Some(h), Some(l)) => {
+                        out.push(h * 16 + l);
+                        i = i.saturating_add(3);
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i = i.saturating_add(1);
+                    }
+                }
+            }
+            Some(&b) => {
+                out.push(b);
+                i = i.saturating_add(1);
+            }
+            None => break,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: &u8) -> Option<u8> {
+    (*b as char).to_digit(16).map(|d| d as u8)
+}
+
+/// An HTTP status line the service emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16, pub &'static str);
+
+pub const OK: Status = Status(200, "OK");
+pub const BAD_REQUEST: Status = Status(400, "Bad Request");
+pub const NOT_FOUND: Status = Status(404, "Not Found");
+pub const METHOD_NOT_ALLOWED: Status = Status(405, "Method Not Allowed");
+pub const REQUEST_TIMEOUT: Status = Status(408, "Request Timeout");
+pub const PAYLOAD_TOO_LARGE: Status = Status(413, "Payload Too Large");
+pub const UNPROCESSABLE: Status = Status(422, "Unprocessable Content");
+pub const TOO_MANY_REQUESTS: Status = Status(429, "Too Many Requests");
+pub const INTERNAL_ERROR: Status = Status(500, "Internal Server Error");
+
+/// Writes a complete `Connection: close` response. Write errors are
+/// returned for accounting but the connection is torn down either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: Status,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status.0,
+        status.1,
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len().saturating_add(2));
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as JSON (JSON has no NaN/Infinity; encode as null).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_splits_and_decodes() {
+        let (path, query) = split_target("/similarity?first=Domestic%20Cat&k=5&q=a+b");
+        assert_eq!(path, "/similarity");
+        assert_eq!(query.get("first").map(String::as_str), Some("Domestic Cat"));
+        assert_eq!(query.get("k").map(String::as_str), Some("5"));
+        assert_eq!(query.get("q").map(String::as_str), Some("a b"));
+    }
+
+    #[test]
+    fn percent_decode_handles_malformed_escapes() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial"), None);
+    }
+}

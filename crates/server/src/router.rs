@@ -1,0 +1,313 @@
+//! Request dispatch: maps parsed HTTP requests onto toolkit services.
+//!
+//! Handlers are pure with respect to the connection: they take a
+//! [`Request`] and return status + body; all socket I/O stays in the
+//! worker loop. Each endpoint records a request counter and a latency
+//! histogram in the toolkit's metrics registry
+//! (`server.requests.<endpoint>` / `server.latency.<endpoint>`), so
+//! `GET /metrics` exposes the server's own traffic next to the measure
+//! and cache metrics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sst_core::{CachedSimilarity, ConceptSet, SstError, SstToolkit};
+use sst_limits::Limits;
+use sst_obs::{Counter, Histogram};
+use sst_soqa::ql::Cell;
+use sst_soqa::SoqaError;
+
+use crate::http::{
+    json_escape, json_f64, Request, Status, BAD_REQUEST, INTERNAL_ERROR, METHOD_NOT_ALLOWED,
+    NOT_FOUND, OK, UNPROCESSABLE,
+};
+
+/// One endpoint's pre-resolved metric handles.
+#[derive(Debug)]
+struct EndpointMetrics {
+    requests: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl EndpointMetrics {
+    fn register(toolkit: &SstToolkit, endpoint: &str) -> Self {
+        EndpointMetrics {
+            requests: toolkit
+                .metrics()
+                .counter(&format!("server.requests.{endpoint}")),
+            latency: toolkit
+                .metrics()
+                .histogram(&format!("server.latency.{endpoint}")),
+        }
+    }
+}
+
+/// Shared per-server state: the frozen toolkit, the bounded similarity
+/// cache, the SOQA-QL evaluation budget, and metric handles.
+#[derive(Debug)]
+pub struct Router<'a> {
+    toolkit: &'a SstToolkit,
+    cache: CachedSimilarity<'a>,
+    ql_limits: Limits,
+    ql: EndpointMetrics,
+    similarity: EndpointMetrics,
+    rank: EndpointMetrics,
+    metrics_ep: EndpointMetrics,
+    healthz: EndpointMetrics,
+    other: EndpointMetrics,
+    responses_2xx: Arc<Counter>,
+    responses_4xx: Arc<Counter>,
+    responses_5xx: Arc<Counter>,
+}
+
+/// A handler's answer, ready for the HTTP layer.
+#[derive(Debug)]
+pub struct Answer {
+    pub status: Status,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Answer {
+    fn json(status: Status, body: String) -> Answer {
+        Answer {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    fn text(status: Status, body: String) -> Answer {
+        Answer {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    fn error(status: Status, message: &str) -> Answer {
+        Answer::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", json_escape(message)),
+        )
+    }
+}
+
+impl<'a> Router<'a> {
+    pub fn new(toolkit: &'a SstToolkit, cache_capacity: usize, ql_limits: Limits) -> Self {
+        Router {
+            toolkit,
+            cache: CachedSimilarity::with_capacity(toolkit, cache_capacity),
+            ql_limits,
+            ql: EndpointMetrics::register(toolkit, "ql"),
+            similarity: EndpointMetrics::register(toolkit, "similarity"),
+            rank: EndpointMetrics::register(toolkit, "rank"),
+            metrics_ep: EndpointMetrics::register(toolkit, "metrics"),
+            healthz: EndpointMetrics::register(toolkit, "healthz"),
+            other: EndpointMetrics::register(toolkit, "other"),
+            responses_2xx: toolkit.metrics().counter("server.responses.2xx"),
+            responses_4xx: toolkit.metrics().counter("server.responses.4xx"),
+            responses_5xx: toolkit.metrics().counter("server.responses.5xx"),
+        }
+    }
+
+    /// The similarity cache (exposed for drain-time reporting).
+    pub fn cache(&self) -> &CachedSimilarity<'a> {
+        &self.cache
+    }
+
+    /// Dispatches one parsed request.
+    pub fn handle(&self, request: &Request) -> Answer {
+        let (endpoint, answer) = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/ql") => (&self.ql, self.handle_ql(request)),
+            ("GET", "/similarity") => (&self.similarity, self.handle_similarity(request)),
+            ("GET", "/rank") => (&self.rank, self.handle_rank(request)),
+            ("GET", "/metrics") => (&self.metrics_ep, self.handle_metrics()),
+            ("GET", "/healthz") => (&self.healthz, Answer::text(OK, "ok\n".to_owned())),
+            (_, "/ql" | "/similarity" | "/rank" | "/metrics" | "/healthz") => (
+                &self.other,
+                Answer::error(METHOD_NOT_ALLOWED, "method not allowed"),
+            ),
+            _ => (&self.other, Answer::error(NOT_FOUND, "no such endpoint")),
+        };
+        endpoint.requests.inc();
+        match answer.status.0 {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            _ => self.responses_5xx.inc(),
+        }
+        answer
+    }
+
+    /// Wraps [`Router::handle`] with the endpoint latency histogram.
+    pub fn handle_timed(&self, request: &Request) -> Answer {
+        let start = Instant::now();
+        let answer = self.handle(request);
+        let histogram = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/ql") => &self.ql.latency,
+            ("GET", "/similarity") => &self.similarity.latency,
+            ("GET", "/rank") => &self.rank.latency,
+            ("GET", "/metrics") => &self.metrics_ep.latency,
+            ("GET", "/healthz") => &self.healthz.latency,
+            _ => &self.other.latency,
+        };
+        histogram.observe(start.elapsed());
+        answer
+    }
+
+    /// `POST /ql` — body is the SOQA-QL query text; evaluation is
+    /// budget-governed so a pathological query fails structured instead of
+    /// holding the worker.
+    fn handle_ql(&self, request: &Request) -> Answer {
+        let query = request.body_text();
+        if query.trim().is_empty() {
+            return Answer::error(BAD_REQUEST, "empty SOQA-QL query body");
+        }
+        match self.toolkit.query_with_limits(&query, &self.ql_limits) {
+            Ok(table) => {
+                let columns: Vec<String> = table
+                    .columns
+                    .iter()
+                    .map(|c| format!("\"{}\"", json_escape(c)))
+                    .collect();
+                let rows: Vec<String> = table
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let cells: Vec<String> = row.iter().map(cell_to_json).collect();
+                        format!("[{}]", cells.join(","))
+                    })
+                    .collect();
+                Answer::json(
+                    OK,
+                    format!(
+                        "{{\"columns\":[{}],\"rows\":[{}]}}",
+                        columns.join(","),
+                        rows.join(",")
+                    ),
+                )
+            }
+            Err(e) => error_answer(&e),
+        }
+    }
+
+    /// `GET /similarity?first=&first_ontology=&second=&second_ontology=&measure=`
+    fn handle_similarity(&self, request: &Request) -> Answer {
+        let (first, first_onto, second, second_onto) = match (
+            request.param("first"),
+            request.param("first_ontology"),
+            request.param("second"),
+            request.param("second_ontology"),
+        ) {
+            (Some(a), Some(ao), Some(b), Some(bo)) => (a, ao, b, bo),
+            _ => {
+                return Answer::error(
+                    BAD_REQUEST,
+                    "required: first, first_ontology, second, second_ontology",
+                )
+            }
+        };
+        let measure = match self.resolve_measure(request) {
+            Ok(m) => m,
+            Err(answer) => return answer,
+        };
+        match self
+            .cache
+            .get_similarity(first, first_onto, second, second_onto, measure)
+        {
+            Ok(value) => Answer::json(
+                OK,
+                format!(
+                    "{{\"similarity\":{},\"measure\":{}}}",
+                    json_f64(value),
+                    measure
+                ),
+            ),
+            Err(e) => error_answer(&e),
+        }
+    }
+
+    /// `GET /rank?concept=&ontology=&k=&measure=` — k most similar
+    /// concepts over every registered concept.
+    fn handle_rank(&self, request: &Request) -> Answer {
+        let (concept, ontology) = match (request.param("concept"), request.param("ontology")) {
+            (Some(c), Some(o)) => (c, o),
+            _ => return Answer::error(BAD_REQUEST, "required: concept, ontology"),
+        };
+        let k = match request.param("k").unwrap_or("5").parse::<usize>() {
+            Ok(k) if k > 0 => k,
+            _ => return Answer::error(BAD_REQUEST, "k must be a positive integer"),
+        };
+        let measure = match self.resolve_measure(request) {
+            Ok(m) => m,
+            Err(answer) => return answer,
+        };
+        match self
+            .cache
+            .most_similar(concept, ontology, &ConceptSet::All, k, measure)
+        {
+            Ok(ranked) => {
+                let rows: Vec<String> = ranked
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"concept\":\"{}\",\"ontology\":\"{}\",\"similarity\":{}}}",
+                            json_escape(&r.concept),
+                            json_escape(&r.ontology),
+                            json_f64(r.similarity)
+                        )
+                    })
+                    .collect();
+                Answer::json(OK, format!("{{\"results\":[{}]}}", rows.join(",")))
+            }
+            Err(e) => error_answer(&e),
+        }
+    }
+
+    /// `GET /metrics` — the sst-obs text exposition.
+    fn handle_metrics(&self) -> Answer {
+        Answer::text(OK, self.toolkit.metrics().render_text())
+    }
+
+    /// The `measure` parameter: a numeric id or a registered name;
+    /// defaults to measure 0 when absent.
+    fn resolve_measure(&self, request: &Request) -> Result<usize, Answer> {
+        let Some(raw) = request.param("measure") else {
+            return Ok(0);
+        };
+        let id = match raw.parse::<usize>() {
+            Ok(id) => id,
+            Err(_) => self.toolkit.measure_id(raw).map_err(|e| error_answer(&e))?,
+        };
+        // Validate numeric ids so unknown measures 404 uniformly.
+        self.toolkit
+            .measure_info(id)
+            .map(|_| id)
+            .map_err(|e| error_answer(&e))
+    }
+}
+
+fn cell_to_json(cell: &Cell) -> String {
+    match cell {
+        Cell::Str(s) => format!("\"{}\"", json_escape(s)),
+        Cell::Num(n) => json_f64(*n),
+        Cell::Null => "null".to_owned(),
+    }
+}
+
+/// Maps a toolkit error onto an HTTP status: unknown names are 404,
+/// malformed queries/arguments 400, blown evaluation budgets 422, and
+/// internal failures 500.
+fn error_answer(e: &SstError) -> Answer {
+    let status = match e {
+        SstError::Soqa(SoqaError::UnknownOntology(_) | SoqaError::UnknownConcept { .. }) => {
+            NOT_FOUND
+        }
+        SstError::Soqa(SoqaError::Limit(_)) => UNPROCESSABLE,
+        SstError::Soqa(_) => BAD_REQUEST,
+        SstError::UnknownMeasure(_) => NOT_FOUND,
+        SstError::InvalidArgument(_) => BAD_REQUEST,
+        SstError::Internal(_) => INTERNAL_ERROR,
+    };
+    Answer::error(status, &e.to_string())
+}

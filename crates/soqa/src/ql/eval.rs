@@ -119,14 +119,87 @@ pub fn execute_with_metrics(
     result
 }
 
-/// Executes an already-parsed query.
+/// Like [`execute_with_metrics`], but the evaluation charges its work
+/// against a [`sst_limits::Budget`] governed by `limits`: the query text
+/// is size-checked, every materialized row charges an item, and row
+/// scans (filtering, ordering) charge deterministic steps. A query that
+/// blows past the budget returns [`SoqaError::Limit`] instead of holding
+/// an evaluation thread for an unbounded amount of work — this is the
+/// entry point long-running services (`sst-server`) evaluate on, with
+/// the step budget acting as a portable per-request deadline.
+pub fn execute_budgeted(
+    soqa: &Soqa,
+    query: &str,
+    metrics: Option<&sst_obs::Metrics>,
+    limits: &sst_limits::Limits,
+) -> Result<ResultTable> {
+    if let Some(m) = metrics {
+        m.inc("soqa.ql.queries");
+    }
+    let mut budget = sst_limits::Budget::new(limits);
+    let mut charge = || -> std::result::Result<(), sst_limits::LimitViolation> {
+        budget.check_input(query.len(), "soqa-ql query text")?;
+        // Parsing is linear in the query text; charge it up front.
+        budget.charge_steps(query.len() as u64, "soqa-ql parse")
+    };
+    if let Err(violation) = charge() {
+        if let Some(m) = metrics {
+            m.inc("soqa.ql.errors");
+            m.inc(&format!("soqa.ql.limit.{}", violation.kind.name()));
+        }
+        return Err(violation.into());
+    }
+    let parsed = {
+        let _span = metrics.map(|m| m.span("soqa.ql.parse.latency"));
+        parse_query(query)
+    };
+    let q = match parsed {
+        Ok(q) => q,
+        Err(e) => {
+            if let Some(m) = metrics {
+                m.inc("soqa.ql.errors");
+            }
+            return Err(e);
+        }
+    };
+    let _span = metrics.map(|m| m.span("soqa.ql.eval.latency"));
+    let result = execute_parsed_budgeted(soqa, &q, &mut budget);
+    if let Err(e) = &result {
+        if let Some(m) = metrics {
+            m.inc("soqa.ql.errors");
+            if let SoqaError::Limit(violation) = e {
+                m.inc(&format!("soqa.ql.limit.{}", violation.kind.name()));
+            }
+        }
+    }
+    result
+}
+
+/// Executes an already-parsed query without resource governance (the
+/// shell / browser path, where the user owns the process anyway).
 pub fn execute_parsed(soqa: &Soqa, q: &Query) -> Result<ResultTable> {
+    let mut budget = sst_limits::Budget::new(&sst_limits::Limits::unbounded());
+    execute_parsed_budgeted(soqa, q, &mut budget)
+}
+
+/// Executes an already-parsed query, charging materialized rows and scan
+/// steps against `budget`.
+pub fn execute_parsed_budgeted(
+    soqa: &Soqa,
+    q: &Query,
+    budget: &mut sst_limits::Budget,
+) -> Result<ResultTable> {
     let ontology_indices: Vec<usize> = match &q.ontology {
         Some(name) => vec![soqa.ontology_index(name)?],
         None => (0..soqa.ontology_count()).collect(),
     };
 
     let (all_fields, mut rows) = build_rows(soqa, q.extent, &ontology_indices);
+    // Materializing the extent is the dominant cost: one item and one step
+    // per row, so `max_items` bounds the result-set size and `max_steps`
+    // bounds total evaluation work.
+    budget.charge_items(rows.len() as u64, "soqa-ql rows materialized")?;
+    budget.charge_steps(rows.len() as u64, "soqa-ql row scan")?;
 
     // Validate projected fields.
     let columns: Vec<String> = if q.fields.is_empty() {
@@ -146,10 +219,12 @@ pub fn execute_parsed(soqa: &Soqa, q: &Query) -> Result<ResultTable> {
     if let Some(filter) = &q.filter {
         // Validate fields referenced in the filter, then apply it.
         validate_expr_fields(filter, &all_fields)?;
+        budget.charge_steps(rows.len() as u64, "soqa-ql filter scan")?;
         rows.retain(|row| eval_expr(filter, row));
     }
 
     if let Some(order) = &q.order_by {
+        budget.charge_steps(rows.len() as u64, "soqa-ql order scan")?;
         if !all_fields.contains(&order.field.as_str()) {
             return Err(SoqaError::Query(format!(
                 "unknown ORDER BY field `{}`",
@@ -623,5 +698,66 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));
         assert!(text.contains("| name"));
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_under_generous_limits() {
+        let soqa = sample();
+        let query = "SELECT name FROM concepts WHERE name LIKE 'P%' ORDER BY name";
+        let plain = execute(&soqa, query).expect("plain");
+        let budgeted =
+            execute_budgeted(&soqa, query, None, &sst_limits::Limits::default()).expect("budgeted");
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn budgeted_rejects_oversized_query_text() {
+        let soqa = sample();
+        let limits = sst_limits::Limits::default().with_max_input_bytes(8);
+        let err = execute_budgeted(&soqa, "SELECT name FROM concepts", None, &limits).unwrap_err();
+        match err {
+            SoqaError::Limit(v) => assert_eq!(v.kind, sst_limits::LimitKind::InputBytes),
+            other => panic!("expected a limit violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_caps_materialized_rows() {
+        let soqa = sample();
+        // The sample has four concepts; allow only two items.
+        let limits = sst_limits::Limits::default().with_max_items(2);
+        let err = execute_budgeted(&soqa, "SELECT name FROM concepts", None, &limits).unwrap_err();
+        match err {
+            SoqaError::Limit(v) => assert_eq!(v.kind, sst_limits::LimitKind::Items),
+            other => panic!("expected a limit violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_step_budget_acts_as_portable_timeout() {
+        let soqa = sample();
+        let limits = sst_limits::Limits::default().with_max_steps(10);
+        let err = execute_budgeted(
+            &soqa,
+            "SELECT name FROM concepts ORDER BY name",
+            None,
+            &limits,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SoqaError::Limit(v) if v.kind == sst_limits::LimitKind::Steps
+        ));
+    }
+
+    #[test]
+    fn budgeted_records_limit_metrics() {
+        let soqa = sample();
+        let metrics = sst_obs::Metrics::new();
+        let limits = sst_limits::Limits::default().with_max_items(1);
+        execute_budgeted(&soqa, "SELECT name FROM concepts", Some(&metrics), &limits).unwrap_err();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("soqa.ql.errors"), Some(1));
+        assert_eq!(snap.counter("soqa.ql.limit.items"), Some(1));
     }
 }

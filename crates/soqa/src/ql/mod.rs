@@ -16,5 +16,8 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{CompareOp, Expr, Extent, OrderBy, Query, Value};
-pub use eval::{execute, execute_parsed, execute_with_metrics, like_match, Cell, ResultTable};
+pub use eval::{
+    execute, execute_budgeted, execute_parsed, execute_parsed_budgeted, execute_with_metrics,
+    like_match, Cell, ResultTable,
+};
 pub use parser::parse_query;

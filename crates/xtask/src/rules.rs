@@ -30,11 +30,20 @@
 //!   Convenience wrappers that delegate to a `*_with_limits` sibling
 //!   under `Limits::default()` carry an audited
 //!   `// lint: allow(limits) <reason>` instead.
+//! - **bounded**: in the server crate (`crates/server`), no unbounded
+//!   queueing and no detached threads: `mpsc::channel` (unbounded) and
+//!   `VecDeque::new` (no capacity policy) are forbidden in favour of the
+//!   crate's shed-on-overflow `BoundedQueue`, and `thread::spawn`
+//!   (detached, no join path) is forbidden in favour of
+//!   `std::thread::scope`, whose workers are always joined. These are
+//!   the two bug classes a load-shedding server must never reintroduce:
+//!   a queue that grows without limit under overload, and a worker
+//!   nobody waits for on shutdown.
 //!
 //! Escape hatch: `// lint: allow(panic) <reason>` (or `allow(index)`,
-//! `allow(lock-in-loop)`, `allow(limits)`) on the offending line, or
-//! alone on the line above, suppresses exactly one finding of that rule.
-//! The reason is mandatory.
+//! `allow(lock-in-loop)`, `allow(limits)`, `allow(bounded)`) on the
+//! offending line, or alone on the line above, suppresses exactly one
+//! finding of that rule. The reason is mandatory.
 //!
 //! Exempt from panic/index rules: `tests/`, `benches/`, `examples/`,
 //! `src/bin/` binaries, the `xtask` tooling crate, the `sst-bench`
@@ -54,6 +63,10 @@ const EXEMPT_CRATES: &[&str] = &["xtask", "bench"];
 /// subject to the **limits** rule.
 const LIMITS_GOVERNED_CRATES: &[&str] = &["rdf", "sexpr", "wrappers"];
 
+/// Crates serving network traffic, subject to the **bounded** rule: no
+/// unbounded queues, no detached threads.
+const BOUNDED_GOVERNED_CRATES: &[&str] = &["server"];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     Panic,
@@ -62,6 +75,7 @@ pub enum Rule {
     ErrorImpl,
     LockInLoop,
     Limits,
+    Bounded,
     BadAllow,
 }
 
@@ -74,6 +88,7 @@ impl Rule {
             Rule::ErrorImpl => "error-impl",
             Rule::LockInLoop => "lock-in-loop",
             Rule::Limits => "limits",
+            Rule::Bounded => "bounded",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -153,6 +168,7 @@ fn apply_allows(
             ("index", Rule::Index),
             ("lock-in-loop", Rule::LockInLoop),
             ("limits", Rule::Limits),
+            ("bounded", Rule::Bounded),
         ] {
             let marker = format!("lint: allow({rule_name})");
             if let Some(pos) = comment.find(&marker) {
@@ -450,6 +466,58 @@ fn allows_limits(comment: &str) -> bool {
         .is_some_and(|pos| !comment[pos + MARKER.len()..].trim().is_empty())
 }
 
+/// Constructs that reintroduce unbounded queueing or unjoined threads
+/// into a load-shedding server, with the fix each message demands.
+const UNBOUNDED_PATTERNS: &[(&str, &str)] = &[
+    (
+        "thread::spawn(",
+        "detached `thread::spawn` has no join path; use `std::thread::scope` \
+         so every worker is joined before the server returns",
+    ),
+    (
+        "mpsc::channel(",
+        "`mpsc::channel` queues without bound under overload; use the \
+         crate's `BoundedQueue`, which sheds instead of growing",
+    ),
+    (
+        "VecDeque::new(",
+        "a `VecDeque` with no capacity policy can grow without bound; use \
+         `VecDeque::with_capacity` behind an explicit capacity check",
+    ),
+];
+
+/// Lints a server-crate source file for the **bounded** rule (see the
+/// module docs): unbounded channels/queues and detached threads are the
+/// load-shedding server's forbidden bug classes.
+pub fn lint_bounded(path: &Path, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let mut findings = Vec::new();
+    for (idx, line) in stripped.lines.iter().enumerate() {
+        if line.in_test_cfg {
+            continue;
+        }
+        let mut line_findings = Vec::new();
+        for (pattern, message) in UNBOUNDED_PATTERNS {
+            for _ in line.code.match_indices(pattern) {
+                line_findings.push((Rule::Bounded, (*message).to_string()));
+            }
+        }
+        apply_allows(path, idx, &stripped, line_findings, &mut findings);
+    }
+    findings
+}
+
+/// True when `rel` (workspace-relative, forward slashes) is library code
+/// of a serving crate subject to the **bounded** rule.
+pub fn is_bounded_governed_path(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.first() == Some(&"crates")
+        && parts
+            .get(1)
+            .is_some_and(|c| BOUNDED_GOVERNED_CRATES.contains(c))
+        && parts.get(2) == Some(&"src")
+}
+
 /// True when `rel` (workspace-relative, forward slashes) is library code
 /// of an ingestion crate subject to the **limits** rule.
 pub fn is_limits_governed_path(rel: &str) -> bool {
@@ -594,6 +662,9 @@ pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
         }
         if is_limits_governed_path(&rel_str) {
             findings.extend(lint_limits(rel, text));
+        }
+        if is_bounded_governed_path(&rel_str) {
+            findings.extend(lint_bounded(rel, text));
         }
     }
 
@@ -899,6 +970,51 @@ mod tests {
         assert!(f.is_empty(), "{f:?}");
         let t = lint_limits_str("#[cfg(test)]\nmod tests {\n pub fn parse_helper(s: &str) {}\n}\n");
         assert!(t.is_empty(), "{t:?}");
+    }
+
+    fn lint_bounded_str(src: &str) -> Vec<Finding> {
+        lint_bounded(Path::new("crates/server/src/test.rs"), src)
+    }
+
+    #[test]
+    fn bounded_rule_flags_detached_spawn_and_unbounded_queues() {
+        let f = lint_bounded_str(
+            "fn f() {\n std::thread::spawn(|| work());\n let (tx, rx) = mpsc::channel();\n let q: VecDeque<u32> = VecDeque::new();\n}\n",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::Bounded));
+    }
+
+    #[test]
+    fn bounded_rule_accepts_scoped_threads_and_capacity_queues() {
+        let f = lint_bounded_str(
+            "fn f() {\n std::thread::scope(|s| { s.spawn(|| work()); });\n let q = VecDeque::with_capacity(8);\n let (tx, rx) = mpsc::sync_channel(8);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bounded_rule_allow_hatch_and_test_cfg() {
+        let allowed = lint_bounded_str(
+            "// lint: allow(bounded) short-lived fixture thread, joined below\nstd::thread::spawn(|| work());\n",
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+        let bare = lint_bounded_str("std::thread::spawn(|| work()); // lint: allow(bounded)\n");
+        assert_eq!(bare.len(), 2, "{bare:?}");
+        assert!(bare.iter().any(|f| f.rule == Rule::BadAllow));
+        let test_cfg = lint_bounded_str(
+            "#[cfg(test)]\nmod tests {\n fn t() { std::thread::spawn(|| ()); }\n}\n",
+        );
+        assert!(test_cfg.is_empty(), "{test_cfg:?}");
+    }
+
+    #[test]
+    fn bounded_governed_path_classification() {
+        assert!(is_bounded_governed_path("crates/server/src/lib.rs"));
+        assert!(is_bounded_governed_path("crates/server/src/queue.rs"));
+        assert!(!is_bounded_governed_path("crates/core/src/cache.rs"));
+        assert!(!is_bounded_governed_path("crates/server/tests/e2e.rs"));
+        assert!(!is_bounded_governed_path("tests/tests/server.rs"));
     }
 
     #[test]
