@@ -10,6 +10,11 @@
 # of queueing unboundedly, and drains cleanly on shutdown).
 set -eu
 cd "$(dirname "$0")"
+# Archive the machine-readable findings document first (written even
+# when the gate is red — the artifact is the diagnosis); the lint exits
+# nonzero on any non-audited finding and prints per-rule counts.
+mkdir -p results
+cargo xtask lint --json > results/LINT.json
 cargo xtask ci
 cargo run --release -p sst-bench --bin matrix_bench -- --smoke
 cargo run --release -p sst-bench --bin fault_smoke -- --smoke

@@ -332,8 +332,7 @@ pub trait MeasureRunner: Send + Sync {
     /// Batch hook: a scorer specialized to `prep`, or `None` to keep the
     /// per-pair path (the default, so user-registered runners keep working
     /// unchanged — the facade falls back to calling `similarity` per pair).
-    fn prepare<'p>(&self, prep: &'p PreparedContext<'_>) -> Option<Box<dyn PreparedMeasure + 'p>> {
-        let _ = prep;
+    fn prepare<'p>(&self, _prep: &'p PreparedContext<'_>) -> Option<Box<dyn PreparedMeasure + 'p>> {
         None
     }
 }
@@ -563,10 +562,7 @@ macro_rules! runner {
         runner!(
             $(#[$doc])* $ty, $name, $display, $kind, $normalized,
             |$ctx, $a, $b| $body,
-            prepare: |prep| {
-                let _ = prep;
-                None
-            }
+            prepare: |_prep| None
         );
     };
     ($(#[$doc:meta])* $ty:ident, $name:literal, $display:literal, $kind:expr,

@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 mod expose;
 mod histogram;
 mod registry;

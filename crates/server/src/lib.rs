@@ -190,6 +190,7 @@ impl Server {
         let accepted = toolkit.metrics().counter("server.accepted");
         let shed = toolkit.metrics().counter("server.shed");
         let deadline_hits = toolkit.metrics().counter("server.deadline_hits");
+        let write_failures = toolkit.metrics().counter("server.http.write_failures");
         let workers = config.workers.max(1);
         let retry_after = format!("{}", config.retry_after_secs);
 
@@ -200,6 +201,7 @@ impl Server {
                 let work = &work;
                 let router = &router;
                 let deadline_hits = &deadline_hits;
+                let write_failures = &write_failures;
                 handles.push(scope.spawn(move || {
                     while let Some(mut stream) = work.pop() {
                         serve_connection(
@@ -207,6 +209,7 @@ impl Server {
                             router,
                             config.max_request_bytes,
                             deadline_hits,
+                            write_failures,
                         );
                     }
                 }));
@@ -245,13 +248,16 @@ impl Server {
                 }
                 if let Err(mut rejected) = work.try_push(stream) {
                     shed.inc();
-                    let _ = write_response(
+                    let shed_reply = write_response(
                         &mut rejected,
                         TOO_MANY_REQUESTS,
                         "application/json",
                         b"{\"error\":\"server overloaded, retry later\"}",
                         &[("retry-after", retry_after.clone())],
                     );
+                    if shed_reply.is_err() {
+                        write_failures.inc();
+                    }
                 }
             }
 
@@ -271,52 +277,54 @@ impl Server {
     }
 }
 
-/// Reads, dispatches, and answers one connection's single request.
+/// Reads, dispatches, and answers one connection's single request. A
+/// response the peer never received (it hung up, or the write deadline
+/// fired) is not silent: it counts in `server.http.write_failures`.
 fn serve_connection(
     stream: &mut TcpStream,
     router: &Router<'_>,
     max_body_bytes: usize,
     deadline_hits: &sst_obs::Counter,
+    write_failures: &sst_obs::Counter,
 ) {
-    match read_request(stream, max_body_bytes) {
+    let wrote = match read_request(stream, max_body_bytes) {
         ReadOutcome::Ok(request) => {
             let answer = router.handle_timed(&request);
-            let _ = write_response(
+            write_response(
                 stream,
                 answer.status,
                 answer.content_type,
                 &answer.body,
                 &[],
-            );
+            )
         }
-        ReadOutcome::Closed => {}
+        ReadOutcome::Closed => Ok(()),
         ReadOutcome::Deadline => {
             deadline_hits.inc();
-            let _ = write_response(
+            write_response(
                 stream,
                 REQUEST_TIMEOUT,
                 "application/json",
                 b"{\"error\":\"request deadline exceeded\"}",
                 &[],
-            );
+            )
         }
-        ReadOutcome::TooLarge => {
-            let _ = write_response(
-                stream,
-                PAYLOAD_TOO_LARGE,
-                "application/json",
-                b"{\"error\":\"request too large\"}",
-                &[],
-            );
-        }
-        ReadOutcome::Malformed => {
-            let _ = write_response(
-                stream,
-                BAD_REQUEST,
-                "application/json",
-                b"{\"error\":\"malformed HTTP request\"}",
-                &[],
-            );
-        }
+        ReadOutcome::TooLarge => write_response(
+            stream,
+            PAYLOAD_TOO_LARGE,
+            "application/json",
+            b"{\"error\":\"request too large\"}",
+            &[],
+        ),
+        ReadOutcome::Malformed => write_response(
+            stream,
+            BAD_REQUEST,
+            "application/json",
+            b"{\"error\":\"malformed HTTP request\"}",
+            &[],
+        ),
+    };
+    if wrote.is_err() {
+        write_failures.inc();
     }
 }

@@ -29,14 +29,26 @@ pub fn run(root: &Path) -> Result<(), String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
 
     for (i, (name, args)) in STAGES.iter().enumerate() {
-        // The in-process lint slots in after fmt.
+        // The in-process lint slots in after fmt. The findings document
+        // is archived as results/LINT.json either way, and per-rule
+        // counts are printed so a red gate is diagnosable from the log.
         if i == 1 {
             eprintln!("ci: lint");
             let findings = crate::rules::lint_workspace(root)
                 .map_err(|e| format!("lint: cannot walk workspace: {e}"))?;
+            let results = root.join("results");
+            if std::fs::create_dir_all(&results).is_ok() {
+                // Best-effort artifact: a full disk must not mask findings.
+                let _ =
+                    std::fs::write(results.join("LINT.json"), crate::report::to_json(&findings));
+                // lint: allow(swallowed-error) artifact write is best-effort by design
+            }
             if !findings.is_empty() {
                 for f in &findings {
                     eprintln!("{f}");
+                }
+                for (name, n) in crate::report::rule_counts(&findings) {
+                    eprintln!("ci: lint: {name}: {n}");
                 }
                 return Err(format!("lint ({} finding(s))", findings.len()));
             }

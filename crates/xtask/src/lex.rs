@@ -1,0 +1,203 @@
+//! Token-stream lexer over stripped source.
+//!
+//! [`crate::scan::strip`] removes comments and blanks literal contents so
+//! nothing inside them can trigger a rule; this module turns the stripped
+//! lines into a flat token stream — identifiers, punctuation, and string
+//! literals (re-attached from [`crate::scan::StrLit`], since rules like
+//! metrics-catalog must read literal contents). The stream is what
+//! [`crate::model`] builds its per-file semantic model from: rules that
+//! used to pattern-match single lines now see real token adjacency across
+//! line breaks, which kills the multi-line false-negative class (split
+//! signatures, chained calls) without a full Rust parser.
+
+use std::collections::HashMap;
+
+use crate::scan::{is_ident_char, Stripped};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (numbers also land here; no rule needs to
+    /// distinguish them).
+    Ident(String),
+    /// A string literal with its original contents.
+    Str(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 0-based line of the token's first character.
+    pub line: usize,
+    /// 0-based char column within the stripped code line.
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal contents, if this token is a string literal.
+    pub fn str_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.ident() == Some(word)
+    }
+}
+
+/// Lexes a stripped file into a token stream.
+pub fn lex(stripped: &Stripped) -> Vec<Token> {
+    let lit_at: HashMap<(usize, usize), usize> = stripped
+        .literals
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ((l.line, l.col), i))
+        .collect();
+
+    let mut tokens = Vec::new();
+    let mut line_idx = 0;
+    let mut col = 0;
+    while line_idx < stripped.lines.len() {
+        let chars: Vec<char> = stripped.lines[line_idx].code.chars().collect();
+        let mut jumped = false;
+        while col < chars.len() {
+            let c = chars[col];
+            if c.is_whitespace() {
+                col += 1;
+                continue;
+            }
+            if c == '"' {
+                if let Some(&i) = lit_at.get(&(line_idx, col)) {
+                    let lit = &stripped.literals[i];
+                    tokens.push(Token {
+                        kind: TokenKind::Str(lit.text.clone()),
+                        line: line_idx,
+                        col,
+                    });
+                    if lit.end_line != line_idx {
+                        line_idx = lit.end_line;
+                        col = lit.end_col;
+                        jumped = true;
+                        break;
+                    }
+                    col = lit.end_col;
+                    continue;
+                }
+                // A quote with no recorded literal (unterminated at EOF):
+                // emit as punctuation and move on.
+                tokens.push(Token {
+                    kind: TokenKind::Punct('"'),
+                    line: line_idx,
+                    col,
+                });
+                col += 1;
+                continue;
+            }
+            if is_ident_char(c) {
+                let start = col;
+                while col < chars.len() && is_ident_char(chars[col]) {
+                    col += 1;
+                }
+                let word: String = chars[start..col].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(word),
+                    line: line_idx,
+                    col: start,
+                });
+                continue;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Punct(c),
+                line: line_idx,
+                col,
+            });
+            col += 1;
+        }
+        if !jumped {
+            line_idx += 1;
+            col = 0;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::strip;
+
+    fn lex_str(src: &str) -> Vec<Token> {
+        lex(&strip(src))
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex_str(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_literals() {
+        let k = kinds("m.counter(\"core.cache.hits\");");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("m".into()),
+                TokenKind::Punct('.'),
+                TokenKind::Ident("counter".into()),
+                TokenKind::Punct('('),
+                TokenKind::Str("core.cache.hits".into()),
+                TokenKind::Punct(')'),
+                TokenKind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_vanish_and_positions_survive() {
+        let t = lex_str("let x = 1; // not tokens\nfoo()");
+        let foo = t.iter().find(|t| t.is_ident("foo")).expect("foo");
+        assert_eq!(foo.line, 1);
+        assert_eq!(foo.col, 0);
+        assert!(!t.iter().any(|t| t.is_ident("tokens")));
+    }
+
+    #[test]
+    fn multiline_literal_is_one_token() {
+        let t = lex_str("let a = \"one\ntwo\"; done()");
+        let lit = t.iter().find(|t| t.str_text().is_some()).expect("lit");
+        assert_eq!(lit.str_text(), Some("one\ntwo"));
+        assert!(t.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn raw_literal_contents_are_attached() {
+        let t = lex_str("let a = r#\"say \"hi\"\"#; next()");
+        let lit = t.iter().find(|t| t.str_text().is_some()).expect("lit");
+        assert_eq!(lit.str_text(), Some("say \"hi\""));
+        assert!(t.iter().any(|t| t.is_ident("next")));
+    }
+
+    #[test]
+    fn underscore_is_an_identifier() {
+        let k = kinds("let _ = f();");
+        assert!(k.contains(&TokenKind::Ident("_".into())));
+    }
+}

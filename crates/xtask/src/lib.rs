@@ -12,6 +12,11 @@
 #![forbid(unsafe_code)]
 
 pub mod ci;
+pub mod lex;
+pub mod locks;
+pub mod metrics;
+pub mod model;
+pub mod report;
 pub mod rules;
 pub mod scan;
 

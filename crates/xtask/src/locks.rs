@@ -1,0 +1,266 @@
+//! Lock-discipline analysis over the [`crate::model`] guard map.
+//!
+//! Three checks, all driven by guard liveness spans:
+//!
+//! * **Nesting edges** — when guard `A` is live while guard `B` is
+//!   acquired, the file contributes an `A → B` edge. Edges from every
+//!   file are aggregated into a workspace lock-acquisition graph (classes
+//!   are crate-qualified by the caller); a pair of edges `A → B` and
+//!   `B → A` is a lock-order inversion — two threads taking the pair in
+//!   opposite orders can deadlock — and is reported with both sites.
+//! * **Self-deadlock** — acquiring a class while a guard on the *same*
+//!   class is live at a *different* site deadlocks a `Mutex` outright
+//!   (and risks writer-starvation deadlock on an `RwLock`), so it is
+//!   flagged per-file without needing the graph.
+//! * **Held-across-blocking** — a guard live across a blocking operation
+//!   (socket accept/read/write, `mpsc` send/recv, `JoinHandle::join`,
+//!   `thread::sleep`, connect, flush) serializes every other thread that
+//!   needs the lock behind I/O latency. `Condvar::wait*` is deliberately
+//!   not in the blocking set: it releases the guard while parked.
+
+use crate::model::{CallSite, FileModel};
+
+/// A within-file nesting edge: `acquired` was taken while `holder` was live.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub holder: String,
+    pub acquired: String,
+    /// 0-based line of the holder's acquisition.
+    pub holder_line: usize,
+    /// 0-based line of the nested acquisition (the finding anchor).
+    pub line: usize,
+}
+
+/// A per-file lock-discipline problem (self-deadlock or held-across-blocking).
+#[derive(Debug, Clone)]
+pub struct LockIssue {
+    /// 0-based line the finding anchors to.
+    pub line: usize,
+    pub message: String,
+}
+
+/// A workspace-level edge with crate-qualified classes.
+#[derive(Debug, Clone)]
+pub struct WsEdge {
+    pub holder: String,
+    pub acquired: String,
+    pub file: String,
+    /// 0-based line of the nested acquisition.
+    pub line: usize,
+}
+
+/// Methods that block regardless of arguments.
+const BLOCKING_METHODS: &[&str] = &[
+    "accept",
+    "send",
+    "send_timeout",
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "flush",
+    "sync_all",
+];
+
+/// Describes why a call site counts as blocking, or `None`.
+pub fn blocking_op(call: &CallSite) -> Option<String> {
+    if call.is_macro {
+        return None;
+    }
+    let name = call.name.as_str();
+    if call.receiver.is_some() {
+        if BLOCKING_METHODS.contains(&name) {
+            return Some(format!(".{name}(…)"));
+        }
+        // `.read()`/`.write()` with no args are lock acquisitions; with a
+        // buffer argument they are socket/file I/O.
+        if (name == "read" || name == "write") && !call.args_empty {
+            return Some(format!(".{name}(buf)"));
+        }
+        // `JoinHandle::join()` takes no args; `Path::join(..)` does.
+        if name == "join" && call.args_empty {
+            return Some(".join()".to_owned());
+        }
+        return None;
+    }
+    if name == "sleep" && call.path.last().is_some_and(|s| s == "thread") {
+        return Some("thread::sleep(…)".to_owned());
+    }
+    if name == "connect" && !call.path.is_empty() {
+        return Some(format!("{}::connect(…)", call.path.join("::")));
+    }
+    None
+}
+
+/// Runs the per-file checks. Guards inside `#[cfg(test)]` regions are
+/// skipped. Returns nesting edges (for workspace aggregation) and
+/// per-file issues.
+pub fn analyze(model: &FileModel) -> (Vec<LockEdge>, Vec<LockIssue>) {
+    let mut edges = Vec::new();
+    let mut issues = Vec::new();
+    for g in &model.guards {
+        if model.in_test_cfg(g.acquired) {
+            continue;
+        }
+        for h in &model.guards {
+            if h.acquired <= g.acquired || h.acquired >= g.scope_end {
+                continue;
+            }
+            if h.class == g.class {
+                issues.push(LockIssue {
+                    line: h.line,
+                    message: format!(
+                        "lock `{}` re-acquired while a guard on it is live (acquired line {}): self-deadlock",
+                        h.class,
+                        g.line + 1,
+                    ),
+                });
+            } else {
+                edges.push(LockEdge {
+                    holder: g.class.clone(),
+                    acquired: h.class.clone(),
+                    holder_line: g.line,
+                    line: h.line,
+                });
+            }
+        }
+        for call in &model.calls {
+            if call.token <= g.acquired || call.token >= g.scope_end {
+                continue;
+            }
+            if let Some(op) = blocking_op(call) {
+                issues.push(LockIssue {
+                    line: call.line,
+                    message: format!(
+                        "guard on `{}` (acquired line {}) held across blocking `{}`",
+                        g.class,
+                        g.line + 1,
+                        op,
+                    ),
+                });
+            }
+        }
+    }
+    (edges, issues)
+}
+
+/// Finds lock-order inversions in the workspace graph: unordered class
+/// pairs with edges in both directions. Returns one `(a→b, b→a)` witness
+/// pair per inversion.
+pub fn lock_inversions(edges: &[WsEdge]) -> Vec<(WsEdge, WsEdge)> {
+    let mut out = Vec::new();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for e in edges {
+        let key = if e.holder <= e.acquired {
+            (e.holder.clone(), e.acquired.clone())
+        } else {
+            (e.acquired.clone(), e.holder.clone())
+        };
+        if seen.contains(&key) {
+            continue;
+        }
+        if let Some(rev) = edges
+            .iter()
+            .find(|r| r.holder == e.acquired && r.acquired == e.holder)
+        {
+            seen.push(key);
+            out.push((e.clone(), rev.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run(src: &str) -> (Vec<LockEdge>, Vec<LockIssue>) {
+        analyze(&FileModel::build(src))
+    }
+
+    #[test]
+    fn nested_acquisition_makes_an_edge() {
+        let (edges, issues) = run("fn f() {\n let a = alpha.lock();\n let b = beta.lock();\n}\n");
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].holder, "alpha");
+        assert_eq!(edges[0].acquired, "beta");
+    }
+
+    #[test]
+    fn sequential_statements_do_not_nest_temporaries() {
+        let (edges, issues) = run("fn f() {\n alpha.lock().touch();\n beta.lock().touch();\n}\n");
+        assert!(edges.is_empty(), "{edges:?}");
+        assert!(issues.is_empty());
+    }
+
+    #[test]
+    fn same_class_nesting_is_self_deadlock() {
+        let (_, issues) = run("fn f() {\n let a = m.lock();\n let b = m.lock();\n}\n");
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0].message.contains("self-deadlock"),
+            "{}",
+            issues[0].message
+        );
+    }
+
+    #[test]
+    fn guard_across_socket_write_is_flagged() {
+        let (_, issues) =
+            run("fn f(s: &mut TcpStream) {\n let g = state.lock();\n s.write_all(b);\n}\n");
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].message.contains("write_all"));
+    }
+
+    #[test]
+    fn drop_before_blocking_is_clean() {
+        let (_, issues) = run(
+            "fn f(s: &mut TcpStream) {\n let g = state.lock();\n drop(g);\n s.write_all(b);\n}\n",
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        let (_, issues) =
+            run("fn f() {\n let mut g = q.lock();\n while g.is_empty() { g = cv.wait(g).unwrap(); }\n}\n");
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn path_join_is_not_thread_join() {
+        let (_, issues) =
+            run("fn f() {\n let g = m.lock();\n let p = dir.join(\"x\");\n let _ = p;\n}\n");
+        assert!(issues.is_empty(), "{issues:?}");
+        let (_, issues) = run("fn f() {\n let g = m.lock();\n handle.join();\n}\n");
+        assert_eq!(issues.len(), 1);
+    }
+
+    #[test]
+    fn test_cfg_guards_are_skipped() {
+        let (edges, issues) = run(
+            "#[cfg(test)]\nmod tests {\n fn f() {\n  let a = alpha.lock();\n  let b = beta.lock();\n }\n}\n",
+        );
+        assert!(edges.is_empty());
+        assert!(issues.is_empty());
+    }
+
+    #[test]
+    fn inversions_pair_opposite_edges() {
+        let ws = |h: &str, a: &str| WsEdge {
+            holder: h.to_owned(),
+            acquired: a.to_owned(),
+            file: "f.rs".to_owned(),
+            line: 0,
+        };
+        let edges = vec![ws("a", "b"), ws("b", "c"), ws("b", "a")];
+        let inv = lock_inversions(&edges);
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].0.holder, "a");
+        assert_eq!(inv[0].1.holder, "b");
+    }
+}

@@ -2,7 +2,10 @@
 //!
 //! Subcommands:
 //! - `lint` — run the repo static-analysis gate; nonzero exit and
-//!   `file:line` diagnostics on any violation.
+//!   `file:line` diagnostics on any violation. `--json` emits a
+//!   machine-readable findings document on stdout (archived by `ci.sh`
+//!   as `results/LINT.json`); `--explain <rule>` prints a rule's
+//!   rationale and fix.
 //! - `ci` — fmt-check → lint → clippy (-D warnings) → release build →
 //!   tests, stopping at the first failure.
 
@@ -10,14 +13,19 @@
 
 use std::process::ExitCode;
 
-use xtask::{ci, rules, workspace_root};
+use xtask::rules::Rule;
+use xtask::{ci, report, rules, workspace_root};
 
 const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint [DIR]   run the static-analysis gate (optionally on one member DIR)
-  ci           fmt-check, lint, clippy -D warnings, release build, tests
+  lint [--json] [DIR]   run the static-analysis gate (optionally on one
+                        member DIR; member lint skips the workspace-wide
+                        lock-graph and metrics-catalog rules)
+  lint --explain RULE   print a rule's rationale and the fix it demands
+  ci                    fmt-check, lint, clippy -D warnings, release
+                        build, tests
 ";
 
 fn main() -> ExitCode {
@@ -25,22 +33,50 @@ fn main() -> ExitCode {
     let root = workspace_root();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let findings = if let Some(dir) = args.get(1) {
+            let rest = &args[1..];
+            if let Some(pos) = rest.iter().position(|a| a == "--explain") {
+                return match rest
+                    .get(pos + 1)
+                    .map(String::as_str)
+                    .and_then(Rule::from_name)
+                {
+                    Some(rule) => {
+                        println!("{}", report::explain(rule));
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+                        eprintln!("lint: --explain needs one of: {}", names.join(", "));
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            let json = rest.iter().any(|a| a == "--json");
+            let dir = rest.iter().find(|a| !a.starts_with("--"));
+            let findings = if let Some(dir) = dir {
                 rules::lint_member(&root, &root.join(dir))
             } else {
                 rules::lint_workspace(&root)
             };
             match findings {
-                Ok(findings) if findings.is_empty() => {
-                    eprintln!("lint: clean");
-                    ExitCode::SUCCESS
-                }
                 Ok(findings) => {
-                    for f in &findings {
-                        println!("{f}");
+                    if json {
+                        print!("{}", report::to_json(&findings));
+                    } else {
+                        for f in &findings {
+                            println!("{f}");
+                        }
                     }
-                    eprintln!("lint: {} finding(s)", findings.len());
-                    ExitCode::FAILURE
+                    if findings.is_empty() {
+                        eprintln!("lint: clean");
+                        ExitCode::SUCCESS
+                    } else {
+                        for (name, n) in report::rule_counts(&findings) {
+                            eprintln!("lint: {name}: {n}");
+                        }
+                        eprintln!("lint: {} finding(s)", findings.len());
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("lint: cannot walk workspace: {e}");

@@ -1,0 +1,384 @@
+//! Metrics-catalog drift checker.
+//!
+//! `crates/obs/src/catalog.rs` declares every metric the workspace may
+//! emit as `MetricDecl { name, kind, help }` entries; this module parses
+//! that file *statically* (a token walk — xtask stays dependency-free
+//! and findings get real line numbers) and compares the declarations
+//! against every metric-name literal the [`crate::model`] pass extracted
+//! from registry call sites.
+//!
+//! Name grammar:
+//!
+//! * Declared names are dotted segments; a segment is a literal or `*`
+//!   (exactly one dynamic segment: `server.requests.*`).
+//! * Emitted names come from string or `format!` literals; a `{…}`
+//!   placeholder segment is dynamic and may expand to **one or more**
+//!   declared segments (`"{prefix}.limit.{}"` matches
+//!   `rdf.rdfxml.limit.*`).
+//!
+//! Checks: **undeclared** emission (with a nearest-name suggestion),
+//! **kind mismatch** (e.g. `inc` on a name declared as a histogram),
+//! **collision** (two declarations whose patterns can match the same
+//! name), and **never-emitted** (a declaration no scanned call site can
+//! produce — drift in the other direction).
+
+use crate::lex::{lex, TokenKind};
+use crate::model::{MetricKind, MetricUse};
+use crate::scan::strip;
+
+/// One `MetricDecl` entry recovered from the catalog source.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    pub name: String,
+    pub kind: MetricKind,
+    /// 0-based line of the entry's name literal.
+    pub line: usize,
+}
+
+/// A metrics-catalog finding, anchored to a file and 0-based line.
+#[derive(Debug, Clone)]
+pub struct CatalogIssue {
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// An emission site: file, whether its crate is exempt from findings
+/// (exempt emissions still count as coverage), and the use itself.
+#[derive(Debug, Clone)]
+pub struct Emission {
+    pub file: String,
+    pub exempt: bool,
+    pub used: MetricUse,
+}
+
+/// Extracts `MetricDecl { name: "…", kind: MetricKind::X, … }` entries
+/// from catalog source by walking its token stream.
+pub fn parse_catalog(source: &str) -> Vec<CatalogEntry> {
+    let tokens = lex(&strip(source));
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("MetricDecl") && tokens.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            let mut name: Option<(String, usize)> = None;
+            let mut kind: Option<MetricKind> = None;
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => depth -= 1,
+                    TokenKind::Ident(field) if depth == 1 => {
+                        if field == "name" && tokens.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                            if let Some(text) = tokens.get(j + 2).and_then(|t| t.str_text()) {
+                                name = Some((text.to_owned(), tokens[j + 2].line));
+                                j += 2;
+                            }
+                        } else if field == "Counter" {
+                            kind = Some(MetricKind::Counter);
+                        } else if field == "Gauge" {
+                            kind = Some(MetricKind::Gauge);
+                        } else if field == "Histogram" {
+                            kind = Some(MetricKind::Histogram);
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let (Some((name, line)), Some(kind)) = (name, kind) {
+                out.push(CatalogEntry { name, kind, line });
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// One segment of an emitted name.
+enum Seg<'a> {
+    Lit(&'a str),
+    Dyn,
+}
+
+fn use_segs(name: &str) -> Vec<Seg<'_>> {
+    name.split('.')
+        .map(|s| {
+            if s.contains('{') {
+                Seg::Dyn
+            } else {
+                Seg::Lit(s)
+            }
+        })
+        .collect()
+}
+
+/// True when the emitted name can expand to a name the declaration covers.
+pub fn use_matches_decl(use_name: &str, decl_name: &str) -> bool {
+    fn m(u: &[Seg<'_>], d: &[&str]) -> bool {
+        match u.first() {
+            None => d.is_empty(),
+            Some(Seg::Lit(s)) => {
+                !d.is_empty() && (d[0] == "*" || d[0] == *s) && m(&u[1..], &d[1..])
+            }
+            // A dynamic placeholder expands to one or more declared segments.
+            Some(Seg::Dyn) => (1..=d.len()).any(|k| m(&u[1..], &d[k..])),
+        }
+    }
+    let decl: Vec<&str> = decl_name.split('.').collect();
+    m(&use_segs(use_name), &decl)
+}
+
+/// True when some concrete name matches both declarations (`*` is exactly
+/// one segment, so patterns of different lengths never overlap).
+fn decls_overlap(a: &str, b: &str) -> bool {
+    let a: Vec<&str> = a.split('.').collect();
+    let b: Vec<&str> = b.split('.').collect();
+    a.len() == b.len()
+        && a.iter()
+            .zip(&b)
+            .all(|(x, y)| *x == "*" || *y == "*" || x == y)
+}
+
+/// Plain Levenshtein distance, for typo suggestions.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// Nearest declared name when it is close enough to look like a typo.
+fn suggest<'a>(name: &str, catalog: &'a [CatalogEntry]) -> Option<&'a str> {
+    catalog
+        .iter()
+        .map(|e| (levenshtein(name, &e.name), e.name.as_str()))
+        .min()
+        .filter(|(d, _)| *d <= 2)
+        .map(|(_, n)| n)
+}
+
+/// Runs all four drift checks. `catalog_file` anchors never-emitted and
+/// collision findings; emissions from exempt files count as coverage but
+/// never produce findings themselves.
+pub fn check(
+    catalog: &[CatalogEntry],
+    catalog_file: &str,
+    emissions: &[Emission],
+) -> Vec<CatalogIssue> {
+    let mut issues = Vec::new();
+
+    for (i, a) in catalog.iter().enumerate() {
+        for b in &catalog[i + 1..] {
+            if decls_overlap(&a.name, &b.name) {
+                issues.push(CatalogIssue {
+                    file: catalog_file.to_owned(),
+                    line: b.line,
+                    message: format!(
+                        "catalog collision: `{}` overlaps `{}` (declared line {})",
+                        b.name,
+                        a.name,
+                        a.line + 1,
+                    ),
+                });
+            }
+        }
+    }
+
+    for e in emissions {
+        if e.exempt {
+            continue;
+        }
+        let matching: Vec<&CatalogEntry> = catalog
+            .iter()
+            .filter(|c| use_matches_decl(&e.used.name, &c.name))
+            .collect();
+        if matching.is_empty() {
+            let hint = suggest(&e.used.name, catalog)
+                .map(|s| format!(" (did you mean `{s}`?)"))
+                .unwrap_or_default();
+            issues.push(CatalogIssue {
+                file: e.file.clone(),
+                line: e.used.line,
+                message: format!("metric `{}` is not in the catalog{hint}", e.used.name),
+            });
+        } else if !matching.iter().any(|c| c.kind == e.used.kind) {
+            issues.push(CatalogIssue {
+                file: e.file.clone(),
+                line: e.used.line,
+                message: format!(
+                    "metric `{}` emitted as {} but declared as {}",
+                    e.used.name,
+                    e.used.kind.name(),
+                    matching[0].kind.name(),
+                ),
+            });
+        }
+    }
+
+    for c in catalog {
+        let emitted = emissions
+            .iter()
+            .any(|e| use_matches_decl(&e.used.name, &c.name));
+        if !emitted {
+            issues.push(CatalogIssue {
+                file: catalog_file.to_owned(),
+                line: c.line,
+                message: format!("metric `{}` is declared but never emitted", c.name),
+            });
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG_SRC: &str = r#"
+pub const CATALOG: &[MetricDecl] = &[
+    MetricDecl { name: "server.accepted", kind: MetricKind::Counter, help: "conns" },
+    MetricDecl {
+        name: "server.requests.*",
+        kind: MetricKind::Counter,
+        help: "per endpoint",
+    },
+    MetricDecl { name: "rdf.rdfxml.limit.*", kind: MetricKind::Counter, help: "limits" },
+    MetricDecl { name: "core.build.latency", kind: MetricKind::Histogram, help: "ns" },
+];
+"#;
+
+    fn catalog() -> Vec<CatalogEntry> {
+        parse_catalog(CATALOG_SRC)
+    }
+
+    fn emit(name: &str, kind: MetricKind) -> Emission {
+        Emission {
+            file: "crates/demo/src/lib.rs".to_owned(),
+            exempt: false,
+            used: MetricUse {
+                name: name.to_owned(),
+                kind,
+                line: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn catalog_parses_multiline_entries() {
+        let c = catalog();
+        let names: Vec<&str> = c.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "server.accepted",
+                "server.requests.*",
+                "rdf.rdfxml.limit.*",
+                "core.build.latency",
+            ]
+        );
+        assert_eq!(c[3].kind, MetricKind::Histogram);
+    }
+
+    #[test]
+    fn wildcard_matches_one_segment() {
+        assert!(use_matches_decl("server.requests.ql", "server.requests.*"));
+        assert!(use_matches_decl(
+            "server.requests.{endpoint}",
+            "server.requests.*"
+        ));
+        assert!(!use_matches_decl(
+            "server.requests.a.b",
+            "server.requests.*"
+        ));
+        assert!(!use_matches_decl("server.requests", "server.requests.*"));
+    }
+
+    #[test]
+    fn dyn_segment_spans_multiple_decl_segments() {
+        assert!(use_matches_decl("{prefix}.limit.{}", "rdf.rdfxml.limit.*"));
+        assert!(!use_matches_decl("{prefix}.limit.{}", "server.accepted"));
+    }
+
+    #[test]
+    fn undeclared_gets_a_suggestion() {
+        let issues = check(
+            &catalog(),
+            "cat.rs",
+            &[emit("server.acepted", MetricKind::Counter)],
+        );
+        let undeclared = issues
+            .iter()
+            .find(|i| i.message.contains("not in the catalog"))
+            .expect("undeclared finding");
+        assert!(
+            undeclared.message.contains("server.accepted"),
+            "{}",
+            undeclared.message
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_flagged() {
+        let issues = check(
+            &catalog(),
+            "cat.rs",
+            &[emit("core.build.latency", MetricKind::Counter)],
+        );
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.message.contains("emitted as counter")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn never_emitted_is_flagged_and_exempt_counts_as_coverage() {
+        let mut bench = emit("core.build.latency", MetricKind::Histogram);
+        bench.exempt = true;
+        let uses = vec![
+            emit("server.accepted", MetricKind::Counter),
+            emit("server.requests.{e}", MetricKind::Counter),
+            emit("{p}.limit.{}", MetricKind::Counter),
+            bench,
+        ];
+        let issues = check(&catalog(), "cat.rs", &uses);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn collisions_are_reported_once() {
+        let mut c = catalog();
+        c.push(CatalogEntry {
+            name: "server.*".to_owned(),
+            kind: MetricKind::Counter,
+            line: 40,
+        });
+        let uses = vec![
+            emit("server.accepted", MetricKind::Counter),
+            emit("server.requests.{e}", MetricKind::Counter),
+            emit("{p}.limit.{}", MetricKind::Counter),
+            emit("core.build.latency", MetricKind::Histogram),
+            emit("server.shed", MetricKind::Counter),
+        ];
+        let issues = check(&c, "cat.rs", &uses);
+        let collisions: Vec<_> = issues
+            .iter()
+            .filter(|i| i.message.contains("collision"))
+            .collect();
+        assert_eq!(collisions.len(), 1, "{issues:?}");
+        assert!(collisions[0].message.contains("server.accepted"));
+    }
+}

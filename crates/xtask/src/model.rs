@@ -1,0 +1,747 @@
+//! Per-file semantic model over the token stream.
+//!
+//! [`FileModel::build`] makes one pass over [`crate::lex`] tokens and
+//! recovers the structure the cross-line rules need without a full Rust
+//! parser:
+//!
+//! * **Blocks** — every `{ … }` pair with its token span and kind
+//!   (function body, `for`-loop body, other), so scopes survive line
+//!   breaks.
+//! * **Functions** — name, `pub`-ness, signature span, body block.
+//! * **Call sites** — method calls with their receiver tail
+//!   (`self.inner.lock()` → receiver `inner`), plain calls with their
+//!   `::` path, macros, and whether the argument list is empty.
+//! * **Lock guards** — every zero-argument `.lock()` / `.read()` /
+//!   `.write()` / `.try_*()` call, classified by receiver, with a
+//!   liveness span: `let`-bound guards live to the end of their
+//!   enclosing block (or an explicit `drop(guard)`), temporaries to the
+//!   end of their statement (the next `;` or block-open at the same
+//!   brace depth). `if let`/`match` scrutinee temporaries are treated as
+//!   ending at the block-open — a deliberate under-approximation that
+//!   avoids false positives at the cost of missing the
+//!   scrutinee-lifetime footgun.
+//! * **Metric uses** — string literals (including `format!` first
+//!   arguments) passed to `sst-obs` registry calls, with the metric kind
+//!   implied by the method. Dynamic `format!` segments are kept as
+//!   `{…}` placeholders for the catalog matcher.
+
+use crate::lex::{lex, Token, TokenKind};
+use crate::scan::{strip, Stripped};
+
+/// What a brace pair belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    FnBody,
+    ForBody,
+    Other,
+}
+
+/// One `{ … }` pair, as token indices.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    pub open: usize,
+    /// Index of the closing `}` (or `tokens.len()` when unclosed at EOF).
+    pub close: usize,
+    pub kind: BlockKind,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    pub name: String,
+    pub is_pub: bool,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Index into [`FileModel::blocks`] of the body, when the fn has one.
+    pub body: Option<usize>,
+    /// 0-based source line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One call site (method, plain function, or macro).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    /// For method calls: the last identifier of the receiver chain
+    /// (`self.inner.lock()` → `inner`), or `f()` when the receiver is a
+    /// call result (`self.shard(k).lock()` → `shard()`).
+    pub receiver: Option<String>,
+    /// For plain calls: the `::` path segments before the name.
+    pub path: Vec<String>,
+    pub is_macro: bool,
+    /// True when the argument list is exactly `()`.
+    pub args_empty: bool,
+    /// Token index of the name.
+    pub token: usize,
+    /// 0-based source line.
+    pub line: usize,
+}
+
+/// One lock-guard acquisition with its liveness span.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Lock class: the receiver tail of the acquisition.
+    pub class: String,
+    /// The `let` binding holding the guard, when there is one.
+    pub binding: Option<String>,
+    /// Token index of the acquiring method name.
+    pub acquired: usize,
+    /// Token index at which the guard is no longer live.
+    pub scope_end: usize,
+    /// 0-based source line of the acquisition.
+    pub line: usize,
+}
+
+/// Kind of metric implied by the registry method used at a call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One metric-name literal passed to an `sst-obs` registry call.
+#[derive(Debug, Clone)]
+pub struct MetricUse {
+    /// The literal, with `format!` placeholders normalized to `{…}`.
+    pub name: String,
+    pub kind: MetricKind,
+    /// 0-based source line.
+    pub line: usize,
+}
+
+/// The per-file model (see module docs).
+#[derive(Debug)]
+pub struct FileModel {
+    pub stripped: Stripped,
+    pub tokens: Vec<Token>,
+    /// Brace depth *before* each token.
+    pub depth: Vec<usize>,
+    pub blocks: Vec<Block>,
+    pub fns: Vec<FnScope>,
+    pub calls: Vec<CallSite>,
+    pub guards: Vec<Guard>,
+    pub metrics: Vec<MetricUse>,
+}
+
+/// Zero-argument lock-acquisition methods of `std::sync` primitives.
+pub const LOCK_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Guard-preserving adapters a binding may chain after the acquisition
+/// (`.lock().unwrap_or_else(PoisonError::into_inner)` still binds a guard).
+const GUARD_ADAPTERS: &[&str] = &["unwrap_or_else", "unwrap", "expect"];
+
+/// Registry methods of `sst_obs::Metrics` / `MetricsSnapshot` and the
+/// metric kind each implies.
+const REGISTRY_METHODS: &[(&str, MetricKind)] = &[
+    ("counter", MetricKind::Counter),
+    ("inc", MetricKind::Counter),
+    ("add", MetricKind::Counter),
+    ("gauge", MetricKind::Gauge),
+    ("histogram", MetricKind::Histogram),
+    ("histogram_with_bounds", MetricKind::Histogram),
+    ("span", MetricKind::Histogram),
+];
+
+impl FileModel {
+    /// Builds the model for one source file.
+    pub fn build(source: &str) -> FileModel {
+        let stripped = strip(source);
+        let tokens = lex(&stripped);
+        let (depth, blocks, fns) = structure(&tokens);
+        let calls = call_sites(&tokens);
+        let guards = guard_sites(&tokens, &depth, &blocks, &calls);
+        let metrics = metric_uses(&tokens, &calls);
+        FileModel {
+            stripped,
+            tokens,
+            depth,
+            blocks,
+            fns,
+            calls,
+            guards,
+            metrics,
+        }
+    }
+
+    /// True when the token at `idx` lies in a `#[cfg(test)]` region.
+    pub fn in_test_cfg(&self, idx: usize) -> bool {
+        self.tokens
+            .get(idx)
+            .and_then(|t| self.stripped.lines.get(t.line))
+            .is_some_and(|l| l.in_test_cfg)
+    }
+
+    /// Index of the closing token of the innermost block containing
+    /// token `idx`, or `tokens.len()` when at top level.
+    pub fn enclosing_block_end(&self, idx: usize) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| b.open < idx && b.close >= idx)
+            .map(|b| b.close)
+            .min()
+            .unwrap_or(self.tokens.len())
+    }
+
+    /// End of the statement containing token `idx`: the next `;` or
+    /// block-open `{` at the same brace depth, else the enclosing block
+    /// close.
+    pub fn statement_end(&self, idx: usize) -> usize {
+        statement_end(&self.tokens, &self.depth, &self.blocks, idx)
+    }
+
+    /// True when token `idx` sits inside a `for`-loop *body* (not the
+    /// header: header tokens precede the body's opening brace).
+    pub fn in_for_body(&self, idx: usize) -> bool {
+        self.blocks
+            .iter()
+            .any(|b| b.kind == BlockKind::ForBody && b.open < idx && idx < b.close)
+    }
+}
+
+/// Pass 1: brace depth, block spans with kinds, and fn scopes.
+fn structure(tokens: &[Token]) -> (Vec<usize>, Vec<Block>, Vec<FnScope>) {
+    #[derive(Debug)]
+    enum Pending {
+        For,
+        Fn(usize),
+    }
+
+    let mut depth = Vec::with_capacity(tokens.len());
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut fns: Vec<FnScope> = Vec::new();
+    let mut open_stack: Vec<usize> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut cur_depth = 0usize;
+
+    for (i, t) in tokens.iter().enumerate() {
+        depth.push(cur_depth);
+        match &t.kind {
+            TokenKind::Ident(word) if word == "fn" => {
+                if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                    fns.push(FnScope {
+                        name: name.to_owned(),
+                        is_pub: is_pub_before(tokens, i),
+                        sig_start: i,
+                        body: None,
+                        line: t.line,
+                    });
+                    pending = Some(Pending::Fn(fns.len() - 1));
+                }
+            }
+            TokenKind::Ident(word) if word == "for" => {
+                // `for<'a>` HRTBs and `impl X for Y` are not loops: a loop
+                // header has the `in` keyword before its body opens.
+                let hrtb = tokens.get(i + 1).is_some_and(|t| t.is_punct('<'));
+                if !hrtb && has_in_before_block(tokens, i + 1) {
+                    pending = Some(Pending::For);
+                }
+            }
+            TokenKind::Punct('{') => {
+                let kind = match pending.take() {
+                    Some(Pending::For) => BlockKind::ForBody,
+                    Some(Pending::Fn(f)) => {
+                        fns[f].body = Some(blocks.len());
+                        BlockKind::FnBody
+                    }
+                    None => BlockKind::Other,
+                };
+                open_stack.push(blocks.len());
+                blocks.push(Block {
+                    open: i,
+                    close: tokens.len(),
+                    kind,
+                });
+                cur_depth += 1;
+            }
+            TokenKind::Punct('}') => {
+                if let Some(b) = open_stack.pop() {
+                    blocks[b].close = i;
+                }
+                cur_depth = cur_depth.saturating_sub(1);
+            }
+            TokenKind::Punct(';') => {
+                // A braceless item (trait fn, use, const) consumed the
+                // pending marker without opening a body.
+                pending = None;
+            }
+            _ => {}
+        }
+    }
+    (depth, blocks, fns)
+}
+
+/// True when a bare `pub` (optionally through `const`/`async`/`unsafe`/
+/// `extern`) immediately precedes the `fn` keyword at `fn_idx`.
+fn is_pub_before(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].ident() {
+            Some("const" | "async" | "unsafe" | "extern") => continue,
+            Some("pub") => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// True when the `in` keyword occurs after `start` before any `{` or `;`.
+fn has_in_before_block(tokens: &[Token], start: usize) -> bool {
+    for t in &tokens[start.min(tokens.len())..] {
+        match &t.kind {
+            TokenKind::Punct('{' | ';') => return false,
+            TokenKind::Ident(w) if w == "in" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Pass 2: every call site.
+fn call_sites(tokens: &[Token]) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        // Macro: `name!` (but not `a != b`).
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct('.'))
+        {
+            calls.push(CallSite {
+                name: name.to_owned(),
+                receiver: None,
+                path: Vec::new(),
+                is_macro: true,
+                args_empty: false,
+                token: i,
+                line: t.line,
+            });
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let args_empty = tokens.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        let is_method = i > 0 && tokens[i - 1].is_punct('.');
+        if is_method {
+            calls.push(CallSite {
+                name: name.to_owned(),
+                receiver: Some(receiver_tail(tokens, i - 1)),
+                path: Vec::new(),
+                is_macro: false,
+                args_empty,
+                token: i,
+                line: t.line,
+            });
+        } else {
+            calls.push(CallSite {
+                name: name.to_owned(),
+                receiver: None,
+                path: path_before(tokens, i),
+                is_macro: false,
+                args_empty,
+                token: i,
+                line: t.line,
+            });
+        }
+    }
+    calls
+}
+
+/// The receiver tail of a method call whose `.` sits at `dot_idx`:
+/// the identifier before the dot, `f()` for a call result, or `<expr>`.
+fn receiver_tail(tokens: &[Token], dot_idx: usize) -> String {
+    if dot_idx == 0 {
+        return "<expr>".to_owned();
+    }
+    let j = dot_idx - 1;
+    if let Some(id) = tokens[j].ident() {
+        return id.to_owned();
+    }
+    if tokens[j].is_punct(')') || tokens[j].is_punct(']') {
+        // Walk back over the balanced group to name the producing call.
+        let close = if tokens[j].is_punct(')') { ')' } else { ']' };
+        let open = if close == ')' { '(' } else { '[' };
+        let mut depth = 0usize;
+        let mut k = j;
+        loop {
+            if tokens[k].is_punct(close) {
+                depth += 1;
+            } else if tokens[k].is_punct(open) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return "<expr>".to_owned();
+            }
+            k -= 1;
+        }
+        if k > 0 {
+            if let Some(f) = tokens[k - 1].ident() {
+                return format!("{f}()");
+            }
+        }
+    }
+    "<expr>".to_owned()
+}
+
+/// The `::` path segments immediately before a plain call name.
+fn path_before(tokens: &[Token], name_idx: usize) -> Vec<String> {
+    let mut segs = Vec::new();
+    let mut j = name_idx;
+    while j >= 3
+        && tokens[j - 1].is_punct(':')
+        && tokens[j - 2].is_punct(':')
+        && tokens[j - 3].ident().is_some()
+    {
+        segs.push(tokens[j - 3].ident().unwrap_or_default().to_owned());
+        j -= 3;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Pass 3: lock-guard acquisitions with liveness spans.
+fn guard_sites(
+    tokens: &[Token],
+    depth: &[usize],
+    blocks: &[Block],
+    calls: &[CallSite],
+) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    for call in calls {
+        if call.is_macro || !call.args_empty || !LOCK_METHODS.contains(&call.name.as_str()) {
+            continue;
+        }
+        let Some(class) = call.receiver.clone() else {
+            continue;
+        };
+        let i = call.token;
+        let binding = let_binding_of(tokens, i);
+        let scope_end = match &binding {
+            Some(name) => {
+                let block_end = enclosing_block_end(blocks, tokens.len(), i);
+                // An explicit `drop(guard)` ends liveness early.
+                calls
+                    .iter()
+                    .find(|c| {
+                        c.name == "drop"
+                            && !c.is_macro
+                            && c.receiver.is_none()
+                            && c.token > i
+                            && c.token < block_end
+                            && tokens.get(c.token + 2).and_then(Token::ident) == Some(name)
+                            && tokens.get(c.token + 3).is_some_and(|t| t.is_punct(')'))
+                    })
+                    .map(|c| c.token)
+                    .unwrap_or(block_end)
+            }
+            None => statement_end(tokens, depth, blocks, i),
+        };
+        guards.push(Guard {
+            class,
+            binding,
+            acquired: i,
+            scope_end,
+            line: call.line,
+        });
+    }
+    guards
+}
+
+/// Index of the closing token of the innermost block containing `idx`.
+fn enclosing_block_end(blocks: &[Block], len: usize, idx: usize) -> usize {
+    blocks
+        .iter()
+        .filter(|b| b.open < idx && b.close >= idx)
+        .map(|b| b.close)
+        .min()
+        .unwrap_or(len)
+}
+
+/// End of the statement containing token `idx`: the next `;` or
+/// block-open `{` at the same brace depth, else the enclosing block close.
+fn statement_end(tokens: &[Token], depth: &[usize], blocks: &[Block], idx: usize) -> usize {
+    let d = depth.get(idx).copied().unwrap_or(0);
+    for (j, t) in tokens.iter().enumerate().skip(idx + 1) {
+        if depth[j] < d {
+            return j;
+        }
+        if depth[j] == d && (t.is_punct(';') || t.is_punct('{')) {
+            return j;
+        }
+    }
+    enclosing_block_end(blocks, tokens.len(), idx)
+}
+
+/// When the statement containing the acquisition at `idx` is a simple
+/// `let [mut] name = <chain ending in the guard>;`, the binding name.
+fn let_binding_of(tokens: &[Token], idx: usize) -> Option<String> {
+    // Statement start: the token after the previous `;`, `{`, or `}`.
+    let mut s = idx;
+    while s > 0 {
+        let t = &tokens[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    if !tokens.get(s).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut n = s + 1;
+    if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+        n += 1;
+    }
+    let name = tokens.get(n).and_then(Token::ident)?;
+    if name == "_" || !tokens.get(n + 1).is_some_and(|t| t.is_punct('=')) {
+        return None; // destructuring / discard: not a live named guard
+    }
+    // The guard must be the end of the RHS chain (modulo poisoning
+    // adapters), or the binding holds a derived value, not the guard.
+    let close = matching_paren(tokens, idx + 1)?;
+    let mut t = close + 1;
+    loop {
+        match tokens.get(t) {
+            Some(tok) if tok.is_punct(';') => return Some(name.to_owned()),
+            Some(tok) if tok.is_punct('.') => {
+                let adapter = tokens.get(t + 1).and_then(Token::ident)?;
+                if !GUARD_ADAPTERS.contains(&adapter) {
+                    return None;
+                }
+                let open = t + 2;
+                if !tokens.get(open).is_some_and(|t| t.is_punct('(')) {
+                    return None;
+                }
+                t = matching_paren(tokens, open)? + 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open_idx`.
+fn matching_paren(tokens: &[Token], open_idx: usize) -> Option<usize> {
+    if !tokens.get(open_idx)?.is_punct('(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// True when `name` is shaped like a metric name: dotted, lowercase
+/// segments with optional `{…}` placeholders.
+fn is_metric_name(name: &str) -> bool {
+    name.contains('.')
+        && !name.contains("..")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._{}".contains(c))
+}
+
+/// Pass 4: metric-name literals at registry call sites.
+fn metric_uses(tokens: &[Token], calls: &[CallSite]) -> Vec<MetricUse> {
+    let mut uses = Vec::new();
+    for call in calls {
+        if call.is_macro || call.receiver.is_none() {
+            continue;
+        }
+        let Some(&(_, kind)) = REGISTRY_METHODS.iter().find(|(m, _)| *m == call.name) else {
+            continue;
+        };
+        // First argument, skipping leading `&`.
+        let mut k = call.token + 2;
+        while tokens.get(k).is_some_and(|t| t.is_punct('&')) {
+            k += 1;
+        }
+        let lit = match tokens.get(k).map(|t| &t.kind) {
+            Some(TokenKind::Str(s)) => Some(s.clone()),
+            Some(TokenKind::Ident(w)) if w == "format" => {
+                // `format!("pattern", …)`.
+                if tokens.get(k + 1).is_some_and(|t| t.is_punct('!'))
+                    && tokens.get(k + 2).is_some_and(|t| t.is_punct('('))
+                {
+                    tokens
+                        .get(k + 3)
+                        .and_then(|t| t.str_text())
+                        .map(str::to_owned)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(name) = lit {
+            if is_metric_name(&name) {
+                uses.push(MetricUse {
+                    name,
+                    kind,
+                    line: call.line,
+                });
+            }
+        }
+    }
+    uses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(src)
+    }
+
+    #[test]
+    fn fn_scopes_and_bodies() {
+        let m = model("pub fn alpha(x: u32) -> u32 { x }\nfn beta();\nconst fn gamma() {}\n");
+        assert_eq!(m.fns.len(), 3);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert!(m.fns[0].is_pub);
+        assert!(m.fns[0].body.is_some());
+        assert_eq!(m.fns[1].name, "beta");
+        assert!(m.fns[1].body.is_none(), "trait fn has no body");
+        assert!(!m.fns[2].is_pub);
+    }
+
+    #[test]
+    fn multiline_for_header_is_a_loop_body() {
+        let m = model("fn f() {\n for x\n in xs\n {\n work(x);\n }\n}\n");
+        let call = m.calls.iter().find(|c| c.name == "work").expect("call");
+        assert!(m.in_for_body(call.token));
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let m = model("impl Display for F { fn fmt(&self) {} }\nfn g(h: impl for<'a> Fn()) {}\n");
+        assert!(m.blocks.iter().all(|b| b.kind != BlockKind::ForBody));
+    }
+
+    #[test]
+    fn method_receiver_tails() {
+        let m = model("fn f() { self.inner.lock(); shard.read(); self.shard(k).lock(); }");
+        let recv: Vec<Option<String>> = m
+            .calls
+            .iter()
+            .filter(|c| LOCK_METHODS.contains(&c.name.as_str()))
+            .map(|c| c.receiver.clone())
+            .collect();
+        assert_eq!(
+            recv,
+            vec![
+                Some("inner".to_owned()),
+                Some("shard".to_owned()),
+                Some("shard()".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_call_paths() {
+        let m = model("fn f() { std::thread::sleep(d); thread::spawn(w); local(); }");
+        let sleep = m.calls.iter().find(|c| c.name == "sleep").expect("sleep");
+        assert_eq!(sleep.path, vec!["std".to_owned(), "thread".to_owned()]);
+        let local = m.calls.iter().find(|c| c.name == "local").expect("local");
+        assert!(local.path.is_empty());
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end() {
+        let m = model("fn f() {\n let g = m.lock();\n use_it(&g);\n}\n");
+        assert_eq!(m.guards.len(), 1);
+        let g = &m.guards[0];
+        assert_eq!(g.binding.as_deref(), Some("g"));
+        assert_eq!(g.class, "m");
+        // Scope reaches the fn body close.
+        let close = m.blocks[0].close;
+        assert_eq!(g.scope_end, close);
+    }
+
+    #[test]
+    fn poison_recovered_guard_still_binds() {
+        let m = model(
+            "fn f() {\n let mut map = store.write().unwrap_or_else(PoisonError::into_inner);\n map.insert(k, v);\n}\n",
+        );
+        assert_eq!(m.guards[0].binding.as_deref(), Some("map"));
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let m = model("fn f() {\n q.lock().push(x);\n other();\n}\n");
+        let g = &m.guards[0];
+        assert!(g.binding.is_none());
+        let other = m.calls.iter().find(|c| c.name == "other").expect("other");
+        assert!(
+            g.scope_end < other.token,
+            "temporary must not span statements"
+        );
+    }
+
+    #[test]
+    fn derived_value_binding_is_a_temporary_guard() {
+        let m = model("fn f() {\n let v = m.lock().get(k);\n}\n");
+        assert!(
+            m.guards[0].binding.is_none(),
+            "v holds a value, not the guard"
+        );
+    }
+
+    #[test]
+    fn drop_ends_guard_liveness_early() {
+        let m = model("fn f() {\n let g = m.lock();\n drop(g);\n tail();\n}\n");
+        let tail = m.calls.iter().find(|c| c.name == "tail").expect("tail");
+        assert!(m.guards[0].scope_end < tail.token);
+    }
+
+    #[test]
+    fn metric_literals_are_extracted_with_kinds() {
+        let m = model(
+            "fn f(m: &Metrics) {\n m.inc(\"a.calls\");\n let c = m.counter(\"b.total\");\n let _s = m.span(\"c.latency\");\n m.counter(&format!(\"d.requests.{endpoint}\"));\n}\n",
+        );
+        let names: Vec<(&str, MetricKind)> = m
+            .metrics
+            .iter()
+            .map(|u| (u.name.as_str(), u.kind))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a.calls", MetricKind::Counter),
+                ("b.total", MetricKind::Counter),
+                ("c.latency", MetricKind::Histogram),
+                ("d.requests.{endpoint}", MetricKind::Counter),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_metric_strings_are_ignored() {
+        let m = model("fn f() { list.add(\"plain\"); path.span(\"no dots here!\"); }");
+        assert!(m.metrics.is_empty(), "{:?}", m.metrics);
+    }
+}

@@ -1,0 +1,243 @@
+//! Machine-readable lint output and rule documentation.
+//!
+//! `cargo xtask lint --json` emits one JSON document on stdout so CI can
+//! archive findings (`ci.sh` writes `results/LINT.json`); `--explain
+//! <rule>` prints the rationale and the fix the rule demands. JSON is
+//! hand-rolled — xtask is dependency-free by design — and the format is
+//! deliberately flat:
+//!
+//! ```json
+//! {
+//!   "clean": false,
+//!   "total": 2,
+//!   "counts": { "panic": 1, "swallowed-error": 1 },
+//!   "findings": [
+//!     { "file": "crates/x/src/lib.rs", "line": 7, "rule": "panic",
+//!       "message": "`.unwrap()` can panic; …" }
+//!   ]
+//! }
+//! ```
+
+use crate::rules::{Finding, Rule};
+
+/// JSON-escapes a string per RFC 8259 (quotes, backslash, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-rule finding counts in [`Rule::ALL`] order, zero-count rules
+/// omitted.
+pub fn rule_counts(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    Rule::ALL
+        .into_iter()
+        .map(|rule| {
+            (
+                rule.name(),
+                findings.iter().filter(|f| f.rule == rule).count(),
+            )
+        })
+        .filter(|&(_, n)| n > 0)
+        .collect()
+}
+
+/// Renders the findings as the JSON document described in the module docs.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"clean\": {},\n", findings.is_empty()));
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str("  \"counts\": {");
+    let counts = rule_counts(findings);
+    for (i, (name, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(" \"{name}\": {n}"));
+    }
+    out.push_str(" },\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\" }}",
+            escape(&f.file.to_string_lossy().replace('\\', "/")),
+            f.line,
+            f.rule.name(),
+            escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// The rationale printed by `cargo xtask lint --explain <rule>`.
+pub fn explain(rule: Rule) -> &'static str {
+    match rule {
+        Rule::Panic => {
+            "panic: library code must not call `.unwrap()` / `.expect()` (or the `_err`\n\
+             variants) or invoke `panic!` / `unimplemented!` / `todo!` / `unreachable!` /\n\
+             `assert!` family macros. A similarity service aborting on malformed input is\n\
+             a denial-of-service primitive; return the crate error type and let the\n\
+             caller decide. `debug_assert!` is allowed (compiled out of release builds),\n\
+             and `#[cfg(test)]` code is exempt.\n\
+             Escape hatch: `// lint: allow(panic) <reason>`."
+        }
+        Rule::Index => {
+            "index: subscripts containing `+`/`-` arithmetic (`v[i + 1]`, `s[..n - 1]`)\n\
+             are the classic off-by-one panic sites. Use `.get()` / `.get_mut()` or\n\
+             checked math. Plain `v[i]` is allowed — flagging every subscript would\n\
+             drown the signal. The token engine matches subscripts across line breaks.\n\
+             Escape hatch: `// lint: allow(index) <reason>`."
+        }
+        Rule::ForbidUnsafe => {
+            "forbid-unsafe: every crate root must declare `#![forbid(unsafe_code)]`.\n\
+             The toolkit's memory-safety claim is workspace-wide and enforced at the\n\
+             compiler level; there is no escape hatch."
+        }
+        Rule::ErrorImpl => {
+            "error-impl: every `pub` type named `*Error` must implement\n\
+             `std::error::Error`, so callers can box, chain, and `?`-propagate any\n\
+             error the workspace exposes. The impl may live in a sibling module of the\n\
+             same crate. No escape hatch."
+        }
+        Rule::LockInLoop => {
+            "lock-in-loop: `.lock()` / `.read()` / `.write()` (and `try_` variants)\n\
+             inside a `for` loop body re-acquire the lock every iteration — the bug\n\
+             class behind `Taxonomy::mrca` locking the depth cache once per candidate.\n\
+             Hoist the guard (or an `Arc` clone of the data) out of the loop. Loop\n\
+             *header* acquisitions (`for x in m.read()…`) run once and are fine.\n\
+             Escape hatch: `// lint: allow(lock-in-loop) <reason>`."
+        }
+        Rule::LockDiscipline => {
+            "lock-discipline: a guard-liveness analysis over the token model. A `let`-\n\
+             bound guard is live to the end of its block (or an explicit `drop(guard)`);\n\
+             a temporary to the end of its statement. Three checks: (1) acquiring a\n\
+             lock class while a guard on the same class is live — self-deadlock;\n\
+             (2) holding any guard across a blocking op (socket accept/read/write,\n\
+             `mpsc` send/recv, `JoinHandle::join`, `thread::sleep`, connect, flush) —\n\
+             serializes every waiter behind I/O; (3) workspace-wide, nesting edges\n\
+             (`A` held while `B` acquired, classes are `<crate>:<receiver>`) form a\n\
+             lock-acquisition graph, and opposite edges `A→B` / `B→A` are a lock-order\n\
+             inversion: two threads taking the pair in opposite orders can deadlock.\n\
+             `Condvar::wait` is not blocking — it releases the guard while parked.\n\
+             Escape hatch: `// lint: allow(lock-discipline) <reason>` (on either edge\n\
+             site for inversions)."
+        }
+        Rule::SwallowedError => {
+            "swallowed-error: `let _ = <call>…;` and statement-final `.ok();` discard a\n\
+             `Result` in library code. A serving system's zero-silent-failure claim\n\
+             dies one discarded `Err` at a time — handle the error, count it in a\n\
+             metric (see `server.http.write_failures`), or audit the site.\n\
+             Escape hatch: `// lint: allow(swallowed-error) <reason>`."
+        }
+        Rule::MetricsCatalog => {
+            "metrics-catalog: every metric-name literal passed to an sst-obs registry\n\
+             call (`counter`, `gauge`, `histogram`, `histogram_with_bounds`, `span`,\n\
+             `inc`, `add`) must match a declaration in crates/obs/src/catalog.rs; the\n\
+             declared kind must agree with the call; declarations must not overlap;\n\
+             and every declaration must be emittable from scanned code. Declared names\n\
+             use `*` for exactly one dynamic segment (`server.requests.*`); emitted\n\
+             `format!` placeholders (`{endpoint}`) match one or more declared segments.\n\
+             This pins the `/metrics` surface: typos, drift, and dead declarations all\n\
+             fail the gate. Escape hatch: `// lint: allow(metrics-catalog) <reason>`."
+        }
+        Rule::Limits => {
+            "limits: in the ingestion crates (rdf, sexpr, wrappers) every `pub fn\n\
+             parse*` must take the resource-governance `Limits` type somewhere in its\n\
+             signature. Parsers consume untrusted input; an entry point without limits\n\
+             revives the unbounded recursion/allocation bug class the governance layer\n\
+             closed. Convenience wrappers that delegate to a `*_with_limits` sibling\n\
+             carry an audited `// lint: allow(limits) <reason>` instead."
+        }
+        Rule::Bounded => {
+            "bounded: in crates/server, no unbounded queueing and no detached threads.\n\
+             `mpsc::channel` (unbounded) and `VecDeque::new` (no capacity policy) are\n\
+             forbidden in favour of the crate's shed-on-overflow `BoundedQueue`;\n\
+             `thread::spawn` (detached, no join path) is forbidden in favour of\n\
+             `std::thread::scope`, whose workers are always joined.\n\
+             Escape hatch: `// lint: allow(bounded) <reason>`."
+        }
+        Rule::BadAllow => {
+            "bad-allow: a `// lint: allow(<rule>)` escape hatch without a reason. The\n\
+             audit trail is the point — every suppression must say why the finding is\n\
+             acceptable. Add the reason after the marker: `// lint: allow(panic)\n\
+             invariant: len checked above`. No escape hatch (that would be cheating)."
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(rule: Rule, msg: &str) -> Finding {
+        Finding {
+            file: PathBuf::from("crates/demo/src/lib.rs"),
+            line: 3,
+            rule,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_findings_serialize_as_clean() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"total\": 0"), "{json}");
+        assert!(json.contains("\"findings\": []"), "{json}");
+    }
+
+    #[test]
+    fn findings_serialize_with_escaping_and_counts() {
+        let f = vec![
+            finding(Rule::Panic, "`.unwrap()` can \"panic\""),
+            finding(Rule::Panic, "second"),
+            finding(Rule::SwallowedError, "back\\slash"),
+        ];
+        let json = to_json(&f);
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json.contains("\"total\": 3"), "{json}");
+        assert!(json.contains("\"panic\": 2"), "{json}");
+        assert!(json.contains("\"swallowed-error\": 1"), "{json}");
+        assert!(json.contains("can \\\"panic\\\""), "{json}");
+        assert!(json.contains("back\\\\slash"), "{json}");
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation_mentioning_its_name() {
+        for rule in Rule::ALL {
+            let text = explain(rule);
+            assert!(
+                text.starts_with(rule.name()),
+                "explain({}) must lead with the rule name",
+                rule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn counts_follow_report_order_and_skip_zeroes() {
+        let f = vec![
+            finding(Rule::Bounded, "b"),
+            finding(Rule::Panic, "a"),
+            finding(Rule::Bounded, "b2"),
+        ];
+        assert_eq!(rule_counts(&f), vec![("panic", 1), ("bounded", 2)]);
+    }
+}

@@ -1,5 +1,11 @@
 //! Lint rules and the workspace walker.
 //!
+//! Every rule runs on the token-stream model ([`crate::lex`] +
+//! [`crate::model`]) built from stripped source, so multi-line
+//! constructs (split signatures, chained calls, cross-line subscripts)
+//! are analyzed exactly like single-line ones and nothing inside
+//! comments or string literals can trigger a finding.
+//!
 //! Policy (documented in README.md §Static analysis):
 //!
 //! - **panic**: non-test library code must not call `.unwrap()` /
@@ -22,6 +28,25 @@
 //!   depth cache once per candidate. Hoist the guard (or a cheap `Arc`
 //!   clone of the data) out of the loop. Acquisitions in the loop
 //!   *header* (`for x in m.read()…`) run once and are not flagged.
+//! - **lock-discipline**: the guard-liveness analysis in [`crate::locks`].
+//!   Per file: acquiring a lock class while a guard on the same class is
+//!   live (self-deadlock), and holding any guard across a blocking
+//!   operation (socket accept/read/write, `mpsc` send/recv,
+//!   `JoinHandle::join`, `thread::sleep`, connect). Workspace-wide:
+//!   nesting edges from every file form a lock-acquisition graph whose
+//!   classes are `<crate>:<receiver>`; a pair of opposite edges is a
+//!   lock-order inversion and is reported with both sites.
+//! - **swallowed-error**: `let _ = <call>…;` and statement-final
+//!   `.ok();` silently discard a `Result` in library code. A serving
+//!   system's zero-silent-failure claim dies one discarded `Err` at a
+//!   time: handle the error, count it in a metric, or audit the site.
+//! - **metrics-catalog**: every metric-name literal passed to an
+//!   `sst-obs` registry call must match a declaration in
+//!   `crates/obs/src/catalog.rs`, kinds must agree, declarations must
+//!   not overlap, and every declaration must be emittable from scanned
+//!   code ([`crate::metrics`] has the matching grammar). This pins the
+//!   `/metrics` surface: typos, drift, and dead declarations all fail
+//!   the gate.
 //! - **limits**: in the ingestion crates (`rdf`, `sexpr`, `wrappers`),
 //!   every `pub fn parse*` must take the resource-governance `Limits`
 //!   type somewhere in its signature. Parsers consume untrusted input;
@@ -40,23 +65,31 @@
 //!   a queue that grows without limit under overload, and a worker
 //!   nobody waits for on shutdown.
 //!
-//! Escape hatch: `// lint: allow(panic) <reason>` (or `allow(index)`,
-//! `allow(lock-in-loop)`, `allow(limits)`, `allow(bounded)`) on the
-//! offending line, or alone on the line above, suppresses exactly one
-//! finding of that rule. The reason is mandatory.
+//! Escape hatch: `// lint: allow(<rule>) <reason>` on the offending
+//! line, or alone on the line above, suppresses exactly one finding of
+//! that rule on that line (for lock-discipline nesting edges and
+//! metrics-catalog findings, it suppresses the line's findings). The
+//! reason is mandatory; a reason-less marker is itself a **bad-allow**
+//! finding.
 //!
-//! Exempt from panic/index rules: `tests/`, `benches/`, `examples/`,
-//! `src/bin/` binaries, the `xtask` tooling crate, the `sst-bench`
-//! harness crate, and `#[cfg(test)]` regions anywhere.
+//! Exempt from the per-file library rules: `tests/`, `benches/`,
+//! `examples/`, `src/bin/` binaries, the `xtask` tooling crate, the
+//! `sst-bench` harness crate, and `#[cfg(test)]` regions anywhere.
+//! Metric emissions in exempt code still count as catalog *coverage* —
+//! they just never produce findings.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::scan::{is_ident_char, strip, Stripped};
+use crate::lex::TokenKind;
+use crate::locks;
+use crate::metrics;
+use crate::model::{FileModel, LOCK_METHODS};
+use crate::scan::Stripped;
 
-/// Crates whose *library* code is exempt from the panic/index rules:
-/// development tooling and the benchmark harness, which are never part
-/// of the served library surface.
+/// Crates whose *library* code is exempt from the per-file library
+/// rules: development tooling and the benchmark harness, which are never
+/// part of the served library surface.
 const EXEMPT_CRATES: &[&str] = &["xtask", "bench"];
 
 /// Crates whose library code ingests untrusted input and is therefore
@@ -67,6 +100,9 @@ const LIMITS_GOVERNED_CRATES: &[&str] = &["rdf", "sexpr", "wrappers"];
 /// unbounded queues, no detached threads.
 const BOUNDED_GOVERNED_CRATES: &[&str] = &["server"];
 
+/// Workspace-relative path of the metrics catalog module.
+pub const CATALOG_PATH: &str = "crates/obs/src/catalog.rs";
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     Panic,
@@ -74,12 +110,30 @@ pub enum Rule {
     ForbidUnsafe,
     ErrorImpl,
     LockInLoop,
+    LockDiscipline,
+    SwallowedError,
+    MetricsCatalog,
     Limits,
     Bounded,
     BadAllow,
 }
 
 impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 11] = [
+        Rule::Panic,
+        Rule::Index,
+        Rule::ForbidUnsafe,
+        Rule::ErrorImpl,
+        Rule::LockInLoop,
+        Rule::LockDiscipline,
+        Rule::SwallowedError,
+        Rule::MetricsCatalog,
+        Rule::Limits,
+        Rule::Bounded,
+        Rule::BadAllow,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             Rule::Panic => "panic",
@@ -87,10 +141,17 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::ErrorImpl => "error-impl",
             Rule::LockInLoop => "lock-in-loop",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::SwallowedError => "swallowed-error",
+            Rule::MetricsCatalog => "metrics-catalog",
             Rule::Limits => "limits",
             Rule::Bounded => "bounded",
             Rule::BadAllow => "bad-allow",
         }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 }
 
@@ -125,386 +186,566 @@ const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable"]
 /// (`debug_assert*` is allowed — it compiles out of release builds.)
 const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
-/// Lints one library source file (panic + index + lock-in-loop rules).
-pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
-    let mut findings = Vec::new();
-    let mut locks = LoopLockScanner::default();
-    for (idx, line) in stripped.lines.iter().enumerate() {
-        // The lock scanner sees every line — brace depth must stay in sync
-        // across `#[cfg(test)]` regions — but findings there are dropped.
-        let mut line_findings = Vec::new();
-        locks.scan_line(&line.code, &mut |message| {
-            line_findings.push((Rule::LockInLoop, message));
-        });
-        if line.in_test_cfg {
+/// Rules with an escape hatch, by marker name.
+const ALLOWABLE: &[(&str, Rule)] = &[
+    ("panic", Rule::Panic),
+    ("index", Rule::Index),
+    ("lock-in-loop", Rule::LockInLoop),
+    ("lock-discipline", Rule::LockDiscipline),
+    ("swallowed-error", Rule::SwallowedError),
+    ("metrics-catalog", Rule::MetricsCatalog),
+    ("limits", Rule::Limits),
+    ("bounded", Rule::Bounded),
+];
+
+/// The file's suppression table, parsed once per file: each
+/// `lint: allow(<rule>) <reason>` comment targets its own line (inline)
+/// or the next line (standalone comment line). A reason-less marker is
+/// recorded as a bad-allow instead of an entry.
+struct AllowTable {
+    /// (rule, 0-based target line); `used` marks consumed entries.
+    entries: Vec<(Rule, usize)>,
+    used: Vec<bool>,
+    /// 0-based line and marker name of each reason-less allow.
+    bad: Vec<(usize, &'static str)>,
+}
+
+impl AllowTable {
+    fn parse(stripped: &Stripped) -> AllowTable {
+        let mut entries = Vec::new();
+        let mut bad = Vec::new();
+        for (idx, line) in stripped.lines.iter().enumerate() {
+            if line.comment.is_empty() {
+                continue;
+            }
+            // A standalone allow-comment line applies to the next line.
+            let target = if line.code.trim().is_empty() {
+                idx + 1
+            } else {
+                idx
+            };
+            for (name, rule) in ALLOWABLE {
+                let marker = format!("lint: allow({name})");
+                if let Some(pos) = line.comment.find(&marker) {
+                    let reason = line.comment[pos + marker.len()..].trim();
+                    if reason.is_empty() {
+                        bad.push((idx, *name));
+                    } else {
+                        entries.push((*rule, target));
+                    }
+                }
+            }
+        }
+        AllowTable {
+            used: vec![false; entries.len()],
+            entries,
+            bad,
+        }
+    }
+
+    /// Consumes one matching entry; true when the finding is suppressed.
+    fn consume(&mut self, rule: Rule, line: usize) -> bool {
+        for (i, &(r, l)) in self.entries.iter().enumerate() {
+            if r == rule && l == line && !self.used[i] {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Non-consuming check, for findings derived from aggregated data
+    /// (nesting edges, catalog coverage) where one audit covers the line.
+    fn permits(&self, rule: Rule, line: usize) -> bool {
+        self.entries.iter().any(|&(r, l)| r == rule && l == line)
+    }
+}
+
+/// A raw finding before suppression: (0-based line, rule, message).
+type Raw = (usize, Rule, String);
+
+fn scan_panics(model: &FileModel, out: &mut Vec<Raw>) {
+    for c in &model.calls {
+        if model.in_test_cfg(c.token) {
             continue;
         }
-        scan_panics(&line.code, &mut |message| {
-            line_findings.push((Rule::Panic, message));
-        });
-        scan_indexing(&line.code, &mut |message| {
-            line_findings.push((Rule::Index, message));
-        });
-        apply_allows(path, idx, &stripped, line_findings, &mut findings);
-    }
-    findings
-}
-
-/// Suppression: each `lint: allow(<rule>) reason` comment on the line —
-/// or alone on the previous line — cancels exactly one finding of that
-/// rule on this line.
-fn apply_allows(
-    path: &Path,
-    idx: usize,
-    stripped: &Stripped,
-    line_findings: Vec<(Rule, String)>,
-    out: &mut Vec<Finding>,
-) {
-    let mut allows: Vec<Rule> = Vec::new();
-    let mut push_allow = |comment: &str, line_no: usize, out: &mut Vec<Finding>| {
-        for (rule_name, rule) in [
-            ("panic", Rule::Panic),
-            ("index", Rule::Index),
-            ("lock-in-loop", Rule::LockInLoop),
-            ("limits", Rule::Limits),
-            ("bounded", Rule::Bounded),
-        ] {
-            let marker = format!("lint: allow({rule_name})");
-            if let Some(pos) = comment.find(&marker) {
-                let reason = comment[pos + marker.len()..].trim();
-                if reason.is_empty() {
-                    out.push(Finding {
-                        file: path.to_path_buf(),
-                        line: line_no + 1,
-                        rule: Rule::BadAllow,
-                        message: format!(
-                            "escape hatch `lint: allow({rule_name})` requires a reason"
-                        ),
-                    });
-                } else {
-                    allows.push(rule);
-                }
-            }
-        }
-    };
-    // A standalone allow-comment line applies to the next line of code.
-    if idx > 0 {
-        let prev = &stripped.lines[idx - 1];
-        if prev.code.trim().is_empty() && !prev.comment.is_empty() {
-            push_allow(&prev.comment, idx - 1, out);
-        }
-    }
-    let own_comment = stripped.lines[idx].comment.clone();
-    if !own_comment.is_empty() {
-        push_allow(&own_comment, idx, out);
-    }
-
-    for (rule, message) in line_findings {
-        if let Some(pos) = allows.iter().position(|&r| r == rule) {
-            allows.remove(pos);
-            continue;
-        }
-        out.push(Finding {
-            file: path.to_path_buf(),
-            line: idx + 1,
-            rule,
-            message,
-        });
-    }
-}
-
-/// Zero-argument lock-acquisition methods of `std::sync::RwLock` /
-/// `Mutex`. The empty-parens requirement below keeps `io::Read::read`
-/// and `io::Write::write` (which take buffers) out of scope.
-const LOCK_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
-
-/// Cross-line scanner for the **lock-in-loop** rule.
-///
-/// Tracks brace depth and the depths at which `for` loop bodies open, and
-/// flags `.read()` / `.write()` / `.lock()` / `.try_*()` calls while at
-/// least one `for` body is open. Char order within a line gives the header
-/// exemption for free: in `for x in m.read().iter() {` the call precedes
-/// the `{`, so no body is open yet.
-#[derive(Debug, Default)]
-struct LoopLockScanner {
-    /// Current brace nesting depth.
-    depth: usize,
-    /// Depths at which a `for` body's `{` opened (innermost last).
-    for_bodies: Vec<usize>,
-    /// A `for … in` header was seen; the next `{` opens its body.
-    pending_for: bool,
-}
-
-impl LoopLockScanner {
-    fn scan_line(&mut self, code: &str, emit: &mut dyn FnMut(String)) {
-        let bytes = code.as_bytes();
-        let mut i = 0;
-        while i < bytes.len() {
-            let c = bytes[i] as char;
-            if c == '{' {
-                self.depth += 1;
-                if self.pending_for {
-                    self.for_bodies.push(self.depth);
-                    self.pending_for = false;
-                }
-                i += 1;
-                continue;
-            }
-            if c == '}' {
-                if self.for_bodies.last() == Some(&self.depth) {
-                    self.for_bodies.pop();
-                }
-                self.depth = self.depth.saturating_sub(1);
-                i += 1;
-                continue;
-            }
-            if !is_ident_char(c) {
-                i += 1;
-                continue;
-            }
-            let start = i;
-            while i < bytes.len() && is_ident_char(bytes[i] as char) {
-                i += 1;
-            }
-            let word = &code[start..i];
-            let before = code[..start].chars().next_back();
-            let boundary_before = before != Some('.') && before.is_none_or(|c| !is_ident_char(c));
-            // A loop header: the `for` keyword (not the HRTB `for<…>`)
-            // followed by the `in` keyword before any `{` on this line.
-            if word == "for"
-                && boundary_before
-                && !code[i..].trim_start().starts_with('<')
-                && has_in_keyword(&code[i..])
-            {
-                self.pending_for = true;
-                continue;
-            }
-            if before == Some('.')
-                && LOCK_METHODS.contains(&word)
-                && code[i..].trim_start().starts_with("()")
-                && !self.for_bodies.is_empty()
-            {
-                emit(format!(
-                    "`.{word}()` acquires a lock inside a `for` loop; \
-                     hoist the guard (or an `Arc` of the data) out of the loop"
+        let name = c.name.as_str();
+        if c.is_macro {
+            if PANIC_MACROS.contains(&name) {
+                out.push((
+                    c.line,
+                    Rule::Panic,
+                    format!("`{name}!` aborts on malformed input; return an error instead"),
+                ));
+            } else if ASSERT_MACROS.contains(&name) {
+                out.push((
+                    c.line,
+                    Rule::Panic,
+                    format!("`{name}!` aborts in release builds; return an error or use `debug_assert!`"),
                 ));
             }
-        }
-    }
-}
-
-/// True when the `in` keyword occurs in `rest` before any `{`.
-fn has_in_keyword(rest: &str) -> bool {
-    let bytes = rest.as_bytes();
-    let mut j = 0;
-    while j < bytes.len() {
-        let c = bytes[j] as char;
-        if c == '{' {
-            return false;
-        }
-        if !is_ident_char(c) {
-            j += 1;
-            continue;
-        }
-        let start = j;
-        while j < bytes.len() && is_ident_char(bytes[j] as char) {
-            j += 1;
-        }
-        if &rest[start..j] == "in" {
-            return true;
-        }
-    }
-    false
-}
-
-/// Finds panic-family method calls and macros in one stripped code line.
-fn scan_panics(code: &str, emit: &mut dyn FnMut(String)) {
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if !is_ident_char(c) {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        while i < bytes.len() && is_ident_char(bytes[i] as char) {
-            i += 1;
-        }
-        let word = &code[start..i];
-        let before = code[..start].chars().next_back();
-        let after_ws = code[i..].trim_start();
-        if before == Some('.') && PANIC_METHODS.contains(&word) && after_ws.starts_with('(') {
-            emit(format!(
-                "`.{word}()` can panic; return the crate error type instead"
+        } else if c.receiver.is_some() && PANIC_METHODS.contains(&name) {
+            out.push((
+                c.line,
+                Rule::Panic,
+                format!("`.{name}()` can panic; return the crate error type instead"),
             ));
-        }
-        if before != Some('.')
-            && before.is_none_or(|c| !is_ident_char(c))
-            && after_ws.starts_with('!')
-        {
-            if PANIC_MACROS.contains(&word) {
-                emit(format!(
-                    "`{word}!` aborts on malformed input; return an error instead"
-                ));
-            }
-            if ASSERT_MACROS.contains(&word) {
-                emit(format!(
-                    "`{word}!` aborts in release builds; return an error or use `debug_assert!`"
-                ));
-            }
         }
     }
 }
 
 /// Flags subscripts with `+`/`-` arithmetic: `v[i + 1]`, `s[..n - 1]`.
-fn scan_indexing(code: &str, emit: &mut dyn FnMut(String)) {
-    let chars: Vec<char> = code.chars().collect();
-    for (i, &c) in chars.iter().enumerate() {
-        if c != '[' {
+fn scan_indexing(model: &FileModel, out: &mut Vec<Raw>) {
+    let toks = &model.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 || model.in_test_cfg(i) {
             continue;
         }
         // Require an indexable expression before the bracket: identifier,
         // `)` or `]`. This skips array types/literals and attributes.
-        let before = chars[..i].iter().rev().find(|ch| !ch.is_whitespace());
-        let indexable = matches!(before, Some(&b) if is_ident_char(b) || b == ')' || b == ']');
+        let indexable = matches!(
+            &toks[i - 1].kind,
+            TokenKind::Ident(_) | TokenKind::Punct(')') | TokenKind::Punct(']')
+        );
         if !indexable {
             continue;
         }
-        // Walk to the matching close bracket.
-        let mut depth = 1;
+        let mut depth = 1usize;
         let mut j = i + 1;
         let mut has_arith = false;
-        while j < chars.len() && depth > 0 {
-            match chars[j] {
-                '[' | '(' => depth += 1,
-                ']' | ')' => depth -= 1,
-                '+' => has_arith = true,
-                '-' if chars.get(j + 1) != Some(&'>') => has_arith = true,
+        while j < toks.len() && depth > 0 {
+            match &toks[j].kind {
+                TokenKind::Punct('[' | '(') => depth += 1,
+                TokenKind::Punct(']' | ')') => depth -= 1,
+                TokenKind::Punct('+') => has_arith = true,
+                TokenKind::Punct('-') if !toks.get(j + 1).is_some_and(|n| n.is_punct('>')) => {
+                    has_arith = true
+                }
                 _ => {}
             }
             j += 1;
         }
         if has_arith && depth == 0 {
-            emit(
+            out.push((
+                t.line,
+                Rule::Index,
                 "arithmetic subscript can panic out of bounds; use `.get()`/checked math"
                     .to_string(),
-            );
+            ));
         }
     }
 }
 
-/// Lints one governed-crate source file for the **limits** rule: every
-/// `pub fn parse*` must mention the `Limits` type somewhere in its
-/// signature, or carry an audited `lint: allow(limits) <reason>` on its
-/// first line or the line above. (Reason-less allows are reported as
-/// `bad-allow` by [`lint_source`], which recognizes the same marker.)
-pub fn lint_limits(path: &Path, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
-    let lines = &stripped.lines;
-    let mut findings = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if line.in_test_cfg {
+fn scan_lock_in_loop(model: &FileModel, out: &mut Vec<Raw>) {
+    for c in &model.calls {
+        if c.is_macro || !c.args_empty || c.receiver.is_none() {
             continue;
         }
-        let Some(name) = parser_fn_name(&line.code) else {
+        if !LOCK_METHODS.contains(&c.name.as_str()) {
             continue;
-        };
-        // Accumulate the signature until the body opens or a `;` ends a
-        // bodiless (trait) declaration.
-        let mut signature = String::new();
-        for sig_line in &lines[idx..] {
-            signature.push_str(&sig_line.code);
-            signature.push(' ');
-            if sig_line.code.contains('{') || sig_line.code.trim_end().ends_with(';') {
+        }
+        if model.in_test_cfg(c.token) || !model.in_for_body(c.token) {
+            continue;
+        }
+        out.push((
+            c.line,
+            Rule::LockInLoop,
+            format!(
+                "`.{}()` acquires a lock inside a `for` loop; \
+                 hoist the guard (or an `Arc` of the data) out of the loop",
+                c.name
+            ),
+        ));
+    }
+}
+
+/// Flags `let _ = <call>…;` and statement-final `.ok();` discards.
+fn scan_swallowed(model: &FileModel, out: &mut Vec<Raw>) {
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let")
+            || !toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+            || model.in_test_cfg(i)
+        {
+            continue;
+        }
+        let end = model.statement_end(i);
+        if let Some(c) = model
+            .calls
+            .iter()
+            .find(|c| c.token > i + 2 && c.token < end)
+        {
+            let what = if c.is_macro {
+                format!("{}!", c.name)
+            } else {
+                format!("{}(…)", c.name)
+            };
+            out.push((
+                toks[i].line,
+                Rule::SwallowedError,
+                format!(
+                    "`let _ = …` discards the result of `{what}`; \
+                     handle the error or count it in a metric"
+                ),
+            ));
+        }
+    }
+    for c in &model.calls {
+        if c.is_macro || c.name != "ok" || !c.args_empty || c.receiver.is_none() {
+            continue;
+        }
+        if model.in_test_cfg(c.token) {
+            continue;
+        }
+        // Statement-final only: `x.do_thing().ok();`.
+        if !toks.get(c.token + 3).is_some_and(|t| t.is_punct(';')) {
+            continue;
+        }
+        // Walk back to the statement start; `let`/`return`/assignments
+        // use the Option value, so only bare statements are discards.
+        let mut s = c.token;
+        while s > 0 {
+            let p = &toks[s - 1];
+            if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
                 break;
             }
+            s -= 1;
         }
-        if signature.contains("Limits") || has_limits_allow(idx, lines) {
+        if toks[s].is_ident("let")
+            || toks[s].is_ident("return")
+            || toks[s..c.token].iter().any(|t| t.is_punct('='))
+        {
             continue;
         }
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line: idx + 1,
-            rule: Rule::Limits,
-            message: format!(
-                "public parser entry point `{name}` bypasses resource governance; \
-                 take a `&Limits` parameter or delegate to a `*_with_limits` \
-                 sibling under an audited `lint: allow(limits)`"
-            ),
-        });
-    }
-    findings
-}
-
-/// The identifier after `pub fn ` when it names a parser entry point.
-fn parser_fn_name(code: &str) -> Option<&str> {
-    let pos = code.find("pub fn ")?;
-    let rest = &code[pos + "pub fn ".len()..];
-    let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
-    let name = &rest[..end];
-    (name == "parse" || name.starts_with("parse_")).then_some(name)
-}
-
-/// True when line `idx` (or a standalone comment line above it) carries a
-/// `lint: allow(limits)` marker with a reason.
-fn has_limits_allow(idx: usize, lines: &[crate::scan::Line]) -> bool {
-    if allows_limits(&lines[idx].comment) {
-        return true;
-    }
-    idx > 0 && {
-        let prev = &lines[idx - 1];
-        prev.code.trim().is_empty() && allows_limits(&prev.comment)
+        out.push((
+            c.line,
+            Rule::SwallowedError,
+            "statement-final `.ok();` silently discards a `Result` error; \
+             handle the error or count it in a metric"
+                .to_string(),
+        ));
     }
 }
 
-fn allows_limits(comment: &str) -> bool {
-    const MARKER: &str = "lint: allow(limits)";
-    comment
-        .find(MARKER)
-        .is_some_and(|pos| !comment[pos + MARKER.len()..].trim().is_empty())
+/// The **limits** rule over the fn map: `pub fn parse*` signatures in
+/// governed crates must mention the `Limits` type.
+fn scan_limits(model: &FileModel, out: &mut Vec<Raw>) {
+    for f in &model.fns {
+        if !f.is_pub || model.in_test_cfg(f.sig_start) {
+            continue;
+        }
+        if f.name != "parse" && !f.name.starts_with("parse_") {
+            continue;
+        }
+        let end = match f.body {
+            Some(b) => model.blocks[b].open,
+            None => model.tokens[f.sig_start..]
+                .iter()
+                .position(|t| t.is_punct(';'))
+                .map(|p| f.sig_start + p)
+                .unwrap_or(model.tokens.len()),
+        };
+        let governed = model.tokens[f.sig_start..end]
+            .iter()
+            .any(|t| t.ident().is_some_and(|w| w.contains("Limits")));
+        if !governed {
+            out.push((
+                f.line,
+                Rule::Limits,
+                format!(
+                    "public parser entry point `{}` bypasses resource governance; \
+                     take a `&Limits` parameter or delegate to a `*_with_limits` \
+                     sibling under an audited `lint: allow(limits)`",
+                    f.name
+                ),
+            ));
+        }
+    }
 }
 
 /// Constructs that reintroduce unbounded queueing or unjoined threads
-/// into a load-shedding server, with the fix each message demands.
-const UNBOUNDED_PATTERNS: &[(&str, &str)] = &[
+/// into a load-shedding server: (call name, final path segment, message).
+const BOUNDED_CALLS: &[(&str, &str, &str)] = &[
     (
-        "thread::spawn(",
+        "spawn",
+        "thread",
         "detached `thread::spawn` has no join path; use `std::thread::scope` \
          so every worker is joined before the server returns",
     ),
     (
-        "mpsc::channel(",
+        "channel",
+        "mpsc",
         "`mpsc::channel` queues without bound under overload; use the \
          crate's `BoundedQueue`, which sheds instead of growing",
     ),
     (
-        "VecDeque::new(",
+        "new",
+        "VecDeque",
         "a `VecDeque` with no capacity policy can grow without bound; use \
          `VecDeque::with_capacity` behind an explicit capacity check",
     ),
 ];
 
-/// Lints a server-crate source file for the **bounded** rule (see the
-/// module docs): unbounded channels/queues and detached threads are the
-/// load-shedding server's forbidden bug classes.
-pub fn lint_bounded(path: &Path, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
-    let mut findings = Vec::new();
-    for (idx, line) in stripped.lines.iter().enumerate() {
-        if line.in_test_cfg {
+fn scan_bounded(model: &FileModel, out: &mut Vec<Raw>) {
+    for c in &model.calls {
+        if c.is_macro || c.receiver.is_some() || model.in_test_cfg(c.token) {
             continue;
         }
-        let mut line_findings = Vec::new();
-        for (pattern, message) in UNBOUNDED_PATTERNS {
-            for _ in line.code.match_indices(pattern) {
-                line_findings.push((Rule::Bounded, (*message).to_string()));
+        let Some(last) = c.path.last() else { continue };
+        for (name, seg, msg) in BOUNDED_CALLS {
+            if c.name == *name && last == seg {
+                out.push((c.line, Rule::Bounded, (*msg).to_string()));
             }
         }
-        apply_allows(path, idx, &stripped, line_findings, &mut findings);
     }
-    findings
+}
+
+/// Which rule families apply to a file, plus workspace bookkeeping.
+#[derive(Debug, Clone)]
+struct Classes {
+    library: bool,
+    limits: bool,
+    bounded: bool,
+    /// Qualifies lock classes in the workspace graph.
+    crate_name: String,
+    /// Emissions from this file count as catalog coverage but never
+    /// produce findings.
+    metrics_exempt: bool,
+}
+
+impl Classes {
+    fn for_path(rel: &str) -> Classes {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") {
+            parts.get(1).copied().unwrap_or("?")
+        } else {
+            parts.first().copied().unwrap_or("?")
+        };
+        Classes {
+            library: is_linted_library_path(rel),
+            limits: is_limits_governed_path(rel),
+            bounded: is_bounded_governed_path(rel),
+            crate_name: crate_name.to_owned(),
+            metrics_exempt: parts.first() != Some(&"crates") || EXEMPT_CRATES.contains(&crate_name),
+        }
+    }
+
+    fn governed(&self) -> bool {
+        self.library || self.limits || self.bounded
+    }
+}
+
+/// The full per-file result: suppressed findings plus the raw material
+/// the workspace-level rules aggregate.
+pub(crate) struct FileAnalysis {
+    pub findings: Vec<Finding>,
+    pub edges: Vec<locks::WsEdge>,
+    pub emissions: Vec<metrics::Emission>,
+    /// Reasoned allow entries as (rule, 0-based line), for
+    /// workspace-stage suppression.
+    pub allowed: Vec<(Rule, usize)>,
+}
+
+fn lint_file(rel: &Path, source: &str, classes: &Classes) -> FileAnalysis {
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let model = FileModel::build(source);
+    let mut table = AllowTable::parse(&model.stripped);
+    let mut raw: Vec<Raw> = Vec::new();
+    let mut edges = Vec::new();
+
+    if classes.library {
+        scan_panics(&model, &mut raw);
+        scan_indexing(&model, &mut raw);
+        scan_lock_in_loop(&model, &mut raw);
+        scan_swallowed(&model, &mut raw);
+        let (file_edges, issues) = locks::analyze(&model);
+        for i in issues {
+            raw.push((i.line, Rule::LockDiscipline, i.message));
+        }
+        for e in file_edges {
+            // An audited allow at either acquisition suppresses the edge.
+            if table.permits(Rule::LockDiscipline, e.line)
+                || table.permits(Rule::LockDiscipline, e.holder_line)
+            {
+                continue;
+            }
+            edges.push(locks::WsEdge {
+                holder: format!("{}:{}", classes.crate_name, e.holder),
+                acquired: format!("{}:{}", classes.crate_name, e.acquired),
+                file: rel_str.clone(),
+                line: e.line,
+            });
+        }
+    }
+    if classes.limits {
+        scan_limits(&model, &mut raw);
+    }
+    if classes.bounded {
+        scan_bounded(&model, &mut raw);
+    }
+
+    raw.sort_by(|a, b| (a.0, a.1.name()).cmp(&(b.0, b.1.name())));
+    let mut findings = Vec::new();
+    if classes.governed() {
+        for &(line, name) in &table.bad {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: line + 1,
+                rule: Rule::BadAllow,
+                message: format!("escape hatch `lint: allow({name})` requires a reason"),
+            });
+        }
+    }
+    for (line0, rule, message) in raw {
+        if table.consume(rule, line0) {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_path_buf(),
+            line: line0 + 1,
+            rule,
+            message,
+        });
+    }
+
+    // Metric emissions feed the workspace catalog check; `#[cfg(test)]`
+    // emissions are neither findings nor coverage.
+    let emissions = model
+        .metrics
+        .iter()
+        .filter(|u| {
+            !model
+                .stripped
+                .lines
+                .get(u.line)
+                .is_some_and(|l| l.in_test_cfg)
+        })
+        .map(|u| metrics::Emission {
+            file: rel_str.clone(),
+            exempt: classes.metrics_exempt,
+            used: u.clone(),
+        })
+        .collect();
+
+    FileAnalysis {
+        findings,
+        edges,
+        emissions,
+        allowed: table.entries,
+    }
+}
+
+/// Lints one library source file (panic, index, lock-in-loop,
+/// swallowed-error, and the per-file lock-discipline checks).
+pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
+    let classes = Classes {
+        library: true,
+        limits: false,
+        bounded: false,
+        crate_name: "test".to_owned(),
+        metrics_exempt: true,
+    };
+    lint_file(path, source, &classes).findings
+}
+
+/// Lints one governed-crate source file for the **limits** rule only.
+/// (Reason-less allows are reported as `bad-allow` by [`lint_source`] /
+/// the workspace walk, which recognize the same marker.)
+pub fn lint_limits(path: &Path, source: &str) -> Vec<Finding> {
+    let classes = Classes {
+        library: false,
+        limits: true,
+        bounded: false,
+        crate_name: "test".to_owned(),
+        metrics_exempt: true,
+    };
+    lint_file(path, source, &classes)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == Rule::Limits)
+        .collect()
+}
+
+/// Lints a server-crate source file for the **bounded** rule.
+pub fn lint_bounded(path: &Path, source: &str) -> Vec<Finding> {
+    let classes = Classes {
+        library: false,
+        limits: false,
+        bounded: true,
+        crate_name: "test".to_owned(),
+        metrics_exempt: true,
+    };
+    lint_file(path, source, &classes).findings
+}
+
+/// Lints a crate root for `#![forbid(unsafe_code)]`.
+pub fn lint_crate_root(path: &Path, source: &str) -> Vec<Finding> {
+    let model = FileModel::build(source);
+    let toks = &model.tokens;
+    let found = toks.windows(6).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+    });
+    if found {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: path.to_path_buf(),
+            line: 1,
+            rule: Rule::ForbidUnsafe,
+            message: "crate root must declare `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+/// Lints one crate's sources for `pub … *Error` types lacking a
+/// `std::error::Error` impl. `sources` is (path, text) for every library
+/// file of the crate.
+pub fn lint_error_impls(sources: &[(PathBuf, String)]) -> Vec<Finding> {
+    let mut declared: Vec<(PathBuf, usize, String)> = Vec::new();
+    let mut implemented: Vec<String> = Vec::new();
+    for (path, text) in sources {
+        let model = FileModel::build(text);
+        let toks = &model.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("pub")
+                && toks
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|w| w == "enum" || w == "struct")
+            {
+                if let Some(name) = toks.get(i + 2).and_then(|t| t.ident()) {
+                    if name.ends_with("Error") {
+                        declared.push((path.clone(), toks[i + 2].line + 1, name.to_owned()));
+                    }
+                }
+            }
+            // `impl … Error for <Name>` — covers `std::error::Error for X`
+            // and plain `Error for X`.
+            if t.ident().is_some_and(|w| w.ends_with("Error"))
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("for"))
+            {
+                if let Some(name) = toks.get(i + 2).and_then(|t| t.ident()) {
+                    implemented.push(name.to_owned());
+                }
+            }
+        }
+    }
+    declared
+        .into_iter()
+        .filter(|(_, _, name)| !implemented.iter().any(|i| i == name))
+        .map(|(file, line, name)| Finding {
+            file,
+            line,
+            rule: Rule::ErrorImpl,
+            message: format!("public error type `{name}` must implement `std::error::Error`"),
+        })
+        .collect()
 }
 
 /// True when `rel` (workspace-relative, forward slashes) is library code
@@ -530,68 +771,8 @@ pub fn is_limits_governed_path(rel: &str) -> bool {
         && parts.get(3) != Some(&"bin")
 }
 
-/// Lints a crate root for `#![forbid(unsafe_code)]`.
-pub fn lint_crate_root(path: &Path, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
-    let found = stripped.lines.iter().any(|l| {
-        let compact: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
-        compact.contains("#![forbid(unsafe_code)]")
-    });
-    if found {
-        Vec::new()
-    } else {
-        vec![Finding {
-            file: path.to_path_buf(),
-            line: 1,
-            rule: Rule::ForbidUnsafe,
-            message: "crate root must declare `#![forbid(unsafe_code)]`".to_string(),
-        }]
-    }
-}
-
-/// Lints one crate's sources for `pub … *Error` types lacking a
-/// `std::error::Error` impl. `sources` is (path, text) for every library
-/// file of the crate.
-pub fn lint_error_impls(sources: &[(PathBuf, String)]) -> Vec<Finding> {
-    let mut declared: Vec<(PathBuf, usize, String)> = Vec::new();
-    let mut implemented: Vec<String> = Vec::new();
-    for (path, text) in sources {
-        let stripped = strip(text);
-        for (idx, line) in stripped.lines.iter().enumerate() {
-            let code = line.code.trim();
-            for intro in ["pub enum ", "pub struct "] {
-                if let Some(rest) = code.strip_prefix(intro) {
-                    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-                    if name.ends_with("Error") {
-                        declared.push((path.clone(), idx + 1, name));
-                    }
-                }
-            }
-            // `impl … Error for <Name>` — covers `std::error::Error for X`
-            // and plain `Error for X`.
-            if let Some(pos) = line.code.find("Error for ") {
-                let rest = &line.code[pos + "Error for ".len()..];
-                let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-                if !name.is_empty() {
-                    implemented.push(name);
-                }
-            }
-        }
-    }
-    declared
-        .into_iter()
-        .filter(|(_, _, name)| !implemented.iter().any(|i| i == name))
-        .map(|(file, line, name)| Finding {
-            file,
-            line,
-            rule: Rule::ErrorImpl,
-            message: format!("public error type `{name}` must implement `std::error::Error`"),
-        })
-        .collect()
-}
-
 /// True when `rel` (workspace-relative, forward slashes) is library code
-/// subject to the panic/index rules.
+/// subject to the per-file library rules.
 pub fn is_linted_library_path(rel: &str) -> bool {
     let parts: Vec<&str> = rel.split('/').collect();
     if parts.first() == Some(&"crates") {
@@ -606,9 +787,23 @@ pub fn is_linted_library_path(rel: &str) -> bool {
     }
 }
 
-/// Walks the workspace and runs every rule. `root` is the workspace root.
+/// Per-member aggregation for the workspace-level rules.
+pub(crate) struct MemberAnalysis {
+    pub findings: Vec<Finding>,
+    pub edges: Vec<locks::WsEdge>,
+    pub emissions: Vec<metrics::Emission>,
+    /// (file, rule, 0-based line) of every reasoned allow entry.
+    pub allowed: Vec<(String, Rule, usize)>,
+}
+
+/// Walks the workspace and runs every rule — per-file, per-crate, and
+/// workspace-wide (lock-order inversions, metrics catalog). `root` is
+/// the workspace root.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut edges: Vec<locks::WsEdge> = Vec::new();
+    let mut emissions: Vec<metrics::Emission> = Vec::new();
+    let mut allowed: Vec<(String, Rule, usize)> = Vec::new();
 
     let mut member_dirs: Vec<PathBuf> = Vec::new();
     for entry in std::fs::read_dir(root.join("crates"))? {
@@ -622,19 +817,81 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     member_dirs.sort();
 
     for dir in member_dirs {
-        findings.extend(lint_member(root, &dir)?);
+        let member = lint_member_full(root, &dir)?;
+        findings.extend(member.findings);
+        edges.extend(member.edges);
+        emissions.extend(member.emissions);
+        allowed.extend(member.allowed);
     }
+
+    // Workspace rule: lock-order inversions across the aggregate graph.
+    for (ab, ba) in locks::lock_inversions(&edges) {
+        findings.push(Finding {
+            file: PathBuf::from(&ab.file),
+            line: ab.line + 1,
+            rule: Rule::LockDiscipline,
+            message: format!(
+                "lock-order inversion: `{}` acquired while holding `{}` here, \
+                 but `{}` is acquired while holding `{}` at {}:{}",
+                ab.acquired,
+                ab.holder,
+                ba.acquired,
+                ba.holder,
+                ba.file,
+                ba.line + 1,
+            ),
+        });
+    }
+
+    // Workspace rule: metrics-catalog drift.
+    let catalog_path = root.join(CATALOG_PATH);
+    if catalog_path.is_file() {
+        let text = std::fs::read_to_string(&catalog_path)?;
+        let catalog = metrics::parse_catalog(&text);
+        for issue in metrics::check(&catalog, CATALOG_PATH, &emissions) {
+            let suppressed = allowed.iter().any(|(file, rule, line)| {
+                *rule == Rule::MetricsCatalog && *file == issue.file && *line == issue.line
+            });
+            if !suppressed {
+                findings.push(Finding {
+                    file: PathBuf::from(&issue.file),
+                    line: issue.line + 1,
+                    rule: Rule::MetricsCatalog,
+                    message: issue.message,
+                });
+            }
+        }
+    } else if emissions.iter().any(|e| !e.exempt) {
+        findings.push(Finding {
+            file: PathBuf::from(CATALOG_PATH),
+            line: 1,
+            rule: Rule::MetricsCatalog,
+            message: "metrics are emitted but the workspace declares no catalog module".to_string(),
+        });
+    }
+
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
 
 /// Lints a single workspace member directory (must contain `src/`).
+/// Per-file and per-crate rules only; the workspace-wide rules
+/// (inversions, catalog) need [`lint_workspace`].
 pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_member_full(root, dir)?.findings)
+}
+
+pub(crate) fn lint_member_full(root: &Path, dir: &Path) -> std::io::Result<MemberAnalysis> {
+    let mut analysis = MemberAnalysis {
+        findings: Vec::new(),
+        edges: Vec::new(),
+        emissions: Vec::new(),
+        allowed: Vec::new(),
+    };
     let src = dir.join("src");
     if !src.is_dir() {
-        return Ok(Vec::new());
+        return Ok(analysis);
     }
-    let mut findings = Vec::new();
 
     // Crate root attribute rule — lib.rs, else main.rs.
     let crate_root = ["lib.rs", "main.rs"]
@@ -643,7 +900,9 @@ pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
         .find(|p| p.is_file());
     if let Some(ref root_file) = crate_root {
         let text = std::fs::read_to_string(root_file)?;
-        findings.extend(lint_crate_root(&relative(root, root_file), &text));
+        analysis
+            .findings
+            .extend(lint_crate_root(&relative(root, root_file), &text));
     }
 
     // Library sources.
@@ -657,15 +916,16 @@ pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
 
     for (rel, text) in &sources {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        if is_linted_library_path(&rel_str) {
-            findings.extend(lint_source(rel, text));
-        }
-        if is_limits_governed_path(&rel_str) {
-            findings.extend(lint_limits(rel, text));
-        }
-        if is_bounded_governed_path(&rel_str) {
-            findings.extend(lint_bounded(rel, text));
-        }
+        let classes = Classes::for_path(&rel_str);
+        let file = lint_file(rel, text, &classes);
+        analysis.findings.extend(file.findings);
+        analysis.edges.extend(file.edges);
+        analysis.emissions.extend(file.emissions);
+        analysis.allowed.extend(
+            file.allowed
+                .into_iter()
+                .map(|(r, l)| (rel_str.clone(), r, l)),
+        );
     }
 
     // Error-impl rule sees the whole crate at once (impl may live in a
@@ -677,8 +937,8 @@ pub fn lint_member(root: &Path, dir: &Path) -> std::io::Result<Vec<Finding>> {
             !s.contains("/src/bin/")
         })
         .collect();
-    findings.extend(lint_error_impls(&lib_sources));
-    Ok(findings)
+    analysis.findings.extend(lint_error_impls(&lib_sources));
+    Ok(analysis)
 }
 
 fn relative(root: &Path, path: &Path) -> PathBuf {
@@ -797,6 +1057,13 @@ mod tests {
     }
 
     #[test]
+    fn index_rule_sees_multiline_subscripts() {
+        let f = lint_str("let a = v[\n    i + 1\n];\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Index);
+    }
+
+    #[test]
     fn index_rule_skips_array_types_and_attributes() {
         let f = lint_str("#[derive(Debug)]\nstruct S { buf: [u8; N + 1] }\nlet x = [0; n + 1];");
         assert!(f.is_empty(), "{f:?}");
@@ -876,14 +1143,14 @@ mod tests {
     #[test]
     fn lock_outside_loops_is_allowed() {
         let f = lint_str(
-            "fn f() { let g = m.read(); for x in xs { use_it(x); }\n let h = m.write(); }\n",
+            "fn f() { let g = m.read(); for x in xs { use_it(x); }\n let h = n.write(); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn io_style_calls_with_arguments_are_not_locks() {
-        let f = lint_str("for x in xs {\n file.write(buf);\n src.read(buf);\n}\n");
+        let f = lint_str("fn g() {\nfor x in xs {\n file.write(buf);\n src.read(buf);\n}\n}\n");
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -914,6 +1181,69 @@ mod tests {
     fn lock_in_test_cfg_loop_is_exempt() {
         let f = lint_str("#[cfg(test)]\nmod tests {\n fn t() { for x in xs { m.read(); } }\n}\n");
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn same_class_reacquire_is_lock_discipline() {
+        let f = lint_str("fn f() {\n let g = m.read();\n let h = m.write();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockDiscipline);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn guard_across_blocking_is_lock_discipline() {
+        let f =
+            lint_str("fn f(s: &mut TcpStream) {\n let g = state.lock();\n s.write_all(buf);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockDiscipline);
+    }
+
+    #[test]
+    fn lock_discipline_allow_hatch_works() {
+        let f = lint_str(
+            "fn f(s: &mut TcpStream) {\n let g = state.lock();\n // lint: allow(lock-discipline) single-threaded startup path\n s.write_all(buf);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn swallowed_let_discard_of_call_is_flagged() {
+        let f = lint_str("fn f() {\n let _ = write_response(stream, 200);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::SwallowedError);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn swallowed_ignores_plain_ident_and_tuple_discards() {
+        let f = lint_str("fn f() {\n let _ = prep;\n let _ = (ns, local);\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn swallowed_statement_final_ok_is_flagged() {
+        let f = lint_str("fn f() {\n sender.try_send(x).ok();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::SwallowedError);
+    }
+
+    #[test]
+    fn swallowed_skips_used_ok_values() {
+        let f = lint_str(
+            "fn f() -> Option<u32> {\n let v = parse(s).ok();\n if v.is_none() { return parse(t).ok(); }\n v\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn swallowed_allow_hatch_and_test_cfg() {
+        let allowed = lint_str(
+            "fn f() {\n // lint: allow(swallowed-error) best-effort telemetry write\n let _ = emit(x);\n}\n",
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+        let test_cfg = lint_str("#[cfg(test)]\nmod tests {\n fn t() { tx.send(1).ok(); }\n}\n");
+        assert!(test_cfg.is_empty(), "{test_cfg:?}");
     }
 
     fn lint_limits_str(src: &str) -> Vec<Finding> {
@@ -1038,5 +1368,13 @@ mod tests {
         assert!(!is_linted_library_path("crates/core/src/bin/server.rs"));
         assert!(!is_linted_library_path("examples/quickstart.rs"));
         assert!(!is_linted_library_path("tests/tests/end_to_end.rs"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
     }
 }

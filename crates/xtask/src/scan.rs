@@ -19,10 +19,31 @@ pub struct Line {
     pub in_test_cfg: bool,
 }
 
+/// One string literal, preserved verbatim for rules that must read literal
+/// *contents* (the metrics-catalog rule matches metric-name strings). The
+/// stripped code keeps only the delimiter quotes; positions here let the
+/// lexer re-attach the text.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 0-based line of the opening quote.
+    pub line: usize,
+    /// Char column of the opening quote within the stripped code line.
+    pub col: usize,
+    /// 0-based line of the closing quote.
+    pub end_line: usize,
+    /// Char column just past the closing quote (past raw-string hashes).
+    pub end_col: usize,
+    /// Raw contents between the quotes (escape sequences unprocessed;
+    /// multi-line literals joined with `\n`).
+    pub text: String,
+}
+
 /// A whole file after stripping, 0-indexed by line.
 #[derive(Debug)]
 pub struct Stripped {
     pub lines: Vec<Line>,
+    /// Every string literal, in source order.
+    pub literals: Vec<StrLit>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +65,9 @@ enum State {
 pub fn strip(source: &str) -> Stripped {
     let mut lines = Vec::new();
     let mut state = State::Code;
+    let mut literals: Vec<StrLit> = Vec::new();
+    // The string literal currently being accumulated: (line, col, text).
+    let mut cur_lit: Option<(usize, usize, String)> = None;
 
     // cfg(test) tracking: once the attribute is seen, the *next* item —
     // delimited by the `{ … }` it opens, or terminated by a `;` — is
@@ -95,6 +119,7 @@ pub fn strip(source: &str) -> Stripped {
                         } else {
                             state = State::Str;
                         }
+                        cur_lit = Some((lines.len(), code.chars().count(), String::new()));
                         code.push('"');
                         i += 1;
                         continue;
@@ -183,13 +208,31 @@ pub fn strip(source: &str) -> Stripped {
                 }
                 State::Str => {
                     if c == '\\' {
+                        if let Some((_, _, text)) = cur_lit.as_mut() {
+                            text.push(c);
+                            if let Some(&next) = chars.get(i + 1) {
+                                text.push(next);
+                            }
+                        }
                         code.push_str("  ");
                         i += 2;
                     } else if c == '"' {
                         state = State::Code;
                         code.push('"');
                         i += 1;
+                        if let Some((line, col, text)) = cur_lit.take() {
+                            literals.push(StrLit {
+                                line,
+                                col,
+                                end_line: lines.len(),
+                                end_col: code.chars().count(),
+                                text,
+                            });
+                        }
                     } else {
+                        if let Some((_, _, text)) = cur_lit.as_mut() {
+                            text.push(c);
+                        }
                         code.push(' ');
                         i += 1;
                     }
@@ -204,8 +247,20 @@ pub fn strip(source: &str) -> Stripped {
                             code.push('"');
                             code.push_str(&"#".repeat(hashes as usize));
                             i += 1 + hashes as usize;
+                            if let Some((line, col, text)) = cur_lit.take() {
+                                literals.push(StrLit {
+                                    line,
+                                    col,
+                                    end_line: lines.len(),
+                                    end_col: code.chars().count(),
+                                    text,
+                                });
+                            }
                             continue;
                         }
+                    }
+                    if let Some((_, _, text)) = cur_lit.as_mut() {
+                        text.push(c);
                     }
                     code.push(' ');
                     i += 1;
@@ -215,6 +270,11 @@ pub fn strip(source: &str) -> Stripped {
         }
         if state == State::LineComment {
             state = State::Code;
+        }
+        if matches!(state, State::Str | State::RawStr { .. }) {
+            if let Some((_, _, text)) = cur_lit.as_mut() {
+                text.push('\n');
+            }
         }
 
         // Arm cfg(test) tracking off the stripped code so strings/comments
@@ -236,7 +296,7 @@ pub fn strip(source: &str) -> Stripped {
         });
     }
 
-    Stripped { lines }
+    Stripped { lines, literals }
 }
 
 pub fn is_ident_char(c: char) -> bool {
@@ -314,6 +374,33 @@ mod tests {
         let s = strip(src);
         assert!(s.lines[1].in_test_cfg);
         assert!(!s.lines[2].in_test_cfg, "cfg must not leak past the `;`");
+    }
+
+    #[test]
+    fn literal_contents_are_preserved_for_the_lexer() {
+        let s = strip("let n = m.counter(\"core.cache.hits\");");
+        assert_eq!(s.literals.len(), 1);
+        let lit = &s.literals[0];
+        assert_eq!(lit.text, "core.cache.hits");
+        let code: Vec<char> = s.lines[lit.line].code.chars().collect();
+        assert_eq!(code[lit.col], '"');
+        assert_eq!(code[lit.end_col - 1], '"');
+    }
+
+    #[test]
+    fn multiline_and_raw_literals_record_spans() {
+        let s = strip("let a = \"one\ntwo\";\nlet b = r#\"raw \"x\" lit\"#;");
+        assert_eq!(s.literals.len(), 2);
+        assert_eq!(s.literals[0].text, "one\ntwo");
+        assert_eq!(s.literals[0].line, 0);
+        assert_eq!(s.literals[0].end_line, 1);
+        assert_eq!(s.literals[1].text, "raw \"x\" lit");
+    }
+
+    #[test]
+    fn escapes_are_kept_verbatim_in_literal_text() {
+        let s = strip("let a = \"tab\\there\";");
+        assert_eq!(s.literals[0].text, "tab\\there");
     }
 
     #[test]

@@ -30,3 +30,37 @@ pub fn hatch_without_reason(v: &[u32]) -> u32 {
 pub fn two_panics_one_allow(v: &[u32]) -> u32 {
     v.first().copied().unwrap() + v.last().copied().unwrap() // lint: allow(panic) covers only one
 }
+
+fn fallible(v: &[u32]) -> Result<u32, DemoError> {
+    v.first().copied().ok_or(DemoError)
+}
+
+/// swallowed-error violation: `let _ =` discards a fallible call.
+pub fn discard(v: &[u32]) -> u32 {
+    let _ = fallible(v);
+    0
+}
+
+/// swallowed-error with a reason-less escape hatch: the bad-allow is a
+/// finding and the discard still surfaces.
+pub fn discard_with_bad_allow(v: &[u32]) {
+    let _ = fallible(v); // lint: allow(swallowed-error)
+}
+
+/// swallowed-error, correctly audited: suppressed.
+pub fn discard_audited(v: &[u32]) {
+    fallible(v).ok(); // lint: allow(swallowed-error) fixture: best-effort by design
+}
+
+/// metrics-catalog seeds (checked at the workspace stage against the
+/// fixture catalog in `crates/obs`): a typo'd name, a kind mismatch, an
+/// audited off-catalog name, a reason-less allow, and covering
+/// emissions for the declared names.
+pub fn observe(m: &sst_obs::Metrics) {
+    m.counter("fixture.accepted").inc();
+    m.counter("fixture.acepted").inc();
+    m.histogram("fixture.count");
+    m.counter("fixture.req.shed").inc();
+    m.counter("fixture.unlisted").inc(); // lint: allow(metrics-catalog) fixture: private scratch metric
+    m.counter("fixture.also_unlisted").inc(); // lint: allow(metrics-catalog)
+}

@@ -1,0 +1,17 @@
+//! Inversion seed, side A: alpha before beta, gamma before delta. Each
+//! nesting is an edge in the workspace lock graph, not a finding by
+//! itself. Test data only — never compiled.
+
+use crate::State;
+
+pub fn alpha_then_beta(s: &State) -> u32 {
+    let g = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let h = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+    *g + *h
+}
+
+pub fn gamma_then_delta(s: &State) -> u32 {
+    let g = s.gamma.lock().unwrap_or_else(|e| e.into_inner());
+    let h = s.delta.lock().unwrap_or_else(|e| e.into_inner());
+    *g + *h
+}

@@ -1,0 +1,19 @@
+//! Inversion seed, side B: beta before alpha — the opposite order to
+//! `a.rs`, which the workspace stage must report as a lock-order
+//! inversion. The delta→gamma edge is audited on its holder line and
+//! must not report. Test data only — never compiled.
+
+use crate::State;
+
+pub fn beta_then_alpha(s: &State) -> u32 {
+    let h = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let g = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    *g + *h
+}
+
+pub fn delta_then_gamma(s: &State) -> u32 {
+    // lint: allow(lock-discipline) fixture: startup path, delta→gamma order documented
+    let h = s.delta.lock().unwrap_or_else(|e| e.into_inner());
+    let g = s.gamma.lock().unwrap_or_else(|e| e.into_inner());
+    *g + *h
+}

@@ -1,0 +1,46 @@
+//! Lint fixture: lock-discipline seedbed. This file seeds the per-file
+//! checks (same-class re-acquisition, guard held across a blocking op,
+//! an audited suppression, a reason-less allow); `a.rs`/`b.rs` acquire
+//! the alpha/beta pair in opposite orders (a lock-order inversion the
+//! workspace stage must catch) and the gamma/delta pair in opposite
+//! orders with an audited allow (which must silence it). Test data only
+//! — never compiled.
+
+#![forbid(unsafe_code)]
+
+pub mod a;
+pub mod b;
+
+pub struct State {
+    pub alpha: std::sync::Mutex<u32>,
+    pub beta: std::sync::Mutex<u32>,
+    pub gamma: std::sync::Mutex<u32>,
+    pub delta: std::sync::Mutex<u32>,
+}
+
+/// lock-discipline violation: same class re-acquired while its guard is
+/// live — self-deadlock.
+pub fn reacquire(s: &State) -> u32 {
+    let g = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let h = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    *g + *h
+}
+
+/// lock-discipline violation: guard held across a blocking send.
+pub fn send_locked(s: &State, tx: &std::sync::mpsc::SyncSender<u32>) {
+    let g = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let _sent = tx.send(*g);
+}
+
+/// lock-discipline, correctly audited: suppressed.
+pub fn send_locked_audited(s: &State, tx: &std::sync::mpsc::SyncSender<u32>) {
+    let g = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let _sent = tx.send(*g); // lint: allow(lock-discipline) fixture: bounded channel, never full
+}
+
+/// lock-discipline with a reason-less escape hatch: the bad-allow is a
+/// finding and the violation still surfaces.
+pub fn send_locked_bad_allow(s: &State, tx: &std::sync::mpsc::SyncSender<u32>) {
+    let g = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let _sent = tx.send(*g); // lint: allow(lock-discipline)
+}

@@ -1,0 +1,43 @@
+//! Lint fixture catalog: declares the names the demo fixture emits,
+//! plus a never-emitted orphan and a deliberate collision pair. Test
+//! data only — never compiled.
+
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+pub struct MetricDecl {
+    pub name: &'static str,
+    pub kind: MetricKind,
+    pub help: &'static str,
+}
+
+pub const CATALOG: &[MetricDecl] = &[
+    MetricDecl {
+        name: "fixture.accepted",
+        kind: MetricKind::Counter,
+        help: "emitted correctly",
+    },
+    MetricDecl {
+        name: "fixture.count",
+        kind: MetricKind::Counter,
+        help: "emitted with the wrong kind",
+    },
+    MetricDecl {
+        name: "fixture.orphan",
+        kind: MetricKind::Gauge,
+        help: "declared but never emitted",
+    },
+    MetricDecl {
+        name: "fixture.req.*",
+        kind: MetricKind::Counter,
+        help: "wildcard",
+    },
+    MetricDecl {
+        name: "fixture.req.shed",
+        kind: MetricKind::Counter,
+        help: "collides with the wildcard",
+    },
+];

@@ -1,0 +1,6 @@
+//! Lint fixture: the catalog host crate, mirroring the real
+//! `crates/obs`. Test data only — never compiled.
+
+#![forbid(unsafe_code)]
+
+pub mod catalog;

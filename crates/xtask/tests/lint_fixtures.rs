@@ -1,10 +1,12 @@
 //! Fixture-driven tests for the static-analysis gate.
 //!
 //! The fixture tree under `tests/fixtures/ws/` mimics a tiny workspace:
-//! `crates/demo` seeds exactly one violation per rule, `crates/clean`
-//! satisfies every rule (including a justified escape hatch). The tests
-//! drive the library API directly and the installed `xtask` binary for
-//! the exit-code contract.
+//! `crates/demo` seeds per-file violations (plus metric emissions),
+//! `crates/locks` seeds the lock-discipline bug classes including a
+//! cross-file lock-order inversion, `crates/obs` hosts the fixture
+//! metrics catalog, and `crates/clean` satisfies every rule (including
+//! a justified escape hatch). The tests drive the library API directly
+//! and the installed `xtask` binary for the exit-code contract.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -30,11 +32,122 @@ fn seeded_fixture_triggers_every_rule() {
     assert_eq!(count(&findings, Rule::ForbidUnsafe), 1, "{findings:#?}");
     assert_eq!(count(&findings, Rule::Index), 1, "{findings:#?}");
     assert_eq!(count(&findings, Rule::ErrorImpl), 1, "{findings:#?}");
-    assert_eq!(count(&findings, Rule::BadAllow), 1, "{findings:#?}");
+    // Three reason-less escape hatches: panic, swallowed-error,
+    // metrics-catalog.
+    assert_eq!(count(&findings, Rule::BadAllow), 3, "{findings:#?}");
     // Three surviving panic findings: the plain unwrap, the one whose
     // allow lacks a reason, and the second unwrap on the
     // two-panics-one-allow line.
     assert_eq!(count(&findings, Rule::Panic), 3, "{findings:#?}");
+    // Two surviving discards: the plain `let _ =` and the one whose
+    // allow lacks a reason; the audited `.ok();` is suppressed.
+    assert_eq!(count(&findings, Rule::SwallowedError), 2, "{findings:#?}");
+}
+
+#[test]
+fn locks_fixture_triggers_lock_discipline() {
+    let findings = lint_fixture_member("locks");
+    // Self-deadlock, held-across-blocking, and the reason-less-allow
+    // survivor; the audited send is suppressed. The a.rs/b.rs nestings
+    // are edges, not member findings.
+    assert_eq!(count(&findings, Rule::LockDiscipline), 3, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::BadAllow), 1, "{findings:#?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("self-deadlock")),
+        "{findings:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("held across blocking `.send(…)`")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn fixture_workspace_reports_inversion_and_catalog_drift() {
+    let findings = rules::lint_workspace(&fixture_ws()).expect("fixture tree readable");
+
+    // Exactly one lock-order inversion: alpha/beta taken in opposite
+    // orders by a.rs and b.rs. The gamma/delta pair is audited away.
+    let inversions: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.message.contains("lock-order inversion"))
+        .collect();
+    assert_eq!(inversions.len(), 1, "{inversions:#?}");
+    assert!(
+        inversions[0].message.contains("alpha") && inversions[0].message.contains("beta"),
+        "{}",
+        inversions[0].message
+    );
+    assert!(
+        inversions[0].message.contains("b.rs:"),
+        "inversion must cite the opposite site: {}",
+        inversions[0].message
+    );
+    assert!(
+        !findings.iter().any(|f| f.message.contains("gamma")),
+        "audited gamma/delta inversion must be suppressed: {findings:#?}"
+    );
+
+    // Catalog drift: typo'd name (with suggestion), reason-less-allow
+    // survivor, kind mismatch, never-emitted orphan, collision pair.
+    assert_eq!(count(&findings, Rule::MetricsCatalog), 5, "{findings:#?}");
+    let catalog: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::MetricsCatalog)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        catalog
+            .iter()
+            .any(|m| m.contains("fixture.acepted") && m.contains("did you mean `fixture.accepted`")),
+        "{catalog:#?}"
+    );
+    assert!(
+        catalog
+            .iter()
+            .any(|m| m.contains("fixture.count") && m.contains("emitted as histogram")),
+        "{catalog:#?}"
+    );
+    assert!(
+        catalog
+            .iter()
+            .any(|m| m.contains("fixture.orphan") && m.contains("never emitted")),
+        "{catalog:#?}"
+    );
+    assert!(
+        catalog.iter().any(|m| m.contains("collision")),
+        "{catalog:#?}"
+    );
+    assert!(
+        catalog.iter().any(|m| m.contains("fixture.also_unlisted")),
+        "{catalog:#?}"
+    );
+    // The audited off-catalog emission is suppressed.
+    assert!(
+        !catalog.iter().any(|m| m.contains("`fixture.unlisted`")),
+        "{catalog:#?}"
+    );
+}
+
+#[test]
+fn fixture_workspace_findings_round_trip_to_json() {
+    let findings = rules::lint_workspace(&fixture_ws()).expect("fixture tree readable");
+    let json = xtask::report::to_json(&findings);
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(
+        json.contains(&format!("\"total\": {}", findings.len())),
+        "{json}"
+    );
+    for rule in ["lock-discipline", "swallowed-error", "metrics-catalog"] {
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "missing {rule} in {json}"
+        );
+    }
+    // Forward-slash paths regardless of host separator.
+    assert!(json.contains("crates/locks/src/b.rs"), "{json}");
 }
 
 #[test]
@@ -83,6 +196,21 @@ fn real_workspace_is_lint_clean() {
     let root = xtask::workspace_root();
     let findings = rules::lint_workspace(&root).expect("workspace readable");
     assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn real_workspace_lint_stays_fast() {
+    // The gate runs on every `cargo xtask ci`; the whole-workspace walk
+    // (token model, lock graph, catalog check) must stay under the
+    // 2-second budget documented in README.md.
+    let root = xtask::workspace_root();
+    let start = std::time::Instant::now();
+    rules::lint_workspace(&root).expect("workspace readable");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "workspace lint took {elapsed:?}"
+    );
 }
 
 #[test]
