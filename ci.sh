@@ -5,9 +5,12 @@
 # smoke gate (prepared-context matrices must stay bit-identical to the
 # naive path on every measure), the fault-injection smoke gate (no
 # corrupted or hostile input may panic, overflow the stack, or blow past
-# the resource limits in any parser), and the server smoke gate (the
+# the resource limits in any parser), the server smoke gate (the
 # query service answers every concurrent request 200/429, sheds instead
-# of queueing unboundedly, and drains cleanly on shutdown).
+# of queueing unboundedly, and drains cleanly on shutdown), and the ANN
+# smoke gate (exact vector-store rankings bit-identical to the naive
+# scan, approximate recall@10 at least 0.95; writes
+# results/BENCH_ann.json).
 set -eu
 cd "$(dirname "$0")"
 # Archive the machine-readable findings document first (written even
@@ -19,3 +22,4 @@ cargo xtask ci
 cargo run --release -p sst-bench --bin matrix_bench -- --smoke
 cargo run --release -p sst-bench --bin fault_smoke -- --smoke
 cargo run --release -p sst-bench --bin server_smoke -- --smoke
+cargo run --release -p sst-bench --bin ann_bench -- --smoke

@@ -46,6 +46,7 @@ pub mod heatmap;
 mod lru;
 pub mod runner;
 pub mod tree;
+pub mod vector;
 
 pub use alignment::{align, AlignmentConfig, Correspondence};
 pub use cache::CachedSimilarity;
@@ -66,3 +67,6 @@ pub use runner::{
 };
 pub use sst_obs::{Metrics, MetricsSnapshot};
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};
+pub use vector::{
+    embed_tfidf, DenseVectorFile, VectorFormatError, VectorStore, EMBED_DIM, FORMAT_MAGIC,
+};

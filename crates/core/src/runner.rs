@@ -12,14 +12,15 @@ use std::sync::Arc;
 
 use sst_index::{cosine_sparse, DocId, InvertedIndex, TermId};
 use sst_simpack::{
-    edge_similarity, edge_similarity_from, jaro, jaro_chars, jaro_winkler, jaro_winkler_chars,
-    jiang_conrath_similarity, jiang_conrath_similarity_from, levenshtein_similarity,
-    levenshtein_similarity_chars, lin_similarity, lin_similarity_from, monge_elkan,
-    needleman_wunsch_similarity, qgram, qgram_from, resnik_similarity, resnik_similarity_from,
-    sequence_similarity, shortest_path_similarity, shortest_path_similarity_from,
-    smith_waterman_similarity, tree_similarity, tree_similarity_zs, wu_palmer_similarity_rooted,
-    wu_palmer_similarity_rooted_from, AlignmentScoring, CostModel, DepthTable, FeatureSet,
-    InformationContent, LabeledTree, MeasureKind, NodeId, QGramProfile, SourceTables, ZsTree,
+    dense_unit_similarity, edge_similarity, edge_similarity_from, jaro, jaro_chars, jaro_winkler,
+    jaro_winkler_chars, jiang_conrath_similarity, jiang_conrath_similarity_from,
+    levenshtein_similarity, levenshtein_similarity_chars, lin_similarity, lin_similarity_from,
+    monge_elkan, needleman_wunsch_similarity, qgram, qgram_from, resnik_similarity,
+    resnik_similarity_from, sequence_similarity, shortest_path_similarity,
+    shortest_path_similarity_from, smith_waterman_similarity, tree_similarity, tree_similarity_zs,
+    wu_palmer_similarity_rooted, wu_palmer_similarity_rooted_from, AlignmentScoring, CostModel,
+    DepthTable, FeatureSet, InformationContent, LabeledTree, MeasureKind, NodeId, QGramProfile,
+    SourceTables, ZsTree,
 };
 use sst_soqa::{GlobalConcept, Soqa};
 
@@ -115,6 +116,18 @@ impl SimilarityContext<'_> {
     /// The concept's name (for the character-level string measures).
     pub fn name(&self, gc: GlobalConcept) -> &str {
         &self.soqa.concept(gc).name
+    }
+
+    /// The concept's dense embedding: its TF-IDF document vector under
+    /// the deterministic signed random projection of
+    /// [`crate::vector::embed_tfidf`]. This is the exact computation the
+    /// toolkit's `VectorStore` runs at build time, so per-pair scores and
+    /// store scores agree bit-for-bit.
+    pub fn dense_embedding(&self, gc: GlobalConcept) -> Vec<f64> {
+        let tfidf = self.doc_ids[self.tree.node(gc) as usize]
+            .map(|d| self.index.tfidf_vector(d))
+            .unwrap_or_default();
+        crate::vector::embed_tfidf(&tfidf, crate::vector::EMBED_DIM)
     }
 
     /// Labeled subtree of the unified tree rooted at `gc`, truncated at
@@ -545,6 +558,38 @@ impl PreparedMeasure for PreparedTfidf<'_> {
     }
 }
 
+/// Prepared dense-embedding scorer: every prepared concept's cached
+/// TF-IDF vector is projected once at prepare time, then pairs score as
+/// a dim-wide dot product. The projection is the same
+/// [`crate::vector::embed_tfidf`] the naive path runs per pair, so both
+/// paths are bit-identical.
+struct PreparedDense<'p> {
+    prep: &'p PreparedContext<'p>,
+    embeddings: Vec<Vec<f64>>,
+}
+
+impl<'p> PreparedDense<'p> {
+    fn new(prep: &'p PreparedContext<'_>) -> Self {
+        let embeddings = (0..prep.len())
+            .map(|i| crate::vector::embed_tfidf(&prep.view(i).tfidf, crate::vector::EMBED_DIM))
+            .collect();
+        PreparedDense { prep, embeddings }
+    }
+}
+
+impl PreparedMeasure for PreparedDense<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        if va.concept == vb.concept {
+            return 1.0; // identity axiom, even for undescribed concepts
+        }
+        let empty: &[f64] = &[];
+        let ea = self.embeddings.get(a).map(Vec::as_slice).unwrap_or(empty);
+        let eb = self.embeddings.get(b).map(Vec::as_slice).unwrap_or(empty);
+        dense_unit_similarity(ea, eb)
+    }
+}
+
 /// Prepared Zhang-Shasha similarity over cached subtree forms.
 struct PreparedTreeEdit<'p> {
     prep: &'p PreparedContext<'p>,
@@ -786,6 +831,23 @@ runner!(
     prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| smith_waterman_similarity(x, y, AlignmentScoring::default()) }))
 );
 
+runner!(
+    /// Shifted unit cosine over dense concept embeddings — the measure
+    /// behind the toolkit's vector-retrieval subsystem. Embeddings are
+    /// deterministic signed random projections of the TF-IDF document
+    /// vectors (see `crate::vector`); the shifted unit cosine
+    /// `(1 + x·y)/2` is a strictly monotone transform of cosine, so
+    /// rankings agree with cosine order while scores stay in [0, 1].
+    DenseVectorRunner, "dense_vector", "Dense Vector", MeasureKind::Vector, true,
+    |ctx, a, b| {
+        if a == b {
+            return 1.0; // identity axiom, even for undescribed concepts
+        }
+        dense_unit_similarity(&ctx.dense_embedding(a), &ctx.dense_embedding(b))
+    },
+    prepare: |prep| Some(Box::new(PreparedDense::new(prep)))
+);
+
 /// The default runner set, in registration order. The position of each
 /// runner is its paper-style integer measure constant (see
 /// `facade::measure_ids`).
@@ -810,5 +872,6 @@ pub fn default_runners() -> Vec<Box<dyn MeasureRunner>> {
         Box::new(TreeEditRunner),
         Box::new(NeedlemanWunschRunner),
         Box::new(SmithWatermanRunner),
+        Box::new(DenseVectorRunner),
     ]
 }

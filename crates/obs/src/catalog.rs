@@ -147,6 +147,41 @@ pub const CATALOG: &[MetricDecl] = &[
         help: "rank-query wall time per measure (ns)",
     },
     MetricDecl {
+        name: "core.vector.approx.latency",
+        kind: MetricKind::Histogram,
+        help: "approximate (graph) vector rank wall time (ns)",
+    },
+    MetricDecl {
+        name: "core.vector.approx.queries",
+        kind: MetricKind::Counter,
+        help: "approximate (graph) vector rank queries",
+    },
+    MetricDecl {
+        name: "core.vector.build.latency",
+        kind: MetricKind::Histogram,
+        help: "embedding + proximity-graph build wall time (ns)",
+    },
+    MetricDecl {
+        name: "core.vector.concepts",
+        kind: MetricKind::Counter,
+        help: "concepts embedded into the vector store",
+    },
+    MetricDecl {
+        name: "core.vector.exact.latency",
+        kind: MetricKind::Histogram,
+        help: "exact vector-store rank wall time (ns)",
+    },
+    MetricDecl {
+        name: "core.vector.exact.queries",
+        kind: MetricKind::Counter,
+        help: "exact vector-store rank queries",
+    },
+    MetricDecl {
+        name: "core.vector.probed",
+        kind: MetricKind::Counter,
+        help: "candidate rows scanned by approximate vector queries",
+    },
+    MetricDecl {
         name: "index.docs",
         kind: MetricKind::Counter,
         help: "documents added to the token index",
@@ -240,6 +275,16 @@ pub const CATALOG: &[MetricDecl] = &[
         name: "server.latency.*",
         kind: MetricKind::Histogram,
         help: "request wall time per endpoint (ns)",
+    },
+    MetricDecl {
+        name: "server.rank.approx.latency",
+        kind: MetricKind::Histogram,
+        help: "approximate /rank request wall time (ns)",
+    },
+    MetricDecl {
+        name: "server.rank.approx.requests",
+        kind: MetricKind::Counter,
+        help: "/rank requests served by the approximate vector path",
     },
     MetricDecl {
         name: "server.requests.*",

@@ -11,7 +11,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use sst_core::{CachedSimilarity, ConceptSet, SstError, SstToolkit};
+use sst_core::{
+    measure_ids, CachedSimilarity, ConceptAndSimilarity, ConceptSet, SstError, SstToolkit,
+};
 use sst_limits::Limits;
 use sst_obs::{Counter, Histogram};
 use sst_soqa::ql::Cell;
@@ -55,6 +57,8 @@ pub struct Router<'a> {
     metrics_ep: EndpointMetrics,
     healthz: EndpointMetrics,
     other: EndpointMetrics,
+    rank_approx_requests: Arc<Counter>,
+    rank_approx_latency: Arc<Histogram>,
     responses_2xx: Arc<Counter>,
     responses_4xx: Arc<Counter>,
     responses_5xx: Arc<Counter>,
@@ -105,6 +109,8 @@ impl<'a> Router<'a> {
             metrics_ep: EndpointMetrics::register(toolkit, "metrics"),
             healthz: EndpointMetrics::register(toolkit, "healthz"),
             other: EndpointMetrics::register(toolkit, "other"),
+            rank_approx_requests: toolkit.metrics().counter("server.rank.approx.requests"),
+            rank_approx_latency: toolkit.metrics().histogram("server.rank.approx.latency"),
             responses_2xx: toolkit.metrics().counter("server.responses.2xx"),
             responses_4xx: toolkit.metrics().counter("server.responses.4xx"),
             responses_5xx: toolkit.metrics().counter("server.responses.5xx"),
@@ -227,8 +233,17 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// `GET /rank?concept=&ontology=&k=&measure=` — k most similar
-    /// concepts over every registered concept.
+    /// `GET /rank?concept=&ontology=&k=&measure=&approx=` — k most
+    /// similar concepts over every registered concept.
+    ///
+    /// Parameter audit: `k=0` and malformed or out-of-range numerics are
+    /// 400, `k` larger than the concept set truncates to the full set
+    /// (200), and `approx` accepts only `true`/`1`/`false`/`0`. The
+    /// approximate path serves the dense-vector measure from the IVF
+    /// index and bypasses the similarity cache (it never computes
+    /// pairwise scores that would be worth caching); combining
+    /// `approx=true` with any other `measure` is a 400, since no other
+    /// measure has an embedding-space equivalent.
     fn handle_rank(&self, request: &Request) -> Answer {
         let (concept, ontology) = match (request.param("concept"), request.param("ontology")) {
             (Some(c), Some(o)) => (c, o),
@@ -238,28 +253,36 @@ impl<'a> Router<'a> {
             Ok(k) if k > 0 => k,
             _ => return Answer::error(BAD_REQUEST, "k must be a positive integer"),
         };
+        let approx = match request.param("approx") {
+            None | Some("false") | Some("0") => false,
+            Some("true") | Some("1") => true,
+            Some(_) => return Answer::error(BAD_REQUEST, "approx must be true or false"),
+        };
         let measure = match self.resolve_measure(request) {
             Ok(m) => m,
             Err(answer) => return answer,
         };
+        if approx {
+            if request.param("measure").is_some() && measure != measure_ids::DENSE_VECTOR_MEASURE {
+                return Answer::error(
+                    BAD_REQUEST,
+                    "approx=true serves only the dense_vector measure",
+                );
+            }
+            self.rank_approx_requests.inc();
+            let start = Instant::now();
+            let result = self.toolkit.most_similar_approx(concept, ontology, k);
+            self.rank_approx_latency.observe(start.elapsed());
+            return match result {
+                Ok(ranked) => ranked_json(&ranked),
+                Err(e) => error_answer(&e),
+            };
+        }
         match self
             .cache
             .most_similar(concept, ontology, &ConceptSet::All, k, measure)
         {
-            Ok(ranked) => {
-                let rows: Vec<String> = ranked
-                    .iter()
-                    .map(|r| {
-                        format!(
-                            "{{\"concept\":\"{}\",\"ontology\":\"{}\",\"similarity\":{}}}",
-                            json_escape(&r.concept),
-                            json_escape(&r.ontology),
-                            json_f64(r.similarity)
-                        )
-                    })
-                    .collect();
-                Answer::json(OK, format!("{{\"results\":[{}]}}", rows.join(",")))
-            }
+            Ok(ranked) => ranked_json(&ranked),
             Err(e) => error_answer(&e),
         }
     }
@@ -285,6 +308,22 @@ impl<'a> Router<'a> {
             .map(|_| id)
             .map_err(|e| error_answer(&e))
     }
+}
+
+/// Renders a ranking as the `/rank` response body.
+fn ranked_json(ranked: &[ConceptAndSimilarity]) -> Answer {
+    let rows: Vec<String> = ranked
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"concept\":\"{}\",\"ontology\":\"{}\",\"similarity\":{}}}",
+                json_escape(&r.concept),
+                json_escape(&r.ontology),
+                json_f64(r.similarity)
+            )
+        })
+        .collect();
+    Answer::json(OK, format!("{{\"results\":[{}]}}", rows.join(",")))
 }
 
 fn cell_to_json(cell: &Cell) -> String {

@@ -8,6 +8,9 @@
 //!
 //! * [`vector`] — cosine, extended Jaccard, overlap, Dice over feature sets
 //!   and weighted sparse vectors (paper Eq. 1–3).
+//! * [`dense`] — fixed-dimension embedding kernels (dot, norms, shifted
+//!   unit cosine) shared by the toolkit's exact and approximate top-k
+//!   retrieval paths.
 //! * [`string`] — character-level Levenshtein plus the announced
 //!   SecondString/SimMetrics extensions (Jaro, Jaro-Winkler, q-gram,
 //!   Monge-Elkan).
@@ -26,6 +29,7 @@
 
 pub mod align;
 pub mod combine;
+pub mod dense;
 pub mod graph;
 pub mod ic;
 pub mod measure;
@@ -39,6 +43,9 @@ pub use align::{
     AlignmentScoring,
 };
 pub use combine::{Amalgamation, Combiner};
+pub use dense::{
+    dense_cosine, dense_dot, dense_is_zero, dense_norm, dense_normalize, dense_unit_similarity,
+};
 pub use graph::{
     edge_similarity, edge_similarity_from, shortest_path_similarity, shortest_path_similarity_from,
     wu_palmer_similarity, wu_palmer_similarity_from, wu_palmer_similarity_rooted,

@@ -97,23 +97,29 @@ pub fn cosine_weighted(x: &SparseVector, y: &SparseVector) -> f64 {
 
 /// Extended Jaccard on weighted vectors (Eq. 2):
 /// `x·y / (‖x‖² + ‖y‖² − x·y)`.
+///
+/// With signed components (dense embeddings projected back to sparse
+/// form) the raw ratio can leave [0, 1] — a negative dot product makes
+/// it negative, and `min(‖x‖², ‖y‖²) < x·y` is possible for unequal
+/// norms — so the result is clamped like `cosine_weighted`.
 pub fn jaccard_weighted(x: &SparseVector, y: &SparseVector) -> f64 {
     let dot = sparse_dot(x, y);
     let denom = sparse_norm_sq(x) + sparse_norm_sq(y) - dot;
     if denom == 0.0 {
         0.0
     } else {
-        dot / denom
+        (dot / denom).clamp(0.0, 1.0)
     }
 }
 
-/// Overlap on weighted vectors (Eq. 3): `x·y / min(‖x‖², ‖y‖²)`.
+/// Overlap on weighted vectors (Eq. 3): `x·y / min(‖x‖², ‖y‖²)`, clamped
+/// to [0, 1] for the same reason as [`jaccard_weighted`].
 pub fn overlap_weighted(x: &SparseVector, y: &SparseVector) -> f64 {
     let denom = sparse_norm_sq(x).min(sparse_norm_sq(y));
     if denom == 0.0 {
         0.0
     } else {
-        sparse_dot(x, y) / denom
+        (sparse_dot(x, y) / denom).clamp(0.0, 1.0)
     }
 }
 
@@ -179,6 +185,31 @@ mod tests {
         assert!((cosine_weighted(&x, &y) - 0.5).abs() < 1e-12);
         assert!((jaccard_weighted(&x, &y) - 1.0 / 3.0).abs() < 1e-12);
         assert!((overlap_weighted(&x, &y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_measures_stay_in_unit_interval_with_negative_weights() {
+        // Anti-parallel signed vectors: the dot product is negative, so
+        // the unclamped Jaccard/overlap ratios would be negative too.
+        let x: SparseVector = vec![(0, 1.0), (1, -2.0)];
+        let y: SparseVector = vec![(0, -1.0), (1, 2.0)];
+        for f in [cosine_weighted, jaccard_weighted, overlap_weighted] {
+            let s = f(&x, &y);
+            assert!(s.is_finite());
+            assert!((-1.0..=1.0).contains(&s), "out of range: {s}");
+        }
+        assert_eq!(jaccard_weighted(&x, &y), 0.0);
+        assert_eq!(overlap_weighted(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn weighted_overlap_clamps_above_one_for_unequal_norms() {
+        // x·y = 1.0 but min(‖x‖², ‖y‖²) = 0.25: the raw ratio is 4.0.
+        let x: SparseVector = vec![(0, 2.0)];
+        let y: SparseVector = vec![(0, 0.5)];
+        assert_eq!(overlap_weighted(&x, &y), 1.0);
+        let j = jaccard_weighted(&x, &y);
+        assert!((0.0..=1.0).contains(&j));
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Identity and determinism suite for the dense-vector retrieval
+//! subsystem (`VectorStore` + NSW-lite proximity graph).
+//!
+//! The invariants pinned here are what makes the approximate path
+//! trustworthy at all:
+//!
+//! 1. **Exact-store == naive scan, bitwise.** `most_similar_dense` (the
+//!    brute-force scan over the embedding matrix) must reproduce
+//!    `most_similar` under `measure_ids::DENSE_VECTOR_MEASURE` over
+//!    `ConceptSet::All` exactly — same concepts, same order, same
+//!    `f64` bits — for every query and every `k`.
+//! 2. **Deterministic tie-breaking.** All k-best entry points share one
+//!    comparator (score, then ascending `(ontology, concept)` name), so
+//!    truncation at `k` is stable across rebuilds and paths.
+//! 3. **Full-probe == exact.** A probe width of the whole corpus
+//!    degenerates to the exact scan, bit for bit.
+//! 4. **Format round-trip.** `export_vectors` → `import_vectors`
+//!    reproduces the store (and its rankings) exactly; corrupted bytes
+//!    are structured errors, never panics.
+//! 5. **Recall floor.** Default-probe recall@10 stays ≥ 0.95 on a
+//!    seeded corpus (the full self-audit lives in `ann_bench`).
+
+use sst_bench::{generate_taxonomy, SplitMix64, TaxonomySpec};
+use sst_core::{measure_ids, ConceptSet, SstBuilder, SstError, SstToolkit};
+
+/// Two-ontology synthetic corpus: rankings cross ontology boundaries and
+/// the documentation strings give the TF-IDF embeddings real signal.
+fn toolkit(primary: usize, secondary: usize, seed: u64) -> SstToolkit {
+    let a = generate_taxonomy(TaxonomySpec {
+        concepts: primary,
+        branching: 4,
+        instances: primary / 2,
+        seed,
+    });
+    let b = generate_taxonomy(TaxonomySpec {
+        concepts: secondary,
+        branching: 6,
+        instances: secondary / 4,
+        seed: seed.wrapping_mul(31).wrapping_add(7),
+    });
+    SstBuilder::new()
+        .register_ontology(a)
+        .expect("register primary")
+        .register_ontology(b)
+        .expect("register secondary")
+        .build()
+}
+
+/// Seeded sample of query `(concept, ontology)` names from the store.
+fn sample_queries(sst: &SstToolkit, count: usize, seed: u64) -> Vec<(String, String)> {
+    let store = sst.vector_store();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let row = rng.gen_range(0..store.len());
+            let label = store.label(row).expect("sampled row exists");
+            let (ontology, concept) = label.split_once(':').expect("qualified label");
+            (concept.to_owned(), ontology.to_owned())
+        })
+        .collect()
+}
+
+fn assert_bit_identical(
+    what: &str,
+    a: &[sst_core::ConceptAndSimilarity],
+    b: &[sst_core::ConceptAndSimilarity],
+) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            (&ra.concept, &ra.ontology),
+            (&rb.concept, &rb.ontology),
+            "{what}: concept mismatch at rank {i}"
+        );
+        assert_eq!(
+            ra.similarity.to_bits(),
+            rb.similarity.to_bits(),
+            "{what}: score bits diverge at rank {i}: {} vs {}",
+            ra.similarity,
+            rb.similarity
+        );
+    }
+}
+
+#[test]
+fn exact_store_matches_naive_facade_scan_bitwise() {
+    let sst = toolkit(180, 90, 11);
+    for (concept, ontology) in sample_queries(&sst, 24, 0xA11CE) {
+        for k in [1, 5, 10, 100_000] {
+            let naive = sst
+                .most_similar(
+                    &concept,
+                    &ontology,
+                    &ConceptSet::All,
+                    k,
+                    measure_ids::DENSE_VECTOR_MEASURE,
+                )
+                .expect("naive rank");
+            let dense = sst
+                .most_similar_dense(&concept, &ontology, k)
+                .expect("dense rank");
+            assert_bit_identical(&format!("{ontology}:{concept} k={k}"), &naive, &dense);
+            // The query itself is always rank 0 at exactly 1.0.
+            assert_eq!(dense[0].concept, concept);
+            assert_eq!(dense[0].similarity, 1.0);
+        }
+    }
+}
+
+#[test]
+fn rankings_are_deterministic_across_rebuilds() {
+    let a = toolkit(150, 60, 23);
+    let b = toolkit(150, 60, 23);
+    for (concept, ontology) in sample_queries(&a, 12, 0xBEEF) {
+        let ra = a.most_similar_dense(&concept, &ontology, 25).expect("a");
+        let rb = b.most_similar_dense(&concept, &ontology, 25).expect("b");
+        assert_bit_identical("rebuild determinism", &ra, &rb);
+        let aa = a.most_similar_approx(&concept, &ontology, 25).expect("a");
+        let ab = b.most_similar_approx(&concept, &ontology, 25).expect("b");
+        assert_bit_identical("rebuild determinism (approx)", &aa, &ab);
+    }
+}
+
+#[test]
+fn tie_break_orders_equal_scores_by_name() {
+    // Self-similarity 1.0 is shared by every concept under the identity
+    // guard only for the query; but equal scores do occur (e.g. zero
+    // embeddings all score 0.0). Assert the documented order directly:
+    // within any run of equal scores the results ascend by
+    // (ontology, concept).
+    let sst = toolkit(160, 80, 5);
+    for (concept, ontology) in sample_queries(&sst, 8, 0x7E1) {
+        let ranked = sst
+            .most_similar(
+                &concept,
+                &ontology,
+                &ConceptSet::All,
+                100_000,
+                measure_ids::DENSE_VECTOR_MEASURE,
+            )
+            .expect("rank");
+        for pair in ranked.windows(2) {
+            if pair[0].similarity == pair[1].similarity {
+                let left = (&pair[0].ontology, &pair[0].concept);
+                let right = (&pair[1].ontology, &pair[1].concept);
+                assert!(left < right, "ties out of order: {left:?} !< {right:?}");
+            }
+        }
+        // Dissimilar uses the same tie rule under the ascending order.
+        let dis = sst
+            .most_dissimilar(
+                &concept,
+                &ontology,
+                &ConceptSet::All,
+                100_000,
+                measure_ids::DENSE_VECTOR_MEASURE,
+            )
+            .expect("dissimilar rank");
+        for pair in dis.windows(2) {
+            if pair[0].similarity == pair[1].similarity {
+                let left = (&pair[0].ontology, &pair[0].concept);
+                let right = (&pair[1].ontology, &pair[1].concept);
+                assert!(left < right, "ties out of order: {left:?} !< {right:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_probe_approx_degenerates_to_exact() {
+    let sst = toolkit(200, 100, 31);
+    let full = sst.vector_store().len();
+    for (concept, ontology) in sample_queries(&sst, 12, 0xF00D) {
+        let exact = sst
+            .most_similar_dense(&concept, &ontology, 50)
+            .expect("exact");
+        let probed = sst
+            .most_similar_approx_with(&concept, &ontology, 50, full)
+            .expect("full probe");
+        assert_bit_identical("full probe vs exact", &exact, &probed);
+    }
+}
+
+#[test]
+fn approx_contains_query_at_rank_zero() {
+    let sst = toolkit(200, 100, 31);
+    for (concept, ontology) in sample_queries(&sst, 16, 0xCAFE) {
+        let ranked = sst
+            .most_similar_approx(&concept, &ontology, 10)
+            .expect("approx rank");
+        assert_eq!(ranked[0].concept, concept, "query missing from own cell");
+        assert_eq!(ranked[0].similarity, 1.0);
+    }
+}
+
+#[test]
+fn vector_file_round_trips_and_rejects_corruption() {
+    let sst = toolkit(120, 40, 47);
+    let bytes = sst.export_vectors();
+    let limits = sst_limits::Limits::default();
+
+    let imported = sst.import_vectors(&bytes, &limits).expect("round trip");
+    let store = sst.vector_store();
+    assert_eq!(imported.len(), store.len());
+    assert_eq!(imported.dim(), store.dim());
+    for row in 0..store.len() {
+        assert_eq!(imported.label(row), store.label(row));
+        let (a, b) = (imported.row(row), store.row(row));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "row {row} bits diverge");
+        }
+    }
+
+    // Every single-byte flip must be caught (checksum first), and every
+    // truncation must fail structured — never a panic.
+    let mut rng = SplitMix64::seed_from_u64(0xC0DE);
+    for _ in 0..32 {
+        let mut corrupt = bytes.clone();
+        let at = rng.gen_range(0..corrupt.len());
+        corrupt[at] ^= 0x41;
+        let err = sst.import_vectors(&corrupt, &limits).expect_err("corrupt");
+        assert!(matches!(err, SstError::InvalidArgument(_)), "{err}");
+    }
+    for cut in [0, 1, 7, 8, 20, bytes.len() - 1] {
+        let err = sst
+            .import_vectors(&bytes[..cut], &limits)
+            .expect_err("truncated");
+        assert!(matches!(err, SstError::InvalidArgument(_)), "{err}");
+    }
+
+    // Imported stores score identically to the original.
+    let mut rng = SplitMix64::seed_from_u64(0xD1CE);
+    for _ in 0..6 {
+        let qrow = rng.gen_range(0..store.len());
+        let a = store.scores_exact(qrow);
+        let b = imported.scores_exact(qrow);
+        assert_eq!(a.len(), b.len());
+        for ((ra, sa), (rb, sb)) in a.iter().zip(&b) {
+            assert_eq!(ra, rb);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+}
+
+#[test]
+fn default_probe_recall_stays_high() {
+    let sst = toolkit(600, 300, 3);
+    let queries = sample_queries(&sst, 200, 0x5EED);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (concept, ontology) in &queries {
+        let exact = sst
+            .most_similar_dense(concept, ontology, 10)
+            .expect("exact");
+        let approx = sst
+            .most_similar_approx(concept, ontology, 10)
+            .expect("approx");
+        let truth: std::collections::HashSet<(&str, &str)> = exact
+            .iter()
+            .map(|r| (r.concept.as_str(), r.ontology.as_str()))
+            .collect();
+        hits += approx
+            .iter()
+            .filter(|r| truth.contains(&(r.concept.as_str(), r.ontology.as_str())))
+            .count();
+        total += exact.len();
+    }
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.95, "recall@10 {recall:.3} below the 0.95 floor");
+}

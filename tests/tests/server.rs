@@ -187,6 +187,71 @@ fn endpoints_answer_end_to_end() {
 }
 
 #[test]
+fn rank_param_audit_and_approx_path() {
+    let sst = corpus();
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+
+    std::thread::scope(|scope| {
+        let running = scope.spawn(|| server.run(&sst));
+        let _stop = StopOnDrop(handle.clone());
+        let base = format!("/rank?concept=Professor&ontology={}", names::DAML_UNIV);
+
+        // Malformed numerics and k=0 are 400 — never a 500 or a hang.
+        assert_eq!(get(addr, &format!("{base}&k=0")).0, 400);
+        assert_eq!(get(addr, &format!("{base}&k=-3")).0, 400);
+        assert_eq!(get(addr, &format!("{base}&k=abc")).0, 400);
+        assert_eq!(get(addr, &format!("{base}&k=1.5")).0, 400);
+        assert_eq!(get(addr, &format!("{base}&k=99999999999999999999")).0, 400);
+
+        // k beyond the corpus truncates to the full concept set (200).
+        let n = sst.tree().all_concepts().len();
+        let (status, body) = get(addr, &format!("{base}&k=100000"));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.matches("\"concept\"").count(), n);
+
+        // approx accepts only true/1/false/0.
+        assert_eq!(get(addr, &format!("{base}&k=3&approx=yes")).0, 400);
+        assert_eq!(get(addr, &format!("{base}&k=3&approx=")).0, 400);
+        assert_eq!(get(addr, &format!("{base}&k=3&approx=0")).0, 200);
+        assert_eq!(get(addr, &format!("{base}&k=3&approx=1")).0, 200);
+
+        // approx serves only the dense_vector measure: combining it with
+        // any other measure is a 400, naming it explicitly is fine.
+        assert_eq!(
+            get(addr, &format!("{base}&k=3&approx=true&measure=levenshtein")).0,
+            400
+        );
+        let (status, body) = get(
+            addr,
+            &format!("{base}&k=3&approx=true&measure=dense_vector"),
+        );
+        assert_eq!(status, 200, "{body}");
+
+        // The approximate path returns the query itself at rank 0 with
+        // similarity 1, and unknown names still 404.
+        let (status, body) = get(addr, &format!("{base}&k=5&approx=true"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"concept\":\"Professor\""), "{body}");
+        assert_eq!(json_number(&body, "similarity"), 1.0);
+        assert_eq!(
+            get(addr, "/rank?concept=Nope&ontology=ghost&k=3&approx=true").0,
+            404
+        );
+
+        // The approx path records its own counter next to the endpoint's.
+        let metrics = get(addr, "/metrics").1;
+        let approx_requests = metrics_counter(&metrics, "server.rank.approx.requests").unwrap_or(0);
+        assert!(approx_requests >= 3, "approx counter: {approx_requests}");
+        assert!(metrics_counter(&metrics, "core.vector.approx.queries") >= Some(3));
+
+        handle.shutdown();
+        assert!(running.join().expect("run thread").is_ok());
+    });
+}
+
+#[test]
 fn concurrent_mixed_traffic_never_hangs_or_500s() {
     let sst = corpus();
     let server = Server::bind(ServerConfig {
