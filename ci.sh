@@ -23,3 +23,10 @@ cargo run --release -p sst-bench --bin matrix_bench -- --smoke
 cargo run --release -p sst-bench --bin fault_smoke -- --smoke
 cargo run --release -p sst-bench --bin server_smoke -- --smoke
 cargo run --release -p sst-bench --bin ann_bench -- --smoke
+# The archived full-run matrix benchmark must agree with the smoke gate:
+# every measure row records an honest bit_identical flag, and a stale or
+# regressed archive with any false flag fails the build.
+if [ -f results/BENCH_matrix.json ] && grep -q '"bit_identical":false' results/BENCH_matrix.json; then
+    echo "ci.sh: results/BENCH_matrix.json records a bit_identical:false measure" >&2
+    exit 1
+fi

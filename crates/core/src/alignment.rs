@@ -97,26 +97,52 @@ pub fn align(
     for t_name in &target_names {
         batch.push(sst.soqa().resolve(target, t_name)?);
     }
-    let prep = sst.prepare(&batch);
+    let prep = sst.prepare_for(&batch, sst.needs_union(&config.measures)?);
     let scorers: Vec<PairScorer<'_>> = config
         .measures
         .iter()
         .map(|&m| Ok(PairScorer::new(sst.runner(m)?, &prep)))
         .collect::<Result<_>>()?;
 
-    // Score every pair under the combined measure.
-    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
-    let mut scores = vec![0.0; config.measures.len()];
-    for si in 0..source_names.len() {
-        for ti in 0..target_names.len() {
-            let tpos = source_names.len() + ti;
-            for ((&m, scorer), slot) in config.measures.iter().zip(&scorers).zip(&mut scores) {
+    // Score every pair under the combined measure, fanned out over the
+    // work-stealing scheduler in cache-blocked source × target tiles
+    // (crate::sched). Per-tile results are assembled by tile index, so the
+    // candidate list is deterministic for any worker count.
+    let source_count = source_names.len();
+    let tiles = crate::sched::rect_tiles(source_count, target_names.len(), 32);
+    let workers = crate::sched::default_workers().min(tiles.len());
+    let measures = &config.measures;
+    let scorers = &scorers;
+    let combiner = &combiner;
+    let (results, stats) = crate::sched::run_tiles(&tiles, workers, |_, tile| {
+        let mut vals = Vec::with_capacity(tile.len());
+        let mut scores = vec![0.0; measures.len()];
+        tile.for_each(|si, ti| {
+            let tpos = source_count + ti;
+            for ((&m, scorer), slot) in measures.iter().zip(scorers).zip(&mut scores) {
                 *slot = sst.timed_score(m, || scorer.score(si, tpos));
             }
-            let combined = combiner.combine(&scores);
-            if combined >= config.threshold {
-                scored.push((si, ti, combined));
-            }
+            vals.push(combiner.combine(&scores));
+        });
+        vals
+    });
+    if stats.panicked > 0 {
+        return Err(SstError::Internal("alignment worker thread died".into()));
+    }
+    sst.record_sched_stats(&stats);
+    let mut results = results;
+    results.sort_unstable_by_key(|&(idx, _)| idx);
+    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
+    for (idx, vals) in results {
+        if let Some(tile) = tiles.get(idx) {
+            let mut it = vals.into_iter();
+            tile.for_each(|si, ti| {
+                if let Some(combined) = it.next() {
+                    if combined >= config.threshold {
+                        scored.push((si, ti, combined));
+                    }
+                }
+            });
         }
     }
     // Greedy best-first one-to-one matching. `total_cmp` keeps the order

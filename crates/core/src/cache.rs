@@ -284,7 +284,7 @@ impl<'a> CachedSimilarity<'a> {
         if !pending.is_empty() {
             let mut batch = pending.clone();
             batch.push(query);
-            let prep = self.toolkit.prepare(&batch);
+            let prep = self.toolkit.prepare_for(&batch, runner.needs());
             let scorer = PairScorer::new(runner, &prep);
             let qpos = batch.len() - 1;
             let values: Vec<f64> = (0..pending.len())

@@ -108,7 +108,10 @@ pub fn cluster(
 ) -> Result<Dendrogram> {
     sst.metrics().inc("core.cluster.calls");
     let _span = sst.metrics().span("core.cluster.latency");
-    let (labels, matrix) = sst.similarity_matrix(set, measure)?;
+    // The pairwise matrix dominates clustering cost; build it on the
+    // work-stealing parallel path (bit-identical to the serial service).
+    let workers = crate::sched::default_workers();
+    let (labels, matrix) = sst.similarity_matrix_parallel(set, measure, workers)?;
     if labels.is_empty() {
         return Err(SstError::InvalidArgument(
             "cannot cluster an empty concept set".into(),

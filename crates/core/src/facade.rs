@@ -23,8 +23,10 @@ use sst_soqa::{GlobalConcept, Ontology, Soqa};
 use crate::chart::Chart;
 use crate::error::{Result, SstError};
 use crate::runner::{
-    default_runners, MeasureRunner, PreparedContext, PreparedMeasure, RunnerInfo, SimilarityContext,
+    default_runners, MeasureRunner, PrepareNeeds, PreparedContext, PreparedMeasure, RunnerInfo,
+    SimilarityContext,
 };
+use crate::sched;
 use crate::tree::{TreeMode, UnifiedTree};
 use crate::vector::{embed_tfidf, DenseVectorFile, VectorStore, EMBED_DIM};
 
@@ -108,6 +110,10 @@ pub enum BatchMode {
     /// Per-pair path: every runner call rederives its inputs.
     Naive,
 }
+
+/// Member-set size from which the rank scan ([`SstToolkit::similarity_to_set`])
+/// fans out over the work-stealing scheduler instead of scoring serially.
+const RANK_PARALLEL_THRESHOLD: usize = 256;
 
 /// One pair-scoring strategy for a batch operation: either a
 /// measure-specialized [`PreparedMeasure`], or the naive per-pair runner
@@ -309,6 +315,7 @@ impl SstBuilder {
             measure_names,
             measure_metrics,
             metrics,
+            last_sched: std::sync::Mutex::new(None),
         }
     }
 }
@@ -367,6 +374,9 @@ pub struct SstToolkit {
     measure_names: HashMap<String, usize>,
     measure_metrics: Vec<MeasureMetrics>,
     metrics: Metrics,
+    /// Stats of the most recent work-stealing scheduler run (bench and
+    /// diagnostics introspection; see [`SstToolkit::last_sched_stats`]).
+    last_sched: std::sync::Mutex<Option<sched::SchedStats>>,
 }
 
 impl SstToolkit {
@@ -464,10 +474,36 @@ impl SstToolkit {
     /// pair. Public so external batch flows (benches, user services) can
     /// drive [`MeasureRunner::prepare`] directly.
     pub fn prepare(&self, concepts: &[GlobalConcept]) -> PreparedContext<'_> {
+        self.prepare_for(concepts, PrepareNeeds::ALL)
+    }
+
+    /// [`SstToolkit::prepare`] restricted to the artifact families in
+    /// `needs` — internal batch entry points pass the union of the
+    /// participating runners' [`MeasureRunner::needs`], so a q-gram matrix
+    /// stops paying for BFS tables and TF-IDF vectors it never reads.
+    /// Artifacts outside `needs` are simply absent from the context; the
+    /// built-in prepared scorers fall back to their naive per-pair formulas
+    /// when asked for a missing artifact, so an under-provisioned context
+    /// costs speed, never correctness.
+    pub fn prepare_for(
+        &self,
+        concepts: &[GlobalConcept],
+        needs: PrepareNeeds,
+    ) -> PreparedContext<'_> {
         let _span = self.metrics.span("core.prepare.latency");
         self.metrics
             .add("core.prepare.concepts", concepts.len() as u64);
-        PreparedContext::new(self.ctx(), concepts)
+        PreparedContext::new_with_needs(self.ctx(), concepts, needs)
+    }
+
+    /// Union of the [`MeasureRunner::needs`] of `measures` (for batch
+    /// operations that score several measures over one prepared context).
+    pub(crate) fn needs_union(&self, measures: &[usize]) -> Result<PrepareNeeds> {
+        let mut needs = PrepareNeeds::NONE;
+        for &m in measures {
+            needs = needs.union(self.runner(m)?.needs());
+        }
+        Ok(needs)
     }
 
     /// Records one pair computation produced by `score` into the same
@@ -573,13 +609,50 @@ impl SstToolkit {
         let runner = self.runner(measure)?;
         let mut batch = members.clone();
         batch.push(query);
-        let prep = self.prepare(&batch);
+        let prep = self.prepare_for(&batch, runner.needs());
         let scorer = PairScorer::new(runner, &prep);
         let qpos = batch.len() - 1;
+        let n = members.len();
+        // Large rank scans reuse the work-stealing chunk scheduler: the
+        // member axis is cut into chunks and scored concurrently, then
+        // assembled positionally (same scores, same order, any worker
+        // count). Small sets stay serial — spawn overhead would dominate.
+        let scores: Vec<f64> = if n >= RANK_PARALLEL_THRESHOLD {
+            let tiles = sched::rect_tiles(1, n, 64);
+            let workers = sched::default_workers().min(tiles.len());
+            let scorer = &scorer;
+            let (results, stats) = sched::run_tiles(&tiles, workers, |_, tile| {
+                let mut vals = Vec::with_capacity(tile.len());
+                tile.for_each(|_, i| {
+                    vals.push(self.timed_score(measure, || scorer.score(qpos, i)));
+                });
+                vals
+            });
+            if stats.panicked > 0 {
+                return Err(SstError::Internal("rank worker thread died".into()));
+            }
+            self.record_sched_stats(&stats);
+            let mut scores = vec![0.0; n];
+            for (idx, vals) in results {
+                if let Some(tile) = tiles.get(idx) {
+                    let mut it = vals.into_iter();
+                    tile.for_each(|_, i| {
+                        if let Some(v) = it.next() {
+                            scores[i] = v;
+                        }
+                    });
+                }
+            }
+            scores
+        } else {
+            (0..n)
+                .map(|i| self.timed_score(measure, || scorer.score(qpos, i)))
+                .collect()
+        };
         Ok(members
             .iter()
-            .enumerate()
-            .map(|(i, &gc)| self.to_result(gc, self.timed_score(measure, || scorer.score(qpos, i))))
+            .zip(scores)
+            .map(|(&gc, v)| self.to_result(gc, v))
             .collect())
     }
 
@@ -760,7 +833,7 @@ impl SstToolkit {
         }
         let mut batch = members.clone();
         batch.push(query);
-        let prep = self.prepare(&batch);
+        let prep = self.prepare_for(&batch, self.needs_union(measures)?);
         let qpos = batch.len() - 1;
         let mut rankings = Vec::with_capacity(measures.len());
         for &m in measures {
@@ -822,19 +895,43 @@ impl SstToolkit {
                 }
             }
             BatchMode::Prepared => {
-                let prep = self.prepare(&concepts);
+                let prep = self.prepare_for(&concepts, runner.needs());
                 let scorer = PairScorer::new(runner, &prep);
-                for (i, _) in concepts.iter().enumerate() {
-                    for (j, _) in concepts.iter().enumerate().skip(i) {
+                // Cache-blocked traversal: scoring tile-resident blocks of
+                // pairs keeps the prepared artifacts of a tile's rows and
+                // columns hot instead of streaming whole row suffixes.
+                for tile in sched::triangle_tiles(n, sched::tile_size(n, 1)) {
+                    tile.for_each_upper(|i, j| {
                         let v = scorer.score(i, j);
                         matrix[i][j] = v;
                         matrix[j][i] = v;
-                    }
+                    });
                 }
             }
         }
         self.record_matrix_pairs(measure, n);
         Ok((labels, matrix))
+    }
+
+    /// Records one work-stealing scheduler run: tiles executed, successful
+    /// steals, and the busy-time imbalance (max worker busy time over mean,
+    /// stored in permille so the integer gauge keeps three decimals).
+    pub(crate) fn record_sched_stats(&self, stats: &sched::SchedStats) {
+        self.metrics.add("core.sched.tiles", stats.tiles());
+        self.metrics.add("core.sched.steals", stats.steals());
+        let permille = (stats.imbalance() * 1000.0) as i64;
+        self.metrics.gauge("core.sched.imbalance").set(permille);
+        if let Ok(mut last) = self.last_sched.lock() {
+            *last = Some(stats.clone());
+        }
+    }
+
+    /// Per-worker stats of the most recent work-stealing scheduler run on
+    /// this toolkit (`None` until a parallel batch service has run). The
+    /// matrix bench reads this to report worker busy times and steal
+    /// counts alongside its wall-clock timings.
+    pub fn last_sched_stats(&self) -> Option<sched::SchedStats> {
+        self.last_sched.lock().ok().and_then(|s| s.clone())
     }
 
     /// Bookkeeping for the matrix services: `n(n+1)/2` computed pairs into
@@ -848,13 +945,15 @@ impl SstToolkit {
     }
 
     /// Like [`SstToolkit::similarity_matrix`] but computed with `threads`
-    /// worker threads (rows are partitioned round-robin). Useful for large
-    /// concept sets: the runners are stateless and the context is shared
-    /// read-only, so the matrix parallelizes embarrassingly.
+    /// worker threads over cache-blocked triangle tiles distributed by the
+    /// work-stealing scheduler ([`crate::sched`]). Useful for large concept
+    /// sets: the runners are stateless and the context is shared read-only,
+    /// so the matrix parallelizes embarrassingly.
     ///
-    /// Workers compute only the row suffix `j ≥ i` of their rows; the lower
-    /// triangle is mirrored serially after the join, matching the serial
-    /// service's halved runner-call count.
+    /// Only upper-triangle pairs (`j ≥ i`) are scored; the lower triangle
+    /// is mirrored serially during assembly, matching the serial service's
+    /// halved runner-call count. Assembly is by tile index, so the matrix
+    /// is bit-identical for every worker count and steal interleaving.
     pub fn similarity_matrix_parallel(
         &self,
         set: &ConceptSet,
@@ -886,56 +985,42 @@ impl SstToolkit {
         let n = concepts.len();
         let threads = threads.clamp(1, n.max(1));
         let prepared = match mode {
-            BatchMode::Prepared => Some(self.prepare(&concepts)),
+            BatchMode::Prepared => Some(self.prepare_for(&concepts, runner.needs())),
             BatchMode::Naive => None,
         };
         let scorer = prepared.as_ref().map(|prep| PairScorer::new(runner, prep));
+        let scorer = scorer.as_ref();
         let mut matrix = vec![vec![0.0; n]; n];
-        let worker_died = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for worker in 0..threads {
-                let concepts = &concepts;
-                let ctx = &ctx;
-                let scorer = scorer.as_ref();
-                handles.push(scope.spawn(move || {
-                    let mut suffixes: Vec<(usize, Vec<f64>)> = Vec::new();
-                    for i in (worker..concepts.len()).step_by(threads) {
-                        let suffix = match scorer {
-                            Some(scorer) => {
-                                (i..concepts.len()).map(|j| scorer.score(i, j)).collect()
-                            }
-                            None => concepts
-                                .iter()
-                                .skip(i)
-                                .map(|&b| runner.similarity(ctx, concepts[i], b))
-                                .collect(),
-                        };
-                        suffixes.push((i, suffix));
-                    }
-                    suffixes
-                }));
+        let tiles = sched::triangle_tiles(n, sched::tile_size(n, threads));
+        let concepts = &concepts;
+        let ctx = &ctx;
+        let (results, stats) = sched::run_tiles(&tiles, threads, |_, tile| {
+            let mut vals = Vec::with_capacity(tile.upper_len());
+            match scorer {
+                Some(scorer) => tile.for_each_upper(|i, j| vals.push(scorer.score(i, j))),
+                None => tile.for_each_upper(|i, j| {
+                    vals.push(runner.similarity(ctx, concepts[i], concepts[j]));
+                }),
             }
-            let mut worker_died = false;
-            for handle in handles {
-                match handle.join() {
-                    Ok(suffixes) => {
-                        for (i, suffix) in suffixes {
-                            for (j, v) in (i..).zip(suffix) {
-                                matrix[i][j] = v;
-                                matrix[j][i] = v;
-                            }
-                        }
-                    }
-                    Err(_) => worker_died = true,
-                }
-            }
-            worker_died
+            vals
         });
-        if worker_died {
+        if stats.panicked > 0 {
             return Err(SstError::Internal(
                 "similarity-matrix worker thread died".into(),
             ));
         }
+        for (idx, vals) in results {
+            if let Some(tile) = tiles.get(idx) {
+                let mut it = vals.into_iter();
+                tile.for_each_upper(|i, j| {
+                    if let Some(v) = it.next() {
+                        matrix[i][j] = v;
+                        matrix[j][i] = v;
+                    }
+                });
+            }
+        }
+        self.record_sched_stats(&stats);
         self.record_matrix_pairs(measure, n);
         Ok((labels, matrix))
     }
@@ -1032,7 +1117,7 @@ impl SstToolkit {
         let query = self.soqa.resolve(ontology, concept)?;
         let mut batch = members.clone();
         batch.push(query);
-        let prep = self.prepare(&batch);
+        let prep = self.prepare_for(&batch, self.needs_union(measures)?);
         let scorers: Vec<PairScorer<'_>> = measures
             .iter()
             .map(|&m| Ok(PairScorer::new(self.runner(m)?, &prep)))

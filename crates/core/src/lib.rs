@@ -45,6 +45,7 @@ pub mod facade;
 pub mod heatmap;
 mod lru;
 pub mod runner;
+pub mod sched;
 pub mod tree;
 pub mod vector;
 
@@ -62,8 +63,12 @@ pub use facade::{
 };
 pub use heatmap::Heatmap;
 pub use runner::{
-    ConceptView, MeasureRunner, PreparedContext, PreparedMeasure, RunnerInfo, SimilarityContext,
-    TokenId,
+    ConceptView, MeasureRunner, PrepareNeeds, PreparedContext, PreparedMeasure, RunnerInfo,
+    SimilarityContext, TokenId,
+};
+pub use sched::{
+    default_workers, rect_tiles, run_tiles, tile_size, triangle_tiles, SchedStats, Tile,
+    WorkerStats,
 };
 pub use sst_obs::{Metrics, MetricsSnapshot};
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};

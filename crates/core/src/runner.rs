@@ -12,15 +12,18 @@ use std::sync::Arc;
 
 use sst_index::{cosine_sparse, DocId, InvertedIndex, TermId};
 use sst_simpack::{
-    dense_unit_similarity, edge_similarity, edge_similarity_from, jaro, jaro_chars, jaro_winkler,
-    jaro_winkler_chars, jiang_conrath_similarity, jiang_conrath_similarity_from,
-    levenshtein_similarity, levenshtein_similarity_chars, lin_similarity, lin_similarity_from,
-    monge_elkan, needleman_wunsch_similarity, qgram, qgram_from, resnik_similarity,
-    resnik_similarity_from, sequence_similarity, shortest_path_similarity,
-    shortest_path_similarity_from, smith_waterman_similarity, tree_similarity, tree_similarity_zs,
-    wu_palmer_similarity_rooted, wu_palmer_similarity_rooted_from, AlignmentScoring, CostModel,
-    DepthTable, FeatureSet, InformationContent, LabeledTree, MeasureKind, NodeId, QGramProfile,
-    SourceTables, ZsTree,
+    dense_unit_similarity, edge_similarity, edge_similarity_compact, jaro, jaro_fast, jaro_winkler,
+    jaro_winkler_fast, jiang_conrath_similarity, jiang_conrath_similarity_compact,
+    levenshtein_similarity, lin_similarity, lin_similarity_compact, monge_elkan,
+    myers_sequence_similarity_from, myers_similarity_chars_from, needleman_wunsch_similarity,
+    needleman_wunsch_similarity_scratch, qgram, qgram_packed_from, resnik_similarity,
+    resnik_similarity_compact, sequence_similarity, shortest_path_similarity,
+    shortest_path_similarity_from, smith_waterman_similarity, smith_waterman_similarity_scratch,
+    tree_similarity, tree_similarity_zs_scratch, with_align_scratch, with_jaro_scratch,
+    with_myers_scratch, with_zs_scratch, wu_palmer_similarity_rooted,
+    wu_palmer_similarity_rooted_compact, AlignmentScoring, AncestorList, CostModel, DepthTable,
+    FeatureSet, InformationContent, InternedFeatures, JaroMask, LabeledTree, MeasureKind,
+    MyersPattern, NodeId, QGramPacked, SourceTables, ZsTree,
 };
 use sst_soqa::{GlobalConcept, Soqa};
 
@@ -169,34 +172,91 @@ impl SimilarityContext<'_> {
 /// ⟺ equal token strings, so the DP outcome is bit-identical.
 pub type TokenId = u32;
 
+/// Which prepared-artifact families a batch operation derives — a
+/// dependency-free bitflag set. Preparing a 2 000-concept batch for a
+/// single string measure should not pay for BFS tables, subtree forms, and
+/// TF-IDF vectors it never reads, so the facade asks each runner for its
+/// [`MeasureRunner::needs`] and prepares exactly that. Artifacts that were
+/// not prepared leave their [`ConceptView`] fields `None`; every prepared
+/// scorer falls back to its naive per-pair formula in that case, so a
+/// mismatched (too-narrow) context degrades to the reference path instead
+/// of to wrong scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepareNeeds(u16);
+
+impl PrepareNeeds {
+    /// No batch artifacts (pure naive fallback scoring).
+    pub const NONE: PrepareNeeds = PrepareNeeds(0);
+    /// M₁ feature sets and their batch-interned id form.
+    pub const FEATURES: PrepareNeeds = PrepareNeeds(1 << 0);
+    /// M₂ token sequences, interned, plus their Myers bit-vector patterns.
+    pub const TOKENS: PrepareNeeds = PrepareNeeds(1 << 1);
+    /// Name character slices and Jaro bitmask tables.
+    pub const NAME_CHARS: PrepareNeeds = PrepareNeeds(1 << 2);
+    /// Lowercase name-token pool (Monge-Elkan).
+    pub const NAME_TOKENS: PrepareNeeds = PrepareNeeds(1 << 3);
+    /// Packed q-gram profiles of the names.
+    pub const QGRAMS: PrepareNeeds = PrepareNeeds(1 << 4);
+    /// Depth-limited subtrees in Zhang-Shasha form.
+    pub const SUBTREES: PrepareNeeds = PrepareNeeds(1 << 5);
+    /// TF-IDF document vectors (full-text and dense measures).
+    pub const TFIDF: PrepareNeeds = PrepareNeeds(1 << 6);
+    /// Per-concept BFS tables, compact ancestor lists, and depths
+    /// (graph and information-content measures).
+    pub const TABLES: PrepareNeeds = PrepareNeeds(1 << 7);
+    /// Every artifact family (the safe default).
+    pub const ALL: PrepareNeeds = PrepareNeeds(u16::MAX);
+
+    /// Set union of two need sets.
+    pub const fn union(self, other: PrepareNeeds) -> PrepareNeeds {
+        PrepareNeeds(self.0 | other.0)
+    }
+
+    /// Whether every flag of `other` is set in `self`.
+    pub const fn contains(self, other: PrepareNeeds) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
 /// Memoized per-concept artifacts for one batch operation: everything the
 /// default runners rederive per *pair* on the naive path, computed once per
-/// *concept* instead.
+/// *concept* instead. Fields gated by [`PrepareNeeds`] are `None` when the
+/// batch was prepared without that artifact family.
 #[derive(Debug)]
 pub struct ConceptView {
     /// The concept these views describe.
     pub concept: GlobalConcept,
     /// Its node in the unified tree.
     pub node: NodeId,
-    /// M₁ feature set (attributes, methods, relationships, typed supers).
-    pub features: FeatureSet,
-    /// M₂ token sequence, interned to [`TokenId`]s.
-    pub tokens: Vec<TokenId>,
     /// The concept's local name.
     pub name: String,
-    /// `name` as a character slice (for the Jaro-family measures).
-    pub name_chars: Vec<char>,
-    /// `name` split into lowercase word tokens, interned across the batch
-    /// (for Monge-Elkan; resolve via [`PreparedContext::name_token_pool`]).
-    pub name_tokens: Vec<TokenId>,
-    /// Padded q-gram profile of `name` (for the q-gram measure).
-    pub qgrams: QGramProfile,
-    /// Depth-2 unified-tree subtree in preprocessed Zhang-Shasha form.
-    pub subtree: ZsTree,
     /// The concept's document in the full-text index, if any.
     pub doc: Option<DocId>,
-    /// Cached TF-IDF vector of `doc` (empty when `doc` is `None`).
-    pub tfidf: Vec<(TermId, f64)>,
+    /// M₁ feature set (attributes, methods, relationships, typed supers).
+    pub features: Option<FeatureSet>,
+    /// `features` interned to sorted distinct ids against the batch
+    /// vocabulary — the set measures intersect these by sorted merge.
+    pub features_interned: Option<InternedFeatures>,
+    /// M₂ token sequence, interned to [`TokenId`]s.
+    pub tokens: Option<Vec<TokenId>>,
+    /// Myers bit-vector pattern over `tokens` (the bit-parallel
+    /// Levenshtein core of the sequence measure).
+    pub token_pattern: Option<MyersPattern>,
+    /// `name` as a character slice (for the Jaro-family measures).
+    pub name_chars: Option<Vec<char>>,
+    /// Position bitmasks of `name_chars` for the masked Jaro kernel
+    /// (`None` also for names longer than 64 characters).
+    pub jaro_mask: Option<JaroMask>,
+    /// `name` split into lowercase word tokens, interned across the batch
+    /// (for Monge-Elkan; resolve via [`PreparedContext::name_token_pool`]).
+    pub name_tokens: Option<Vec<TokenId>>,
+    /// Packed (bitset-backed) padded q-gram profile of `name`.
+    pub qgrams: Option<QGramPacked>,
+    /// Depth-2 unified-tree subtree in preprocessed Zhang-Shasha form.
+    pub subtree: Option<ZsTree>,
+    /// Cached TF-IDF vector of `doc` (`Some` but empty when `doc` is
+    /// `None` and the artifact family was prepared).
+    pub tfidf: Option<Vec<(TermId, f64)>>,
 }
 
 /// A prepared batch context: per-concept [`ConceptView`]s plus per-concept
@@ -209,8 +269,11 @@ pub struct PreparedContext<'a> {
     views: Vec<ConceptView>,
     /// First position of each distinct concept in `views`.
     index_of: HashMap<GlobalConcept, usize>,
-    /// Per-concept upward + undirected BFS tables over the unified tree.
+    /// Per-concept upward + undirected BFS tables over the unified tree
+    /// (empty unless [`PrepareNeeds::TABLES`] was requested).
     tables: Vec<SourceTables>,
+    /// Compact sorted ancestor lists derived from `tables` (same gating).
+    ancestors: Vec<AncestorList>,
     depths: Arc<DepthTable>,
     /// Distinct lowercase name tokens across the batch, indexed by the ids
     /// in [`ConceptView::name_tokens`].
@@ -218,56 +281,116 @@ pub struct PreparedContext<'a> {
 }
 
 impl<'a> PreparedContext<'a> {
-    /// Builds views and BFS tables for `concepts` (one entry per position;
+    /// Builds every artifact family for `concepts` (one entry per position;
     /// duplicates are kept so positions line up with the caller's list).
     pub fn new(base: SimilarityContext<'a>, concepts: &[GlobalConcept]) -> Self {
+        PreparedContext::new_with_needs(base, concepts, PrepareNeeds::ALL)
+    }
+
+    /// [`PreparedContext::new`] restricted to the artifact families in
+    /// `needs` — the facade passes the union of the participating runners'
+    /// [`MeasureRunner::needs`], so a single-measure batch stops paying
+    /// the prepare cost of the other eighteen measures.
+    pub fn new_with_needs(
+        base: SimilarityContext<'a>,
+        concepts: &[GlobalConcept],
+        needs: PrepareNeeds,
+    ) -> Self {
         let nodes: Vec<NodeId> = concepts.iter().map(|&gc| base.tree.node(gc)).collect();
-        let tables = base.tree.taxonomy().source_tables_for(&nodes);
+        let (tables, ancestors) = if needs.contains(PrepareNeeds::TABLES) {
+            let tables = base.tree.taxonomy().source_tables_for(&nodes);
+            let ancestors = tables
+                .iter()
+                .map(|t| AncestorList::from_table(&t.up))
+                .collect();
+            (tables, ancestors)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let depths = base.tree.taxonomy().depths();
         let mut interner: HashMap<String, TokenId> = HashMap::new();
+        let mut feature_interner: HashMap<String, TokenId> = HashMap::new();
         let mut name_interner: HashMap<String, TokenId> = HashMap::new();
         let mut name_token_pool: Vec<String> = Vec::new();
         let mut index_of = HashMap::with_capacity(concepts.len());
         let mut views = Vec::with_capacity(concepts.len());
         for (i, (&gc, &node)) in concepts.iter().zip(&nodes).enumerate() {
             index_of.entry(gc).or_insert(i);
-            let tokens = base
-                .token_sequence(gc)
-                .into_iter()
-                .map(|t| {
-                    let next = interner.len() as TokenId;
-                    *interner.entry(t).or_insert(next)
-                })
-                .collect();
+            let tokens: Option<Vec<TokenId>> = needs.contains(PrepareNeeds::TOKENS).then(|| {
+                base.token_sequence(gc)
+                    .into_iter()
+                    .map(|t| {
+                        let next = interner.len() as TokenId;
+                        *interner.entry(t).or_insert(next)
+                    })
+                    .collect()
+            });
+            let token_pattern = tokens.as_deref().map(MyersPattern::new);
             let name = base.name(gc).to_owned();
-            let name_tokens = sst_index::tokenize(&name)
-                .into_iter()
-                .map(|t| {
-                    if let Some(&id) = name_interner.get(&t) {
-                        id
-                    } else {
-                        let id = name_token_pool.len() as TokenId;
-                        name_interner.insert(t.clone(), id);
-                        name_token_pool.push(t);
-                        id
-                    }
-                })
-                .collect();
-            let name_chars = name.chars().collect();
-            let qgrams = QGramProfile::new(&name, QGRAM_Q);
+            let name_tokens: Option<Vec<TokenId>> =
+                needs.contains(PrepareNeeds::NAME_TOKENS).then(|| {
+                    sst_index::tokenize(&name)
+                        .into_iter()
+                        .map(|t| {
+                            if let Some(&id) = name_interner.get(&t) {
+                                id
+                            } else {
+                                let id = name_token_pool.len() as TokenId;
+                                name_interner.insert(t.clone(), id);
+                                name_token_pool.push(t);
+                                id
+                            }
+                        })
+                        .collect()
+                });
+            let name_chars: Option<Vec<char>> = needs
+                .contains(PrepareNeeds::NAME_CHARS)
+                .then(|| name.chars().collect());
+            let jaro_mask = name_chars.as_deref().and_then(JaroMask::new);
+            let qgrams = if needs.contains(PrepareNeeds::QGRAMS) {
+                QGramPacked::new(&name, QGRAM_Q)
+            } else {
+                None
+            };
+            let features = needs
+                .contains(PrepareNeeds::FEATURES)
+                .then(|| base.feature_set(gc));
+            let features_interned = features.as_ref().map(|set| {
+                let ids = set
+                    .iter()
+                    .map(|f| {
+                        if let Some(&id) = feature_interner.get(f.as_str()) {
+                            id
+                        } else {
+                            let id = feature_interner.len() as TokenId;
+                            feature_interner.insert(f.clone(), id);
+                            id
+                        }
+                    })
+                    .collect();
+                InternedFeatures::new(ids)
+            });
+            let subtree = needs
+                .contains(PrepareNeeds::SUBTREES)
+                .then(|| ZsTree::new(&base.subtree(gc, 2)));
             let doc = base.doc_ids[node as usize];
-            let tfidf = doc.map(|d| base.index.tfidf_vector(d)).unwrap_or_default();
+            let tfidf = needs
+                .contains(PrepareNeeds::TFIDF)
+                .then(|| doc.map(|d| base.index.tfidf_vector(d)).unwrap_or_default());
             views.push(ConceptView {
                 concept: gc,
                 node,
-                features: base.feature_set(gc),
-                tokens,
                 name,
+                doc,
+                features,
+                features_interned,
+                tokens,
+                token_pattern,
                 name_chars,
+                jaro_mask,
                 name_tokens,
                 qgrams,
-                subtree: ZsTree::new(&base.subtree(gc, 2)),
-                doc,
+                subtree,
                 tfidf,
             });
         }
@@ -276,6 +399,7 @@ impl<'a> PreparedContext<'a> {
             views,
             index_of,
             tables,
+            ancestors,
             depths,
             name_token_pool,
         }
@@ -316,6 +440,18 @@ impl<'a> PreparedContext<'a> {
         &self.tables[i]
     }
 
+    /// The BFS tables of position `i`, or `None` when the context was
+    /// prepared without [`PrepareNeeds::TABLES`].
+    pub fn try_tables(&self, i: usize) -> Option<&SourceTables> {
+        self.tables.get(i)
+    }
+
+    /// The compact ancestor list of position `i`, or `None` when the
+    /// context was prepared without [`PrepareNeeds::TABLES`].
+    pub fn ancestors(&self, i: usize) -> Option<&AncestorList> {
+        self.ancestors.get(i)
+    }
+
     /// The shared depth table of the unified tree.
     pub fn depths(&self) -> &DepthTable {
         &self.depths
@@ -348,6 +484,13 @@ pub trait MeasureRunner: Send + Sync {
     fn prepare<'p>(&self, _prep: &'p PreparedContext<'_>) -> Option<Box<dyn PreparedMeasure + 'p>> {
         None
     }
+    /// The artifact families this runner's [`MeasureRunner::prepare`] scorer
+    /// reads. The facade prepares the union of the participating runners'
+    /// needs; the default is the safe over-approximation so user-registered
+    /// runners always see a fully-built context.
+    fn needs(&self) -> PrepareNeeds {
+        PrepareNeeds::ALL
+    }
 }
 
 impl fmt::Debug for dyn MeasureRunner {
@@ -356,12 +499,18 @@ impl fmt::Debug for dyn MeasureRunner {
     }
 }
 
-/// Prepared scorer over M₁ feature sets. The concept-identity check mirrors
-/// the naive runners' identity axiom (compare concepts, not positions:
-/// duplicated concepts must still score 1).
+/// Prepared scorer over M₁ feature sets: sorted-merge intersection of the
+/// batch-interned id lists, folded through the measure's count-based core
+/// (bit-identical to the set formula by construction — see
+/// `sst_simpack::vector`). The concept-identity check mirrors the naive
+/// runners' identity axiom (compare concepts, not positions: duplicated
+/// concepts must still score 1).
 struct PreparedFeatures<'p> {
     prep: &'p PreparedContext<'p>,
-    f: fn(&FeatureSet, &FeatureSet) -> f64,
+    /// Count-based core: `f(|x∩y|, |x|, |y|)`.
+    counts: fn(usize, usize, usize) -> f64,
+    /// Set-based reference formula (naive fallback).
+    sets: fn(&FeatureSet, &FeatureSet) -> f64,
 }
 
 impl PreparedMeasure for PreparedFeatures<'_> {
@@ -370,32 +519,98 @@ impl PreparedMeasure for PreparedFeatures<'_> {
         if va.concept == vb.concept {
             return 1.0; // identity axiom, even for featureless concepts
         }
-        (self.f)(&va.features, &vb.features)
+        match (&va.features_interned, &vb.features_interned) {
+            (Some(ia), Some(ib)) => (self.counts)(ia.intersection_size(ib), ia.len(), ib.len()),
+            _ => {
+                let base = self.prep.base();
+                (self.sets)(&base.feature_set(va.concept), &base.feature_set(vb.concept))
+            }
+        }
     }
 }
 
-/// Prepared scorer over interned M₂ token sequences.
+/// Prepared scorer over interned M₂ token sequences (alignment measures).
 struct PreparedTokens<'p> {
     prep: &'p PreparedContext<'p>,
     f: fn(&[TokenId], &[TokenId]) -> f64,
+    /// Reference formula over raw token strings (naive fallback).
+    fallback: fn(&[String], &[String]) -> f64,
 }
 
 impl PreparedMeasure for PreparedTokens<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
-        (self.f)(&self.prep.view(a).tokens, &self.prep.view(b).tokens)
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        match (&va.tokens, &vb.tokens) {
+            (Some(ta), Some(tb)) => (self.f)(ta, tb),
+            _ => {
+                let base = self.prep.base();
+                (self.fallback)(
+                    &base.token_sequence(va.concept),
+                    &base.token_sequence(vb.concept),
+                )
+            }
+        }
     }
 }
 
-/// Prepared scorer over pre-collected name character slices (for the
-/// Jaro family, whose `&str` entry points collect a `Vec<char>` per call).
-struct PreparedNameChars<'p> {
+/// Prepared Levenshtein sequence scorer on the bit-parallel Myers core:
+/// the pattern bit-vectors are preprocessed per concept, the column scan
+/// runs over the other concept's interned ids, and the per-thread scratch
+/// is reused across pairs. Bit-identical to
+/// `sequence_similarity(…, CostModel::UNIT)` (pinned by the simpack
+/// differential tests).
+struct PreparedSeqLevenshtein<'p> {
     prep: &'p PreparedContext<'p>,
-    f: fn(&[char], &[char]) -> f64,
 }
 
-impl PreparedMeasure for PreparedNameChars<'_> {
+impl PreparedMeasure for PreparedSeqLevenshtein<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
-        (self.f)(&self.prep.view(a).name_chars, &self.prep.view(b).name_chars)
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        match (&va.token_pattern, &vb.tokens) {
+            (Some(pa), Some(tb)) => {
+                with_myers_scratch(|s| myers_sequence_similarity_from(pa, tb, s))
+            }
+            _ => {
+                let base = self.prep.base();
+                sequence_similarity(
+                    &base.token_sequence(va.concept),
+                    &base.token_sequence(vb.concept),
+                    CostModel::UNIT,
+                )
+            }
+        }
+    }
+}
+
+/// Prepared Jaro / Jaro-Winkler scorer: bitmask match windows for names
+/// that fit one 64-bit word (`jaro_chars_masked`), per-thread scratch
+/// buffers otherwise — both bit-identical to `jaro_chars`.
+struct PreparedJaro<'p> {
+    prep: &'p PreparedContext<'p>,
+    winkler: bool,
+}
+
+impl PreparedMeasure for PreparedJaro<'_> {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        match (&va.name_chars, &vb.name_chars) {
+            (Some(ca), Some(cb)) => with_jaro_scratch(|s| {
+                if self.winkler {
+                    jaro_winkler_fast(ca, cb, vb.jaro_mask.as_ref(), s)
+                } else {
+                    jaro_fast(ca, cb, vb.jaro_mask.as_ref(), s)
+                }
+            }),
+            _ => {
+                let base = self.prep.base();
+                let (na, nb) = (base.name(va.concept), base.name(vb.concept));
+                if self.winkler {
+                    jaro_winkler(na, nb)
+                } else {
+                    jaro(na, nb)
+                }
+            }
+        }
     }
 }
 
@@ -403,16 +618,23 @@ impl PreparedMeasure for PreparedNameChars<'_> {
 /// profiles cached on [`ConceptView`] are built with the same size.
 const QGRAM_Q: usize = 3;
 
-/// Prepared q-gram scorer over per-concept gram profiles: compares the
-/// cached sets through [`qgram_from`], the core of `qgram` itself, instead
-/// of rebuilding both profiles on every pair.
+/// Prepared q-gram scorer over packed per-concept gram profiles: a sorted
+/// `u64` merge intersection instead of hash-map counting, folded through
+/// the shared Dice expression (bit-identical to `qgram`).
 struct PreparedQGram<'p> {
     prep: &'p PreparedContext<'p>,
 }
 
 impl PreparedMeasure for PreparedQGram<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
-        qgram_from(&self.prep.view(a).qgrams, &self.prep.view(b).qgrams)
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        match (&va.qgrams, &vb.qgrams) {
+            (Some(qa), Some(qb)) => qgram_packed_from(qa, qb),
+            _ => {
+                let base = self.prep.base();
+                qgram(base.name(va.concept), base.name(vb.concept), QGRAM_Q)
+            }
+        }
     }
 }
 
@@ -436,18 +658,25 @@ impl<'p> PreparedMongeElkan<'p> {
     fn new(prep: &'p PreparedContext<'_>) -> Self {
         let pool = prep.name_token_pool();
         let chars: Vec<Vec<char>> = pool.iter().map(|t| t.chars().collect()).collect();
+        // The inner Levenshtein runs on the bit-parallel Myers core: one
+        // preprocessed pattern per pool token, one scratch for the whole
+        // table build (bit-identical to `levenshtein_similarity_chars`).
+        let patterns: Vec<MyersPattern> =
+            chars.iter().map(|c| MyersPattern::from_chars(c)).collect();
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(pool.len());
-        for (i, x) in chars.iter().enumerate() {
-            let mut row = Vec::with_capacity(pool.len());
-            for prev in &rows {
-                // Mirror of the already-computed sim(pool[j], pool[i]).
-                row.push(prev.get(i).copied().unwrap_or(0.0));
+        with_myers_scratch(|scratch| {
+            for (i, x) in patterns.iter().enumerate() {
+                let mut row = Vec::with_capacity(pool.len());
+                for prev in &rows {
+                    // Mirror of the already-computed sim(pool[j], pool[i]).
+                    row.push(prev.get(i).copied().unwrap_or(0.0));
+                }
+                for y in chars.iter().skip(i) {
+                    row.push(myers_similarity_chars_from(x, y, scratch));
+                }
+                rows.push(row);
             }
-            for y in chars.iter().skip(i) {
-                row.push(levenshtein_similarity_chars(x, y));
-            }
-            rows.push(row);
-        }
+        });
         PreparedMongeElkan { prep, rows }
     }
 
@@ -480,11 +709,24 @@ impl<'p> PreparedMongeElkan<'p> {
 
 impl PreparedMeasure for PreparedMongeElkan<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
-        let ta = &self.prep.view(a).name_tokens;
-        let tb = &self.prep.view(b).name_tokens;
-        let ab = self.directed(ta, tb);
-        let ba = self.directed(tb, ta);
-        (ab + ba) / 2.0
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        match (&va.name_tokens, &vb.name_tokens) {
+            (Some(ta), Some(tb)) => {
+                let ab = self.directed(ta, tb);
+                let ba = self.directed(tb, ta);
+                (ab + ba) / 2.0
+            }
+            _ => {
+                let base = self.prep.base();
+                let ta = sst_index::tokenize(base.name(va.concept));
+                let tb = sst_index::tokenize(base.name(vb.concept));
+                let ra: Vec<&str> = ta.iter().map(String::as_str).collect();
+                let rb: Vec<&str> = tb.iter().map(String::as_str).collect();
+                let ab = monge_elkan(&ra, &rb, levenshtein_similarity);
+                let ba = monge_elkan(&rb, &ra, levenshtein_similarity);
+                (ab + ba) / 2.0
+            }
+        }
     }
 }
 
@@ -495,7 +737,11 @@ enum GraphFormula {
     WuPalmerRooted,
 }
 
-/// Prepared scorer over per-concept BFS tables and the shared depth table.
+/// Prepared scorer over per-concept BFS tables, compact sorted ancestor
+/// lists, and the shared depth table. The compact paths scan the two
+/// concepts' ancestor lists by sorted merge instead of walking full
+/// node-indexed distance tables, visiting candidates in the same ascending
+/// id order with the same tie-breaks (bit-identical by construction).
 struct PreparedGraph<'p> {
     prep: &'p PreparedContext<'p>,
     formula: GraphFormula,
@@ -504,14 +750,30 @@ struct PreparedGraph<'p> {
 impl PreparedMeasure for PreparedGraph<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
         let (va, vb) = (self.prep.view(a), self.prep.view(b));
-        let (ta, tb) = (self.prep.tables(a), self.prep.tables(b));
         match self.formula {
-            GraphFormula::ShortestPath => shortest_path_similarity_from(ta, vb.node),
-            GraphFormula::Edge => {
-                edge_similarity_from(&ta.up, &tb.up, va.node == vb.node, self.prep.depths().max())
-            }
+            GraphFormula::ShortestPath => match self.prep.try_tables(a) {
+                Some(ta) => shortest_path_similarity_from(ta, vb.node),
+                None => {
+                    shortest_path_similarity(self.prep.base().tree.taxonomy(), va.node, vb.node)
+                }
+            },
+            GraphFormula::Edge => match (self.prep.ancestors(a), self.prep.ancestors(b)) {
+                (Some(la), Some(lb)) => {
+                    edge_similarity_compact(la, lb, va.node == vb.node, self.prep.depths().max())
+                }
+                _ => edge_similarity(self.prep.base().tree.taxonomy(), va.node, vb.node),
+            },
             GraphFormula::WuPalmerRooted => {
-                wu_palmer_similarity_rooted_from(&ta.up, &tb.up, self.prep.depths())
+                match (self.prep.ancestors(a), self.prep.ancestors(b)) {
+                    (Some(la), Some(lb)) => {
+                        wu_palmer_similarity_rooted_compact(la, lb, self.prep.depths())
+                    }
+                    _ => wu_palmer_similarity_rooted(
+                        self.prep.base().tree.taxonomy(),
+                        va.node,
+                        vb.node,
+                    ),
+                }
             }
         }
     }
@@ -524,7 +786,9 @@ enum IcFormula {
     JiangConrath,
 }
 
-/// Prepared information-content scorer over per-concept upward tables.
+/// Prepared information-content scorer over compact ancestor lists: the
+/// best-subsumer scan merges two sorted id lists instead of intersecting
+/// node-indexed tables, with the same candidate order and tie-breaks.
 struct PreparedIc<'p> {
     prep: &'p PreparedContext<'p>,
     formula: IcFormula,
@@ -532,13 +796,22 @@ struct PreparedIc<'p> {
 
 impl PreparedMeasure for PreparedIc<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
-        let ic = self.prep.base().ic;
+        let base = self.prep.base();
+        let ic = base.ic;
         let (na, nb) = (self.prep.view(a).node, self.prep.view(b).node);
-        let (da, db) = (&self.prep.tables(a).up, &self.prep.tables(b).up);
-        match self.formula {
-            IcFormula::Resnik => resnik_similarity_from(ic, da, db),
-            IcFormula::Lin => lin_similarity_from(ic, na, nb, da, db),
-            IcFormula::JiangConrath => jiang_conrath_similarity_from(ic, na, nb, da, db),
+        match (self.prep.ancestors(a), self.prep.ancestors(b)) {
+            (Some(la), Some(lb)) => match self.formula {
+                IcFormula::Resnik => resnik_similarity_compact(ic, la, lb),
+                IcFormula::Lin => lin_similarity_compact(ic, na, nb, la, lb),
+                IcFormula::JiangConrath => jiang_conrath_similarity_compact(ic, na, nb, la, lb),
+            },
+            _ => match self.formula {
+                IcFormula::Resnik => resnik_similarity(base.tree.taxonomy(), ic, na, nb),
+                IcFormula::Lin => lin_similarity(base.tree.taxonomy(), ic, na, nb),
+                IcFormula::JiangConrath => {
+                    jiang_conrath_similarity(base.tree.taxonomy(), ic, na, nb)
+                }
+            },
         }
     }
 }
@@ -551,10 +824,13 @@ struct PreparedTfidf<'p> {
 impl PreparedMeasure for PreparedTfidf<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
         let (va, vb) = (self.prep.view(a), self.prep.view(b));
-        if va.doc.is_none() || vb.doc.is_none() {
+        let (Some(da), Some(db)) = (va.doc, vb.doc) else {
             return 0.0;
+        };
+        match (&va.tfidf, &vb.tfidf) {
+            (Some(ta), Some(tb)) => cosine_sparse(ta, tb),
+            _ => self.prep.base().index.cosine(da, db),
         }
-        cosine_sparse(&va.tfidf, &vb.tfidf)
     }
 }
 
@@ -565,14 +841,20 @@ impl PreparedMeasure for PreparedTfidf<'_> {
 /// paths are bit-identical.
 struct PreparedDense<'p> {
     prep: &'p PreparedContext<'p>,
-    embeddings: Vec<Vec<f64>>,
+    /// `None` when the context was prepared without TF-IDF vectors.
+    embeddings: Option<Vec<Vec<f64>>>,
 }
 
 impl<'p> PreparedDense<'p> {
     fn new(prep: &'p PreparedContext<'_>) -> Self {
         let embeddings = (0..prep.len())
-            .map(|i| crate::vector::embed_tfidf(&prep.view(i).tfidf, crate::vector::EMBED_DIM))
-            .collect();
+            .map(|i| {
+                prep.view(i)
+                    .tfidf
+                    .as_ref()
+                    .map(|t| crate::vector::embed_tfidf(t, crate::vector::EMBED_DIM))
+            })
+            .collect::<Option<Vec<_>>>();
         PreparedDense { prep, embeddings }
     }
 }
@@ -583,21 +865,40 @@ impl PreparedMeasure for PreparedDense<'_> {
         if va.concept == vb.concept {
             return 1.0; // identity axiom, even for undescribed concepts
         }
-        let empty: &[f64] = &[];
-        let ea = self.embeddings.get(a).map(Vec::as_slice).unwrap_or(empty);
-        let eb = self.embeddings.get(b).map(Vec::as_slice).unwrap_or(empty);
-        dense_unit_similarity(ea, eb)
+        match &self.embeddings {
+            Some(embeddings) => {
+                let empty: &[f64] = &[];
+                let ea = embeddings.get(a).map(Vec::as_slice).unwrap_or(empty);
+                let eb = embeddings.get(b).map(Vec::as_slice).unwrap_or(empty);
+                dense_unit_similarity(ea, eb)
+            }
+            None => {
+                let base = self.prep.base();
+                dense_unit_similarity(
+                    &base.dense_embedding(va.concept),
+                    &base.dense_embedding(vb.concept),
+                )
+            }
+        }
     }
 }
 
-/// Prepared Zhang-Shasha similarity over cached subtree forms.
+/// Prepared Zhang-Shasha similarity over cached subtree forms, reusing the
+/// per-thread DP scratch across pairs.
 struct PreparedTreeEdit<'p> {
     prep: &'p PreparedContext<'p>,
 }
 
 impl PreparedMeasure for PreparedTreeEdit<'_> {
     fn similarity(&self, a: usize, b: usize) -> f64 {
-        tree_similarity_zs(&self.prep.view(a).subtree, &self.prep.view(b).subtree)
+        let (va, vb) = (self.prep.view(a), self.prep.view(b));
+        match (&va.subtree, &vb.subtree) {
+            (Some(ta), Some(tb)) => with_zs_scratch(|s| tree_similarity_zs_scratch(ta, tb, s)),
+            _ => {
+                let base = self.prep.base();
+                tree_similarity(&base.subtree(va.concept, 2), &base.subtree(vb.concept, 2))
+            }
+        }
     }
 }
 
@@ -607,11 +908,13 @@ macro_rules! runner {
         runner!(
             $(#[$doc])* $ty, $name, $display, $kind, $normalized,
             |$ctx, $a, $b| $body,
+            needs: PrepareNeeds::NONE,
             prepare: |_prep| None
         );
     };
     ($(#[$doc:meta])* $ty:ident, $name:literal, $display:literal, $kind:expr,
      $normalized:literal, |$ctx:ident, $a:ident, $b:ident| $body:expr,
+     needs: $needs:expr,
      prepare: |$prep:ident| $pbody:expr) => {
         $(#[$doc])*
         #[derive(Debug, Default, Clone, Copy)]
@@ -642,6 +945,10 @@ macro_rules! runner {
             ) -> Option<Box<dyn PreparedMeasure + 'p>> {
                 $pbody
             }
+
+            fn needs(&self) -> PrepareNeeds {
+                $needs
+            }
         }
     };
 }
@@ -655,7 +962,12 @@ runner!(
         }
         sst_simpack::cosine(&ctx.feature_set(a), &ctx.feature_set(b))
     },
-    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::cosine }))
+    needs: PrepareNeeds::FEATURES,
+    prepare: |prep| Some(Box::new(PreparedFeatures {
+        prep,
+        counts: sst_simpack::cosine_from_counts,
+        sets: sst_simpack::cosine,
+    }))
 );
 runner!(
     /// Extended Jaccard over feature sets (Eq. 2).
@@ -666,7 +978,12 @@ runner!(
         }
         sst_simpack::jaccard(&ctx.feature_set(a), &ctx.feature_set(b))
     },
-    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::jaccard }))
+    needs: PrepareNeeds::FEATURES,
+    prepare: |prep| Some(Box::new(PreparedFeatures {
+        prep,
+        counts: sst_simpack::jaccard_from_counts,
+        sets: sst_simpack::jaccard,
+    }))
 );
 runner!(
     /// Overlap over feature sets (Eq. 3).
@@ -677,7 +994,12 @@ runner!(
         }
         sst_simpack::overlap(&ctx.feature_set(a), &ctx.feature_set(b))
     },
-    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::overlap }))
+    needs: PrepareNeeds::FEATURES,
+    prepare: |prep| Some(Box::new(PreparedFeatures {
+        prep,
+        counts: sst_simpack::overlap_from_counts,
+        sets: sst_simpack::overlap,
+    }))
 );
 runner!(
     /// Dice over feature sets (extension).
@@ -688,7 +1010,12 @@ runner!(
         }
         sst_simpack::dice(&ctx.feature_set(a), &ctx.feature_set(b))
     },
-    prepare: |prep| Some(Box::new(PreparedFeatures { prep, f: sst_simpack::dice }))
+    needs: PrepareNeeds::FEATURES,
+    prepare: |prep| Some(Box::new(PreparedFeatures {
+        prep,
+        counts: sst_simpack::dice_from_counts,
+        sets: sst_simpack::dice,
+    }))
 );
 runner!(
     /// Normalized token-sequence edit distance over M₂ sequences (Eq. 4).
@@ -698,24 +1025,28 @@ runner!(
         let y = ctx.token_sequence(b);
         sequence_similarity(&x, &y, CostModel::UNIT)
     },
-    prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| sequence_similarity(x, y, CostModel::UNIT) }))
+    needs: PrepareNeeds::TOKENS,
+    prepare: |prep| Some(Box::new(PreparedSeqLevenshtein { prep }))
 );
 runner!(
     /// Jaro on concept names (SecondString extension).
     JaroRunner, "jaro", "Jaro", MeasureKind::String, true,
     |ctx, a, b| jaro(ctx.name(a), ctx.name(b)),
-    prepare: |prep| Some(Box::new(PreparedNameChars { prep, f: jaro_chars }))
+    needs: PrepareNeeds::NAME_CHARS,
+    prepare: |prep| Some(Box::new(PreparedJaro { prep, winkler: false }))
 );
 runner!(
     /// Jaro-Winkler on concept names (SecondString extension).
     JaroWinklerRunner, "jaro_winkler", "Jaro-Winkler", MeasureKind::String, true,
     |ctx, a, b| jaro_winkler(ctx.name(a), ctx.name(b)),
-    prepare: |prep| Some(Box::new(PreparedNameChars { prep, f: jaro_winkler_chars }))
+    needs: PrepareNeeds::NAME_CHARS,
+    prepare: |prep| Some(Box::new(PreparedJaro { prep, winkler: true }))
 );
 runner!(
     /// Padded trigram Dice on concept names (SimMetrics extension).
     QGramRunner, "qgram", "Q-Gram", MeasureKind::String, true,
     |ctx, a, b| qgram(ctx.name(a), ctx.name(b), QGRAM_Q),
+    needs: PrepareNeeds::QGRAMS,
     prepare: |prep| Some(Box::new(PreparedQGram { prep }))
 );
 runner!(
@@ -731,6 +1062,7 @@ runner!(
         let ba = monge_elkan(&rb, &ra, levenshtein_similarity);
         (ab + ba) / 2.0
     },
+    needs: PrepareNeeds::NAME_TOKENS,
     prepare: |prep| Some(Box::new(PreparedMongeElkan::new(prep)))
 );
 runner!(
@@ -740,12 +1072,14 @@ runner!(
     |ctx, a, b| {
         shortest_path_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
     },
+    needs: PrepareNeeds::TABLES,
     prepare: |prep| Some(Box::new(PreparedGraph { prep, formula: GraphFormula::ShortestPath }))
 );
 runner!(
     /// Normalized edge counting (Eq. 5).
     EdgeRunner, "edge", "Edge Counting", MeasureKind::Graph, true,
     |ctx, a, b| edge_similarity(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b)),
+    needs: PrepareNeeds::TABLES,
     prepare: |prep| Some(Box::new(PreparedGraph { prep, formula: GraphFormula::Edge }))
 );
 runner!(
@@ -756,6 +1090,7 @@ runner!(
     |ctx, a, b| {
         wu_palmer_similarity_rooted(ctx.tree.taxonomy(), ctx.tree.node(a), ctx.tree.node(b))
     },
+    needs: PrepareNeeds::TABLES,
     prepare: |prep| Some(Box::new(PreparedGraph { prep, formula: GraphFormula::WuPalmerRooted }))
 );
 runner!(
@@ -765,6 +1100,7 @@ runner!(
     |ctx, a, b| {
         resnik_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
     },
+    needs: PrepareNeeds::TABLES,
     prepare: |prep| Some(Box::new(PreparedIc { prep, formula: IcFormula::Resnik }))
 );
 runner!(
@@ -773,6 +1109,7 @@ runner!(
     |ctx, a, b| {
         lin_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
     },
+    needs: PrepareNeeds::TABLES,
     prepare: |prep| Some(Box::new(PreparedIc { prep, formula: IcFormula::Lin }))
 );
 runner!(
@@ -782,6 +1119,7 @@ runner!(
     |ctx, a, b| {
         jiang_conrath_similarity(ctx.tree.taxonomy(), ctx.ic, ctx.tree.node(a), ctx.tree.node(b))
     },
+    needs: PrepareNeeds::TABLES,
     prepare: |prep| Some(Box::new(PreparedIc { prep, formula: IcFormula::JiangConrath }))
 );
 runner!(
@@ -797,6 +1135,7 @@ runner!(
         };
         ctx.index.cosine(da, db)
     },
+    needs: PrepareNeeds::TFIDF,
     prepare: |prep| Some(Box::new(PreparedTfidf { prep }))
 );
 runner!(
@@ -804,6 +1143,7 @@ runner!(
     /// (depth-limited to 2) — the future-work tree measure.
     TreeEditRunner, "tree_edit", "Tree Edit Distance", MeasureKind::Tree, true,
     |ctx, a, b| tree_similarity(&ctx.subtree(a, 2), &ctx.subtree(b, 2)),
+    needs: PrepareNeeds::SUBTREES,
     prepare: |prep| Some(Box::new(PreparedTreeEdit { prep }))
 );
 runner!(
@@ -816,7 +1156,16 @@ runner!(
         let y = ctx.token_sequence(b);
         needleman_wunsch_similarity(&x, &y, AlignmentScoring::default())
     },
-    prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| needleman_wunsch_similarity(x, y, AlignmentScoring::default()) }))
+    needs: PrepareNeeds::TOKENS,
+    prepare: |prep| Some(Box::new(PreparedTokens {
+        prep,
+        f: |x, y| {
+            with_align_scratch(|s| {
+                needleman_wunsch_similarity_scratch(x, y, AlignmentScoring::default(), s)
+            })
+        },
+        fallback: |x, y| needleman_wunsch_similarity(x, y, AlignmentScoring::default()),
+    }))
 );
 runner!(
     /// Smith-Waterman local alignment of the M₂ token sequences: scores the
@@ -828,7 +1177,16 @@ runner!(
         let y = ctx.token_sequence(b);
         smith_waterman_similarity(&x, &y, AlignmentScoring::default())
     },
-    prepare: |prep| Some(Box::new(PreparedTokens { prep, f: |x, y| smith_waterman_similarity(x, y, AlignmentScoring::default()) }))
+    needs: PrepareNeeds::TOKENS,
+    prepare: |prep| Some(Box::new(PreparedTokens {
+        prep,
+        f: |x, y| {
+            with_align_scratch(|s| {
+                smith_waterman_similarity_scratch(x, y, AlignmentScoring::default(), s)
+            })
+        },
+        fallback: |x, y| smith_waterman_similarity(x, y, AlignmentScoring::default()),
+    }))
 );
 
 runner!(
@@ -845,6 +1203,7 @@ runner!(
         }
         dense_unit_similarity(&ctx.dense_embedding(a), &ctx.dense_embedding(b))
     },
+    needs: PrepareNeeds::TFIDF,
     prepare: |prep| Some(Box::new(PreparedDense::new(prep)))
 );
 

@@ -147,6 +147,21 @@ pub const CATALOG: &[MetricDecl] = &[
         help: "rank-query wall time per measure (ns)",
     },
     MetricDecl {
+        name: "core.sched.imbalance",
+        kind: MetricKind::Gauge,
+        help: "last scheduler run's max/mean worker busy time (permille)",
+    },
+    MetricDecl {
+        name: "core.sched.steals",
+        kind: MetricKind::Counter,
+        help: "successful work-stealing deque steals",
+    },
+    MetricDecl {
+        name: "core.sched.tiles",
+        kind: MetricKind::Counter,
+        help: "tiles executed by the work-stealing scheduler",
+    },
+    MetricDecl {
         name: "core.vector.approx.latency",
         kind: MetricKind::Histogram,
         help: "approximate (graph) vector rank wall time (ns)",

@@ -303,6 +303,136 @@ impl Taxonomy {
     }
 }
 
+/// Compact ancestor list of one source concept: `(node, upward distance)`
+/// for every ancestor-or-self, sorted by node id. Ontology DAGs are
+/// shallow, so a concept's ancestor set is tiny compared to the node count
+/// — walking two of these lists replaces the O(node-count) full-table scans
+/// of [`mrca_from`]/[`path_via_common_ancestor_from`] with a merge over a
+/// handful of entries. Iteration stays in ascending id order, so every
+/// tie-break selects the same node and the measures stay bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct AncestorList {
+    entries: Vec<(NodeId, u32)>,
+}
+
+impl AncestorList {
+    /// Extracts the `Some` entries of a full upward-distance table (already
+    /// in ascending id order).
+    pub fn from_table(up: &[Option<u32>]) -> AncestorList {
+        AncestorList {
+            entries: up
+                .iter()
+                .enumerate()
+                .filter_map(|(n, d)| d.map(|d| (n as NodeId, d)))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge-walks two lists, yielding the common nodes in ascending id
+    /// order with both upward distances.
+    pub(crate) fn common<'a>(&'a self, other: &'a AncestorList) -> CommonAncestors<'a> {
+        CommonAncestors {
+            xs: &self.entries,
+            ys: &other.entries,
+        }
+    }
+}
+
+/// Iterator over the common entries of two sorted [`AncestorList`]s.
+#[derive(Debug)]
+pub(crate) struct CommonAncestors<'a> {
+    xs: &'a [(NodeId, u32)],
+    ys: &'a [(NodeId, u32)],
+}
+
+impl Iterator for CommonAncestors<'_> {
+    type Item = (NodeId, u32, u32);
+
+    fn next(&mut self) -> Option<(NodeId, u32, u32)> {
+        loop {
+            let (&(xn, xd), &(yn, yd)) = (self.xs.first()?, self.ys.first()?);
+            match xn.cmp(&yn) {
+                std::cmp::Ordering::Less => self.xs = self.xs.get(1..).unwrap_or(&[]),
+                std::cmp::Ordering::Greater => self.ys = self.ys.get(1..).unwrap_or(&[]),
+                std::cmp::Ordering::Equal => {
+                    self.xs = self.xs.get(1..).unwrap_or(&[]);
+                    self.ys = self.ys.get(1..).unwrap_or(&[]);
+                    return Some((xn, xd, yd));
+                }
+            }
+        }
+    }
+}
+
+/// [`path_via_common_ancestor_from`] over compact ancestor lists. `min`
+/// over the same value set as the full-table zip, so the result is
+/// identical.
+pub fn path_via_common_ancestor_compact(a: &AncestorList, b: &AncestorList) -> Option<u32> {
+    a.common(b).map(|(_, x, y)| x + y).min()
+}
+
+/// [`mrca_from`] over compact ancestor lists: the candidate scan visits the
+/// common nodes in the same ascending id order with the same tie-breaks.
+pub fn mrca_compact(
+    a: &AncestorList,
+    b: &AncestorList,
+    depths: &DepthTable,
+) -> Option<(NodeId, u32, u32)> {
+    let mut best: Option<(NodeId, u32, u32, u32)> = None;
+    for (n, n1, n2) in a.common(b) {
+        let depth = depths.depth(n);
+        let better = match &best {
+            None => true,
+            Some((bn, b1, b2, bd)) => {
+                let (bn, b1, b2, bd) = (*bn, *b1, *b2, *bd);
+                let (sum, bsum) = (n1 + n2, b1 + b2);
+                sum < bsum || (sum == bsum && (depth > bd || (depth == bd && n < bn)))
+            }
+        };
+        if better {
+            best = Some((n, n1, n2, depth));
+        }
+    }
+    best.map(|(n, n1, n2, _)| (n, n1, n2))
+}
+
+/// [`edge_similarity_from`] over compact ancestor lists.
+pub fn edge_similarity_compact(
+    a: &AncestorList,
+    b: &AncestorList,
+    same: bool,
+    max_depth: u32,
+) -> f64 {
+    edge_length_similarity(path_via_common_ancestor_compact(a, b), same, max_depth)
+}
+
+/// [`wu_palmer_similarity_from`] over compact ancestor lists.
+pub fn wu_palmer_similarity_compact(
+    a: &AncestorList,
+    b: &AncestorList,
+    depths: &DepthTable,
+    same: bool,
+) -> f64 {
+    wu_palmer_core(mrca_compact(a, b, depths), depths, same)
+}
+
+/// [`wu_palmer_similarity_rooted_from`] over compact ancestor lists.
+pub fn wu_palmer_similarity_rooted_compact(
+    a: &AncestorList,
+    b: &AncestorList,
+    depths: &DepthTable,
+) -> f64 {
+    wu_palmer_rooted_core(mrca_compact(a, b, depths), depths)
+}
+
 /// Table-based [`Taxonomy::path_via_common_ancestor`]: zip-min over two
 /// precomputed upward-distance tables.
 pub fn path_via_common_ancestor_from(da: &[Option<u32>], db: &[Option<u32>]) -> Option<u32> {
@@ -622,6 +752,52 @@ mod tests {
             let table = deep.undirected_distances(a);
             for b in 0..6 {
                 assert_eq!(table[b as usize], deep.shortest_path(a, b), "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_ancestor_lists_match_full_tables_bitwise() {
+        for t in [sample(), {
+            // Deep diamond with multiple inheritance.
+            let mut t = Taxonomy::new(6, 0);
+            t.add_edge(1, 0);
+            t.add_edge(2, 1);
+            t.add_edge(3, 2);
+            t.add_edge(5, 0);
+            t.add_edge(4, 3);
+            t.add_edge(4, 5);
+            t
+        }] {
+            let n = t.node_count() as NodeId;
+            let depths = t.depths();
+            let tables: Vec<_> = (0..n).map(|a| t.up_distances(a)).collect();
+            let lists: Vec<_> = tables
+                .iter()
+                .map(|up| AncestorList::from_table(up))
+                .collect();
+            for a in 0..n {
+                for b in 0..n {
+                    let (ta, tb) = (&tables[a as usize], &tables[b as usize]);
+                    let (la, lb) = (&lists[a as usize], &lists[b as usize]);
+                    assert_eq!(
+                        path_via_common_ancestor_compact(la, lb),
+                        path_via_common_ancestor_from(ta, tb)
+                    );
+                    assert_eq!(mrca_compact(la, lb, &depths), mrca_from(ta, tb, &depths));
+                    assert_eq!(
+                        edge_similarity_compact(la, lb, a == b, depths.max()).to_bits(),
+                        edge_similarity_from(ta, tb, a == b, depths.max()).to_bits()
+                    );
+                    assert_eq!(
+                        wu_palmer_similarity_compact(la, lb, &depths, a == b).to_bits(),
+                        wu_palmer_similarity_from(ta, tb, &depths, a == b).to_bits()
+                    );
+                    assert_eq!(
+                        wu_palmer_similarity_rooted_compact(la, lb, &depths).to_bits(),
+                        wu_palmer_similarity_rooted_from(ta, tb, &depths).to_bits()
+                    );
+                }
             }
         }
     }

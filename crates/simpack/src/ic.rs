@@ -7,7 +7,7 @@
 //! subclass counts, where every concept contributes one observation to
 //! itself and all its ancestors.
 
-use crate::graph::{NodeId, Taxonomy};
+use crate::graph::{AncestorList, NodeId, Taxonomy};
 
 /// How `p(c)` is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +116,74 @@ pub fn best_subsumer_from(
 /// The common subsumer with maximal information content, if any.
 fn best_subsumer(t: &Taxonomy, ic: &InformationContent, a: NodeId, b: NodeId) -> Option<NodeId> {
     best_subsumer_from(ic, &t.up_distances(a), &t.up_distances(b))
+}
+
+/// [`best_subsumer_from`] over compact ancestor lists (see
+/// [`AncestorList`]). The merge walk visits the common nodes in the same
+/// ascending id order as the full-table scan, and the fold replicates
+/// `max_by` exactly (keep the incumbent only when it compares `Greater`),
+/// so the selected subsumer — and every IC measure built on it — is
+/// identical.
+pub fn best_subsumer_compact(
+    ic: &InformationContent,
+    a: &AncestorList,
+    b: &AncestorList,
+) -> Option<NodeId> {
+    let mut best: Option<NodeId> = None;
+    for (n, _, _) in a.common(b) {
+        best = Some(match best {
+            None => n,
+            Some(x) => {
+                let keep = ic
+                    .ic(x)
+                    .partial_cmp(&ic.ic(n))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(n.cmp(&x))
+                    == std::cmp::Ordering::Greater;
+                if keep {
+                    x
+                } else {
+                    n
+                }
+            }
+        });
+    }
+    best
+}
+
+/// [`resnik_similarity_from`] over compact ancestor lists.
+pub fn resnik_similarity_compact(
+    ic: &InformationContent,
+    a: &AncestorList,
+    b: &AncestorList,
+) -> f64 {
+    resnik_core(ic, best_subsumer_compact(ic, a, b))
+}
+
+/// [`lin_similarity_from`] over compact ancestor lists.
+pub fn lin_similarity_compact(
+    ic: &InformationContent,
+    a: NodeId,
+    b: NodeId,
+    la: &AncestorList,
+    lb: &AncestorList,
+) -> f64 {
+    let denom = ic.probability(a).log2() + ic.probability(b).log2();
+    if denom == 0.0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    lin_core(ic, best_subsumer_compact(ic, la, lb), denom)
+}
+
+/// [`jiang_conrath_similarity_from`] over compact ancestor lists.
+pub fn jiang_conrath_similarity_compact(
+    ic: &InformationContent,
+    a: NodeId,
+    b: NodeId,
+    la: &AncestorList,
+    lb: &AncestorList,
+) -> f64 {
+    jiang_conrath_core(ic, a, b, best_subsumer_compact(ic, la, lb))
 }
 
 /// Resnik similarity (Eq. 7): `max_{z ∈ S(a,b)} −log₂ p(z)`.
@@ -330,6 +398,39 @@ mod tests {
                 assert_eq!(
                     jiang_conrath_similarity_from(&ic, a, b, da, db).to_bits(),
                     jiang_conrath_similarity(&t, &ic, a, b).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_variants_are_bit_identical() {
+        let t = sample();
+        let ic = InformationContent::from_subclasses(&t);
+        let tables: Vec<_> = (0..7).map(|n| t.up_distances(n)).collect();
+        let lists: Vec<_> = tables
+            .iter()
+            .map(|up| AncestorList::from_table(up))
+            .collect();
+        for a in 0..7 {
+            for b in 0..7 {
+                let (da, db) = (&tables[a as usize], &tables[b as usize]);
+                let (la, lb) = (&lists[a as usize], &lists[b as usize]);
+                assert_eq!(
+                    best_subsumer_compact(&ic, la, lb),
+                    best_subsumer_from(&ic, da, db)
+                );
+                assert_eq!(
+                    resnik_similarity_compact(&ic, la, lb).to_bits(),
+                    resnik_similarity_from(&ic, da, db).to_bits()
+                );
+                assert_eq!(
+                    lin_similarity_compact(&ic, a, b, la, lb).to_bits(),
+                    lin_similarity_from(&ic, a, b, da, db).to_bits()
+                );
+                assert_eq!(
+                    jiang_conrath_similarity_compact(&ic, a, b, la, lb).to_bits(),
+                    jiang_conrath_similarity_from(&ic, a, b, da, db).to_bits()
                 );
             }
         }

@@ -159,24 +159,57 @@ pub fn tree_edit_distance(a: &LabeledTree, b: &LabeledTree) -> usize {
 /// preprocess each tree once (postorder, leftmost leaves, keyroots) and
 /// reuse the forms across every pair.
 pub fn tree_edit_distance_zs(ta: &ZsTree, tb: &ZsTree) -> usize {
+    let mut scratch = ZsScratch::new();
+    tree_edit_distance_zs_scratch(ta, tb, &mut scratch)
+}
+
+/// Reusable flat DP buffers for the Zhang-Shasha distance: the `n_a × n_b`
+/// subtree-distance table plus the per-keyroot-pair forest table, hoisted
+/// out of the per-pair path so batch scans allocate once per thread.
+#[derive(Debug, Clone, Default)]
+pub struct ZsScratch {
+    treedist: Vec<usize>,
+    fd: Vec<usize>,
+}
+
+impl ZsScratch {
+    pub fn new() -> ZsScratch {
+        ZsScratch::default()
+    }
+}
+
+/// One thread-local [`ZsScratch`] per thread for `&self` batch scorers.
+pub fn with_zs_scratch<R>(f: impl FnOnce(&mut ZsScratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<ZsScratch> = RefCell::new(ZsScratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        // Unreachable in practice (`f` never re-enters); a fresh scratch
+        // computes the same distance.
+        Err(_) => f(&mut ZsScratch::new()),
+    })
+}
+
+/// [`tree_edit_distance_zs`] with caller-provided scratch buffers — the
+/// same integer DP, so the distance is identical.
+pub fn tree_edit_distance_zs_scratch(ta: &ZsTree, tb: &ZsTree, scratch: &mut ZsScratch) -> usize {
     if ta.n == 0 {
         return tb.n;
     }
     if tb.n == 0 {
         return ta.n;
     }
-    let mut treedist = vec![vec![0usize; tb.n]; ta.n];
-
+    let cells = ta.n * tb.n;
+    scratch.treedist.clear();
+    scratch.treedist.resize(cells, 0);
     for &i in &ta.keyroots {
         for &j in &tb.keyroots {
-            compute_treedist(ta, tb, i, j, &mut treedist);
+            compute_treedist(ta, tb, i, j, &mut scratch.treedist, &mut scratch.fd);
         }
     }
-    treedist
-        .last()
-        .and_then(|row| row.last())
-        .copied()
-        .unwrap_or(0)
+    scratch.treedist.last().copied().unwrap_or(0)
 }
 
 /// Tree similarity: `1 − d / (|a| + |b|)`. The denominator is the worst
@@ -187,11 +220,18 @@ pub fn tree_similarity(a: &LabeledTree, b: &LabeledTree) -> f64 {
 
 /// [`tree_similarity`] over pre-built [`ZsTree`] forms.
 pub fn tree_similarity_zs(ta: &ZsTree, tb: &ZsTree) -> f64 {
+    let mut scratch = ZsScratch::new();
+    tree_similarity_zs_scratch(ta, tb, &mut scratch)
+}
+
+/// [`tree_similarity_zs`] with caller-provided scratch buffers (the same
+/// distance through the same final expression, hence bit-identical).
+pub fn tree_similarity_zs_scratch(ta: &ZsTree, tb: &ZsTree, scratch: &mut ZsScratch) -> f64 {
     let total = ta.n + tb.n;
     if total == 0 {
         return 1.0;
     }
-    1.0 - tree_edit_distance_zs(ta, tb) as f64 / total as f64
+    1.0 - tree_edit_distance_zs_scratch(ta, tb, scratch) as f64 / total as f64
 }
 
 /// Preprocessed tree in Zhang-Shasha form: postorder labels, leftmost-leaf
@@ -199,10 +239,24 @@ pub fn tree_similarity_zs(ta: &ZsTree, tb: &ZsTree) -> f64 {
 #[derive(Debug, Clone)]
 pub struct ZsTree {
     labels: Vec<String>,
+    /// FNV-1a hash of each label: the relabel-cost check compares hashes
+    /// first and only falls back to the strings on a hash match, which
+    /// cannot change the outcome (distinct hashes imply distinct strings).
+    label_hashes: Vec<u64>,
     /// l[i] = postorder index of the leftmost leaf of the subtree at i.
     l: Vec<usize>,
     keyroots: Vec<usize>,
     n: usize,
+}
+
+/// FNV-1a over the label bytes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 impl ZsTree {
@@ -232,12 +286,14 @@ impl ZsTree {
                 keyroots.push(i);
             }
         }
-        let labels = order
+        let labels: Vec<String> = order
             .iter()
             .map(|&node| tree.labels[node].clone())
             .collect();
+        let label_hashes = labels.iter().map(|s| fnv1a(s)).collect();
         ZsTree {
             labels,
+            label_hashes,
             l,
             keyroots,
             n,
@@ -245,7 +301,19 @@ impl ZsTree {
     }
 }
 
-fn compute_treedist(a: &ZsTree, b: &ZsTree, i: usize, j: usize, treedist: &mut [Vec<usize>]) {
+/// One keyroot-pair forest DP over flat row-major buffers: `treedist` has
+/// stride `b.n`, the forest table `fd` stride `n`. Every flat offset is
+/// precomputed into a named variable, so the recurrence reads like the
+/// two-dimensional original.
+fn compute_treedist(
+    a: &ZsTree,
+    b: &ZsTree,
+    i: usize,
+    j: usize,
+    treedist: &mut [usize],
+    fd: &mut Vec<usize>,
+) {
+    let cols = b.n;
     let li = a.l[i];
     let lj = b.l[j];
     let m = i - li + 2;
@@ -253,36 +321,56 @@ fn compute_treedist(a: &ZsTree, b: &ZsTree, i: usize, j: usize, treedist: &mut [
     // forestdist over postorder ranges, 1-indexed with 0 = empty forest.
     // Deleting/inserting an i-token prefix costs i, so the border cells are
     // just their own index.
-    let mut fd = vec![vec![0usize; n]; m];
-    for (di, row) in fd.iter_mut().enumerate() {
-        row[0] = di;
-    }
-    if let Some(row0) = fd.first_mut() {
-        for (dj, cell) in row0.iter_mut().enumerate() {
-            *cell = dj;
+    fd.clear();
+    fd.resize(m * n, 0);
+    for di in 0..m {
+        let border = di * n;
+        if let Some(cell) = fd.get_mut(border) {
+            *cell = di;
         }
     }
+    for (dj, cell) in fd.iter_mut().enumerate().take(n) {
+        *cell = dj;
+    }
     for di in 1..m {
-        // Named predecessor indices keep the recurrence readable and the
+        // Named predecessor offsets keep the recurrence readable and the
         // subscripts free of inline arithmetic.
         let pdi = di - 1;
         let ai = li + pdi;
+        let row = di * n;
+        let prow = pdi * n;
+        let la = a.l[ai];
+        let ha = a.label_hashes[ai];
+        let td_row = ai * cols;
         for dj in 1..n {
             let pdj = dj - 1;
             let bj = lj + pdj;
-            if a.l[ai] == li && b.l[bj] == lj {
-                let relabel = usize::from(a.labels[ai] != b.labels[bj]);
-                let cell = (fd[pdi][dj] + 1)
-                    .min(fd[di][pdj] + 1)
-                    .min(fd[pdi][pdj] + relabel);
-                fd[di][dj] = cell;
-                treedist[ai][bj] = cell;
+            let cur = row + dj;
+            let up = prow + dj;
+            let left = row + pdj;
+            let diag = prow + pdj;
+            let lb = b.l[bj];
+            let td_idx = td_row + bj;
+            let value = if la == li && lb == lj {
+                let relabel = if ha == b.label_hashes[bj] {
+                    usize::from(a.labels[ai] != b.labels[bj])
+                } else {
+                    1
+                };
+                let cell = (fd[up] + 1).min(fd[left] + 1).min(fd[diag] + relabel);
+                if let Some(slot) = treedist.get_mut(td_idx) {
+                    *slot = cell;
+                }
+                cell
             } else {
-                let da = a.l[ai] - li;
-                let db = b.l[bj] - lj;
-                fd[di][dj] = (fd[pdi][dj] + 1)
-                    .min(fd[di][pdj] + 1)
-                    .min(fd[da][db] + treedist[ai][bj]);
+                let da = la - li;
+                let db = lb - lj;
+                let sub = da * n + db;
+                let subtree = treedist.get(td_idx).copied().unwrap_or(0);
+                (fd[up] + 1).min(fd[left] + 1).min(fd[sub] + subtree)
+            };
+            if let Some(slot) = fd.get_mut(cur) {
+                *slot = value;
             }
         }
     }

@@ -25,39 +25,110 @@ fn intersection_size(x: &FeatureSet, y: &FeatureSet) -> usize {
     x.intersection(y).count()
 }
 
+/// Every set measure depends only on `|x∩y|`, `|x|`, and `|y|`. These
+/// count-based cores carry the final float expressions, shared by the
+/// string-set entry points and the interned-id batch path
+/// ([`InternedFeatures`]) so the two are bit-identical by construction.
+pub fn cosine_from_counts(inter: usize, nx: usize, ny: usize) -> f64 {
+    if nx == 0 || ny == 0 {
+        return 0.0;
+    }
+    inter as f64 / ((nx as f64) * (ny as f64)).sqrt()
+}
+
+/// Count-based core of [`jaccard`].
+pub fn jaccard_from_counts(inter: usize, nx: usize, ny: usize) -> f64 {
+    if nx == 0 && ny == 0 {
+        return 0.0;
+    }
+    let inter = inter as f64;
+    inter / (nx as f64 + ny as f64 - inter)
+}
+
+/// Count-based core of [`overlap`].
+pub fn overlap_from_counts(inter: usize, nx: usize, ny: usize) -> f64 {
+    if nx == 0 || ny == 0 {
+        return 0.0;
+    }
+    inter as f64 / nx.min(ny) as f64
+}
+
+/// Count-based core of [`dice`].
+pub fn dice_from_counts(inter: usize, nx: usize, ny: usize) -> f64 {
+    if nx == 0 && ny == 0 {
+        return 0.0;
+    }
+    2.0 * inter as f64 / (nx + ny) as f64
+}
+
 /// Cosine similarity (Eq. 1) of the binary vectors of two feature sets:
 /// `|x∩y| / sqrt(|x|·|y|)`.
 pub fn cosine(x: &FeatureSet, y: &FeatureSet) -> f64 {
-    if x.is_empty() || y.is_empty() {
-        return 0.0;
-    }
-    intersection_size(x, y) as f64 / ((x.len() as f64) * (y.len() as f64)).sqrt()
+    cosine_from_counts(intersection_size(x, y), x.len(), y.len())
 }
 
 /// Extended Jaccard similarity (Eq. 2): `|x∩y| / (|x| + |y| − |x∩y|)`.
 pub fn jaccard(x: &FeatureSet, y: &FeatureSet) -> f64 {
-    if x.is_empty() && y.is_empty() {
-        return 0.0;
-    }
-    let inter = intersection_size(x, y) as f64;
-    inter / (x.len() as f64 + y.len() as f64 - inter)
+    jaccard_from_counts(intersection_size(x, y), x.len(), y.len())
 }
 
 /// Overlap similarity (Eq. 3): `|x∩y| / min(|x|, |y|)`.
 pub fn overlap(x: &FeatureSet, y: &FeatureSet) -> f64 {
-    if x.is_empty() || y.is_empty() {
-        return 0.0;
-    }
-    intersection_size(x, y) as f64 / x.len().min(y.len()) as f64
+    overlap_from_counts(intersection_size(x, y), x.len(), y.len())
 }
 
 /// Dice coefficient: `2|x∩y| / (|x| + |y|)` — a standard companion of the
 /// three paper measures, used by the ablation benches.
 pub fn dice(x: &FeatureSet, y: &FeatureSet) -> f64 {
-    if x.is_empty() && y.is_empty() {
-        return 0.0;
+    dice_from_counts(intersection_size(x, y), x.len(), y.len())
+}
+
+/// A feature set interned to sorted distinct `u32` ids against a shared
+/// batch vocabulary: `|x∩y|` becomes a linear merge over two small sorted
+/// slices instead of tree-set iteration with string comparisons. Interning
+/// is injective, so the counts — and through the `*_from_counts` cores the
+/// measures — are identical to the string-set path.
+#[derive(Debug, Clone, Default)]
+pub struct InternedFeatures {
+    ids: Vec<u32>,
+}
+
+impl InternedFeatures {
+    /// Wraps sorted, deduplicated ids (typically produced by interning a
+    /// [`FeatureSet`] in iteration order against a growing vocabulary, then
+    /// sorting).
+    pub fn new(mut ids: Vec<u32>) -> InternedFeatures {
+        ids.sort_unstable();
+        ids.dedup();
+        InternedFeatures { ids }
     }
-    2.0 * intersection_size(x, y) as f64 / (x.len() + y.len()) as f64
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// `|x∩y|` by sorted merge.
+    pub fn intersection_size(&self, other: &InternedFeatures) -> usize {
+        let mut xs = self.ids.as_slice();
+        let mut ys = other.ids.as_slice();
+        let mut inter = 0usize;
+        while let (Some(&x), Some(&y)) = (xs.first(), ys.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => xs = xs.get(1..).unwrap_or(&[]),
+                std::cmp::Ordering::Greater => ys = ys.get(1..).unwrap_or(&[]),
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    xs = xs.get(1..).unwrap_or(&[]);
+                    ys = ys.get(1..).unwrap_or(&[]);
+                }
+            }
+        }
+        inter
+    }
 }
 
 // ---- Weighted sparse vectors ------------------------------------------
@@ -176,6 +247,62 @@ mod tests {
         let big = features(["type", "name", "age"]);
         assert_eq!(overlap(&small, &big), 1.0);
         assert!(jaccard(&small, &big) < 1.0);
+    }
+
+    #[test]
+    fn interned_features_match_string_sets_bitwise() {
+        let sets = [
+            features::<_, &str>([]),
+            features(["type"]),
+            features(["type", "name"]),
+            features(["type", "age"]),
+            features(["a", "b", "c", "d"]),
+            features(["b", "d", "e"]),
+        ];
+        // Intern against a shared vocabulary, deliberately in an order
+        // that scrambles ids relative to the BTreeSet string order.
+        let mut vocab: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let interned: Vec<InternedFeatures> = sets
+            .iter()
+            .map(|s| {
+                let ids = s
+                    .iter()
+                    .rev()
+                    .map(|f| {
+                        let next = vocab.len() as u32;
+                        *vocab.entry(f.as_str()).or_insert(next)
+                    })
+                    .collect();
+                InternedFeatures::new(ids)
+            })
+            .collect();
+        for (s, i) in sets.iter().zip(&interned) {
+            assert_eq!(s.len(), i.len());
+        }
+        for (sx, ix) in sets.iter().zip(&interned) {
+            for (sy, iy) in sets.iter().zip(&interned) {
+                let inter = ix.intersection_size(iy);
+                assert_eq!(inter, intersection_size(sx, sy));
+                let pairs = [
+                    (
+                        cosine(sx, sy),
+                        cosine_from_counts(inter, ix.len(), iy.len()),
+                    ),
+                    (
+                        jaccard(sx, sy),
+                        jaccard_from_counts(inter, ix.len(), iy.len()),
+                    ),
+                    (
+                        overlap(sx, sy),
+                        overlap_from_counts(inter, ix.len(), iy.len()),
+                    ),
+                    (dice(sx, sy), dice_from_counts(inter, ix.len(), iy.len())),
+                ];
+                for (reference, fast) in pairs {
+                    assert_eq!(reference.to_bits(), fast.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Seeded differential tests for the fast kernels: every bit-parallel or
+//! bitset-backed path must reproduce its classic reference implementation
+//! *bit for bit* on randomized inputs, including the multi-block regime
+//! (patterns longer than one 64-bit word) and non-ASCII alphabets. The
+//! PRNG is deterministic (SplitMix64), so any failure reproduces exactly
+//! from the printed seed.
+
+use sst_simpack::{
+    jaro, jaro_fast, jaro_winkler, jaro_winkler_fast, levenshtein_similarity_chars,
+    myers_sequence_similarity_from, myers_similarity_chars_from, needleman_wunsch_similarity,
+    needleman_wunsch_similarity_scratch, qgram, qgram_packed_from, sequence_similarity,
+    smith_waterman_similarity, smith_waterman_similarity_scratch, with_jaro_scratch,
+    with_myers_scratch, AlignScratch, AlignmentScoring, CostModel, JaroMask, MyersPattern,
+    QGramPacked,
+};
+
+/// Deterministic PRNG (SplitMix64) so failures reproduce exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Mixed alphabet: ASCII letters plus multi-byte code points (Latin-1
+/// supplement, Greek, CJK, and an astral-plane symbol) so char-to-symbol
+/// casts and 21-bit q-gram packing see the full scalar-value range.
+const ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'A', 'Z', '0', '9', '_', ' ', 'é', 'ß', 'λ', 'Ω', '中', '文', '𝛼',
+];
+
+fn word(rng: &mut Rng, max_len: usize) -> Vec<char> {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len())])
+        .collect()
+}
+
+/// Classic O(nm) two-row Levenshtein DP over arbitrary symbols — the
+/// independent reference the bit-parallel kernel is checked against.
+fn classic_levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = Vec::with_capacity(b.len() + 1);
+    for (i, x) in a.iter().enumerate() {
+        curr.clear();
+        curr.push(i + 1);
+        for (y, w) in b.iter().zip(prev.windows(2)) {
+            let sub = w[0] + usize::from(x != y);
+            let del = w[1] + 1;
+            let ins = curr.last().copied().unwrap_or(0) + 1;
+            curr.push(sub.min(del).min(ins));
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev.last().copied().unwrap_or(0)
+}
+
+/// Myers over chars equals the classic DP distance and reproduces
+/// `levenshtein_similarity_chars` bit for bit — across the single-block
+/// (≤ 64) and multi-block (up to 300-symbol) regimes.
+#[test]
+fn myers_chars_matches_classic_dp_including_multiblock() {
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xC0FF_EE01));
+        // Skew lengths so both regimes are well sampled: half the cases
+        // stay under one block, half stretch into multi-block territory.
+        let max = if seed % 2 == 0 { 64 } else { 300 };
+        let a = word(&mut rng, max);
+        let b = word(&mut rng, max);
+        let pattern = MyersPattern::from_chars(&a);
+        let fast = with_myers_scratch(|s| myers_similarity_chars_from(&pattern, &b, s));
+        let reference = levenshtein_similarity_chars(&a, &b);
+        assert_eq!(
+            fast.to_bits(),
+            reference.to_bits(),
+            "seed {seed}: myers {fast} vs classic {reference} (|a|={}, |b|={})",
+            a.len(),
+            b.len()
+        );
+        let dist = with_myers_scratch(|s| pattern.distance_chars(&b, s));
+        assert_eq!(dist, classic_levenshtein(&a, &b), "seed {seed} distance");
+    }
+}
+
+/// Myers over interned u32 tokens reproduces the unit-cost weighted
+/// sequence DP (Eq. 4 with `CostModel::UNIT`) bit for bit.
+#[test]
+fn myers_ids_matches_unit_sequence_similarity() {
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xBEEF_0002));
+        let max = if seed % 2 == 0 { 64 } else { 300 };
+        // Small id alphabet forces plenty of matches; occasional large ids
+        // exercise the sparse symbol table.
+        let ids = |rng: &mut Rng| -> Vec<u32> {
+            let len = rng.below(max + 1);
+            (0..len)
+                .map(|_| {
+                    if rng.below(16) == 0 {
+                        rng.next() as u32
+                    } else {
+                        rng.below(12) as u32
+                    }
+                })
+                .collect()
+        };
+        let a = ids(&mut rng);
+        let b = ids(&mut rng);
+        let pattern = MyersPattern::new(&a);
+        let fast = with_myers_scratch(|s| myers_sequence_similarity_from(&pattern, &b, s));
+        let reference = sequence_similarity(&a, &b, CostModel::UNIT);
+        assert_eq!(
+            fast.to_bits(),
+            reference.to_bits(),
+            "seed {seed}: myers {fast} vs sequence DP {reference} (|a|={}, |b|={})",
+            a.len(),
+            b.len()
+        );
+        let dist = with_myers_scratch(|s| pattern.distance_ids(&b, s));
+        assert_eq!(dist, classic_levenshtein(&a, &b), "seed {seed} distance");
+    }
+}
+
+/// Packed (sorted-u64 bitset) q-gram profiles reproduce the hash-set
+/// profile's Dice value bit for bit for every q that packs (q ≤ 3).
+#[test]
+fn qgram_packed_matches_hash_profile() {
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9_0003));
+        let a: String = word(&mut rng, 40).into_iter().collect();
+        let b: String = word(&mut rng, 40).into_iter().collect();
+        for q in 1..=3usize {
+            let pa = QGramPacked::new(&a, q).expect("q <= 3 packs");
+            let pb = QGramPacked::new(&b, q).expect("q <= 3 packs");
+            let fast = qgram_packed_from(&pa, &pb);
+            let reference = qgram(&a, &b, q);
+            assert_eq!(
+                fast.to_bits(),
+                reference.to_bits(),
+                "seed {seed} q={q}: packed {fast} vs hash {reference} ({a:?} vs {b:?})"
+            );
+        }
+        assert!(QGramPacked::new(&a, 4).is_none(), "q=4 must not pack");
+    }
+}
+
+/// One `AlignScratch` reused across many pairs carries capacity only,
+/// never state: every scratch call reproduces the allocating reference
+/// bit for bit, in whatever order the pairs arrive.
+#[test]
+fn alignment_scratch_reuse_matches_fresh_allocation() {
+    let scoring = AlignmentScoring::default();
+    let mut scratch = AlignScratch::default();
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xA119_0005));
+        let a = word(&mut rng, 30);
+        let b = word(&mut rng, 30);
+        let nw = needleman_wunsch_similarity_scratch(&a, &b, scoring, &mut scratch);
+        assert_eq!(
+            nw.to_bits(),
+            needleman_wunsch_similarity(&a, &b, scoring).to_bits(),
+            "seed {seed} needleman-wunsch"
+        );
+        let sw = smith_waterman_similarity_scratch(&a, &b, scoring, &mut scratch);
+        assert_eq!(
+            sw.to_bits(),
+            smith_waterman_similarity(&a, &b, scoring).to_bits(),
+            "seed {seed} smith-waterman"
+        );
+    }
+}
+
+/// The scratch-reusing masked Jaro / Jaro-Winkler kernels reproduce the
+/// string references bit for bit — with a precomputed position mask, and
+/// without one (the > 64-char fallback regime).
+#[test]
+fn jaro_fast_matches_reference_with_and_without_mask() {
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x1A70_0004));
+        // Half the cases fit the 64-char mask window, half overflow it.
+        let max = if seed % 2 == 0 { 64 } else { 100 };
+        let a = word(&mut rng, max);
+        let b = word(&mut rng, max);
+        let sa: String = a.iter().collect();
+        let sb: String = b.iter().collect();
+        let mask = JaroMask::new(&b);
+        assert_eq!(mask.is_some(), b.len() <= 64, "seed {seed} mask gate");
+        for use_mask in [false, true] {
+            let bmask = if use_mask { mask.as_ref() } else { None };
+            let fast = with_jaro_scratch(|s| jaro_fast(&a, &b, bmask, s));
+            let reference = jaro(&sa, &sb);
+            assert_eq!(
+                fast.to_bits(),
+                reference.to_bits(),
+                "seed {seed} mask={use_mask}: jaro {fast} vs {reference} ({sa:?} vs {sb:?})"
+            );
+            let fast_w = with_jaro_scratch(|s| jaro_winkler_fast(&a, &b, bmask, s));
+            let reference_w = jaro_winkler(&sa, &sb);
+            assert_eq!(
+                fast_w.to_bits(),
+                reference_w.to_bits(),
+                "seed {seed} mask={use_mask}: jaro-winkler {fast_w} vs {reference_w}"
+            );
+        }
+    }
+}
