@@ -10,7 +10,11 @@
 # of queueing unboundedly, and drains cleanly on shutdown), and the ANN
 # smoke gate (exact vector-store rankings bit-identical to the naive
 # scan, approximate recall@10 at least 0.95; writes
-# results/BENCH_ann.json).
+# results/BENCH_ann.json), and the alignment smoke gate (blocked
+# candidate generation never materializes n*m and leaves no source
+# without candidates, stable-matching F1 at least greedy F1 at every
+# blocking width and strictly better on average, stable precision above
+# its floor; writes results/BENCH_align.json).
 set -eu
 cd "$(dirname "$0")"
 # Archive the machine-readable findings document first (written even
@@ -23,6 +27,7 @@ cargo run --release -p sst-bench --bin matrix_bench -- --smoke
 cargo run --release -p sst-bench --bin fault_smoke -- --smoke
 cargo run --release -p sst-bench --bin server_smoke -- --smoke
 cargo run --release -p sst-bench --bin ann_bench -- --smoke
+cargo run --release -p sst-bench --bin align_bench -- --smoke
 # The archived full-run matrix benchmark must agree with the smoke gate:
 # every measure row records an honest bit_identical flag, and a stale or
 # regressed archive with any false flag fails the build.

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use sst_limits::LimitViolation;
 use sst_soqa::SoqaError;
 
 /// Errors raised by SST services.
@@ -13,6 +14,9 @@ pub enum SstError {
     UnknownMeasure(String),
     /// A service was invoked with invalid parameters.
     InvalidArgument(String),
+    /// A resource-governed operation (e.g. alignment) blew its step
+    /// budget before completing.
+    Limit(LimitViolation),
     /// An internal failure the caller cannot repair (e.g. a worker
     /// thread died mid-computation).
     Internal(String),
@@ -24,8 +28,15 @@ impl fmt::Display for SstError {
             SstError::Soqa(e) => e.fmt(f),
             SstError::UnknownMeasure(m) => write!(f, "unknown similarity measure `{m}`"),
             SstError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            SstError::Limit(v) => write!(f, "resource limit exceeded: {v}"),
             SstError::Internal(m) => write!(f, "internal error: {m}"),
         }
+    }
+}
+
+impl From<LimitViolation> for SstError {
+    fn from(v: LimitViolation) -> Self {
+        SstError::Limit(v)
     }
 }
 

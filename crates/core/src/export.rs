@@ -178,6 +178,14 @@ mod tests {
     #[test]
     fn alignment_exports() {
         let cs = vec![Correspondence {
+            source: sst_soqa::GlobalConcept {
+                ontology: 0,
+                concept: sst_soqa::ConceptId(0),
+            },
+            target: sst_soqa::GlobalConcept {
+                ontology: 1,
+                concept: sst_soqa::ConceptId(0),
+            },
             source_concept: "Student".into(),
             target_concept: "Learner".into(),
             similarity: 0.75,

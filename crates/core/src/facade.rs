@@ -257,11 +257,15 @@ impl SstBuilder {
 
         // Full-text index: one document per concept (paper §2.2: "we
         // exported a full-text description of all concepts … and built an
-        // index over the descriptions").
+        // index over the descriptions"). The key carries the unified tree
+        // node id: display names are not unique within an ontology, and
+        // the builder would hand back the first document's id for a
+        // colliding key, silently aliasing distinct concepts onto one
+        // TF-IDF vector.
         let mut index_builder = IndexBuilder::with_metrics(metrics.clone());
         let mut doc_ids: Vec<Option<DocId>> = vec![None; tree.node_count()];
         for gc in tree.all_concepts() {
-            let key = self.soqa.qualified_name(gc);
+            let key = format!("{}#{}", self.soqa.qualified_name(gc), tree.node(gc));
             let text = self.soqa.concept_description(gc);
             doc_ids[tree.node(gc) as usize] = Some(index_builder.add_document(key, &text));
         }
@@ -404,7 +408,7 @@ impl SstToolkit {
         self.metrics.to_json()
     }
 
-    fn ctx(&self) -> SimilarityContext<'_> {
+    pub(crate) fn ctx(&self) -> SimilarityContext<'_> {
         SimilarityContext {
             soqa: &self.soqa,
             tree: &self.tree,

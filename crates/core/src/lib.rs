@@ -49,7 +49,10 @@ pub mod sched;
 pub mod tree;
 pub mod vector;
 
-pub use alignment::{align, AlignmentConfig, Correspondence};
+pub use alignment::{
+    align, align_with_limits, AlignStats, Alignment, AlignmentConfig, CandidateGen, Correspondence,
+    MatchMode, DEFAULT_BLOCK_WIDTH,
+};
 pub use cache::CachedSimilarity;
 pub use chart::{Bar, Chart, GnuplotArtifacts};
 pub use clustering::{cluster, cluster_matrix, Dendrogram, Linkage};
@@ -71,6 +74,7 @@ pub use sched::{
     WorkerStats,
 };
 pub use sst_obs::{Metrics, MetricsSnapshot};
+pub use sst_simpack::Amalgamation;
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};
 pub use vector::{
     embed_tfidf, DenseVectorFile, VectorFormatError, VectorStore, EMBED_DIM, FORMAT_MAGIC,

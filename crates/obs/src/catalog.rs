@@ -67,9 +67,24 @@ pub const CATALOG: &[MetricDecl] = &[
         help: "ontology alignment runs",
     },
     MetricDecl {
+        name: "core.align.candidates",
+        kind: MetricKind::Counter,
+        help: "alignment candidate pairs generated (and scored)",
+    },
+    MetricDecl {
         name: "core.align.latency",
         kind: MetricKind::Histogram,
         help: "alignment wall time (ns)",
+    },
+    MetricDecl {
+        name: "core.align.matches",
+        kind: MetricKind::Counter,
+        help: "alignment correspondences proposed",
+    },
+    MetricDecl {
+        name: "core.align.proposals",
+        kind: MetricKind::Counter,
+        help: "alignment matching-phase pair inspections",
     },
     MetricDecl {
         name: "core.build.latency",
@@ -275,6 +290,16 @@ pub const CATALOG: &[MetricDecl] = &[
         name: "server.accepted",
         kind: MetricKind::Counter,
         help: "TCP connections accepted",
+    },
+    MetricDecl {
+        name: "server.align.correspondences",
+        kind: MetricKind::Counter,
+        help: "correspondences returned by /align",
+    },
+    MetricDecl {
+        name: "server.align.mode.*",
+        kind: MetricKind::Counter,
+        help: "/align requests per matching mode (greedy|stable)",
     },
     MetricDecl {
         name: "server.deadline_hits",

@@ -155,17 +155,29 @@ fn split_target(target: &str) -> (String, HashMap<String, String>) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         query.insert(percent_decode(k), percent_decode(v));
     }
-    (percent_decode(raw_path), query)
+    (percent_decode_path(raw_path), query)
 }
 
-/// Decodes `%XX` escapes and `+`-as-space.
+/// Decodes `%XX` escapes only — for request *paths*, where `+` is an
+/// ordinary character. The `+`-as-space convention is a form-encoding rule
+/// that applies to query strings alone; decoding it in the path corrupted
+/// any route segment containing a literal `+`.
+pub fn percent_decode_path(s: &str) -> String {
+    decode_bytes(s, false)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space (query keys and values).
 pub fn percent_decode(s: &str) -> String {
+    decode_bytes(s, true)
+}
+
+fn decode_bytes(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes.get(i) {
-            Some(b'+') => {
+            Some(b'+') if plus_is_space => {
                 out.push(b' ');
                 i = i.saturating_add(1);
             }
@@ -283,6 +295,18 @@ mod tests {
         assert_eq!(percent_decode("a%2Fb"), "a/b");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn plus_survives_in_paths_but_is_space_in_queries() {
+        // Regression: the path decoder used to apply the `+`-as-space
+        // form-encoding rule, corrupting path segments with a literal `+`.
+        let (path, query) = split_target("/c%2B%2B+notes?q=a+b&x=1%2B2");
+        assert_eq!(path, "/c+++notes");
+        assert_eq!(query.get("q").map(String::as_str), Some("a b"));
+        assert_eq!(query.get("x").map(String::as_str), Some("1+2"));
+        assert_eq!(percent_decode_path("a+b%20c"), "a+b c");
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
     }
 
     #[test]

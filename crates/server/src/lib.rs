@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod http;
+pub mod json;
 pub mod queue;
 pub mod router;
 

@@ -12,7 +12,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sst_core::{
-    measure_ids, CachedSimilarity, ConceptAndSimilarity, ConceptSet, SstError, SstToolkit,
+    align_with_limits, measure_ids, AlignmentConfig, Amalgamation, CachedSimilarity, CandidateGen,
+    ConceptAndSimilarity, ConceptSet, MatchMode, SstError, SstToolkit,
 };
 use sst_limits::Limits;
 use sst_obs::{Counter, Histogram};
@@ -23,6 +24,7 @@ use crate::http::{
     json_escape, json_f64, Request, Status, BAD_REQUEST, INTERNAL_ERROR, METHOD_NOT_ALLOWED,
     NOT_FOUND, OK, UNPROCESSABLE,
 };
+use crate::json::{self, Json};
 
 /// One endpoint's pre-resolved metric handles.
 #[derive(Debug)]
@@ -54,9 +56,11 @@ pub struct Router<'a> {
     ql: EndpointMetrics,
     similarity: EndpointMetrics,
     rank: EndpointMetrics,
+    align: EndpointMetrics,
     metrics_ep: EndpointMetrics,
     healthz: EndpointMetrics,
     other: EndpointMetrics,
+    align_correspondences: Arc<Counter>,
     rank_approx_requests: Arc<Counter>,
     rank_approx_latency: Arc<Histogram>,
     responses_2xx: Arc<Counter>,
@@ -106,9 +110,11 @@ impl<'a> Router<'a> {
             ql: EndpointMetrics::register(toolkit, "ql"),
             similarity: EndpointMetrics::register(toolkit, "similarity"),
             rank: EndpointMetrics::register(toolkit, "rank"),
+            align: EndpointMetrics::register(toolkit, "align"),
             metrics_ep: EndpointMetrics::register(toolkit, "metrics"),
             healthz: EndpointMetrics::register(toolkit, "healthz"),
             other: EndpointMetrics::register(toolkit, "other"),
+            align_correspondences: toolkit.metrics().counter("server.align.correspondences"),
             rank_approx_requests: toolkit.metrics().counter("server.rank.approx.requests"),
             rank_approx_latency: toolkit.metrics().histogram("server.rank.approx.latency"),
             responses_2xx: toolkit.metrics().counter("server.responses.2xx"),
@@ -128,9 +134,10 @@ impl<'a> Router<'a> {
             ("POST", "/ql") => (&self.ql, self.handle_ql(request)),
             ("GET", "/similarity") => (&self.similarity, self.handle_similarity(request)),
             ("GET", "/rank") => (&self.rank, self.handle_rank(request)),
+            ("POST", "/align") => (&self.align, self.handle_align(request)),
             ("GET", "/metrics") => (&self.metrics_ep, self.handle_metrics()),
             ("GET", "/healthz") => (&self.healthz, Answer::text(OK, "ok\n".to_owned())),
-            (_, "/ql" | "/similarity" | "/rank" | "/metrics" | "/healthz") => (
+            (_, "/ql" | "/similarity" | "/rank" | "/align" | "/metrics" | "/healthz") => (
                 &self.other,
                 Answer::error(METHOD_NOT_ALLOWED, "method not allowed"),
             ),
@@ -153,6 +160,7 @@ impl<'a> Router<'a> {
             ("POST", "/ql") => &self.ql.latency,
             ("GET", "/similarity") => &self.similarity.latency,
             ("GET", "/rank") => &self.rank.latency,
+            ("POST", "/align") => &self.align.latency,
             ("GET", "/metrics") => &self.metrics_ep.latency,
             ("GET", "/healthz") => &self.healthz.latency,
             _ => &self.other.latency,
@@ -287,6 +295,138 @@ impl<'a> Router<'a> {
         }
     }
 
+    /// `POST /align` — one-to-one ontology alignment. JSON body:
+    ///
+    /// ```json
+    /// {"source": "...", "target": "...",
+    ///  "measures": ["tfidf", 3], "strategy": "weighted_average",
+    ///  "threshold": 0.25, "mode": "stable", "width": 16}
+    /// ```
+    ///
+    /// Only `source` and `target` are required; the rest default to
+    /// [`AlignmentConfig::default`]. `width` selects blocked candidate
+    /// generation with that per-channel width; `"width": "exhaustive"`
+    /// scores every pair. Scoring work is charged against the server's
+    /// step budget (422 when exceeded), and the request deadline applies
+    /// as on every endpoint.
+    fn handle_align(&self, request: &Request) -> Answer {
+        let body = match json::parse(&request.body_text()) {
+            Ok(v) => v,
+            Err(e) => return Answer::error(BAD_REQUEST, &format!("invalid JSON body: {e}")),
+        };
+        let (Some(source), Some(target)) = (
+            body.get("source").and_then(Json::as_str),
+            body.get("target").and_then(Json::as_str),
+        ) else {
+            return Answer::error(
+                BAD_REQUEST,
+                "body must name `source` and `target` ontologies",
+            );
+        };
+        let mut config = AlignmentConfig::default();
+        if let Some(measures) = body.get("measures") {
+            let Some(items) = measures.as_array() else {
+                return Answer::error(BAD_REQUEST, "`measures` must be an array");
+            };
+            let mut ids = Vec::with_capacity(items.len());
+            for item in items {
+                let resolved = match item {
+                    Json::Num(_) => item.as_usize(),
+                    Json::Str(name) => self.toolkit.measure_id(name).ok(),
+                    _ => None,
+                };
+                let Some(id) = resolved else {
+                    return Answer::error(
+                        BAD_REQUEST,
+                        "`measures` entries must be measure names or ids",
+                    );
+                };
+                ids.push(id);
+            }
+            config.measures = ids;
+        }
+        if let Some(strategy) = body.get("strategy") {
+            config.strategy = match strategy.as_str() {
+                Some("weighted_average") => Amalgamation::WeightedAverage,
+                Some("max") => Amalgamation::Max,
+                Some("min") => Amalgamation::Min,
+                Some("harmonic_mean") => Amalgamation::HarmonicMean,
+                _ => {
+                    return Answer::error(
+                        BAD_REQUEST,
+                        "`strategy` must be weighted_average|max|min|harmonic_mean",
+                    )
+                }
+            };
+        }
+        if let Some(threshold) = body.get("threshold") {
+            let Some(t) = threshold.as_f64() else {
+                return Answer::error(BAD_REQUEST, "`threshold` must be a number");
+            };
+            config.threshold = t;
+        }
+        if let Some(mode) = body.get("mode") {
+            config.mode = match mode.as_str() {
+                Some("greedy") => MatchMode::Greedy,
+                Some("stable") => MatchMode::Stable,
+                _ => return Answer::error(BAD_REQUEST, "`mode` must be greedy|stable"),
+            };
+        }
+        if let Some(width) = body.get("width") {
+            config.candidates = match (width.as_usize(), width.as_str()) {
+                (Some(w), _) if w > 0 => CandidateGen::Blocked { width: w },
+                (_, Some("exhaustive")) => CandidateGen::Exhaustive,
+                _ => {
+                    return Answer::error(
+                        BAD_REQUEST,
+                        "`width` must be a positive integer or \"exhaustive\"",
+                    )
+                }
+            };
+        }
+        self.toolkit
+            .metrics()
+            .inc(&format!("server.align.mode.{}", config.mode.name()));
+        match align_with_limits(self.toolkit, source, target, &config, &self.ql_limits) {
+            Ok(alignment) => {
+                self.align_correspondences
+                    .add(alignment.correspondences.len() as u64);
+                let items: Vec<String> = alignment
+                    .correspondences
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{{\"source\":\"{}\",\"target\":\"{}\",\"similarity\":{}}}",
+                            json_escape(&c.source_concept),
+                            json_escape(&c.target_concept),
+                            json_f64(c.similarity)
+                        )
+                    })
+                    .collect();
+                let s = &alignment.stats;
+                Answer::json(
+                    OK,
+                    format!(
+                        "{{\"mode\":\"{}\",\"correspondences\":[{}],\"stats\":{{\
+                         \"sources\":{},\"targets\":{},\"candidate_pairs\":{},\
+                         \"sources_without_candidates\":{},\"admitted_pairs\":{},\
+                         \"proposals\":{},\"matches\":{}}}}}",
+                        config.mode.name(),
+                        items.join(","),
+                        s.sources,
+                        s.targets,
+                        s.candidate_pairs,
+                        s.sources_without_candidates,
+                        s.admitted_pairs,
+                        s.proposals,
+                        s.matches
+                    ),
+                )
+            }
+            Err(e) => error_answer(&e),
+        }
+    }
+
     /// `GET /metrics` — the sst-obs text exposition.
     fn handle_metrics(&self) -> Answer {
         Answer::text(OK, self.toolkit.metrics().render_text())
@@ -342,7 +482,7 @@ fn error_answer(e: &SstError) -> Answer {
         SstError::Soqa(SoqaError::UnknownOntology(_) | SoqaError::UnknownConcept { .. }) => {
             NOT_FOUND
         }
-        SstError::Soqa(SoqaError::Limit(_)) => UNPROCESSABLE,
+        SstError::Soqa(SoqaError::Limit(_)) | SstError::Limit(_) => UNPROCESSABLE,
         SstError::Soqa(_) => BAD_REQUEST,
         SstError::UnknownMeasure(_) => NOT_FOUND,
         SstError::InvalidArgument(_) => BAD_REQUEST,

@@ -67,6 +67,15 @@ impl Combiner {
             self.weights.len(),
             "score/weight arity mismatch"
         );
+        // NaN handling is uniform across all four strategies: any NaN
+        // component makes the combined score NaN, which downstream
+        // `NaN >= threshold` filters drop. Without this check, `Max`/`Min`
+        // would silently skip NaN operands (`f64::max`/`f64::min` ignore
+        // them), so an all-NaN slice folded to ±inf — an out-of-range
+        // "similarity" that passes every threshold.
+        if scores.iter().any(|s| s.is_nan()) {
+            return f64::NAN;
+        }
         let total: f64 = self.weights.iter().sum();
         match self.strategy {
             Amalgamation::WeightedAverage => {
@@ -151,5 +160,44 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_mismatch_panics() {
         Combiner::uniform(Amalgamation::Max, 2).combine(&[0.5]);
+    }
+
+    #[test]
+    fn nan_propagates_uniformly() {
+        // Regression: `f64::min`/`f64::max` ignore NaN operands, so an
+        // all-NaN slice used to fold to +inf (Min) / -inf (Max) — values
+        // outside [0, 1] that pass any threshold filter.
+        for strategy in [
+            Amalgamation::WeightedAverage,
+            Amalgamation::Max,
+            Amalgamation::Min,
+            Amalgamation::HarmonicMean,
+        ] {
+            let c = Combiner::uniform(strategy, 2);
+            assert!(
+                c.combine(&[f64::NAN, f64::NAN]).is_nan(),
+                "{strategy:?} did not propagate all-NaN"
+            );
+            assert!(
+                c.combine(&[0.5, f64::NAN]).is_nan(),
+                "{strategy:?} did not propagate mixed NaN"
+            );
+            // A NaN combined score is dropped by the caller-side
+            // `score >= threshold` filter even at threshold 0.
+            let combined = c.combine(&[f64::NAN, 0.9]);
+            assert_ne!(
+                combined.partial_cmp(&0.0),
+                Some(std::cmp::Ordering::Greater)
+            );
+            assert!(combined.is_nan());
+        }
+        // HarmonicMean's zero short-circuit must not mask a NaN component.
+        let h = Combiner::uniform(Amalgamation::HarmonicMean, 2);
+        assert!(h.combine(&[0.0, f64::NAN]).is_nan());
+        // NaN-free inputs are unaffected.
+        let min = Combiner::uniform(Amalgamation::Min, 2);
+        assert_eq!(min.combine(&[0.3, 0.7]), 0.3);
+        let max = Combiner::uniform(Amalgamation::Max, 2);
+        assert_eq!(max.combine(&[0.3, 0.7]), 0.7);
     }
 }

@@ -29,10 +29,14 @@ fn main() {
         measures: vec![m::CONCEPTUAL_SIMILARITY_MEASURE, m::TFIDF_MEASURE],
         strategy: Amalgamation::WeightedAverage,
         threshold,
+        ..AlignmentConfig::default()
     };
     let proposal = align(&sst, source, target, &config).expect("alignment");
 
-    println!("Alignment {source} → {target}  (Wu-Palmer + TFIDF, threshold {threshold}):\n");
+    println!(
+        "Alignment {source} → {target}  (Wu-Palmer + TFIDF, threshold {threshold}, {} matching):\n",
+        config.mode.name()
+    );
     for c in &proposal {
         println!(
             "  {:<28} ≈ {:<28} {:.4}",

@@ -1,0 +1,270 @@
+//! Integration tests for the alignment engine: the stability property of
+//! the deferred-acceptance matcher, the greedy-vs-stable quality
+//! differential on seeded ground truth, and the `POST /align` endpoint.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sst_bench::{generate_taxonomy, perturb, Perturbation, TaxonomySpec};
+use sst_core::{
+    align_with_limits, measure_ids, Alignment, AlignmentConfig, Amalgamation, CandidateGen,
+    MatchMode, SstBuilder, SstToolkit,
+};
+use sst_limits::Limits;
+use sst_server::{Server, ServerConfig};
+use sst_simpack::Combiner;
+
+fn perturbed_pair(
+    concepts: usize,
+    kind: Perturbation,
+    strength: f64,
+) -> (SstToolkit, String, String) {
+    let original = generate_taxonomy(TaxonomySpec {
+        concepts,
+        branching: 3,
+        instances: 0,
+        seed: 99,
+    });
+    let perturbed = perturb(&original, kind, strength, 7);
+    let source = original.name().to_owned();
+    let target = perturbed.name().to_owned();
+    let sst = SstBuilder::new()
+        .register_ontology(original)
+        .expect("register original")
+        .register_ontology(perturbed)
+        .expect("register perturbed")
+        .build();
+    (sst, source, target)
+}
+
+/// The matching the stable engine emits admits no blocking pair: no
+/// above-threshold (source, target) pair in which *both* sides strictly
+/// prefer each other over what the matching gave them. Scores are
+/// recomputed independently, pair by pair, through the public
+/// `combined_similarity` path rather than trusting the engine's own
+/// numbers.
+#[test]
+fn stable_alignment_admits_no_blocking_pair() {
+    // Structure-only perturbation keeps every name unique within its
+    // ontology, so by-name score lookups below are unambiguous.
+    let (sst, source, target) = perturbed_pair(60, Perturbation::Structure, 0.5);
+    let config = AlignmentConfig {
+        threshold: 0.25,
+        mode: MatchMode::Stable,
+        candidates: CandidateGen::Exhaustive,
+        ..AlignmentConfig::default()
+    };
+    let alignment =
+        align_with_limits(&sst, &source, &target, &config, &Limits::default()).expect("align");
+    assert!(
+        !alignment.correspondences.is_empty(),
+        "stable alignment found nothing to match"
+    );
+
+    let combiner = Combiner::uniform(config.strategy, config.measures.len());
+    let score = |s: &str, t: &str| {
+        sst.combined_similarity(s, &source, t, &target, &config.measures, &combiner)
+            .expect("pairwise combined score")
+    };
+
+    // What each matched concept got, keyed by name.
+    let source_got: std::collections::HashMap<&str, f64> = alignment
+        .correspondences
+        .iter()
+        .map(|c| (c.source_concept.as_str(), c.similarity))
+        .collect();
+    let target_got: std::collections::HashMap<&str, f64> = alignment
+        .correspondences
+        .iter()
+        .map(|c| (c.target_concept.as_str(), c.similarity))
+        .collect();
+
+    let names_of = |ontology: &str| -> Vec<String> {
+        let ont = sst.soqa().ontology(ontology).expect("ontology");
+        ont.concept_ids()
+            .map(|id| ont.concept(id).name.clone())
+            .collect()
+    };
+    let mut blocking = Vec::new();
+    for s in names_of(&source) {
+        for t in names_of(&target) {
+            let pair = score(&s, &t);
+            if pair.is_nan() || pair < config.threshold {
+                continue;
+            }
+            let s_prefers = source_got.get(s.as_str()).is_none_or(|&got| pair > got);
+            let t_prefers = target_got.get(t.as_str()).is_none_or(|&got| pair > got);
+            if s_prefers && t_prefers {
+                blocking.push((s.clone(), t.clone(), pair));
+            }
+        }
+    }
+    assert!(
+        blocking.is_empty(),
+        "stable matching admits blocking pairs: {blocking:?}"
+    );
+}
+
+fn f1_against_identity(alignment: &Alignment, truth: usize) -> f64 {
+    let proposed = alignment.correspondences.len();
+    let correct = alignment
+        .correspondences
+        .iter()
+        .filter(|c| c.source.concept == c.target.concept)
+        .count();
+    if proposed == 0 || correct == 0 {
+        return 0.0;
+    }
+    let precision = correct as f64 / proposed as f64;
+    let recall = correct as f64 / truth as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Greedy-vs-stable differential: on a heavily perturbed taxonomy where
+/// concept ids are the ground truth, deferred acceptance never does worse
+/// than first-come local matching, and the blocked generator never
+/// materializes the full rectangle.
+#[test]
+fn stable_matches_ground_truth_at_least_as_well_as_greedy() {
+    let concepts = 150;
+    let (sst, source, target) = perturbed_pair(concepts, Perturbation::All, 0.45);
+    let run = |mode: MatchMode| {
+        let config = AlignmentConfig {
+            measures: vec![
+                measure_ids::CONCEPTUAL_SIMILARITY_MEASURE,
+                measure_ids::JARO_WINKLER_MEASURE,
+            ],
+            strategy: Amalgamation::WeightedAverage,
+            threshold: 0.35,
+            mode,
+            candidates: CandidateGen::Blocked { width: 8 },
+        };
+        align_with_limits(&sst, &source, &target, &config, &Limits::default()).expect("align")
+    };
+    let greedy = run(MatchMode::Greedy);
+    let stable = run(MatchMode::Stable);
+
+    assert!(
+        stable.stats.candidate_pairs < concepts * concepts,
+        "blocked generation materialized the full rectangle"
+    );
+    assert_eq!(stable.stats.sources_without_candidates, 0);
+
+    let greedy_f1 = f1_against_identity(&greedy, concepts);
+    let stable_f1 = f1_against_identity(&stable, concepts);
+    assert!(
+        stable_f1 >= greedy_f1,
+        "stable F1 {stable_f1:.4} below greedy F1 {greedy_f1:.4}"
+    );
+    assert!(stable_f1 > 0.8, "stable F1 {stable_f1:.4} implausibly low");
+}
+
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    stream.write_all(raw).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    send_raw(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+struct StopOnDrop(sst_server::ShutdownHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// `POST /align` end to end: a well-formed request aligns two registered
+/// ontologies; malformed bodies and unknown names map to client errors;
+/// a starved step budget maps to 422 instead of unbounded work.
+#[test]
+fn align_endpoint_answers_and_maps_errors() {
+    let (sst, source, target) = perturbed_pair(40, Perturbation::Names, 0.3);
+
+    let serve = |limits: Limits, check: &dyn Fn(SocketAddr)| {
+        let server = Server::bind(ServerConfig {
+            ql_limits: limits,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        std::thread::scope(|scope| {
+            let running = scope.spawn(|| server.run(&sst));
+            let _stop = StopOnDrop(handle.clone());
+            check(addr);
+            handle.shutdown();
+            assert!(running.join().expect("run thread").is_ok());
+        });
+    };
+
+    serve(Limits::default(), &|addr| {
+        let body = format!(
+            "{{\"source\":\"{source}\",\"target\":\"{target}\",\
+             \"measures\":[\"jaro_winkler\"],\"mode\":\"stable\",\
+             \"threshold\":0.5,\"width\":8}}"
+        );
+        let (status, reply) = post(addr, "/align", &body);
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"mode\":\"stable\""), "{reply}");
+        assert!(reply.contains("\"correspondences\":["), "{reply}");
+        assert!(reply.contains("\"stats\":"), "{reply}");
+
+        // Greedy mode answers too, and echoes its mode.
+        let greedy = body.replace("\"stable\"", "\"greedy\"");
+        let (status, reply) = post(addr, "/align", &greedy);
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"mode\":\"greedy\""), "{reply}");
+
+        // Client errors: garbage body, missing fields, bad mode, unknown
+        // ontology, wrong method.
+        assert_eq!(post(addr, "/align", "not json").0, 400);
+        assert_eq!(post(addr, "/align", "{\"source\":\"x\"}").0, 400);
+        let bad_mode = body.replace("\"stable\"", "\"chaotic\"");
+        assert_eq!(post(addr, "/align", &bad_mode).0, 400);
+        let ghost = format!("{{\"source\":\"{source}\",\"target\":\"ghost\"}}");
+        assert_eq!(post(addr, "/align", &ghost).0, 404);
+        assert_eq!(
+            send_raw(addr, b"GET /align HTTP/1.1\r\nhost: test\r\n\r\n").0,
+            405
+        );
+    });
+
+    // A starved step budget is a 422, not a hung worker.
+    serve(
+        Limits {
+            max_steps: 1,
+            ..Limits::default()
+        },
+        &|addr| {
+            let body = format!("{{\"source\":\"{source}\",\"target\":\"{target}\"}}");
+            let (status, reply) = post(addr, "/align", &body);
+            assert_eq!(status, 422, "{reply}");
+        },
+    );
+}
