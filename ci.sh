@@ -14,7 +14,9 @@
 # candidate generation never materializes n*m and leaves no source
 # without candidates, stable-matching F1 at least greedy F1 at every
 # blocking width and strictly better on average, stable precision above
-# its floor; writes results/BENCH_align.json).
+# its floor; writes results/BENCH_align.json), and the snapshot smoke
+# gate (SSTSNAP1 round trip bit-identical on every measure and faster
+# than a cold parse; the full run writes results/BENCH_snapshot.json).
 set -eu
 cd "$(dirname "$0")"
 # Archive the machine-readable findings document first (written even
@@ -28,10 +30,17 @@ cargo run --release -p sst-bench --bin fault_smoke -- --smoke
 cargo run --release -p sst-bench --bin server_smoke -- --smoke
 cargo run --release -p sst-bench --bin ann_bench -- --smoke
 cargo run --release -p sst-bench --bin align_bench -- --smoke
+cargo run --release -p sst-bench --bin snapshot_bench -- --smoke
 # The archived full-run matrix benchmark must agree with the smoke gate:
 # every measure row records an honest bit_identical flag, and a stale or
 # regressed archive with any false flag fails the build.
 if [ -f results/BENCH_matrix.json ] && grep -q '"bit_identical":false' results/BENCH_matrix.json; then
     echo "ci.sh: results/BENCH_matrix.json records a bit_identical:false measure" >&2
+    exit 1
+fi
+# Likewise the archived snapshot benchmark: a round trip that is not
+# bit-identical must fail the build, stale archive or not.
+if [ -f results/BENCH_snapshot.json ] && grep -q '"identity": false' results/BENCH_snapshot.json; then
+    echo "ci.sh: results/BENCH_snapshot.json records identity: false" >&2
     exit 1
 fi

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use sst_bench::{data_dir, load_corpus, names};
 use sst_core::TreeMode;
-use sst_server::{Server, ServerConfig};
+use sst_server::{Corpora, Server, ServerConfig};
 
 /// Client threads (the acceptance floor is ≥ 4).
 const CLIENTS: usize = 6;
@@ -112,7 +112,8 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let rounds = if smoke { SMOKE_ROUNDS } else { FULL_ROUNDS };
 
-    let sst = load_corpus(TreeMode::SuperThing, false);
+    let sst = std::sync::Arc::new(load_corpus(TreeMode::SuperThing, false));
+    let corpora = Corpora::new("default", std::sync::Arc::clone(&sst));
     let server = Server::bind(ServerConfig {
         workers: 4,
         queue_capacity: 32,
@@ -124,7 +125,7 @@ fn main() {
 
     let started = Instant::now();
     let (ok, shed) = std::thread::scope(|scope| {
-        let running = scope.spawn(|| server.run(&sst));
+        let running = scope.spawn(|| server.run(&corpora));
 
         let clients: Vec<_> = (0..CLIENTS)
             .map(|c| {

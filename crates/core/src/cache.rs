@@ -34,6 +34,7 @@
 //! (the batch path of [`CachedSimilarity::most_similar`] may duplicate
 //! work under concurrency but stays value-identical).
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,14 +50,20 @@ type Key = (usize, GlobalConcept, GlobalConcept);
 
 /// A memoizing view over a toolkit.
 ///
+/// Generic over *how* the toolkit is held: `T` is anything that borrows
+/// an [`SstToolkit`] — a plain `&SstToolkit` for scoped use (the common
+/// case; `CachedSimilarity::new(&sst)` works unchanged) or an
+/// `Arc<SstToolkit>` for owning callers like the multi-tenant server,
+/// whose hot-swappable corpora must outlive any one scope.
+///
 /// Hit/miss traffic is tracked twice on purpose: the local atomics back
 /// [`CachedSimilarity::stats`] (per-cache, reset by construction), while the
 /// `core.cache.hits` / `core.cache.misses` / `core.cache.evictions`
 /// counters in the toolkit's metrics registry aggregate across every cache
 /// built on the toolkit.
 #[derive(Debug)]
-pub struct CachedSimilarity<'a> {
-    toolkit: &'a SstToolkit,
+pub struct CachedSimilarity<T: Borrow<SstToolkit>> {
+    toolkit: T,
     memo: ShardedLru<Key, f64>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -66,7 +73,7 @@ pub struct CachedSimilarity<'a> {
     evictions_metric: Arc<Counter>,
 }
 
-impl<'a> CachedSimilarity<'a> {
+impl<T: Borrow<SstToolkit>> CachedSimilarity<T> {
     /// Default capacity bound of [`CachedSimilarity::new`], in cached
     /// pairs. Sized for serving workloads: large enough that interactive
     /// traffic over mid-size ontologies rarely evicts, small enough that a
@@ -74,36 +81,44 @@ impl<'a> CachedSimilarity<'a> {
     pub const DEFAULT_CAPACITY: usize = 65_536;
 
     /// A cache bounded at [`CachedSimilarity::DEFAULT_CAPACITY`] pairs.
-    pub fn new(toolkit: &'a SstToolkit) -> Self {
+    pub fn new(toolkit: T) -> Self {
         Self::with_capacity(toolkit, Self::DEFAULT_CAPACITY)
     }
 
     /// A cache bounded at `capacity` pairs (clamped to at least one).
     /// When full, the least-recently-used pair of the key's shard is
     /// evicted to make room.
-    pub fn with_capacity(toolkit: &'a SstToolkit, capacity: usize) -> Self {
+    pub fn with_capacity(toolkit: T, capacity: usize) -> Self {
+        let (hits_metric, misses_metric, evictions_metric) = {
+            let metrics = toolkit.borrow().metrics();
+            (
+                metrics.counter("core.cache.hits"),
+                metrics.counter("core.cache.misses"),
+                metrics.counter("core.cache.evictions"),
+            )
+        };
         CachedSimilarity {
             toolkit,
             memo: ShardedLru::with_capacity(capacity),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            hits_metric: toolkit.metrics().counter("core.cache.hits"),
-            misses_metric: toolkit.metrics().counter("core.cache.misses"),
-            evictions_metric: toolkit.metrics().counter("core.cache.evictions"),
+            hits_metric,
+            misses_metric,
+            evictions_metric,
         }
     }
 
     /// The explicit opt-out: a cache that never evicts. For offline batch
     /// jobs (alignment, clustering over a fixed set) where the working set
     /// is known to fit; long-running services should prefer a bound.
-    pub fn unbounded(toolkit: &'a SstToolkit) -> Self {
+    pub fn unbounded(toolkit: T) -> Self {
         Self::with_capacity(toolkit, usize::MAX)
     }
 
     /// The wrapped toolkit.
     pub fn toolkit(&self) -> &SstToolkit {
-        self.toolkit
+        self.toolkit.borrow()
     }
 
     /// (hits, misses) since construction.
@@ -174,9 +189,12 @@ impl<'a> CachedSimilarity<'a> {
         second_ontology: &str,
         measure: usize,
     ) -> Result<f64> {
-        let a = self.toolkit.soqa().resolve(first_ontology, first_concept)?;
+        let a = self
+            .toolkit()
+            .soqa()
+            .resolve(first_ontology, first_concept)?;
         let b = self
-            .toolkit
+            .toolkit()
             .soqa()
             .resolve(second_ontology, second_concept)?;
         let key = Self::canonical(measure, a, b);
@@ -187,7 +205,7 @@ impl<'a> CachedSimilarity<'a> {
                 Ok(cached)
             }
             Slot::Reserved => {
-                let computed = self.toolkit.get_similarity(
+                let computed = self.toolkit().get_similarity(
                     first_concept,
                     first_ontology,
                     second_concept,
@@ -230,13 +248,13 @@ impl<'a> CachedSimilarity<'a> {
         k: usize,
         measure: usize,
     ) -> Result<Vec<ConceptAndSimilarity>> {
-        let members = self.toolkit.concept_set(set)?;
+        let members = self.toolkit().concept_set(set)?;
         if members.is_empty() {
             return Ok(Vec::new());
         }
-        let query = self.toolkit.soqa().resolve(ontology, concept)?;
+        let query = self.toolkit().soqa().resolve(ontology, concept)?;
         // Fail on an unknown measure *before* any accounting.
-        let runner = self.toolkit.runner(measure)?;
+        let runner = self.toolkit().runner(measure)?;
 
         // Scan the memo once; misses are deduplicated into batch slots so a
         // repeated pair is computed once and the repeat counts as a hit,
@@ -249,16 +267,16 @@ impl<'a> CachedSimilarity<'a> {
         let mut pending_keys: HashMap<Key, usize> = HashMap::new();
         let mut pending: Vec<GlobalConcept> = Vec::new();
         for gc in members {
-            let other = self.toolkit.soqa().concept(gc).name.clone();
+            let other = self.toolkit().soqa().concept(gc).name.clone();
             let other_onto = self
-                .toolkit
+                .toolkit()
                 .soqa()
                 .ontology_at(gc.ontology)
                 .name()
                 .to_owned();
             // Resolve by name like the pairwise service does, so duplicate
             // names keep hitting the same memo entry they always did.
-            let rgc = self.toolkit.soqa().resolve(&other_onto, &other)?;
+            let rgc = self.toolkit().soqa().resolve(&other_onto, &other)?;
             let key = Self::canonical(measure, query, rgc);
             let (similarity, slot) = if let Some(cached) = self.memo.get(&key) {
                 hits += 1;
@@ -284,11 +302,14 @@ impl<'a> CachedSimilarity<'a> {
         if !pending.is_empty() {
             let mut batch = pending.clone();
             batch.push(query);
-            let prep = self.toolkit.prepare_for(&batch, runner.needs());
+            let prep = self.toolkit().prepare_for(&batch, runner.needs());
             let scorer = PairScorer::new(runner, &prep);
             let qpos = batch.len() - 1;
             let values: Vec<f64> = (0..pending.len())
-                .map(|i| self.toolkit.timed_score(measure, || scorer.score(qpos, i)))
+                .map(|i| {
+                    self.toolkit()
+                        .timed_score(measure, || scorer.score(qpos, i))
+                })
                 .collect();
             let mut evicted: u64 = 0;
             for (&key, &slot) in &pending_keys {

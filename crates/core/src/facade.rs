@@ -184,7 +184,7 @@ pub(crate) fn rank_ascending(
 }
 
 /// Configuration knobs for toolkit construction.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SstConfig {
     pub tree_mode: TreeMode,
     pub probability_mode: ProbabilityModeConfig,
@@ -310,6 +310,7 @@ impl SstBuilder {
 
         SstToolkit {
             soqa: self.soqa,
+            config: self.config,
             tree,
             ic,
             index,
@@ -369,6 +370,9 @@ impl MeasureMetrics {
 #[derive(Debug)]
 pub struct SstToolkit {
     soqa: Soqa,
+    /// The configuration the toolkit was built with, persisted into
+    /// snapshots so an import rebuilds under identical settings.
+    config: SstConfig,
     tree: UnifiedTree,
     ic: InformationContent,
     index: InvertedIndex,
@@ -392,6 +396,11 @@ impl SstToolkit {
     /// The unified ontology tree.
     pub fn tree(&self) -> &UnifiedTree {
         &self.tree
+    }
+
+    /// The configuration the toolkit was built with.
+    pub fn config(&self) -> SstConfig {
+        self.config
     }
 
     /// The toolkit's metrics registry. Cloning the returned handle shares
@@ -808,6 +817,42 @@ impl SstToolkit {
             rows.push((gc, label, v));
         }
         Ok(VectorStore::from_rows(rows, file.dim))
+    }
+
+    /// Serializes the toolkit into an `SSTSNAP1` snapshot: the build
+    /// configuration, the exact ontology arenas, and the prepared vector
+    /// tables (see `crate::snapshot` for the layout). A replica that
+    /// loads the snapshot reconstructs a toolkit whose scores are
+    /// bit-identical on every registered measure.
+    pub fn export_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode_snapshot(self)
+    }
+
+    /// Decodes an `SSTSNAP1` snapshot under `limits` and rebuilds the
+    /// toolkit from it. The checksum is verified before parsing; every
+    /// arena id is validated; and the prepared vector tables rebuilt
+    /// from the decoded ontologies must match the stored ones byte for
+    /// byte — a mismatch means version skew between writer and reader
+    /// (or silent corruption) and is an error, never a quietly different
+    /// toolkit.
+    pub fn import_snapshot(bytes: &[u8], limits: &sst_limits::Limits) -> Result<SstToolkit> {
+        let snapshot = crate::snapshot::SnapshotFile::from_bytes(bytes, limits)
+            .map_err(|e| SstError::InvalidArgument(format!("snapshot: {e}")))?;
+        let mut builder = SstBuilder::new()
+            .tree_mode(snapshot.config.tree_mode)
+            .probability_mode(snapshot.config.probability_mode);
+        for ontology in snapshot.ontologies {
+            builder = builder.register_ontology(ontology)?;
+        }
+        let toolkit = builder.build();
+        if toolkit.export_vectors() != snapshot.vectors {
+            return Err(SstError::InvalidArgument(
+                "snapshot: stored prepared tables do not match the rebuilt store \
+                 (writer/reader version skew)"
+                    .to_owned(),
+            ));
+        }
+        Ok(toolkit)
     }
 
     /// Most-similar under *several* measures at once: returns one ranked

@@ -46,6 +46,7 @@ pub mod heatmap;
 mod lru;
 pub mod runner;
 pub mod sched;
+pub mod snapshot;
 pub mod tree;
 pub mod vector;
 
@@ -73,6 +74,7 @@ pub use sched::{
     default_workers, rect_tiles, run_tiles, tile_size, triangle_tiles, SchedStats, Tile,
     WorkerStats,
 };
+pub use snapshot::{SnapshotFile, SnapshotFormatError, SNAPSHOT_MAGIC};
 pub use sst_obs::{Metrics, MetricsSnapshot};
 pub use sst_simpack::Amalgamation;
 pub use tree::{TreeMode, UnifiedTree, SUPER_THING};

@@ -381,6 +381,43 @@ mod tests {
     }
 
     #[test]
+    fn tiny_capacities_use_fewer_shards() {
+        // Below SHARD_COUNT the shard count collapses to the capacity, so
+        // no shard ends up with a zero bound (which would silently drop
+        // every insert hashed to it).
+        for capacity in 1..SHARD_COUNT {
+            let lru: ShardedLru<u64, u64> = ShardedLru::with_capacity(capacity);
+            assert_eq!(lru.shards.len(), capacity, "capacity {capacity}");
+            assert!(
+                lru.shards.iter().all(|s| s.lock().capacity == 1),
+                "capacity {capacity}: every shard holds exactly one entry"
+            );
+            assert_eq!(lru.capacity(), capacity);
+        }
+        let lru: ShardedLru<u64, u64> = ShardedLru::with_capacity(SHARD_COUNT);
+        assert_eq!(lru.shards.len(), SHARD_COUNT);
+        // Zero clamps to one: a single one-entry shard, still usable.
+        let lru: ShardedLru<u64, u64> = ShardedLru::with_capacity(0);
+        assert_eq!(lru.shards.len(), 1);
+        assert_eq!(lru.capacity(), 1);
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), Some(10));
+    }
+
+    #[test]
+    fn tiny_capacity_stays_bounded_and_retains_entries() {
+        // capacity 3 < SHARD_COUNT: keys spread over three one-slot
+        // shards; the total bound holds and lookups still work.
+        let lru: ShardedLru<u64, u64> = ShardedLru::with_capacity(3);
+        for i in 0..100 {
+            lru.insert(i, i * 2);
+            assert!(lru.len() <= 3, "len {} at i {i}", lru.len());
+            assert_eq!(lru.get(&i), Some(i * 2), "fresh insert is resident");
+        }
+        assert!(lru.len() >= 1);
+    }
+
+    #[test]
     fn reserve_then_fulfill_wakes_waiters() {
         let lru: ShardedLru<u32, u32> = ShardedLru::with_capacity(8);
         assert_eq!(lru.get_or_reserve(&7), Slot::Reserved);

@@ -476,7 +476,7 @@ pub const FORMAT_MAGIC: &[u8; 8] = b"SSTVEC1\n";
 /// overflow the input-size check.
 const MAX_FORMAT_DIM: usize = 4096;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

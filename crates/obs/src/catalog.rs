@@ -352,6 +352,31 @@ pub const CATALOG: &[MetricDecl] = &[
         help: "connections shed under overload",
     },
     MetricDecl {
+        name: "server.tenant.corpora",
+        kind: MetricKind::Gauge,
+        help: "corpora registered in the tenancy registry",
+    },
+    MetricDecl {
+        name: "server.tenant.default",
+        kind: MetricKind::Counter,
+        help: "requests served by the default corpus",
+    },
+    MetricDecl {
+        name: "server.tenant.named",
+        kind: MetricKind::Counter,
+        help: "requests routed to a named corpus",
+    },
+    MetricDecl {
+        name: "server.tenant.swaps",
+        kind: MetricKind::Counter,
+        help: "hot swaps of a live corpus name",
+    },
+    MetricDecl {
+        name: "server.tenant.unknown",
+        kind: MetricKind::Counter,
+        help: "corpus selectors naming no registered corpus (404)",
+    },
+    MetricDecl {
         name: "sexpr.bytes",
         kind: MetricKind::Counter,
         help: "s-expression bytes parsed",

@@ -21,7 +21,11 @@ pub struct Request {
     pub method: String,
     /// Decoded path without the query string, e.g. `/similarity`.
     pub path: String,
-    /// Decoded query parameters, last occurrence wins.
+    /// Decoded query parameters. Each key appears at most once: a target
+    /// repeating a key (`?ontology=a&ontology=b`) is rejected with `400`
+    /// while reading (see [`ReadOutcome::DuplicateParam`]) — with
+    /// `?ontology=` doubling as the corpus selector, a silently
+    /// last-wins duplicate could route a request ambiguously.
     pub query: HashMap<String, String>,
     pub body: Vec<u8>,
 }
@@ -51,6 +55,9 @@ pub enum ReadOutcome {
     TooLarge,
     /// The bytes did not parse as HTTP (HTTP 400).
     Malformed,
+    /// The query string repeated the named key (HTTP 400); accepting
+    /// either occurrence would make routing ambiguous.
+    DuplicateParam(String),
 }
 
 /// Reads one request from `stream`, honoring its configured read timeout
@@ -123,7 +130,10 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> ReadOutcom
     }
     body.truncate(content_length);
 
-    let (path, query) = split_target(target);
+    let (path, query) = match split_target(target) {
+        Ok(parsed) => parsed,
+        Err(key) => return ReadOutcome::DuplicateParam(key),
+    };
     ReadOutcome::Ok(Request {
         method: method.to_owned(),
         path,
@@ -145,7 +155,10 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 }
 
 /// Splits a request target into the decoded path and query parameters.
-fn split_target(target: &str) -> (String, HashMap<String, String>) {
+/// A repeated (decoded) key is an error carrying the key name: the old
+/// silent last-wins `HashMap::insert` let `?ontology=a&ontology=b` route
+/// to whichever value happened to come last.
+fn split_target(target: &str) -> Result<(String, HashMap<String, String>), String> {
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -153,9 +166,12 @@ fn split_target(target: &str) -> (String, HashMap<String, String>) {
     let mut query = HashMap::new();
     for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        query.insert(percent_decode(k), percent_decode(v));
+        let key = percent_decode(k);
+        if query.insert(key.clone(), percent_decode(v)).is_some() {
+            return Err(key);
+        }
     }
-    (percent_decode_path(raw_path), query)
+    Ok((percent_decode_path(raw_path), query))
 }
 
 /// Decodes `%XX` escapes only — for request *paths*, where `+` is an
@@ -222,6 +238,7 @@ pub const PAYLOAD_TOO_LARGE: Status = Status(413, "Payload Too Large");
 pub const UNPROCESSABLE: Status = Status(422, "Unprocessable Content");
 pub const TOO_MANY_REQUESTS: Status = Status(429, "Too Many Requests");
 pub const INTERNAL_ERROR: Status = Status(500, "Internal Server Error");
+pub const SERVICE_UNAVAILABLE: Status = Status(503, "Service Unavailable");
 
 /// Writes a complete `Connection: close` response. Write errors are
 /// returned for accounting but the connection is torn down either way.
@@ -283,11 +300,31 @@ mod tests {
 
     #[test]
     fn target_splits_and_decodes() {
-        let (path, query) = split_target("/similarity?first=Domestic%20Cat&k=5&q=a+b");
+        let (path, query) = split_target("/similarity?first=Domestic%20Cat&k=5&q=a+b").unwrap();
         assert_eq!(path, "/similarity");
         assert_eq!(query.get("first").map(String::as_str), Some("Domestic Cat"));
         assert_eq!(query.get("k").map(String::as_str), Some("5"));
         assert_eq!(query.get("q").map(String::as_str), Some("a b"));
+    }
+
+    /// Satellite pin: a repeated query key must be rejected, not silently
+    /// last-win — `?ontology=a&ontology=b` cannot route ambiguously.
+    #[test]
+    fn duplicate_query_keys_are_rejected() {
+        assert_eq!(
+            split_target("/rank?ontology=a&ontology=b"),
+            Err("ontology".to_owned())
+        );
+        // Duplicates hidden behind percent-encoding are still duplicates.
+        assert_eq!(
+            split_target("/rank?ontology=a&onto%6Cogy=b"),
+            Err("ontology".to_owned())
+        );
+        // A repeated key with identical values is just as ambiguous about
+        // intent; reject uniformly.
+        assert_eq!(split_target("/rank?k=5&k=5"), Err("k".to_owned()));
+        // Distinct keys still pass.
+        assert!(split_target("/rank?ontology=a&concept=b").is_ok());
     }
 
     #[test]
@@ -301,7 +338,7 @@ mod tests {
     fn plus_survives_in_paths_but_is_space_in_queries() {
         // Regression: the path decoder used to apply the `+`-as-space
         // form-encoding rule, corrupting path segments with a literal `+`.
-        let (path, query) = split_target("/c%2B%2B+notes?q=a+b&x=1%2B2");
+        let (path, query) = split_target("/c%2B%2B+notes?q=a+b&x=1%2B2").unwrap();
         assert_eq!(path, "/c+++notes");
         assert_eq!(query.get("q").map(String::as_str), Some("a b"));
         assert_eq!(query.get("x").map(String::as_str), Some("1+2"));

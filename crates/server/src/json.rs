@@ -47,10 +47,18 @@ impl Json {
     }
 
     /// The value as a non-negative integer, if it is one exactly.
+    ///
+    /// The upper bound is strict: `u64::MAX as f64` rounds *up* to 2^64
+    /// (u64::MAX is not representable), so a `<=` comparison admitted
+    /// 2^64 itself, and the saturating float-to-int cast then returned
+    /// `usize::MAX` — a silently wrong value instead of `None`. With
+    /// `<`, every admitted value is an exactly-representable integer in
+    /// `0..2^64`, which the cast converts losslessly; `try_from` then
+    /// rejects values beyond `usize` on narrower targets.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
-                Some(*n as usize)
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
+                usize::try_from(*n as u64).ok()
             }
             _ => None,
         }
@@ -351,5 +359,34 @@ mod tests {
         assert_eq!(parse("7").unwrap().as_usize(), Some(7));
         assert_eq!(parse("7.5").unwrap().as_usize(), None);
         assert_eq!(parse("-1").unwrap().as_usize(), None);
+    }
+
+    /// Satellite pin: the boundary around 2^64. The old `<= usize::MAX
+    /// as f64` guard admitted 2^64 exactly (the comparison constant
+    /// rounds up), and the saturating cast turned it into `usize::MAX`.
+    #[test]
+    fn as_usize_boundary_cases() {
+        // 2^64 — representable as f64, not as usize. Must be None, not
+        // a silent saturation to usize::MAX.
+        assert_eq!(Json::Num(18_446_744_073_709_551_616.0).as_usize(), None);
+        assert_eq!(parse("18446744073709551616").unwrap().as_usize(), None);
+        // Anything at or above 2^64 is out.
+        assert_eq!(Json::Num(2.0f64.powi(65)).as_usize(), None);
+        assert_eq!(Json::Num(f64::MAX).as_usize(), None);
+        // The largest f64 integer below 2^64 (2^64 - 2048) is in range
+        // on 64-bit targets and converts exactly.
+        let below = 18_446_744_073_709_549_568.0f64;
+        assert_eq!(
+            Json::Num(below).as_usize(),
+            usize::try_from(below as u64).ok()
+        );
+        // 2^53 (the integer-precision edge of f64) still converts.
+        assert_eq!(
+            Json::Num(9_007_199_254_740_992.0).as_usize(),
+            Some(9_007_199_254_740_992)
+        );
+        assert_eq!(Json::Num(0.0).as_usize(), Some(0));
+        assert_eq!(Json::Num(f64::NAN).as_usize(), None);
+        assert_eq!(Json::Num(f64::INFINITY).as_usize(), None);
     }
 }

@@ -23,7 +23,13 @@
 //!   request before exiting, so an accepted request is always answered.
 //!
 //! Similarity endpoints run through the sharded, capacity-bounded LRU of
-//! [`sst_core::CachedSimilarity`]; cache size is [`ServerConfig::cache_capacity`].
+//! [`sst_core::CachedSimilarity`]; each corpus in the [`Corpora`]
+//! registry owns its own cache (capacity set on the registry).
+//!
+//! The server serves a [`Corpora`] registry of named corpora; the
+//! `ontology` query parameter routes a request to a corpus (see
+//! [`router`] module docs), and [`Corpora::insert`] hot-swaps a live
+//! corpus with zero downtime.
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +37,7 @@ pub mod http;
 pub mod json;
 pub mod queue;
 pub mod router;
+pub mod tenancy;
 
 use std::fmt;
 use std::io;
@@ -39,8 +46,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use sst_core::SstToolkit;
 use sst_limits::Limits;
+
+pub use tenancy::{Corpora, Tenant};
 
 use http::{
     read_request, write_response, ReadOutcome, BAD_REQUEST, PAYLOAD_TOO_LARGE, REQUEST_TIMEOUT,
@@ -66,9 +74,6 @@ pub struct ServerConfig {
     pub retry_after_secs: u32,
     /// Cap on a request body (`413` beyond it).
     pub max_request_bytes: usize,
-    /// Capacity of the similarity LRU cache shared by `/similarity` and
-    /// `/rank`.
-    pub cache_capacity: usize,
     /// Evaluation budget for `POST /ql` queries (`422` when blown).
     pub ql_limits: Limits,
 }
@@ -82,7 +87,6 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(2),
             retry_after_secs: 1,
             max_request_bytes: 64 * 1024,
-            cache_capacity: 65_536,
             ql_limits: Limits::default(),
         }
     }
@@ -180,18 +184,23 @@ impl Server {
         }
     }
 
-    /// Serves until [`ShutdownHandle::shutdown`] is called, blocking the
-    /// calling thread. Worker threads are scoped to this call: when it
-    /// returns, every accepted request has been answered and every thread
-    /// joined.
-    pub fn run(&self, toolkit: &SstToolkit) -> Result<(), ServerError> {
+    /// Serves the given corpus registry until [`ShutdownHandle::shutdown`]
+    /// is called, blocking the calling thread. Worker threads are scoped
+    /// to this call: when it returns, every accepted request has been
+    /// answered and every thread joined.
+    ///
+    /// The registry stays shared with the caller, who may
+    /// [`Corpora::insert`] replacement corpora while the server runs —
+    /// in-flight requests finish on the corpus they resolved.
+    pub fn run(&self, corpora: &Corpora) -> Result<(), ServerError> {
         let config = &self.config;
-        let router = Router::new(toolkit, config.cache_capacity, config.ql_limits);
+        let router = Router::new(corpora, config.ql_limits, Arc::clone(&self.stop));
         let work: BoundedQueue<TcpStream> = BoundedQueue::new(config.queue_capacity);
-        let accepted = toolkit.metrics().counter("server.accepted");
-        let shed = toolkit.metrics().counter("server.shed");
-        let deadline_hits = toolkit.metrics().counter("server.deadline_hits");
-        let write_failures = toolkit.metrics().counter("server.http.write_failures");
+        let metrics = corpora.metrics();
+        let accepted = metrics.counter("server.accepted");
+        let shed = metrics.counter("server.shed");
+        let deadline_hits = metrics.counter("server.deadline_hits");
+        let write_failures = metrics.counter("server.http.write_failures");
         let workers = config.workers.max(1);
         let retry_after = format!("{}", config.retry_after_secs);
 
@@ -322,6 +331,17 @@ fn serve_connection(
             BAD_REQUEST,
             "application/json",
             b"{\"error\":\"malformed HTTP request\"}",
+            &[],
+        ),
+        ReadOutcome::DuplicateParam(key) => write_response(
+            stream,
+            BAD_REQUEST,
+            "application/json",
+            format!(
+                "{{\"error\":\"duplicate query parameter `{}`\"}}",
+                http::json_escape(&key)
+            )
+            .as_bytes(),
             &[],
         ),
     };

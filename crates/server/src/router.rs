@@ -3,28 +3,51 @@
 //! Handlers are pure with respect to the connection: they take a
 //! [`Request`] and return status + body; all socket I/O stays in the
 //! worker loop. Each endpoint records a request counter and a latency
-//! histogram in the toolkit's metrics registry
+//! histogram in the server's metrics registry
 //! (`server.requests.<endpoint>` / `server.latency.<endpoint>`), so
 //! `GET /metrics` exposes the server's own traffic next to the measure
 //! and cache metrics.
+//!
+//! ## Corpus routing
+//!
+//! The router serves from a [`Corpora`] registry. The `ontology` query
+//! parameter selects the corpus:
+//!
+//! - `/similarity`, `/align`, `/ql`: `?ontology=<corpus>` routes to that
+//!   corpus (404 for an unknown name); absent, the default corpus
+//!   serves — existing single-corpus clients are unaffected.
+//! - `/rank`: `ontology` has always named the query concept's ontology,
+//!   so it does double duty — a value naming a registered corpus routes
+//!   there (corpora are conventionally named after the ontology they
+//!   serve, and the value is resolved as an ontology name *inside* that
+//!   corpus); any other value falls back to the default corpus with the
+//!   value as an in-corpus ontology name, preserving compatibility.
+//!   A corpus name therefore shadows a same-named default-corpus
+//!   ontology on `/rank`.
+//!
+//! Handlers clone the resolved tenant's `Arc` before doing work, so a
+//! concurrent hot swap ([`Corpora::insert`]) never disturbs an in-flight
+//! request — it finishes on the corpus it resolved.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use sst_core::{
-    align_with_limits, measure_ids, AlignmentConfig, Amalgamation, CachedSimilarity, CandidateGen,
+    align_with_limits, measure_ids, AlignmentConfig, Amalgamation, CandidateGen,
     ConceptAndSimilarity, ConceptSet, MatchMode, SstError, SstToolkit,
 };
 use sst_limits::Limits;
-use sst_obs::{Counter, Histogram};
+use sst_obs::{Counter, Histogram, Metrics};
 use sst_soqa::ql::Cell;
 use sst_soqa::SoqaError;
 
 use crate::http::{
     json_escape, json_f64, Request, Status, BAD_REQUEST, INTERNAL_ERROR, METHOD_NOT_ALLOWED,
-    NOT_FOUND, OK, UNPROCESSABLE,
+    NOT_FOUND, OK, SERVICE_UNAVAILABLE, UNPROCESSABLE,
 };
 use crate::json::{self, Json};
+use crate::tenancy::{Corpora, Tenant};
 
 /// One endpoint's pre-resolved metric handles.
 #[derive(Debug)]
@@ -34,25 +57,23 @@ struct EndpointMetrics {
 }
 
 impl EndpointMetrics {
-    fn register(toolkit: &SstToolkit, endpoint: &str) -> Self {
+    fn register(metrics: &Metrics, endpoint: &str) -> Self {
         EndpointMetrics {
-            requests: toolkit
-                .metrics()
-                .counter(&format!("server.requests.{endpoint}")),
-            latency: toolkit
-                .metrics()
-                .histogram(&format!("server.latency.{endpoint}")),
+            requests: metrics.counter(&format!("server.requests.{endpoint}")),
+            latency: metrics.histogram(&format!("server.latency.{endpoint}")),
         }
     }
 }
 
-/// Shared per-server state: the frozen toolkit, the bounded similarity
-/// cache, the SOQA-QL evaluation budget, and metric handles.
+/// Shared per-server state: the corpus registry, the SOQA-QL evaluation
+/// budget, the drain flag, and metric handles.
 #[derive(Debug)]
 pub struct Router<'a> {
-    toolkit: &'a SstToolkit,
-    cache: CachedSimilarity<'a>,
+    corpora: &'a Corpora,
     ql_limits: Limits,
+    /// Set once shutdown is requested; `/healthz` turns 503 so a load
+    /// balancer stops routing to a draining replica.
+    draining: Arc<AtomicBool>,
     ql: EndpointMetrics,
     similarity: EndpointMetrics,
     rank: EndpointMetrics,
@@ -66,6 +87,12 @@ pub struct Router<'a> {
     responses_2xx: Arc<Counter>,
     responses_4xx: Arc<Counter>,
     responses_5xx: Arc<Counter>,
+    /// `server.tenant.default` — requests served by the default corpus.
+    tenant_default: Arc<Counter>,
+    /// `server.tenant.named` — requests routed to a named corpus.
+    tenant_named: Arc<Counter>,
+    /// `server.tenant.unknown` — corpus selectors that 404ed.
+    tenant_unknown: Arc<Counter>,
 }
 
 /// A handler's answer, ready for the HTTP layer.
@@ -102,30 +129,60 @@ impl Answer {
 }
 
 impl<'a> Router<'a> {
-    pub fn new(toolkit: &'a SstToolkit, cache_capacity: usize, ql_limits: Limits) -> Self {
+    pub fn new(corpora: &'a Corpora, ql_limits: Limits, draining: Arc<AtomicBool>) -> Self {
+        let metrics = corpora.metrics();
         Router {
-            toolkit,
-            cache: CachedSimilarity::with_capacity(toolkit, cache_capacity),
+            corpora,
             ql_limits,
-            ql: EndpointMetrics::register(toolkit, "ql"),
-            similarity: EndpointMetrics::register(toolkit, "similarity"),
-            rank: EndpointMetrics::register(toolkit, "rank"),
-            align: EndpointMetrics::register(toolkit, "align"),
-            metrics_ep: EndpointMetrics::register(toolkit, "metrics"),
-            healthz: EndpointMetrics::register(toolkit, "healthz"),
-            other: EndpointMetrics::register(toolkit, "other"),
-            align_correspondences: toolkit.metrics().counter("server.align.correspondences"),
-            rank_approx_requests: toolkit.metrics().counter("server.rank.approx.requests"),
-            rank_approx_latency: toolkit.metrics().histogram("server.rank.approx.latency"),
-            responses_2xx: toolkit.metrics().counter("server.responses.2xx"),
-            responses_4xx: toolkit.metrics().counter("server.responses.4xx"),
-            responses_5xx: toolkit.metrics().counter("server.responses.5xx"),
+            draining,
+            ql: EndpointMetrics::register(metrics, "ql"),
+            similarity: EndpointMetrics::register(metrics, "similarity"),
+            rank: EndpointMetrics::register(metrics, "rank"),
+            align: EndpointMetrics::register(metrics, "align"),
+            metrics_ep: EndpointMetrics::register(metrics, "metrics"),
+            healthz: EndpointMetrics::register(metrics, "healthz"),
+            other: EndpointMetrics::register(metrics, "other"),
+            align_correspondences: metrics.counter("server.align.correspondences"),
+            rank_approx_requests: metrics.counter("server.rank.approx.requests"),
+            rank_approx_latency: metrics.histogram("server.rank.approx.latency"),
+            responses_2xx: metrics.counter("server.responses.2xx"),
+            responses_4xx: metrics.counter("server.responses.4xx"),
+            responses_5xx: metrics.counter("server.responses.5xx"),
+            tenant_default: metrics.counter("server.tenant.default"),
+            tenant_named: metrics.counter("server.tenant.named"),
+            tenant_unknown: metrics.counter("server.tenant.unknown"),
         }
     }
 
-    /// The similarity cache (exposed for drain-time reporting).
-    pub fn cache(&self) -> &CachedSimilarity<'a> {
-        &self.cache
+    /// The corpus registry the router serves from.
+    pub fn corpora(&self) -> &Corpora {
+        self.corpora
+    }
+
+    /// Resolves the corpus a request addresses via its `ontology` query
+    /// parameter: absent → default corpus, known name → that corpus,
+    /// unknown name → 404. Used by the endpoints where `ontology` is
+    /// purely a corpus selector (`/similarity`, `/align`, `/ql`).
+    fn corpus_for(&self, request: &Request) -> Result<Arc<Tenant>, Answer> {
+        match request.param("ontology") {
+            None => {
+                self.tenant_default.inc();
+                Ok(self.corpora.default_tenant())
+            }
+            Some(name) => match self.corpora.get(name) {
+                Some(tenant) => {
+                    self.tenant_named.inc();
+                    Ok(tenant)
+                }
+                None => {
+                    self.tenant_unknown.inc();
+                    Err(Answer::error(
+                        NOT_FOUND,
+                        &format!("unknown corpus `{name}`"),
+                    ))
+                }
+            },
+        }
     }
 
     /// Dispatches one parsed request.
@@ -136,7 +193,7 @@ impl<'a> Router<'a> {
             ("GET", "/rank") => (&self.rank, self.handle_rank(request)),
             ("POST", "/align") => (&self.align, self.handle_align(request)),
             ("GET", "/metrics") => (&self.metrics_ep, self.handle_metrics()),
-            ("GET", "/healthz") => (&self.healthz, Answer::text(OK, "ok\n".to_owned())),
+            ("GET", "/healthz") => (&self.healthz, self.handle_healthz()),
             (_, "/ql" | "/similarity" | "/rank" | "/align" | "/metrics" | "/healthz") => (
                 &self.other,
                 Answer::error(METHOD_NOT_ALLOWED, "method not allowed"),
@@ -169,15 +226,31 @@ impl<'a> Router<'a> {
         answer
     }
 
+    /// `GET /healthz` — `200 ok` while serving. Once shutdown has been
+    /// requested the replica is draining: already-accepted requests are
+    /// still answered, but health turns `503` so a balancer routes new
+    /// traffic elsewhere instead of into a closing listener.
+    fn handle_healthz(&self) -> Answer {
+        if self.draining.load(Ordering::SeqCst) {
+            Answer::text(SERVICE_UNAVAILABLE, "draining\n".to_owned())
+        } else {
+            Answer::text(OK, "ok\n".to_owned())
+        }
+    }
+
     /// `POST /ql` — body is the SOQA-QL query text; evaluation is
     /// budget-governed so a pathological query fails structured instead of
-    /// holding the worker.
+    /// holding the worker. `?ontology=` selects the corpus to query.
     fn handle_ql(&self, request: &Request) -> Answer {
+        let tenant = match self.corpus_for(request) {
+            Ok(t) => t,
+            Err(answer) => return answer,
+        };
         let query = request.body_text();
         if query.trim().is_empty() {
             return Answer::error(BAD_REQUEST, "empty SOQA-QL query body");
         }
-        match self.toolkit.query_with_limits(&query, &self.ql_limits) {
+        match tenant.toolkit().query_with_limits(&query, &self.ql_limits) {
             Ok(table) => {
                 let columns: Vec<String> = table
                     .columns
@@ -206,7 +279,12 @@ impl<'a> Router<'a> {
     }
 
     /// `GET /similarity?first=&first_ontology=&second=&second_ontology=&measure=`
+    /// (`?ontology=` selects the corpus).
     fn handle_similarity(&self, request: &Request) -> Answer {
+        let tenant = match self.corpus_for(request) {
+            Ok(t) => t,
+            Err(answer) => return answer,
+        };
         let (first, first_onto, second, second_onto) = match (
             request.param("first"),
             request.param("first_ontology"),
@@ -221,12 +299,12 @@ impl<'a> Router<'a> {
                 )
             }
         };
-        let measure = match self.resolve_measure(request) {
+        let measure = match resolve_measure(tenant.toolkit(), request) {
             Ok(m) => m,
             Err(answer) => return answer,
         };
-        match self
-            .cache
+        match tenant
+            .cache()
             .get_similarity(first, first_onto, second, second_onto, measure)
         {
             Ok(value) => Answer::json(
@@ -244,6 +322,11 @@ impl<'a> Router<'a> {
     /// `GET /rank?concept=&ontology=&k=&measure=&approx=` — k most
     /// similar concepts over every registered concept.
     ///
+    /// `ontology` does corpus double duty (see module docs): a value
+    /// naming a registered corpus routes there; anything else serves
+    /// from the default corpus with the value as an in-corpus ontology
+    /// name.
+    ///
     /// Parameter audit: `k=0` and malformed or out-of-range numerics are
     /// 400, `k` larger than the concept set truncates to the full set
     /// (200), and `approx` accepts only `true`/`1`/`false`/`0`. The
@@ -257,6 +340,16 @@ impl<'a> Router<'a> {
             (Some(c), Some(o)) => (c, o),
             _ => return Answer::error(BAD_REQUEST, "required: concept, ontology"),
         };
+        let tenant = match self.corpora.get(ontology) {
+            Some(tenant) => {
+                self.tenant_named.inc();
+                tenant
+            }
+            None => {
+                self.tenant_default.inc();
+                self.corpora.default_tenant()
+            }
+        };
         let k = match request.param("k").unwrap_or("5").parse::<usize>() {
             Ok(k) if k > 0 => k,
             _ => return Answer::error(BAD_REQUEST, "k must be a positive integer"),
@@ -266,7 +359,7 @@ impl<'a> Router<'a> {
             Some("true") | Some("1") => true,
             Some(_) => return Answer::error(BAD_REQUEST, "approx must be true or false"),
         };
-        let measure = match self.resolve_measure(request) {
+        let measure = match resolve_measure(tenant.toolkit(), request) {
             Ok(m) => m,
             Err(answer) => return answer,
         };
@@ -279,15 +372,15 @@ impl<'a> Router<'a> {
             }
             self.rank_approx_requests.inc();
             let start = Instant::now();
-            let result = self.toolkit.most_similar_approx(concept, ontology, k);
+            let result = tenant.toolkit().most_similar_approx(concept, ontology, k);
             self.rank_approx_latency.observe(start.elapsed());
             return match result {
                 Ok(ranked) => ranked_json(&ranked),
                 Err(e) => error_answer(&e),
             };
         }
-        match self
-            .cache
+        match tenant
+            .cache()
             .most_similar(concept, ontology, &ConceptSet::All, k, measure)
         {
             Ok(ranked) => ranked_json(&ranked),
@@ -295,7 +388,8 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// `POST /align` — one-to-one ontology alignment. JSON body:
+    /// `POST /align` — one-to-one ontology alignment (`?ontology=`
+    /// selects the corpus). JSON body:
     ///
     /// ```json
     /// {"source": "...", "target": "...",
@@ -310,6 +404,11 @@ impl<'a> Router<'a> {
     /// step budget (422 when exceeded), and the request deadline applies
     /// as on every endpoint.
     fn handle_align(&self, request: &Request) -> Answer {
+        let tenant = match self.corpus_for(request) {
+            Ok(t) => t,
+            Err(answer) => return answer,
+        };
+        let toolkit = tenant.toolkit();
         let body = match json::parse(&request.body_text()) {
             Ok(v) => v,
             Err(e) => return Answer::error(BAD_REQUEST, &format!("invalid JSON body: {e}")),
@@ -332,7 +431,7 @@ impl<'a> Router<'a> {
             for item in items {
                 let resolved = match item {
                     Json::Num(_) => item.as_usize(),
-                    Json::Str(name) => self.toolkit.measure_id(name).ok(),
+                    Json::Str(name) => toolkit.measure_id(name).ok(),
                     _ => None,
                 };
                 let Some(id) = resolved else {
@@ -384,10 +483,10 @@ impl<'a> Router<'a> {
                 }
             };
         }
-        self.toolkit
+        self.corpora
             .metrics()
             .inc(&format!("server.align.mode.{}", config.mode.name()));
-        match align_with_limits(self.toolkit, source, target, &config, &self.ql_limits) {
+        match align_with_limits(toolkit, source, target, &config, &self.ql_limits) {
             Ok(alignment) => {
                 self.align_correspondences
                     .add(alignment.correspondences.len() as u64);
@@ -427,27 +526,29 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// `GET /metrics` — the sst-obs text exposition.
+    /// `GET /metrics` — the sst-obs text exposition of the server-wide
+    /// registry (the default tenant's; named tenants keep their own
+    /// `core.*` registries).
     fn handle_metrics(&self) -> Answer {
-        Answer::text(OK, self.toolkit.metrics().render_text())
+        Answer::text(OK, self.corpora.metrics().render_text())
     }
+}
 
-    /// The `measure` parameter: a numeric id or a registered name;
-    /// defaults to measure 0 when absent.
-    fn resolve_measure(&self, request: &Request) -> Result<usize, Answer> {
-        let Some(raw) = request.param("measure") else {
-            return Ok(0);
-        };
-        let id = match raw.parse::<usize>() {
-            Ok(id) => id,
-            Err(_) => self.toolkit.measure_id(raw).map_err(|e| error_answer(&e))?,
-        };
-        // Validate numeric ids so unknown measures 404 uniformly.
-        self.toolkit
-            .measure_info(id)
-            .map(|_| id)
-            .map_err(|e| error_answer(&e))
-    }
+/// The `measure` parameter: a numeric id or a registered name; defaults
+/// to measure 0 when absent. Resolved against the addressed corpus.
+fn resolve_measure(toolkit: &SstToolkit, request: &Request) -> Result<usize, Answer> {
+    let Some(raw) = request.param("measure") else {
+        return Ok(0);
+    };
+    let id = match raw.parse::<usize>() {
+        Ok(id) => id,
+        Err(_) => toolkit.measure_id(raw).map_err(|e| error_answer(&e))?,
+    };
+    // Validate numeric ids so unknown measures 404 uniformly.
+    toolkit
+        .measure_info(id)
+        .map(|_| id)
+        .map_err(|e| error_answer(&e))
 }
 
 /// Renders a ranking as the `/rank` response body.

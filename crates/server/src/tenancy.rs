@@ -1,0 +1,306 @@
+//! Multi-ontology tenancy: a named-corpus registry with zero-downtime
+//! hot swap.
+//!
+//! A [`Tenant`] is one servable corpus — an owned `Arc<SstToolkit>` plus
+//! its own sharded similarity LRU ([`sst_core::CachedSimilarity`]), so
+//! tenants never contend on one memo and a swapped-out corpus takes its
+//! stale cache entries with it. [`Corpora`] maps corpus names to tenants
+//! behind a `RwLock`; requests resolve their tenant with a brief read
+//! lock and then hold only the `Arc`.
+//!
+//! ## Hot-swap protocol
+//!
+//! [`Corpora::insert`] under a *new* name registers a corpus;
+//! under an *existing* name it atomically replaces the `Arc<Tenant>` in
+//! the map. In-flight requests keep the clone they resolved and finish
+//! on the old corpus; the old toolkit is dropped when the last of those
+//! requests completes. No request ever observes a half-swapped corpus,
+//! and nothing blocks: the write lock is held only for the map update.
+//!
+//! ## Metrics
+//!
+//! The registry reports on the **default tenant's** metrics registry
+//! (the server's report): `server.tenant.corpora` (gauge, registered
+//! corpora) and `server.tenant.swaps` (counter, hot swaps of a live
+//! name). Per-corpus cache traffic stays on each tenant toolkit's own
+//! registry (`core.cache.*`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use sst_core::{CachedSimilarity, Metrics, SstToolkit};
+use sst_obs::{Counter, Gauge};
+
+/// One servable corpus: a toolkit and its private similarity cache.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    toolkit: Arc<SstToolkit>,
+    cache: CachedSimilarity<Arc<SstToolkit>>,
+}
+
+impl Tenant {
+    fn new(name: &str, toolkit: Arc<SstToolkit>, cache_capacity: usize) -> Tenant {
+        Tenant {
+            name: name.to_owned(),
+            cache: CachedSimilarity::with_capacity(Arc::clone(&toolkit), cache_capacity),
+            toolkit,
+        }
+    }
+
+    /// The corpus name the tenant is registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn toolkit(&self) -> &SstToolkit {
+        &self.toolkit
+    }
+
+    /// The tenant's similarity LRU (shared by `/similarity` and `/rank`).
+    pub fn cache(&self) -> &CachedSimilarity<Arc<SstToolkit>> {
+        &self.cache
+    }
+}
+
+/// The named-corpus registry (see module docs).
+#[derive(Debug)]
+pub struct Corpora {
+    default_name: String,
+    cache_capacity: usize,
+    /// Every tenant, keyed by corpus name; always contains the default.
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// The default tenant, denormalized so resolution without a corpus
+    /// selector never needs a fallible map lookup. Updated in lockstep
+    /// with `tenants` when the default name is hot-swapped.
+    default: RwLock<Arc<Tenant>>,
+    /// The default tenant's registry at construction time — the server's
+    /// report; endpoint and tenancy metrics live here.
+    metrics: Metrics,
+    corpora_gauge: Arc<Gauge>,
+    swaps: Arc<Counter>,
+}
+
+impl Corpora {
+    /// A registry holding `toolkit` as the default corpus under
+    /// `default_name`, with per-tenant caches bounded at
+    /// [`CachedSimilarity::DEFAULT_CAPACITY`] pairs.
+    pub fn new(default_name: &str, toolkit: Arc<SstToolkit>) -> Corpora {
+        Self::with_cache_capacity(
+            default_name,
+            toolkit,
+            CachedSimilarity::<Arc<SstToolkit>>::DEFAULT_CAPACITY,
+        )
+    }
+
+    /// As [`Corpora::new`], with an explicit per-tenant cache bound.
+    pub fn with_cache_capacity(
+        default_name: &str,
+        toolkit: Arc<SstToolkit>,
+        cache_capacity: usize,
+    ) -> Corpora {
+        let metrics = toolkit.metrics().clone();
+        let corpora_gauge = metrics.gauge("server.tenant.corpora");
+        let swaps = metrics.counter("server.tenant.swaps");
+        let tenant = Arc::new(Tenant::new(default_name, toolkit, cache_capacity));
+        let mut tenants = HashMap::new();
+        tenants.insert(default_name.to_owned(), Arc::clone(&tenant));
+        corpora_gauge.set(1);
+        Corpora {
+            default_name: default_name.to_owned(),
+            cache_capacity,
+            tenants: RwLock::new(tenants),
+            default: RwLock::new(tenant),
+            metrics,
+            corpora_gauge,
+            swaps,
+        }
+    }
+
+    /// The server-wide metrics registry (the default tenant's).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The name the default corpus is registered under.
+    pub fn default_name(&self) -> &str {
+        &self.default_name
+    }
+
+    /// The default corpus — what requests without an `?ontology=`
+    /// selector serve from.
+    pub fn default_tenant(&self) -> Arc<Tenant> {
+        Arc::clone(&self.default.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The corpus registered under `name`, if any. The returned `Arc`
+    /// stays valid across hot swaps: a request keeps serving from the
+    /// corpus it resolved even while a replacement goes live.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// Registers `toolkit` under `name`, or hot-swaps it in if the name
+    /// is live. Returns `true` on a swap. The write lock is held only
+    /// for the map update; in-flight requests finish on the corpus they
+    /// already resolved.
+    pub fn insert(&self, name: &str, toolkit: Arc<SstToolkit>) -> bool {
+        let tenant = Arc::new(Tenant::new(name, toolkit, self.cache_capacity));
+        let replaced = {
+            let mut tenants = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
+            let replaced = tenants
+                .insert(name.to_owned(), Arc::clone(&tenant))
+                .is_some();
+            if name == self.default_name {
+                *self.default.write().unwrap_or_else(PoisonError::into_inner) = tenant;
+            }
+            self.corpora_gauge.set(tenants.len() as i64);
+            replaced
+        };
+        if replaced {
+            self.swaps.inc();
+        }
+        replaced
+    }
+
+    /// Unregisters a named corpus. The default corpus cannot be removed
+    /// (requests without a selector must always have somewhere to go);
+    /// returns `true` if a corpus was removed.
+    pub fn remove(&self, name: &str) -> bool {
+        if name == self.default_name {
+            return false;
+        }
+        let mut tenants = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
+        let removed = tenants.remove(name).is_some();
+        self.corpora_gauge.set(tenants.len() as i64);
+        removed
+    }
+
+    /// All registered corpus names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered corpora (at least one: the default).
+    pub fn len(&self) -> usize {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::SstBuilder;
+    use sst_soqa::{OntologyBuilder, OntologyMetadata};
+
+    fn toolkit(ontology: &str, concepts: &[&str]) -> Arc<SstToolkit> {
+        let mut b = OntologyBuilder::new(OntologyMetadata {
+            name: ontology.into(),
+            ..OntologyMetadata::default()
+        });
+        let root = b.concept(concepts[0]);
+        for name in &concepts[1..] {
+            let c = b.concept(name);
+            b.add_subclass(c, root);
+        }
+        Arc::new(
+            SstBuilder::new()
+                .register_ontology(b.build())
+                .unwrap()
+                .build(),
+        )
+    }
+
+    #[test]
+    fn default_is_always_resolvable_and_unremovable() {
+        let corpora = Corpora::new("default", toolkit("uni", &["Thing", "Person"]));
+        assert_eq!(corpora.default_name(), "default");
+        assert_eq!(corpora.default_tenant().name(), "default");
+        assert_eq!(corpora.get("default").unwrap().name(), "default");
+        assert!(!corpora.remove("default"));
+        assert_eq!(corpora.len(), 1);
+        assert!(!corpora.is_empty());
+    }
+
+    #[test]
+    fn named_registration_and_removal() {
+        let corpora = Corpora::new("default", toolkit("uni", &["Thing", "Person"]));
+        assert!(corpora.get("zoo").is_none());
+        assert!(!corpora.insert("zoo", toolkit("zoo", &["Animal", "Cat"])));
+        assert_eq!(corpora.len(), 2);
+        assert_eq!(corpora.names(), vec!["default", "zoo"]);
+        assert!(corpora
+            .get("zoo")
+            .unwrap()
+            .toolkit()
+            .soqa()
+            .ontology("zoo")
+            .is_ok());
+        assert!(corpora.remove("zoo"));
+        assert!(corpora.get("zoo").is_none());
+        assert_eq!(corpora.len(), 1);
+    }
+
+    #[test]
+    fn hot_swap_keeps_old_arc_alive_for_holders() {
+        let corpora = Corpora::new("default", toolkit("uni", &["Thing", "Person"]));
+        corpora.insert("zoo", toolkit("zoo", &["Animal", "Cat"]));
+        let old = corpora.get("zoo").unwrap();
+        // Swap in a corpus with a different concept inventory.
+        assert!(corpora.insert("zoo", toolkit("zoo", &["Animal", "Dog"])));
+        // The holder still serves the corpus it resolved…
+        assert!(old.toolkit().soqa().resolve("zoo", "Cat").is_ok());
+        // …while new resolutions see the replacement.
+        let new = corpora.get("zoo").unwrap();
+        assert!(new.toolkit().soqa().resolve("zoo", "Dog").is_ok());
+        assert!(new.toolkit().soqa().resolve("zoo", "Cat").is_err());
+    }
+
+    #[test]
+    fn swapping_the_default_updates_both_paths() {
+        let first = toolkit("uni", &["Thing", "Person"]);
+        let corpora = Corpora::new("default", Arc::clone(&first));
+        assert!(corpora.insert("default", toolkit("uni", &["Thing", "Robot"])));
+        assert!(corpora
+            .default_tenant()
+            .toolkit()
+            .soqa()
+            .resolve("uni", "Robot")
+            .is_ok());
+        assert!(corpora
+            .get("default")
+            .unwrap()
+            .toolkit()
+            .soqa()
+            .resolve("uni", "Robot")
+            .is_ok());
+        // Metrics land on the *construction-time* default registry even
+        // after the default corpus is swapped.
+        let snap = corpora.metrics().snapshot();
+        assert_eq!(snap.gauge("server.tenant.corpora"), Some(1));
+        assert_eq!(snap.counter("server.tenant.swaps"), Some(1));
+        assert!(Arc::ptr_eq(
+            &first.metrics().counter("server.tenant.swaps"),
+            &corpora.metrics().counter("server.tenant.swaps"),
+        ));
+    }
+}

@@ -67,7 +67,7 @@ pub struct OntologyMetadata {
 }
 
 /// A concept: an entity type of the universe of discourse.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Concept {
     pub name: String,
     pub documentation: Option<String>,
@@ -161,6 +161,106 @@ pub struct Ontology {
 }
 
 impl Ontology {
+    /// Reassembles an ontology from raw component arenas, as produced by a
+    /// persisted snapshot. Unlike [`OntologyBuilder`], which derives link
+    /// vectors from a sequence of declarations, this takes every `Concept`
+    /// link field *verbatim* — replaying builder calls is not guaranteed to
+    /// reproduce the original (e.g. `add_relationship` only registers with
+    /// concepts that existed at call time), and exact reconstruction is what
+    /// makes snapshot round-trips bit-identical.
+    ///
+    /// Every cross-arena id is validated up front (the accessors index
+    /// directly, so a dangling id must never enter an `Ontology`), and
+    /// duplicate concept names are rejected. Name maps and roots are
+    /// recomputed; `instance_names` keeps the last occurrence per name,
+    /// mirroring [`OntologyBuilder::add_instance`].
+    pub fn from_arenas(
+        metadata: OntologyMetadata,
+        concepts: Vec<Concept>,
+        attributes: Vec<Attribute>,
+        methods: Vec<Method>,
+        relationships: Vec<Relationship>,
+        instances: Vec<Instance>,
+    ) -> crate::error::Result<Ontology> {
+        let bad = |what: &str, id: u32| crate::error::SoqaError::Wrapper {
+            language: "Snapshot".to_owned(),
+            message: format!("{what} id {id} out of range"),
+        };
+        let check = |what: &str, id: u32, len: usize| {
+            if (id as usize) < len {
+                Ok(())
+            } else {
+                Err(bad(what, id))
+            }
+        };
+        for concept in &concepts {
+            for link in [
+                &concept.super_concepts,
+                &concept.sub_concepts,
+                &concept.equivalent_concepts,
+                &concept.antonym_concepts,
+            ] {
+                for id in link {
+                    check("concept", id.0, concepts.len())?;
+                }
+            }
+            for id in &concept.attributes {
+                check("attribute", id.0, attributes.len())?;
+            }
+            for id in &concept.methods {
+                check("method", id.0, methods.len())?;
+            }
+            for id in &concept.relationships {
+                check("relationship", id.0, relationships.len())?;
+            }
+            for id in &concept.instances {
+                check("instance", id.0, instances.len())?;
+            }
+        }
+        for attribute in &attributes {
+            check("concept", attribute.concept.0, concepts.len())?;
+        }
+        for method in &methods {
+            check("concept", method.concept.0, concepts.len())?;
+        }
+        for instance in &instances {
+            check("concept", instance.concept.0, concepts.len())?;
+        }
+        let mut concept_names = HashMap::with_capacity(concepts.len());
+        for (i, concept) in concepts.iter().enumerate() {
+            if concept_names
+                .insert(concept.name.clone(), ConceptId(i as u32))
+                .is_some()
+            {
+                return Err(crate::error::SoqaError::Wrapper {
+                    language: "Snapshot".to_owned(),
+                    message: format!("duplicate concept name `{}`", concept.name),
+                });
+            }
+        }
+        let mut instance_names = HashMap::with_capacity(instances.len());
+        for (i, instance) in instances.iter().enumerate() {
+            instance_names.insert(instance.name.clone(), InstanceId(i as u32));
+        }
+        let roots = concepts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.super_concepts.is_empty())
+            .map(|(i, _)| ConceptId(i as u32))
+            .collect();
+        Ok(Ontology {
+            metadata,
+            concepts,
+            concept_names,
+            attributes,
+            methods,
+            relationships,
+            instances,
+            instance_names,
+            roots,
+        })
+    }
+
     /// The ontology's registered name.
     pub fn name(&self) -> &str {
         &self.metadata.name
@@ -613,6 +713,91 @@ mod tests {
         assert_eq!(o.concept(c).equivalent_concepts, vec![a]);
         assert_eq!(o.concept(a).antonym_concepts, vec![c]);
         assert_eq!(o.concept(c).antonym_concepts, vec![a]);
+    }
+
+    #[test]
+    fn from_arenas_round_trips_a_built_ontology() {
+        let o = sample();
+        let rebuilt = Ontology::from_arenas(
+            o.metadata.clone(),
+            o.concept_ids().map(|c| o.concept(c).clone()).collect(),
+            o.attributes().to_vec(),
+            o.methods().to_vec(),
+            o.relationships().to_vec(),
+            o.instances().to_vec(),
+        )
+        .expect("round trip");
+        assert_eq!(rebuilt.name(), o.name());
+        assert_eq!(rebuilt.roots(), o.roots());
+        assert_eq!(rebuilt.concept_count(), o.concept_count());
+        for id in o.concept_ids() {
+            assert_eq!(rebuilt.concept(id), o.concept(id));
+            assert_eq!(rebuilt.concept_by_name(&o.concept(id).name), Some(id));
+        }
+        assert_eq!(
+            rebuilt.instance_by_name("alice"),
+            o.instance_by_name("alice")
+        );
+        let person = rebuilt.concept_by_name("Person").unwrap();
+        assert_eq!(rebuilt.extension_size(person), 2);
+    }
+
+    #[test]
+    fn from_arenas_rejects_dangling_ids() {
+        // A concept pointing at a superconcept beyond the arena.
+        let concept = Concept {
+            name: "A".into(),
+            super_concepts: vec![ConceptId(7)],
+            ..Concept::default()
+        };
+        let err = Ontology::from_arenas(
+            OntologyMetadata::default(),
+            vec![concept],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        )
+        .expect_err("dangling superconcept id");
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // An instance typed by a concept that does not exist.
+        let err = Ontology::from_arenas(
+            OntologyMetadata::default(),
+            vec![Concept {
+                name: "A".into(),
+                ..Concept::default()
+            }],
+            vec![],
+            vec![],
+            vec![],
+            vec![Instance {
+                name: "x".into(),
+                concept: ConceptId(1),
+                attribute_values: vec![],
+                relationship_values: vec![],
+            }],
+        )
+        .expect_err("dangling instance concept id");
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn from_arenas_rejects_duplicate_concept_names() {
+        let dup = |name: &str| Concept {
+            name: name.into(),
+            ..Concept::default()
+        };
+        let err = Ontology::from_arenas(
+            OntologyMetadata::default(),
+            vec![dup("A"), dup("A")],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        )
+        .expect_err("duplicate concept name");
+        assert!(err.to_string().contains("duplicate concept name"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   rationale and fix.
 //! - `ci` — fmt-check → lint → clippy (-D warnings) → release build →
 //!   tests, stopping at the first failure.
+//! - `snapshot build|load [PATH]` — persist the paper corpus as an
+//!   `SSTSNAP1` snapshot file, or load one back and verify it scores
+//!   bit-identically to a cold build (delegates to the `snapshot_bench`
+//!   binary so xtask itself stays dependency-free).
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +30,10 @@ commands:
   lint --explain RULE   print a rule's rationale and the fix it demands
   ci                    fmt-check, lint, clippy -D warnings, release
                         build, tests
+  snapshot build [PATH] write the paper corpus as an SSTSNAP1 snapshot
+                        (default results/corpus.sstsnap)
+  snapshot load [PATH]  load a snapshot back and verify bit-identity
+                        against a cold corpus build
 ";
 
 fn main() -> ExitCode {
@@ -80,6 +88,57 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("lint: cannot walk workspace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("snapshot") => {
+            let (flag, default_path) = match args.get(1).map(String::as_str) {
+                Some("build") => ("--build", "results/corpus.sstsnap"),
+                Some("load") => ("--load", "results/corpus.sstsnap"),
+                _ => {
+                    eprintln!("xtask: snapshot needs `build` or `load`");
+                    eprint!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let path = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| default_path.to_owned());
+            if flag == "--build" {
+                if let Some(parent) = std::path::Path::new(&path).parent() {
+                    if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
+                        eprintln!("xtask: cannot create {}", parent.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            // Delegate to the bench binary: the codec lives in sst-core and
+            // the corpus loader in sst-bench; xtask stays dependency-free.
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+            let status = std::process::Command::new(&cargo)
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "sst-bench",
+                    "--bin",
+                    "snapshot_bench",
+                    "--",
+                    flag,
+                    &path,
+                ])
+                .current_dir(&root)
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => {
+                    eprintln!("xtask: snapshot {flag} failed");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask: cannot run snapshot_bench: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -205,6 +205,7 @@ impl Drop for StopOnDrop {
 #[test]
 fn align_endpoint_answers_and_maps_errors() {
     let (sst, source, target) = perturbed_pair(40, Perturbation::Names, 0.3);
+    let corpora = sst_server::Corpora::new("default", std::sync::Arc::new(sst));
 
     let serve = |limits: Limits, check: &dyn Fn(SocketAddr)| {
         let server = Server::bind(ServerConfig {
@@ -215,7 +216,7 @@ fn align_endpoint_answers_and_maps_errors() {
         let addr = server.local_addr();
         let handle = server.shutdown_handle();
         std::thread::scope(|scope| {
-            let running = scope.spawn(|| server.run(&sst));
+            let running = scope.spawn(|| server.run(&corpora));
             let _stop = StopOnDrop(handle.clone());
             check(addr);
             handle.shutdown();

@@ -11,14 +11,15 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 use sst_bench::{load_corpus, names};
 use sst_core::{SstToolkit, TreeMode};
-use sst_server::{Server, ServerConfig};
+use sst_server::{Corpora, Server, ServerConfig};
 
-fn corpus() -> SstToolkit {
-    load_corpus(TreeMode::SuperThing, false)
+fn corpus() -> Arc<SstToolkit> {
+    Arc::new(load_corpus(TreeMode::SuperThing, false))
 }
 
 /// Sends raw bytes, reads until the server closes, returns (status, body).
@@ -113,12 +114,13 @@ impl Drop for StopOnDrop {
 #[test]
 fn endpoints_answer_end_to_end() {
     let sst = corpus();
+    let corpora = Corpora::new("default", Arc::clone(&sst));
     let server = Server::bind(ServerConfig::default()).expect("bind");
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
 
     std::thread::scope(|scope| {
-        let running = scope.spawn(|| server.run(&sst));
+        let running = scope.spawn(|| server.run(&corpora));
         let _stop = StopOnDrop(handle.clone());
 
         let (status, body) = get(addr, "/healthz");
@@ -189,12 +191,13 @@ fn endpoints_answer_end_to_end() {
 #[test]
 fn rank_param_audit_and_approx_path() {
     let sst = corpus();
+    let corpora = Corpora::new("default", Arc::clone(&sst));
     let server = Server::bind(ServerConfig::default()).expect("bind");
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
 
     std::thread::scope(|scope| {
-        let running = scope.spawn(|| server.run(&sst));
+        let running = scope.spawn(|| server.run(&corpora));
         let _stop = StopOnDrop(handle.clone());
         let base = format!("/rank?concept=Professor&ontology={}", names::DAML_UNIV);
 
@@ -254,6 +257,7 @@ fn rank_param_audit_and_approx_path() {
 #[test]
 fn concurrent_mixed_traffic_never_hangs_or_500s() {
     let sst = corpus();
+    let corpora = Corpora::new("default", Arc::clone(&sst));
     let server = Server::bind(ServerConfig {
         workers: 4,
         queue_capacity: 32,
@@ -267,7 +271,7 @@ fn concurrent_mixed_traffic_never_hangs_or_500s() {
     const ROUNDS: usize = 30;
 
     std::thread::scope(|scope| {
-        let running = scope.spawn(|| server.run(&sst));
+        let running = scope.spawn(|| server.run(&corpora));
         let _stop = StopOnDrop(handle.clone());
 
         let client_threads: Vec<_> = (0..CLIENTS)
@@ -332,6 +336,7 @@ fn concurrent_mixed_traffic_never_hangs_or_500s() {
 #[test]
 fn overload_sheds_with_429_and_drains_on_shutdown() {
     let sst = corpus();
+    let corpora = Corpora::new("default", Arc::clone(&sst));
     let server = Server::bind(ServerConfig {
         workers: 1,
         queue_capacity: 1,
@@ -343,7 +348,7 @@ fn overload_sheds_with_429_and_drains_on_shutdown() {
     let handle = server.shutdown_handle();
 
     std::thread::scope(|scope| {
-        let running = scope.spawn(|| server.run(&sst));
+        let running = scope.spawn(|| server.run(&corpora));
         let _stop = StopOnDrop(handle.clone());
 
         // Stall the only worker: connect but send nothing, forcing the
@@ -388,9 +393,12 @@ fn overload_sheds_with_429_and_drains_on_shutdown() {
         assert!(saw_429, "full queue must shed with 429");
 
         // Shutdown *now*, while one request is queued: the drain guarantee
-        // says it still gets answered.
+        // says it still gets answered — and because shutdown has been
+        // requested by the time the worker reaches it, `/healthz` reports
+        // the replica as draining with 503 so a balancer stops sending
+        // traffic here.
         handle.shutdown();
-        assert_eq!(queued.join().expect("queued client").0, 200);
+        assert_eq!(queued.join().expect("queued client").0, 503);
 
         // The stalled connection was answered with 408 at the deadline.
         let mut stall_response = String::new();
@@ -412,9 +420,10 @@ fn overload_sheds_with_429_and_drains_on_shutdown() {
 #[test]
 fn tiny_lru_stays_bounded_and_bit_identical_under_concurrency() {
     let sst = corpus();
+    // Cache capacity far below the working set: constant eviction.
+    let corpora = Corpora::with_cache_capacity("default", Arc::clone(&sst), 2);
     let server = Server::bind(ServerConfig {
         workers: 4,
-        cache_capacity: 2, // far below the working set: constant eviction
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -438,7 +447,7 @@ fn tiny_lru_stays_bounded_and_bit_identical_under_concurrency() {
         .collect();
 
     std::thread::scope(|scope| {
-        let running = scope.spawn(|| server.run(&sst));
+        let running = scope.spawn(|| server.run(&corpora));
         let _stop = StopOnDrop(handle.clone());
 
         let clients: Vec<_> = (0..4)
@@ -486,5 +495,168 @@ fn tiny_lru_stays_bounded_and_bit_identical_under_concurrency() {
             metrics_counter(&metrics, "core.cache.evictions") > Some(0),
             "capacity 2 under a 5-pair working set must evict"
         );
+    });
+}
+
+/// A minimal corpus whose ontology is `ontology` and whose concepts are
+/// `Thing ← {Stable, <extra>}`; `Stable` exists in every generation, so
+/// traffic survives hot swaps that change `<extra>`.
+fn small_toolkit(ontology: &str, extra: &str) -> Arc<sst_core::SstToolkit> {
+    use sst_soqa::{OntologyBuilder, OntologyMetadata};
+    let mut b = OntologyBuilder::new(OntologyMetadata {
+        name: ontology.to_owned(),
+        ..OntologyMetadata::default()
+    });
+    let thing = b.concept("Thing");
+    let stable = b.concept("Stable");
+    let other = b.concept(extra);
+    b.add_subclass(stable, thing);
+    b.add_subclass(other, thing);
+    Arc::new(
+        sst_core::SstBuilder::new()
+            .register_ontology(b.build())
+            .expect("register")
+            .build(),
+    )
+}
+
+#[test]
+fn tenancy_routes_by_corpus_name() {
+    let sst = corpus();
+    let corpora = Corpora::new("default", Arc::clone(&sst));
+    corpora.insert("zoo", small_toolkit("zoo_onto", "Cat"));
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+
+    std::thread::scope(|scope| {
+        let running = scope.spawn(|| server.run(&corpora));
+        let _stop = StopOnDrop(handle.clone());
+
+        // Default corpus answers exactly as before (no selector).
+        let default_target = format!(
+            "/similarity?first=Professor&first_ontology={o}&second=Professor&second_ontology={o}",
+            o = names::DAML_UNIV
+        );
+        assert_eq!(get(addr, &default_target).0, 200);
+
+        // The named corpus resolves its own concepts…
+        let zoo_target = "/similarity?first=Stable&first_ontology=zoo_onto\
+             &second=Cat&second_ontology=zoo_onto&ontology=zoo";
+        let (status, body) = get(addr, zoo_target);
+        assert_eq!(status, 200, "{body}");
+        // …and does NOT know the default corpus's concepts (isolation).
+        assert_eq!(get(addr, &format!("{default_target}&ontology=zoo")).0, 404);
+
+        // An unknown corpus name is 404 on every selector endpoint.
+        assert_eq!(
+            get(addr, &format!("{default_target}&ontology=ghost")).0,
+            404
+        );
+        let (status, body) = post(addr, "/ql?ontology=ghost", "SELECT name FROM ontology");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("unknown corpus"), "{body}");
+
+        // /ql routed to the named corpus sees only that corpus.
+        let (status, body) = post(
+            addr,
+            "/ql?ontology=zoo",
+            "SELECT name FROM ontology ORDER BY name",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("zoo_onto"), "{body}");
+        assert!(!body.contains(names::DAML_UNIV), "{body}");
+
+        // /rank: a corpus name routes there; a plain ontology name still
+        // serves from the default corpus (compatibility).
+        let (status, body) = get(addr, "/rank?concept=Stable&ontology=zoo&k=2");
+        // `zoo` the corpus is addressed, but the in-corpus ontology is
+        // `zoo_onto`, so concept resolution inside it is what decides.
+        assert_eq!(status, 404, "{body}");
+        let (status, body) = get(
+            addr,
+            &format!("/rank?concept=Professor&ontology={}&k=2", names::DAML_UNIV),
+        );
+        assert_eq!(status, 200, "{body}");
+
+        // Duplicate corpus selectors can never route ambiguously: 400
+        // end-to-end, naming the key.
+        let (status, body) = get(addr, &format!("{default_target}&ontology=a&ontology=b"));
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("duplicate query parameter"), "{body}");
+        assert!(body.contains("ontology"), "{body}");
+
+        // Tenancy accounting made it to the exposition.
+        let metrics = get(addr, "/metrics").1;
+        assert!(metrics_counter(&metrics, "server.tenant.named") >= Some(3));
+        assert!(metrics_counter(&metrics, "server.tenant.unknown") >= Some(2));
+        assert!(metrics_counter(&metrics, "server.tenant.default") >= Some(1));
+        assert!(metrics.contains("server.tenant.corpora"), "{metrics}");
+
+        handle.shutdown();
+        assert!(running.join().expect("run thread").is_ok());
+    });
+}
+
+#[test]
+fn hot_swap_under_concurrent_traffic_serves_only_200s() {
+    let sst = corpus();
+    let corpora = Corpora::new("default", Arc::clone(&sst));
+    corpora.insert("live", small_toolkit("live_onto", "GenesisConcept"));
+    let server = Server::bind(ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 25;
+    const SWAPS: usize = 10;
+
+    std::thread::scope(|scope| {
+        let running = scope.spawn(|| server.run(&corpora));
+        let _stop = StopOnDrop(handle.clone());
+
+        // Clients hammer a concept that exists in every generation while
+        // the corpus is swapped out from under them.
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut statuses = Vec::with_capacity(ROUNDS);
+                    for _ in 0..ROUNDS {
+                        let (status, _) = get(
+                            addr,
+                            "/similarity?first=Stable&first_ontology=live_onto\
+                             &second=Thing&second_ontology=live_onto&ontology=live",
+                        );
+                        statuses.push(status);
+                    }
+                    statuses
+                })
+            })
+            .collect();
+
+        for generation in 0..SWAPS {
+            assert!(corpora.insert(
+                "live",
+                small_toolkit("live_onto", &format!("Generation{generation}"))
+            ));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        for client in clients {
+            for status in client.join().expect("client thread") {
+                assert_eq!(status, 200, "hot swap must be invisible: every request 200");
+            }
+        }
+
+        handle.shutdown();
+        assert!(running.join().expect("run thread").is_ok());
+
+        let metrics = sst.metrics().render_text();
+        assert!(metrics_counter(&metrics, "server.tenant.swaps") >= Some(SWAPS as u64));
     });
 }
